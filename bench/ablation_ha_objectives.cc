@@ -1,0 +1,89 @@
+// Ablation B: what does the compromise objective buy? Compare HA (L1
+// closeness), HA-L2, the O1-only tuner (group-sum DP) and the O2-only
+// tuner (bottleneck greedy) on Scenario III instances: their (O1, O2)
+// points and their realized Monte Carlo job latency.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/report.h"
+#include "common/check.h"
+#include "rng/random.h"
+#include "tuning/evaluator.h"
+#include "tuning/heterogeneous_allocator.h"
+#include "tuning/repetition_allocator.h"
+
+namespace {
+
+htune::TuningProblem Instance(long budget,
+                              std::shared_ptr<const htune::PriceRateCurve>
+                                  curve) {
+  htune::TuningProblem problem;
+  htune::TaskGroup easy;
+  easy.name = "easy";
+  easy.num_tasks = 20;
+  easy.repetitions = 3;
+  easy.processing_rate = 3.0;
+  easy.curve = curve;
+  htune::TaskGroup hard = easy;
+  hard.name = "hard";
+  hard.repetitions = 6;
+  hard.processing_rate = 0.8;
+  problem.groups = {easy, hard};
+  problem.budget = budget;
+  return problem;
+}
+
+}  // namespace
+
+int main() {
+  htune::bench::Banner(
+      "ablation_ha_objectives",
+      "DESIGN.md ablation B: HA-L1 vs HA-L2 vs O1-only vs O2-only — "
+      "objective points and realized latency");
+
+  const auto curve = std::make_shared<htune::LinearCurve>(1.0, 1.0);
+  const htune::HeterogeneousAllocator ha_l1(htune::ClosenessNorm::kL1);
+  const htune::HeterogeneousAllocator ha_l2(htune::ClosenessNorm::kL2);
+  const htune::RepetitionAllocator o1_only(
+      htune::RepetitionAllocator::Mode::kExactDp);
+
+  for (const long budget : {300L, 600L, 1200L}) {
+    const htune::TuningProblem problem = Instance(budget, curve);
+    const auto utopia = ha_l1.UtopiaPoint(problem);
+    HTUNE_CHECK(utopia.ok());
+    std::printf("\nbudget %ld — utopia (O1*, O2*) = (%.3f, %.3f)\n", budget,
+                utopia->o1, utopia->o2);
+    std::printf("%10s %16s %10s %10s %14s\n", "tuner", "prices", "O1", "O2",
+                "MC latency");
+
+    struct Entry {
+      const char* name;
+      std::vector<int> prices;
+    };
+    std::vector<Entry> entries;
+    entries.push_back({"HA-L1", *ha_l1.SolvePrices(problem)});
+    entries.push_back({"HA-L2", *ha_l2.SolvePrices(problem)});
+    entries.push_back({"O1-only", *o1_only.SolvePrices(problem)});
+    entries.push_back({"O2-only", htune::MinimizeMostDifficult(problem)});
+
+    for (const Entry& entry : entries) {
+      const auto op =
+          htune::HeterogeneousAllocator::Objectives(problem, entry.prices);
+      const htune::Allocation alloc =
+          htune::UniformAllocation(problem, entry.prices);
+      htune::Random rng(static_cast<uint64_t>(budget) + 5);
+      const double mc =
+          htune::MonteCarloOverallLatency(problem, alloc, 2000, rng);
+      std::printf("%10s %10d,%4d %10.3f %10.3f %14.3f\n", entry.name,
+                  entry.prices[0], entry.prices[1], op.o1, op.o2, mc);
+    }
+  }
+  htune::bench::Note(
+      "O1-only ignores the hard group's processing handicap and O2-only "
+      "overspends on it; the compromise tuners sit between both objective "
+      "extremes and track the best realized latency. L1 vs L2 closeness "
+      "rarely changes the chosen allocation.");
+  return 0;
+}

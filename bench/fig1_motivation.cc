@@ -1,0 +1,89 @@
+// Figure 1 + Example 1: the two motivating budget-allocation comparisons.
+//  (a) Repetition: tasks {o1,o2} x1 and {o3,o4} x2 with budget $6 — even
+//      ($3,$3) vs load-sensitive ($2,$4) split.
+//  (b) Heterogeneous: a sort vote and a yes/no vote with budget $6 — even
+//      ($3,$3) vs difficulty-balanced ($4,$2) split.
+// We compute the expected completion latencies with the §3.2 model and
+// Table 1's rates. The paper's printed values come from its (garbled)
+// closed form; what must reproduce is the ordering: the load-sensitive /
+// balanced split wins in both examples.
+
+#include <cstdio>
+#include <functional>
+
+#include "bench/report.h"
+#include "common/check.h"
+#include "model/distributions.h"
+#include "model/order_statistics.h"
+#include "probe/calibration.h"
+
+namespace {
+
+using htune::ErlangDist;
+using htune::ExponentialDist;
+using htune::TwoPhaseLatencyDist;
+
+// Expected max of two independent latencies given their CDFs.
+double MaxOfTwo(const std::function<double(double)>& a,
+                const std::function<double(double)>& b, double mean_hint) {
+  return htune::ExpectedMaxIndependent({a, b}, mean_hint);
+}
+
+}  // namespace
+
+int main() {
+  htune::bench::Banner("fig1_motivation",
+                       "Figure 1(a)/(b) + Example 1: motivating budget "
+                       "splits on the crowd-powered database");
+
+  const auto sort_curve = htune::TableCurve::Create(
+      htune::PaperTable1SortVotePoints(), "sorting-vote");
+  const auto yesno_curve = htune::TableCurve::Create(
+      htune::PaperTable1YesNoVotePoints(), "yes/no-vote");
+  HTUNE_CHECK(sort_curve.ok());
+  HTUNE_CHECK(yesno_curve.ok());
+
+  // ---- Example 1 (Figure 1(a)): repetition-aware split. ----
+  // Task 1: one sort vote; task 2: two sequential sort votes. On-hold-only
+  // latencies (phase 2 is identical across the homogeneous sort votes).
+  const auto example1 = [&](double price1, double price2_total) {
+    const ExponentialDist t1(sort_curve->Rate(price1));
+    const ErlangDist t2(2, sort_curve->Rate(price2_total / 2.0));
+    return MaxOfTwo([&t1](double t) { return t1.Cdf(t); },
+                    [&t2](double t) { return t2.Cdf(t); }, t2.Mean());
+  };
+  const double even_1 = example1(3.0, 3.0);
+  const double sensitive_1 = example1(2.0, 4.0);
+  std::printf("\nExample 1 (repetition, budget $6):\n");
+  std::printf("  even ($3,$3)           E[L] = %.3f   (paper: 2.93 s)\n",
+              even_1);
+  std::printf("  load-sensitive ($2,$4) E[L] = %.3f   (paper: 2.25 s)\n",
+              sensitive_1);
+  std::printf("  shape %s: load-sensitive split wins\n",
+              sensitive_1 < even_1 ? "REPRODUCED" : "NOT reproduced");
+
+  // ---- Example 2 (Figure 1(b)): heterogeneous types. ----
+  // The sort vote processes slowly (lambda_p = 0.5), the yes/no vote fast
+  // (lambda_p = 2.0); on-hold rates follow each type's Table 1 curve.
+  const auto example2 = [&](double sort_price, double yesno_price) {
+    const TwoPhaseLatencyDist sort_task(sort_curve->Rate(sort_price), 0.5);
+    const TwoPhaseLatencyDist yesno_task(yesno_curve->Rate(yesno_price), 2.0);
+    return MaxOfTwo([&sort_task](double t) { return sort_task.Cdf(t); },
+                    [&yesno_task](double t) { return yesno_task.Cdf(t); },
+                    sort_task.Mean());
+  };
+  const double even_2 = example2(3.0, 3.0);
+  const double balanced_2 = example2(4.0, 2.0);
+  std::printf("\nExample 2 (heterogeneous, budget $6):\n");
+  std::printf("  even ($3,$3)     E[L] = %.3f   (paper: 3.5 s)\n", even_2);
+  std::printf("  balanced ($4,$2) E[L] = %.3f   (paper: 2.7 s)\n",
+              balanced_2);
+  std::printf("  shape %s: difficulty-balanced split wins\n",
+              balanced_2 < even_2 ? "REPRODUCED" : "NOT reproduced");
+
+  htune::bench::Note(
+      "absolute seconds differ from the paper (its closed form and exact "
+      "lambda_p are not recoverable from the text); the allocation ordering "
+      "is the reproducible claim.");
+  return 0;
+}

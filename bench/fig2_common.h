@@ -1,0 +1,74 @@
+#ifndef HTUNE_BENCH_FIG2_COMMON_H_
+#define HTUNE_BENCH_FIG2_COMMON_H_
+
+// Shared driver for the Figure 2 synthetic experiments (§5.1): sweep the
+// budget from 1000 to 5000 for each of the paper's six price-rate curves,
+// solve the instance with each strategy, and report the expected job
+// latency. The paper's y-axis is the expected latency of the whole task
+// set; we report the Monte Carlo estimate of E[max over tasks of
+// (on-hold + processing)] plus the analytic phase-1 expectation.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/report.h"
+#include "common/check.h"
+#include "rng/random.h"
+#include "tuning/allocator.h"
+#include "tuning/evaluator.h"
+#include "tuning/problem.h"
+
+namespace htune::bench {
+
+struct Fig2Config {
+  std::string experiment_name;
+  std::string paper_ref;
+  /// Builds the problem instance (groups only; budget/curve filled by the
+  /// sweep) given the shared curve.
+  std::vector<TaskGroup> (*make_groups)(
+      std::shared_ptr<const PriceRateCurve> curve);
+  /// Strategies to compare, first one is the paper's optimum.
+  std::vector<const BudgetAllocator*> strategies;
+  int mc_trials = 400;
+};
+
+inline void RunFig2Sweep(const Fig2Config& config) {
+  Banner(config.experiment_name, config.paper_ref);
+  const auto curves = PaperSyntheticCurves();
+  for (const auto& curve_proto : curves) {
+    std::shared_ptr<const PriceRateCurve> curve(curve_proto->Clone());
+    std::printf("\n-- curve lambda_o(p) = %s --\n", curve->Name().c_str());
+
+    std::vector<std::string> header;
+    for (const BudgetAllocator* s : config.strategies) {
+      header.push_back(s->Name() + "|MC");
+    }
+    for (const BudgetAllocator* s : config.strategies) {
+      header.push_back(s->Name() + "|ph1");
+    }
+    SeriesHeader("budget", header);
+
+    for (long budget = 1000; budget <= 5000; budget += 500) {
+      TuningProblem problem;
+      problem.groups = config.make_groups(curve);
+      problem.budget = budget;
+      std::vector<double> row;
+      std::vector<double> phase1_row;
+      for (const BudgetAllocator* strategy : config.strategies) {
+        const auto alloc = strategy->Allocate(problem);
+        HTUNE_CHECK(alloc.ok());
+        Random rng(static_cast<uint64_t>(budget) * 131 + 7);
+        row.push_back(
+            MonteCarloOverallLatency(problem, *alloc, config.mc_trials, rng));
+        phase1_row.push_back(ExpectedPhase1Latency(problem, *alloc));
+      }
+      row.insert(row.end(), phase1_row.begin(), phase1_row.end());
+      SeriesRow(static_cast<double>(budget), row);
+    }
+  }
+}
+
+}  // namespace htune::bench
+
+#endif  // HTUNE_BENCH_FIG2_COMMON_H_

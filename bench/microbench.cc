@@ -1,0 +1,166 @@
+// Micro-cost suite (google-benchmark): the numerical kernels and optimizer
+// inner loops whose constants determine whether the tuners are usable
+// interactively, plus market simulator event throughput.
+
+#include <memory>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "market/simulator.h"
+#include "spec/job_spec.h"
+#include "stats/kaplan_meier.h"
+#include "tuning/quantile.h"
+#include "model/distributions.h"
+#include "model/hypoexponential.h"
+#include "model/order_statistics.h"
+#include "rng/random.h"
+#include "tuning/heterogeneous_allocator.h"
+#include "tuning/repetition_allocator.h"
+
+namespace htune {
+namespace {
+
+void BM_ErlangCdf(benchmark::State& state) {
+  const ErlangDist dist(static_cast<int>(state.range(0)), 2.0);
+  double t = 0.1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dist.Cdf(t));
+    t += 0.1;
+    if (t > 20.0) t = 0.1;
+  }
+}
+BENCHMARK(BM_ErlangCdf)->Arg(1)->Arg(5)->Arg(20);
+
+void BM_HypoexponentialCdf(benchmark::State& state) {
+  std::vector<double> rates;
+  for (long i = 0; i < state.range(0); ++i) {
+    rates.push_back(1.0 + static_cast<double>(i % 4));
+  }
+  const HypoexponentialDist dist(rates);
+  double t = 0.5;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dist.Cdf(t));
+    t += 0.5;
+    if (t > 30.0) t = 0.5;
+  }
+}
+BENCHMARK(BM_HypoexponentialCdf)->Arg(2)->Arg(8)->Arg(24);
+
+void BM_ExpectedMaxErlang(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ExpectedMaxErlang(static_cast<int>(state.range(0)), 5, 3.0));
+  }
+}
+BENCHMARK(BM_ExpectedMaxErlang)->Arg(10)->Arg(100);
+
+std::shared_ptr<const PriceRateCurve> BenchCurve() {
+  static const auto curve = std::make_shared<LinearCurve>(1.0, 1.0);
+  return curve;
+}
+
+TuningProblem BenchProblem(long budget) {
+  TaskGroup a;
+  a.name = "a";
+  a.num_tasks = 50;
+  a.repetitions = 3;
+  a.processing_rate = 2.0;
+  a.curve = BenchCurve();
+  TaskGroup b = a;
+  b.repetitions = 5;
+  b.processing_rate = 3.0;
+  TuningProblem problem;
+  problem.groups = {a, b};
+  problem.budget = budget;
+  return problem;
+}
+
+void BM_RepetitionAllocator(benchmark::State& state) {
+  const TuningProblem problem = BenchProblem(state.range(0));
+  const RepetitionAllocator tuner;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tuner.SolvePrices(problem));
+  }
+}
+BENCHMARK(BM_RepetitionAllocator)->Arg(1000)->Arg(5000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_HeterogeneousAllocator(benchmark::State& state) {
+  const TuningProblem problem = BenchProblem(state.range(0));
+  const HeterogeneousAllocator tuner;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tuner.SolvePrices(problem));
+  }
+}
+BENCHMARK(BM_HeterogeneousAllocator)->Arg(1000)->Arg(5000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MarketThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    MarketConfig config;
+    config.worker_arrival_rate = 100.0;
+    config.seed = 1;
+    config.record_trace = false;
+    MarketSimulator market(config);
+    for (long i = 0; i < state.range(0); ++i) {
+      TaskSpec spec;
+      spec.price_per_repetition = 2;
+      spec.repetitions = 3;
+      spec.on_hold_rate = 5.0;
+      spec.processing_rate = 2.0;
+      benchmark::DoNotOptimize(market.PostTask(spec));
+    }
+    benchmark::DoNotOptimize(market.RunToCompletion());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 3);
+}
+BENCHMARK(BM_MarketThroughput)->Arg(100)->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_KaplanMeierFit(benchmark::State& state) {
+  Random rng(7);
+  std::vector<SurvivalObservation> data;
+  for (long i = 0; i < state.range(0); ++i) {
+    const double t = rng.Exponential(1.0);
+    data.push_back({std::min(t, 2.0), t <= 2.0});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(KaplanMeier::Fit(data));
+  }
+}
+BENCHMARK(BM_KaplanMeierFit)->Arg(100)->Arg(10000);
+
+void BM_SolveQuantileDeadline(benchmark::State& state) {
+  const TuningProblem problem = BenchProblem(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SolveQuantileDeadline(problem, 4.0, 0.9));
+  }
+}
+BENCHMARK(BM_SolveQuantileDeadline)->Arg(600)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ParseJobSpec(benchmark::State& state) {
+  const std::string spec =
+      "budget = 1500\n[group]\ntasks = 30\nrepetitions = 3\n"
+      "processing_rate = 2.0\ncurve = linear 1.0 1.0\n[group]\n"
+      "tasks = 30\nrepetitions = 5\nprocessing_rate = 2.0\n"
+      "curve = table 1:0.5,5:2.5,9:4.0\n";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ParseJobSpec(spec));
+  }
+}
+BENCHMARK(BM_ParseJobSpec);
+
+void BM_MonteCarloSampling(benchmark::State& state) {
+  Random rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.Erlang(5, 2.0));
+  }
+}
+BENCHMARK(BM_MonteCarloSampling);
+
+}  // namespace
+}  // namespace htune
+
+BENCHMARK_MAIN();

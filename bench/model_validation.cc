@@ -1,0 +1,93 @@
+// Extension bench: nonparametric validation of the exponential on-hold
+// model (the statistically careful version of Figure 3's linearity check).
+// Collect acceptance durations from the market *with censoring* — waits
+// still unresolved when the observation window closes — fit Kaplan-Meier,
+// and compare against the exponential survival at the probe-estimated rate.
+// Also shows the bias of naively dropping the censored waits.
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/report.h"
+#include "common/check.h"
+#include "market/simulator.h"
+#include "stats/kaplan_meier.h"
+
+int main() {
+  htune::bench::Banner(
+      "model_validation",
+      "extension: Kaplan-Meier survival of on-hold waits (censored at a "
+      "finite window) vs the exponential model");
+
+  const double true_rate = 2.0;
+  const double window = 1.2;  // observation cut: ~9% of waits censored
+
+  std::vector<htune::SurvivalObservation> censored, naive;
+  for (int m = 0; m < 400; ++m) {
+    htune::MarketConfig config;
+    config.worker_arrival_rate = 60.0;
+    config.seed = 5000 + static_cast<uint64_t>(m);
+    config.record_trace = false;
+    htune::MarketSimulator market(config);
+    std::vector<htune::TaskId> ids;
+    for (int i = 0; i < 5; ++i) {
+      htune::TaskSpec spec;
+      spec.price_per_repetition = 1;
+      spec.repetitions = 1;
+      spec.on_hold_rate = true_rate;
+      spec.processing_rate = 1e5;
+      ids.push_back(*market.PostTask(spec));
+    }
+    market.RunUntil(window);
+    for (const htune::TaskId id : ids) {
+      const auto progress = market.GetProgress(id);
+      HTUNE_CHECK(progress.ok());
+      if (!progress->repetitions.empty()) {
+        const double wait = progress->repetitions[0].OnHoldLatency();
+        censored.push_back({wait, true});
+        naive.push_back({wait, true});
+      } else {
+        censored.push_back({window, false});
+        // the naive analysis silently drops this observation
+      }
+    }
+  }
+
+  const auto km = htune::KaplanMeier::Fit(censored);
+  const auto km_naive = htune::KaplanMeier::Fit(naive);
+  HTUNE_CHECK(km.ok());
+  HTUNE_CHECK(km_naive.ok());
+
+  // MLE of the rate under censoring: events / total exposure.
+  double exposure = 0.0;
+  int events = 0;
+  for (const auto& obs : censored) {
+    exposure += obs.time;
+    if (obs.event) ++events;
+  }
+  const double rate_hat = events / exposure;
+
+  std::printf("observations: %zu (%zu censored at the %.1f window)\n",
+              censored.size(), km->num_censored(), window);
+  std::printf("censored MLE rate: %.4f (true %.4f)\n", rate_hat, true_rate);
+  std::printf("%8s %14s %14s %14s\n", "t", "exp model", "KM (censored)",
+              "KM (naive)");
+  for (const double t : {0.1, 0.3, 0.6, 0.9, 1.1}) {
+    std::printf("%8.2f %14.4f %14.4f %14.4f\n", t,
+                std::exp(-true_rate * t), km->Survival(t),
+                km_naive->Survival(t));
+  }
+  std::printf(
+      "\nmax |KM - exponential| at the estimated rate: censored %.4f, "
+      "naive %.4f\n",
+      htune::MaxDeviationFromExponential(*km, rate_hat),
+      htune::MaxDeviationFromExponential(*km_naive, rate_hat));
+  htune::bench::Note(
+      "the censoring-aware curve hugs the exponential model (validating "
+      "the §3.1 acceptance law end-to-end); the naive curve that drops "
+      "unresolved waits is biased low — the same survivorship trap the "
+      "adaptive retuner's estimator avoids.");
+  return 0;
+}

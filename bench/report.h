@@ -1,0 +1,50 @@
+#ifndef HTUNE_BENCH_REPORT_H_
+#define HTUNE_BENCH_REPORT_H_
+
+// Small console-report helpers shared by the figure-reproduction binaries.
+// These binaries print the same rows/series the paper's tables and figures
+// report; google-benchmark is reserved for the micro-cost suite.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace htune::bench {
+
+/// Prints a banner naming the experiment and the paper artifact it
+/// regenerates.
+inline void Banner(const std::string& experiment,
+                   const std::string& paper_ref) {
+  std::printf("\n==================================================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("reproduces: %s\n", paper_ref.c_str());
+  std::printf("==================================================\n");
+}
+
+/// Prints a header row: first column `key`, then one column per series.
+inline void SeriesHeader(const std::string& key,
+                         const std::vector<std::string>& series) {
+  std::printf("%12s", key.c_str());
+  for (const std::string& s : series) {
+    std::printf(" %14s", s.c_str());
+  }
+  std::printf("\n");
+}
+
+/// Prints one data row.
+inline void SeriesRow(double key, const std::vector<double>& values) {
+  std::printf("%12.0f", key);
+  for (double v : values) {
+    std::printf(" %14.4f", v);
+  }
+  std::printf("\n");
+}
+
+/// Prints a free-form note line.
+inline void Note(const std::string& text) {
+  std::printf("note: %s\n", text.c_str());
+}
+
+}  // namespace htune::bench
+
+#endif  // HTUNE_BENCH_REPORT_H_

@@ -1,0 +1,57 @@
+// Crowd-powered SQL: run
+//   SELECT id FROM photos WHERE quality >= 60 ORDER BY quality DESC LIMIT 3
+// end-to-end as a two-phase crowd job: a filtering pass over every photo,
+// then a top-k tournament over the survivors — each phase budget-tuned and
+// executed on the simulated marketplace.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "crowddb/query.h"
+#include "market/simulator.h"
+#include "tuning/even_allocator.h"
+
+int main() {
+  // 16 photos with latent quality scores the crowd can judge.
+  std::vector<htune::Item> photos;
+  for (int i = 0; i < 16; ++i) {
+    photos.push_back({/*id=*/i, /*value=*/17.0 + 6.0 * i});
+  }
+
+  const auto query = htune::TopKFilteredQuery::Create(
+      photos, /*threshold=*/60.0, /*k=*/3,
+      /*filter_repetitions=*/3, /*topk_repetitions=*/5);
+  if (!query.ok()) {
+    std::fprintf(stderr, "%s\n", query.status().ToString().c_str());
+    return 1;
+  }
+
+  htune::MarketConfig config;
+  config.worker_arrival_rate = 150.0;
+  config.worker_error_prob = 0.15;  // imperfect judges
+  config.seed = 2026;
+  config.record_trace = false;
+  htune::MarketSimulator market(config);
+
+  const auto curve = std::make_shared<htune::LinearCurve>(1.0, 1.0);
+  const auto result = query->Run(market, htune::EvenAllocator(),
+                                 /*budget=*/4000, curve,
+                                 /*processing_rate=*/4.0);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("phase 1 (filter) kept %zu of %zu photos\n",
+              result->filtered_ids.size(), photos.size());
+  std::printf("query answer (top-3 by quality):");
+  for (int id : result->top_ids) {
+    std::printf(" %d", id);
+  }
+  std::printf("\ntrue answer: 15 14 13\n");
+  std::printf("precision %.2f, recall %.2f | latency %.2f | spent %ld\n",
+              result->quality.precision, result->quality.recall,
+              result->latency, result->spent);
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Crowd-powered ORDER BY (motivation example 1): sort a set of items using
+// pairwise votes from the crowd, with the budget tuned by Even Allocation.
+//
+// Demonstrates the crowddb layer end-to-end: planner -> tuner -> market
+// execution -> majority-vote aggregation, with worker errors enabled to
+// show how repetition repairs noisy answers.
+
+#include <cstdio>
+#include <memory>
+
+#include "crowddb/sort.h"
+#include "market/simulator.h"
+#include "tuning/baselines.h"
+#include "tuning/even_allocator.h"
+
+int main() {
+  // The hidden ground truth: 8 images ranked by dot count.
+  std::vector<htune::Item> images;
+  for (int i = 0; i < 8; ++i) {
+    images.push_back({/*id=*/i, /*value=*/25.0 + 13.0 * i});
+  }
+
+  const auto sorter = htune::CrowdSort::Create(images, /*repetitions=*/5);
+  if (!sorter.ok()) {
+    std::fprintf(stderr, "%s\n", sorter.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("sorting %zu items -> %d pairwise vote tasks x %d votes\n",
+              images.size(), sorter->NumPairs(), sorter->repetitions());
+
+  const auto curve = std::make_shared<htune::LinearCurve>(1.0, 1.0);
+  const long budget = sorter->NumPairs() * 5L * 6L;  // 6 units per vote
+
+  for (const double error_rate : {0.0, 0.25}) {
+    htune::MarketConfig config;
+    config.worker_arrival_rate = 150.0;
+    config.worker_error_prob = error_rate;
+    config.seed = 11;
+    config.record_trace = false;
+    htune::MarketSimulator market(config);
+
+    const auto result = sorter->Run(market, htune::EvenAllocator(), budget,
+                                    curve, /*processing_rate=*/4.0);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf(
+        "worker error %.0f%%: latency %.2f, spent %ld, kendall-tau %.3f, "
+        "ranking:",
+        error_rate * 100.0, result->latency, result->spent,
+        result->kendall_tau);
+    for (int id : result->ranking) {
+      std::printf(" %d", id);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "(true order is 7 6 5 4 3 2 1 0; majority voting over 5 repetitions "
+      "keeps the ranking stable under noise)\n");
+  return 0;
+}

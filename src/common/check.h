@@ -1,0 +1,48 @@
+#ifndef HTUNE_COMMON_CHECK_H_
+#define HTUNE_COMMON_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+
+/// Aborts with a diagnostic if `condition` is false. Used for invariants that
+/// indicate a programming error (not recoverable input errors, which return
+/// Status instead). Always enabled, including in release builds, because the
+/// guarded invariants protect simulation correctness.
+#define HTUNE_CHECK(condition)                                          \
+  do {                                                                  \
+    if (!(condition)) {                                                 \
+      std::cerr << "HTUNE_CHECK failed at " << __FILE__ << ":"          \
+                << __LINE__ << ": " #condition << std::endl;            \
+      std::abort();                                                     \
+    }                                                                   \
+  } while (false)
+
+#define HTUNE_CHECK_OP_(a, b, op)                                       \
+  do {                                                                  \
+    if (!((a)op(b))) {                                                  \
+      std::cerr << "HTUNE_CHECK failed at " << __FILE__ << ":"          \
+                << __LINE__ << ": " #a " " #op " " #b " (" << (a)       \
+                << " vs " << (b) << ")" << std::endl;                   \
+      std::abort();                                                     \
+    }                                                                   \
+  } while (false)
+
+#define HTUNE_CHECK_EQ(a, b) HTUNE_CHECK_OP_(a, b, ==)
+#define HTUNE_CHECK_NE(a, b) HTUNE_CHECK_OP_(a, b, !=)
+#define HTUNE_CHECK_LT(a, b) HTUNE_CHECK_OP_(a, b, <)
+#define HTUNE_CHECK_LE(a, b) HTUNE_CHECK_OP_(a, b, <=)
+#define HTUNE_CHECK_GT(a, b) HTUNE_CHECK_OP_(a, b, >)
+#define HTUNE_CHECK_GE(a, b) HTUNE_CHECK_OP_(a, b, >=)
+
+/// Aborts if `status_expr` evaluates to a non-OK ::htune::Status.
+#define HTUNE_CHECK_OK(status_expr)                                     \
+  do {                                                                  \
+    const ::htune::Status htune_check_ok_tmp = (status_expr);           \
+    if (!htune_check_ok_tmp.ok()) {                                     \
+      std::cerr << "HTUNE_CHECK_OK failed at " << __FILE__ << ":"       \
+                << __LINE__ << ": " << htune_check_ok_tmp << std::endl; \
+      std::abort();                                                     \
+    }                                                                   \
+  } while (false)
+
+#endif  // HTUNE_COMMON_CHECK_H_

@@ -1,0 +1,92 @@
+#ifndef HTUNE_COMMON_STATUS_H_
+#define HTUNE_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace htune {
+
+/// Canonical error codes, modeled after the subset of absl::StatusCode that a
+/// numerical/simulation library actually needs.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kOutOfRange = 2,
+  kFailedPrecondition = 3,
+  kNotFound = 4,
+  kAlreadyExists = 5,
+  kResourceExhausted = 6,
+  kInternal = 7,
+  kUnimplemented = 8,
+};
+
+/// Returns a human-readable name for `code` ("OK", "INVALID_ARGUMENT", ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// A lightweight success-or-error result. htune is exception-free: every
+/// fallible operation returns `Status` (or `StatusOr<T>`); callers must check
+/// `ok()` before relying on side effects.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with `code` and diagnostic `message`. An OK code
+  /// with a non-empty message is normalized to a plain OK status.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(code == StatusCode::kOk ? std::string()
+                                                      : std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  /// Factory for the OK status.
+  static Status OK() { return Status(); }
+
+  /// True iff the status carries no error.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Formats as "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Convenience constructors mirroring absl's.
+Status OkStatus();
+Status InvalidArgumentError(std::string_view message);
+Status OutOfRangeError(std::string_view message);
+Status FailedPreconditionError(std::string_view message);
+Status NotFoundError(std::string_view message);
+Status AlreadyExistsError(std::string_view message);
+Status ResourceExhaustedError(std::string_view message);
+Status InternalError(std::string_view message);
+Status UnimplementedError(std::string_view message);
+
+}  // namespace htune
+
+/// Propagates an error Status from the current function if `expr` is not OK.
+#define HTUNE_RETURN_IF_ERROR(expr)                   \
+  do {                                                \
+    ::htune::Status htune_status_macro_tmp = (expr);  \
+    if (!htune_status_macro_tmp.ok()) {               \
+      return htune_status_macro_tmp;                  \
+    }                                                 \
+  } while (false)
+
+#endif  // HTUNE_COMMON_STATUS_H_

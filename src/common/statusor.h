@@ -1,0 +1,95 @@
+#ifndef HTUNE_COMMON_STATUSOR_H_
+#define HTUNE_COMMON_STATUSOR_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace htune {
+
+/// Holds either a value of type `T` or an error `Status`. Accessing the value
+/// of a non-OK StatusOr aborts the process (htune is exception-free), so
+/// callers must test `ok()` first.
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from an error status. Passing an OK status here is a
+  /// programming error and is converted to an internal error.
+  StatusOr(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    if (status_.ok()) {
+      status_ = InternalError("StatusOr constructed from OK status");
+    }
+  }
+
+  /// Constructs from a value; the result is OK.
+  StatusOr(T value)  // NOLINT(google-explicit-constructor)
+      : status_(OkStatus()), value_(std::move(value)) {}
+
+  StatusOr(const StatusOr&) = default;
+  StatusOr& operator=(const StatusOr&) = default;
+  StatusOr(StatusOr&&) noexcept = default;
+  StatusOr& operator=(StatusOr&&) noexcept = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Returns the contained value; aborts if `!ok()`.
+  const T& value() const& {
+    EnsureOk();
+    return *value_;
+  }
+  T& value() & {
+    EnsureOk();
+    return *value_;
+  }
+  T&& value() && {
+    EnsureOk();
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value, or `fallback` if this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  void EnsureOk() const {
+    if (!ok()) {
+      std::cerr << "StatusOr::value() on error status: " << status_
+                << std::endl;
+      std::abort();
+    }
+  }
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace htune
+
+/// Evaluates `rexpr` (a StatusOr<T>), propagating its error status from the
+/// current function on failure and binding the value to `lhs` on success.
+#define HTUNE_ASSIGN_OR_RETURN(lhs, rexpr)                      \
+  HTUNE_ASSIGN_OR_RETURN_IMPL_(                                 \
+      HTUNE_STATUS_MACRO_CONCAT_(statusor_tmp_, __LINE__), lhs, rexpr)
+
+#define HTUNE_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                 \
+  if (!tmp.ok()) {                                    \
+    return tmp.status();                              \
+  }                                                   \
+  lhs = std::move(tmp).value()
+
+#define HTUNE_STATUS_MACRO_CONCAT_INNER_(x, y) x##y
+#define HTUNE_STATUS_MACRO_CONCAT_(x, y) HTUNE_STATUS_MACRO_CONCAT_INNER_(x, y)
+
+#endif  // HTUNE_COMMON_STATUSOR_H_

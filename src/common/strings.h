@@ -1,0 +1,25 @@
+#ifndef HTUNE_COMMON_STRINGS_H_
+#define HTUNE_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace htune {
+
+/// Joins `parts` with `separator` ("a", "b" -> "a,b").
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view separator);
+
+/// Splits `text` on `delimiter`, keeping empty fields.
+std::vector<std::string> SplitString(std::string_view text, char delimiter);
+
+/// Formats `value` with `precision` digits after the decimal point.
+std::string FormatDouble(double value, int precision);
+
+/// True iff `text` starts with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+}  // namespace htune
+
+#endif  // HTUNE_COMMON_STRINGS_H_

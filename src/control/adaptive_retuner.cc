@@ -1,0 +1,267 @@
+#include "control/adaptive_retuner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "common/check.h"
+#include "model/price_rate_curve.h"
+
+namespace htune {
+
+AdaptiveRetuner::AdaptiveRetuner(const BudgetAllocator* allocator,
+                                 RetunerConfig config)
+    : allocator_(allocator), config_(config) {
+  HTUNE_CHECK(allocator != nullptr);
+  HTUNE_CHECK_GT(config.review_interval, 0.0);
+  HTUNE_CHECK_GE(config.max_reviews, 0);
+  HTUNE_CHECK_GE(config.min_observations, 1);
+  HTUNE_CHECK_GT(config.smoothing, 0.0);
+  HTUNE_CHECK_LE(config.smoothing, 1.0);
+  HTUNE_CHECK_GE(config.retune_threshold, 0.0);
+}
+
+namespace {
+
+struct GroupState {
+  std::vector<TaskId> task_ids;
+  double scale = 1.0;
+  int current_price = 1;
+};
+
+// Censored-free MLE of the multiplicative gap between the market's real
+// rates and the assumed curve: events / sum(latency * assumed_rate).
+struct ScaleEstimate {
+  int events = 0;
+  double exposure = 0.0;
+  double Value() const { return static_cast<double>(events) / exposure; }
+};
+
+}  // namespace
+
+StatusOr<RetunerReport> AdaptiveRetuner::Run(
+    MarketSimulator& market, const TuningProblem& problem,
+    const std::vector<QuestionSpec>& questions) const {
+  HTUNE_RETURN_IF_ERROR(ValidateProblem(problem));
+  if (questions.size() != static_cast<size_t>(problem.TotalTasks())) {
+    return InvalidArgumentError(
+        "AdaptiveRetuner: need one question per atomic task");
+  }
+
+  if (!config_.market_truth_per_group.empty() &&
+      config_.market_truth_per_group.size() != problem.groups.size()) {
+    return InvalidArgumentError(
+        "AdaptiveRetuner: market_truth_per_group must match group count");
+  }
+
+  HTUNE_ASSIGN_OR_RETURN(const Allocation initial,
+                         allocator_->Allocate(problem));
+
+  const double start = market.now();
+  const long spent_before = market.TotalSpent();
+  std::vector<GroupState> groups(problem.groups.size());
+
+  // Post everything under the initial allocation.
+  size_t question_index = 0;
+  for (size_t g = 0; g < problem.groups.size(); ++g) {
+    const TaskGroup& group = problem.groups[g];
+    groups[g].current_price = initial.groups[g].prices[0][0];
+    for (int t = 0; t < group.num_tasks; ++t, ++question_index) {
+      const std::vector<int>& prices = initial.groups[g].prices[t];
+      TaskSpec spec;
+      spec.repetitions = group.repetitions;
+      spec.processing_rate = group.processing_rate;
+      spec.per_repetition_prices = prices;
+      spec.per_repetition_rates.reserve(prices.size());
+      for (int price : prices) {
+        // The requester's belief; overridden by the market's true curve
+        // when one is configured.
+        spec.per_repetition_rates.push_back(
+            group.curve->Rate(static_cast<double>(price)));
+      }
+      spec.true_answer = questions[question_index].true_answer;
+      spec.num_options = questions[question_index].num_options;
+      if (!config_.market_truth_per_group.empty()) {
+        spec.true_curve = config_.market_truth_per_group[g];
+      }
+      HTUNE_ASSIGN_OR_RETURN(const TaskId id, market.PostTask(spec));
+      groups[g].task_ids.push_back(id);
+    }
+  }
+
+  RetunerReport report;
+  double deadline = start;
+  for (int review = 0; review < config_.max_reviews; ++review) {
+    deadline += config_.review_interval;
+    if (market.RunUntil(deadline) == 0) {
+      break;
+    }
+    ++report.reviews;
+
+    // 1. Re-estimate each group's scale from observed acceptances. The
+    // estimate is the censored MLE: completed waits contribute an event and
+    // their assumed-rate exposure; a repetition still waiting for a worker
+    // contributes its elapsed exposure with no event. Dropping the censored
+    // term would bias the scale upward badly — short waits complete first.
+    bool drifted = false;
+    const double now = market.now();
+    for (size_t g = 0; g < groups.size(); ++g) {
+      ScaleEstimate estimate;
+      for (const TaskId id : groups[g].task_ids) {
+        HTUNE_ASSIGN_OR_RETURN(const TaskOutcome progress,
+                               market.GetProgress(id));
+        for (const RepetitionOutcome& rep : progress.repetitions) {
+          ++estimate.events;
+          estimate.exposure +=
+              rep.OnHoldLatency() *
+              problem.groups[g].curve->Rate(static_cast<double>(rep.price));
+        }
+        if (progress.completed_time > 0.0) {
+          continue;  // no active wait
+        }
+        // Censored wait in progress: it started when the task was posted
+        // (no acceptances yet) or when the last answer came back and the
+        // next repetition was exposed.
+        double wait_start = -1.0;
+        if (progress.repetitions.empty()) {
+          wait_start = progress.posted_time;
+        } else if (progress.repetitions.back().completed_time > 0.0 &&
+                   static_cast<int>(progress.repetitions.size()) <
+                       problem.groups[g].repetitions) {
+          wait_start = progress.repetitions.back().completed_time;
+        }  // else: the current repetition is being processed, not waiting
+        if (wait_start >= 0.0 && now > wait_start) {
+          estimate.exposure +=
+              (now - wait_start) *
+              problem.groups[g].curve->Rate(
+                  static_cast<double>(groups[g].current_price));
+        }
+      }
+      if (estimate.events < config_.min_observations ||
+          estimate.exposure <= 0.0) {
+        continue;
+      }
+      const double fresh = estimate.Value();
+      if (std::abs(fresh - groups[g].scale) >
+          config_.retune_threshold * groups[g].scale) {
+        groups[g].scale = config_.smoothing * fresh +
+                          (1.0 - config_.smoothing) * groups[g].scale;
+        drifted = true;
+      }
+    }
+    if (!drifted) {
+      continue;
+    }
+
+    // 2. Re-solve the remaining problem under the rescaled curves.
+    TuningProblem remaining;
+    std::vector<size_t> remaining_to_group;
+    std::vector<std::vector<TaskId>> open_ids_per_group(groups.size());
+    long committed = 0;  // accepted-but-unpaid repetitions
+    for (size_t g = 0; g < groups.size(); ++g) {
+      int open_tasks = 0;
+      long total_remaining = 0;
+      for (const TaskId id : groups[g].task_ids) {
+        HTUNE_ASSIGN_OR_RETURN(const TaskOutcome progress,
+                               market.GetProgress(id));
+        if (progress.completed_time > 0.0) {
+          continue;  // task already done
+        }
+        ++open_tasks;
+        open_ids_per_group[g].push_back(id);
+        for (const RepetitionOutcome& rep : progress.repetitions) {
+          if (rep.completed_time <= 0.0) {
+            committed += rep.price;  // in flight, promise stands
+          }
+        }
+        // The in-flight repetition finishes on its own; only unexposed
+        // repetitions are retunable.
+        total_remaining += problem.groups[g].repetitions -
+                           static_cast<int>(progress.repetitions.size());
+      }
+      if (open_tasks == 0 || total_remaining == 0) {
+        continue;
+      }
+      TaskGroup g_remaining = problem.groups[g];
+      g_remaining.num_tasks = open_tasks;
+      // Average remaining repetitions, rounded up: matches the group's real
+      // residual cost closely so the reallocation spends what is available
+      // (a max across tasks would overestimate the cost and under-spend).
+      g_remaining.repetitions = static_cast<int>(
+          (total_remaining + open_tasks - 1) / open_tasks);
+      const double scale = groups[g].scale;
+      const PriceRateCurve* base = problem.groups[g].curve.get();
+      const std::shared_ptr<const PriceRateCurve> believed =
+          problem.groups[g].curve;
+      g_remaining.curve = std::make_shared<FunctionCurve>(
+          [believed, scale](double p) { return scale * believed->Rate(p); },
+          base->Name() + " x" + std::to_string(scale));
+      remaining.groups.push_back(std::move(g_remaining));
+      remaining_to_group.push_back(g);
+    }
+    if (remaining.groups.empty()) {
+      continue;
+    }
+    const long spent = market.TotalSpent() - spent_before;
+    remaining.budget = problem.budget - spent - committed;
+    if (remaining.budget < remaining.MinimumBudget()) {
+      continue;  // too poor to retune; ride out the current prices
+    }
+    const auto realloc = allocator_->Allocate(remaining);
+    if (!realloc.ok()) {
+      continue;  // allocator preconditions unmet for the residual shape
+    }
+
+    // 3. Reprice open tasks, clamping down if the market refuses a rate
+    // above its arrival capacity.
+    bool any_repriced = false;
+    for (size_t r = 0; r < remaining.groups.size(); ++r) {
+      const size_t g = remaining_to_group[r];
+      int price = realloc->groups[r].prices[0][0];
+      if (price == groups[g].current_price) {
+        continue;
+      }
+      for (const TaskId id : open_ids_per_group[g]) {
+        int attempt = price;
+        Status status = market.Reprice(
+            id, attempt,
+            remaining.groups[r].curve->Rate(static_cast<double>(attempt)));
+        while (!status.ok() &&
+               status.code() == StatusCode::kFailedPrecondition &&
+               attempt > 1) {
+          --attempt;
+          status = market.Reprice(
+              id, attempt,
+              remaining.groups[r].curve->Rate(static_cast<double>(attempt)));
+        }
+        HTUNE_RETURN_IF_ERROR(status);
+        price = attempt;
+      }
+      groups[g].current_price = price;
+      any_repriced = true;
+    }
+    if (any_repriced) {
+      ++report.retunes;
+    }
+  }
+
+  if (market.OpenTaskCount() > 0) {
+    HTUNE_RETURN_IF_ERROR(market.RunToCompletion());
+  }
+
+  double last_completion = start;
+  for (const GroupState& state : groups) {
+    report.final_scale.push_back(state.scale);
+    report.final_prices.push_back(state.current_price);
+    for (const TaskId id : state.task_ids) {
+      HTUNE_ASSIGN_OR_RETURN(const TaskOutcome outcome,
+                             market.GetOutcome(id));
+      last_completion = std::max(last_completion, outcome.completed_time);
+    }
+  }
+  report.latency = last_completion - start;
+  report.spent = market.TotalSpent() - spent_before;
+  return report;
+}
+
+}  // namespace htune

@@ -1,0 +1,107 @@
+#include "crowddb/categorize.h"
+
+#include <algorithm>
+#include <set>
+
+namespace htune {
+
+StatusOr<CrowdCategorize> CrowdCategorize::Create(
+    std::vector<Item> items, std::vector<double> boundaries,
+    int repetitions) {
+  if (items.empty()) {
+    return InvalidArgumentError("CrowdCategorize: need at least one item");
+  }
+  if (boundaries.empty()) {
+    return InvalidArgumentError(
+        "CrowdCategorize: need at least one boundary (two buckets)");
+  }
+  if (repetitions < 1) {
+    return InvalidArgumentError("CrowdCategorize: repetitions must be >= 1");
+  }
+  for (size_t i = 1; i < boundaries.size(); ++i) {
+    if (boundaries[i] <= boundaries[i - 1]) {
+      return InvalidArgumentError(
+          "CrowdCategorize: boundaries must be strictly increasing");
+    }
+  }
+  std::set<int> ids;
+  for (const Item& item : items) {
+    ids.insert(item.id);
+  }
+  if (ids.size() != items.size()) {
+    return InvalidArgumentError("CrowdCategorize: item ids must be distinct");
+  }
+  return CrowdCategorize(std::move(items), std::move(boundaries),
+                         repetitions);
+}
+
+int CrowdCategorize::TrueBucket(double value) const {
+  const auto it =
+      std::upper_bound(boundaries_.begin(), boundaries_.end(), value);
+  return static_cast<int>(it - boundaries_.begin());
+}
+
+TuningProblem CrowdCategorize::MakeProblem(
+    long budget, std::shared_ptr<const PriceRateCurve> curve,
+    double processing_rate) const {
+  TaskGroup group;
+  group.name = "categorize-votes";
+  group.num_tasks = static_cast<int>(items_.size());
+  group.repetitions = repetitions_;
+  group.processing_rate = processing_rate;
+  group.curve = std::move(curve);
+  TuningProblem problem;
+  problem.groups.push_back(std::move(group));
+  problem.budget = budget;
+  return problem;
+}
+
+std::vector<QuestionSpec> CrowdCategorize::Questions() const {
+  std::vector<QuestionSpec> questions;
+  questions.reserve(items_.size());
+  for (const Item& item : items_) {
+    QuestionSpec q;
+    q.num_options = NumBuckets();
+    q.true_answer = TrueBucket(item.value);
+    questions.push_back(q);
+  }
+  return questions;
+}
+
+StatusOr<CategorizeResult> CrowdCategorize::Decode(
+    const ExecutionResult& execution) const {
+  if (execution.answers.size() != items_.size()) {
+    return InvalidArgumentError(
+        "CrowdCategorize::Decode: answer count does not match item count");
+  }
+  CategorizeResult result;
+  result.categories.reserve(items_.size());
+  int correct = 0;
+  for (size_t i = 0; i < items_.size(); ++i) {
+    const int bucket = MajorityVote(execution.answers[i]);
+    result.categories.push_back(bucket);
+    if (bucket == TrueBucket(items_[i].value)) {
+      ++correct;
+    }
+  }
+  result.accuracy =
+      static_cast<double>(correct) / static_cast<double>(items_.size());
+  result.latency = execution.latency;
+  result.spent = execution.spent;
+  return result;
+}
+
+StatusOr<CategorizeResult> CrowdCategorize::Run(
+    MarketSimulator& market, const BudgetAllocator& allocator, long budget,
+    std::shared_ptr<const PriceRateCurve> curve,
+    double processing_rate) const {
+  const TuningProblem problem =
+      MakeProblem(budget, std::move(curve), processing_rate);
+  HTUNE_ASSIGN_OR_RETURN(const Allocation alloc, allocator.Allocate(problem));
+  HTUNE_ASSIGN_OR_RETURN(
+      const ExecutionResult execution,
+      ExecuteJob(market, problem, alloc, Questions()));
+  return Decode(execution);
+}
+
+}  // namespace htune

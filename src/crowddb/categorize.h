@@ -1,0 +1,74 @@
+#ifndef HTUNE_CROWDDB_CATEGORIZE_H_
+#define HTUNE_CROWDDB_CATEGORIZE_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/statusor.h"
+#include "crowddb/executor.h"
+#include "crowddb/types.h"
+#include "market/simulator.h"
+#include "tuning/allocator.h"
+
+namespace htune {
+
+/// Result of a crowd-powered categorization (the group-by primitive of
+/// [10] on our substrate).
+struct CategorizeResult {
+  /// categories[i] = majority-voted bucket index of item i (input order).
+  std::vector<int> categories;
+  /// Fraction of items bucketed correctly.
+  double accuracy = 0.0;
+  double latency = 0.0;
+  long spent = 0;
+};
+
+/// Crowd-powered GROUP BY: each item is shown with the bucket descriptions
+/// and workers pick one (a single multi-option vote repeated `repetitions`
+/// times, majority aggregated). Ground truth buckets come from value
+/// boundaries: item with value v belongs to the first bucket whose upper
+/// boundary exceeds v (the last bucket is unbounded above).
+class CrowdCategorize {
+ public:
+  /// Requires >= 1 item with distinct ids, strictly increasing boundaries
+  /// (>= 1 of them, giving boundaries.size() + 1 buckets), repetitions >= 1.
+  static StatusOr<CrowdCategorize> Create(std::vector<Item> items,
+                                          std::vector<double> boundaries,
+                                          int repetitions);
+
+  /// The H-Tuning instance: one group with one task per item.
+  TuningProblem MakeProblem(long budget,
+                            std::shared_ptr<const PriceRateCurve> curve,
+                            double processing_rate) const;
+
+  /// One multi-option question per item.
+  std::vector<QuestionSpec> Questions() const;
+
+  StatusOr<CategorizeResult> Decode(const ExecutionResult& execution) const;
+
+  /// Convenience pipeline: MakeProblem -> allocator -> ExecuteJob -> Decode.
+  StatusOr<CategorizeResult> Run(MarketSimulator& market,
+                                 const BudgetAllocator& allocator,
+                                 long budget,
+                                 std::shared_ptr<const PriceRateCurve> curve,
+                                 double processing_rate) const;
+
+  /// True bucket of `value`.
+  int TrueBucket(double value) const;
+  int NumBuckets() const { return static_cast<int>(boundaries_.size()) + 1; }
+
+ private:
+  CrowdCategorize(std::vector<Item> items, std::vector<double> boundaries,
+                  int repetitions)
+      : items_(std::move(items)),
+        boundaries_(std::move(boundaries)),
+        repetitions_(repetitions) {}
+
+  std::vector<Item> items_;
+  std::vector<double> boundaries_;
+  int repetitions_;
+};
+
+}  // namespace htune
+
+#endif  // HTUNE_CROWDDB_CATEGORIZE_H_

@@ -1,0 +1,65 @@
+#include "crowddb/executor.h"
+
+#include <algorithm>
+
+namespace htune {
+
+StatusOr<ExecutionResult> ExecuteJob(
+    MarketSimulator& market, const TuningProblem& problem,
+    const Allocation& alloc, const std::vector<QuestionSpec>& questions) {
+  HTUNE_RETURN_IF_ERROR(ValidateProblem(problem));
+  HTUNE_RETURN_IF_ERROR(ValidateAllocation(problem, alloc));
+  if (questions.size() != static_cast<size_t>(problem.TotalTasks())) {
+    return InvalidArgumentError(
+        "ExecuteJob: need exactly one question per atomic task");
+  }
+
+  const double start = market.now();
+  const long spent_before = market.TotalSpent();
+  std::vector<TaskId> task_ids;
+  task_ids.reserve(questions.size());
+
+  size_t question_index = 0;
+  for (size_t g = 0; g < problem.groups.size(); ++g) {
+    const TaskGroup& group = problem.groups[g];
+    for (int t = 0; t < group.num_tasks; ++t, ++question_index) {
+      const std::vector<int>& prices = alloc.groups[g].prices[t];
+      TaskSpec spec;
+      spec.repetitions = group.repetitions;
+      spec.processing_rate = group.processing_rate;
+      spec.per_repetition_prices = prices;
+      spec.per_repetition_rates.reserve(prices.size());
+      for (int price : prices) {
+        spec.per_repetition_rates.push_back(
+            group.curve->Rate(static_cast<double>(price)));
+      }
+      spec.true_answer = questions[question_index].true_answer;
+      spec.num_options = questions[question_index].num_options;
+      HTUNE_ASSIGN_OR_RETURN(const TaskId id, market.PostTask(spec));
+      task_ids.push_back(id);
+    }
+  }
+
+  HTUNE_RETURN_IF_ERROR(market.RunToCompletion());
+
+  ExecutionResult result;
+  result.answers.reserve(task_ids.size());
+  result.task_latencies.reserve(task_ids.size());
+  double last_completion = start;
+  for (const TaskId id : task_ids) {
+    HTUNE_ASSIGN_OR_RETURN(const TaskOutcome outcome, market.GetOutcome(id));
+    std::vector<int> answers;
+    answers.reserve(outcome.repetitions.size());
+    for (const RepetitionOutcome& rep : outcome.repetitions) {
+      answers.push_back(rep.answer);
+    }
+    result.answers.push_back(std::move(answers));
+    result.task_latencies.push_back(outcome.completed_time - start);
+    last_completion = std::max(last_completion, outcome.completed_time);
+  }
+  result.latency = last_completion - start;
+  result.spent = market.TotalSpent() - spent_before;
+  return result;
+}
+
+}  // namespace htune

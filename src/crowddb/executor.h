@@ -1,0 +1,39 @@
+#ifndef HTUNE_CROWDDB_EXECUTOR_H_
+#define HTUNE_CROWDDB_EXECUTOR_H_
+
+#include <vector>
+
+#include "common/statusor.h"
+#include "crowddb/types.h"
+#include "market/simulator.h"
+#include "tuning/allocation.h"
+#include "tuning/problem.h"
+
+namespace htune {
+
+/// Result of running one tuned job on the market.
+struct ExecutionResult {
+  /// Wall-clock latency: last task completion minus job start.
+  double latency = 0.0;
+  /// Payment units spent.
+  long spent = 0;
+  /// answers[q] holds the repetitions' answers for question q, in the
+  /// flattened (group-major, task-minor) order of the problem.
+  std::vector<std::vector<int>> answers;
+  /// Per-question completion times (job-relative).
+  std::vector<double> task_latencies;
+};
+
+/// Posts every task of `problem` on `market` with the payments in `alloc`
+/// (per-repetition rates derived from each group's price-rate curve), runs
+/// the market to completion, and collects the answers. `questions` must
+/// have one entry per atomic task, flattened group-major. Returns
+/// InvalidArgument on shape mismatches and propagates market errors.
+StatusOr<ExecutionResult> ExecuteJob(MarketSimulator& market,
+                                     const TuningProblem& problem,
+                                     const Allocation& alloc,
+                                     const std::vector<QuestionSpec>& questions);
+
+}  // namespace htune
+
+#endif  // HTUNE_CROWDDB_EXECUTOR_H_

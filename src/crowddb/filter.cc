@@ -1,0 +1,87 @@
+#include "crowddb/filter.h"
+
+#include <set>
+
+namespace htune {
+
+StatusOr<CrowdFilter> CrowdFilter::Create(std::vector<Item> items,
+                                          double threshold, int repetitions) {
+  if (items.empty()) {
+    return InvalidArgumentError("CrowdFilter: need at least one item");
+  }
+  if (repetitions < 1) {
+    return InvalidArgumentError("CrowdFilter: repetitions must be >= 1");
+  }
+  std::set<int> ids;
+  for (const Item& item : items) {
+    ids.insert(item.id);
+  }
+  if (ids.size() != items.size()) {
+    return InvalidArgumentError("CrowdFilter: item ids must be distinct");
+  }
+  return CrowdFilter(std::move(items), threshold, repetitions);
+}
+
+TuningProblem CrowdFilter::MakeProblem(
+    long budget, std::shared_ptr<const PriceRateCurve> curve,
+    double processing_rate) const {
+  TaskGroup group;
+  group.name = "filter-threshold-votes";
+  group.num_tasks = static_cast<int>(items_.size());
+  group.repetitions = repetitions_;
+  group.processing_rate = processing_rate;
+  group.curve = std::move(curve);
+  TuningProblem problem;
+  problem.groups.push_back(std::move(group));
+  problem.budget = budget;
+  return problem;
+}
+
+std::vector<QuestionSpec> CrowdFilter::Questions() const {
+  std::vector<QuestionSpec> questions;
+  questions.reserve(items_.size());
+  for (const Item& item : items_) {
+    QuestionSpec q;
+    q.num_options = 2;
+    q.true_answer = item.value >= threshold_ ? 0 : 1;
+    questions.push_back(q);
+  }
+  return questions;
+}
+
+StatusOr<FilterResult> CrowdFilter::Decode(
+    const ExecutionResult& execution) const {
+  if (execution.answers.size() != items_.size()) {
+    return InvalidArgumentError(
+        "CrowdFilter::Decode: answer count does not match item count");
+  }
+  FilterResult result;
+  std::vector<int> truth;
+  for (size_t i = 0; i < items_.size(); ++i) {
+    if (MajorityVote(execution.answers[i]) == 0) {
+      result.selected.push_back(items_[i].id);
+    }
+    if (items_[i].value >= threshold_) {
+      truth.push_back(items_[i].id);
+    }
+  }
+  result.quality = ComputePrecisionRecall(result.selected, truth);
+  result.latency = execution.latency;
+  result.spent = execution.spent;
+  return result;
+}
+
+StatusOr<FilterResult> CrowdFilter::Run(
+    MarketSimulator& market, const BudgetAllocator& allocator, long budget,
+    std::shared_ptr<const PriceRateCurve> curve,
+    double processing_rate) const {
+  const TuningProblem problem =
+      MakeProblem(budget, std::move(curve), processing_rate);
+  HTUNE_ASSIGN_OR_RETURN(const Allocation alloc, allocator.Allocate(problem));
+  HTUNE_ASSIGN_OR_RETURN(
+      const ExecutionResult execution,
+      ExecuteJob(market, problem, alloc, Questions()));
+  return Decode(execution);
+}
+
+}  // namespace htune

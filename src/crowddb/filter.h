@@ -1,0 +1,68 @@
+#ifndef HTUNE_CROWDDB_FILTER_H_
+#define HTUNE_CROWDDB_FILTER_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/statusor.h"
+#include "crowddb/executor.h"
+#include "crowddb/metrics.h"
+#include "crowddb/types.h"
+#include "market/simulator.h"
+#include "tuning/allocator.h"
+
+namespace htune {
+
+/// Result of a crowd-powered filter.
+struct FilterResult {
+  /// Ids the crowd judged to pass the threshold.
+  std::vector<int> selected;
+  /// Quality against ground truth.
+  PrecisionRecall quality;
+  double latency = 0.0;
+  long spent = 0;
+};
+
+/// Crowd-powered filter (the paper's MTurk workload, §5.2.1): for each item
+/// the crowd answers the binary question "does this item's value reach the
+/// threshold?", repeated `repetitions` times, majority-aggregated.
+class CrowdFilter {
+ public:
+  /// Requires >= 1 item with distinct ids and repetitions >= 1.
+  static StatusOr<CrowdFilter> Create(std::vector<Item> items,
+                                      double threshold, int repetitions);
+
+  /// The H-Tuning instance: one group with one task per item.
+  TuningProblem MakeProblem(long budget,
+                            std::shared_ptr<const PriceRateCurve> curve,
+                            double processing_rate) const;
+
+  /// One binary question per item, option 0 = "passes the threshold".
+  std::vector<QuestionSpec> Questions() const;
+
+  StatusOr<FilterResult> Decode(const ExecutionResult& execution) const;
+
+  /// Convenience pipeline: MakeProblem -> allocator -> ExecuteJob -> Decode.
+  StatusOr<FilterResult> Run(MarketSimulator& market,
+                             const BudgetAllocator& allocator, long budget,
+                             std::shared_ptr<const PriceRateCurve> curve,
+                             double processing_rate) const;
+
+  const std::vector<Item>& items() const { return items_; }
+  double threshold() const { return threshold_; }
+  int repetitions() const { return repetitions_; }
+
+ private:
+  CrowdFilter(std::vector<Item> items, double threshold, int repetitions)
+      : items_(std::move(items)),
+        threshold_(threshold),
+        repetitions_(repetitions) {}
+
+  std::vector<Item> items_;
+  double threshold_;
+  int repetitions_;
+};
+
+}  // namespace htune
+
+#endif  // HTUNE_CROWDDB_FILTER_H_

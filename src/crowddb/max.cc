@@ -1,0 +1,118 @@
+#include "crowddb/max.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "crowddb/executor.h"
+
+namespace htune {
+
+StatusOr<CrowdMax> CrowdMax::Create(std::vector<Item> items, int repetitions) {
+  if (items.size() < 2) {
+    return InvalidArgumentError("CrowdMax: need at least two items");
+  }
+  if (repetitions < 1) {
+    return InvalidArgumentError("CrowdMax: repetitions must be >= 1");
+  }
+  std::set<int> ids;
+  std::set<double> values;
+  for (const Item& item : items) {
+    ids.insert(item.id);
+    values.insert(item.value);
+  }
+  if (ids.size() != items.size() || values.size() != items.size()) {
+    return InvalidArgumentError("CrowdMax: item ids and values must be distinct");
+  }
+  return CrowdMax(std::move(items), repetitions);
+}
+
+StatusOr<MaxResult> CrowdMax::Run(MarketSimulator& market,
+                                  const BudgetAllocator& allocator,
+                                  long budget,
+                                  std::shared_ptr<const PriceRateCurve> curve,
+                                  double processing_rate) const {
+  // Bracket structure up front: round r has floor(survivors / 2) matches.
+  std::vector<int> matches_per_round;
+  {
+    int survivors = static_cast<int>(items_.size());
+    while (survivors > 1) {
+      matches_per_round.push_back(survivors / 2);
+      survivors = survivors / 2 + survivors % 2;
+    }
+  }
+  const long total_matches = TotalMatches();
+  if (budget < total_matches * repetitions_) {
+    return InvalidArgumentError(
+        "CrowdMax: budget below one unit per vote across the bracket");
+  }
+
+  // Budget per round, proportional to match count; the integer remainder
+  // goes to the first (largest) round.
+  std::vector<long> round_budget(matches_per_round.size());
+  long assigned = 0;
+  for (size_t r = 0; r < matches_per_round.size(); ++r) {
+    round_budget[r] = budget * matches_per_round[r] / total_matches;
+    assigned += round_budget[r];
+  }
+  round_budget[0] += budget - assigned;
+
+  MaxResult result;
+  std::vector<Item> alive = items_;
+  for (size_t r = 0; r < matches_per_round.size(); ++r) {
+    // Pair consecutive survivors; a trailing odd item gets a bye.
+    std::vector<std::pair<Item, Item>> matches;
+    matches.reserve(static_cast<size_t>(matches_per_round[r]));
+    std::vector<Item> next_round;
+    for (size_t i = 0; i + 1 < alive.size(); i += 2) {
+      matches.emplace_back(alive[i], alive[i + 1]);
+    }
+    if (alive.size() % 2 == 1) {
+      next_round.push_back(alive.back());
+    }
+
+    TaskGroup group;
+    group.name = "max-round-" + std::to_string(r);
+    group.num_tasks = static_cast<int>(matches.size());
+    group.repetitions = repetitions_;
+    group.processing_rate = processing_rate;
+    group.curve = curve;
+    TuningProblem problem;
+    problem.groups.push_back(std::move(group));
+    problem.budget = round_budget[r];
+
+    std::vector<QuestionSpec> questions;
+    questions.reserve(matches.size());
+    for (const auto& [a, b] : matches) {
+      QuestionSpec q;
+      q.num_options = 2;
+      q.true_answer = a.value > b.value ? 0 : 1;
+      questions.push_back(q);
+    }
+
+    HTUNE_ASSIGN_OR_RETURN(const Allocation alloc,
+                           allocator.Allocate(problem));
+    HTUNE_ASSIGN_OR_RETURN(
+        const ExecutionResult execution,
+        ExecuteJob(market, problem, alloc, questions));
+
+    for (size_t m = 0; m < matches.size(); ++m) {
+      const int verdict = MajorityVote(execution.answers[m]);
+      next_round.push_back(verdict == 0 ? matches[m].first
+                                        : matches[m].second);
+    }
+    result.latency += execution.latency;
+    result.spent += execution.spent;
+    ++result.rounds;
+    alive = std::move(next_round);
+  }
+
+  const Item& truth = *std::max_element(
+      items_.begin(), items_.end(),
+      [](const Item& a, const Item& b) { return a.value < b.value; });
+  result.winner_id = alive.front().id;
+  result.correct = result.winner_id == truth.id;
+  return result;
+}
+
+}  // namespace htune

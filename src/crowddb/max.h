@@ -1,0 +1,60 @@
+#ifndef HTUNE_CROWDDB_MAX_H_
+#define HTUNE_CROWDDB_MAX_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/statusor.h"
+#include "crowddb/types.h"
+#include "market/simulator.h"
+#include "tuning/allocator.h"
+
+namespace htune {
+
+/// Result of a crowd-powered max discovery.
+struct MaxResult {
+  int winner_id = -1;
+  /// Whether the crowd found the true maximum.
+  bool correct = false;
+  /// Wall-clock latency summed over the tournament rounds (rounds are
+  /// sequential phases; §"Job" definition).
+  double latency = 0.0;
+  long spent = 0;
+  int rounds = 0;
+};
+
+/// Crowd-powered Max ([8, 9]): a single-elimination tournament of pairwise
+/// votes. Each round pairs the surviving items (odd item gets a bye), asks
+/// the crowd `repetitions` votes per match, majority-aggregates, and
+/// advances the winners. Rounds are sequential job phases, so the total
+/// latency is the sum of round latencies. The budget is divided across
+/// rounds proportionally to each round's match count (computed up front
+/// from the bracket structure) and tuned within the round by the given
+/// allocator.
+class CrowdMax {
+ public:
+  /// Requires >= 2 items with distinct ids and values, repetitions >= 1.
+  static StatusOr<CrowdMax> Create(std::vector<Item> items, int repetitions);
+
+  /// Runs the tournament. Requires a budget of at least one unit per vote
+  /// across all rounds (ceil of matches * repetitions).
+  StatusOr<MaxResult> Run(MarketSimulator& market,
+                          const BudgetAllocator& allocator, long budget,
+                          std::shared_ptr<const PriceRateCurve> curve,
+                          double processing_rate) const;
+
+  /// Total number of matches over the whole bracket = n - 1.
+  int TotalMatches() const { return static_cast<int>(items_.size()) - 1; }
+  int repetitions() const { return repetitions_; }
+
+ private:
+  CrowdMax(std::vector<Item> items, int repetitions)
+      : items_(std::move(items)), repetitions_(repetitions) {}
+
+  std::vector<Item> items_;
+  int repetitions_;
+};
+
+}  // namespace htune
+
+#endif  // HTUNE_CROWDDB_MAX_H_

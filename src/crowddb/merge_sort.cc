@@ -1,0 +1,187 @@
+#include "crowddb/merge_sort.h"
+
+#include <algorithm>
+#include <set>
+
+#include "crowddb/metrics.h"
+
+namespace htune {
+
+StatusOr<CrowdMergeSort> CrowdMergeSort::Create(std::vector<Item> items,
+                                                int repetitions) {
+  if (items.size() < 2) {
+    return InvalidArgumentError("CrowdMergeSort: need at least two items");
+  }
+  if (repetitions < 1) {
+    return InvalidArgumentError("CrowdMergeSort: repetitions must be >= 1");
+  }
+  std::set<int> ids;
+  std::set<double> values;
+  for (const Item& item : items) {
+    ids.insert(item.id);
+    values.insert(item.value);
+  }
+  if (ids.size() != items.size() || values.size() != items.size()) {
+    return InvalidArgumentError(
+        "CrowdMergeSort: item ids and values must be distinct");
+  }
+  return CrowdMergeSort(std::move(items), repetitions);
+}
+
+int CrowdMergeSort::WorstCaseComparisons() const {
+  // Simulate the bottom-up schedule: merging runs of lengths a and b costs
+  // at most a + b - 1 comparisons.
+  int total = 0;
+  std::vector<int> runs(items_.size(), 1);
+  while (runs.size() > 1) {
+    std::vector<int> next;
+    for (size_t i = 0; i + 1 < runs.size(); i += 2) {
+      total += runs[i] + runs[i + 1] - 1;
+      next.push_back(runs[i] + runs[i + 1]);
+    }
+    if (runs.size() % 2 == 1) {
+      next.push_back(runs.back());
+    }
+    runs = std::move(next);
+  }
+  return total;
+}
+
+namespace {
+
+// One in-flight merge of two descending runs into `output`.
+struct MergeState {
+  std::vector<Item> left;
+  std::vector<Item> right;
+  std::vector<Item> output;
+  size_t i = 0;
+  size_t j = 0;
+  TaskId pending = 0;
+  bool has_pending = false;
+
+  bool NeedsComparison() const {
+    return i < left.size() && j < right.size();
+  }
+
+  // Drains whichever side remains once one run is exhausted.
+  void FinishTail() {
+    while (i < left.size()) output.push_back(left[i++]);
+    while (j < right.size()) output.push_back(right[j++]);
+  }
+};
+
+}  // namespace
+
+StatusOr<MergeSortResult> CrowdMergeSort::Run(
+    MarketSimulator& market, long budget,
+    std::shared_ptr<const PriceRateCurve> curve,
+    double processing_rate) const {
+  const long worst_votes =
+      static_cast<long>(WorstCaseComparisons()) * repetitions_;
+  const long price = budget / worst_votes;
+  if (price < 1) {
+    return InvalidArgumentError(
+        "CrowdMergeSort: budget below one unit per worst-case vote");
+  }
+
+  MergeSortResult result;
+  const double start = market.now();
+  const long spent_before = market.TotalSpent();
+
+  std::vector<std::vector<Item>> runs;
+  runs.reserve(items_.size());
+  for (const Item& item : items_) {
+    runs.push_back({item});
+  }
+
+  while (runs.size() > 1) {
+    ++result.levels;
+    std::vector<MergeState> merges;
+    std::vector<Item> carried;
+    for (size_t i = 0; i + 1 < runs.size(); i += 2) {
+      MergeState merge;
+      merge.left = std::move(runs[i]);
+      merge.right = std::move(runs[i + 1]);
+      merges.push_back(std::move(merge));
+    }
+    const bool has_carry = runs.size() % 2 == 1;
+    if (has_carry) {
+      carried = std::move(runs.back());
+    }
+
+    // Rounds: every active merge runs one majority-vote comparison; merges
+    // at this level proceed in parallel, comparisons within a merge are
+    // sequential.
+    while (true) {
+      bool any_pending = false;
+      for (MergeState& merge : merges) {
+        if (!merge.NeedsComparison()) {
+          merge.FinishTail();
+          continue;
+        }
+        TaskSpec spec;
+        spec.price_per_repetition = static_cast<int>(price);
+        spec.repetitions = repetitions_;
+        spec.on_hold_rate = curve->Rate(static_cast<double>(price));
+        spec.processing_rate = processing_rate;
+        spec.num_options = 2;
+        // Option 0: the left run's head is larger.
+        spec.true_answer =
+            merge.left[merge.i].value > merge.right[merge.j].value ? 0 : 1;
+        HTUNE_ASSIGN_OR_RETURN(merge.pending, market.PostTask(spec));
+        merge.has_pending = true;
+        any_pending = true;
+        ++result.comparisons;
+      }
+      if (!any_pending) break;
+      HTUNE_RETURN_IF_ERROR(market.RunToCompletion());
+      for (MergeState& merge : merges) {
+        if (!merge.has_pending) continue;
+        merge.has_pending = false;
+        HTUNE_ASSIGN_OR_RETURN(const TaskOutcome outcome,
+                               market.GetOutcome(merge.pending));
+        std::vector<int> answers;
+        answers.reserve(outcome.repetitions.size());
+        for (const RepetitionOutcome& rep : outcome.repetitions) {
+          answers.push_back(rep.answer);
+        }
+        if (MajorityVote(answers) == 0) {
+          merge.output.push_back(merge.left[merge.i++]);
+        } else {
+          merge.output.push_back(merge.right[merge.j++]);
+        }
+      }
+    }
+
+    std::vector<std::vector<Item>> next;
+    next.reserve(merges.size() + 1);
+    for (MergeState& merge : merges) {
+      next.push_back(std::move(merge.output));
+    }
+    if (has_carry) {
+      next.push_back(std::move(carried));
+    }
+    runs = std::move(next);
+  }
+
+  result.latency = market.now() - start;
+  result.spent = market.TotalSpent() - spent_before;
+  result.ranking.reserve(items_.size());
+  for (const Item& item : runs.front()) {
+    result.ranking.push_back(item.id);
+  }
+
+  std::vector<Item> by_value = items_;
+  std::sort(by_value.begin(), by_value.end(),
+            [](const Item& a, const Item& b) { return a.value > b.value; });
+  std::vector<int> truth;
+  truth.reserve(by_value.size());
+  for (const Item& item : by_value) {
+    truth.push_back(item.id);
+  }
+  HTUNE_ASSIGN_OR_RETURN(result.kendall_tau,
+                         KendallTau(result.ranking, truth));
+  return result;
+}
+
+}  // namespace htune

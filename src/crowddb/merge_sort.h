@@ -1,0 +1,63 @@
+#ifndef HTUNE_CROWDDB_MERGE_SORT_H_
+#define HTUNE_CROWDDB_MERGE_SORT_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/statusor.h"
+#include "crowddb/sort.h"
+#include "crowddb/types.h"
+#include "market/simulator.h"
+
+namespace htune {
+
+/// Result of a comparison-efficient crowd sort.
+struct MergeSortResult {
+  /// Item ids in descending crowd-judged value order.
+  std::vector<int> ranking;
+  /// Kendall correlation against the true order.
+  double kendall_tau = 0.0;
+  double latency = 0.0;
+  long spent = 0;
+  /// Pairwise comparisons actually asked.
+  int comparisons = 0;
+  /// Merge levels executed (the plan's sequential depth).
+  int levels = 0;
+};
+
+/// Crowd-powered merge sort: the comparison-frugal alternative to
+/// CrowdSort's all-pairs plan. Asks O(n log n) majority-vote comparisons
+/// instead of n(n-1)/2, but the comparisons inside a merge are inherently
+/// sequential (each depends on the previous verdict), so the plan trades
+/// wall-clock depth for money — the planner-level latency/cost tradeoff the
+/// paper's HPU framing motivates. Merges at the same level run in parallel
+/// on the market.
+class CrowdMergeSort {
+ public:
+  /// Requires >= 2 items with distinct ids and values, repetitions >= 1.
+  static StatusOr<CrowdMergeSort> Create(std::vector<Item> items,
+                                         int repetitions);
+
+  /// Worst-case comparison count of the full bottom-up merge schedule.
+  int WorstCaseComparisons() const;
+
+  /// Runs the sort. Every comparison vote is paid
+  /// budget / (WorstCaseComparisons() * repetitions) units (the EA-style
+  /// even split over the worst-case work); returns InvalidArgument when
+  /// that floor is below one unit. The market must be dedicated to this
+  /// job (the run blocks on full completion between rounds).
+  StatusOr<MergeSortResult> Run(MarketSimulator& market, long budget,
+                                std::shared_ptr<const PriceRateCurve> curve,
+                                double processing_rate) const;
+
+ private:
+  CrowdMergeSort(std::vector<Item> items, int repetitions)
+      : items_(std::move(items)), repetitions_(repetitions) {}
+
+  std::vector<Item> items_;
+  int repetitions_;
+};
+
+}  // namespace htune
+
+#endif  // HTUNE_CROWDDB_MERGE_SORT_H_

@@ -1,0 +1,62 @@
+#include "crowddb/metrics.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace htune {
+
+StatusOr<double> KendallTau(const std::vector<int>& produced,
+                            const std::vector<int>& truth) {
+  if (produced.size() != truth.size() || produced.size() < 2) {
+    return InvalidArgumentError(
+        "KendallTau: need two equal-length orderings with >= 2 items");
+  }
+  {
+    std::vector<int> a = produced, b = truth;
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    if (a != b || std::adjacent_find(a.begin(), a.end()) != a.end()) {
+      return InvalidArgumentError(
+          "KendallTau: orderings must be permutations of the same distinct "
+          "ids");
+    }
+  }
+  std::map<int, size_t> truth_position;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    truth_position[truth[i]] = i;
+  }
+  const size_t n = produced.size();
+  long concordant = 0, discordant = 0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      const bool same_order =
+          truth_position.at(produced[i]) < truth_position.at(produced[j]);
+      (same_order ? concordant : discordant) += 1;
+    }
+  }
+  const double pairs = static_cast<double>(n) * static_cast<double>(n - 1) / 2.0;
+  return (static_cast<double>(concordant) - static_cast<double>(discordant)) /
+         pairs;
+}
+
+PrecisionRecall ComputePrecisionRecall(const std::vector<int>& predicted,
+                                       const std::vector<int>& truth) {
+  const std::set<int> predicted_set(predicted.begin(), predicted.end());
+  const std::set<int> truth_set(truth.begin(), truth.end());
+  size_t hits = 0;
+  for (int id : predicted_set) {
+    if (truth_set.count(id) > 0) ++hits;
+  }
+  PrecisionRecall pr;
+  pr.precision = predicted_set.empty()
+                     ? 1.0
+                     : static_cast<double>(hits) /
+                           static_cast<double>(predicted_set.size());
+  pr.recall = truth_set.empty() ? 1.0
+                                : static_cast<double>(hits) /
+                                      static_cast<double>(truth_set.size());
+  return pr;
+}
+
+}  // namespace htune

@@ -1,0 +1,34 @@
+#ifndef HTUNE_CROWDDB_METRICS_H_
+#define HTUNE_CROWDDB_METRICS_H_
+
+#include <vector>
+
+#include "common/statusor.h"
+
+namespace htune {
+
+/// Kendall rank correlation between a produced ordering and the ground
+/// truth: 1 for identical order, -1 for reversed. Both vectors list item
+/// ids, must be permutations of each other with >= 2 elements; returns
+/// InvalidArgument otherwise.
+StatusOr<double> KendallTau(const std::vector<int>& produced,
+                            const std::vector<int>& truth);
+
+/// Precision/recall of a predicted id set against the true id set.
+struct PrecisionRecall {
+  double precision = 0.0;
+  double recall = 0.0;
+  double F1() const {
+    const double denom = precision + recall;
+    return denom == 0.0 ? 0.0 : 2.0 * precision * recall / denom;
+  }
+};
+
+/// Computes precision and recall; an empty prediction has precision 1 by
+/// convention, an empty truth has recall 1.
+PrecisionRecall ComputePrecisionRecall(const std::vector<int>& predicted,
+                                       const std::vector<int>& truth);
+
+}  // namespace htune
+
+#endif  // HTUNE_CROWDDB_METRICS_H_

@@ -1,0 +1,110 @@
+#include "crowddb/query.h"
+
+#include <algorithm>
+#include <set>
+
+#include "crowddb/filter.h"
+#include "crowddb/top_k.h"
+
+namespace htune {
+
+StatusOr<TopKFilteredQuery> TopKFilteredQuery::Create(
+    std::vector<Item> items, double threshold, int k, int filter_repetitions,
+    int topk_repetitions) {
+  if (items.size() < 2) {
+    return InvalidArgumentError("TopKFilteredQuery: need at least two items");
+  }
+  if (k < 1) {
+    return InvalidArgumentError("TopKFilteredQuery: k must be >= 1");
+  }
+  if (filter_repetitions < 1 || topk_repetitions < 1) {
+    return InvalidArgumentError(
+        "TopKFilteredQuery: repetitions must be >= 1");
+  }
+  std::set<int> ids;
+  std::set<double> values;
+  for (const Item& item : items) {
+    ids.insert(item.id);
+    values.insert(item.value);
+  }
+  if (ids.size() != items.size() || values.size() != items.size()) {
+    return InvalidArgumentError(
+        "TopKFilteredQuery: item ids and values must be distinct");
+  }
+  return TopKFilteredQuery(std::move(items), threshold, k,
+                           filter_repetitions, topk_repetitions);
+}
+
+StatusOr<QueryResult> TopKFilteredQuery::Run(
+    MarketSimulator& market, const BudgetAllocator& allocator, long budget,
+    std::shared_ptr<const PriceRateCurve> curve,
+    double processing_rate) const {
+  const long n = static_cast<long>(items_.size());
+  const long filter_votes = n * filter_repetitions_;
+  // Worst case: every item survives the filter and k tournaments run over
+  // all of them.
+  long worst_topk_votes = 0;
+  for (int j = 0; j < std::min<long>(k_, n - 1); ++j) {
+    worst_topk_votes += (n - j - 1) * topk_repetitions_;
+  }
+  if (budget < filter_votes + worst_topk_votes) {
+    return InvalidArgumentError(
+        "TopKFilteredQuery: budget below one unit per vote in the worst "
+        "case");
+  }
+  const long filter_budget =
+      budget * filter_votes / (filter_votes + worst_topk_votes);
+
+  // Phase 1: filter.
+  HTUNE_ASSIGN_OR_RETURN(
+      const CrowdFilter filter,
+      CrowdFilter::Create(items_, threshold_, filter_repetitions_));
+  HTUNE_ASSIGN_OR_RETURN(
+      const FilterResult filtered,
+      filter.Run(market, allocator, filter_budget, curve, processing_rate));
+
+  QueryResult result;
+  result.filtered_ids = filtered.selected;
+  result.latency = filtered.latency;
+  result.spent = filtered.spent;
+
+  // Ground truth: the k largest qualifying values.
+  std::vector<Item> qualifying;
+  for (const Item& item : items_) {
+    if (item.value >= threshold_) qualifying.push_back(item);
+  }
+  std::sort(qualifying.begin(), qualifying.end(),
+            [](const Item& a, const Item& b) { return a.value > b.value; });
+  std::vector<int> truth;
+  for (size_t i = 0; i < qualifying.size() && i < static_cast<size_t>(k_);
+       ++i) {
+    truth.push_back(qualifying[i].id);
+  }
+
+  // Phase 2: top-k over the survivors.
+  std::vector<Item> survivors;
+  const std::set<int> selected(filtered.selected.begin(),
+                               filtered.selected.end());
+  for (const Item& item : items_) {
+    if (selected.count(item.id) > 0) survivors.push_back(item);
+  }
+  if (static_cast<int>(survivors.size()) <= k_) {
+    // Everything that survived is in the answer; no ranking phase needed.
+    result.top_ids = filtered.selected;
+  } else {
+    HTUNE_ASSIGN_OR_RETURN(
+        const CrowdTopK topk,
+        CrowdTopK::Create(survivors, k_, topk_repetitions_));
+    HTUNE_ASSIGN_OR_RETURN(
+        const TopKResult ranked,
+        topk.Run(market, allocator, budget - result.spent, curve,
+                 processing_rate));
+    result.top_ids = ranked.top_ids;
+    result.latency += ranked.latency;
+    result.spent += ranked.spent;
+  }
+  result.quality = ComputePrecisionRecall(result.top_ids, truth);
+  return result;
+}
+
+}  // namespace htune

@@ -1,0 +1,73 @@
+#ifndef HTUNE_CROWDDB_QUERY_H_
+#define HTUNE_CROWDDB_QUERY_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/statusor.h"
+#include "crowddb/metrics.h"
+#include "crowddb/types.h"
+#include "market/simulator.h"
+#include "tuning/allocator.h"
+
+namespace htune {
+
+/// Result of a two-phase crowd query.
+struct QueryResult {
+  /// Ids reported as the query answer, best first.
+  std::vector<int> top_ids;
+  /// Set quality against the true answer.
+  PrecisionRecall quality;
+  /// Sum of the sequential phases' latencies (a Job runs its phases one
+  /// after another; §3's Job definition).
+  double latency = 0.0;
+  long spent = 0;
+  /// Ids that survived the filter phase.
+  std::vector<int> filtered_ids;
+};
+
+/// A concrete crowd-powered query plan:
+///   SELECT id FROM items WHERE value >= threshold
+///   ORDER BY value DESC LIMIT k
+/// executed as two sequential phases — a CrowdFilter pass over all items,
+/// then a CrowdTopK tournament over the survivors — with the budget split
+/// between the phases in proportion to their expected vote counts. This is
+/// the motivating "crowd-powered database" shape: a planner decomposes the
+/// query, each phase is tuned with the given allocator, and phases chain on
+/// the same market.
+class TopKFilteredQuery {
+ public:
+  /// Requires >= 2 items with distinct ids and values, a k >= 1, and
+  /// repetitions >= 1 for both phases.
+  static StatusOr<TopKFilteredQuery> Create(std::vector<Item> items,
+                                            double threshold, int k,
+                                            int filter_repetitions,
+                                            int topk_repetitions);
+
+  /// Runs both phases. The reported k may be smaller than requested when
+  /// the filter leaves fewer than k survivors. Returns InvalidArgument if
+  /// the budget cannot cover one unit per vote in the worst case.
+  StatusOr<QueryResult> Run(MarketSimulator& market,
+                            const BudgetAllocator& allocator, long budget,
+                            std::shared_ptr<const PriceRateCurve> curve,
+                            double processing_rate) const;
+
+ private:
+  TopKFilteredQuery(std::vector<Item> items, double threshold, int k,
+                    int filter_repetitions, int topk_repetitions)
+      : items_(std::move(items)),
+        threshold_(threshold),
+        k_(k),
+        filter_repetitions_(filter_repetitions),
+        topk_repetitions_(topk_repetitions) {}
+
+  std::vector<Item> items_;
+  double threshold_;
+  int k_;
+  int filter_repetitions_;
+  int topk_repetitions_;
+};
+
+}  // namespace htune
+
+#endif  // HTUNE_CROWDDB_QUERY_H_

@@ -1,0 +1,126 @@
+#include "crowddb/sort.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/check.h"
+#include "crowddb/metrics.h"
+
+namespace htune {
+
+StatusOr<CrowdSort> CrowdSort::Create(std::vector<Item> items,
+                                      int repetitions) {
+  if (items.size() < 2) {
+    return InvalidArgumentError("CrowdSort: need at least two items");
+  }
+  if (repetitions < 1) {
+    return InvalidArgumentError("CrowdSort: repetitions must be >= 1");
+  }
+  std::set<int> ids;
+  std::set<double> values;
+  for (const Item& item : items) {
+    ids.insert(item.id);
+    values.insert(item.value);
+  }
+  if (ids.size() != items.size() || values.size() != items.size()) {
+    return InvalidArgumentError(
+        "CrowdSort: item ids and values must be distinct");
+  }
+  return CrowdSort(std::move(items), repetitions);
+}
+
+int CrowdSort::NumPairs() const {
+  const int n = static_cast<int>(items_.size());
+  return n * (n - 1) / 2;
+}
+
+TuningProblem CrowdSort::MakeProblem(
+    long budget, std::shared_ptr<const PriceRateCurve> curve,
+    double processing_rate) const {
+  TaskGroup group;
+  group.name = "sort-pairwise-votes";
+  group.num_tasks = NumPairs();
+  group.repetitions = repetitions_;
+  group.processing_rate = processing_rate;
+  group.curve = std::move(curve);
+  TuningProblem problem;
+  problem.groups.push_back(std::move(group));
+  problem.budget = budget;
+  return problem;
+}
+
+std::vector<QuestionSpec> CrowdSort::Questions() const {
+  std::vector<QuestionSpec> questions;
+  questions.reserve(static_cast<size_t>(NumPairs()));
+  for (size_t i = 0; i < items_.size(); ++i) {
+    for (size_t j = i + 1; j < items_.size(); ++j) {
+      QuestionSpec q;
+      q.num_options = 2;
+      q.true_answer = items_[i].value > items_[j].value ? 0 : 1;
+      questions.push_back(q);
+    }
+  }
+  return questions;
+}
+
+StatusOr<SortResult> CrowdSort::Decode(const ExecutionResult& execution) const {
+  if (execution.answers.size() != static_cast<size_t>(NumPairs())) {
+    return InvalidArgumentError(
+        "CrowdSort::Decode: answer count does not match pair count");
+  }
+  // Copeland score: one point per majority-vote pairwise win.
+  std::map<int, int> wins;
+  for (const Item& item : items_) {
+    wins[item.id] = 0;
+  }
+  size_t q = 0;
+  for (size_t i = 0; i < items_.size(); ++i) {
+    for (size_t j = i + 1; j < items_.size(); ++j, ++q) {
+      const int verdict = MajorityVote(execution.answers[q]);
+      ++wins[verdict == 0 ? items_[i].id : items_[j].id];
+    }
+  }
+
+  std::vector<int> ranking;
+  ranking.reserve(items_.size());
+  for (const Item& item : items_) {
+    ranking.push_back(item.id);
+  }
+  std::sort(ranking.begin(), ranking.end(), [&wins](int a, int b) {
+    if (wins.at(a) != wins.at(b)) return wins.at(a) > wins.at(b);
+    return a < b;
+  });
+
+  std::vector<Item> by_value = items_;
+  std::sort(by_value.begin(), by_value.end(),
+            [](const Item& a, const Item& b) { return a.value > b.value; });
+  std::vector<int> truth;
+  truth.reserve(by_value.size());
+  for (const Item& item : by_value) {
+    truth.push_back(item.id);
+  }
+
+  SortResult result;
+  result.ranking = ranking;
+  result.latency = execution.latency;
+  result.spent = execution.spent;
+  HTUNE_ASSIGN_OR_RETURN(result.kendall_tau, KendallTau(ranking, truth));
+  return result;
+}
+
+StatusOr<SortResult> CrowdSort::Run(
+    MarketSimulator& market, const BudgetAllocator& allocator, long budget,
+    std::shared_ptr<const PriceRateCurve> curve,
+    double processing_rate) const {
+  const TuningProblem problem =
+      MakeProblem(budget, std::move(curve), processing_rate);
+  HTUNE_ASSIGN_OR_RETURN(const Allocation alloc,
+                         allocator.Allocate(problem));
+  HTUNE_ASSIGN_OR_RETURN(
+      const ExecutionResult execution,
+      ExecuteJob(market, problem, alloc, Questions()));
+  return Decode(execution);
+}
+
+}  // namespace htune

@@ -1,0 +1,69 @@
+#ifndef HTUNE_CROWDDB_SORT_H_
+#define HTUNE_CROWDDB_SORT_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/statusor.h"
+#include "crowddb/executor.h"
+#include "crowddb/types.h"
+#include "market/simulator.h"
+#include "tuning/allocator.h"
+
+namespace htune {
+
+/// Result of a crowd-powered sort.
+struct SortResult {
+  /// Item ids in descending crowd-judged value order.
+  std::vector<int> ranking;
+  /// Kendall correlation of `ranking` against the true value order.
+  double kendall_tau = 0.0;
+  double latency = 0.0;
+  long spent = 0;
+};
+
+/// Crowd-powered sort (motivation example 1): decomposes an ORDER BY over
+/// `items` into all-pairs binary comparison votes, each repeated
+/// `repetitions` times, tunes the budget over them, executes on the market,
+/// and ranks items by their majority-vote win counts (Copeland score, ties
+/// toward the smaller id).
+class CrowdSort {
+ public:
+  /// Requires >= 2 items with distinct ids and distinct values, and
+  /// repetitions >= 1.
+  static StatusOr<CrowdSort> Create(std::vector<Item> items, int repetitions);
+
+  /// The H-Tuning instance: one group of n*(n-1)/2 comparison tasks.
+  TuningProblem MakeProblem(long budget,
+                            std::shared_ptr<const PriceRateCurve> curve,
+                            double processing_rate) const;
+
+  /// Ground truth for each pairwise question, pair-major order (i < j):
+  /// option 0 = "the first item is larger".
+  std::vector<QuestionSpec> Questions() const;
+
+  /// Turns raw execution answers into a ranking.
+  StatusOr<SortResult> Decode(const ExecutionResult& execution) const;
+
+  /// Convenience pipeline: MakeProblem -> allocator -> ExecuteJob -> Decode.
+  StatusOr<SortResult> Run(MarketSimulator& market,
+                           const BudgetAllocator& allocator, long budget,
+                           std::shared_ptr<const PriceRateCurve> curve,
+                           double processing_rate) const;
+
+  const std::vector<Item>& items() const { return items_; }
+  int repetitions() const { return repetitions_; }
+  /// Number of pairwise comparison tasks.
+  int NumPairs() const;
+
+ private:
+  CrowdSort(std::vector<Item> items, int repetitions)
+      : items_(std::move(items)), repetitions_(repetitions) {}
+
+  std::vector<Item> items_;
+  int repetitions_;
+};
+
+}  // namespace htune
+
+#endif  // HTUNE_CROWDDB_SORT_H_

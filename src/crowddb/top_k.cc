@@ -1,0 +1,94 @@
+#include "crowddb/top_k.h"
+
+#include <algorithm>
+#include <set>
+
+#include "crowddb/max.h"
+
+namespace htune {
+
+StatusOr<CrowdTopK> CrowdTopK::Create(std::vector<Item> items, int k,
+                                      int repetitions) {
+  if (items.size() < 2) {
+    return InvalidArgumentError("CrowdTopK: need at least two items");
+  }
+  if (k < 1 || k >= static_cast<int>(items.size())) {
+    return InvalidArgumentError(
+        "CrowdTopK: k must satisfy 1 <= k < item count");
+  }
+  if (repetitions < 1) {
+    return InvalidArgumentError("CrowdTopK: repetitions must be >= 1");
+  }
+  std::set<int> ids;
+  std::set<double> values;
+  for (const Item& item : items) {
+    ids.insert(item.id);
+    values.insert(item.value);
+  }
+  if (ids.size() != items.size() || values.size() != items.size()) {
+    return InvalidArgumentError(
+        "CrowdTopK: item ids and values must be distinct");
+  }
+  return CrowdTopK(std::move(items), k, repetitions);
+}
+
+long CrowdTopK::TotalMatches() const {
+  // Tournament j over (n - j) survivors costs n - j - 1 matches.
+  const long n = static_cast<long>(items_.size());
+  long total = 0;
+  for (int j = 0; j < k_; ++j) {
+    total += n - j - 1;
+  }
+  return total;
+}
+
+StatusOr<TopKResult> CrowdTopK::Run(
+    MarketSimulator& market, const BudgetAllocator& allocator, long budget,
+    std::shared_ptr<const PriceRateCurve> curve,
+    double processing_rate) const {
+  const long total_matches = TotalMatches();
+  if (budget < total_matches * repetitions_) {
+    return InvalidArgumentError(
+        "CrowdTopK: budget below one unit per vote across all tournaments");
+  }
+
+  TopKResult result;
+  std::vector<Item> pool = items_;
+  long budget_left = budget;
+  long matches_left = total_matches;
+  for (int round = 0; round < k_; ++round) {
+    const long round_matches = static_cast<long>(pool.size()) - 1;
+    // Proportional share of what remains, so integer remainders roll
+    // forward instead of starving the last tournaments.
+    const long round_budget = budget_left * round_matches / matches_left;
+    const auto tournament = CrowdMax::Create(pool, repetitions_);
+    HTUNE_RETURN_IF_ERROR(tournament.status());
+    HTUNE_ASSIGN_OR_RETURN(
+        const MaxResult winner,
+        tournament->Run(market, allocator, round_budget, curve,
+                        processing_rate));
+    result.top_ids.push_back(winner.winner_id);
+    result.latency += winner.latency;
+    result.spent += winner.spent;
+    result.rounds += winner.rounds;
+    budget_left -= winner.spent;
+    matches_left -= round_matches;
+    pool.erase(std::find_if(pool.begin(), pool.end(),
+                            [&](const Item& item) {
+                              return item.id == winner.winner_id;
+                            }));
+  }
+
+  // Ground truth: the k largest values.
+  std::vector<Item> by_value = items_;
+  std::sort(by_value.begin(), by_value.end(),
+            [](const Item& a, const Item& b) { return a.value > b.value; });
+  std::vector<int> truth;
+  for (int i = 0; i < k_; ++i) {
+    truth.push_back(by_value[static_cast<size_t>(i)].id);
+  }
+  result.quality = ComputePrecisionRecall(result.top_ids, truth);
+  return result;
+}
+
+}  // namespace htune

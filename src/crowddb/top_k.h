@@ -1,0 +1,62 @@
+#ifndef HTUNE_CROWDDB_TOP_K_H_
+#define HTUNE_CROWDDB_TOP_K_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/statusor.h"
+#include "crowddb/metrics.h"
+#include "crowddb/types.h"
+#include "market/simulator.h"
+#include "tuning/allocator.h"
+
+namespace htune {
+
+/// Result of a crowd-powered top-k query.
+struct TopKResult {
+  /// The k item ids judged largest, best first.
+  std::vector<int> top_ids;
+  /// Set quality against the true top-k.
+  PrecisionRecall quality;
+  /// Sum of sequential phase latencies.
+  double latency = 0.0;
+  long spent = 0;
+  int rounds = 0;
+};
+
+/// Crowd-powered top-k ([10]'s workload on our substrate): k successive
+/// single-elimination tournaments; each round's winner is reported and
+/// removed, so round j costs (survivors - 1) matches. Between tournaments
+/// the previous bracket's verdicts are NOT reused — workers answer fresh
+/// votes — keeping every reported rank backed by its own evidence. Each
+/// match gathers `repetitions` majority votes.
+class CrowdTopK {
+ public:
+  /// Requires 1 <= k < items.size(), distinct ids and values,
+  /// repetitions >= 1.
+  static StatusOr<CrowdTopK> Create(std::vector<Item> items, int k,
+                                    int repetitions);
+
+  /// Runs the k tournaments. The budget is split across tournaments
+  /// proportionally to their match counts.
+  StatusOr<TopKResult> Run(MarketSimulator& market,
+                           const BudgetAllocator& allocator, long budget,
+                           std::shared_ptr<const PriceRateCurve> curve,
+                           double processing_rate) const;
+
+  /// Total matches across all k tournaments.
+  long TotalMatches() const;
+  int k() const { return k_; }
+
+ private:
+  CrowdTopK(std::vector<Item> items, int k, int repetitions)
+      : items_(std::move(items)), k_(k), repetitions_(repetitions) {}
+
+  std::vector<Item> items_;
+  int k_;
+  int repetitions_;
+};
+
+}  // namespace htune
+
+#endif  // HTUNE_CROWDDB_TOP_K_H_

@@ -1,0 +1,24 @@
+#include "crowddb/types.h"
+
+#include <map>
+
+namespace htune {
+
+int MajorityVote(const std::vector<int>& answers) {
+  if (answers.empty()) return -1;
+  std::map<int, int> counts;
+  for (int a : answers) {
+    ++counts[a];
+  }
+  int best_option = -1;
+  int best_count = 0;
+  for (const auto& [option, count] : counts) {
+    if (count > best_count) {  // map order breaks ties toward small options
+      best_count = count;
+      best_option = option;
+    }
+  }
+  return best_option;
+}
+
+}  // namespace htune

@@ -1,0 +1,31 @@
+#ifndef HTUNE_CROWDDB_TYPES_H_
+#define HTUNE_CROWDDB_TYPES_H_
+
+#include <vector>
+
+namespace htune {
+
+/// A data item processed by crowd-powered operators. `value` is the latent
+/// ground truth (e.g. the true dot count of the paper's images); workers
+/// only see the item, and the simulator uses `value` to decide which vote
+/// answer is correct.
+struct Item {
+  int id = 0;
+  double value = 0.0;
+};
+
+/// Ground-truth description of one atomic voting question.
+struct QuestionSpec {
+  /// Option index of the correct answer.
+  int true_answer = 0;
+  /// Number of options presented (2 for the binary votes used here).
+  int num_options = 2;
+};
+
+/// Majority vote over answer option indices; ties broken toward the
+/// smallest option. Returns -1 for an empty answer list.
+int MajorityVote(const std::vector<int>& answers);
+
+}  // namespace htune
+
+#endif  // HTUNE_CROWDDB_TYPES_H_

@@ -1,0 +1,80 @@
+#ifndef HTUNE_MARKET_EVENTS_H_
+#define HTUNE_MARKET_EVENTS_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace htune {
+
+/// Opaque identifier for a task posted on the market.
+using TaskId = uint64_t;
+
+/// Opaque identifier for a worker who arrived at the market.
+using WorkerId = uint64_t;
+
+/// What happened at a point in simulated time.
+enum class TraceEventKind {
+  /// A worker entered the marketplace (Poisson arrival).
+  kWorkerArrival,
+  /// A worker accepted an open repetition of a task (end of on-hold phase).
+  kTaskAccepted,
+  /// A worker returned the answer for a repetition (end of processing).
+  kRepetitionCompleted,
+  /// All repetitions of a task finished.
+  kTaskCompleted,
+};
+
+std::string_view TraceEventKindToString(TraceEventKind kind);
+
+/// One entry in the market's event trace. Fields that do not apply to the
+/// event kind are zero.
+struct TraceEvent {
+  double time = 0.0;
+  TraceEventKind kind = TraceEventKind::kWorkerArrival;
+  WorkerId worker = 0;
+  TaskId task = 0;
+  /// 1-based repetition index within the task.
+  int repetition = 0;
+};
+
+/// Outcome of one completed repetition.
+struct RepetitionOutcome {
+  /// Simulated time the repetition was posted (became accept-able).
+  double posted_time = 0.0;
+  /// Simulated time a worker accepted it.
+  double accepted_time = 0.0;
+  /// Simulated time the answer came back.
+  double completed_time = 0.0;
+  /// Which worker answered.
+  WorkerId worker = 0;
+  /// Payment units promised for this repetition at acceptance time.
+  int price = 0;
+  /// The answer returned (option index); equals the task's true answer
+  /// unless the worker erred.
+  int answer = 0;
+  /// Whether the returned answer matches the task's ground truth.
+  bool correct = true;
+
+  /// On-hold latency of this repetition.
+  double OnHoldLatency() const { return accepted_time - posted_time; }
+  /// Processing latency of this repetition.
+  double ProcessingLatency() const { return completed_time - accepted_time; }
+};
+
+/// Final record of a completed task.
+struct TaskOutcome {
+  TaskId id = 0;
+  /// Time the task was first posted.
+  double posted_time = 0.0;
+  /// Time the final repetition's answer arrived; the task's latency is
+  /// completed_time - posted_time.
+  double completed_time = 0.0;
+  std::vector<RepetitionOutcome> repetitions;
+
+  double Latency() const { return completed_time - posted_time; }
+};
+
+}  // namespace htune
+
+#endif  // HTUNE_MARKET_EVENTS_H_

@@ -1,0 +1,74 @@
+#include "market/rate_schedule.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace htune {
+
+StatusOr<RateSchedule> RateSchedule::Create(
+    std::vector<std::pair<double, double>> breakpoints, double period) {
+  if (breakpoints.empty()) {
+    return InvalidArgumentError("RateSchedule: need at least one breakpoint");
+  }
+  if (period <= 0.0) {
+    return InvalidArgumentError("RateSchedule: period must be positive");
+  }
+  if (breakpoints.front().first != 0.0) {
+    return InvalidArgumentError("RateSchedule: first breakpoint must be 0");
+  }
+  for (size_t i = 0; i < breakpoints.size(); ++i) {
+    if (breakpoints[i].second <= 0.0) {
+      return InvalidArgumentError("RateSchedule: rates must be positive");
+    }
+    if (i > 0 && breakpoints[i].first <= breakpoints[i - 1].first) {
+      return InvalidArgumentError(
+          "RateSchedule: breakpoints must be strictly increasing");
+    }
+    if (breakpoints[i].first >= period) {
+      return InvalidArgumentError(
+          "RateSchedule: breakpoints must lie inside [0, period)");
+    }
+  }
+  return RateSchedule(std::move(breakpoints), period);
+}
+
+RateSchedule RateSchedule::Constant(double rate) {
+  HTUNE_CHECK_GT(rate, 0.0);
+  return RateSchedule({{0.0, rate}}, 1.0);
+}
+
+double RateSchedule::RateAt(double t) const {
+  HTUNE_CHECK_GE(t, 0.0);
+  const double phase = std::fmod(t, period_);
+  // Last breakpoint with start <= phase.
+  const auto it = std::upper_bound(
+      breakpoints_.begin(), breakpoints_.end(), phase,
+      [](double p, const std::pair<double, double>& bp) {
+        return p < bp.first;
+      });
+  HTUNE_CHECK(it != breakpoints_.begin());
+  return (it - 1)->second;
+}
+
+double RateSchedule::MaxRate() const {
+  double max_rate = 0.0;
+  for (const auto& [start, rate] : breakpoints_) {
+    max_rate = std::max(max_rate, rate);
+  }
+  return max_rate;
+}
+
+double RateSchedule::MeanRate() const {
+  double weighted = 0.0;
+  for (size_t i = 0; i < breakpoints_.size(); ++i) {
+    const double start = breakpoints_[i].first;
+    const double end =
+        i + 1 < breakpoints_.size() ? breakpoints_[i + 1].first : period_;
+    weighted += breakpoints_[i].second * (end - start);
+  }
+  return weighted / period_;
+}
+
+}  // namespace htune

@@ -1,0 +1,51 @@
+#ifndef HTUNE_MARKET_RATE_SCHEDULE_H_
+#define HTUNE_MARKET_RATE_SCHEDULE_H_
+
+#include <utility>
+#include <vector>
+
+#include "common/statusor.h"
+
+namespace htune {
+
+/// A time-varying worker-arrival intensity: piecewise-constant over one
+/// period, repeated cyclically. Models the daily/weekly workforce
+/// fluctuation the paper observes on AMT (§3, Worker definition) and then
+/// assumes away; the fluctuation bench quantifies what that assumption
+/// costs.
+class RateSchedule {
+ public:
+  /// Builds a cyclic schedule from (segment_start, rate) breakpoints over
+  /// [0, period). Breakpoints must start at 0, be strictly increasing,
+  /// stay below `period`, and carry positive rates. A single breakpoint
+  /// yields a constant schedule.
+  static StatusOr<RateSchedule> Create(
+      std::vector<std::pair<double, double>> breakpoints, double period);
+
+  /// Constant schedule at `rate`.
+  static RateSchedule Constant(double rate);
+
+  /// Arrival intensity at absolute time `t` (>= 0).
+  double RateAt(double t) const;
+
+  /// Largest rate over the cycle — the thinning envelope for
+  /// nonhomogeneous Poisson generation.
+  double MaxRate() const;
+
+  /// Average rate over one full cycle.
+  double MeanRate() const;
+
+  double period() const { return period_; }
+
+ private:
+  RateSchedule(std::vector<std::pair<double, double>> breakpoints,
+               double period)
+      : breakpoints_(std::move(breakpoints)), period_(period) {}
+
+  std::vector<std::pair<double, double>> breakpoints_;
+  double period_;
+};
+
+}  // namespace htune
+
+#endif  // HTUNE_MARKET_RATE_SCHEDULE_H_

@@ -1,0 +1,338 @@
+#include "market/simulator.h"
+
+#include <string>
+
+#include "common/check.h"
+
+namespace htune {
+
+std::string_view TraceEventKindToString(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kWorkerArrival:
+      return "WORKER_ARRIVAL";
+    case TraceEventKind::kTaskAccepted:
+      return "TASK_ACCEPTED";
+    case TraceEventKind::kRepetitionCompleted:
+      return "REPETITION_COMPLETED";
+    case TraceEventKind::kTaskCompleted:
+      return "TASK_COMPLETED";
+  }
+  return "UNKNOWN";
+}
+
+MarketSimulator::MarketSimulator(const MarketConfig& config)
+    : config_(config), rng_(config.seed) {
+  HTUNE_CHECK_GT(config.worker_arrival_rate, 0.0);
+  HTUNE_CHECK_GE(config.worker_error_prob, 0.0);
+  HTUNE_CHECK_LE(config.worker_error_prob, 1.0);
+  HTUNE_CHECK_GE(config.worker_error_concentration, 0.0);
+  if (config.worker_error_concentration > 0.0) {
+    // Beta parameters must both be positive: a heterogeneous error model
+    // needs a mean strictly inside (0, 1).
+    HTUNE_CHECK_GT(config.worker_error_prob, 0.0);
+    HTUNE_CHECK_LT(config.worker_error_prob, 1.0);
+  }
+  next_arrival_time_ = SampleArrivalAfter(0.0);
+}
+
+double MarketSimulator::SampleArrivalAfter(double after) {
+  if (config_.arrival_schedule == nullptr) {
+    return after + rng_.Exponential(config_.worker_arrival_rate);
+  }
+  // Nonhomogeneous Poisson via thinning against the cycle's max rate.
+  const RateSchedule& schedule = *config_.arrival_schedule;
+  const double envelope = schedule.MaxRate();
+  double t = after;
+  while (true) {
+    t += rng_.Exponential(envelope);
+    if (rng_.Bernoulli(schedule.RateAt(t) / envelope)) {
+      return t;
+    }
+  }
+}
+
+void MarketSimulator::Record(const TraceEvent& event) {
+  if (config_.record_trace) {
+    trace_.push_back(event);
+  }
+}
+
+StatusOr<TaskId> MarketSimulator::PostTask(const TaskSpec& spec) {
+  if (spec.repetitions < 1) {
+    return InvalidArgumentError("PostTask: repetitions must be >= 1");
+  }
+  if (spec.processing_rate <= 0.0) {
+    return InvalidArgumentError("PostTask: processing_rate must be positive");
+  }
+  if (spec.num_options < 2 && config_.worker_error_prob > 0.0) {
+    return InvalidArgumentError(
+        "PostTask: need >= 2 answer options when workers can err");
+  }
+  if (spec.true_answer < 0 || spec.true_answer >= spec.num_options) {
+    return InvalidArgumentError("PostTask: true_answer outside option range");
+  }
+  // Normalize per-repetition prices/rates, applying overrides if present.
+  const size_t reps = static_cast<size_t>(spec.repetitions);
+  if (!spec.per_repetition_prices.empty() &&
+      spec.per_repetition_prices.size() != reps) {
+    return InvalidArgumentError(
+        "PostTask: per_repetition_prices size must equal repetitions");
+  }
+  if (!spec.per_repetition_rates.empty() &&
+      spec.per_repetition_rates.size() != reps) {
+    return InvalidArgumentError(
+        "PostTask: per_repetition_rates size must equal repetitions");
+  }
+  std::vector<int> rep_prices =
+      spec.per_repetition_prices.empty()
+          ? std::vector<int>(reps, spec.price_per_repetition)
+          : spec.per_repetition_prices;
+  std::vector<double> rep_rates =
+      spec.per_repetition_rates.empty()
+          ? std::vector<double>(reps, spec.on_hold_rate)
+          : spec.per_repetition_rates;
+  for (int price : rep_prices) {
+    if (price < 1) {
+      return InvalidArgumentError("PostTask: every price must be >= 1");
+    }
+  }
+  // When the market (or the task's type) owns the ground-truth curve, the
+  // requester only sets prices; rates follow the market's behaviour, not
+  // the caller's belief.
+  const std::shared_ptr<const PriceRateCurve> effective_curve =
+      spec.true_curve != nullptr ? spec.true_curve : config_.true_curve;
+  if (effective_curve != nullptr) {
+    for (size_t i = 0; i < reps; ++i) {
+      rep_rates[i] =
+          effective_curve->Rate(static_cast<double>(rep_prices[i]));
+    }
+  }
+  for (double rate : rep_rates) {
+    if (rate <= 0.0) {
+      return InvalidArgumentError("PostTask: every on-hold rate must be > 0");
+    }
+    if (rate > config_.worker_arrival_rate) {
+      return FailedPreconditionError(
+          "PostTask: on_hold_rate exceeds worker arrival rate; the thinned "
+          "acceptance process cannot be faster than arrivals");
+    }
+  }
+
+  const TaskId id = next_task_++;
+  OpenTask task;
+  task.spec = spec;
+  task.rep_prices = std::move(rep_prices);
+  task.effective_curve = effective_curve;
+  task.rep_rates = std::move(rep_rates);
+  task.outcome.id = id;
+  task.outcome.posted_time = now_;
+  task.current_posted_time = now_;
+  task.awaiting_acceptance = true;
+  open_tasks_.emplace(id, std::move(task));
+  return id;
+}
+
+void MarketSimulator::FillAnswer(const OpenTask& task, double worker_error,
+                                 RepetitionOutcome& rep) {
+  if (rng_.Bernoulli(worker_error)) {
+    // Uniformly random wrong option.
+    const int wrong = static_cast<int>(
+        rng_.UniformInt(static_cast<uint64_t>(task.spec.num_options - 1)));
+    rep.answer = wrong >= task.spec.true_answer ? wrong + 1 : wrong;
+    rep.correct = false;
+  } else {
+    rep.answer = task.spec.true_answer;
+    rep.correct = true;
+  }
+}
+
+void MarketSimulator::StepWorkerArrival() {
+  now_ = next_arrival_time_;
+  next_arrival_time_ = SampleArrivalAfter(now_);
+  const WorkerId worker = next_worker_++;
+  Record({now_, TraceEventKind::kWorkerArrival, worker, 0, 0});
+  // The worker's personal reliability: fixed market-wide, or drawn from a
+  // Beta distribution when heterogeneity is configured.
+  const double worker_error =
+      config_.worker_error_concentration > 0.0
+          ? rng_.Beta(config_.worker_error_prob *
+                          config_.worker_error_concentration,
+                      (1.0 - config_.worker_error_prob) *
+                          config_.worker_error_concentration)
+          : config_.worker_error_prob;
+
+  // The worker considers every open repetition independently: acceptance
+  // with probability lambda_o / arrival_rate thins the Poisson arrival
+  // stream into an Exp(lambda_o) acceptance process per task, exactly the
+  // model of §3.1.2. (A worker may accept several distinct tasks, as real
+  // workers serially accept multiple HITs.)
+  for (auto& [id, task] : open_tasks_) {
+    if (!task.awaiting_acceptance) continue;
+    const size_t rep_slot = task.outcome.repetitions.size();
+    const double accept_prob =
+        task.rep_rates[rep_slot] / config_.worker_arrival_rate;
+    if (!rng_.Bernoulli(accept_prob)) continue;
+
+    task.awaiting_acceptance = false;
+    RepetitionOutcome rep;
+    rep.posted_time = task.current_posted_time;
+    rep.accepted_time = now_;
+    rep.worker = worker;
+    rep.price = task.rep_prices[rep_slot];
+    // The answer is decided by the accepting worker; it is revealed (and
+    // recorded) when processing finishes.
+    FillAnswer(task, worker_error, rep);
+    task.outcome.repetitions.push_back(rep);
+    const int rep_index = static_cast<int>(task.outcome.repetitions.size());
+    Record({now_, TraceEventKind::kTaskAccepted, worker, id, rep_index});
+
+    const double processing = rng_.Exponential(task.spec.processing_rate);
+    completions_.push(
+        {now_ + processing, completion_sequence_++, id});
+  }
+}
+
+void MarketSimulator::AdvanceTask(TaskId id, OpenTask& task, double t) {
+  if (static_cast<int>(task.outcome.repetitions.size()) >=
+      task.spec.repetitions) {
+    task.outcome.completed_time = t;
+    Record({t, TraceEventKind::kTaskCompleted, 0, id, task.spec.repetitions});
+    completed_.emplace(id, std::move(task.outcome));
+    completion_order_.push_back(id);
+    open_tasks_.erase(id);
+    return;
+  }
+  // Expose the next repetition: sequential submission (§4.3).
+  task.current_posted_time = t;
+  task.awaiting_acceptance = true;
+}
+
+void MarketSimulator::ApplyCompletion(const PendingCompletion& completion) {
+  now_ = completion.time;
+  auto it = open_tasks_.find(completion.task);
+  HTUNE_CHECK(it != open_tasks_.end());
+  OpenTask& task = it->second;
+
+  RepetitionOutcome& rep = task.outcome.repetitions.back();
+  rep.completed_time = now_;
+  total_spent_ += task.rep_prices[task.outcome.repetitions.size() - 1];
+  const int rep_index = static_cast<int>(task.outcome.repetitions.size());
+  Record({now_, TraceEventKind::kRepetitionCompleted, rep.worker,
+          completion.task, rep_index});
+  AdvanceTask(completion.task, task, now_);
+}
+
+Status MarketSimulator::Reprice(TaskId id, int new_price,
+                                double new_on_hold_rate) {
+  if (new_price < 1) {
+    return InvalidArgumentError("Reprice: price must be >= 1");
+  }
+  const auto it = open_tasks_.find(id);
+  if (it == open_tasks_.end()) {
+    if (completed_.count(id) > 0) {
+      return FailedPreconditionError("Reprice: task already completed");
+    }
+    return NotFoundError("Reprice: unknown task id");
+  }
+  OpenTask& task = it->second;
+  double rate = new_on_hold_rate;
+  if (task.effective_curve != nullptr) {
+    rate = task.effective_curve->Rate(static_cast<double>(new_price));
+  }
+  if (rate <= 0.0) {
+    return InvalidArgumentError(
+        "Reprice: need a positive on-hold rate (or a market true_curve)");
+  }
+  if (rate > config_.worker_arrival_rate) {
+    return FailedPreconditionError(
+        "Reprice: on-hold rate exceeds worker arrival rate");
+  }
+  // While on hold, the current slot (= repetitions.size()) takes the new
+  // terms; while processing, the accepted repetition keeps its promise and
+  // only later slots change.
+  const size_t first = task.outcome.repetitions.size();
+  for (size_t r = first; r < task.rep_prices.size(); ++r) {
+    task.rep_prices[r] = new_price;
+    task.rep_rates[r] = rate;
+  }
+  return OkStatus();
+}
+
+size_t MarketSimulator::RunUntil(double deadline) {
+  while (!open_tasks_.empty()) {
+    const bool has_completion = !completions_.empty();
+    const double completion_time =
+        has_completion ? completions_.top().time : 0.0;
+    if (has_completion && completion_time <= next_arrival_time_) {
+      if (completion_time > deadline) break;
+      const PendingCompletion head = completions_.top();
+      completions_.pop();
+      ApplyCompletion(head);
+    } else {
+      if (next_arrival_time_ > deadline) break;
+      StepWorkerArrival();
+    }
+  }
+  if (deadline > now_) {
+    now_ = deadline;
+  }
+  return open_tasks_.size();
+}
+
+Status MarketSimulator::RunToCompletion() {
+  if (open_tasks_.empty()) {
+    return FailedPreconditionError("RunToCompletion: no open tasks");
+  }
+  // Safety valve: with sane rates a job finishes long before this many
+  // events; hitting the cap means a posted rate is effectively zero.
+  constexpr uint64_t kMaxEvents = 200'000'000;
+  uint64_t events = 0;
+  while (!open_tasks_.empty()) {
+    if (++events > kMaxEvents) {
+      return InternalError("RunToCompletion: event horizon exceeded");
+    }
+    const bool has_completion = !completions_.empty();
+    if (has_completion && completions_.top().time <= next_arrival_time_) {
+      const PendingCompletion head = completions_.top();
+      completions_.pop();
+      ApplyCompletion(head);
+    } else {
+      StepWorkerArrival();
+    }
+  }
+  return OkStatus();
+}
+
+StatusOr<TaskOutcome> MarketSimulator::GetOutcome(TaskId id) const {
+  const auto done = completed_.find(id);
+  if (done != completed_.end()) {
+    return done->second;
+  }
+  if (open_tasks_.count(id) > 0) {
+    return FailedPreconditionError("GetOutcome: task not yet complete");
+  }
+  return NotFoundError("GetOutcome: unknown task id");
+}
+
+StatusOr<TaskOutcome> MarketSimulator::GetProgress(TaskId id) const {
+  const auto open = open_tasks_.find(id);
+  if (open != open_tasks_.end()) {
+    return open->second.outcome;
+  }
+  const auto done = completed_.find(id);
+  if (done != completed_.end()) {
+    return done->second;
+  }
+  return NotFoundError("GetProgress: unknown task id");
+}
+
+std::vector<TaskOutcome> MarketSimulator::CompletedOutcomes() const {
+  std::vector<TaskOutcome> outcomes;
+  outcomes.reserve(completion_order_.size());
+  for (TaskId id : completion_order_) {
+    outcomes.push_back(completed_.at(id));
+  }
+  return outcomes;
+}
+
+}  // namespace htune

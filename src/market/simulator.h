@@ -1,0 +1,217 @@
+#ifndef HTUNE_MARKET_SIMULATOR_H_
+#define HTUNE_MARKET_SIMULATOR_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/statusor.h"
+#include "market/events.h"
+#include "market/rate_schedule.h"
+#include "model/price_rate_curve.h"
+#include "rng/random.h"
+
+namespace htune {
+
+/// Global marketplace parameters (the AMT stand-in).
+struct MarketConfig {
+  /// Poisson rate at which workers enter the marketplace (workers per unit
+  /// time). Must exceed the on-hold rate of any posted task: a task's
+  /// acceptance process is the arrival process thinned by the worker's
+  /// price-dependent acceptance probability, so lambda_o <= arrival rate.
+  double worker_arrival_rate = 100.0;
+  /// Probability that a worker's answer is wrong (the HPU's "error-prone"
+  /// trait). Applied per repetition.
+  double worker_error_prob = 0.0;
+  /// When > 0, workers are heterogeneous: each arriving worker draws a
+  /// personal error probability from Beta(a, b) with mean
+  /// a / (a + b) = worker_error_prob and "concentration"
+  /// a + b = worker_error_concentration. 0 keeps the constant model.
+  double worker_error_concentration = 0.0;
+  /// Optional time-varying arrival intensity (daily/weekly workforce
+  /// cycles). When set, workers arrive as a nonhomogeneous Poisson process
+  /// with this intensity, while each worker's acceptance probability stays
+  /// on_hold_rate / worker_arrival_rate — so a task's instantaneous
+  /// acceptance rate scales with schedule(t) / worker_arrival_rate, and
+  /// worker_arrival_rate acts as the calibration reference the tuner's
+  /// rates were measured against.
+  std::shared_ptr<const RateSchedule> arrival_schedule;
+  /// Optional ground-truth price-to-rate mapping owned by the market. When
+  /// set, PostTask and Reprice derive every repetition's on-hold rate from
+  /// this curve and ignore caller-supplied rates — modeling the real
+  /// situation where the requester only controls the price and may hold a
+  /// stale estimate of the market's responsiveness.
+  std::shared_ptr<const PriceRateCurve> true_curve;
+  /// PRNG seed; two simulators with equal configs and posting sequences
+  /// produce identical traces.
+  uint64_t seed = 1;
+  /// If true, every event is appended to the trace (Fig 3 uses this); large
+  /// jobs may prefer to disable tracing.
+  bool record_trace = true;
+};
+
+/// One task to post: `repetitions` answers gathered sequentially (repetition
+/// j+1 is exposed to workers only after repetition j's answer returns, per
+/// §4.3), each paying `price_per_repetition`.
+struct TaskSpec {
+  /// Payment units promised per repetition; must be >= 1.
+  int price_per_repetition = 1;
+  /// Number of sequential answer repetitions; must be >= 1.
+  int repetitions = 1;
+  /// On-hold clock rate lambda_o for this task at this price. The caller
+  /// maps price to rate through a PriceRateCurve; the simulator takes the
+  /// rate so it stays decoupled from curve calibration.
+  double on_hold_rate = 1.0;
+  /// Optional per-repetition overrides. When non-empty, both must have
+  /// exactly `repetitions` entries and replace the scalar price/rate for
+  /// the corresponding repetition (used when an allocator pays repetitions
+  /// of one task differently, e.g. EA's remainder units).
+  std::vector<int> per_repetition_prices;
+  std::vector<double> per_repetition_rates;
+  /// Optional market-behaviour override for this task's type: when set (or
+  /// when the market has a global true_curve), every rate — including
+  /// Reprice — is derived from it and caller-supplied rates are ignored.
+  /// Lets simulations give different task types different real
+  /// price-responsiveness.
+  std::shared_ptr<const PriceRateCurve> true_curve;
+  /// Processing clock rate lambda_p (difficulty; price independent).
+  double processing_rate = 1.0;
+  /// Ground-truth option index for answer bookkeeping.
+  int true_answer = 0;
+  /// Number of answer options (>= 2 when errors are possible): a worker who
+  /// errs returns a uniformly random wrong option.
+  int num_options = 2;
+};
+
+/// Discrete-event simulator of a crowdsourcing marketplace implementing the
+/// paper's stochastic model end-to-end: Poisson worker arrivals (§3.1.1),
+/// price-thinned task acceptance (§3.1.2), exponential processing times
+/// (§3.2), and error-prone answers. The acceptance process of each open
+/// repetition is an independent thinning of the arrival stream, so its law
+/// is Exp(lambda_o) exactly as the model assumes — but realized worker by
+/// worker, which lets experiments observe arrival epochs (Fig 3) and
+/// non-asymptotic effects.
+class MarketSimulator {
+ public:
+  explicit MarketSimulator(const MarketConfig& config);
+
+  MarketSimulator(const MarketSimulator&) = delete;
+  MarketSimulator& operator=(const MarketSimulator&) = delete;
+
+  /// Posts a task at the current simulated time. Returns its id, or
+  /// InvalidArgument / FailedPrecondition on a bad spec (non-positive rates,
+  /// price < 1, on_hold_rate > worker_arrival_rate).
+  StatusOr<TaskId> PostTask(const TaskSpec& spec);
+
+  /// Changes the payment of the currently exposed and all future
+  /// repetitions of an open task (already-accepted repetitions keep their
+  /// original terms; if the current repetition is on hold, the new rate
+  /// applies immediately — well-defined by memorylessness). The new on-hold
+  /// rate comes from the market's true_curve when configured; otherwise
+  /// `new_on_hold_rate` must be supplied and positive. NotFound for unknown
+  /// ids, FailedPrecondition for completed tasks.
+  Status Reprice(TaskId id, int new_price, double new_on_hold_rate = 0.0);
+
+  /// Runs until every posted task has completed or simulated time exceeds
+  /// `deadline`. Returns the number of tasks still open at return.
+  size_t RunUntil(double deadline);
+
+  /// Runs until all posted tasks complete. Returns FailedPrecondition if no
+  /// tasks are open and Internal if the simulation exceeds an internal
+  /// safety horizon (which indicates an impossible acceptance rate).
+  Status RunToCompletion();
+
+  /// Current simulated time.
+  double now() const { return now_; }
+
+  /// Outcome of task `id`; NotFound if unknown, FailedPrecondition if still
+  /// incomplete.
+  StatusOr<TaskOutcome> GetOutcome(TaskId id) const;
+
+  /// Snapshot of task `id`'s progress, complete or not: the outcome so far,
+  /// with completed_time == 0 while the task is still open. NotFound if
+  /// unknown.
+  StatusOr<TaskOutcome> GetProgress(TaskId id) const;
+
+  /// Outcomes of all completed tasks, in completion order.
+  std::vector<TaskOutcome> CompletedOutcomes() const;
+
+  /// Number of workers who have arrived so far.
+  uint64_t workers_arrived() const { return next_worker_; }
+
+  /// Number of posted tasks not yet completed.
+  size_t OpenTaskCount() const { return open_tasks_.size(); }
+
+  /// The recorded event trace (empty when record_trace is false).
+  const std::vector<TraceEvent>& trace() const { return trace_; }
+
+  /// Total payment units spent on completed repetitions so far.
+  long TotalSpent() const { return total_spent_; }
+
+ private:
+  struct PendingCompletion {
+    double time;
+    uint64_t sequence;
+    TaskId task;
+    bool operator>(const PendingCompletion& other) const {
+      if (time != other.time) return time > other.time;
+      return sequence > other.sequence;
+    }
+  };
+
+  struct OpenTask {
+    TaskSpec spec;
+    /// Normalized per-repetition payments/rates (scalar spec expanded).
+    std::vector<int> rep_prices;
+    std::vector<double> rep_rates;
+    /// Effective market-behaviour curve (task override or market global);
+    /// null when the caller's explicit rates govern.
+    std::shared_ptr<const PriceRateCurve> effective_curve;
+    TaskOutcome outcome;
+    /// Index (0-based) of the repetition currently exposed to workers, ==
+    /// outcome.repetitions.size() while a repetition is on hold or being
+    /// processed.
+    int next_repetition = 0;
+    /// True while the current repetition awaits a worker (on-hold phase).
+    bool awaiting_acceptance = true;
+    /// Posted time of the currently exposed repetition.
+    double current_posted_time = 0.0;
+  };
+
+  void Record(const TraceEvent& event);
+  /// Samples the next worker arrival epoch after `after` (homogeneous, or
+  /// thinned against the schedule's max rate when one is configured).
+  double SampleArrivalAfter(double after);
+  /// Advances to the next worker arrival and lets that worker consider every
+  /// open repetition.
+  void StepWorkerArrival();
+  /// Decides an arriving worker's answer for `task` (error model applied).
+  void FillAnswer(const OpenTask& task, double worker_error,
+                  RepetitionOutcome& rep);
+  /// Applies the completion event at the head of the completion queue.
+  void ApplyCompletion(const PendingCompletion& completion);
+  /// Exposes the next repetition of `task` (or finalizes it) at time `t`.
+  void AdvanceTask(TaskId id, OpenTask& task, double t);
+
+  MarketConfig config_;
+  Random rng_;
+  double now_ = 0.0;
+  double next_arrival_time_;
+  uint64_t next_worker_ = 0;
+  TaskId next_task_ = 1;
+  uint64_t completion_sequence_ = 0;
+  long total_spent_ = 0;
+  std::map<TaskId, OpenTask> open_tasks_;
+  std::map<TaskId, TaskOutcome> completed_;
+  std::vector<TaskId> completion_order_;
+  std::priority_queue<PendingCompletion, std::vector<PendingCompletion>,
+                      std::greater<PendingCompletion>>
+      completions_;
+  std::vector<TraceEvent> trace_;
+};
+
+}  // namespace htune
+
+#endif  // HTUNE_MARKET_SIMULATOR_H_

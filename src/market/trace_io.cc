@@ -1,0 +1,99 @@
+#include "market/trace_io.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/strings.h"
+
+namespace htune {
+
+std::string TraceToCsv(const std::vector<TraceEvent>& trace) {
+  std::string csv = "time,kind,worker,task,repetition\n";
+  for (const TraceEvent& event : trace) {
+    csv += FormatDouble(event.time, 6);
+    csv += ',';
+    csv += TraceEventKindToString(event.kind);
+    csv += ',';
+    csv += std::to_string(event.worker);
+    csv += ',';
+    csv += std::to_string(event.task);
+    csv += ',';
+    csv += std::to_string(event.repetition);
+    csv += '\n';
+  }
+  return csv;
+}
+
+Status WriteTraceCsv(const std::vector<TraceEvent>& trace,
+                     const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return InternalError("WriteTraceCsv: cannot open " + path);
+  }
+  const std::string csv = TraceToCsv(trace);
+  const size_t written = std::fwrite(csv.data(), 1, csv.size(), file);
+  const int close_result = std::fclose(file);
+  if (written != csv.size() || close_result != 0) {
+    return InternalError("WriteTraceCsv: short write to " + path);
+  }
+  return OkStatus();
+}
+
+StatusOr<TraceSummary> SummarizeOutcomes(
+    const std::vector<TaskOutcome>& outcomes) {
+  if (outcomes.empty()) {
+    return InvalidArgumentError("SummarizeOutcomes: no outcomes");
+  }
+  TraceSummary summary;
+  summary.tasks = outcomes.size();
+  double on_hold_total = 0.0;
+  double processing_total = 0.0;
+  size_t wrong = 0;
+  for (const TaskOutcome& outcome : outcomes) {
+    if (outcome.completed_time <= outcome.posted_time &&
+        outcome.repetitions.empty()) {
+      return InvalidArgumentError(
+          "SummarizeOutcomes: incomplete task in input");
+    }
+    summary.max_task_latency =
+        std::max(summary.max_task_latency, outcome.Latency());
+    for (const RepetitionOutcome& rep : outcome.repetitions) {
+      ++summary.repetitions;
+      on_hold_total += rep.OnHoldLatency();
+      processing_total += rep.ProcessingLatency();
+      summary.total_paid += rep.price;
+      if (!rep.correct) ++wrong;
+    }
+  }
+  if (summary.repetitions == 0) {
+    return InvalidArgumentError("SummarizeOutcomes: no repetitions");
+  }
+  summary.mean_on_hold =
+      on_hold_total / static_cast<double>(summary.repetitions);
+  summary.mean_processing =
+      processing_total / static_cast<double>(summary.repetitions);
+  summary.error_rate =
+      static_cast<double>(wrong) / static_cast<double>(summary.repetitions);
+  return summary;
+}
+
+std::string SummaryToString(const TraceSummary& summary) {
+  std::string out;
+  out += std::to_string(summary.tasks);
+  out += " tasks / ";
+  out += std::to_string(summary.repetitions);
+  out += " repetitions; mean on-hold ";
+  out += FormatDouble(summary.mean_on_hold, 4);
+  out += ", mean processing ";
+  out += FormatDouble(summary.mean_processing, 4);
+  out += ", job latency ";
+  out += FormatDouble(summary.max_task_latency, 4);
+  out += ", error rate ";
+  out += FormatDouble(summary.error_rate * 100.0, 1);
+  out += "%, paid ";
+  out += std::to_string(summary.total_paid);
+  out += " units";
+  return out;
+}
+
+}  // namespace htune

@@ -1,0 +1,44 @@
+#ifndef HTUNE_MARKET_TRACE_IO_H_
+#define HTUNE_MARKET_TRACE_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "market/events.h"
+
+namespace htune {
+
+/// Renders a trace as CSV with header
+/// "time,kind,worker,task,repetition". Deterministic output for
+/// deterministic traces; intended for offline analysis of bench runs.
+std::string TraceToCsv(const std::vector<TraceEvent>& trace);
+
+/// Writes `TraceToCsv(trace)` to `path`. Returns an Internal error when the
+/// file cannot be written.
+Status WriteTraceCsv(const std::vector<TraceEvent>& trace,
+                     const std::string& path);
+
+/// Aggregate statistics computed from completed task outcomes.
+struct TraceSummary {
+  size_t tasks = 0;
+  size_t repetitions = 0;
+  double mean_on_hold = 0.0;
+  double mean_processing = 0.0;
+  double max_task_latency = 0.0;
+  /// Fraction of repetitions answered incorrectly.
+  double error_rate = 0.0;
+  long total_paid = 0;
+};
+
+/// Summarizes a set of completed outcomes; returns InvalidArgument when
+/// `outcomes` is empty or contains an incomplete task.
+StatusOr<TraceSummary> SummarizeOutcomes(
+    const std::vector<TaskOutcome>& outcomes);
+
+/// Human-readable one-paragraph rendering of a summary.
+std::string SummaryToString(const TraceSummary& summary);
+
+}  // namespace htune
+
+#endif  // HTUNE_MARKET_TRACE_IO_H_

@@ -1,0 +1,105 @@
+#include "model/distributions.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace htune {
+
+ExponentialDist::ExponentialDist(double lambda) : lambda_(lambda) {
+  HTUNE_CHECK_GT(lambda, 0.0);
+}
+
+double ExponentialDist::Pdf(double t) const {
+  if (t < 0.0) return 0.0;
+  return lambda_ * std::exp(-lambda_ * t);
+}
+
+double ExponentialDist::Cdf(double t) const {
+  if (t <= 0.0) return 0.0;
+  return -std::expm1(-lambda_ * t);
+}
+
+double ExponentialDist::Quantile(double q) const {
+  HTUNE_CHECK_GE(q, 0.0);
+  HTUNE_CHECK_LT(q, 1.0);
+  return -std::log1p(-q) / lambda_;
+}
+
+ErlangDist::ErlangDist(int k, double lambda) : k_(k), lambda_(lambda) {
+  HTUNE_CHECK_GE(k, 1);
+  HTUNE_CHECK_GT(lambda, 0.0);
+}
+
+double ErlangDist::Pdf(double t) const {
+  if (t < 0.0) return 0.0;
+  if (t == 0.0) return k_ == 1 ? lambda_ : 0.0;
+  // log pdf = k log(lambda) + (k-1) log(t) - lambda t - log((k-1)!)
+  double log_pdf = static_cast<double>(k_) * std::log(lambda_) +
+                   static_cast<double>(k_ - 1) * std::log(t) - lambda_ * t -
+                   std::lgamma(static_cast<double>(k_));
+  return std::exp(log_pdf);
+}
+
+double ErlangDist::Cdf(double t) const {
+  if (t <= 0.0) return 0.0;
+  // 1 - sum_{i=0}^{k-1} e^{-lt} (lt)^i / i!, accumulated in a stable forward
+  // recurrence term_{i+1} = term_i * (lt) / (i+1).
+  const double x = lambda_ * t;
+  double term = std::exp(-x);
+  double tail = term;
+  for (int i = 1; i < k_; ++i) {
+    term *= x / static_cast<double>(i);
+    tail += term;
+  }
+  // When x is large exp(-x) underflows and tail ~ 0, which is correct.
+  double cdf = 1.0 - tail;
+  if (cdf < 0.0) cdf = 0.0;
+  if (cdf > 1.0) cdf = 1.0;
+  return cdf;
+}
+
+TwoPhaseLatencyDist::TwoPhaseLatencyDist(double rate_o, double rate_p)
+    : rate_o_(rate_o), rate_p_(rate_p) {
+  HTUNE_CHECK_GT(rate_o, 0.0);
+  HTUNE_CHECK_GT(rate_p, 0.0);
+}
+
+namespace {
+
+// Relative rate gap under which the hypoexponential formulas lose precision
+// and the Erlang(2, .) limit is used instead.
+constexpr double kEqualRateTolerance = 1e-9;
+
+bool NearlyEqualRates(double a, double b) {
+  return std::abs(a - b) <= kEqualRateTolerance * std::max(a, b);
+}
+
+}  // namespace
+
+double TwoPhaseLatencyDist::Pdf(double t) const {
+  if (t < 0.0) return 0.0;
+  if (NearlyEqualRates(rate_o_, rate_p_)) {
+    const double lambda = 0.5 * (rate_o_ + rate_p_);
+    return lambda * lambda * t * std::exp(-lambda * t);
+  }
+  // f(t) = lo*lp/(lo - lp) * (e^{-lp t} - e^{-lo t})
+  const double lo = rate_o_, lp = rate_p_;
+  return lo * lp / (lo - lp) * (std::exp(-lp * t) - std::exp(-lo * t));
+}
+
+double TwoPhaseLatencyDist::Cdf(double t) const {
+  if (t <= 0.0) return 0.0;
+  if (NearlyEqualRates(rate_o_, rate_p_)) {
+    return ErlangDist(2, 0.5 * (rate_o_ + rate_p_)).Cdf(t);
+  }
+  // F(t) = 1 - (lo e^{-lp t} - lp e^{-lo t}) / (lo - lp)
+  const double lo = rate_o_, lp = rate_p_;
+  double cdf =
+      1.0 - (lo * std::exp(-lp * t) - lp * std::exp(-lo * t)) / (lo - lp);
+  if (cdf < 0.0) cdf = 0.0;
+  if (cdf > 1.0) cdf = 1.0;
+  return cdf;
+}
+
+}  // namespace htune

@@ -1,0 +1,83 @@
+#ifndef HTUNE_MODEL_DISTRIBUTIONS_H_
+#define HTUNE_MODEL_DISTRIBUTIONS_H_
+
+#include "rng/random.h"
+
+namespace htune {
+
+/// Exponential distribution with rate lambda: the paper's model for both the
+/// on-hold phase (rate set by price) and the processing phase (rate set by
+/// task difficulty), §3.2.
+class ExponentialDist {
+ public:
+  /// Requires lambda > 0.
+  explicit ExponentialDist(double lambda);
+
+  double Pdf(double t) const;
+  double Cdf(double t) const;
+  double Mean() const { return 1.0 / lambda_; }
+  double Variance() const { return 1.0 / (lambda_ * lambda_); }
+  /// Inverse CDF at `q` in [0, 1).
+  double Quantile(double q) const;
+  double Sample(Random& rng) const { return rng.Exponential(lambda_); }
+
+  double lambda() const { return lambda_; }
+
+ private:
+  double lambda_;
+};
+
+/// Erlang distribution Erl(k, lambda): sum of k iid Exponential(lambda).
+/// Lemma 3: the on-hold latency of a task requiring k sequential repetitions
+/// at equal per-repetition price is Erl(k, lambda_o).
+class ErlangDist {
+ public:
+  /// Requires k >= 1, lambda > 0.
+  ErlangDist(int k, double lambda);
+
+  double Pdf(double t) const;
+  double Cdf(double t) const;
+  double Mean() const { return static_cast<double>(k_) / lambda_; }
+  double Variance() const {
+    return static_cast<double>(k_) / (lambda_ * lambda_);
+  }
+  double Sample(Random& rng) const { return rng.Erlang(k_, lambda_); }
+
+  int k() const { return k_; }
+  double lambda() const { return lambda_; }
+
+ private:
+  int k_;
+  double lambda_;
+};
+
+/// The overall single-repetition latency L = Lo + Lp with Lo ~ Exp(rate_o)
+/// and Lp ~ Exp(rate_p) independent (§3.2): hypoexponential for distinct
+/// rates, Erlang(2, rate) when the rates coincide (handled via a numerically
+/// safe near-equal branch).
+class TwoPhaseLatencyDist {
+ public:
+  /// Requires rate_o > 0 and rate_p > 0.
+  TwoPhaseLatencyDist(double rate_o, double rate_p);
+
+  double Pdf(double t) const;
+  double Cdf(double t) const;
+  double Mean() const { return 1.0 / rate_o_ + 1.0 / rate_p_; }
+  double Variance() const {
+    return 1.0 / (rate_o_ * rate_o_) + 1.0 / (rate_p_ * rate_p_);
+  }
+  double Sample(Random& rng) const {
+    return rng.Exponential(rate_o_) + rng.Exponential(rate_p_);
+  }
+
+  double rate_o() const { return rate_o_; }
+  double rate_p() const { return rate_p_; }
+
+ private:
+  double rate_o_;
+  double rate_p_;
+};
+
+}  // namespace htune
+
+#endif  // HTUNE_MODEL_DISTRIBUTIONS_H_

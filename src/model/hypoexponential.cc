@@ -1,0 +1,106 @@
+#include "model/hypoexponential.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "model/distributions.h"
+
+namespace htune {
+
+HypoexponentialDist::HypoexponentialDist(std::vector<double> rates)
+    : rates_(std::move(rates)) {
+  HTUNE_CHECK(!rates_.empty());
+  for (double r : rates_) {
+    HTUNE_CHECK_GT(r, 0.0);
+    mean_ += 1.0 / r;
+    variance_ += 1.0 / (r * r);
+    uniform_rate_ = std::max(uniform_rate_, r);
+  }
+  jump_prob_.reserve(rates_.size());
+  for (double r : rates_) {
+    jump_prob_.push_back(r / uniform_rate_);
+  }
+}
+
+double HypoexponentialDist::Cdf(double t) const {
+  if (t <= 0.0) return 0.0;
+  const size_t k = rates_.size();
+
+  // Fast path: identical rates form an Erlang.
+  if (std::all_of(rates_.begin(), rates_.end(),
+                  [&](double r) { return r == rates_[0]; })) {
+    return ErlangDist(static_cast<int>(k), rates_[0]).Cdf(t);
+  }
+
+  // Uniformization: embed the pure-birth chain (phase i -> i+1 at rate
+  // rates_[i]) into a Poisson(uniform_rate_ * t) number of jumps, each
+  // advancing phase i with probability jump_prob_[i]. Then
+  //   P(T <= t) = sum_n  Poisson(n; Lt) * P(absorbed within n jumps).
+  const double lt = uniform_rate_ * t;
+
+  // phase_mass[i] = probability the chain sits in transient phase i after n
+  // jumps; absorbed = 1 - sum(phase_mass).
+  std::vector<double> phase_mass(k, 0.0);
+  phase_mass[0] = 1.0;
+  double absorbed = 0.0;
+
+  // Poisson weights are accumulated iteratively in linear space when
+  // exp(-lt) is representable, otherwise restarted from the mode in
+  // log space.
+  double cdf = 0.0;
+  double poisson_mass_used = 0.0;
+
+  const bool use_log_space = lt > 700.0;
+  const long n_max =
+      static_cast<long>(lt + 12.0 * std::sqrt(lt + 1.0) + 64.0);
+
+  double weight;
+  double log_lt = std::log(lt);
+  if (!use_log_space) {
+    weight = std::exp(-lt);
+  } else {
+    weight = 0.0;  // recomputed per step below
+  }
+
+  for (long n = 0; n <= n_max; ++n) {
+    double w;
+    if (!use_log_space) {
+      w = weight;
+      weight *= lt / static_cast<double>(n + 1);
+    } else {
+      const double log_w = static_cast<double>(n) * log_lt - lt -
+                           std::lgamma(static_cast<double>(n) + 1.0);
+      w = log_w < -745.0 ? 0.0 : std::exp(log_w);
+    }
+    cdf += w * absorbed;
+    poisson_mass_used += w;
+    // Everything past n contributes at most the remaining Poisson mass
+    // (absorbed <= 1), so stop once the mass is exhausted.
+    if (poisson_mass_used > 1.0 - 1e-13 && n > static_cast<long>(lt)) {
+      cdf += (1.0 - poisson_mass_used) * absorbed;
+      break;
+    }
+    // Advance the chain by one uniformized jump (in place, back to front).
+    absorbed += phase_mass[k - 1] * jump_prob_[k - 1];
+    for (size_t i = k - 1; i > 0; --i) {
+      phase_mass[i] = phase_mass[i] * (1.0 - jump_prob_[i]) +
+                      phase_mass[i - 1] * jump_prob_[i - 1];
+    }
+    phase_mass[0] *= 1.0 - jump_prob_[0];
+  }
+
+  if (cdf < 0.0) cdf = 0.0;
+  if (cdf > 1.0) cdf = 1.0;
+  return cdf;
+}
+
+double HypoexponentialDist::Sample(Random& rng) const {
+  double total = 0.0;
+  for (double r : rates_) {
+    total += rng.Exponential(r);
+  }
+  return total;
+}
+
+}  // namespace htune

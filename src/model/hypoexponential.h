@@ -1,0 +1,44 @@
+#ifndef HTUNE_MODEL_HYPOEXPONENTIAL_H_
+#define HTUNE_MODEL_HYPOEXPONENTIAL_H_
+
+#include <vector>
+
+#include "rng/random.h"
+
+namespace htune {
+
+/// Sum of independent exponentials with arbitrary (possibly repeated) rates:
+/// the general hypoexponential / phase-type law. This is the exact on-hold
+/// latency of a task whose sequential repetitions carry different payments
+/// (e.g. EA's remainder units give some repetitions one extra unit), and the
+/// exact total latency when processing phases are appended. The CDF is
+/// evaluated by uniformization of the underlying pure-birth Markov chain,
+/// which is numerically stable for repeated rates where the classical
+/// partial-fraction formula blows up.
+class HypoexponentialDist {
+ public:
+  /// Requires a non-empty rate list with every rate > 0.
+  explicit HypoexponentialDist(std::vector<double> rates);
+
+  double Cdf(double t) const;
+  /// Mean = sum of 1/rate_i.
+  double Mean() const { return mean_; }
+  /// Variance = sum of 1/rate_i^2 (phases are independent).
+  double Variance() const { return variance_; }
+  double Sample(Random& rng) const;
+
+  const std::vector<double>& rates() const { return rates_; }
+
+ private:
+  std::vector<double> rates_;
+  double mean_ = 0.0;
+  double variance_ = 0.0;
+  /// Uniformization constant: max rate.
+  double uniform_rate_ = 0.0;
+  /// Per-phase jump probability rate_i / uniform_rate_.
+  std::vector<double> jump_prob_;
+};
+
+}  // namespace htune
+
+#endif  // HTUNE_MODEL_HYPOEXPONENTIAL_H_

@@ -1,0 +1,60 @@
+#include "model/latency_model.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "model/order_statistics.h"
+#include "model/quadrature.h"
+
+namespace htune {
+
+double ExpectedGroupOnHoldLatency(const GroupShape& shape,
+                                  const PriceRateCurve& curve,
+                                  double per_repetition_price) {
+  const double rate = curve.Rate(per_repetition_price);
+  HTUNE_CHECK_GT(rate, 0.0);
+  return ExpectedGroupOnHoldLatencyAtRate(shape, rate);
+}
+
+double ExpectedGroupOnHoldLatencyAtRate(const GroupShape& shape,
+                                        double on_hold_rate) {
+  HTUNE_CHECK_GE(shape.num_tasks, 1);
+  HTUNE_CHECK_GE(shape.repetitions, 1);
+  HTUNE_CHECK_GT(on_hold_rate, 0.0);
+  return ExpectedMaxErlang(shape.num_tasks, shape.repetitions, on_hold_rate);
+}
+
+double ExpectedGroupProcessingLatency(const GroupShape& shape) {
+  HTUNE_CHECK_GE(shape.repetitions, 1);
+  HTUNE_CHECK_GT(shape.processing_rate, 0.0);
+  return static_cast<double>(shape.repetitions) / shape.processing_rate;
+}
+
+double SumOfErlangsCdf(int k1, double rate1, int k2, double rate2, double t) {
+  if (t <= 0.0) return 0.0;
+  const ErlangDist first(k1, rate1);
+  const ErlangDist second(k2, rate2);
+  // F_S(t) = integral_0^t f1(u) F2(t - u) du
+  const auto integrand = [&](double u) {
+    return first.Pdf(u) * second.Cdf(t - u);
+  };
+  double cdf = IntegrateAdaptiveSimpson(integrand, 0.0, t, 1e-10);
+  if (cdf < 0.0) cdf = 0.0;
+  if (cdf > 1.0) cdf = 1.0;
+  return cdf;
+}
+
+double ExpectedGroupTotalLatency(const GroupShape& shape,
+                                 double on_hold_rate) {
+  HTUNE_CHECK_GE(shape.num_tasks, 1);
+  HTUNE_CHECK_GT(on_hold_rate, 0.0);
+  const int k = shape.repetitions;
+  const double mean = static_cast<double>(k) / on_hold_rate +
+                      static_cast<double>(k) / shape.processing_rate;
+  const auto cdf = [&](double t) {
+    return SumOfErlangsCdf(k, on_hold_rate, k, shape.processing_rate, t);
+  };
+  return ExpectedMaxGeneric(cdf, shape.num_tasks, mean, 1e-7);
+}
+
+}  // namespace htune

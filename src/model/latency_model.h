@@ -1,0 +1,49 @@
+#ifndef HTUNE_MODEL_LATENCY_MODEL_H_
+#define HTUNE_MODEL_LATENCY_MODEL_H_
+
+#include "model/distributions.h"
+#include "model/price_rate_curve.h"
+
+namespace htune {
+
+/// A task group as the tuners see it: `num_tasks` identical atomic tasks run
+/// in parallel, each needing `repetitions` sequential answer repetitions,
+/// with a common difficulty (processing rate) and price-rate behaviour.
+struct GroupShape {
+  int num_tasks = 1;
+  int repetitions = 1;
+  /// Processing-phase clock rate lambda_p (difficulty; price independent).
+  double processing_rate = 1.0;
+};
+
+/// Expected phase-1 (on-hold) latency of a whole group when every repetition
+/// of every task is paid `per_repetition_price`: E[max over num_tasks of
+/// Erlang(repetitions, lambda_o(price))] (Lemma 3 + §4.3.1).
+double ExpectedGroupOnHoldLatency(const GroupShape& shape,
+                                  const PriceRateCurve& curve,
+                                  double per_repetition_price);
+
+/// Same, with an explicit on-hold rate instead of a curve+price.
+double ExpectedGroupOnHoldLatencyAtRate(const GroupShape& shape,
+                                        double on_hold_rate);
+
+/// Expected phase-2 (processing) latency of one task in the group:
+/// repetitions / processing_rate. Identical for every task in the group and
+/// unaffected by payment (§4.4).
+double ExpectedGroupProcessingLatency(const GroupShape& shape);
+
+/// Expected total latency of the whole group, E[max over tasks of
+/// (on-hold + processing)], where each task's latency is
+/// Erlang(k, lambda_o) + Erlang(k, lambda_p). The sum's CDF is evaluated by
+/// numerical convolution, so this is markedly more expensive than the
+/// phase-1 form; the tuners use the phase-wise decomposition and this
+/// function serves validation/ablation.
+double ExpectedGroupTotalLatency(const GroupShape& shape, double on_hold_rate);
+
+/// CDF of Erlang(k1, rate1) + Erlang(k2, rate2) at `t` by numerical
+/// convolution of the first pdf against the second CDF.
+double SumOfErlangsCdf(int k1, double rate1, int k2, double rate2, double t);
+
+}  // namespace htune
+
+#endif  // HTUNE_MODEL_LATENCY_MODEL_H_

@@ -1,0 +1,119 @@
+#include "model/order_statistics.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "model/quadrature.h"
+
+namespace htune {
+
+double HarmonicNumber(int n) {
+  HTUNE_CHECK_GE(n, 0);
+  double h = 0.0;
+  for (int i = 1; i <= n; ++i) {
+    h += 1.0 / static_cast<double>(i);
+  }
+  return h;
+}
+
+double ExpectedMaxExponential(int n, double lambda) {
+  HTUNE_CHECK_GE(n, 1);
+  HTUNE_CHECK_GT(lambda, 0.0);
+  return HarmonicNumber(n) / lambda;
+}
+
+double ExpectedMaxTwoExponentials(double lambda1, double lambda2) {
+  HTUNE_CHECK_GT(lambda1, 0.0);
+  HTUNE_CHECK_GT(lambda2, 0.0);
+  return 1.0 / lambda1 + 1.0 / lambda2 - 1.0 / (lambda1 + lambda2);
+}
+
+double ExpectedMinExponential(int n, double lambda) {
+  HTUNE_CHECK_GE(n, 1);
+  HTUNE_CHECK_GT(lambda, 0.0);
+  return 1.0 / (static_cast<double>(n) * lambda);
+}
+
+double ExpectedMaxGeneric(const std::function<double(double)>& cdf, int n,
+                          double mean_hint, double tolerance) {
+  HTUNE_CHECK_GE(n, 1);
+  HTUNE_CHECK_GT(mean_hint, 0.0);
+  const auto survival = [&cdf, n](double t) {
+    const double f = cdf(t);
+    if (f >= 1.0) return 0.0;
+    if (f <= 0.0) return 1.0;
+    // 1 - F^n computed via expm1 for accuracy when F is close to 1.
+    return -std::expm1(static_cast<double>(n) * std::log(f));
+  };
+  // The max of n draws concentrates below ~ mean * (1 + ln n) for the
+  // light-tailed laws used here; doubling search extends as needed.
+  const double initial_upper =
+      mean_hint * (2.0 + std::log(static_cast<double>(n) + 1.0));
+  return IntegrateDecayingTail(survival, initial_upper, tolerance / 10.0,
+                               tolerance);
+}
+
+double ExpectedMaxWithMultiplicity(const std::vector<WeightedCdf>& cdfs,
+                                   double mean_hint, double tolerance) {
+  HTUNE_CHECK(!cdfs.empty());
+  HTUNE_CHECK_GT(mean_hint, 0.0);
+  int total = 0;
+  for (const auto& wc : cdfs) {
+    HTUNE_CHECK_GE(wc.count, 1);
+    total += wc.count;
+  }
+  const auto survival = [&cdfs](double t) {
+    double log_product = 0.0;
+    for (const auto& wc : cdfs) {
+      const double f = wc.cdf(t);
+      if (f <= 0.0) return 1.0;
+      if (f < 1.0) {
+        log_product += static_cast<double>(wc.count) * std::log(f);
+      }
+    }
+    return -std::expm1(log_product);
+  };
+  const double initial_upper =
+      mean_hint * (2.0 + std::log(static_cast<double>(total) + 1.0));
+  return IntegrateDecayingTail(survival, initial_upper, tolerance / 10.0,
+                               tolerance);
+}
+
+double ExpectedMaxErlang(int n, int k, double lambda) {
+  HTUNE_CHECK_GE(n, 1);
+  HTUNE_CHECK_GE(k, 1);
+  HTUNE_CHECK_GT(lambda, 0.0);
+  if (k == 1) {
+    return ExpectedMaxExponential(n, lambda);
+  }
+  const ErlangDist dist(k, lambda);
+  return ExpectedMaxGeneric([&dist](double t) { return dist.Cdf(t); }, n,
+                            dist.Mean());
+}
+
+double ExpectedMaxTwoPhase(int n, const TwoPhaseLatencyDist& dist) {
+  HTUNE_CHECK_GE(n, 1);
+  return ExpectedMaxGeneric([&dist](double t) { return dist.Cdf(t); }, n,
+                            dist.Mean());
+}
+
+double ExpectedMaxIndependent(
+    const std::vector<std::function<double(double)>>& cdfs, double mean_hint,
+    double tolerance) {
+  HTUNE_CHECK(!cdfs.empty());
+  HTUNE_CHECK_GT(mean_hint, 0.0);
+  const auto survival = [&cdfs](double t) {
+    double product = 1.0;
+    for (const auto& cdf : cdfs) {
+      product *= cdf(t);
+      if (product <= 0.0) return 1.0;
+    }
+    return 1.0 - product;
+  };
+  const double initial_upper =
+      mean_hint * (2.0 + std::log(static_cast<double>(cdfs.size()) + 1.0));
+  return IntegrateDecayingTail(survival, initial_upper, tolerance / 10.0,
+                               tolerance);
+}
+
+}  // namespace htune

@@ -1,0 +1,62 @@
+#ifndef HTUNE_MODEL_ORDER_STATISTICS_H_
+#define HTUNE_MODEL_ORDER_STATISTICS_H_
+
+#include <functional>
+#include <vector>
+
+#include "model/distributions.h"
+
+namespace htune {
+
+/// n-th harmonic number H_n = 1 + 1/2 + ... + 1/n (H_0 = 0).
+double HarmonicNumber(int n);
+
+/// E[max of n iid Exp(lambda)] = H_n / lambda — the closed form the paper
+/// uses for single-round task groups (§4.3.1). Requires n >= 1, lambda > 0.
+double ExpectedMaxExponential(int n, double lambda);
+
+/// E[max{X1, X2}] for independent X1 ~ Exp(lambda1), X2 ~ Exp(lambda2):
+/// 1/lambda1 + 1/lambda2 - 1/(lambda1 + lambda2). Used by the motivation
+/// examples and the Lemma 1 proof.
+double ExpectedMaxTwoExponentials(double lambda1, double lambda2);
+
+/// E[min of n iid Exp(lambda)] = 1 / (n * lambda).
+double ExpectedMinExponential(int n, double lambda);
+
+/// E[max of n iid draws] for an arbitrary CDF via the tail-integral identity
+/// E[max] = integral_0^inf (1 - F(t)^n) dt, evaluated with adaptive
+/// quadrature. `mean_hint` scales the initial integration window (pass the
+/// single-draw mean). Requires n >= 1, mean_hint > 0.
+double ExpectedMaxGeneric(const std::function<double(double)>& cdf, int n,
+                          double mean_hint, double tolerance = 1e-9);
+
+/// E[max of n iid Erlang(k, lambda)] via ExpectedMaxGeneric; exact harmonic
+/// form for k == 1.
+double ExpectedMaxErlang(int n, int k, double lambda);
+
+/// E[max of n iid two-phase (hypoexponential) latencies].
+double ExpectedMaxTwoPhase(int n, const TwoPhaseLatencyDist& dist);
+
+/// E[max of independent, non-identically distributed draws]:
+/// integral_0^inf (1 - prod_i F_i(t)) dt. `mean_hint` should be the largest
+/// single-draw mean. Requires a non-empty cdf list.
+double ExpectedMaxIndependent(
+    const std::vector<std::function<double(double)>>& cdfs, double mean_hint,
+    double tolerance = 1e-9);
+
+/// A distribution repeated `count` times among independent draws whose max
+/// is wanted. Grouping identical CDFs lets the integrand raise each one to
+/// a power instead of multiplying per draw.
+struct WeightedCdf {
+  std::function<double(double)> cdf;
+  int count = 1;
+};
+
+/// E[max] over sum(count_i) independent draws, count_i of which follow
+/// cdf_i: integral_0^inf (1 - prod_i F_i(t)^{count_i}) dt.
+double ExpectedMaxWithMultiplicity(const std::vector<WeightedCdf>& cdfs,
+                                   double mean_hint, double tolerance = 1e-9);
+
+}  // namespace htune
+
+#endif  // HTUNE_MODEL_ORDER_STATISTICS_H_

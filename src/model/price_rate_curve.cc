@@ -1,0 +1,160 @@
+#include "model/price_rate_curve.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace htune {
+
+LinearCurve::LinearCurve(double slope, double intercept)
+    : slope_(slope), intercept_(intercept) {
+  HTUNE_CHECK_GE(slope, 0.0);
+  HTUNE_CHECK_GT(slope + intercept, 0.0);
+}
+
+double LinearCurve::Rate(double price) const {
+  return slope_ * price + intercept_;
+}
+
+std::string LinearCurve::Name() const {
+  return FormatDouble(slope_, 1) + "p+" + FormatDouble(intercept_, 1);
+}
+
+std::unique_ptr<PriceRateCurve> LinearCurve::Clone() const {
+  return std::make_unique<LinearCurve>(*this);
+}
+
+QuadraticCurve::QuadraticCurve(double coefficient, double intercept)
+    : coefficient_(coefficient), intercept_(intercept) {
+  HTUNE_CHECK_GE(coefficient, 0.0);
+  HTUNE_CHECK_GT(coefficient + intercept, 0.0);
+}
+
+double QuadraticCurve::Rate(double price) const {
+  return intercept_ + coefficient_ * price * price;
+}
+
+std::string QuadraticCurve::Name() const {
+  return FormatDouble(intercept_, 1) + "+" + FormatDouble(coefficient_, 1) +
+         "p^2";
+}
+
+std::unique_ptr<PriceRateCurve> QuadraticCurve::Clone() const {
+  return std::make_unique<QuadraticCurve>(*this);
+}
+
+LogCurve::LogCurve(double scale) : scale_(scale) {
+  HTUNE_CHECK_GT(scale, 0.0);
+}
+
+double LogCurve::Rate(double price) const {
+  return scale_ * std::log1p(price);
+}
+
+std::string LogCurve::Name() const {
+  return FormatDouble(scale_, 1) + "*log(1+p)";
+}
+
+std::unique_ptr<PriceRateCurve> LogCurve::Clone() const {
+  return std::make_unique<LogCurve>(*this);
+}
+
+StatusOr<TableCurve> TableCurve::Create(
+    std::vector<std::pair<double, double>> points, std::string name) {
+  if (points.size() < 2) {
+    return InvalidArgumentError("TableCurve: need at least two points");
+  }
+  std::sort(points.begin(), points.end());
+  for (size_t i = 0; i < points.size(); ++i) {
+    if (points[i].second <= 0.0) {
+      return InvalidArgumentError("TableCurve: rates must be positive");
+    }
+    if (i > 0) {
+      if (points[i].first == points[i - 1].first) {
+        return InvalidArgumentError("TableCurve: duplicate price point");
+      }
+      if (points[i].second < points[i - 1].second) {
+        return InvalidArgumentError(
+            "TableCurve: rates must be non-decreasing in price");
+      }
+    }
+  }
+  return TableCurve(std::move(points), std::move(name));
+}
+
+double TableCurve::Rate(double price) const {
+  if (price <= points_.front().first) {
+    return points_.front().second;
+  }
+  // Find the segment containing `price`, or extrapolate the last segment.
+  size_t hi = points_.size() - 1;
+  if (price < points_[hi].first) {
+    const auto it = std::lower_bound(
+        points_.begin(), points_.end(), price,
+        [](const std::pair<double, double>& pt, double p) {
+          return pt.first < p;
+        });
+    hi = static_cast<size_t>(it - points_.begin());
+  }
+  const auto& [x0, y0] = points_[hi - 1];
+  const auto& [x1, y1] = points_[hi];
+  const double slope = (y1 - y0) / (x1 - x0);
+  const double value = y0 + slope * (price - x0);
+  // Linear extrapolation past the last point could in principle dip only if
+  // slope were negative, which Create() forbids; rates stay positive.
+  return value;
+}
+
+std::string TableCurve::Name() const { return name_; }
+
+std::unique_ptr<PriceRateCurve> TableCurve::Clone() const {
+  return std::unique_ptr<PriceRateCurve>(new TableCurve(*this));
+}
+
+SigmoidCurve::SigmoidCurve(double max_rate, double midpoint, double width)
+    : max_rate_(max_rate), midpoint_(midpoint), width_(width) {
+  HTUNE_CHECK_GT(max_rate, 0.0);
+  HTUNE_CHECK_GT(width, 0.0);
+}
+
+double SigmoidCurve::Rate(double price) const {
+  return max_rate_ / (1.0 + std::exp(-(price - midpoint_) / width_));
+}
+
+std::string SigmoidCurve::Name() const {
+  return "sigmoid(" + FormatDouble(max_rate_, 1) + "," +
+         FormatDouble(midpoint_, 1) + "," + FormatDouble(width_, 1) + ")";
+}
+
+std::unique_ptr<PriceRateCurve> SigmoidCurve::Clone() const {
+  return std::make_unique<SigmoidCurve>(*this);
+}
+
+FunctionCurve::FunctionCurve(std::function<double(double)> fn,
+                             std::string name)
+    : fn_(std::move(fn)), name_(std::move(name)) {
+  HTUNE_CHECK(fn_ != nullptr);
+}
+
+double FunctionCurve::Rate(double price) const { return fn_(price); }
+
+std::string FunctionCurve::Name() const { return name_; }
+
+std::unique_ptr<PriceRateCurve> FunctionCurve::Clone() const {
+  return std::make_unique<FunctionCurve>(*this);
+}
+
+std::vector<std::unique_ptr<PriceRateCurve>> PaperSyntheticCurves() {
+  std::vector<std::unique_ptr<PriceRateCurve>> curves;
+  curves.push_back(std::make_unique<LinearCurve>(1.0, 1.0));     // (a) 1+p
+  curves.push_back(std::make_unique<LinearCurve>(10.0, 1.0));    // (b) 10p+1
+  curves.push_back(std::make_unique<LinearCurve>(0.1, 10.0));    // (c) 0.1p+10
+  curves.push_back(std::make_unique<LinearCurve>(3.0, 3.0));     // (d) 3p+3
+  curves.push_back(std::make_unique<QuadraticCurve>(1.0, 1.0));  // (e) 1+p^2
+  curves.push_back(std::make_unique<LogCurve>(1.0));             // (f) log(1+p)
+  return curves;
+}
+
+}  // namespace htune

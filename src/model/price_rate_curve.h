@@ -1,0 +1,146 @@
+#ifndef HTUNE_MODEL_PRICE_RATE_CURVE_H_
+#define HTUNE_MODEL_PRICE_RATE_CURVE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/statusor.h"
+
+namespace htune {
+
+/// Maps a task's promised payment (in discrete units; $0.01 on AMT) to the
+/// on-hold clock rate lambda_o of the HPU — the rate of the thinned Poisson
+/// acceptance process (§3.1.2). Implementations must be monotonically
+/// non-decreasing in price and strictly positive for price >= 1; callers
+/// (the tuning algorithms) rely on both properties.
+class PriceRateCurve {
+ public:
+  virtual ~PriceRateCurve() = default;
+
+  /// On-hold rate at `price` (>= 1 payment unit).
+  virtual double Rate(double price) const = 0;
+
+  /// Short identifier used in reports, e.g. "1+p" or "10p+1".
+  virtual std::string Name() const = 0;
+
+  /// Deep copy.
+  virtual std::unique_ptr<PriceRateCurve> Clone() const = 0;
+};
+
+/// lambda_o(p) = slope * p + intercept — the paper's Linearity Hypothesis
+/// (Hypothesis 1, §3.3.2). Requires slope >= 0, and slope + intercept > 0 so
+/// the rate is positive from price 1 upward.
+class LinearCurve : public PriceRateCurve {
+ public:
+  LinearCurve(double slope, double intercept);
+
+  double Rate(double price) const override;
+  std::string Name() const override;
+  std::unique_ptr<PriceRateCurve> Clone() const override;
+
+  double slope() const { return slope_; }
+  double intercept() const { return intercept_; }
+
+ private:
+  double slope_;
+  double intercept_;
+};
+
+/// lambda_o(p) = intercept + coefficient * p^2 — the paper's first nonlinear
+/// robustness case (lambda = 1 + p^2).
+class QuadraticCurve : public PriceRateCurve {
+ public:
+  QuadraticCurve(double coefficient, double intercept);
+
+  double Rate(double price) const override;
+  std::string Name() const override;
+  std::unique_ptr<PriceRateCurve> Clone() const override;
+
+ private:
+  double coefficient_;
+  double intercept_;
+};
+
+/// lambda_o(p) = scale * log(1 + p) — the paper's second nonlinear case.
+class LogCurve : public PriceRateCurve {
+ public:
+  explicit LogCurve(double scale);
+
+  double Rate(double price) const override;
+  std::string Name() const override;
+  std::unique_ptr<PriceRateCurve> Clone() const override;
+
+ private:
+  double scale_;
+};
+
+/// Piecewise-linear interpolation through measured (price, rate) points, with
+/// constant extrapolation below the first and linear extrapolation of the
+/// last segment above the final point. Reproduces Table 1, where only a few
+/// discrete price points are known.
+class TableCurve : public PriceRateCurve {
+ public:
+  /// Builds from (price, rate) points. Returns InvalidArgument unless there
+  /// are >= 2 points, prices are strictly increasing after sorting, and
+  /// rates are positive and non-decreasing.
+  static StatusOr<TableCurve> Create(
+      std::vector<std::pair<double, double>> points, std::string name);
+
+  double Rate(double price) const override;
+  std::string Name() const override;
+  std::unique_ptr<PriceRateCurve> Clone() const override;
+
+ private:
+  TableCurve(std::vector<std::pair<double, double>> points, std::string name)
+      : points_(std::move(points)), name_(std::move(name)) {}
+
+  std::vector<std::pair<double, double>> points_;
+  std::string name_;
+};
+
+/// Saturating uptake: lambda_o(p) = max_rate / (1 + e^{-(p - midpoint)/width}).
+/// Models a finite worker pool — beyond the midpoint, extra payment buys
+/// less and less rate, and the rate never exceeds max_rate no matter the
+/// price. The paper's linear hypothesis is this curve's small-price regime.
+class SigmoidCurve : public PriceRateCurve {
+ public:
+  /// Requires max_rate > 0 and width > 0.
+  SigmoidCurve(double max_rate, double midpoint, double width);
+
+  double Rate(double price) const override;
+  std::string Name() const override;
+  std::unique_ptr<PriceRateCurve> Clone() const override;
+
+  double max_rate() const { return max_rate_; }
+
+ private:
+  double max_rate_;
+  double midpoint_;
+  double width_;
+};
+
+/// Wraps an arbitrary callable; for experiments with custom curves. The
+/// callable must satisfy the monotonicity/positivity contract.
+class FunctionCurve : public PriceRateCurve {
+ public:
+  FunctionCurve(std::function<double(double)> fn, std::string name);
+
+  double Rate(double price) const override;
+  std::string Name() const override;
+  std::unique_ptr<PriceRateCurve> Clone() const override;
+
+ private:
+  std::function<double(double)> fn_;
+  std::string name_;
+};
+
+/// The six curves of the paper's synthetic evaluation (§5.1.1), in figure
+/// order (a)-(f): 1+p, 10p+1, 0.1p+10, 3p+3, 1+p^2, log(1+p).
+std::vector<std::unique_ptr<PriceRateCurve>> PaperSyntheticCurves();
+
+}  // namespace htune
+
+#endif  // HTUNE_MODEL_PRICE_RATE_CURVE_H_

@@ -1,0 +1,67 @@
+#include "model/quadrature.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace htune {
+namespace {
+
+constexpr int kMaxDepth = 48;
+// Forced refinement before the error estimate may accept: protects against
+// narrow features invisible to the initial coarse sampling.
+constexpr int kMinDepth = 6;
+
+double SimpsonRule(double fa, double fm, double fb, double a, double b) {
+  return (b - a) / 6.0 * (fa + 4.0 * fm + fb);
+}
+
+double AdaptiveStep(const std::function<double(double)>& f, double a, double b,
+                    double fa, double fm, double fb, double whole,
+                    double tolerance, int depth) {
+  const double m = 0.5 * (a + b);
+  const double lm = 0.5 * (a + m);
+  const double rm = 0.5 * (m + b);
+  const double flm = f(lm);
+  const double frm = f(rm);
+  const double left = SimpsonRule(fa, flm, fm, a, m);
+  const double right = SimpsonRule(fm, frm, fb, m, b);
+  const double delta = left + right - whole;
+  if (depth >= kMaxDepth ||
+      (depth >= kMinDepth && std::abs(delta) <= 15.0 * tolerance)) {
+    return left + right + delta / 15.0;
+  }
+  return AdaptiveStep(f, a, m, fa, flm, fm, left, tolerance / 2.0, depth + 1) +
+         AdaptiveStep(f, m, b, fm, frm, fb, right, tolerance / 2.0, depth + 1);
+}
+
+}  // namespace
+
+double IntegrateAdaptiveSimpson(const std::function<double(double)>& f,
+                                double a, double b, double tolerance) {
+  HTUNE_CHECK_LE(a, b);
+  HTUNE_CHECK_GT(tolerance, 0.0);
+  if (a == b) return 0.0;
+  const double m = 0.5 * (a + b);
+  const double fa = f(a);
+  const double fm = f(m);
+  const double fb = f(b);
+  const double whole = SimpsonRule(fa, fm, fb, a, b);
+  return AdaptiveStep(f, a, b, fa, fm, fb, whole, tolerance, 0);
+}
+
+double IntegrateDecayingTail(const std::function<double(double)>& f,
+                             double initial_upper, double tail_epsilon,
+                             double tolerance) {
+  HTUNE_CHECK_GT(initial_upper, 0.0);
+  HTUNE_CHECK_GT(tail_epsilon, 0.0);
+  double upper = initial_upper;
+  // Doubling search for a cut where the integrand is negligible. 64 doublings
+  // is far beyond any latency scale appearing in the model.
+  for (int i = 0; i < 64 && f(upper) >= tail_epsilon; ++i) {
+    upper *= 2.0;
+  }
+  return IntegrateAdaptiveSimpson(f, 0.0, upper, tolerance);
+}
+
+}  // namespace htune

@@ -1,0 +1,24 @@
+#ifndef HTUNE_MODEL_QUADRATURE_H_
+#define HTUNE_MODEL_QUADRATURE_H_
+
+#include <functional>
+
+namespace htune {
+
+/// Adaptive Simpson integration of `f` over [a, b] to absolute tolerance
+/// `tolerance`. Deterministic, recursion-depth bounded; for the smooth
+/// survival-function integrands used in this library the bound is never hit.
+double IntegrateAdaptiveSimpson(const std::function<double(double)>& f,
+                                double a, double b, double tolerance);
+
+/// Integrates a non-negative decreasing tail function `f` over [0, inf):
+/// finds an upper cut T where f(T) < `tail_epsilon` by doubling from
+/// `initial_upper`, then integrates [0, T] adaptively. Used for
+/// E[max] = integral of survival functions.
+double IntegrateDecayingTail(const std::function<double(double)>& f,
+                             double initial_upper, double tail_epsilon,
+                             double tolerance);
+
+}  // namespace htune
+
+#endif  // HTUNE_MODEL_QUADRATURE_H_

@@ -1,0 +1,105 @@
+#include "model/quality.h"
+
+#include <cmath>
+#include <vector>
+
+namespace htune {
+namespace {
+
+// log of the binomial coefficient C(n, k) via lgamma for stability at
+// large n.
+double LogBinomial(int n, int k) {
+  return std::lgamma(n + 1.0) - std::lgamma(k + 1.0) -
+         std::lgamma(n - k + 1.0);
+}
+
+}  // namespace
+
+StatusOr<double> MajorityCorrectProbability(double error_prob, int repetitions,
+                                            TieBreak tie_break) {
+  if (error_prob < 0.0 || error_prob > 1.0) {
+    return InvalidArgumentError(
+        "MajorityCorrectProbability: error_prob outside [0, 1]");
+  }
+  if (repetitions < 1) {
+    return InvalidArgumentError(
+        "MajorityCorrectProbability: repetitions must be >= 1");
+  }
+  if (error_prob == 0.0) return 1.0;
+  if (error_prob == 1.0) return 0.0;
+
+  const double log_p = std::log(1.0 - error_prob);  // correct answer
+  const double log_q = std::log(error_prob);        // wrong answer
+  double correct = 0.0;
+  double tie = 0.0;
+  for (int k = 0; k <= repetitions; ++k) {
+    // k correct answers out of `repetitions`.
+    const double log_mass =
+        LogBinomial(repetitions, k) + k * log_p + (repetitions - k) * log_q;
+    const double mass = std::exp(log_mass);
+    if (2 * k > repetitions) {
+      correct += mass;
+    } else if (2 * k == repetitions) {
+      tie += mass;
+    }
+  }
+  switch (tie_break) {
+    case TieBreak::kPessimistic:
+      return correct;
+    case TieBreak::kOptimistic:
+      return correct + tie;
+    case TieBreak::kCoinFlip:
+      return correct + 0.5 * tie;
+  }
+  return InternalError("MajorityCorrectProbability: unknown tie break");
+}
+
+StatusOr<int> MinRepetitionsForTarget(double error_prob, double target_prob,
+                                      int max_repetitions) {
+  if (target_prob <= 0.0 || target_prob >= 1.0) {
+    return InvalidArgumentError(
+        "MinRepetitionsForTarget: target_prob outside (0, 1)");
+  }
+  if (max_repetitions < 1) {
+    return InvalidArgumentError(
+        "MinRepetitionsForTarget: max_repetitions must be >= 1");
+  }
+  if (error_prob < 0.0 || error_prob > 1.0) {
+    return InvalidArgumentError(
+        "MinRepetitionsForTarget: error_prob outside [0, 1]");
+  }
+  for (int r = 1; r <= max_repetitions; r += 2) {
+    HTUNE_ASSIGN_OR_RETURN(const double p,
+                           MajorityCorrectProbability(error_prob, r));
+    if (p >= target_prob) {
+      return r;
+    }
+  }
+  return ResourceExhaustedError(
+      "MinRepetitionsForTarget: target unreachable within max_repetitions "
+      "(note: repetition cannot help when error_prob >= 0.5)");
+}
+
+StatusOr<std::vector<QualityPoint>> QualityCurve(double error_prob,
+                                                 int max_repetitions) {
+  if (error_prob < 0.0 || error_prob >= 0.5) {
+    return InvalidArgumentError("QualityCurve: error_prob outside [0, 0.5)");
+  }
+  if (max_repetitions < 1) {
+    return InvalidArgumentError("QualityCurve: max_repetitions must be >= 1");
+  }
+  std::vector<QualityPoint> curve;
+  for (int r = 1; r <= max_repetitions; r += 2) {
+    HTUNE_ASSIGN_OR_RETURN(const double p,
+                           MajorityCorrectProbability(error_prob, r));
+    QualityPoint point;
+    point.repetitions = r;
+    point.correct_prob = p;
+    point.latency_factor = static_cast<double>(r);
+    point.cost_factor = static_cast<double>(r);
+    curve.push_back(point);
+  }
+  return curve;
+}
+
+}  // namespace htune

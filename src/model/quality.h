@@ -1,0 +1,58 @@
+#ifndef HTUNE_MODEL_QUALITY_H_
+#define HTUNE_MODEL_QUALITY_H_
+
+#include <vector>
+
+#include "common/statusor.h"
+
+namespace htune {
+
+/// How a tied majority vote is scored when computing the probability that
+/// aggregation recovers the true answer (even repetition counts can tie).
+enum class TieBreak {
+  /// Ties count as wrong: a lower bound on aggregation quality.
+  kPessimistic,
+  /// Ties count as right: an upper bound.
+  kOptimistic,
+  /// Ties are decided by a fair coin.
+  kCoinFlip,
+};
+
+/// Probability that majority voting over `repetitions` independent binary
+/// answers recovers the truth, when each answer is wrong independently with
+/// probability `error_prob` (the HPU's error trait, §1). Exact binomial
+/// sum. Requires error_prob in [0, 1] and repetitions >= 1.
+StatusOr<double> MajorityCorrectProbability(double error_prob, int repetitions,
+                                            TieBreak tie_break =
+                                                TieBreak::kCoinFlip);
+
+/// Smallest odd repetition count whose majority-vote correctness reaches
+/// `target_prob`, searching up to `max_repetitions`. Odd counts avoid ties
+/// entirely. Returns ResourceExhausted if no count within the limit
+/// suffices (e.g. error_prob >= 0.5, where repetition cannot help), and
+/// InvalidArgument for out-of-range parameters.
+StatusOr<int> MinRepetitionsForTarget(double error_prob, double target_prob,
+                                      int max_repetitions = 99);
+
+/// The quality/latency/cost contour of one aggregation design point.
+struct QualityPoint {
+  int repetitions = 1;
+  /// Majority-vote correctness probability.
+  double correct_prob = 0.0;
+  /// Expected sequential latency multiplier relative to one repetition
+  /// (repetitions, since phases are iid across repetitions).
+  double latency_factor = 1.0;
+  /// Cost multiplier relative to one repetition at equal price.
+  double cost_factor = 1.0;
+};
+
+/// Tabulates the quality curve for odd repetition counts 1, 3, ...,
+/// `max_repetitions`: how much latency and cost each extra repetition buys
+/// in answer correctness. Requires error_prob in [0, 0.5) so the curve is
+/// increasing. Used by the quality-tradeoff bench.
+StatusOr<std::vector<QualityPoint>> QualityCurve(double error_prob,
+                                                 int max_repetitions);
+
+}  // namespace htune
+
+#endif  // HTUNE_MODEL_QUALITY_H_

@@ -1,0 +1,49 @@
+#include "probe/calibration.h"
+
+namespace htune {
+
+StatusOr<std::unique_ptr<PriceRateCurve>> Calibration::ToCurve() const {
+  if (fit.slope < 0.0) {
+    return FailedPreconditionError(
+        "Calibration: fitted slope is negative; rate must not fall with "
+        "price");
+  }
+  if (fit.slope + fit.intercept <= 0.0) {
+    return FailedPreconditionError(
+        "Calibration: fitted rate non-positive at price 1");
+  }
+  return std::unique_ptr<PriceRateCurve>(
+      std::make_unique<LinearCurve>(fit.slope, fit.intercept));
+}
+
+StatusOr<Calibration> CalibrateLinearCurve(
+    const std::vector<std::pair<double, double>>& price_rate_points) {
+  std::vector<double> prices, rates;
+  prices.reserve(price_rate_points.size());
+  rates.reserve(price_rate_points.size());
+  for (const auto& [price, rate] : price_rate_points) {
+    prices.push_back(price);
+    rates.push_back(rate);
+  }
+  HTUNE_ASSIGN_OR_RETURN(const LinearFit fit, FitLinear(prices, rates));
+  Calibration calibration;
+  calibration.fit = fit;
+  calibration.measured = price_rate_points;
+  return calibration;
+}
+
+std::vector<std::pair<double, double>> PaperAmtMeasuredPoints() {
+  // Rewards in cents; rates in s^-1 (§5.2.2).
+  return {{5.0, 0.0038}, {8.0, 0.0062}, {10.0, 0.0121}, {12.0, 0.0131}};
+}
+
+std::vector<std::pair<double, double>> PaperTable1SortVotePoints() {
+  // (reward $, processing-rate column "sorting vote") from Table 1.
+  return {{1.5, 1.5}, {2.0, 2.0}, {3.0, 3.0}};
+}
+
+std::vector<std::pair<double, double>> PaperTable1YesNoVotePoints() {
+  return {{1.5, 2.0}, {2.0, 3.0}, {3.0, 5.0}};
+}
+
+}  // namespace htune

@@ -1,0 +1,50 @@
+#ifndef HTUNE_PROBE_CALIBRATION_H_
+#define HTUNE_PROBE_CALIBRATION_H_
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/statusor.h"
+#include "model/price_rate_curve.h"
+#include "stats/regression.h"
+
+namespace htune {
+
+/// A calibrated price-rate relationship: the fitted line plus the measured
+/// points it came from.
+struct Calibration {
+  LinearFit fit;
+  std::vector<std::pair<double, double>> measured;
+
+  /// Whether the Linearity Hypothesis (Hypothesis 1) is empirically
+  /// supported at the given coefficient-of-determination threshold.
+  bool SupportsLinearity(double r_squared_threshold = 0.9) const {
+    return fit.r_squared >= r_squared_threshold;
+  }
+
+  /// The fitted LinearCurve. Returns FailedPrecondition when the fit has a
+  /// non-positive slope or produces a non-positive rate at price 1, which
+  /// violates the curve contract.
+  StatusOr<std::unique_ptr<PriceRateCurve>> ToCurve() const;
+};
+
+/// Least-squares calibration of lambda_o(c) = k*c + b from measured
+/// (price, rate) pairs (>= 2 distinct prices required).
+StatusOr<Calibration> CalibrateLinearCurve(
+    const std::vector<std::pair<double, double>>& price_rate_points);
+
+/// The paper's AMT measurements behind Fig 4: rewards $0.05, $0.08, $0.10,
+/// $0.12 (in cents: 5, 8, 10, 12) against inferred on-hold rates
+/// 0.0038, 0.0062, 0.0121, 0.0131 s^-1 (§5.2.2). These calibrate the
+/// simulated MTurk market used by the bench harness.
+std::vector<std::pair<double, double>> PaperAmtMeasuredPoints();
+
+/// Table 1's measured processing rates for the motivation example: the
+/// sorting-vote and yes/no-vote columns at rewards 1.5, 2 and 3.
+std::vector<std::pair<double, double>> PaperTable1SortVotePoints();
+std::vector<std::pair<double, double>> PaperTable1YesNoVotePoints();
+
+}  // namespace htune
+
+#endif  // HTUNE_PROBE_CALIBRATION_H_

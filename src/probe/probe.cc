@@ -1,0 +1,129 @@
+#include "probe/probe.h"
+
+#include <cmath>
+
+namespace htune {
+namespace {
+
+TaskSpec ProbeTaskSpec(const ProbeSpec& spec, int repetitions) {
+  TaskSpec task;
+  task.price_per_repetition = spec.price;
+  task.repetitions = repetitions;
+  task.on_hold_rate = spec.on_hold_rate;
+  task.processing_rate = spec.processing_rate;
+  task.true_answer = 0;
+  task.num_options = 2;
+  return task;
+}
+
+}  // namespace
+
+StatusOr<ProbeReport> RunFixedPeriodProbe(MarketSimulator& market,
+                                          const ProbeSpec& spec,
+                                          double period) {
+  if (period <= 0.0) {
+    return InvalidArgumentError("RunFixedPeriodProbe: period must be > 0");
+  }
+  // Post one probe task whose sequential acceptances form the observed
+  // Poisson stream. Size the repetition count so the probe cannot exhaust
+  // its repetitions within the window.
+  const int repetitions =
+      static_cast<int>(std::ceil(spec.on_hold_rate * period * 4.0)) + 64;
+  HTUNE_ASSIGN_OR_RETURN(const TaskId id,
+                         market.PostTask(ProbeTaskSpec(spec, repetitions)));
+  const double start = market.now();
+  market.RunUntil(start + period);
+
+  HTUNE_ASSIGN_OR_RETURN(const TaskOutcome progress, market.GetProgress(id));
+  int events = 0;
+  for (const RepetitionOutcome& rep : progress.repetitions) {
+    if (rep.accepted_time <= start + period) {
+      ++events;
+    }
+  }
+  ProbeReport report;
+  report.events = events;
+  report.period = period;
+  report.lambda_hat = static_cast<double>(events) / period;
+  // The fixed-period MLE is unbiased (Rao-Blackwell, Appendix A).
+  report.lambda_corrected = report.lambda_hat;
+  return report;
+}
+
+StatusOr<ProbeReport> RunRandomPeriodProbe(MarketSimulator& market,
+                                           const ProbeSpec& spec,
+                                           int target_events) {
+  if (target_events < 2) {
+    return InvalidArgumentError(
+        "RunRandomPeriodProbe: need at least two events");
+  }
+  HTUNE_ASSIGN_OR_RETURN(const TaskId id,
+                         market.PostTask(ProbeTaskSpec(spec, target_events)));
+  const double start = market.now();
+  HTUNE_RETURN_IF_ERROR(market.RunToCompletion());
+
+  HTUNE_ASSIGN_OR_RETURN(const TaskOutcome outcome, market.GetOutcome(id));
+  const double period = outcome.repetitions.back().accepted_time - start;
+  ProbeReport report;
+  report.events = target_events;
+  report.period = period;
+  report.lambda_hat = static_cast<double>(target_events) / period;
+  report.lambda_corrected = report.lambda_hat *
+                            static_cast<double>(target_events - 1) /
+                            static_cast<double>(target_events);
+  return report;
+}
+
+namespace {
+
+StatusOr<double> RateFromLatencies(const std::vector<TaskOutcome>& outcomes,
+                                   bool processing_phase) {
+  double total_time = 0.0;
+  long events = 0;
+  for (const TaskOutcome& outcome : outcomes) {
+    for (const RepetitionOutcome& rep : outcome.repetitions) {
+      total_time +=
+          processing_phase ? rep.ProcessingLatency() : rep.OnHoldLatency();
+      ++events;
+    }
+  }
+  if (events == 0) {
+    return InvalidArgumentError("rate estimation: no completed repetitions");
+  }
+  if (total_time <= 0.0) {
+    return InvalidArgumentError("rate estimation: zero total latency");
+  }
+  return static_cast<double>(events) / total_time;
+}
+
+}  // namespace
+
+StatusOr<double> EstimateProcessingRate(
+    const std::vector<TaskOutcome>& outcomes) {
+  return RateFromLatencies(outcomes, /*processing_phase=*/true);
+}
+
+StatusOr<double> EstimateOnHoldRate(const std::vector<TaskOutcome>& outcomes) {
+  return RateFromLatencies(outcomes, /*processing_phase=*/false);
+}
+
+StatusOr<TwoPhaseDecomposition> DecomposeOverallRate(double overall_rate,
+                                                     double on_hold_rate) {
+  if (overall_rate <= 0.0 || on_hold_rate <= 0.0) {
+    return InvalidArgumentError("DecomposeOverallRate: rates must be > 0");
+  }
+  if (overall_rate >= on_hold_rate) {
+    return InvalidArgumentError(
+        "DecomposeOverallRate: overall rate must be below the on-hold rate "
+        "(the two-phase latency is slower than either phase)");
+  }
+  TwoPhaseDecomposition result;
+  result.overall_rate = overall_rate;
+  // 1/lambda = 1/lambda_o + 1/lambda_p  =>  lambda_p.
+  result.processing_rate_harmonic =
+      1.0 / (1.0 / overall_rate - 1.0 / on_hold_rate);
+  result.processing_rate_subtraction = on_hold_rate - overall_rate;
+  return result;
+}
+
+}  // namespace htune

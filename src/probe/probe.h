@@ -1,0 +1,89 @@
+#ifndef HTUNE_PROBE_PROBE_H_
+#define HTUNE_PROBE_PROBE_H_
+
+#include <vector>
+
+#include "common/statusor.h"
+#include "market/simulator.h"
+
+namespace htune {
+
+/// Result of one rate-inference run (§3.3.1, Appendix A).
+struct ProbeReport {
+  /// Maximum-likelihood estimate lambda_hat = N / T0.
+  double lambda_hat = 0.0;
+  /// Bias-corrected estimate (N-1)/N * lambda_hat for the random-period
+  /// design; equals lambda_hat for the fixed-period design, whose MLE is
+  /// already unbiased. (The paper's appendix prints the correction factor
+  /// as "((N-1)N)", an evident typo for (N-1)/N.)
+  double lambda_corrected = 0.0;
+  /// Number of acceptance events observed.
+  int events = 0;
+  /// Observation window length T0.
+  double period = 0.0;
+};
+
+/// Parameters of a probe run: a throwaway task published at a fixed price
+/// whose workers are asked to submit immediately, so processing latency is
+/// negligible and each completion epoch is an acceptance epoch.
+struct ProbeSpec {
+  /// Promised payment per repetition.
+  int price = 1;
+  /// The on-hold rate the market will exhibit for this (type, price). In a
+  /// calibration loop this is what the curve being fitted produces.
+  double on_hold_rate = 1.0;
+  /// The probe's processing rate; very large so the processing phase is
+  /// negligible, as the paper's probe instructs workers to submit instantly.
+  double processing_rate = 1e6;
+};
+
+/// Fixed-period design: observe the acceptance process for `period` time
+/// units and count events; lambda_hat = N / period. Returns InvalidArgument
+/// for non-positive period and FailedPrecondition if the market refuses the
+/// probe spec. A report with zero events yields lambda_hat = 0 — callers
+/// should widen the period.
+StatusOr<ProbeReport> RunFixedPeriodProbe(MarketSimulator& market,
+                                          const ProbeSpec& spec,
+                                          double period);
+
+/// Random-period design: wait for `target_events` acceptances and record the
+/// elapsed time; lambda_hat = N / T0, bias-corrected by (N-1)/N.
+/// Requires target_events >= 2.
+StatusOr<ProbeReport> RunRandomPeriodProbe(MarketSimulator& market,
+                                           const ProbeSpec& spec,
+                                           int target_events);
+
+/// Estimates the processing rate lambda_p of a task type from completed
+/// outcomes: the MLE N / (sum of processing latencies). Returns
+/// InvalidArgument on empty input.
+StatusOr<double> EstimateProcessingRate(
+    const std::vector<TaskOutcome>& outcomes);
+
+/// Estimates the on-hold rate from completed outcomes: the MLE
+/// N / (sum of on-hold latencies). Returns InvalidArgument on empty input.
+StatusOr<double> EstimateOnHoldRate(const std::vector<TaskOutcome>& outcomes);
+
+/// The paper's two-phase decomposition (§3.3.1): estimate the overall
+/// completion rate lambda from full tasks, then recover lambda_p from
+/// lambda and a separately probed lambda_o. The harmonic identity
+/// 1/lambda = 1/lambda_o + 1/lambda_p holds for the mean of the two-phase
+/// latency; the paper's literal subtraction lambda - lambda_o is also
+/// provided for comparison in the ablation bench.
+struct TwoPhaseDecomposition {
+  double overall_rate = 0.0;
+  /// lambda_p from the harmonic identity (valid when overall < on_hold).
+  double processing_rate_harmonic = 0.0;
+  /// lambda_p from the paper's literal subtraction lambda - lambda_o.
+  double processing_rate_subtraction = 0.0;
+};
+
+/// Decomposes the overall completion rate given a known on-hold rate.
+/// Returns InvalidArgument if overall_rate >= on_hold_rate, which makes the
+/// harmonic identity infeasible (the overall process cannot be faster than
+/// either phase).
+StatusOr<TwoPhaseDecomposition> DecomposeOverallRate(double overall_rate,
+                                                     double on_hold_rate);
+
+}  // namespace htune
+
+#endif  // HTUNE_PROBE_PROBE_H_

@@ -1,0 +1,160 @@
+#include "rng/random.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace htune {
+
+double Random::Uniform() {
+  // 53 random bits scaled into [0, 1).
+  return static_cast<double>(engine_.Next() >> 11) * 0x1.0p-53;
+}
+
+double Random::UniformRange(double lo, double hi) {
+  HTUNE_CHECK_LE(lo, hi);
+  return lo + (hi - lo) * Uniform();
+}
+
+uint64_t Random::UniformInt(uint64_t n) {
+  HTUNE_CHECK_GT(n, 0u);
+  // Rejection sampling over the largest multiple of n below 2^64.
+  const uint64_t threshold = (0 - n) % n;  // == 2^64 mod n
+  while (true) {
+    uint64_t draw = engine_.Next();
+    if (draw >= threshold) {
+      return draw % n;
+    }
+  }
+}
+
+bool Random::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return Uniform() < p;
+}
+
+double Random::Exponential(double lambda) {
+  HTUNE_CHECK_GT(lambda, 0.0);
+  // Inverse transform; 1 - Uniform() is in (0, 1] so the log is finite.
+  return -std::log(1.0 - Uniform()) / lambda;
+}
+
+double Random::Erlang(int k, double lambda) {
+  HTUNE_CHECK_GE(k, 1);
+  // Product-of-uniforms form avoids k log() calls.
+  double product = 1.0;
+  for (int i = 0; i < k; ++i) {
+    product *= 1.0 - Uniform();
+  }
+  return -std::log(product) / lambda;
+}
+
+int Random::Poisson(double mean) {
+  HTUNE_CHECK_GE(mean, 0.0);
+  if (mean == 0.0) return 0;
+  // Split large means into exact Poisson blocks to keep exp(-block) in
+  // normal range, using Poisson additivity.
+  constexpr double kBlock = 500.0;
+  int count = 0;
+  double remaining = mean;
+  while (remaining > kBlock) {
+    // Knuth inversion on a block of fixed mean.
+    double limit = std::exp(-kBlock);
+    double product = Uniform();
+    while (product > limit) {
+      ++count;
+      product *= Uniform();
+    }
+    remaining -= kBlock;
+  }
+  double limit = std::exp(-remaining);
+  double product = Uniform();
+  while (product > limit) {
+    ++count;
+    product *= Uniform();
+  }
+  return count;
+}
+
+double Random::Normal(double mean, double stddev) {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return mean + stddev * cached_normal_;
+  }
+  double u, v, s;
+  do {
+    u = UniformRange(-1.0, 1.0);
+    v = UniformRange(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  cached_normal_ = v * factor;
+  has_cached_normal_ = true;
+  return mean + stddev * (u * factor);
+}
+
+double Random::Gamma(double shape) {
+  HTUNE_CHECK_GT(shape, 0.0);
+  if (shape < 1.0) {
+    // Boost: Gamma(a) = Gamma(a + 1) * U^(1/a).
+    const double boosted = Gamma(shape + 1.0);
+    const double u = 1.0 - Uniform();  // in (0, 1]
+    return boosted * std::pow(u, 1.0 / shape);
+  }
+  // Marsaglia & Tsang (2000).
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  while (true) {
+    double x, v;
+    do {
+      x = Normal(0.0, 1.0);
+      v = 1.0 + c * x;
+    } while (v <= 0.0);
+    v = v * v * v;
+    const double u = 1.0 - Uniform();  // in (0, 1]
+    const double x2 = x * x;
+    if (u < 1.0 - 0.0331 * x2 * x2) {
+      return d * v;
+    }
+    if (std::log(u) < 0.5 * x2 + d * (1.0 - v + std::log(v))) {
+      return d * v;
+    }
+  }
+}
+
+double Random::Beta(double a, double b) {
+  HTUNE_CHECK_GT(a, 0.0);
+  HTUNE_CHECK_GT(b, 0.0);
+  const double x = Gamma(a);
+  const double y = Gamma(b);
+  return x / (x + y);
+}
+
+size_t Random::Discrete(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    HTUNE_CHECK_GE(w, 0.0);
+    total += w;
+  }
+  HTUNE_CHECK_GT(total, 0.0);
+  double target = Uniform() * total;
+  double cumulative = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    cumulative += weights[i];
+    if (target < cumulative) {
+      return i;
+    }
+  }
+  // Floating-point slack: fall back to the last positive weight.
+  for (size_t i = weights.size(); i > 0; --i) {
+    if (weights[i - 1] > 0.0) {
+      return i - 1;
+    }
+  }
+  return weights.size() - 1;
+}
+
+Random Random::Split() { return Random(engine_.Split()); }
+
+}  // namespace htune

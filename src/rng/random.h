@@ -1,0 +1,87 @@
+#ifndef HTUNE_RNG_RANDOM_H_
+#define HTUNE_RNG_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "rng/xoshiro256.h"
+
+namespace htune {
+
+/// A seeded random source with the samplers the HPU model needs. All
+/// distributions are implemented from first principles (inverse transform,
+/// thinning, Knuth/inversion for Poisson) so results are reproducible across
+/// standard libraries. Not thread-safe; use `Split()` for per-thread streams.
+class Random {
+ public:
+  /// Constructs a stream fully determined by `seed`.
+  explicit Random(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform double in [0, 1). Uses the top 53 bits of a 64-bit draw.
+  double Uniform();
+
+  /// Uniform double in [lo, hi). Requires lo <= hi.
+  double UniformRange(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0. Uses rejection to avoid
+  /// modulo bias.
+  uint64_t UniformInt(uint64_t n);
+
+  /// Bernoulli draw: true with probability `p` (clamped to [0, 1]).
+  bool Bernoulli(double p);
+
+  /// Exponential with rate `lambda` (mean 1/lambda). Requires lambda > 0.
+  double Exponential(double lambda);
+
+  /// Erlang(k, lambda): sum of k iid Exponential(lambda). Requires k >= 1.
+  double Erlang(int k, double lambda);
+
+  /// Poisson count with mean `mean` >= 0. Inversion for small means,
+  /// PTRS-style transformed rejection handled by repeated inversion blocks
+  /// for large means (exact, O(mean) worst case — fine for simulation use).
+  int Poisson(double mean);
+
+  /// Standard normal via Marsaglia polar method.
+  double Normal(double mean, double stddev);
+
+  /// Gamma(shape, 1) via Marsaglia-Tsang squeeze (boosted for shape < 1).
+  /// Requires shape > 0.
+  double Gamma(double shape);
+
+  /// Beta(a, b) via the two-Gamma construction. Requires a > 0, b > 0.
+  double Beta(double a, double b);
+
+  /// Samples an index in [0, weights.size()) proportionally to `weights`.
+  /// Requires at least one strictly positive weight.
+  size_t Discrete(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffles `values` in place.
+  template <typename T>
+  void Shuffle(std::vector<T>& values) {
+    for (size_t i = values.size(); i > 1; --i) {
+      size_t j = UniformInt(i);
+      using std::swap;
+      swap(values[i - 1], values[j]);
+    }
+  }
+
+  /// Returns an independent stream (see Xoshiro256::Split).
+  Random Split();
+
+  /// Direct access to the underlying bit generator.
+  Xoshiro256& engine() { return engine_; }
+
+ private:
+  explicit Random(Xoshiro256 engine) : engine_(engine) {}
+
+  Xoshiro256 engine_;
+  // Cached second output of the polar method.
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace htune
+
+#endif  // HTUNE_RNG_RANDOM_H_

@@ -1,0 +1,31 @@
+#ifndef HTUNE_RNG_SPLITMIX64_H_
+#define HTUNE_RNG_SPLITMIX64_H_
+
+#include <cstdint>
+
+namespace htune {
+
+/// SplitMix64 PRNG (Steele, Lea, Flood 2014). Primarily used to seed
+/// Xoshiro256++ state from a single 64-bit seed; also a fine standalone
+/// generator for non-critical uses.
+class SplitMix64 {
+ public:
+  /// Constructs a generator whose stream is fully determined by `seed`.
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  /// Returns the next 64-bit value in the stream.
+  uint64_t Next() {
+    state_ += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace htune
+
+#endif  // HTUNE_RNG_SPLITMIX64_H_

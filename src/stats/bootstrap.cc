@@ -1,0 +1,39 @@
+#include "stats/bootstrap.h"
+
+#include "stats/descriptive.h"
+
+namespace htune {
+
+StatusOr<ConfidenceInterval> BootstrapMeanCi(const std::vector<double>& sample,
+                                             double confidence, int resamples,
+                                             Random& rng) {
+  if (sample.empty()) {
+    return InvalidArgumentError("BootstrapMeanCi: empty sample");
+  }
+  if (confidence <= 0.0 || confidence >= 1.0) {
+    return InvalidArgumentError("BootstrapMeanCi: confidence outside (0, 1)");
+  }
+  if (resamples < 10) {
+    return InvalidArgumentError("BootstrapMeanCi: need >= 10 resamples");
+  }
+
+  const size_t n = sample.size();
+  std::vector<double> means;
+  means.reserve(static_cast<size_t>(resamples));
+  for (int r = 0; r < resamples; ++r) {
+    double sum = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      sum += sample[rng.UniformInt(n)];
+    }
+    means.push_back(sum / static_cast<double>(n));
+  }
+
+  const double alpha = 1.0 - confidence;
+  ConfidenceInterval ci;
+  ci.point_estimate = Mean(sample);
+  ci.lower = Quantile(means, alpha / 2.0);
+  ci.upper = Quantile(means, 1.0 - alpha / 2.0);
+  return ci;
+}
+
+}  // namespace htune

@@ -1,0 +1,32 @@
+#ifndef HTUNE_STATS_BOOTSTRAP_H_
+#define HTUNE_STATS_BOOTSTRAP_H_
+
+#include <vector>
+
+#include "common/statusor.h"
+#include "rng/random.h"
+
+namespace htune {
+
+/// A two-sided confidence interval for a resampled statistic.
+struct ConfidenceInterval {
+  double lower = 0.0;
+  double upper = 0.0;
+  double point_estimate = 0.0;
+
+  /// True iff `value` lies inside [lower, upper].
+  bool Contains(double value) const {
+    return value >= lower && value <= upper;
+  }
+};
+
+/// Percentile-bootstrap confidence interval for the mean of `sample`.
+/// `confidence` in (0, 1), e.g. 0.95; `resamples` >= 10. Returns
+/// InvalidArgument on an empty sample or out-of-range parameters.
+StatusOr<ConfidenceInterval> BootstrapMeanCi(const std::vector<double>& sample,
+                                             double confidence, int resamples,
+                                             Random& rng);
+
+}  // namespace htune
+
+#endif  // HTUNE_STATS_BOOTSTRAP_H_

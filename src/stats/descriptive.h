@@ -1,0 +1,90 @@
+#ifndef HTUNE_STATS_DESCRIPTIVE_H_
+#define HTUNE_STATS_DESCRIPTIVE_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace htune {
+
+/// Streaming accumulator for count / mean / variance / extrema using
+/// Welford's numerically stable update.
+class RunningStats {
+ public:
+  RunningStats();
+
+  /// Folds `value` into the accumulator.
+  void Add(double value);
+
+  /// Folds every element of `values` into the accumulator.
+  void AddAll(const std::vector<double>& values);
+
+  size_t count() const { return count_; }
+  /// Mean of added values; 0 if empty.
+  double Mean() const { return mean_; }
+  /// Unbiased sample variance; 0 if fewer than two values.
+  double Variance() const;
+  /// Square root of `Variance()`.
+  double StdDev() const;
+  /// Smallest added value; +inf if empty.
+  double Min() const { return min_; }
+  /// Largest added value; -inf if empty.
+  double Max() const { return max_; }
+  /// Standard error of the mean; 0 if fewer than two values.
+  double StdError() const;
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_;
+  double max_;
+};
+
+/// Returns the mean of `values`; 0 for an empty vector.
+double Mean(const std::vector<double>& values);
+
+/// Returns the unbiased sample variance; 0 with fewer than two values.
+double Variance(const std::vector<double>& values);
+
+/// Returns the `q`-quantile (q in [0, 1]) with linear interpolation between
+/// order statistics. Requires a non-empty vector; `values` is copied and
+/// sorted internally.
+double Quantile(std::vector<double> values, double q);
+
+/// Empirical CDF over a fixed sample.
+class EmpiricalCdf {
+ public:
+  /// Builds the ECDF of `sample` (copied and sorted). Requires non-empty.
+  explicit EmpiricalCdf(std::vector<double> sample);
+
+  /// Fraction of sample points <= x.
+  double operator()(double x) const;
+
+  size_t size() const { return sorted_.size(); }
+  const std::vector<double>& sorted_sample() const { return sorted_; }
+
+ private:
+  std::vector<double> sorted_;
+};
+
+/// One-sample Kolmogorov-Smirnov statistic: sup_x |ECDF(x) - cdf(x)| where
+/// `cdf` is evaluated at each sample point. Used by tests to validate that
+/// simulator outputs follow their intended distributions.
+template <typename Cdf>
+double KolmogorovSmirnovStatistic(const EmpiricalCdf& ecdf, Cdf&& cdf) {
+  const auto& xs = ecdf.sorted_sample();
+  const double n = static_cast<double>(xs.size());
+  double sup = 0.0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    const double theoretical = cdf(xs[i]);
+    const double upper = (static_cast<double>(i) + 1.0) / n - theoretical;
+    const double lower = theoretical - static_cast<double>(i) / n;
+    if (upper > sup) sup = upper;
+    if (lower > sup) sup = lower;
+  }
+  return sup;
+}
+
+}  // namespace htune
+
+#endif  // HTUNE_STATS_DESCRIPTIVE_H_

@@ -1,0 +1,46 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace htune {
+
+Histogram::Histogram(double lo, double hi, size_t num_buckets)
+    : lo_(lo), hi_(hi), buckets_(num_buckets, 0) {
+  HTUNE_CHECK_LT(lo, hi);
+  HTUNE_CHECK_GE(num_buckets, 1u);
+}
+
+void Histogram::Add(double value) {
+  const double width = (hi_ - lo_) / static_cast<double>(buckets_.size());
+  long index = static_cast<long>((value - lo_) / width);
+  index = std::clamp<long>(index, 0, static_cast<long>(buckets_.size()) - 1);
+  ++buckets_[static_cast<size_t>(index)];
+  ++count_;
+}
+
+double Histogram::bucket_lower(size_t i) const {
+  const double width = (hi_ - lo_) / static_cast<double>(buckets_.size());
+  return lo_ + width * static_cast<double>(i);
+}
+
+std::string Histogram::ToAscii(size_t width) const {
+  size_t max_count = 1;
+  for (size_t c : buckets_) max_count = std::max(max_count, c);
+  std::string out;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    const size_t bar = buckets_[i] * width / max_count;
+    out += '[';
+    out += FormatDouble(bucket_lower(i), 3);
+    out += "] ";
+    out.append(bar, '#');
+    out += " (";
+    out += std::to_string(buckets_[i]);
+    out += ")\n";
+  }
+  return out;
+}
+
+}  // namespace htune

@@ -1,0 +1,44 @@
+#ifndef HTUNE_STATS_HISTOGRAM_H_
+#define HTUNE_STATS_HISTOGRAM_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace htune {
+
+/// Fixed-width histogram over [lo, hi) with an overflow/underflow policy of
+/// clamping into the edge buckets. Used for latency distributions in traces
+/// and bench reports.
+class Histogram {
+ public:
+  /// Builds `num_buckets` equal-width buckets spanning [lo, hi).
+  /// Requires lo < hi and num_buckets >= 1.
+  Histogram(double lo, double hi, size_t num_buckets);
+
+  /// Records one observation.
+  void Add(double value);
+
+  /// Total number of recorded observations.
+  size_t count() const { return count_; }
+
+  /// Count in bucket `i`.
+  size_t bucket_count(size_t i) const { return buckets_[i]; }
+  size_t num_buckets() const { return buckets_.size(); }
+
+  /// Inclusive lower edge of bucket `i`.
+  double bucket_lower(size_t i) const;
+
+  /// Renders an ASCII bar chart, one bucket per line, `width` chars max bar.
+  std::string ToAscii(size_t width) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<size_t> buckets_;
+  size_t count_ = 0;
+};
+
+}  // namespace htune
+
+#endif  // HTUNE_STATS_HISTOGRAM_H_

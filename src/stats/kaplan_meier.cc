@@ -1,0 +1,94 @@
+#include "stats/kaplan_meier.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace htune {
+
+StatusOr<KaplanMeier> KaplanMeier::Fit(
+    std::vector<SurvivalObservation> data) {
+  if (data.empty()) {
+    return InvalidArgumentError("KaplanMeier: no observations");
+  }
+  size_t events = 0;
+  for (const SurvivalObservation& obs : data) {
+    if (obs.time < 0.0) {
+      return InvalidArgumentError("KaplanMeier: negative duration");
+    }
+    if (obs.event) ++events;
+  }
+  if (events == 0) {
+    return InvalidArgumentError(
+        "KaplanMeier: need at least one uncensored event");
+  }
+
+  // Sort by time; at equal times process events before censorings (the
+  // standard convention: a subject censored at t was still at risk at t).
+  std::sort(data.begin(), data.end(),
+            [](const SurvivalObservation& a, const SurvivalObservation& b) {
+              if (a.time != b.time) return a.time < b.time;
+              return a.event && !b.event;
+            });
+
+  KaplanMeier km;
+  km.num_events_ = events;
+  km.num_censored_ = data.size() - events;
+
+  double survival = 1.0;
+  size_t at_risk = data.size();
+  size_t i = 0;
+  while (i < data.size()) {
+    const double t = data[i].time;
+    size_t deaths = 0;
+    size_t removed = 0;
+    while (i < data.size() && data[i].time == t) {
+      if (data[i].event) ++deaths;
+      ++removed;
+      ++i;
+    }
+    if (deaths > 0) {
+      survival *= 1.0 - static_cast<double>(deaths) /
+                            static_cast<double>(at_risk);
+      km.steps_.emplace_back(t, survival);
+    }
+    at_risk -= removed;
+  }
+  return km;
+}
+
+double KaplanMeier::Survival(double t) const {
+  // Last step at or before t.
+  double survival = 1.0;
+  for (const auto& [time, value] : steps_) {
+    if (time > t) break;
+    survival = value;
+  }
+  return survival;
+}
+
+double KaplanMeier::MedianSurvivalTime() const {
+  for (const auto& [time, value] : steps_) {
+    if (value <= 0.5) return time;
+  }
+  return std::numeric_limits<double>::infinity();
+}
+
+double MaxDeviationFromExponential(const KaplanMeier& km, double lambda) {
+  HTUNE_CHECK_GT(lambda, 0.0);
+  double sup = 0.0;
+  double previous_survival = 1.0;
+  for (const auto& [time, value] : km.steps()) {
+    const double model = std::exp(-lambda * time);
+    // The step function jumps at `time`: compare the model against both the
+    // left limit and the new level.
+    sup = std::max(sup, std::abs(previous_survival - model));
+    sup = std::max(sup, std::abs(value - model));
+    previous_survival = value;
+  }
+  return sup;
+}
+
+}  // namespace htune

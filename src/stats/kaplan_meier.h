@@ -1,0 +1,62 @@
+#ifndef HTUNE_STATS_KAPLAN_MEIER_H_
+#define HTUNE_STATS_KAPLAN_MEIER_H_
+
+#include <utility>
+#include <vector>
+
+#include "common/statusor.h"
+
+namespace htune {
+
+/// One duration observation: `time` until the event, or until observation
+/// stopped (`event == false`, right-censored). In the crowdsourcing probe,
+/// a completed acceptance is an event; a repetition still on hold when the
+/// probe window closes is censored at the elapsed wait.
+struct SurvivalObservation {
+  double time = 0.0;
+  bool event = true;
+};
+
+/// Kaplan-Meier product-limit estimator of the survival function S(t) from
+/// right-censored durations — the methodology the paper's completion-time
+/// reference ([16], Wang et al.) applies to crowdsourcing latencies. Used
+/// to validate the exponential on-hold model without the bias of dropping
+/// censored waits.
+class KaplanMeier {
+ public:
+  /// Fits the estimator. Requires at least one observation with a
+  /// non-negative time and at least one uncensored event.
+  static StatusOr<KaplanMeier> Fit(std::vector<SurvivalObservation> data);
+
+  /// Estimated survival probability S(t) = P(duration > t).
+  double Survival(double t) const;
+
+  /// The step function as (event_time, survival_just_after) pairs, in
+  /// increasing time order.
+  const std::vector<std::pair<double, double>>& steps() const {
+    return steps_;
+  }
+
+  /// Smallest event time with S(t) <= 0.5, or +infinity if the curve never
+  /// falls that far (heavy censoring).
+  double MedianSurvivalTime() const;
+
+  size_t num_events() const { return num_events_; }
+  size_t num_censored() const { return num_censored_; }
+
+ private:
+  KaplanMeier() = default;
+
+  std::vector<std::pair<double, double>> steps_;
+  size_t num_events_ = 0;
+  size_t num_censored_ = 0;
+};
+
+/// Sup over the fitted step points of |S_km(t) - e^{-lambda t}|: a
+/// goodness-of-fit distance between the nonparametric curve and the
+/// exponential model at rate `lambda`. Requires lambda > 0.
+double MaxDeviationFromExponential(const KaplanMeier& km, double lambda);
+
+}  // namespace htune
+
+#endif  // HTUNE_STATS_KAPLAN_MEIER_H_

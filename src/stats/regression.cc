@@ -1,0 +1,50 @@
+#include "stats/regression.h"
+
+#include <cmath>
+
+namespace htune {
+
+StatusOr<LinearFit> FitLinear(const std::vector<double>& xs,
+                              const std::vector<double>& ys) {
+  if (xs.size() != ys.size()) {
+    return InvalidArgumentError("FitLinear: xs and ys differ in length");
+  }
+  const size_t n = xs.size();
+  if (n < 2) {
+    return InvalidArgumentError("FitLinear: need at least two points");
+  }
+  double mean_x = 0.0, mean_y = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    mean_x += xs[i];
+    mean_y += ys[i];
+  }
+  mean_x /= static_cast<double>(n);
+  mean_y /= static_cast<double>(n);
+
+  double sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double dx = xs[i] - mean_x;
+    const double dy = ys[i] - mean_y;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0) {
+    return InvalidArgumentError("FitLinear: all x values are identical");
+  }
+
+  LinearFit fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = mean_y - fit.slope * mean_x;
+
+  double ss_res = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double r = ys[i] - fit.Predict(xs[i]);
+    ss_res += r * r;
+  }
+  fit.residual_rms = std::sqrt(ss_res / static_cast<double>(n));
+  fit.r_squared = (syy == 0.0) ? 1.0 : 1.0 - ss_res / syy;
+  return fit;
+}
+
+}  // namespace htune

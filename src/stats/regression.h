@@ -1,0 +1,31 @@
+#ifndef HTUNE_STATS_REGRESSION_H_
+#define HTUNE_STATS_REGRESSION_H_
+
+#include <vector>
+
+#include "common/statusor.h"
+
+namespace htune {
+
+/// Result of an ordinary least-squares fit of y = slope * x + intercept.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  /// Coefficient of determination in [0, 1]; 1 when the fit is exact.
+  double r_squared = 0.0;
+  /// Root of the mean squared residual.
+  double residual_rms = 0.0;
+
+  /// Evaluates the fitted line at `x`.
+  double Predict(double x) const { return slope * x + intercept; }
+};
+
+/// Ordinary least-squares fit. Requires xs.size() == ys.size() >= 2 and at
+/// least two distinct x values; returns InvalidArgument otherwise. Used to
+/// test the paper's Linearity Hypothesis (lambda_o(c) = k*c + b, §3.3.2).
+StatusOr<LinearFit> FitLinear(const std::vector<double>& xs,
+                              const std::vector<double>& ys);
+
+}  // namespace htune
+
+#endif  // HTUNE_STATS_REGRESSION_H_

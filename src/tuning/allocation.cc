@@ -1,0 +1,110 @@
+#include "tuning/allocation.h"
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace htune {
+
+long GroupAllocation::TotalCost() const {
+  long total = 0;
+  for (const auto& task : prices) {
+    for (int p : task) {
+      total += p;
+    }
+  }
+  return total;
+}
+
+bool GroupAllocation::IsUniform() const {
+  if (prices.empty() || prices[0].empty()) return true;
+  const int first = prices[0][0];
+  for (const auto& task : prices) {
+    for (int p : task) {
+      if (p != first) return false;
+    }
+  }
+  return true;
+}
+
+int GroupAllocation::UniformPrice() const {
+  HTUNE_CHECK(IsUniform());
+  HTUNE_CHECK(!prices.empty());
+  HTUNE_CHECK(!prices[0].empty());
+  return prices[0][0];
+}
+
+long Allocation::TotalCost() const {
+  long total = 0;
+  for (const auto& g : groups) {
+    total += g.TotalCost();
+  }
+  return total;
+}
+
+std::string Allocation::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < groups.size(); ++i) {
+    if (i > 0) out += "; ";
+    out += "g";
+    out += std::to_string(i);
+    out += ": ";
+    if (groups[i].IsUniform() && !groups[i].prices.empty() &&
+        !groups[i].prices[0].empty()) {
+      out += std::to_string(groups[i].prices.size());
+      out += "x";
+      out += std::to_string(groups[i].prices[0].size());
+      out += " @ ";
+      out += std::to_string(groups[i].UniformPrice());
+    } else {
+      out += "cost ";
+      out += std::to_string(groups[i].TotalCost());
+    }
+  }
+  return out;
+}
+
+GroupAllocation UniformGroupAllocation(int num_tasks, int repetitions,
+                                       int price) {
+  HTUNE_CHECK_GE(num_tasks, 1);
+  HTUNE_CHECK_GE(repetitions, 1);
+  HTUNE_CHECK_GE(price, 1);
+  GroupAllocation ga;
+  ga.prices.assign(static_cast<size_t>(num_tasks),
+                   std::vector<int>(static_cast<size_t>(repetitions), price));
+  return ga;
+}
+
+Status ValidateAllocation(const TuningProblem& problem,
+                          const Allocation& allocation) {
+  if (allocation.groups.size() != problem.groups.size()) {
+    return InvalidArgumentError("Allocation: group count mismatch");
+  }
+  for (size_t i = 0; i < problem.groups.size(); ++i) {
+    const TaskGroup& g = problem.groups[i];
+    const GroupAllocation& ga = allocation.groups[i];
+    if (ga.prices.size() != static_cast<size_t>(g.num_tasks)) {
+      return InvalidArgumentError("Allocation: task count mismatch in group " +
+                                  std::to_string(i));
+    }
+    for (const auto& task : ga.prices) {
+      if (task.size() != static_cast<size_t>(g.repetitions)) {
+        return InvalidArgumentError(
+            "Allocation: repetition count mismatch in group " +
+            std::to_string(i));
+      }
+      for (int p : task) {
+        if (p < 1) {
+          return InvalidArgumentError(
+              "Allocation: price below one unit in group " +
+              std::to_string(i));
+        }
+      }
+    }
+  }
+  if (allocation.TotalCost() > problem.budget) {
+    return InvalidArgumentError("Allocation: total cost exceeds budget");
+  }
+  return OkStatus();
+}
+
+}  // namespace htune

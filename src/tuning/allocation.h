@@ -1,0 +1,47 @@
+#ifndef HTUNE_TUNING_ALLOCATION_H_
+#define HTUNE_TUNING_ALLOCATION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "tuning/problem.h"
+
+namespace htune {
+
+/// Payments for one task group: prices[task][repetition] in whole payment
+/// units, each >= 1.
+struct GroupAllocation {
+  std::vector<std::vector<int>> prices;
+
+  /// Sum of all payments in the group.
+  long TotalCost() const;
+  /// True iff every task pays every repetition the same amount.
+  bool IsUniform() const;
+  /// The common per-repetition price; requires IsUniform().
+  int UniformPrice() const;
+};
+
+/// A full budget allocation: one GroupAllocation per problem group, in the
+/// same order.
+struct Allocation {
+  std::vector<GroupAllocation> groups;
+
+  long TotalCost() const;
+  /// Human-readable summary ("g0: 100x5 @ 3; g1: ...").
+  std::string ToString() const;
+};
+
+/// Builds a uniform allocation: every repetition of every task in the group
+/// pays `price`.
+GroupAllocation UniformGroupAllocation(int num_tasks, int repetitions,
+                                       int price);
+
+/// Checks structural validity of `allocation` against `problem`: matching
+/// group/task/repetition shapes, all prices >= 1, total cost <= budget.
+Status ValidateAllocation(const TuningProblem& problem,
+                          const Allocation& allocation);
+
+}  // namespace htune
+
+#endif  // HTUNE_TUNING_ALLOCATION_H_

@@ -1,0 +1,31 @@
+#ifndef HTUNE_TUNING_ALLOCATOR_H_
+#define HTUNE_TUNING_ALLOCATOR_H_
+
+#include <string>
+
+#include "common/statusor.h"
+#include "tuning/allocation.h"
+#include "tuning/problem.h"
+
+namespace htune {
+
+/// Strategy interface for solving the H-Tuning problem: produce a budget
+/// allocation for `problem` whose cost does not exceed problem.budget.
+/// Implementations are deterministic; any tie-breaking is fixed so results
+/// reproduce across runs.
+class BudgetAllocator {
+ public:
+  virtual ~BudgetAllocator() = default;
+
+  /// Short identifier for reports ("EA", "RA", "bias(0.67)", ...).
+  virtual std::string Name() const = 0;
+
+  /// Solves `problem`. Returns InvalidArgument for malformed problems
+  /// (ValidateProblem) and FailedPrecondition if the strategy's structural
+  /// assumptions (e.g. EA's homogeneity) do not hold.
+  virtual StatusOr<Allocation> Allocate(const TuningProblem& problem) const = 0;
+};
+
+}  // namespace htune
+
+#endif  // HTUNE_TUNING_ALLOCATOR_H_

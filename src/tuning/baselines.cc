@@ -1,0 +1,119 @@
+#include "tuning/baselines.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace htune {
+namespace {
+
+// Builds an allocation where task t in group i pays `price_of(i, t)` per
+// repetition, validating the per-repetition minimum of one unit.
+template <typename PriceFn>
+StatusOr<Allocation> PerTaskUniform(const TuningProblem& problem,
+                                    PriceFn&& price_of) {
+  Allocation allocation;
+  allocation.groups.reserve(problem.groups.size());
+  for (size_t i = 0; i < problem.groups.size(); ++i) {
+    const TaskGroup& g = problem.groups[i];
+    GroupAllocation ga;
+    ga.prices.reserve(static_cast<size_t>(g.num_tasks));
+    for (int t = 0; t < g.num_tasks; ++t) {
+      const long price = price_of(i, t);
+      if (price < 1) {
+        return InvalidArgumentError(
+            "baseline allocation drops below one unit per repetition; "
+            "budget too small for this strategy");
+      }
+      ga.prices.emplace_back(static_cast<size_t>(g.repetitions),
+                             static_cast<int>(price));
+    }
+    allocation.groups.push_back(std::move(ga));
+  }
+  return allocation;
+}
+
+}  // namespace
+
+BiasedAllocator::BiasedAllocator(double alpha) : alpha_(alpha) {
+  HTUNE_CHECK_GE(alpha, 0.5);
+  HTUNE_CHECK_LT(alpha, 1.0);
+}
+
+std::string BiasedAllocator::Name() const {
+  return "bias(" + FormatDouble(alpha_, 2) + ")";
+}
+
+StatusOr<Allocation> BiasedAllocator::Allocate(
+    const TuningProblem& problem) const {
+  HTUNE_RETURN_IF_ERROR(ValidateProblem(problem));
+  const int total_tasks = problem.TotalTasks();
+  const int prior_tasks = (total_tasks + 1) / 2;
+  const int rest_tasks = total_tasks - prior_tasks;
+  if (rest_tasks == 0) {
+    return FailedPreconditionError(
+        "BiasedAllocator: need at least two tasks to form two halves");
+  }
+
+  // Per-repetition price for each half, assuming the repetitions within a
+  // half are homogeneous (Scenario I); with heterogeneous repetition counts
+  // the half's budget is still spread evenly over its repetitions.
+  long prior_reps = 0, rest_reps = 0;
+  {
+    int index = 0;
+    for (const TaskGroup& g : problem.groups) {
+      for (int t = 0; t < g.num_tasks; ++t, ++index) {
+        (index < prior_tasks ? prior_reps : rest_reps) += g.repetitions;
+      }
+    }
+  }
+  const long prior_price = static_cast<long>(
+      std::floor(alpha_ * static_cast<double>(problem.budget)) / prior_reps);
+  const long rest_price =
+      static_cast<long>(std::floor((1.0 - alpha_) *
+                                   static_cast<double>(problem.budget))) /
+      rest_reps;
+
+  // Map global task index back to (group, task).
+  std::vector<int> group_start(problem.groups.size(), 0);
+  {
+    int acc = 0;
+    for (size_t i = 0; i < problem.groups.size(); ++i) {
+      group_start[i] = acc;
+      acc += problem.groups[i].num_tasks;
+    }
+  }
+  return PerTaskUniform(problem, [&](size_t i, int t) -> long {
+    const int global = group_start[i] + t;
+    return global < prior_tasks ? prior_price : rest_price;
+  });
+}
+
+StatusOr<Allocation> TaskEvenAllocator::Allocate(
+    const TuningProblem& problem) const {
+  HTUNE_RETURN_IF_ERROR(ValidateProblem(problem));
+  const long per_task = problem.budget / problem.TotalTasks();
+  return PerTaskUniform(problem, [&](size_t i, int) {
+    return per_task / problem.groups[i].repetitions;
+  });
+}
+
+StatusOr<Allocation> RepEvenAllocator::Allocate(
+    const TuningProblem& problem) const {
+  HTUNE_RETURN_IF_ERROR(ValidateProblem(problem));
+  const long per_rep = problem.budget / problem.TotalRepetitions();
+  return PerTaskUniform(problem, [&](size_t, int) { return per_rep; });
+}
+
+StatusOr<Allocation> UniformHeuristicAllocator::Allocate(
+    const TuningProblem& problem) const {
+  HTUNE_RETURN_IF_ERROR(ValidateProblem(problem));
+  const long per_group = problem.budget /
+                         static_cast<long>(problem.groups.size());
+  return PerTaskUniform(problem, [&](size_t i, int) {
+    return per_group / problem.groups[i].UnitCost();
+  });
+}
+
+}  // namespace htune

@@ -1,0 +1,64 @@
+#ifndef HTUNE_TUNING_BASELINES_H_
+#define HTUNE_TUNING_BASELINES_H_
+
+#include <string>
+
+#include "tuning/allocator.h"
+
+namespace htune {
+
+/// Scenario I baseline (§5.1.1): splits the tasks into a "prior" half that
+/// receives `alpha` of the budget and a remainder half that receives
+/// 1 - alpha, each half spreading its share evenly over its repetitions.
+/// alpha = 0.5 degenerates to even allocation; the paper uses 0.67 and 0.75.
+/// The prior half is the first ceil(N/2) tasks — the tasks are
+/// statistically identical, so a deterministic choice matches the paper's
+/// random one in distribution. Division remainders are left unspent.
+class BiasedAllocator : public BudgetAllocator {
+ public:
+  /// Requires alpha in [0.5, 1).
+  explicit BiasedAllocator(double alpha);
+
+  std::string Name() const override;
+  StatusOr<Allocation> Allocate(const TuningProblem& problem) const override;
+
+ private:
+  double alpha_;
+};
+
+/// Scenario II/III baseline "task-even" (te): every atomic task receives the
+/// same total payment B/N, spread evenly over its own repetitions — so tasks
+/// with more repetitions pay each repetition less.
+class TaskEvenAllocator : public BudgetAllocator {
+ public:
+  TaskEvenAllocator() = default;
+
+  std::string Name() const override { return "task-even"; }
+  StatusOr<Allocation> Allocate(const TuningProblem& problem) const override;
+};
+
+/// Scenario II/III baseline "rep-even" (re): every repetition of every task
+/// receives the same payment B / (total repetitions) — so tasks with more
+/// repetitions receive a larger total.
+class RepEvenAllocator : public BudgetAllocator {
+ public:
+  RepEvenAllocator() = default;
+
+  std::string Name() const override { return "rep-even"; }
+  StatusOr<Allocation> Allocate(const TuningProblem& problem) const override;
+};
+
+/// The MTurk-experiment heuristic of Fig 5(c) ("HEU"): every task *type*
+/// (group) receives the same total payment B / #groups, spread evenly over
+/// the group's repetitions.
+class UniformHeuristicAllocator : public BudgetAllocator {
+ public:
+  UniformHeuristicAllocator() = default;
+
+  std::string Name() const override { return "HEU"; }
+  StatusOr<Allocation> Allocate(const TuningProblem& problem) const override;
+};
+
+}  // namespace htune
+
+#endif  // HTUNE_TUNING_BASELINES_H_

@@ -1,0 +1,57 @@
+#include "tuning/brute_force.h"
+
+#include <limits>
+
+namespace htune {
+namespace {
+
+void Recurse(const TuningProblem& problem, size_t group, long remaining,
+             std::vector<int>& prices,
+             const std::function<void(const std::vector<int>&)>& fn) {
+  if (group == problem.groups.size()) {
+    fn(prices);
+    return;
+  }
+  // Reserve one unit per repetition for the remaining groups.
+  long reserved = 0;
+  for (size_t j = group + 1; j < problem.groups.size(); ++j) {
+    reserved += problem.groups[j].UnitCost();
+  }
+  const long unit = problem.groups[group].UnitCost();
+  for (long p = 1; unit * p + reserved <= remaining; ++p) {
+    prices[group] = static_cast<int>(p);
+    Recurse(problem, group + 1, remaining - unit * p, prices, fn);
+  }
+  prices[group] = 0;
+}
+
+}  // namespace
+
+void ForEachUniformPriceVector(
+    const TuningProblem& problem,
+    const std::function<void(const std::vector<int>&)>& fn) {
+  std::vector<int> prices(problem.groups.size(), 0);
+  Recurse(problem, 0, problem.budget, prices, fn);
+}
+
+StatusOr<std::vector<int>> BruteForceMinimize(
+    const TuningProblem& problem,
+    const std::function<double(const std::vector<int>&)>& objective) {
+  HTUNE_RETURN_IF_ERROR(ValidateProblem(problem));
+  std::vector<int> best;
+  double best_value = std::numeric_limits<double>::infinity();
+  ForEachUniformPriceVector(problem, [&](const std::vector<int>& prices) {
+    const double value = objective(prices);
+    if (value < best_value ||
+        (value == best_value && (best.empty() || prices < best))) {
+      best_value = value;
+      best = prices;
+    }
+  });
+  if (best.empty()) {
+    return InvalidArgumentError("BruteForceMinimize: no feasible allocation");
+  }
+  return best;
+}
+
+}  // namespace htune

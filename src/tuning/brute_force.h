@@ -1,0 +1,29 @@
+#ifndef HTUNE_TUNING_BRUTE_FORCE_H_
+#define HTUNE_TUNING_BRUTE_FORCE_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/statusor.h"
+#include "tuning/problem.h"
+
+namespace htune {
+
+/// Enumerates every uniform per-group price vector (each group pays one
+/// price per repetition, price >= 1) whose cost sum_i u_i * p_i does not
+/// exceed the budget, invoking `fn` on each. Exponential in the number of
+/// groups; intended as a test oracle on small instances.
+void ForEachUniformPriceVector(
+    const TuningProblem& problem,
+    const std::function<void(const std::vector<int>&)>& fn);
+
+/// Returns the uniform price vector minimizing `objective` over the full
+/// feasible set (ties broken toward the lexicographically smallest vector).
+/// Returns InvalidArgument for malformed problems.
+StatusOr<std::vector<int>> BruteForceMinimize(
+    const TuningProblem& problem,
+    const std::function<double(const std::vector<int>&)>& objective);
+
+}  // namespace htune
+
+#endif  // HTUNE_TUNING_BRUTE_FORCE_H_

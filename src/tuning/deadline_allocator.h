@@ -1,0 +1,56 @@
+#ifndef HTUNE_TUNING_DEADLINE_ALLOCATOR_H_
+#define HTUNE_TUNING_DEADLINE_ALLOCATOR_H_
+
+#include <vector>
+
+#include "common/statusor.h"
+#include "tuning/allocation.h"
+#include "tuning/problem.h"
+
+namespace htune {
+
+/// Which expected-latency functional the deadline constrains.
+enum class DeadlineObjective {
+  /// Sum over groups of expected phase-1 latency (the RA surrogate): an
+  /// upper bound on the batch's on-hold completion.
+  kPhase1Sum,
+  /// Max over groups of expected phase-1 + phase-2 latency (the HA "most
+  /// difficult task" objective): a proxy for the job's expected makespan.
+  kMostDifficult,
+};
+
+/// Solution of a deadline-constrained tuning instance.
+struct DeadlinePlan {
+  /// Uniform per-repetition price per group.
+  std::vector<int> prices;
+  /// Total cost in payment units.
+  long cost = 0;
+  /// The objective value achieved (<= the deadline).
+  double achieved = 0.0;
+};
+
+/// The dual of the H-Tuning problem (cf. Gao & Parameswaran's "Finish
+/// Them!" formulation the paper relates to): find the *cheapest* budget
+/// allocation whose expected latency meets a deadline, instead of the
+/// fastest allocation within a budget.
+///
+/// Both objectives are solved exactly. kPhase1Sum runs a knapsack DP over
+/// total spend (the separable analogue of RA's exact mode) and returns the
+/// cheapest spend whose optimal objective meets the deadline; kMostDifficult
+/// decomposes per group — each group independently needs the cheapest price
+/// bringing its phase-1 + phase-2 under the deadline. `problem.budget` acts
+/// as the search ceiling; returns OutOfRange if the deadline cannot be met
+/// within it (e.g. below the processing-latency floor, which no payment can
+/// buy off), and InvalidArgument for malformed problems or a non-positive
+/// deadline.
+StatusOr<DeadlinePlan> SolveDeadline(const TuningProblem& problem,
+                                     double deadline,
+                                     DeadlineObjective objective);
+
+/// Expands a DeadlinePlan into a full Allocation for execution.
+Allocation DeadlinePlanToAllocation(const TuningProblem& problem,
+                                    const DeadlinePlan& plan);
+
+}  // namespace htune
+
+#endif  // HTUNE_TUNING_DEADLINE_ALLOCATOR_H_

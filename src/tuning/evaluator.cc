@@ -1,0 +1,180 @@
+#include "tuning/evaluator.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/check.h"
+#include "model/hypoexponential.h"
+#include "model/order_statistics.h"
+
+namespace htune {
+namespace {
+
+// Groups the tasks of one GroupAllocation by their multiset of per-repetition
+// prices (on-hold latency depends only on that multiset) and returns one
+// (distribution, multiplicity) pair per distinct pattern.
+struct TaskPattern {
+  HypoexponentialDist dist;
+  int count;
+};
+
+std::vector<TaskPattern> Phase1Patterns(const TaskGroup& group,
+                                        const GroupAllocation& alloc) {
+  HTUNE_CHECK(group.curve != nullptr);
+  HTUNE_CHECK_EQ(alloc.prices.size(), static_cast<size_t>(group.num_tasks));
+  std::map<std::vector<int>, int> pattern_counts;
+  for (const auto& task : alloc.prices) {
+    HTUNE_CHECK_EQ(task.size(), static_cast<size_t>(group.repetitions));
+    std::vector<int> key = task;
+    std::sort(key.begin(), key.end());
+    ++pattern_counts[key];
+  }
+  std::vector<TaskPattern> patterns;
+  patterns.reserve(pattern_counts.size());
+  for (const auto& [prices, count] : pattern_counts) {
+    std::vector<double> rates;
+    rates.reserve(prices.size());
+    for (int p : prices) {
+      const double rate = group.curve->Rate(static_cast<double>(p));
+      HTUNE_CHECK_GT(rate, 0.0);
+      rates.push_back(rate);
+    }
+    patterns.push_back({HypoexponentialDist(std::move(rates)), count});
+  }
+  return patterns;
+}
+
+std::vector<WeightedCdf> ToWeightedCdfs(const std::vector<TaskPattern>& ps,
+                                        double& mean_hint) {
+  std::vector<WeightedCdf> cdfs;
+  cdfs.reserve(ps.size());
+  for (const TaskPattern& pattern : ps) {
+    mean_hint = std::max(mean_hint, pattern.dist.Mean());
+    // The distribution object is captured by value so the callable owns it.
+    cdfs.push_back(
+        {[dist = pattern.dist](double t) { return dist.Cdf(t); },
+         pattern.count});
+  }
+  return cdfs;
+}
+
+}  // namespace
+
+double ExpectedPhase1GroupLatency(const TaskGroup& group,
+                                  const GroupAllocation& alloc) {
+  const std::vector<TaskPattern> patterns = Phase1Patterns(group, alloc);
+  double mean_hint = 0.0;
+  const std::vector<WeightedCdf> cdfs = ToWeightedCdfs(patterns, mean_hint);
+  return ExpectedMaxWithMultiplicity(cdfs, mean_hint);
+}
+
+std::vector<double> ExpectedPhase1GroupLatencies(const TuningProblem& problem,
+                                                 const Allocation& alloc) {
+  HTUNE_CHECK_EQ(alloc.groups.size(), problem.groups.size());
+  std::vector<double> latencies;
+  latencies.reserve(problem.groups.size());
+  for (size_t i = 0; i < problem.groups.size(); ++i) {
+    latencies.push_back(
+        ExpectedPhase1GroupLatency(problem.groups[i], alloc.groups[i]));
+  }
+  return latencies;
+}
+
+double Phase1GroupSum(const TuningProblem& problem, const Allocation& alloc) {
+  double total = 0.0;
+  for (double latency : ExpectedPhase1GroupLatencies(problem, alloc)) {
+    total += latency;
+  }
+  return total;
+}
+
+double ExpectedPhase1Latency(const TuningProblem& problem,
+                             const Allocation& alloc) {
+  HTUNE_CHECK_EQ(alloc.groups.size(), problem.groups.size());
+  double mean_hint = 0.0;
+  std::vector<WeightedCdf> cdfs;
+  for (size_t i = 0; i < problem.groups.size(); ++i) {
+    const std::vector<TaskPattern> patterns =
+        Phase1Patterns(problem.groups[i], alloc.groups[i]);
+    std::vector<WeightedCdf> group_cdfs = ToWeightedCdfs(patterns, mean_hint);
+    cdfs.insert(cdfs.end(), std::make_move_iterator(group_cdfs.begin()),
+                std::make_move_iterator(group_cdfs.end()));
+  }
+  return ExpectedMaxWithMultiplicity(cdfs, mean_hint);
+}
+
+double MostDifficultObjective(const TuningProblem& problem,
+                              const Allocation& alloc) {
+  const std::vector<double> phase1 =
+      ExpectedPhase1GroupLatencies(problem, alloc);
+  double worst = 0.0;
+  for (size_t i = 0; i < problem.groups.size(); ++i) {
+    const TaskGroup& g = problem.groups[i];
+    const double phase2 =
+        static_cast<double>(g.repetitions) / g.processing_rate;
+    worst = std::max(worst, phase1[i] + phase2);
+  }
+  return worst;
+}
+
+namespace {
+
+double MonteCarloMax(const TuningProblem& problem, const Allocation& alloc,
+                     int trials, Random& rng, bool include_processing) {
+  HTUNE_CHECK_GE(trials, 1);
+  HTUNE_CHECK_EQ(alloc.groups.size(), problem.groups.size());
+  // Precompute per-repetition on-hold rates for every task.
+  struct TaskRates {
+    std::vector<double> on_hold;
+    double processing;
+    int repetitions;
+  };
+  std::vector<TaskRates> tasks;
+  for (size_t i = 0; i < problem.groups.size(); ++i) {
+    const TaskGroup& g = problem.groups[i];
+    for (const auto& task_prices : alloc.groups[i].prices) {
+      TaskRates tr;
+      tr.processing = g.processing_rate;
+      tr.repetitions = g.repetitions;
+      tr.on_hold.reserve(task_prices.size());
+      for (int p : task_prices) {
+        tr.on_hold.push_back(g.curve->Rate(static_cast<double>(p)));
+      }
+      tasks.push_back(std::move(tr));
+    }
+  }
+
+  double total = 0.0;
+  for (int trial = 0; trial < trials; ++trial) {
+    double job_latency = 0.0;
+    for (const TaskRates& tr : tasks) {
+      double task_latency = 0.0;
+      for (double rate : tr.on_hold) {
+        task_latency += rng.Exponential(rate);
+      }
+      if (include_processing) {
+        task_latency += rng.Erlang(tr.repetitions, tr.processing);
+      }
+      job_latency = std::max(job_latency, task_latency);
+    }
+    total += job_latency;
+  }
+  return total / static_cast<double>(trials);
+}
+
+}  // namespace
+
+double MonteCarloOverallLatency(const TuningProblem& problem,
+                                const Allocation& alloc, int trials,
+                                Random& rng) {
+  return MonteCarloMax(problem, alloc, trials, rng, /*include_processing=*/true);
+}
+
+double MonteCarloPhase1Latency(const TuningProblem& problem,
+                               const Allocation& alloc, int trials,
+                               Random& rng) {
+  return MonteCarloMax(problem, alloc, trials, rng,
+                       /*include_processing=*/false);
+}
+
+}  // namespace htune

@@ -1,0 +1,55 @@
+#ifndef HTUNE_TUNING_EVALUATOR_H_
+#define HTUNE_TUNING_EVALUATOR_H_
+
+#include <vector>
+
+#include "rng/random.h"
+#include "tuning/allocation.h"
+#include "tuning/problem.h"
+
+namespace htune {
+
+/// Analytic expectations under the paper's stochastic model (§3.2): each
+/// repetition's on-hold phase is Exp(lambda_o(price)) and its processing
+/// phase is Exp(lambda_p); a task's phase-1 latency is the sum over its
+/// sequential repetitions (Erlang for uniform prices, hypoexponential
+/// otherwise). All functions require a structurally valid allocation
+/// (ValidateAllocation) and abort on shape mismatches.
+
+/// E[max over the tasks of group `g` of phase-1 (on-hold) latency].
+double ExpectedPhase1GroupLatency(const TaskGroup& group,
+                                  const GroupAllocation& alloc);
+
+/// Per-group phase-1 expectations, in group order.
+std::vector<double> ExpectedPhase1GroupLatencies(const TuningProblem& problem,
+                                                 const Allocation& alloc);
+
+/// Sum of per-group phase-1 expectations: the paper's tractable surrogate
+/// for E[max over all tasks] (an upper bound; §4.3.1), minimized by RA.
+double Phase1GroupSum(const TuningProblem& problem, const Allocation& alloc);
+
+/// E[max over ALL tasks of phase-1 latency] — the true Scenario I/II target.
+double ExpectedPhase1Latency(const TuningProblem& problem,
+                             const Allocation& alloc);
+
+/// HA's objective 2 (§4.4): max over groups of
+/// E[phase-1 of group] + E[phase-2 of one task] — the expected latency of
+/// the "most difficult task".
+double MostDifficultObjective(const TuningProblem& problem,
+                              const Allocation& alloc);
+
+/// Monte Carlo estimate of E[max over all tasks of total latency
+/// (on-hold + processing over all repetitions)], sampling the model
+/// directly with `trials` independent job executions.
+double MonteCarloOverallLatency(const TuningProblem& problem,
+                                const Allocation& alloc, int trials,
+                                Random& rng);
+
+/// Monte Carlo estimate of E[max over all tasks of phase-1 latency].
+double MonteCarloPhase1Latency(const TuningProblem& problem,
+                               const Allocation& alloc, int trials,
+                               Random& rng);
+
+}  // namespace htune
+
+#endif  // HTUNE_TUNING_EVALUATOR_H_

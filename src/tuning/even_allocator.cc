@@ -1,0 +1,58 @@
+#include "tuning/even_allocator.h"
+
+#include <vector>
+
+#include "common/check.h"
+
+namespace htune {
+
+StatusOr<Allocation> EvenAllocator::Allocate(
+    const TuningProblem& problem) const {
+  HTUNE_RETURN_IF_ERROR(ValidateProblem(problem));
+  const TaskGroup& first = problem.groups.front();
+  for (const TaskGroup& g : problem.groups) {
+    if (g.repetitions != first.repetitions ||
+        g.processing_rate != first.processing_rate ||
+        g.curve.get() != first.curve.get()) {
+      return FailedPreconditionError(
+          "EvenAllocator: Scenario I requires homogeneous tasks (equal "
+          "repetitions, difficulty and price-rate curve in every group)");
+    }
+  }
+
+  const long n = problem.TotalTasks();
+  const long m = first.repetitions;
+  const long total_reps = n * m;
+  // ValidateProblem guarantees budget >= total_reps, so delta >= 1.
+  const long delta = problem.budget / total_reps;
+  const long remainder = problem.budget % total_reps;
+  const long gamma = remainder / n;  // < m
+  const long sigma = remainder % n;  // < n
+  HTUNE_CHECK_LT(gamma, m);
+  HTUNE_CHECK_EQ(delta * total_reps + gamma * n + sigma, problem.budget);
+
+  Allocation allocation;
+  allocation.groups.reserve(problem.groups.size());
+  long task_index = 0;  // global task index across groups
+  for (const TaskGroup& g : problem.groups) {
+    GroupAllocation ga = UniformGroupAllocation(g.num_tasks, g.repetitions,
+                                                static_cast<int>(delta));
+    for (auto& task : ga.prices) {
+      // gamma extra units per task, one per repetition.
+      for (long r = 0; r < gamma; ++r) {
+        ++task[static_cast<size_t>(r)];
+      }
+      // sigma single units to the first sigma tasks, on a repetition whose
+      // payment was not increased in the previous step.
+      if (task_index < sigma) {
+        ++task[static_cast<size_t>(gamma)];
+      }
+      ++task_index;
+    }
+    allocation.groups.push_back(std::move(ga));
+  }
+  HTUNE_CHECK_EQ(allocation.TotalCost(), problem.budget);
+  return allocation;
+}
+
+}  // namespace htune

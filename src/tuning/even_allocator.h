@@ -1,0 +1,32 @@
+#ifndef HTUNE_TUNING_EVEN_ALLOCATOR_H_
+#define HTUNE_TUNING_EVEN_ALLOCATOR_H_
+
+#include <string>
+
+#include "tuning/allocator.h"
+
+namespace htune {
+
+/// Scenario I: Even Allocation (Algorithm 1, "EA"). For a homogeneous set of
+/// N atomic tasks each needing m repetitions, splitting the budget evenly
+/// across all N*m repetitions minimizes the expected phase-1 latency
+/// (Theorem 1). The division remainder is spread one unit at a time: gamma
+/// whole extra units to the same repetitions of every task, then sigma
+/// single units to distinct tasks. Remainder recipients are chosen
+/// deterministically (first repetitions / first tasks) — the tasks are
+/// statistically identical, so the choice does not affect the latency law.
+///
+/// Requires every group to share the same repetition count, processing rate
+/// and price-rate curve (the Scenario I homogeneity assumption); returns
+/// FailedPrecondition otherwise.
+class EvenAllocator : public BudgetAllocator {
+ public:
+  EvenAllocator() = default;
+
+  std::string Name() const override { return "EA"; }
+  StatusOr<Allocation> Allocate(const TuningProblem& problem) const override;
+};
+
+}  // namespace htune
+
+#endif  // HTUNE_TUNING_EVEN_ALLOCATOR_H_

@@ -1,0 +1,33 @@
+#include "tuning/group_latency_table.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "model/latency_model.h"
+
+namespace htune {
+
+GroupLatencyTable::GroupLatencyTable(const TaskGroup& group) : group_(group) {
+  HTUNE_CHECK(group_.curve != nullptr);
+  HTUNE_CHECK_GE(group_.num_tasks, 1);
+  HTUNE_CHECK_GE(group_.repetitions, 1);
+  HTUNE_CHECK_GT(group_.processing_rate, 0.0);
+  phase2_ = static_cast<double>(group_.repetitions) / group_.processing_rate;
+}
+
+double GroupLatencyTable::Phase1(int price) const {
+  HTUNE_CHECK_GE(price, 1);
+  const size_t index = static_cast<size_t>(price - 1);
+  if (index >= cache_.size()) {
+    cache_.resize(index + 1, std::nan(""));
+  }
+  if (std::isnan(cache_[index])) {
+    GroupShape shape{group_.num_tasks, group_.repetitions,
+                     group_.processing_rate};
+    cache_[index] = ExpectedGroupOnHoldLatency(shape, *group_.curve,
+                                               static_cast<double>(price));
+  }
+  return cache_[index];
+}
+
+}  // namespace htune

@@ -1,0 +1,40 @@
+#ifndef HTUNE_TUNING_GROUP_LATENCY_TABLE_H_
+#define HTUNE_TUNING_GROUP_LATENCY_TABLE_H_
+
+#include <vector>
+
+#include "tuning/problem.h"
+
+namespace htune {
+
+/// Memoized expected-latency lookups for one task group under uniform
+/// per-repetition pricing. The DP/greedy tuners evaluate E_i(p) for many
+/// prices, and each evaluation integrates an order-statistic tail — caching
+/// turns the optimizers' inner loops into table lookups.
+class GroupLatencyTable {
+ public:
+  explicit GroupLatencyTable(const TaskGroup& group);
+
+  /// E[max over the group's tasks of Erlang(repetitions, curve(price))]:
+  /// expected phase-1 latency when every repetition pays `price` (>= 1).
+  double Phase1(int price) const;
+
+  /// Marginal phase-1 improvement of one extra payment unit per repetition:
+  /// Phase1(price) - Phase1(price + 1). Non-negative for monotone curves.
+  double Phase1Gain(int price) const { return Phase1(price) - Phase1(price + 1); }
+
+  /// Expected phase-2 latency of one task: repetitions / processing_rate.
+  double Phase2() const { return phase2_; }
+
+  const TaskGroup& group() const { return group_; }
+
+ private:
+  TaskGroup group_;
+  double phase2_;
+  /// Lazily grown cache; cache_[p] = Phase1(p + 1).
+  mutable std::vector<double> cache_;
+};
+
+}  // namespace htune
+
+#endif  // HTUNE_TUNING_GROUP_LATENCY_TABLE_H_

@@ -1,0 +1,205 @@
+#include "tuning/heterogeneous_allocator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/check.h"
+#include "tuning/brute_force.h"
+#include "tuning/group_latency_table.h"
+#include "tuning/repetition_allocator.h"
+
+namespace htune {
+namespace {
+
+std::vector<GroupLatencyTable> BuildTables(const TuningProblem& problem) {
+  std::vector<GroupLatencyTable> tables;
+  tables.reserve(problem.groups.size());
+  for (const TaskGroup& g : problem.groups) {
+    tables.emplace_back(g);
+  }
+  return tables;
+}
+
+ObjectivePoint ObjectivesFromTables(
+    const std::vector<GroupLatencyTable>& tables,
+    const std::vector<int>& prices) {
+  ObjectivePoint op;
+  for (size_t i = 0; i < tables.size(); ++i) {
+    const double phase1 = tables[i].Phase1(prices[i]);
+    op.o1 += phase1;
+    op.o2 = std::max(op.o2, phase1 + tables[i].Phase2());
+  }
+  return op;
+}
+
+std::vector<int> MinimizeMostDifficultWithTables(
+    const TuningProblem& problem,
+    const std::vector<GroupLatencyTable>& tables) {
+  const size_t n = problem.groups.size();
+  std::vector<int> prices(n, 1);
+  long remaining = problem.budget - problem.MinimumBudget();
+  while (true) {
+    // Find the group attaining the current max of E[L1] + E[L2].
+    size_t worst = 0;
+    double worst_value = -1.0;
+    for (size_t i = 0; i < n; ++i) {
+      const double value = tables[i].Phase1(prices[i]) + tables[i].Phase2();
+      if (value > worst_value) {
+        worst_value = value;
+        worst = i;
+      }
+    }
+    // Only raising the bottleneck group can lower the max; stop when that
+    // is no longer affordable. Zero-gain steps are still taken — a flat
+    // stretch of the curve may precede an improving region, and since
+    // Phase1 is non-increasing in price the extra spend can never raise O2.
+    const long cost = problem.groups[worst].UnitCost();
+    if (cost > remaining) break;
+    ++prices[worst];
+    remaining -= cost;
+  }
+  return prices;
+}
+
+}  // namespace
+
+std::vector<int> MinimizeMostDifficult(const TuningProblem& problem) {
+  HTUNE_CHECK_OK(ValidateProblem(problem));
+  const std::vector<GroupLatencyTable> tables = BuildTables(problem);
+  return MinimizeMostDifficultWithTables(problem, tables);
+}
+
+ObjectivePoint HeterogeneousAllocator::Objectives(
+    const TuningProblem& problem, const std::vector<int>& prices) {
+  HTUNE_CHECK_EQ(prices.size(), problem.groups.size());
+  const std::vector<GroupLatencyTable> tables = BuildTables(problem);
+  return ObjectivesFromTables(tables, prices);
+}
+
+double HeterogeneousAllocator::Closeness(const ObjectivePoint& op,
+                                         const ObjectivePoint& utopia) const {
+  const double d1 = std::abs(op.o1 - utopia.o1);
+  const double d2 = std::abs(op.o2 - utopia.o2);
+  if (norm_ == ClosenessNorm::kL1) {
+    return d1 + d2;
+  }
+  return std::sqrt(d1 * d1 + d2 * d2);
+}
+
+StatusOr<ObjectivePoint> HeterogeneousAllocator::UtopiaPoint(
+    const TuningProblem& problem) const {
+  HTUNE_RETURN_IF_ERROR(ValidateProblem(problem));
+  const std::vector<GroupLatencyTable> tables = BuildTables(problem);
+
+  // O1*: the exact separable DP used by RA minimizes the same group sum.
+  const RepetitionAllocator exact(RepetitionAllocator::Mode::kExactDp);
+  HTUNE_ASSIGN_OR_RETURN(const std::vector<int> o1_prices,
+                         exact.SolvePrices(problem));
+  const double o1_star = ObjectivesFromTables(tables, o1_prices).o1;
+
+  // O2*: bottleneck greedy on the most-difficult-task latency.
+  const std::vector<int> o2_prices =
+      MinimizeMostDifficultWithTables(problem, tables);
+  const double o2_star = ObjectivesFromTables(tables, o2_prices).o2;
+
+  return ObjectivePoint{o1_star, o2_star};
+}
+
+namespace {
+
+// Upper bound on the number of uniform price vectors enumerated exactly.
+// Beyond this the budget-indexed unit DP (Algorithm 3) takes over.
+constexpr double kMaxEnumeration = 4e6;
+
+double EnumerationBound(const TuningProblem& problem) {
+  double bound = 1.0;
+  for (const TaskGroup& g : problem.groups) {
+    bound *= static_cast<double>(problem.budget / g.UnitCost());
+    if (bound > kMaxEnumeration) break;
+  }
+  return bound;
+}
+
+}  // namespace
+
+StatusOr<std::vector<int>> HeterogeneousAllocator::SolvePrices(
+    const TuningProblem& problem) const {
+  HTUNE_RETURN_IF_ERROR(ValidateProblem(problem));
+  const std::vector<GroupLatencyTable> tables = BuildTables(problem);
+  HTUNE_ASSIGN_OR_RETURN(const ObjectivePoint utopia, UtopiaPoint(problem));
+
+  // Exact path: the closeness objective is not separable (O2 is a max), and
+  // the unit-step DP below can stall on plateaus of measured (table)
+  // curves, so when the uniform-price space is small enough we enumerate it
+  // outright and return the true compromise optimum.
+  if (EnumerationBound(problem) <= kMaxEnumeration) {
+    std::vector<int> best;
+    double best_value = std::numeric_limits<double>::infinity();
+    ForEachUniformPriceVector(problem, [&](const std::vector<int>& prices) {
+      const double value =
+          Closeness(ObjectivesFromTables(tables, prices), utopia);
+      if (value < best_value ||
+          (value == best_value && (best.empty() || prices < best))) {
+        best_value = value;
+        best = prices;
+      }
+    });
+    HTUNE_CHECK(!best.empty());
+    return best;
+  }
+
+  const size_t n = problem.groups.size();
+  std::vector<long> unit_cost(n);
+  for (size_t i = 0; i < n; ++i) {
+    unit_cost[i] = problem.groups[i].UnitCost();
+  }
+
+  // Algorithm 3: budget-indexed DP over price vectors, objective = Closeness
+  // to the Utopia point.
+  const long spare = problem.budget - problem.MinimumBudget();
+  std::vector<std::vector<int>> prices_at(
+      static_cast<size_t>(spare) + 1, std::vector<int>(n, 1));
+  std::vector<double> closeness_at(static_cast<size_t>(spare) + 1, 0.0);
+  closeness_at[0] =
+      Closeness(ObjectivesFromTables(tables, prices_at[0]), utopia);
+
+  std::vector<int> scratch(n, 1);
+  for (long x = 1; x <= spare; ++x) {
+    const size_t xi = static_cast<size_t>(x);
+    double best = closeness_at[xi - 1];
+    size_t best_group = n;  // n = carry previous state
+    for (size_t i = 0; i < n; ++i) {
+      if (unit_cost[i] > x) continue;
+      const size_t from = static_cast<size_t>(x - unit_cost[i]);
+      scratch = prices_at[from];
+      ++scratch[i];
+      const double candidate =
+          Closeness(ObjectivesFromTables(tables, scratch), utopia);
+      // Ties prefer spending (see RepetitionAllocator): zero-gain plateaus
+      // of the curve must be crossable.
+      if (candidate <= best) {
+        best = candidate;
+        best_group = i;
+      }
+    }
+    if (best_group == n) {
+      prices_at[xi] = prices_at[xi - 1];
+    } else {
+      const size_t from = static_cast<size_t>(x - unit_cost[best_group]);
+      prices_at[xi] = prices_at[from];
+      ++prices_at[xi][best_group];
+    }
+    closeness_at[xi] = best;
+  }
+  return prices_at[static_cast<size_t>(spare)];
+}
+
+StatusOr<Allocation> HeterogeneousAllocator::Allocate(
+    const TuningProblem& problem) const {
+  HTUNE_ASSIGN_OR_RETURN(const std::vector<int> prices, SolvePrices(problem));
+  return UniformAllocation(problem, prices);
+}
+
+}  // namespace htune

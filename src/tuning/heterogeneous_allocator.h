@@ -1,0 +1,63 @@
+#ifndef HTUNE_TUNING_HETEROGENEOUS_ALLOCATOR_H_
+#define HTUNE_TUNING_HETEROGENEOUS_ALLOCATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "tuning/allocator.h"
+
+namespace htune {
+
+/// The two objective values of Scenario III at some allocation (§4.4):
+/// O1 = sum_i E[L1(g_i)] (phase-1 group sum) and O2 = max_i (E[L1(g_i)] +
+/// E[L2(g_i)]) (expected latency of the most difficult task group).
+struct ObjectivePoint {
+  double o1 = 0.0;
+  double o2 = 0.0;
+};
+
+/// Distance norm used for the Closeness between the objective point and the
+/// Utopia point. The paper's "first order distance" is the L1 norm; L2 is
+/// provided for the ablation bench.
+enum class ClosenessNorm { kL1, kL2 };
+
+/// Scenario III: the Heterogeneous Algorithm ("HA", Algorithm 3).
+/// Compromise programming over (O1, O2): compute the Utopia point by
+/// optimizing each objective independently under the budget, then run the
+/// unit-by-unit budget DP minimizing the Closeness ||OP - UP||.
+class HeterogeneousAllocator : public BudgetAllocator {
+ public:
+  explicit HeterogeneousAllocator(ClosenessNorm norm = ClosenessNorm::kL1)
+      : norm_(norm) {}
+
+  std::string Name() const override {
+    return norm_ == ClosenessNorm::kL1 ? "HA" : "HA-L2";
+  }
+  StatusOr<Allocation> Allocate(const TuningProblem& problem) const override;
+
+  /// Uniform per-group prices chosen for `problem`.
+  StatusOr<std::vector<int>> SolvePrices(const TuningProblem& problem) const;
+
+  /// The Utopia point (O1*, O2*) for `problem` (Definition 4): O1* from the
+  /// exact group-sum DP, O2* from bottleneck-greedy minimization of the
+  /// most-difficult-task latency.
+  StatusOr<ObjectivePoint> UtopiaPoint(const TuningProblem& problem) const;
+
+  /// Objective values of a uniform per-group price vector.
+  static ObjectivePoint Objectives(const TuningProblem& problem,
+                                   const std::vector<int>& prices);
+
+ private:
+  double Closeness(const ObjectivePoint& op, const ObjectivePoint& utopia) const;
+
+  ClosenessNorm norm_;
+};
+
+/// Minimizes O2 alone: repeatedly raises the price of the group whose
+/// E[L1]+E[L2] currently attains the max, while affordable. Exposed for the
+/// ablation bench ("O2-only tuner").
+std::vector<int> MinimizeMostDifficult(const TuningProblem& problem);
+
+}  // namespace htune
+
+#endif  // HTUNE_TUNING_HETEROGENEOUS_ALLOCATOR_H_

@@ -1,0 +1,53 @@
+#include "tuning/problem.h"
+
+#include <string>
+
+namespace htune {
+
+long TuningProblem::MinimumBudget() const {
+  long total = 0;
+  for (const TaskGroup& g : groups) {
+    total += g.UnitCost();
+  }
+  return total;
+}
+
+int TuningProblem::TotalTasks() const {
+  int total = 0;
+  for (const TaskGroup& g : groups) {
+    total += g.num_tasks;
+  }
+  return total;
+}
+
+long TuningProblem::TotalRepetitions() const { return MinimumBudget(); }
+
+Status ValidateProblem(const TuningProblem& problem) {
+  if (problem.groups.empty()) {
+    return InvalidArgumentError("TuningProblem: no task groups");
+  }
+  for (size_t i = 0; i < problem.groups.size(); ++i) {
+    const TaskGroup& g = problem.groups[i];
+    const std::string where = "group " + std::to_string(i);
+    if (g.num_tasks < 1) {
+      return InvalidArgumentError(where + ": num_tasks must be >= 1");
+    }
+    if (g.repetitions < 1) {
+      return InvalidArgumentError(where + ": repetitions must be >= 1");
+    }
+    if (g.processing_rate <= 0.0) {
+      return InvalidArgumentError(where + ": processing_rate must be > 0");
+    }
+    if (g.curve == nullptr) {
+      return InvalidArgumentError(where + ": missing price-rate curve");
+    }
+  }
+  if (problem.budget < problem.MinimumBudget()) {
+    return InvalidArgumentError(
+        "TuningProblem: budget below one unit per repetition (B < " +
+        std::to_string(problem.MinimumBudget()) + ")");
+  }
+  return OkStatus();
+}
+
+}  // namespace htune

@@ -1,0 +1,58 @@
+#ifndef HTUNE_TUNING_PROBLEM_H_
+#define HTUNE_TUNING_PROBLEM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "model/price_rate_curve.h"
+
+namespace htune {
+
+/// A group of statistically identical atomic tasks: same difficulty
+/// (processing rate), same repetition requirement, same price-rate
+/// behaviour. Scenario I has one group; Scenario II groups by repetition
+/// count; Scenario III groups by (type, repetitions) (§4.4).
+struct TaskGroup {
+  /// Display name for reports, e.g. "sort-votes x5".
+  std::string name;
+  /// Number of atomic tasks in the group (published in parallel).
+  int num_tasks = 1;
+  /// Sequential answer repetitions each task requires.
+  int repetitions = 1;
+  /// Processing clock rate lambda_p (difficulty; unaffected by payment).
+  double processing_rate = 1.0;
+  /// Maps per-repetition payment to the on-hold rate lambda_o for this task
+  /// type. Shared (not owned per group copy) so problems are cheap to copy.
+  std::shared_ptr<const PriceRateCurve> curve;
+
+  /// Total repetitions across the group = num_tasks * repetitions: the cost
+  /// in budget units of raising the per-repetition price by one unit.
+  long UnitCost() const {
+    return static_cast<long>(num_tasks) * static_cast<long>(repetitions);
+  }
+};
+
+/// An instance of the H-Tuning problem (Definition 3): allocate a discrete
+/// budget over the groups' repetitions to minimize the latency target.
+struct TuningProblem {
+  std::vector<TaskGroup> groups;
+  /// Total budget B in payment units (the AMT granularity, $0.01).
+  long budget = 0;
+
+  /// Minimum feasible spend: one unit per repetition of every task.
+  long MinimumBudget() const;
+  /// Total number of atomic tasks across groups.
+  int TotalTasks() const;
+  /// Total repetitions across groups.
+  long TotalRepetitions() const;
+};
+
+/// Validates an instance: at least one group; every group has num_tasks >= 1,
+/// repetitions >= 1, processing_rate > 0, a curve; budget >= MinimumBudget().
+Status ValidateProblem(const TuningProblem& problem);
+
+}  // namespace htune
+
+#endif  // HTUNE_TUNING_PROBLEM_H_

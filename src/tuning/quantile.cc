@@ -1,0 +1,168 @@
+#include "tuning/quantile.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/check.h"
+#include "model/latency_model.h"
+#include "tuning/repetition_allocator.h"
+
+namespace htune {
+namespace {
+
+// CDF at `t` of one task's total latency in group `g` at uniform
+// per-repetition price `price`.
+double TaskTotalCdf(const TaskGroup& g, int price, double t) {
+  const double on_hold_rate = g.curve->Rate(static_cast<double>(price));
+  HTUNE_CHECK_GT(on_hold_rate, 0.0);
+  return SumOfErlangsCdf(g.repetitions, on_hold_rate, g.repetitions,
+                         g.processing_rate, t);
+}
+
+}  // namespace
+
+double JobCompletionProbability(const TuningProblem& problem,
+                                const Allocation& alloc, double t) {
+  HTUNE_CHECK_OK(ValidateAllocation(problem, alloc));
+  if (t <= 0.0) return 0.0;
+  double log_p = 0.0;
+  for (size_t g = 0; g < problem.groups.size(); ++g) {
+    const TaskGroup& group = problem.groups[g];
+    HTUNE_CHECK(alloc.groups[g].IsUniform());
+    const double task_cdf =
+        TaskTotalCdf(group, alloc.groups[g].UniformPrice(), t);
+    if (task_cdf <= 0.0) return 0.0;
+    log_p += static_cast<double>(group.num_tasks) * std::log(task_cdf);
+  }
+  return std::exp(log_p);
+}
+
+StatusOr<double> JobLatencyQuantile(const TuningProblem& problem,
+                                    const Allocation& alloc, double q) {
+  HTUNE_RETURN_IF_ERROR(ValidateProblem(problem));
+  HTUNE_RETURN_IF_ERROR(ValidateAllocation(problem, alloc));
+  if (q <= 0.0 || q >= 1.0) {
+    return InvalidArgumentError("JobLatencyQuantile: q outside (0, 1)");
+  }
+  // Bracket: grow the upper bound until the probability exceeds q.
+  double lo = 0.0;
+  double hi = 1.0;
+  for (int i = 0; i < 80 && JobCompletionProbability(problem, alloc, hi) < q;
+       ++i) {
+    hi *= 2.0;
+  }
+  if (JobCompletionProbability(problem, alloc, hi) < q) {
+    return InternalError("JobLatencyQuantile: failed to bracket quantile");
+  }
+  for (int i = 0; i < 60; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (JobCompletionProbability(problem, alloc, mid) < q) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+StatusOr<DeadlinePlan> SolveQuantileDeadline(const TuningProblem& problem,
+                                             double deadline,
+                                             double confidence) {
+  HTUNE_RETURN_IF_ERROR(ValidateProblem(problem));
+  if (deadline <= 0.0) {
+    return InvalidArgumentError(
+        "SolveQuantileDeadline: deadline must be positive");
+  }
+  if (confidence <= 0.0 || confidence >= 1.0) {
+    return InvalidArgumentError(
+        "SolveQuantileDeadline: confidence outside (0, 1)");
+  }
+
+  const size_t n = problem.groups.size();
+  const long budget = problem.budget;
+  // Per-group "penalty" tables: -n_i log F_i(deadline; p). A group whose
+  // task CDF is 0 even at the max affordable price makes the instance
+  // infeasible regardless of the others.
+  std::vector<std::vector<double>> penalty(n);
+  std::vector<long> unit_cost(n);
+  for (size_t i = 0; i < n; ++i) {
+    const TaskGroup& g = problem.groups[i];
+    unit_cost[i] = g.UnitCost();
+    const long max_price = budget / unit_cost[i];
+    penalty[i].resize(static_cast<size_t>(max_price) + 1,
+                      std::numeric_limits<double>::infinity());
+    for (long p = 1; p <= max_price; ++p) {
+      const double cdf = TaskTotalCdf(g, static_cast<int>(p), deadline);
+      if (cdf > 0.0) {
+        penalty[i][static_cast<size_t>(p)] =
+            -static_cast<double>(g.num_tasks) * std::log(cdf);
+      }
+    }
+  }
+  const double budget_penalty = -std::log(confidence);
+
+  // Spend-indexed knapsack: best[b] = minimal total penalty spending
+  // exactly b; feasible at the smallest b whose prefix-minimum penalty is
+  // within -log(confidence).
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> best(static_cast<size_t>(budget) + 1, kInf);
+  best[0] = 0.0;
+  std::vector<std::vector<int>> choice(
+      n, std::vector<int>(static_cast<size_t>(budget) + 1, 0));
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<double> next(static_cast<size_t>(budget) + 1, kInf);
+    const long max_price = budget / unit_cost[i];
+    for (long b = 0; b <= budget; ++b) {
+      if (best[static_cast<size_t>(b)] == kInf) continue;
+      for (long p = 1; p <= max_price; ++p) {
+        const long spend = b + unit_cost[i] * p;
+        if (spend > budget) break;
+        const double value =
+            best[static_cast<size_t>(b)] + penalty[i][static_cast<size_t>(p)];
+        if (value < next[static_cast<size_t>(spend)]) {
+          next[static_cast<size_t>(spend)] = value;
+          choice[i][static_cast<size_t>(spend)] = static_cast<int>(p);
+        }
+      }
+    }
+    best = std::move(next);
+  }
+
+  long chosen = -1;
+  double running = kInf;
+  long running_at = -1;
+  for (long b = 0; b <= budget; ++b) {
+    if (best[static_cast<size_t>(b)] < running) {
+      running = best[static_cast<size_t>(b)];
+      running_at = b;
+    }
+    if (running <= budget_penalty) {
+      chosen = running_at;
+      break;
+    }
+  }
+  if (chosen < 0) {
+    return OutOfRangeError(
+        "SolveQuantileDeadline: confidence unreachable within the budget "
+        "ceiling (the processing phase may cap the completion probability)");
+  }
+
+  DeadlinePlan plan;
+  plan.prices.assign(n, 0);
+  long b = chosen;
+  for (size_t i = n; i > 0; --i) {
+    const int p = choice[i - 1][static_cast<size_t>(b)];
+    HTUNE_CHECK_GE(p, 1);
+    plan.prices[i - 1] = p;
+    b -= unit_cost[i - 1] * p;
+  }
+  HTUNE_CHECK_EQ(b, 0);
+  plan.cost = chosen;
+  plan.achieved = JobCompletionProbability(
+      problem, UniformAllocation(problem, plan.prices), deadline);
+  return plan;
+}
+
+}  // namespace htune

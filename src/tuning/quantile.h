@@ -1,0 +1,40 @@
+#ifndef HTUNE_TUNING_QUANTILE_H_
+#define HTUNE_TUNING_QUANTILE_H_
+
+#include "common/statusor.h"
+#include "tuning/allocation.h"
+#include "tuning/deadline_allocator.h"
+#include "tuning/problem.h"
+
+namespace htune {
+
+/// P(job completes by t): the product over every task of its total-latency
+/// CDF (tasks are independent; a task's total latency is the convolution of
+/// its on-hold Erlang and processing Erlang). Exact under the model — this
+/// is the distributional refinement of the expectation-based evaluators.
+/// Requires a structurally valid allocation with uniform per-task prices in
+/// each group (the tuners' output shape).
+double JobCompletionProbability(const TuningProblem& problem,
+                                const Allocation& alloc, double t);
+
+/// Smallest t with P(job <= t) >= q, by bisection on
+/// JobCompletionProbability. Requires q in (0, 1).
+StatusOr<double> JobLatencyQuantile(const TuningProblem& problem,
+                                    const Allocation& alloc, double q);
+
+/// Probabilistic deadline planning: the cheapest uniform per-group prices
+/// with P(every task done by `deadline`) >= `confidence`.
+///
+/// log P = sum_i n_i * log F_i(deadline; p_i) is separable across groups,
+/// so the instance is an exact knapsack over per-group prices with value
+/// -n_i log F_i — solved by the same spend-indexed DP as the expectation
+/// deadline. Returns OutOfRange when no affordable allocation reaches the
+/// confidence (the processing phase alone may cap P below it), and
+/// InvalidArgument for bad parameters.
+StatusOr<DeadlinePlan> SolveQuantileDeadline(const TuningProblem& problem,
+                                             double deadline,
+                                             double confidence);
+
+}  // namespace htune
+
+#endif  // HTUNE_TUNING_QUANTILE_H_

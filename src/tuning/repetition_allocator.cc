@@ -1,0 +1,156 @@
+#include "tuning/repetition_allocator.h"
+
+#include <limits>
+
+#include "common/check.h"
+#include "tuning/group_latency_table.h"
+
+namespace htune {
+
+Allocation UniformAllocation(const TuningProblem& problem,
+                             const std::vector<int>& prices) {
+  HTUNE_CHECK_EQ(prices.size(), problem.groups.size());
+  Allocation allocation;
+  allocation.groups.reserve(problem.groups.size());
+  for (size_t i = 0; i < problem.groups.size(); ++i) {
+    const TaskGroup& g = problem.groups[i];
+    allocation.groups.push_back(
+        UniformGroupAllocation(g.num_tasks, g.repetitions, prices[i]));
+  }
+  return allocation;
+}
+
+StatusOr<std::vector<int>> RepetitionAllocator::SolvePrices(
+    const TuningProblem& problem) const {
+  HTUNE_RETURN_IF_ERROR(ValidateProblem(problem));
+  if (mode_ == Mode::kPaperDp) {
+    return SolvePaperDp(problem);
+  }
+  return SolveExactDp(problem);
+}
+
+StatusOr<Allocation> RepetitionAllocator::Allocate(
+    const TuningProblem& problem) const {
+  HTUNE_ASSIGN_OR_RETURN(const std::vector<int> prices, SolvePrices(problem));
+  return UniformAllocation(problem, prices);
+}
+
+std::vector<int> RepetitionAllocator::SolvePaperDp(
+    const TuningProblem& problem) const {
+  const size_t n = problem.groups.size();
+  std::vector<GroupLatencyTable> tables;
+  tables.reserve(n);
+  std::vector<long> unit_cost(n);
+  for (size_t i = 0; i < n; ++i) {
+    tables.emplace_back(problem.groups[i]);
+    unit_cost[i] = problem.groups[i].UnitCost();
+  }
+
+  // Algorithm 2: start every repetition at one unit; the DP state at spare
+  // budget x holds the best price vector reachable with x extra units.
+  const long spare = problem.budget - problem.MinimumBudget();
+  std::vector<std::vector<int>> prices_at(
+      static_cast<size_t>(spare) + 1, std::vector<int>(n, 1));
+  std::vector<double> objective_at(static_cast<size_t>(spare) + 1, 0.0);
+  double base = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    base += tables[i].Phase1(1);
+  }
+  objective_at[0] = base;
+
+  for (long x = 1; x <= spare; ++x) {
+    // Default: carry the previous state (one unit left unspent).
+    double best = objective_at[static_cast<size_t>(x - 1)];
+    size_t best_group = n;  // n = carry
+    for (size_t i = 0; i < n; ++i) {
+      if (unit_cost[i] > x) continue;
+      const size_t from = static_cast<size_t>(x - unit_cost[i]);
+      const int p = prices_at[from][i];
+      const double candidate =
+          objective_at[from] - tables[i].Phase1Gain(p);
+      // Ties prefer spending over carrying: on a flat stretch of the
+      // price-rate curve the marginal gain is zero, and only a state that
+      // keeps accumulating price units can cross the plateau and reach the
+      // improving region beyond it.
+      if (candidate <= best) {
+        best = candidate;
+        best_group = i;
+      }
+    }
+    const size_t xi = static_cast<size_t>(x);
+    if (best_group == n) {
+      prices_at[xi] = prices_at[xi - 1];
+    } else {
+      const size_t from = static_cast<size_t>(x - unit_cost[best_group]);
+      prices_at[xi] = prices_at[from];
+      ++prices_at[xi][best_group];
+    }
+    objective_at[xi] = best;
+  }
+  return prices_at[static_cast<size_t>(spare)];
+}
+
+std::vector<int> RepetitionAllocator::SolveExactDp(
+    const TuningProblem& problem) const {
+  const size_t n = problem.groups.size();
+  std::vector<GroupLatencyTable> tables;
+  tables.reserve(n);
+  std::vector<long> unit_cost(n);
+  for (size_t i = 0; i < n; ++i) {
+    tables.emplace_back(problem.groups[i]);
+    unit_cost[i] = problem.groups[i].UnitCost();
+  }
+
+  const long budget = problem.budget;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  // best[b] = min sum of E over groups processed so far spending exactly b;
+  // choice[i][b] = price picked for group i to reach b.
+  std::vector<double> best(static_cast<size_t>(budget) + 1, kInf);
+  best[0] = 0.0;
+  std::vector<std::vector<int>> choice(
+      n, std::vector<int>(static_cast<size_t>(budget) + 1, 0));
+
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<double> next(static_cast<size_t>(budget) + 1, kInf);
+    const long max_price = budget / unit_cost[i];
+    for (long b = 0; b <= budget; ++b) {
+      if (best[static_cast<size_t>(b)] == kInf) continue;
+      for (long p = 1; p <= max_price; ++p) {
+        const long spend = b + unit_cost[i] * p;
+        if (spend > budget) break;
+        const double value = best[static_cast<size_t>(b)] +
+                             tables[i].Phase1(static_cast<int>(p));
+        if (value < next[static_cast<size_t>(spend)]) {
+          next[static_cast<size_t>(spend)] = value;
+          choice[i][static_cast<size_t>(spend)] = static_cast<int>(p);
+        }
+      }
+    }
+    best = std::move(next);
+  }
+
+  // Phase-1 latency is non-increasing in price, but find the best spend
+  // level explicitly so the DP is exact for arbitrary tables.
+  long best_spend = -1;
+  double best_value = kInf;
+  for (long b = 0; b <= budget; ++b) {
+    if (best[static_cast<size_t>(b)] < best_value) {
+      best_value = best[static_cast<size_t>(b)];
+      best_spend = b;
+    }
+  }
+  HTUNE_CHECK_GE(best_spend, 0);
+
+  std::vector<int> prices(n, 0);
+  long b = best_spend;
+  for (size_t i = n; i > 0; --i) {
+    const int p = choice[i - 1][static_cast<size_t>(b)];
+    HTUNE_CHECK_GE(p, 1);
+    prices[i - 1] = p;
+    b -= unit_cost[i - 1] * p;
+  }
+  HTUNE_CHECK_EQ(b, 0);
+  return prices;
+}
+
+}  // namespace htune

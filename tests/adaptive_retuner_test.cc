@@ -1,0 +1,182 @@
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "control/adaptive_retuner.h"
+#include "stats/descriptive.h"
+#include "tuning/repetition_allocator.h"
+
+namespace htune {
+namespace {
+
+std::shared_ptr<const PriceRateCurve> Believed() {
+  return std::make_shared<LinearCurve>(1.0, 1.0);
+}
+
+TuningProblem MakeProblem(long budget) {
+  TaskGroup a;
+  a.name = "a";
+  a.num_tasks = 10;
+  a.repetitions = 4;
+  a.processing_rate = 2.0;
+  a.curve = Believed();
+  TaskGroup b = a;
+  b.repetitions = 6;
+  TuningProblem problem;
+  problem.groups = {a, b};
+  problem.budget = budget;
+  return problem;
+}
+
+MarketConfig MisCalibratedMarket(uint64_t seed, double truth_factor) {
+  // The market's true responsiveness is `truth_factor` times the belief.
+  MarketConfig config;
+  config.worker_arrival_rate = 200.0;
+  config.true_curve = std::make_shared<FunctionCurve>(
+      [truth_factor](double p) { return truth_factor * (p + 1.0); },
+      "scaled-truth");
+  config.seed = seed;
+  config.record_trace = false;
+  return config;
+}
+
+TEST(AdaptiveRetunerTest, RunsToCompletionAndAccountsSpend) {
+  const TuningProblem problem = MakeProblem(600);
+  const RepetitionAllocator allocator;
+  RetunerConfig config;
+  config.review_interval = 0.2;
+  const AdaptiveRetuner retuner(&allocator, config);
+  MarketSimulator market(MisCalibratedMarket(1, 1.0));
+  const std::vector<QuestionSpec> questions(
+      static_cast<size_t>(problem.TotalTasks()));
+  const auto report = retuner.Run(market, problem, questions);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_GT(report->latency, 0.0);
+  EXPECT_LE(report->spent, problem.budget);
+  EXPECT_EQ(report->final_scale.size(), 2u);
+  EXPECT_EQ(report->final_prices.size(), 2u);
+}
+
+TEST(AdaptiveRetunerTest, WellCalibratedMarketNeedsNoScaleChange) {
+  const TuningProblem problem = MakeProblem(600);
+  const RepetitionAllocator allocator;
+  RetunerConfig config;
+  config.review_interval = 0.2;
+  config.retune_threshold = 0.5;  // generous: only large drifts trigger
+  const AdaptiveRetuner retuner(&allocator, config);
+  MarketSimulator market(MisCalibratedMarket(2, 1.0));
+  const std::vector<QuestionSpec> questions(
+      static_cast<size_t>(problem.TotalTasks()));
+  const auto report = retuner.Run(market, problem, questions);
+  ASSERT_TRUE(report.ok());
+  for (double scale : report->final_scale) {
+    EXPECT_NEAR(scale, 1.0, 0.5);
+  }
+}
+
+TEST(AdaptiveRetunerTest, DetectsMarketSlowdown) {
+  // Truth = 0.3x belief: the estimator must pull the scale well below 1.
+  const TuningProblem problem = MakeProblem(800);
+  const RepetitionAllocator allocator;
+  RetunerConfig config;
+  config.review_interval = 0.5;
+  config.min_observations = 8;
+  config.smoothing = 0.8;
+  const AdaptiveRetuner retuner(&allocator, config);
+  MarketSimulator market(MisCalibratedMarket(3, 0.3));
+  const std::vector<QuestionSpec> questions(
+      static_cast<size_t>(problem.TotalTasks()));
+  const auto report = retuner.Run(market, problem, questions);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report->reviews, 0);
+  for (double scale : report->final_scale) {
+    EXPECT_LT(scale, 0.7);
+    EXPECT_GT(scale, 0.1);
+  }
+}
+
+TEST(AdaptiveRetunerTest, ImprovesLatencyUnderDifferentialDrift) {
+  // Group "a" behaves exactly as believed; group "b" has silently become
+  // 4x less price-responsive. A uniform mis-scale would leave the optimal
+  // split unchanged (latencies just rescale), but differential drift makes
+  // the static split wrong: it underfunds b's repetitions. The adaptive
+  // loop must detect b's low realized rate and shift the remaining budget,
+  // beating the static run on realized latency.
+  const RepetitionAllocator allocator;
+  const auto believed = Believed();
+  const auto truth_b = std::make_shared<FunctionCurve>(
+      [](double p) { return 0.2 * (p + 1.0); }, "b-drifted");
+  RunningStats static_lat, adaptive_lat, scale_b;
+  int shifted = 0;
+  const int runs = 30;
+  for (int r = 0; r < runs; ++r) {
+    // Long repetition chains keep budget unexposed long enough for the
+    // drift signal to arrive while reallocation is still possible.
+    TaskGroup a;
+    a.name = "a";
+    a.num_tasks = 8;
+    a.repetitions = 12;
+    a.processing_rate = 5.0;
+    a.curve = believed;
+    TuningProblem problem;
+    problem.groups = {a, a};
+    problem.budget = 1500;
+    const std::vector<QuestionSpec> questions(
+        static_cast<size_t>(problem.TotalTasks()));
+    for (const bool adaptive : {false, true}) {
+      MarketConfig market_config;
+      market_config.worker_arrival_rate = 200.0;
+      market_config.seed = 100 + static_cast<uint64_t>(r);
+      market_config.record_trace = false;
+      MarketSimulator market(market_config);
+
+      RetunerConfig config;
+      config.market_truth_per_group = {believed, truth_b};
+      if (adaptive) {
+        config.review_interval = 0.25;
+        config.min_observations = 10;
+        config.smoothing = 0.7;
+      } else {
+        config.max_reviews = 0;  // static: allocate once, never look back
+      }
+      const AdaptiveRetuner runner(&allocator, config);
+      const auto report = runner.Run(market, problem, questions);
+      ASSERT_TRUE(report.ok());
+      (adaptive ? adaptive_lat : static_lat).Add(report->latency);
+      if (adaptive) {
+        scale_b.Add(report->final_scale[1]);
+        if (report->final_prices[1] > report->final_prices[0]) ++shifted;
+      }
+    }
+  }
+  // The drifted group's scale is re-learned near its true 0.2x ...
+  EXPECT_NEAR(scale_b.Mean(), 0.2, 0.08);
+  // ... the controller shifts money toward it ...
+  EXPECT_GT(shifted, runs * 3 / 4);
+  // ... and realized latency improves over the static execution.
+  EXPECT_LT(adaptive_lat.Mean(), static_lat.Mean());
+}
+
+TEST(AdaptiveRetunerTest, RejectsShapeMismatch) {
+  const TuningProblem problem = MakeProblem(600);
+  const RepetitionAllocator allocator;
+  const AdaptiveRetuner retuner(&allocator, RetunerConfig{});
+  MarketSimulator market(MisCalibratedMarket(5, 1.0));
+  const std::vector<QuestionSpec> too_few(3);
+  EXPECT_FALSE(retuner.Run(market, problem, too_few).ok());
+}
+
+TEST(AdaptiveRetunerDeathTest, ConfigValidation) {
+  const RepetitionAllocator allocator;
+  RetunerConfig bad;
+  bad.review_interval = 0.0;
+  EXPECT_DEATH(AdaptiveRetuner(&allocator, bad), "HTUNE_CHECK");
+  RetunerConfig bad2;
+  bad2.smoothing = 0.0;
+  EXPECT_DEATH(AdaptiveRetuner(&allocator, bad2), "HTUNE_CHECK");
+  EXPECT_DEATH(AdaptiveRetuner(nullptr, RetunerConfig{}), "HTUNE_CHECK");
+}
+
+}  // namespace
+}  // namespace htune

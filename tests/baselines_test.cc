@@ -1,0 +1,150 @@
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "tuning/baselines.h"
+#include "tuning/evaluator.h"
+#include "tuning/even_allocator.h"
+
+namespace htune {
+namespace {
+
+std::shared_ptr<const PriceRateCurve> Curve() {
+  return std::make_shared<LinearCurve>(1.0, 1.0);
+}
+
+TuningProblem Homogeneous(int tasks, int reps, long budget) {
+  TaskGroup g;
+  g.name = "homo";
+  g.num_tasks = tasks;
+  g.repetitions = reps;
+  g.processing_rate = 2.0;
+  g.curve = Curve();
+  TuningProblem problem;
+  problem.groups.push_back(g);
+  problem.budget = budget;
+  return problem;
+}
+
+TuningProblem TwoRepGroups(long budget) {
+  TuningProblem problem;
+  TaskGroup a;
+  a.name = "three";
+  a.num_tasks = 4;
+  a.repetitions = 3;
+  a.processing_rate = 2.0;
+  a.curve = Curve();
+  TaskGroup b = a;
+  b.name = "five";
+  b.repetitions = 5;
+  problem.groups = {a, b};
+  problem.budget = budget;
+  return problem;
+}
+
+TEST(BiasedAllocatorTest, SplitsBudgetByAlpha) {
+  // 10 tasks x 2 reps, budget 400; alpha=0.75: prior 5 tasks (10 reps) get
+  // floor(300)/10 = 30 per rep, rest get floor(100)/10 = 10 per rep.
+  const TuningProblem problem = Homogeneous(10, 2, 400);
+  const auto alloc = BiasedAllocator(0.75).Allocate(problem);
+  ASSERT_TRUE(alloc.ok());
+  for (int t = 0; t < 5; ++t) {
+    for (int r = 0; r < 2; ++r) {
+      EXPECT_EQ(alloc->groups[0].prices[t][r], 30);
+    }
+  }
+  for (int t = 5; t < 10; ++t) {
+    for (int r = 0; r < 2; ++r) {
+      EXPECT_EQ(alloc->groups[0].prices[t][r], 10);
+    }
+  }
+  EXPECT_LE(alloc->TotalCost(), 400);
+}
+
+TEST(BiasedAllocatorTest, NameEncodesAlpha) {
+  EXPECT_EQ(BiasedAllocator(0.67).Name(), "bias(0.67)");
+  EXPECT_EQ(BiasedAllocator(0.75).Name(), "bias(0.75)");
+}
+
+TEST(BiasedAllocatorTest, RejectsSingleTask) {
+  const TuningProblem problem = Homogeneous(1, 2, 100);
+  EXPECT_EQ(BiasedAllocator(0.67).Allocate(problem).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(BiasedAllocatorTest, RejectsBudgetTooSmallForRestHalf) {
+  // With alpha=0.75 and budget 24 over 10x2 reps, the rest half would get
+  // floor(6)/10 = 0 per repetition -> error, not a silent zero price.
+  const TuningProblem problem = Homogeneous(10, 2, 24);
+  EXPECT_FALSE(BiasedAllocator(0.75).Allocate(problem).ok());
+}
+
+TEST(BiasedAllocatorDeathTest, AlphaOutOfRange) {
+  EXPECT_DEATH(BiasedAllocator(0.4), "HTUNE_CHECK");
+  EXPECT_DEATH(BiasedAllocator(1.0), "HTUNE_CHECK");
+}
+
+TEST(BiasedAllocatorTest, EvenBeatsBiased) {
+  // The paper's Scenario I claim: EA dominates both bias levels, and the
+  // more biased allocation is worse.
+  const TuningProblem problem = Homogeneous(10, 5, 1000);
+  const auto even = EvenAllocator().Allocate(problem);
+  const auto bias1 = BiasedAllocator(0.67).Allocate(problem);
+  const auto bias2 = BiasedAllocator(0.75).Allocate(problem);
+  ASSERT_TRUE(even.ok());
+  ASSERT_TRUE(bias1.ok());
+  ASSERT_TRUE(bias2.ok());
+  const double e = ExpectedPhase1Latency(problem, *even);
+  const double b1 = ExpectedPhase1Latency(problem, *bias1);
+  const double b2 = ExpectedPhase1Latency(problem, *bias2);
+  EXPECT_LT(e, b1);
+  EXPECT_LT(b1, b2);
+}
+
+TEST(TaskEvenAllocatorTest, EqualTotalPerTask) {
+  const TuningProblem problem = TwoRepGroups(320);
+  const auto alloc = TaskEvenAllocator().Allocate(problem);
+  ASSERT_TRUE(alloc.ok());
+  // budget/8 tasks = 40 per task; 3-rep tasks pay 13 per rep, 5-rep pay 8.
+  EXPECT_EQ(alloc->groups[0].prices[0][0], 13);
+  EXPECT_EQ(alloc->groups[1].prices[0][0], 8);
+  EXPECT_LE(alloc->TotalCost(), 320);
+}
+
+TEST(RepEvenAllocatorTest, EqualPricePerRepetition) {
+  const TuningProblem problem = TwoRepGroups(320);
+  const auto alloc = RepEvenAllocator().Allocate(problem);
+  ASSERT_TRUE(alloc.ok());
+  // 32 repetitions total -> 10 per repetition everywhere.
+  EXPECT_EQ(alloc->groups[0].prices[0][0], 10);
+  EXPECT_EQ(alloc->groups[1].prices[0][0], 10);
+  EXPECT_EQ(alloc->TotalCost(), 320);
+}
+
+TEST(UniformHeuristicAllocatorTest, EqualTotalPerGroup) {
+  const TuningProblem problem = TwoRepGroups(320);
+  const auto alloc = UniformHeuristicAllocator().Allocate(problem);
+  ASSERT_TRUE(alloc.ok());
+  // 160 per group; group 0 unit cost 12 -> 13 per rep; group 1 unit cost
+  // 20 -> 8 per rep.
+  EXPECT_EQ(alloc->groups[0].prices[0][0], 13);
+  EXPECT_EQ(alloc->groups[1].prices[0][0], 8);
+  EXPECT_LE(alloc->TotalCost(), 320);
+}
+
+TEST(BaselinesTest, AllRejectBudgetBelowOneUnitPerRep) {
+  const TuningProblem problem = TwoRepGroups(33);  // min is 32, but floors hit 0
+  EXPECT_FALSE(TaskEvenAllocator().Allocate(problem).ok());
+  // rep-even: 33/32 = 1 per rep, feasible.
+  EXPECT_TRUE(RepEvenAllocator().Allocate(problem).ok());
+}
+
+TEST(BaselinesTest, NamesAreStable) {
+  EXPECT_EQ(TaskEvenAllocator().Name(), "task-even");
+  EXPECT_EQ(RepEvenAllocator().Name(), "rep-even");
+  EXPECT_EQ(UniformHeuristicAllocator().Name(), "HEU");
+  EXPECT_EQ(EvenAllocator().Name(), "EA");
+}
+
+}  // namespace
+}  // namespace htune

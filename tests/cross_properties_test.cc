@@ -1,0 +1,257 @@
+// Cross-module mathematical properties: identities that tie the model, the
+// optimizers and the simulator together. These are the load-bearing
+// invariants a refactor must not break.
+
+#include <cmath>
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "market/simulator.h"
+#include "model/distributions.h"
+#include "model/hypoexponential.h"
+#include "model/order_statistics.h"
+#include "rng/random.h"
+#include "stats/descriptive.h"
+#include "tuning/evaluator.h"
+#include "tuning/group_latency_table.h"
+#include "tuning/quantile.h"
+#include "tuning/repetition_allocator.h"
+
+namespace htune {
+namespace {
+
+// --- Model identities -----------------------------------------------------
+
+TEST(CrossProperties, ErlangIsHypoexponentialWithEqualRates) {
+  for (const int k : {1, 2, 5, 9}) {
+    const ErlangDist erlang(k, 1.7);
+    const HypoexponentialDist hypo(std::vector<double>(k, 1.7));
+    for (double t = 0.25; t < 12.0; t += 0.75) {
+      ASSERT_NEAR(erlang.Cdf(t), hypo.Cdf(t), 1e-9) << "k=" << k;
+    }
+  }
+}
+
+TEST(CrossProperties, HypoexponentialOrderInvariance) {
+  // The sum's law cannot depend on the order of the phases.
+  const HypoexponentialDist forward({0.5, 2.0, 7.0});
+  const HypoexponentialDist backward({7.0, 2.0, 0.5});
+  for (double t = 0.2; t < 10.0; t += 0.6) {
+    ASSERT_NEAR(forward.Cdf(t), backward.Cdf(t), 1e-9);
+  }
+}
+
+TEST(CrossProperties, MaxOfOneIsTheMean) {
+  // E[max over 1 draw] must equal the plain expectation for every family.
+  EXPECT_NEAR(ExpectedMaxExponential(1, 3.0), 1.0 / 3.0, 1e-9);
+  EXPECT_NEAR(ExpectedMaxErlang(1, 4, 2.0), 2.0, 1e-6);
+  const TwoPhaseLatencyDist two_phase(2.0, 5.0);
+  EXPECT_NEAR(ExpectedMaxTwoPhase(1, two_phase), two_phase.Mean(), 1e-6);
+}
+
+TEST(CrossProperties, MinMaxIdentityForTwoExponentials) {
+  // E[max] + E[min] = E[X] + E[Y].
+  const double l1 = 1.3, l2 = 4.2;
+  const double max_term = ExpectedMaxTwoExponentials(l1, l2);
+  const double min_term = 1.0 / (l1 + l2);
+  EXPECT_NEAR(max_term + min_term, 1.0 / l1 + 1.0 / l2, 1e-12);
+}
+
+// Scaling law: multiplying every rate by c divides every latency
+// expectation by c. Checked across the full analytic stack.
+class ScalingSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ScalingSweep, AllExpectationsScaleInversely) {
+  const double c = GetParam();
+  EXPECT_NEAR(ExpectedMaxErlang(12, 3, 2.0 * c),
+              ExpectedMaxErlang(12, 3, 2.0) / c, 1e-6);
+  const HypoexponentialDist base({1.0, 3.0});
+  const HypoexponentialDist scaled({1.0 * c, 3.0 * c});
+  EXPECT_NEAR(scaled.Mean(), base.Mean() / c, 1e-12);
+  // CDF time-rescaling: F_scaled(t) = F_base(c t).
+  for (double t = 0.3; t < 3.0; t += 0.4) {
+    EXPECT_NEAR(scaled.Cdf(t), base.Cdf(c * t), 1e-8);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Factors, ScalingSweep,
+                         ::testing::Values(0.25, 2.0, 8.0));
+
+// --- Optimizer invariances -------------------------------------------------
+
+TEST(CrossProperties, RaAllocationInvariantToUniformRateScaling) {
+  // Scaling the curve by a constant rescales all latencies equally, so the
+  // optimal price split must not change.
+  for (const double scale : {0.2, 1.0, 5.0}) {
+    TuningProblem problem;
+    TaskGroup a;
+    a.name = "a";
+    a.num_tasks = 5;
+    a.repetitions = 2;
+    a.processing_rate = 2.0;
+    a.curve = std::make_shared<FunctionCurve>(
+        [scale](double p) { return scale * (0.7 * p + 0.9); }, "scaled");
+    TaskGroup b = a;
+    b.name = "b";
+    b.repetitions = 4;
+    problem.groups = {a, b};
+    problem.budget = 100;
+    const auto prices =
+        RepetitionAllocator(RepetitionAllocator::Mode::kExactDp)
+            .SolvePrices(problem);
+    ASSERT_TRUE(prices.ok());
+    // Reference solution at scale 1.
+    TuningProblem reference = problem;
+    reference.groups[0].curve =
+        std::make_shared<LinearCurve>(0.7, 0.9);
+    reference.groups[1].curve = reference.groups[0].curve;
+    const auto reference_prices =
+        RepetitionAllocator(RepetitionAllocator::Mode::kExactDp)
+            .SolvePrices(reference);
+    ASSERT_TRUE(reference_prices.ok());
+    EXPECT_EQ(*prices, *reference_prices) << "scale=" << scale;
+  }
+}
+
+TEST(CrossProperties, GroupTablePhase1MatchesEvaluator) {
+  // GroupLatencyTable (the optimizers' view) and the evaluator (the
+  // reporting view) must agree on uniform allocations.
+  TaskGroup g;
+  g.name = "g";
+  g.num_tasks = 7;
+  g.repetitions = 3;
+  g.processing_rate = 2.0;
+  g.curve = std::make_shared<LinearCurve>(1.0, 1.0);
+  const GroupLatencyTable table(g);
+  for (int price = 1; price <= 8; ++price) {
+    const GroupAllocation alloc = UniformGroupAllocation(7, 3, price);
+    EXPECT_NEAR(table.Phase1(price), ExpectedPhase1GroupLatency(g, alloc),
+                1e-7)
+        << price;
+  }
+}
+
+TEST(CrossProperties, QuantileMedianBelowMeanForJobMax) {
+  // The max of many light-tailed latencies is right-skewed, so its median
+  // sits below its mean.
+  TuningProblem problem;
+  TaskGroup g;
+  g.name = "g";
+  g.num_tasks = 20;
+  g.repetitions = 2;
+  g.processing_rate = 2.0;
+  g.curve = std::make_shared<LinearCurve>(1.0, 1.0);
+  problem.groups = {g};
+  problem.budget = 400;
+  const Allocation alloc = UniformAllocation(problem, {5});
+  const auto median = JobLatencyQuantile(problem, alloc, 0.5);
+  ASSERT_TRUE(median.ok());
+  Random rng(11);
+  const double mean = MonteCarloOverallLatency(problem, alloc, 60000, rng);
+  EXPECT_LT(*median, mean);
+  // But not absurdly so.
+  EXPECT_GT(*median, 0.5 * mean);
+}
+
+// --- Market-vs-analytic matrix ----------------------------------------------
+
+// The realized mean on-hold latency on the simulator must match 1/rate for
+// every (curve, schedule) combination: the simulator implements the same
+// model the analytics assume.
+class MarketMatrixSweep
+    : public ::testing::TestWithParam<std::tuple<int, bool>> {};
+
+TEST_P(MarketMatrixSweep, RealizedOnHoldMatchesModel) {
+  const auto [curve_index, scheduled] = GetParam();
+  const auto curves = PaperSyntheticCurves();
+  const PriceRateCurve& curve = *curves[curve_index];
+  const int price = 3;
+  const double rate = curve.Rate(price);
+
+  RunningStats on_hold;
+  for (int m = 0; m < 150; ++m) {
+    MarketConfig config;
+    config.worker_arrival_rate = 60.0;
+    if (scheduled) {
+      // Cyclic schedule with mean = the reference rate: realized rate
+      // averages out over enough samples.
+      const auto schedule = RateSchedule::Create(
+          {{0.0, 90.0}, {0.5, 30.0}}, 1.0);
+      ASSERT_TRUE(schedule.ok());
+      config.arrival_schedule = std::make_shared<RateSchedule>(*schedule);
+    }
+    config.seed = 4000 + static_cast<uint64_t>(m);
+    config.record_trace = false;
+    MarketSimulator market(config);
+    TaskSpec spec;
+    spec.price_per_repetition = price;
+    spec.repetitions = 4;
+    spec.on_hold_rate = rate;
+    spec.processing_rate = 50.0;
+    const auto id = market.PostTask(spec);
+    ASSERT_TRUE(id.ok());
+    ASSERT_TRUE(market.RunToCompletion().ok());
+    const TaskOutcome outcome = *market.GetOutcome(*id);
+    for (const RepetitionOutcome& rep : outcome.repetitions) {
+      on_hold.Add(rep.OnHoldLatency());
+    }
+  }
+  // Constant market: exact law. Cyclic market: same mean rate, so the mean
+  // on-hold agrees to first order (slightly above by Jensen); allow more
+  // slack there.
+  const double expected = 1.0 / rate;
+  const double tolerance = (scheduled ? 0.25 : 0.1) * expected + 0.01;
+  EXPECT_NEAR(on_hold.Mean(), expected, tolerance)
+      << curve.Name() << " scheduled=" << scheduled;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CurvesBySchedule, MarketMatrixSweep,
+    ::testing::Combine(::testing::Values(0, 1, 3, 4),
+                       ::testing::Bool()));
+
+// --- End-to-end conservation under repricing -------------------------------
+
+TEST(CrossProperties, RepricingConservesRepetitionCount) {
+  MarketConfig config;
+  config.worker_arrival_rate = 80.0;
+  config.seed = 77;
+  config.record_trace = false;
+  MarketSimulator market(config);
+  std::vector<TaskId> ids;
+  for (int i = 0; i < 10; ++i) {
+    TaskSpec spec;
+    spec.price_per_repetition = 2;
+    spec.repetitions = 5;
+    spec.on_hold_rate = 2.0;
+    spec.processing_rate = 2.0;
+    ids.push_back(*market.PostTask(spec));
+  }
+  // Storm of reprices while the job runs.
+  for (int round = 0; round < 8; ++round) {
+    market.RunUntil(market.now() + 0.3);
+    for (const TaskId id : ids) {
+      // Repricing completed tasks fails cleanly; open ones succeed.
+      const Status status = market.Reprice(id, 2 + round, 2.0 + round);
+      if (!status.ok()) {
+        EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+      }
+    }
+  }
+  ASSERT_TRUE(market.OpenTaskCount() == 0 || market.RunToCompletion().ok());
+  long paid = 0;
+  for (const TaskId id : ids) {
+    const TaskOutcome outcome = *market.GetOutcome(id);
+    ASSERT_EQ(outcome.repetitions.size(), 5u);
+    for (const RepetitionOutcome& rep : outcome.repetitions) {
+      paid += rep.price;
+    }
+  }
+  EXPECT_EQ(market.TotalSpent(), paid);
+}
+
+}  // namespace
+}  // namespace htune

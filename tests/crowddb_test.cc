@@ -1,0 +1,224 @@
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "crowddb/executor.h"
+#include "crowddb/filter.h"
+#include "crowddb/max.h"
+#include "crowddb/metrics.h"
+#include "crowddb/sort.h"
+#include "crowddb/types.h"
+#include "tuning/even_allocator.h"
+#include "tuning/repetition_allocator.h"
+
+namespace htune {
+namespace {
+
+std::shared_ptr<const PriceRateCurve> Curve() {
+  return std::make_shared<LinearCurve>(1.0, 1.0);
+}
+
+MarketConfig Market(uint64_t seed, double error = 0.0) {
+  MarketConfig config;
+  config.worker_arrival_rate = 200.0;
+  config.seed = seed;
+  config.worker_error_prob = error;
+  config.record_trace = false;
+  return config;
+}
+
+std::vector<Item> SomeItems(int n) {
+  std::vector<Item> items;
+  for (int i = 0; i < n; ++i) {
+    items.push_back({i, 10.0 * (i + 1)});
+  }
+  return items;
+}
+
+TEST(MajorityVoteTest, BasicMajorities) {
+  EXPECT_EQ(MajorityVote({}), -1);
+  EXPECT_EQ(MajorityVote({1}), 1);
+  EXPECT_EQ(MajorityVote({0, 1, 1}), 1);
+  EXPECT_EQ(MajorityVote({0, 0, 1, 1, 1, 0, 0}), 0);
+  // Tie breaks toward the smaller option.
+  EXPECT_EQ(MajorityVote({1, 0}), 0);
+  EXPECT_EQ(MajorityVote({2, 1, 2, 1}), 1);
+}
+
+TEST(KendallTauTest, PerfectAndReversed) {
+  const std::vector<int> truth = {3, 1, 4, 2};
+  EXPECT_DOUBLE_EQ(*KendallTau(truth, truth), 1.0);
+  std::vector<int> reversed = truth;
+  std::reverse(reversed.begin(), reversed.end());
+  EXPECT_DOUBLE_EQ(*KendallTau(reversed, truth), -1.0);
+}
+
+TEST(KendallTauTest, OneSwapCosts2OverPairs) {
+  const std::vector<int> truth = {1, 2, 3, 4};
+  const std::vector<int> swapped = {2, 1, 3, 4};
+  EXPECT_NEAR(*KendallTau(swapped, truth), 1.0 - 2.0 / 6.0, 1e-12);
+}
+
+TEST(KendallTauTest, RejectsBadInput) {
+  EXPECT_FALSE(KendallTau({1}, {1}).ok());
+  EXPECT_FALSE(KendallTau({1, 2}, {1, 3}).ok());
+  EXPECT_FALSE(KendallTau({1, 1}, {1, 1}).ok());
+}
+
+TEST(PrecisionRecallTest, Basics) {
+  const auto pr = ComputePrecisionRecall({1, 2, 3}, {2, 3, 4, 5});
+  EXPECT_NEAR(pr.precision, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(pr.recall, 0.5, 1e-12);
+  EXPECT_GT(pr.F1(), 0.0);
+  EXPECT_DOUBLE_EQ(ComputePrecisionRecall({}, {1}).precision, 1.0);
+  EXPECT_DOUBLE_EQ(ComputePrecisionRecall({1}, {}).recall, 1.0);
+  // Vacuous prediction of a vacuous truth is perfect by convention.
+  EXPECT_DOUBLE_EQ(ComputePrecisionRecall({}, {}).F1(), 1.0);
+}
+
+TEST(CrowdSortTest, CreateValidation) {
+  EXPECT_FALSE(CrowdSort::Create({{0, 1.0}}, 1).ok());
+  EXPECT_FALSE(CrowdSort::Create(SomeItems(3), 0).ok());
+  EXPECT_FALSE(CrowdSort::Create({{0, 1.0}, {0, 2.0}}, 1).ok());  // dup id
+  EXPECT_FALSE(CrowdSort::Create({{0, 1.0}, {1, 1.0}}, 1).ok());  // dup value
+  EXPECT_TRUE(CrowdSort::Create(SomeItems(4), 3).ok());
+}
+
+TEST(CrowdSortTest, ProblemShape) {
+  const auto sort = CrowdSort::Create(SomeItems(5), 3);
+  ASSERT_TRUE(sort.ok());
+  EXPECT_EQ(sort->NumPairs(), 10);
+  const TuningProblem problem = sort->MakeProblem(100, Curve(), 2.0);
+  EXPECT_EQ(problem.groups.size(), 1u);
+  EXPECT_EQ(problem.groups[0].num_tasks, 10);
+  EXPECT_EQ(problem.groups[0].repetitions, 3);
+  EXPECT_EQ(sort->Questions().size(), 10u);
+}
+
+TEST(CrowdSortTest, PerfectWorkersYieldPerfectRanking) {
+  const auto sort = CrowdSort::Create(SomeItems(6), 3);
+  ASSERT_TRUE(sort.ok());
+  MarketSimulator market(Market(1));
+  const auto result =
+      sort->Run(market, EvenAllocator(), 500, Curve(), 5.0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->kendall_tau, 1.0);
+  EXPECT_EQ(result->ranking.front(), 5);  // highest value item id
+  EXPECT_EQ(result->ranking.back(), 0);
+  EXPECT_GT(result->latency, 0.0);
+  EXPECT_LE(result->spent, 500);
+}
+
+TEST(CrowdSortTest, NoisyWorkersDegradeButRepetitionHelps) {
+  double tau_few = 0.0, tau_many = 0.0;
+  const int trials = 10;
+  for (int reps : {1, 9}) {
+    double tau_sum = 0.0;
+    for (int t = 0; t < trials; ++t) {
+      const auto sort = CrowdSort::Create(SomeItems(6), reps);
+      ASSERT_TRUE(sort.ok());
+      MarketSimulator market(Market(50 + t, /*error=*/0.3));
+      const auto result = sort->Run(market, EvenAllocator(),
+                                    400L * reps, Curve(), 5.0);
+      ASSERT_TRUE(result.ok());
+      tau_sum += result->kendall_tau;
+    }
+    (reps == 1 ? tau_few : tau_many) = tau_sum / trials;
+  }
+  EXPECT_GT(tau_many, tau_few);
+}
+
+TEST(CrowdFilterTest, CreateValidation) {
+  EXPECT_FALSE(CrowdFilter::Create({}, 1.0, 1).ok());
+  EXPECT_FALSE(CrowdFilter::Create(SomeItems(2), 1.0, 0).ok());
+  EXPECT_FALSE(
+      CrowdFilter::Create({{0, 1.0}, {0, 2.0}}, 1.0, 1).ok());
+  EXPECT_TRUE(CrowdFilter::Create(SomeItems(3), 15.0, 2).ok());
+}
+
+TEST(CrowdFilterTest, PerfectWorkersFilterExactly) {
+  const auto filter = CrowdFilter::Create(SomeItems(8), 45.0, 3);
+  ASSERT_TRUE(filter.ok());
+  MarketSimulator market(Market(2));
+  const auto result =
+      filter->Run(market, EvenAllocator(), 300, Curve(), 5.0);
+  ASSERT_TRUE(result.ok());
+  // Items with value >= 45: ids 4..7 (values 50..80).
+  EXPECT_EQ(result->selected, (std::vector<int>{4, 5, 6, 7}));
+  EXPECT_DOUBLE_EQ(result->quality.precision, 1.0);
+  EXPECT_DOUBLE_EQ(result->quality.recall, 1.0);
+}
+
+TEST(CrowdFilterTest, ThresholdBoundaryIsInclusive) {
+  const auto filter = CrowdFilter::Create({{0, 10.0}, {1, 9.99}}, 10.0, 1);
+  ASSERT_TRUE(filter.ok());
+  const auto questions = filter->Questions();
+  EXPECT_EQ(questions[0].true_answer, 0);  // passes
+  EXPECT_EQ(questions[1].true_answer, 1);  // fails
+}
+
+TEST(CrowdMaxTest, CreateValidation) {
+  EXPECT_FALSE(CrowdMax::Create({{0, 1.0}}, 1).ok());
+  EXPECT_FALSE(CrowdMax::Create(SomeItems(4), 0).ok());
+  EXPECT_TRUE(CrowdMax::Create(SomeItems(4), 3).ok());
+}
+
+TEST(CrowdMaxTest, PerfectWorkersFindTrueMax) {
+  for (int n : {2, 3, 5, 8}) {
+    const auto max_query = CrowdMax::Create(SomeItems(n), 3);
+    ASSERT_TRUE(max_query.ok());
+    EXPECT_EQ(max_query->TotalMatches(), n - 1);
+    MarketSimulator market(Market(3 + static_cast<uint64_t>(n)));
+    const auto result = max_query->Run(market, EvenAllocator(),
+                                       60L * (n - 1), Curve(), 5.0);
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_TRUE(result->correct) << "n=" << n;
+    EXPECT_EQ(result->winner_id, n - 1);
+    EXPECT_GT(result->rounds, 0);
+  }
+}
+
+TEST(CrowdMaxTest, RejectsTinyBudget) {
+  const auto max_query = CrowdMax::Create(SomeItems(4), 5);
+  ASSERT_TRUE(max_query.ok());
+  MarketSimulator market(Market(4));
+  EXPECT_FALSE(
+      max_query->Run(market, EvenAllocator(), 10, Curve(), 5.0).ok());
+}
+
+TEST(ExecutorTest, ShapeValidation) {
+  const auto sort = CrowdSort::Create(SomeItems(3), 2);
+  ASSERT_TRUE(sort.ok());
+  const TuningProblem problem = sort->MakeProblem(60, Curve(), 5.0);
+  const auto alloc = EvenAllocator().Allocate(problem);
+  ASSERT_TRUE(alloc.ok());
+  MarketSimulator market(Market(5));
+  // Wrong number of questions.
+  EXPECT_FALSE(ExecuteJob(market, problem, *alloc, {}).ok());
+}
+
+TEST(ExecutorTest, AccountingAndAnswersShape) {
+  const auto filter = CrowdFilter::Create(SomeItems(5), 25.0, 4);
+  ASSERT_TRUE(filter.ok());
+  const TuningProblem problem = filter->MakeProblem(200, Curve(), 5.0);
+  const auto alloc = RepetitionAllocator().Allocate(problem);
+  ASSERT_TRUE(alloc.ok());
+  MarketSimulator market(Market(6));
+  const auto execution =
+      ExecuteJob(market, problem, *alloc, filter->Questions());
+  ASSERT_TRUE(execution.ok());
+  EXPECT_EQ(execution->answers.size(), 5u);
+  for (const auto& task_answers : execution->answers) {
+    EXPECT_EQ(task_answers.size(), 4u);
+  }
+  EXPECT_EQ(execution->spent, alloc->TotalCost());
+  EXPECT_EQ(execution->task_latencies.size(), 5u);
+  const double max_task = *std::max_element(execution->task_latencies.begin(),
+                                            execution->task_latencies.end());
+  EXPECT_DOUBLE_EQ(execution->latency, max_task);
+}
+
+}  // namespace
+}  // namespace htune

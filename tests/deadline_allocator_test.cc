@@ -1,0 +1,142 @@
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tuning/brute_force.h"
+#include "tuning/deadline_allocator.h"
+#include "tuning/group_latency_table.h"
+
+namespace htune {
+namespace {
+
+std::shared_ptr<const PriceRateCurve> Curve() {
+  return std::make_shared<LinearCurve>(1.0, 1.0);
+}
+
+TuningProblem MakeProblem(long budget_ceiling) {
+  TaskGroup a;
+  a.name = "a";
+  a.num_tasks = 3;
+  a.repetitions = 2;
+  a.processing_rate = 2.0;
+  a.curve = Curve();
+  TaskGroup b = a;
+  b.repetitions = 4;
+  b.processing_rate = 1.0;
+  TuningProblem problem;
+  problem.groups = {a, b};
+  problem.budget = budget_ceiling;
+  return problem;
+}
+
+double Phase1Sum(const TuningProblem& problem,
+                 const std::vector<int>& prices) {
+  double total = 0.0;
+  for (size_t i = 0; i < problem.groups.size(); ++i) {
+    total += GroupLatencyTable(problem.groups[i]).Phase1(prices[i]);
+  }
+  return total;
+}
+
+TEST(DeadlineTest, LooseDeadlineCostsTheMinimum) {
+  const TuningProblem problem = MakeProblem(10000);
+  const auto plan =
+      SolveDeadline(problem, 1e9, DeadlineObjective::kPhase1Sum);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->prices, (std::vector<int>{1, 1}));
+  EXPECT_EQ(plan->cost, problem.MinimumBudget());
+}
+
+TEST(DeadlineTest, MeetsTheDeadlineAtReportedValue) {
+  const TuningProblem problem = MakeProblem(10000);
+  for (const double deadline : {3.0, 1.5, 0.8, 0.3}) {
+    const auto plan =
+        SolveDeadline(problem, deadline, DeadlineObjective::kPhase1Sum);
+    ASSERT_TRUE(plan.ok()) << deadline;
+    EXPECT_LE(plan->achieved, deadline);
+    EXPECT_NEAR(plan->achieved, Phase1Sum(problem, plan->prices), 1e-9);
+    EXPECT_LE(plan->cost, problem.budget);
+  }
+}
+
+TEST(DeadlineTest, CostIsMonotoneInDeadline) {
+  const TuningProblem problem = MakeProblem(10000);
+  long prev_cost = 1L << 60;
+  for (const double deadline : {0.3, 0.5, 1.0, 2.0, 4.0}) {
+    const auto plan =
+        SolveDeadline(problem, deadline, DeadlineObjective::kPhase1Sum);
+    ASSERT_TRUE(plan.ok());
+    EXPECT_LE(plan->cost, prev_cost) << deadline;
+    prev_cost = plan->cost;
+  }
+}
+
+TEST(DeadlineTest, MatchesBruteForceMinimalCost) {
+  const TuningProblem problem = MakeProblem(120);
+  for (const double deadline : {2.0, 1.0, 0.6}) {
+    const auto plan =
+        SolveDeadline(problem, deadline, DeadlineObjective::kPhase1Sum);
+    // Oracle: cheapest feasible uniform price vector by enumeration.
+    long best_cost = 1L << 60;
+    ForEachUniformPriceVector(problem, [&](const std::vector<int>& prices) {
+      if (Phase1Sum(problem, prices) > deadline) return;
+      long cost = 0;
+      for (size_t i = 0; i < prices.size(); ++i) {
+        cost += problem.groups[i].UnitCost() * prices[i];
+      }
+      best_cost = std::min(best_cost, cost);
+    });
+    if (best_cost == (1L << 60)) {
+      EXPECT_EQ(plan.status().code(), StatusCode::kOutOfRange)
+          << "deadline=" << deadline;
+    } else {
+      ASSERT_TRUE(plan.ok()) << "deadline=" << deadline;
+      EXPECT_EQ(plan->cost, best_cost) << "deadline=" << deadline;
+    }
+  }
+}
+
+TEST(DeadlineTest, MostDifficultObjectiveRespectsProcessingFloor) {
+  const TuningProblem problem = MakeProblem(10000);
+  // Group b's phase-2 mean is 4 / 1.0 = 4: no deadline below that works.
+  const auto impossible =
+      SolveDeadline(problem, 3.9, DeadlineObjective::kMostDifficult);
+  EXPECT_EQ(impossible.status().code(), StatusCode::kOutOfRange);
+
+  const auto feasible =
+      SolveDeadline(problem, 4.5, DeadlineObjective::kMostDifficult);
+  ASSERT_TRUE(feasible.ok());
+  EXPECT_LE(feasible->achieved, 4.5);
+  // Nearly all payment must flow to b's phase 1.
+  EXPECT_GT(feasible->prices[1], feasible->prices[0]);
+}
+
+TEST(DeadlineTest, BudgetCeilingBindsSearch) {
+  const TuningProblem problem = MakeProblem(30);  // min spend is 18
+  const auto plan =
+      SolveDeadline(problem, 0.01, DeadlineObjective::kPhase1Sum);
+  EXPECT_EQ(plan.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(DeadlineTest, ValidationErrors) {
+  const TuningProblem problem = MakeProblem(1000);
+  EXPECT_FALSE(
+      SolveDeadline(problem, 0.0, DeadlineObjective::kPhase1Sum).ok());
+  TuningProblem empty;
+  EXPECT_FALSE(
+      SolveDeadline(empty, 1.0, DeadlineObjective::kPhase1Sum).ok());
+}
+
+TEST(DeadlineTest, PlanExpandsToValidAllocation) {
+  const TuningProblem problem = MakeProblem(10000);
+  const auto plan =
+      SolveDeadline(problem, 1.0, DeadlineObjective::kPhase1Sum);
+  ASSERT_TRUE(plan.ok());
+  const Allocation alloc = DeadlinePlanToAllocation(problem, *plan);
+  EXPECT_TRUE(ValidateAllocation(problem, alloc).ok());
+  EXPECT_EQ(alloc.TotalCost(), plan->cost);
+}
+
+}  // namespace
+}  // namespace htune

@@ -1,0 +1,222 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "model/distributions.h"
+#include "model/hypoexponential.h"
+#include "model/quadrature.h"
+#include "rng/random.h"
+#include "stats/descriptive.h"
+
+namespace htune {
+namespace {
+
+TEST(ExponentialDistTest, PdfCdfConsistency) {
+  ExponentialDist dist(2.0);
+  EXPECT_DOUBLE_EQ(dist.Pdf(0.0), 2.0);
+  EXPECT_DOUBLE_EQ(dist.Cdf(0.0), 0.0);
+  EXPECT_EQ(dist.Pdf(-1.0), 0.0);
+  EXPECT_NEAR(dist.Cdf(1.0), 1.0 - std::exp(-2.0), 1e-12);
+  EXPECT_DOUBLE_EQ(dist.Mean(), 0.5);
+  EXPECT_DOUBLE_EQ(dist.Variance(), 0.25);
+}
+
+TEST(ExponentialDistTest, CdfIsIntegralOfPdf) {
+  ExponentialDist dist(1.5);
+  const double integral = IntegrateAdaptiveSimpson(
+      [&dist](double t) { return dist.Pdf(t); }, 0.0, 2.0, 1e-10);
+  EXPECT_NEAR(integral, dist.Cdf(2.0), 1e-8);
+}
+
+TEST(ExponentialDistTest, QuantileRoundTrips) {
+  ExponentialDist dist(3.0);
+  for (double q : {0.1, 0.5, 0.9, 0.99}) {
+    EXPECT_NEAR(dist.Cdf(dist.Quantile(q)), q, 1e-12);
+  }
+}
+
+TEST(ExponentialDistTest, SampleMomentsMatch) {
+  ExponentialDist dist(4.0);
+  Random rng(1);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) {
+    stats.Add(dist.Sample(rng));
+  }
+  EXPECT_NEAR(stats.Mean(), dist.Mean(), 0.005);
+}
+
+TEST(ErlangDistTest, ReducesToExponentialForK1) {
+  ErlangDist erlang(1, 2.0);
+  ExponentialDist expo(2.0);
+  for (double t : {0.1, 0.5, 1.0, 3.0}) {
+    EXPECT_NEAR(erlang.Pdf(t), expo.Pdf(t), 1e-10);
+    EXPECT_NEAR(erlang.Cdf(t), expo.Cdf(t), 1e-10);
+  }
+}
+
+TEST(ErlangDistTest, MomentsAndBoundaries) {
+  ErlangDist dist(5, 2.0);
+  EXPECT_DOUBLE_EQ(dist.Mean(), 2.5);
+  EXPECT_DOUBLE_EQ(dist.Variance(), 1.25);
+  EXPECT_EQ(dist.Cdf(0.0), 0.0);
+  EXPECT_EQ(dist.Pdf(0.0), 0.0);
+  EXPECT_EQ(dist.Pdf(-0.1), 0.0);
+  EXPECT_NEAR(dist.Cdf(1e6), 1.0, 1e-12);
+}
+
+TEST(ErlangDistTest, CdfIsIntegralOfPdf) {
+  ErlangDist dist(3, 1.5);
+  for (double t : {0.5, 1.0, 2.0, 5.0}) {
+    const double integral = IntegrateAdaptiveSimpson(
+        [&dist](double u) { return dist.Pdf(u); }, 0.0, t, 1e-11);
+    EXPECT_NEAR(integral, dist.Cdf(t), 1e-8);
+  }
+}
+
+TEST(ErlangDistTest, CdfMonotoneIncreasing) {
+  ErlangDist dist(4, 0.7);
+  double prev = 0.0;
+  for (double t = 0.0; t < 20.0; t += 0.25) {
+    const double cur = dist.Cdf(t);
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(ErlangDistTest, SampleMomentsMatch) {
+  ErlangDist dist(6, 3.0);
+  Random rng(2);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) {
+    stats.Add(dist.Sample(rng));
+  }
+  EXPECT_NEAR(stats.Mean(), dist.Mean(), 0.01);
+  EXPECT_NEAR(stats.Variance(), dist.Variance(), 0.02);
+}
+
+TEST(ErlangDistTest, LargeShapeRemainsStable) {
+  ErlangDist dist(200, 10.0);  // mean 20
+  EXPECT_NEAR(dist.Cdf(20.0), 0.5, 0.05);
+  EXPECT_NEAR(dist.Cdf(40.0), 1.0, 1e-9);
+  EXPECT_NEAR(dist.Cdf(5.0), 0.0, 1e-9);
+}
+
+TEST(TwoPhaseLatencyDistTest, PaperPdfFormula) {
+  // f(t) = lo*lp/(lo-lp) (e^{-lp t} - e^{-lo t}) from §3.2.
+  TwoPhaseLatencyDist dist(3.0, 1.0);
+  const double t = 0.8;
+  const double expected =
+      3.0 * 1.0 / (3.0 - 1.0) * (std::exp(-t) - std::exp(-3.0 * t));
+  EXPECT_NEAR(dist.Pdf(t), expected, 1e-12);
+  EXPECT_DOUBLE_EQ(dist.Mean(), 1.0 / 3.0 + 1.0);
+}
+
+TEST(TwoPhaseLatencyDistTest, CdfIsIntegralOfPdf) {
+  TwoPhaseLatencyDist dist(2.0, 5.0);
+  for (double t : {0.3, 1.0, 2.5}) {
+    const double integral = IntegrateAdaptiveSimpson(
+        [&dist](double u) { return dist.Pdf(u); }, 0.0, t, 1e-11);
+    EXPECT_NEAR(integral, dist.Cdf(t), 1e-8);
+  }
+}
+
+TEST(TwoPhaseLatencyDistTest, EqualRatesFallBackToErlang) {
+  TwoPhaseLatencyDist dist(2.0, 2.0);
+  ErlangDist erlang(2, 2.0);
+  for (double t : {0.1, 0.5, 1.0, 2.0}) {
+    EXPECT_NEAR(dist.Pdf(t), erlang.Pdf(t), 1e-9);
+    EXPECT_NEAR(dist.Cdf(t), erlang.Cdf(t), 1e-9);
+  }
+}
+
+TEST(TwoPhaseLatencyDistTest, NearEqualRatesContinuous) {
+  // The hypoexponential formula must not blow up as rates converge.
+  TwoPhaseLatencyDist near_equal(2.0, 2.0 + 1e-12);
+  TwoPhaseLatencyDist equal(2.0, 2.0);
+  for (double t : {0.5, 1.0, 3.0}) {
+    EXPECT_NEAR(near_equal.Cdf(t), equal.Cdf(t), 1e-6);
+  }
+}
+
+TEST(TwoPhaseLatencyDistTest, SampleMomentsMatch) {
+  TwoPhaseLatencyDist dist(1.0, 4.0);
+  Random rng(3);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) {
+    stats.Add(dist.Sample(rng));
+  }
+  EXPECT_NEAR(stats.Mean(), dist.Mean(), 0.02);
+  EXPECT_NEAR(stats.Variance(), dist.Variance(), 0.05);
+}
+
+TEST(HypoexponentialTest, SinglePhaseMatchesExponential) {
+  HypoexponentialDist dist({2.0});
+  ExponentialDist expo(2.0);
+  for (double t : {0.1, 1.0, 3.0}) {
+    EXPECT_NEAR(dist.Cdf(t), expo.Cdf(t), 1e-9);
+  }
+}
+
+TEST(HypoexponentialTest, EqualRatesMatchErlang) {
+  HypoexponentialDist dist({1.5, 1.5, 1.5, 1.5});
+  ErlangDist erlang(4, 1.5);
+  for (double t : {0.5, 2.0, 5.0, 10.0}) {
+    EXPECT_NEAR(dist.Cdf(t), erlang.Cdf(t), 1e-9);
+  }
+}
+
+TEST(HypoexponentialTest, TwoDistinctRatesMatchClosedForm) {
+  HypoexponentialDist dist({3.0, 1.0});
+  TwoPhaseLatencyDist closed(3.0, 1.0);
+  for (double t : {0.2, 0.8, 2.0, 6.0}) {
+    EXPECT_NEAR(dist.Cdf(t), closed.Cdf(t), 1e-8);
+  }
+}
+
+TEST(HypoexponentialTest, RepeatedMixedRatesMatchMonteCarlo) {
+  // Rates with repeats — the regime where partial fractions fail and
+  // uniformization must be exact.
+  const std::vector<double> rates = {2.0, 2.0, 5.0, 5.0, 5.0, 0.7};
+  HypoexponentialDist dist(rates);
+  Random rng(4);
+  const int trials = 400000;
+  for (double t : {1.0, 2.5, 5.0}) {
+    int below = 0;
+    Random local(rng.UniformInt(1u << 30));
+    for (int i = 0; i < trials; ++i) {
+      if (dist.Sample(local) <= t) ++below;
+    }
+    const double empirical = below / static_cast<double>(trials);
+    EXPECT_NEAR(dist.Cdf(t), empirical, 0.004) << "t=" << t;
+  }
+}
+
+TEST(HypoexponentialTest, MeanAndVariance) {
+  HypoexponentialDist dist({1.0, 2.0, 4.0});
+  EXPECT_DOUBLE_EQ(dist.Mean(), 1.0 + 0.5 + 0.25);
+  EXPECT_DOUBLE_EQ(dist.Variance(), 1.0 + 0.25 + 0.0625);
+}
+
+TEST(HypoexponentialTest, WideRateSpreadStable) {
+  // Very spread-out rates force the log-space uniformization branch at the
+  // tail; the CDF must stay in [0, 1] and be monotone.
+  HypoexponentialDist dist({100.0, 100.0, 0.5, 2.0});
+  double prev = 0.0;
+  for (double t = 0.0; t <= 30.0; t += 0.5) {
+    const double c = dist.Cdf(t);
+    EXPECT_GE(c, prev - 1e-12);
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, 1.0);
+    prev = c;
+  }
+  EXPECT_NEAR(dist.Cdf(60.0), 1.0, 1e-6);
+}
+
+TEST(HypoexponentialDeathTest, RejectsBadRates) {
+  EXPECT_DEATH(HypoexponentialDist({}), "HTUNE_CHECK");
+  EXPECT_DEATH(HypoexponentialDist({1.0, -1.0}), "HTUNE_CHECK");
+}
+
+}  // namespace
+}  // namespace htune

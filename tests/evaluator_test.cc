@@ -1,0 +1,126 @@
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "model/order_statistics.h"
+#include "rng/random.h"
+#include "tuning/evaluator.h"
+
+namespace htune {
+namespace {
+
+std::shared_ptr<const PriceRateCurve> Identity() {
+  // Rate(p) = p, so prices map straight to rates in expectations.
+  return std::make_shared<LinearCurve>(1.0, 0.001);
+}
+
+TuningProblem OneGroupProblem(int tasks, int reps, double processing,
+                              long budget) {
+  TaskGroup g;
+  g.name = "g";
+  g.num_tasks = tasks;
+  g.repetitions = reps;
+  g.processing_rate = processing;
+  g.curve = Identity();
+  TuningProblem problem;
+  problem.groups.push_back(g);
+  problem.budget = budget;
+  return problem;
+}
+
+TEST(EvaluatorTest, UniformGroupMatchesErlangOrderStatistic) {
+  const TuningProblem problem = OneGroupProblem(8, 3, 2.0, 1000);
+  Allocation alloc;
+  alloc.groups.push_back(UniformGroupAllocation(8, 3, 4));
+  const double expected = ExpectedMaxErlang(8, 3, 4.001);
+  EXPECT_NEAR(ExpectedPhase1GroupLatency(problem.groups[0], alloc.groups[0]),
+              expected, 1e-6);
+}
+
+TEST(EvaluatorTest, MixedPricesUseHypoexponential) {
+  const TuningProblem problem = OneGroupProblem(1, 2, 2.0, 1000);
+  Allocation alloc;
+  alloc.groups.push_back(UniformGroupAllocation(1, 2, 2));
+  alloc.groups[0].prices[0][1] = 6;
+  // Sum of Exp(2.001) + Exp(6.001): mean is the sum of the means.
+  const double latency =
+      ExpectedPhase1GroupLatency(problem.groups[0], alloc.groups[0]);
+  EXPECT_NEAR(latency, 1.0 / 2.001 + 1.0 / 6.001, 1e-6);
+}
+
+TEST(EvaluatorTest, GroupSumIsUpperBoundOnTrueMax) {
+  TuningProblem problem = OneGroupProblem(5, 2, 2.0, 1000);
+  TaskGroup second = problem.groups[0];
+  second.repetitions = 4;
+  problem.groups.push_back(second);
+
+  Allocation alloc;
+  alloc.groups.push_back(UniformGroupAllocation(5, 2, 3));
+  alloc.groups.push_back(UniformGroupAllocation(5, 4, 2));
+
+  const double group_sum = Phase1GroupSum(problem, alloc);
+  const double true_max = ExpectedPhase1Latency(problem, alloc);
+  EXPECT_GE(group_sum, true_max);
+  // And the true max dominates each individual group's expectation.
+  for (double g : ExpectedPhase1GroupLatencies(problem, alloc)) {
+    EXPECT_LE(g, true_max + 1e-9);
+  }
+}
+
+TEST(EvaluatorTest, AnalyticPhase1MatchesMonteCarlo) {
+  TuningProblem problem = OneGroupProblem(10, 2, 2.0, 1000);
+  Allocation alloc;
+  alloc.groups.push_back(UniformGroupAllocation(10, 2, 3));
+  const double analytic = ExpectedPhase1Latency(problem, alloc);
+  Random rng(1);
+  const double mc = MonteCarloPhase1Latency(problem, alloc, 120000, rng);
+  EXPECT_NEAR(analytic, mc, 0.02);
+}
+
+TEST(EvaluatorTest, OverallExceedsPhase1) {
+  TuningProblem problem = OneGroupProblem(10, 2, 1.0, 1000);
+  Allocation alloc;
+  alloc.groups.push_back(UniformGroupAllocation(10, 2, 3));
+  Random rng(2);
+  const double overall = MonteCarloOverallLatency(problem, alloc, 40000, rng);
+  const double phase1 = ExpectedPhase1Latency(problem, alloc);
+  EXPECT_GT(overall, phase1);
+}
+
+TEST(EvaluatorTest, MostDifficultObjectivePicksWorstGroup) {
+  // Group 0: fast processing; group 1: slow processing and more reps.
+  TuningProblem problem = OneGroupProblem(4, 1, 10.0, 1000);
+  TaskGroup hard = problem.groups[0];
+  hard.repetitions = 5;
+  hard.processing_rate = 0.5;  // phase 2 mean = 10
+  problem.groups.push_back(hard);
+
+  Allocation alloc;
+  alloc.groups.push_back(UniformGroupAllocation(4, 1, 5));
+  alloc.groups.push_back(UniformGroupAllocation(4, 5, 5));
+
+  const auto phase1 = ExpectedPhase1GroupLatencies(problem, alloc);
+  const double expected = phase1[1] + 5.0 / 0.5;
+  EXPECT_NEAR(MostDifficultObjective(problem, alloc), expected, 1e-9);
+}
+
+TEST(EvaluatorTest, HigherPricesReducePhase1) {
+  const TuningProblem problem = OneGroupProblem(20, 3, 2.0, 100000);
+  Allocation cheap, rich;
+  cheap.groups.push_back(UniformGroupAllocation(20, 3, 1));
+  rich.groups.push_back(UniformGroupAllocation(20, 3, 10));
+  EXPECT_GT(ExpectedPhase1Latency(problem, cheap),
+            ExpectedPhase1Latency(problem, rich));
+}
+
+TEST(EvaluatorTest, MonteCarloIsDeterministicGivenSeed) {
+  const TuningProblem problem = OneGroupProblem(5, 2, 2.0, 1000);
+  Allocation alloc;
+  alloc.groups.push_back(UniformGroupAllocation(5, 2, 3));
+  Random rng_a(7), rng_b(7);
+  EXPECT_DOUBLE_EQ(MonteCarloPhase1Latency(problem, alloc, 1000, rng_a),
+                   MonteCarloPhase1Latency(problem, alloc, 1000, rng_b));
+}
+
+}  // namespace
+}  // namespace htune

@@ -1,0 +1,161 @@
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tuning/evaluator.h"
+#include "tuning/even_allocator.h"
+
+namespace htune {
+namespace {
+
+std::shared_ptr<const PriceRateCurve> Curve() {
+  return std::make_shared<LinearCurve>(1.0, 1.0);
+}
+
+TuningProblem HomogeneousProblem(int tasks, int reps, long budget,
+                                 std::shared_ptr<const PriceRateCurve> curve =
+                                     Curve()) {
+  TaskGroup g;
+  g.name = "homo";
+  g.num_tasks = tasks;
+  g.repetitions = reps;
+  g.processing_rate = 2.0;
+  g.curve = std::move(curve);
+  TuningProblem problem;
+  problem.groups.push_back(g);
+  problem.budget = budget;
+  return problem;
+}
+
+TEST(EvenAllocatorTest, ExactDivisionGivesUniformPrices) {
+  const TuningProblem problem = HomogeneousProblem(10, 5, 500);
+  const auto alloc = EvenAllocator().Allocate(problem);
+  ASSERT_TRUE(alloc.ok());
+  EXPECT_TRUE(alloc->groups[0].IsUniform());
+  EXPECT_EQ(alloc->groups[0].UniformPrice(), 10);
+  EXPECT_EQ(alloc->TotalCost(), 500);
+}
+
+TEST(EvenAllocatorTest, SpendsEntireBudgetWithRemainder) {
+  // 10 tasks x 3 reps = 30 reps; budget 100 = 3*30 + 10 -> gamma=1, sigma=0.
+  const TuningProblem problem = HomogeneousProblem(10, 3, 100);
+  const auto alloc = EvenAllocator().Allocate(problem);
+  ASSERT_TRUE(alloc.ok());
+  EXPECT_EQ(alloc->TotalCost(), 100);
+  // Every task got exactly one +1 repetition.
+  for (const auto& task : alloc->groups[0].prices) {
+    int extras = 0;
+    for (int p : task) {
+      EXPECT_GE(p, 3);
+      EXPECT_LE(p, 4);
+      if (p == 4) ++extras;
+    }
+    EXPECT_EQ(extras, 1);
+  }
+}
+
+TEST(EvenAllocatorTest, SigmaUnitsGoToDistinctTasks) {
+  // 4 tasks x 2 reps = 8 reps; budget 19 = 2*8 + 3 -> gamma=0, sigma=3.
+  const TuningProblem problem = HomogeneousProblem(4, 2, 19);
+  const auto alloc = EvenAllocator().Allocate(problem);
+  ASSERT_TRUE(alloc.ok());
+  EXPECT_EQ(alloc->TotalCost(), 19);
+  int tasks_with_extra = 0;
+  for (const auto& task : alloc->groups[0].prices) {
+    int extras = 0;
+    for (int p : task) {
+      if (p == 3) ++extras;
+      EXPECT_GE(p, 2);
+      EXPECT_LE(p, 3);
+    }
+    EXPECT_LE(extras, 1);
+    if (extras == 1) ++tasks_with_extra;
+  }
+  EXPECT_EQ(tasks_with_extra, 3);
+}
+
+TEST(EvenAllocatorTest, GammaAndSigmaTogether) {
+  // 3 tasks x 4 reps = 12 reps; budget 53 = 4*12 + 5 -> gamma=1, sigma=2.
+  const TuningProblem problem = HomogeneousProblem(3, 4, 53);
+  const auto alloc = EvenAllocator().Allocate(problem);
+  ASSERT_TRUE(alloc.ok());
+  EXPECT_EQ(alloc->TotalCost(), 53);
+}
+
+TEST(EvenAllocatorTest, RejectsInsufficientBudget) {
+  const TuningProblem problem = HomogeneousProblem(10, 5, 49);
+  EXPECT_FALSE(EvenAllocator().Allocate(problem).ok());
+}
+
+TEST(EvenAllocatorTest, RejectsHeterogeneousGroups) {
+  TuningProblem problem = HomogeneousProblem(5, 2, 1000);
+  TaskGroup different = problem.groups[0];
+  different.repetitions = 3;
+  problem.groups.push_back(different);
+  EXPECT_EQ(EvenAllocator().Allocate(problem).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(EvenAllocatorTest, AcceptsMultipleIdenticalGroups) {
+  TuningProblem problem = HomogeneousProblem(5, 2, 1000);
+  problem.groups.push_back(problem.groups[0]);
+  const auto alloc = EvenAllocator().Allocate(problem);
+  ASSERT_TRUE(alloc.ok());
+  EXPECT_EQ(alloc->groups.size(), 2u);
+  EXPECT_EQ(alloc->TotalCost(), 1000);
+}
+
+TEST(EvenAllocatorTest, EvenBeatsLopsidedSplits) {
+  // Theorem 1: even allocation minimizes expected phase-1 latency. Compare
+  // against hand-built lopsided allocations of the same total cost.
+  const TuningProblem problem = HomogeneousProblem(4, 2, 48);  // 6 per rep
+  const auto even = EvenAllocator().Allocate(problem);
+  ASSERT_TRUE(even.ok());
+  const double even_latency = ExpectedPhase1Latency(problem, *even);
+
+  // Lopsided: first half of the tasks pay 9, the rest pay 3.
+  Allocation lopsided;
+  lopsided.groups.push_back(UniformGroupAllocation(4, 2, 9));
+  lopsided.groups[0].prices[2] = {3, 3};
+  lopsided.groups[0].prices[3] = {3, 3};
+  ASSERT_EQ(lopsided.TotalCost(), 48);
+  EXPECT_LT(even_latency, ExpectedPhase1Latency(problem, lopsided));
+
+  // Lopsided within a task: repetitions pay (10, 2) instead of (6, 6).
+  Allocation uneven_reps;
+  uneven_reps.groups.push_back(UniformGroupAllocation(4, 2, 6));
+  for (auto& task : uneven_reps.groups[0].prices) {
+    task = {10, 2};
+  }
+  ASSERT_EQ(uneven_reps.TotalCost(), 48);
+  EXPECT_LT(even_latency, ExpectedPhase1Latency(problem, uneven_reps));
+}
+
+// Property sweep: across curves and budgets, EA's allocation never loses to
+// a +1/-1 perturbation of itself (local optimality of the even split).
+class EaPerturbationSweep : public ::testing::TestWithParam<long> {};
+
+TEST_P(EaPerturbationSweep, LocallyOptimal) {
+  const long budget = GetParam();
+  const TuningProblem problem = HomogeneousProblem(3, 2, budget);
+  const auto even = EvenAllocator().Allocate(problem);
+  ASSERT_TRUE(even.ok());
+  const double even_latency = ExpectedPhase1Latency(problem, *even);
+
+  // Move one unit from task 0 rep 0 to task 2 rep 1 (if legal).
+  Allocation perturbed = *even;
+  if (perturbed.groups[0].prices[0][0] > 1) {
+    --perturbed.groups[0].prices[0][0];
+    ++perturbed.groups[0].prices[2][1];
+    EXPECT_LE(even_latency,
+              ExpectedPhase1Latency(problem, perturbed) + 1e-9)
+        << "budget=" << budget;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, EaPerturbationSweep,
+                         ::testing::Values(12, 13, 17, 24, 31, 60, 100));
+
+}  // namespace
+}  // namespace htune

@@ -1,0 +1,163 @@
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tuning/brute_force.h"
+#include "tuning/group_latency_table.h"
+#include "tuning/heterogeneous_allocator.h"
+#include "tuning/repetition_allocator.h"
+
+namespace htune {
+namespace {
+
+TaskGroup MakeGroup(const std::string& name, int tasks, int reps,
+                    double processing,
+                    std::shared_ptr<const PriceRateCurve> curve) {
+  TaskGroup g;
+  g.name = name;
+  g.num_tasks = tasks;
+  g.repetitions = reps;
+  g.processing_rate = processing;
+  g.curve = std::move(curve);
+  return g;
+}
+
+TuningProblem HeterogeneousProblem(long budget,
+                                   std::shared_ptr<const PriceRateCurve>
+                                       curve) {
+  // The paper's Scenario III shape: one easier 3-rep group, one harder
+  // 5-rep group with different difficulty.
+  TuningProblem problem;
+  problem.groups.push_back(MakeGroup("easy", 2, 3, 2.0, curve));
+  problem.groups.push_back(MakeGroup("hard", 2, 5, 3.0, curve));
+  problem.budget = budget;
+  return problem;
+}
+
+ObjectivePoint ObjectivesOf(const TuningProblem& problem,
+                            const std::vector<int>& prices) {
+  return HeterogeneousAllocator::Objectives(problem, prices);
+}
+
+TEST(HeterogeneousAllocatorTest, UtopiaPointBoundsAllFeasiblePoints) {
+  const auto curve = std::make_shared<LinearCurve>(1.0, 1.0);
+  const TuningProblem problem = HeterogeneousProblem(40, curve);
+  const HeterogeneousAllocator ha;
+  const auto utopia = ha.UtopiaPoint(problem);
+  ASSERT_TRUE(utopia.ok());
+  ForEachUniformPriceVector(problem, [&](const std::vector<int>& prices) {
+    const ObjectivePoint op = ObjectivesOf(problem, prices);
+    EXPECT_GE(op.o1, utopia->o1 - 1e-9);
+    EXPECT_GE(op.o2, utopia->o2 - 1e-9);
+  });
+}
+
+TEST(HeterogeneousAllocatorTest, SolutionRespectsBudget) {
+  const auto curve = std::make_shared<LinearCurve>(1.0, 1.0);
+  const TuningProblem problem = HeterogeneousProblem(60, curve);
+  const auto alloc = HeterogeneousAllocator().Allocate(problem);
+  ASSERT_TRUE(alloc.ok());
+  EXPECT_LE(alloc->TotalCost(), 60);
+  EXPECT_TRUE(ValidateAllocation(problem, *alloc).ok());
+}
+
+TEST(HeterogeneousAllocatorTest, RejectsInsufficientBudget) {
+  const auto curve = std::make_shared<LinearCurve>(1.0, 1.0);
+  const TuningProblem problem = HeterogeneousProblem(15, curve);  // min 16
+  EXPECT_FALSE(HeterogeneousAllocator().Allocate(problem).ok());
+}
+
+// Property sweep: HA's closeness is near the brute-force minimum across
+// curves and budgets. The unit-by-unit DP is a heuristic for the
+// non-separable closeness objective, so allow a small relative slack.
+class HaQualitySweep
+    : public ::testing::TestWithParam<std::tuple<int, long>> {};
+
+TEST_P(HaQualitySweep, NearBruteForceCloseness) {
+  const auto [curve_index, budget] = GetParam();
+  const auto curves = PaperSyntheticCurves();
+  const std::shared_ptr<const PriceRateCurve> curve =
+      std::shared_ptr<const PriceRateCurve>(curves[curve_index]->Clone());
+  const TuningProblem problem = HeterogeneousProblem(budget, curve);
+
+  const HeterogeneousAllocator ha;
+  const auto utopia = ha.UtopiaPoint(problem);
+  ASSERT_TRUE(utopia.ok());
+  const auto closeness = [&](const std::vector<int>& prices) {
+    const ObjectivePoint op = ObjectivesOf(problem, prices);
+    return std::abs(op.o1 - utopia->o1) + std::abs(op.o2 - utopia->o2);
+  };
+
+  const auto ha_prices = ha.SolvePrices(problem);
+  ASSERT_TRUE(ha_prices.ok());
+  const auto oracle = BruteForceMinimize(problem, closeness);
+  ASSERT_TRUE(oracle.ok());
+
+  const double ha_value = closeness(*ha_prices);
+  const double oracle_value = closeness(*oracle);
+  EXPECT_LE(ha_value, oracle_value + 0.05 * (1.0 + oracle_value))
+      << "curve=" << curve->Name() << " budget=" << budget;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CurvesAndBudgets, HaQualitySweep,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3, 4, 5),
+                       ::testing::Values(16L, 24L, 40L, 64L)));
+
+TEST(MinimizeMostDifficultTest, MatchesBruteForceBottleneck) {
+  const auto curve = std::make_shared<LinearCurve>(1.0, 1.0);
+  const TuningProblem problem = HeterogeneousProblem(40, curve);
+  const std::vector<int> greedy = MinimizeMostDifficult(problem);
+  const double greedy_o2 = ObjectivesOf(problem, greedy).o2;
+
+  const auto oracle = BruteForceMinimize(
+      problem, [&](const std::vector<int>& prices) {
+        return ObjectivesOf(problem, prices).o2;
+      });
+  ASSERT_TRUE(oracle.ok());
+  const double oracle_o2 = ObjectivesOf(problem, *oracle).o2;
+  EXPECT_NEAR(greedy_o2, oracle_o2, 1e-9);
+}
+
+TEST(MinimizeMostDifficultTest, SpendsOnTheBottleneckGroup) {
+  const auto curve = std::make_shared<LinearCurve>(1.0, 1.0);
+  // Group 1 has 5 reps at difficulty 1.0 (phase-2 mean 5) vs group 0's
+  // 1 rep at difficulty 10 (phase-2 mean 0.1): group 1 is the bottleneck.
+  TuningProblem problem;
+  problem.groups.push_back(MakeGroup("light", 1, 1, 10.0, curve));
+  problem.groups.push_back(MakeGroup("heavy", 1, 5, 1.0, curve));
+  problem.budget = 30;
+  const std::vector<int> prices = MinimizeMostDifficult(problem);
+  EXPECT_GT(prices[1], prices[0]);
+}
+
+TEST(HeterogeneousAllocatorTest, L2NormVariantRuns) {
+  const auto curve = std::make_shared<LinearCurve>(1.0, 1.0);
+  const TuningProblem problem = HeterogeneousProblem(48, curve);
+  const HeterogeneousAllocator l2(ClosenessNorm::kL2);
+  EXPECT_EQ(l2.Name(), "HA-L2");
+  const auto alloc = l2.Allocate(problem);
+  ASSERT_TRUE(alloc.ok());
+  EXPECT_LE(alloc->TotalCost(), 48);
+}
+
+TEST(HeterogeneousAllocatorTest, ObjectivesAreInternallyConsistent) {
+  const auto curve = std::make_shared<LinearCurve>(1.0, 1.0);
+  const TuningProblem problem = HeterogeneousProblem(40, curve);
+  const std::vector<int> prices = {2, 2};
+  const ObjectivePoint op = ObjectivesOf(problem, prices);
+  // O1 is the sum of two group phase-1 terms; O2 adds a positive phase-2
+  // term to one of them, so O2 > each phase-1 term but O1 may exceed O2.
+  GroupLatencyTable t0(problem.groups[0]);
+  GroupLatencyTable t1(problem.groups[1]);
+  EXPECT_NEAR(op.o1, t0.Phase1(2) + t1.Phase1(2), 1e-9);
+  EXPECT_NEAR(op.o2,
+              std::max(t0.Phase1(2) + t0.Phase2(),
+                       t1.Phase1(2) + t1.Phase2()),
+              1e-9);
+}
+
+}  // namespace
+}  // namespace htune

@@ -1,0 +1,248 @@
+// End-to-end integration tests: probe a simulated market to calibrate the
+// price-rate curve, tune a job with the paper's allocators, execute it on
+// the market, and check that the tuned allocation's realized latency beats
+// the baselines' — the paper's headline claim, exercised across the whole
+// library surface.
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "crowddb/executor.h"
+#include "crowddb/sort.h"
+#include "market/simulator.h"
+#include "probe/calibration.h"
+#include "probe/probe.h"
+#include "stats/descriptive.h"
+#include "tuning/baselines.h"
+#include "tuning/evaluator.h"
+#include "tuning/even_allocator.h"
+#include "tuning/heterogeneous_allocator.h"
+#include "tuning/repetition_allocator.h"
+
+namespace htune {
+namespace {
+
+MarketConfig Market(uint64_t seed) {
+  MarketConfig config;
+  config.worker_arrival_rate = 300.0;
+  config.seed = seed;
+  config.record_trace = false;
+  return config;
+}
+
+// Runs `alloc` on a fresh market and returns the realized job latency.
+double RealizedLatency(const TuningProblem& problem, const Allocation& alloc,
+                       uint64_t seed) {
+  MarketSimulator market(Market(seed));
+  std::vector<QuestionSpec> questions(
+      static_cast<size_t>(problem.TotalTasks()));
+  const auto execution = ExecuteJob(market, problem, alloc, questions);
+  HTUNE_CHECK(execution.ok());
+  return execution->latency;
+}
+
+double MeanRealizedLatency(const TuningProblem& problem,
+                           const Allocation& alloc, int runs,
+                           uint64_t seed_base) {
+  RunningStats stats;
+  for (int r = 0; r < runs; ++r) {
+    stats.Add(RealizedLatency(problem, alloc, seed_base + r));
+  }
+  return stats.Mean();
+}
+
+TEST(IntegrationTest, ProbeCalibrateThenPredictLatency) {
+  // The market's hidden truth: lambda_o(c) = 0.8 c + 0.5.
+  const LinearCurve truth(0.8, 0.5);
+
+  // 1. Probe at several prices.
+  std::vector<std::pair<double, double>> measured;
+  for (int price : {1, 3, 5, 8}) {
+    MarketSimulator market(Market(10 + price));
+    ProbeSpec spec;
+    spec.price = price;
+    spec.on_hold_rate = truth.Rate(price);
+    const auto report = RunFixedPeriodProbe(market, spec, 300.0);
+    ASSERT_TRUE(report.ok());
+    measured.emplace_back(price, report->lambda_hat);
+  }
+
+  // 2. Calibrate the linear curve.
+  const auto calibration = CalibrateLinearCurve(measured);
+  ASSERT_TRUE(calibration.ok());
+  ASSERT_TRUE(calibration->SupportsLinearity(0.9));
+  auto fitted = calibration->ToCurve();
+  ASSERT_TRUE(fitted.ok());
+  std::shared_ptr<const PriceRateCurve> curve = std::move(*fitted);
+
+  // 3. Predict a job's latency with the analytic model and check the
+  // realized latency on the (truth-driven) market is close.
+  TaskGroup group;
+  group.name = "calibrated";
+  group.num_tasks = 40;
+  group.repetitions = 2;
+  group.processing_rate = 5.0;
+  group.curve = std::make_shared<LinearCurve>(truth);
+  TuningProblem problem;
+  problem.groups.push_back(group);
+  problem.budget = 400;  // 5 per repetition
+
+  const auto alloc = EvenAllocator().Allocate(problem);
+  ASSERT_TRUE(alloc.ok());
+  // Prediction uses the fitted curve; execution uses the true curve.
+  TuningProblem fitted_problem = problem;
+  fitted_problem.groups[0].curve = curve;
+  const double predicted = ExpectedPhase1Latency(fitted_problem, *alloc);
+  const double realized = MeanRealizedLatency(problem, *alloc, 30, 1000);
+  // Realized includes processing (mean 0.4 per task, max over 40 tasks);
+  // phase-1 prediction must at least explain the bulk of the latency.
+  EXPECT_GT(realized, predicted * 0.5);
+  EXPECT_LT(std::abs(realized - predicted), predicted * 1.0 + 1.0);
+}
+
+TEST(IntegrationTest, ScenarioOneEvenBeatsBiasedOnRealizedLatency) {
+  TaskGroup group;
+  group.name = "homo";
+  group.num_tasks = 50;
+  group.repetitions = 5;
+  group.processing_rate = 2.0;
+  group.curve = std::make_shared<LinearCurve>(1.0, 1.0);
+  TuningProblem problem;
+  problem.groups.push_back(group);
+  problem.budget = 1500;  // 6 per repetition
+
+  const auto even = EvenAllocator().Allocate(problem);
+  const auto biased = BiasedAllocator(0.75).Allocate(problem);
+  ASSERT_TRUE(even.ok());
+  ASSERT_TRUE(biased.ok());
+
+  const double even_latency = MeanRealizedLatency(problem, *even, 40, 2000);
+  const double biased_latency =
+      MeanRealizedLatency(problem, *biased, 40, 2000);
+  EXPECT_LT(even_latency, biased_latency);
+}
+
+TEST(IntegrationTest, ScenarioTwoRaBeatsBaselinesOnRealizedLatency) {
+  const auto curve = std::make_shared<LinearCurve>(1.0, 1.0);
+  TuningProblem problem;
+  TaskGroup a;
+  a.name = "three";
+  a.num_tasks = 20;
+  a.repetitions = 3;
+  a.processing_rate = 2.0;
+  a.curve = curve;
+  TaskGroup b = a;
+  b.name = "five";
+  b.repetitions = 5;
+  problem.groups = {a, b};
+  problem.budget = 800;
+
+  const auto ra = RepetitionAllocator().Allocate(problem);
+  const auto task_even = TaskEvenAllocator().Allocate(problem);
+  const auto rep_even = RepEvenAllocator().Allocate(problem);
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(task_even.ok());
+  ASSERT_TRUE(rep_even.ok());
+
+  const int runs = 60;
+  const double ra_latency = MeanRealizedLatency(problem, *ra, runs, 3000);
+  const double te_latency =
+      MeanRealizedLatency(problem, *task_even, runs, 3000);
+  const double re_latency =
+      MeanRealizedLatency(problem, *rep_even, runs, 3000);
+  // The tuned allocation must not lose to either baseline (small stochastic
+  // slack allowed).
+  EXPECT_LT(ra_latency, te_latency * 1.05);
+  EXPECT_LT(ra_latency, re_latency * 1.05);
+}
+
+TEST(IntegrationTest, ScenarioThreeHaAvoidsTheStraggler) {
+  const auto curve = std::make_shared<LinearCurve>(1.0, 1.0);
+  TuningProblem problem;
+  TaskGroup easy;
+  easy.name = "easy";
+  easy.num_tasks = 10;
+  easy.repetitions = 3;
+  easy.processing_rate = 3.0;
+  easy.curve = curve;
+  TaskGroup hard = easy;
+  hard.name = "hard";
+  hard.repetitions = 5;
+  hard.processing_rate = 1.0;
+  problem.groups = {easy, hard};
+  problem.budget = 600;
+
+  const auto ha = HeterogeneousAllocator().Allocate(problem);
+  const auto heu = UniformHeuristicAllocator().Allocate(problem);
+  ASSERT_TRUE(ha.ok());
+  ASSERT_TRUE(heu.ok());
+
+  const int runs = 60;
+  const double ha_latency = MeanRealizedLatency(problem, *ha, runs, 4000);
+  const double heu_latency = MeanRealizedLatency(problem, *heu, runs, 4000);
+  EXPECT_LT(ha_latency, heu_latency * 1.05);
+}
+
+TEST(IntegrationTest, AnalyticModelPredictsSimulatedPhase1) {
+  // The analytic phase-1 expectation must match the market's realized
+  // phase-1 statistics — the simulator and the math describe one model.
+  TaskGroup group;
+  group.name = "check";
+  group.num_tasks = 30;
+  group.repetitions = 2;
+  group.processing_rate = 4.0;
+  group.curve = std::make_shared<LinearCurve>(1.0, 1.0);
+  TuningProblem problem;
+  problem.groups.push_back(group);
+  problem.budget = 240;  // 4 per repetition -> rate 5
+
+  const auto alloc = EvenAllocator().Allocate(problem);
+  ASSERT_TRUE(alloc.ok());
+  const double analytic = ExpectedPhase1Latency(problem, *alloc);
+
+  RunningStats stats;
+  for (int run = 0; run < 60; ++run) {
+    MarketSimulator market(Market(5000 + run));
+    std::vector<QuestionSpec> questions(30);
+    const auto execution = ExecuteJob(market, problem, *alloc, questions);
+    ASSERT_TRUE(execution.ok());
+    // Realized phase-1 of the job: max over tasks of summed on-hold times.
+    double worst = 0.0;
+    for (const TaskOutcome& outcome : market.CompletedOutcomes()) {
+      double on_hold = 0.0;
+      for (const RepetitionOutcome& rep : outcome.repetitions) {
+        on_hold += rep.OnHoldLatency();
+      }
+      worst = std::max(worst, on_hold);
+    }
+    stats.Add(worst);
+  }
+  EXPECT_NEAR(stats.Mean(), analytic, 6.0 * stats.StdError() + 0.02);
+}
+
+TEST(IntegrationTest, CrowdSortUnderTunedBudgetIsAccurate) {
+  std::vector<Item> items;
+  for (int i = 0; i < 7; ++i) {
+    items.push_back({i, 3.0 * i + 1.0});
+  }
+  const auto sort = CrowdSort::Create(items, 5);
+  ASSERT_TRUE(sort.ok());
+  MarketConfig config = Market(6000);
+  config.worker_error_prob = 0.15;
+  MarketSimulator market(config);
+  const auto result =
+      sort->Run(market, EvenAllocator(),
+                sort->NumPairs() * 5L * 4L,
+                std::make_shared<LinearCurve>(1.0, 1.0), 5.0);
+  ASSERT_TRUE(result.ok());
+  // 15% error with 5 votes per pair: majority flips are rare; the ranking
+  // should be near-perfect.
+  EXPECT_GT(result->kendall_tau, 0.8);
+}
+
+}  // namespace
+}  // namespace htune

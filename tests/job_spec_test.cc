@@ -1,0 +1,149 @@
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "spec/job_spec.h"
+
+namespace htune {
+namespace {
+
+constexpr char kGoodSpec[] = R"(
+# a two-group job
+budget = 1500
+arrival_rate = 120   # workers per unit time
+error_prob = 0.1
+seed = 9
+
+[group]
+name = easy labels
+tasks = 30
+repetitions = 3
+processing_rate = 2.0
+curve = linear 1.0 1.0
+
+[group]
+tasks = 10
+repetitions = 5
+processing_rate = 0.5
+curve = log 2.0
+)";
+
+TEST(JobSpecTest, ParsesFullSpec) {
+  const auto spec = ParseJobSpec(kGoodSpec);
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  EXPECT_EQ(spec->problem.budget, 1500);
+  EXPECT_DOUBLE_EQ(spec->arrival_rate, 120.0);
+  EXPECT_DOUBLE_EQ(spec->worker_error_prob, 0.1);
+  EXPECT_EQ(spec->seed, 9u);
+  ASSERT_EQ(spec->problem.groups.size(), 2u);
+  EXPECT_EQ(spec->problem.groups[0].name, "easy labels");
+  EXPECT_EQ(spec->problem.groups[0].num_tasks, 30);
+  EXPECT_EQ(spec->problem.groups[0].repetitions, 3);
+  EXPECT_DOUBLE_EQ(spec->problem.groups[0].processing_rate, 2.0);
+  EXPECT_DOUBLE_EQ(spec->problem.groups[0].curve->Rate(4.0), 5.0);
+  EXPECT_EQ(spec->problem.groups[1].name, "group 2");  // default name
+  EXPECT_GT(spec->problem.groups[1].curve->Rate(3.0), 0.0);
+}
+
+TEST(JobSpecTest, DefaultsApply) {
+  const auto spec = ParseJobSpec(
+      "budget = 100\n[group]\ntasks = 2\nrepetitions = 2\n"
+      "processing_rate = 1\ncurve = linear 1 1\n");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_DOUBLE_EQ(spec->arrival_rate, 100.0);
+  EXPECT_DOUBLE_EQ(spec->worker_error_prob, 0.0);
+  EXPECT_EQ(spec->seed, 1u);
+}
+
+TEST(JobSpecTest, ErrorsCarryLineNumbers) {
+  const auto spec = ParseJobSpec("budget = 100\nnot a kv line\n");
+  ASSERT_FALSE(spec.ok());
+  EXPECT_NE(spec.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(JobSpecTest, RejectsUnknownKeysAndSections) {
+  EXPECT_FALSE(ParseJobSpec("budget = 1\nwhatever = 2\n").ok());
+  EXPECT_FALSE(ParseJobSpec("[market]\n").ok());
+  EXPECT_FALSE(
+      ParseJobSpec("budget = 100\n[group]\nfoo = 1\n").ok());
+}
+
+TEST(JobSpecTest, RejectsBadNumbers) {
+  EXPECT_FALSE(ParseJobSpec("budget = lots\n").ok());
+  EXPECT_FALSE(ParseJobSpec("budget = 10.5\n").ok());  // integer required
+  EXPECT_FALSE(ParseJobSpec("budget =\n").ok());
+}
+
+TEST(JobSpecTest, ValidatesResultingProblem) {
+  // Budget below the one-unit-per-repetition floor.
+  const auto spec = ParseJobSpec(
+      "budget = 3\n[group]\ntasks = 2\nrepetitions = 2\n"
+      "processing_rate = 1\ncurve = linear 1 1\n");
+  EXPECT_FALSE(spec.ok());
+  // No groups at all.
+  EXPECT_FALSE(ParseJobSpec("budget = 100\n").ok());
+}
+
+TEST(JobSpecTest, RejectsBadSimulationSettings) {
+  EXPECT_FALSE(ParseJobSpec(
+                   "budget = 100\nerror_prob = 1.5\n[group]\ntasks = 2\n"
+                   "repetitions = 2\nprocessing_rate = 1\ncurve = linear 1 "
+                   "1\n")
+                   .ok());
+  EXPECT_FALSE(ParseJobSpec(
+                   "budget = 100\narrival_rate = -5\n[group]\ntasks = 2\n"
+                   "repetitions = 2\nprocessing_rate = 1\ncurve = linear 1 "
+                   "1\n")
+                   .ok());
+}
+
+TEST(CurveSpecTest, AllKindsParse) {
+  const auto linear = ParseCurveSpec("linear 2.0 0.5");
+  ASSERT_TRUE(linear.ok());
+  EXPECT_DOUBLE_EQ((*linear)->Rate(2.0), 4.5);
+
+  const auto quadratic = ParseCurveSpec("quadratic 1 1");
+  ASSERT_TRUE(quadratic.ok());
+  EXPECT_DOUBLE_EQ((*quadratic)->Rate(3.0), 10.0);
+
+  const auto log = ParseCurveSpec("log 1.0");
+  ASSERT_TRUE(log.ok());
+  EXPECT_GT((*log)->Rate(2.0), 1.0);
+
+  const auto table = ParseCurveSpec("table 1:0.5,5:2.5");
+  ASSERT_TRUE(table.ok());
+  EXPECT_DOUBLE_EQ((*table)->Rate(3.0), 1.5);
+
+  const auto sigmoid = ParseCurveSpec("sigmoid 10 4 1.5");
+  ASSERT_TRUE(sigmoid.ok());
+  EXPECT_DOUBLE_EQ((*sigmoid)->Rate(4.0), 5.0);
+}
+
+TEST(CurveSpecTest, RejectsMalformedCurves) {
+  EXPECT_FALSE(ParseCurveSpec("").ok());
+  EXPECT_FALSE(ParseCurveSpec("spline 1 2").ok());
+  EXPECT_FALSE(ParseCurveSpec("sigmoid 1 2").ok());      // missing width
+  EXPECT_FALSE(ParseCurveSpec("sigmoid 0 2 1").ok());    // zero max rate
+  EXPECT_FALSE(ParseCurveSpec("linear 1").ok());
+  EXPECT_FALSE(ParseCurveSpec("linear -1 0").ok());
+  EXPECT_FALSE(ParseCurveSpec("log 0").ok());
+  EXPECT_FALSE(ParseCurveSpec("table 1:2").ok());       // one point
+  EXPECT_FALSE(ParseCurveSpec("table 1:2,3").ok());     // bad pair
+  EXPECT_FALSE(ParseCurveSpec("table 1:2,2:1").ok());   // decreasing
+}
+
+TEST(JobSpecTest, LoadFromFileRoundTrips) {
+  const std::string path = ::testing::TempDir() + "/job_spec_test.htune";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs(kGoodSpec, f);
+  std::fclose(f);
+  const auto spec = LoadJobSpec(path);
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  EXPECT_EQ(spec->problem.budget, 1500);
+  EXPECT_EQ(LoadJobSpec("/no/such/file.htune").status().code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace htune

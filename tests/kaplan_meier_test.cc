@@ -1,0 +1,112 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rng/random.h"
+#include "stats/kaplan_meier.h"
+
+namespace htune {
+namespace {
+
+TEST(KaplanMeierTest, NoCensoringMatchesEmpiricalSurvival) {
+  // Events at 1, 2, 3, 4: S drops by 1/4 at each.
+  const auto km = KaplanMeier::Fit(
+      {{1.0, true}, {2.0, true}, {3.0, true}, {4.0, true}});
+  ASSERT_TRUE(km.ok());
+  EXPECT_DOUBLE_EQ(km->Survival(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(km->Survival(1.0), 0.75);
+  EXPECT_DOUBLE_EQ(km->Survival(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(km->Survival(4.0), 0.0);
+  EXPECT_EQ(km->num_events(), 4u);
+  EXPECT_EQ(km->num_censored(), 0u);
+  EXPECT_DOUBLE_EQ(km->MedianSurvivalTime(), 2.0);
+}
+
+TEST(KaplanMeierTest, TextbookCensoredExample) {
+  // Events at 1 and 3; censored at 2. At-risk sets: {1..4} -> S(1)=3/4;
+  // at t=3 at-risk {3, 4(c at 2 removed)} ... observations: e1, c2, e3, e4.
+  const auto km = KaplanMeier::Fit(
+      {{1.0, true}, {2.0, false}, {3.0, true}, {4.0, true}});
+  ASSERT_TRUE(km.ok());
+  EXPECT_DOUBLE_EQ(km->Survival(1.0), 0.75);
+  // At t=3, at-risk = 2 (the censored subject left): S = 0.75 * 1/2.
+  EXPECT_DOUBLE_EQ(km->Survival(3.0), 0.375);
+  EXPECT_DOUBLE_EQ(km->Survival(4.0), 0.0);
+  EXPECT_EQ(km->num_censored(), 1u);
+}
+
+TEST(KaplanMeierTest, TiesProcessEventsBeforeCensorings) {
+  // A subject censored at t counts as at-risk for the death at t.
+  const auto km =
+      KaplanMeier::Fit({{1.0, true}, {1.0, false}, {2.0, true}});
+  ASSERT_TRUE(km.ok());
+  // At t=1: 3 at risk, 1 death -> S = 2/3. At t=2: 1 at risk -> S = 0.
+  EXPECT_NEAR(km->Survival(1.0), 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(km->Survival(2.0), 0.0);
+}
+
+TEST(KaplanMeierTest, HeavyCensoringLeavesCurveAboveHalf) {
+  const auto km = KaplanMeier::Fit(
+      {{1.0, true}, {5.0, false}, {5.0, false}, {5.0, false}});
+  ASSERT_TRUE(km.ok());
+  EXPECT_DOUBLE_EQ(km->Survival(10.0), 0.75);
+  EXPECT_TRUE(std::isinf(km->MedianSurvivalTime()));
+}
+
+TEST(KaplanMeierTest, FitValidation) {
+  EXPECT_FALSE(KaplanMeier::Fit({}).ok());
+  EXPECT_FALSE(KaplanMeier::Fit({{-1.0, true}}).ok());
+  EXPECT_FALSE(KaplanMeier::Fit({{1.0, false}, {2.0, false}}).ok());
+}
+
+TEST(KaplanMeierTest, RecoversExponentialSurvivalWithCensoring) {
+  // Exponential durations censored at a fixed horizon: the KM curve must
+  // track e^{-lambda t} closely despite ~39% censoring.
+  Random rng(5);
+  const double lambda = 1.5;
+  const double horizon = 0.63;  // P(censored) = e^{-lambda*horizon} ~ 0.39
+  std::vector<SurvivalObservation> data;
+  for (int i = 0; i < 6000; ++i) {
+    const double t = rng.Exponential(lambda);
+    if (t > horizon) {
+      data.push_back({horizon, false});
+    } else {
+      data.push_back({t, true});
+    }
+  }
+  const auto km = KaplanMeier::Fit(data);
+  ASSERT_TRUE(km.ok());
+  EXPECT_GT(km->num_censored(), 2000u);
+  EXPECT_LT(MaxDeviationFromExponential(*km, lambda), 0.03);
+  // A wrong rate is clearly rejected by the same distance.
+  EXPECT_GT(MaxDeviationFromExponential(*km, lambda * 2.0), 0.15);
+}
+
+TEST(KaplanMeierTest, NaiveUncensoredFitIsBiasedWhereKmIsNot) {
+  // Dropping censored observations biases survival downward (only short
+  // durations complete); KM corrects this. Compare survival at the median.
+  Random rng(6);
+  const double lambda = 1.0;
+  const double horizon = 1.0;
+  std::vector<SurvivalObservation> censored_data, naive_data;
+  for (int i = 0; i < 8000; ++i) {
+    const double t = rng.Exponential(lambda);
+    if (t > horizon) {
+      censored_data.push_back({horizon, false});
+    } else {
+      censored_data.push_back({t, true});
+      naive_data.push_back({t, true});
+    }
+  }
+  const auto km = KaplanMeier::Fit(censored_data);
+  const auto naive = KaplanMeier::Fit(naive_data);
+  ASSERT_TRUE(km.ok());
+  ASSERT_TRUE(naive.ok());
+  const double truth = std::exp(-lambda * 0.69);
+  EXPECT_NEAR(km->Survival(0.69), truth, 0.02);
+  EXPECT_LT(naive->Survival(0.69), truth - 0.05);
+}
+
+}  // namespace
+}  // namespace htune

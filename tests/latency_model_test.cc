@@ -1,0 +1,94 @@
+#include <algorithm>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "model/distributions.h"
+#include "model/latency_model.h"
+#include "model/order_statistics.h"
+#include "rng/random.h"
+#include "stats/descriptive.h"
+
+namespace htune {
+namespace {
+
+TEST(GroupLatencyTest, SingleTaskSingleRepIsExponentialMean) {
+  GroupShape shape{1, 1, 2.0};
+  EXPECT_NEAR(ExpectedGroupOnHoldLatencyAtRate(shape, 4.0), 0.25, 1e-6);
+}
+
+TEST(GroupLatencyTest, GroupOfSingleRoundUsesHarmonicSum) {
+  GroupShape shape{10, 1, 2.0};
+  EXPECT_NEAR(ExpectedGroupOnHoldLatencyAtRate(shape, 3.0),
+              ExpectedMaxExponential(10, 3.0), 1e-9);
+}
+
+TEST(GroupLatencyTest, CurveOverloadAppliesPrice) {
+  GroupShape shape{5, 2, 2.0};
+  LinearCurve curve(1.0, 1.0);
+  const double via_curve = ExpectedGroupOnHoldLatency(shape, curve, 3.0);
+  const double via_rate = ExpectedGroupOnHoldLatencyAtRate(shape, 4.0);
+  EXPECT_NEAR(via_curve, via_rate, 1e-12);
+}
+
+TEST(GroupLatencyTest, ProcessingLatencyIsErlangMean) {
+  GroupShape shape{100, 5, 2.0};
+  EXPECT_DOUBLE_EQ(ExpectedGroupProcessingLatency(shape), 2.5);
+}
+
+TEST(SumOfErlangsCdfTest, EqualRatesCollapseToSingleErlang) {
+  // Erlang(2, 3) + Erlang(3, 3) = Erlang(5, 3).
+  ErlangDist combined(5, 3.0);
+  for (double t : {0.5, 1.5, 3.0}) {
+    EXPECT_NEAR(SumOfErlangsCdf(2, 3.0, 3, 3.0, t), combined.Cdf(t), 1e-6);
+  }
+}
+
+TEST(SumOfErlangsCdfTest, DistinctRatesMatchTwoPhaseClosedForm) {
+  TwoPhaseLatencyDist closed(2.0, 5.0);
+  for (double t : {0.2, 1.0, 2.5}) {
+    EXPECT_NEAR(SumOfErlangsCdf(1, 2.0, 1, 5.0, t), closed.Cdf(t), 1e-6);
+  }
+}
+
+TEST(SumOfErlangsCdfTest, NonPositiveTimeIsZero) {
+  EXPECT_EQ(SumOfErlangsCdf(2, 1.0, 2, 2.0, 0.0), 0.0);
+  EXPECT_EQ(SumOfErlangsCdf(2, 1.0, 2, 2.0, -1.0), 0.0);
+}
+
+TEST(TotalGroupLatencyTest, MatchesMonteCarlo) {
+  GroupShape shape{6, 3, 2.0};
+  const double on_hold_rate = 1.5;
+  const double analytic = ExpectedGroupTotalLatency(shape, on_hold_rate);
+
+  Random rng(21);
+  RunningStats stats;
+  for (int trial = 0; trial < 60000; ++trial) {
+    double worst = 0.0;
+    for (int task = 0; task < shape.num_tasks; ++task) {
+      const double latency = rng.Erlang(shape.repetitions, on_hold_rate) +
+                             rng.Erlang(shape.repetitions,
+                                        shape.processing_rate);
+      worst = std::max(worst, latency);
+    }
+    stats.Add(worst);
+  }
+  EXPECT_NEAR(analytic, stats.Mean(), 5.0 * stats.StdError() + 5e-3);
+}
+
+TEST(TotalGroupLatencyTest, ExceedsPhase1Alone) {
+  GroupShape shape{10, 2, 3.0};
+  EXPECT_GT(ExpectedGroupTotalLatency(shape, 2.0),
+            ExpectedGroupOnHoldLatencyAtRate(shape, 2.0));
+}
+
+TEST(GroupLatencyDeathTest, RejectsBadShapes) {
+  GroupShape bad_tasks{0, 1, 1.0};
+  EXPECT_DEATH(ExpectedGroupOnHoldLatencyAtRate(bad_tasks, 1.0),
+               "HTUNE_CHECK");
+  GroupShape bad_rate{1, 1, 0.0};
+  EXPECT_DEATH(ExpectedGroupProcessingLatency(bad_rate), "HTUNE_CHECK");
+}
+
+}  // namespace
+}  // namespace htune

@@ -1,0 +1,298 @@
+// Tests for the market extensions beyond the paper's baseline model:
+// time-varying arrival schedules, heterogeneous worker reliability,
+// market-owned price-rate truth, and in-flight repricing.
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "market/rate_schedule.h"
+#include "market/simulator.h"
+#include "stats/descriptive.h"
+
+namespace htune {
+namespace {
+
+TEST(RateScheduleTest, ConstantSchedule) {
+  const RateSchedule schedule = RateSchedule::Constant(4.0);
+  EXPECT_DOUBLE_EQ(schedule.RateAt(0.0), 4.0);
+  EXPECT_DOUBLE_EQ(schedule.RateAt(123.456), 4.0);
+  EXPECT_DOUBLE_EQ(schedule.MaxRate(), 4.0);
+  EXPECT_DOUBLE_EQ(schedule.MeanRate(), 4.0);
+}
+
+TEST(RateScheduleTest, PiecewiseLookupAndPeriodicity) {
+  // Day: high rate in [0, 16), low in [16, 24).
+  const auto schedule =
+      RateSchedule::Create({{0.0, 10.0}, {16.0, 2.0}}, 24.0);
+  ASSERT_TRUE(schedule.ok());
+  EXPECT_DOUBLE_EQ(schedule->RateAt(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(schedule->RateAt(15.999), 10.0);
+  EXPECT_DOUBLE_EQ(schedule->RateAt(16.0), 2.0);
+  EXPECT_DOUBLE_EQ(schedule->RateAt(23.9), 2.0);
+  // Next day repeats.
+  EXPECT_DOUBLE_EQ(schedule->RateAt(24.0), 10.0);
+  EXPECT_DOUBLE_EQ(schedule->RateAt(24.0 + 20.0), 2.0);
+  EXPECT_DOUBLE_EQ(schedule->MaxRate(), 10.0);
+  EXPECT_NEAR(schedule->MeanRate(), (10.0 * 16.0 + 2.0 * 8.0) / 24.0, 1e-12);
+}
+
+TEST(RateScheduleTest, CreateValidation) {
+  EXPECT_FALSE(RateSchedule::Create({}, 24.0).ok());
+  EXPECT_FALSE(RateSchedule::Create({{1.0, 5.0}}, 24.0).ok());  // start != 0
+  EXPECT_FALSE(
+      RateSchedule::Create({{0.0, 5.0}, {0.0, 2.0}}, 24.0).ok());
+  EXPECT_FALSE(RateSchedule::Create({{0.0, -1.0}}, 24.0).ok());
+  EXPECT_FALSE(RateSchedule::Create({{0.0, 5.0}, {30.0, 2.0}}, 24.0).ok());
+  EXPECT_FALSE(RateSchedule::Create({{0.0, 5.0}}, 0.0).ok());
+}
+
+TEST(NonhomogeneousMarketTest, ArrivalCountsFollowSchedule) {
+  // 10 workers/unit in the first half of each 10-unit cycle, 1 in the
+  // second half.
+  const auto schedule =
+      RateSchedule::Create({{0.0, 10.0}, {5.0, 1.0}}, 10.0);
+  ASSERT_TRUE(schedule.ok());
+  MarketConfig config;
+  config.worker_arrival_rate = 10.0;  // calibration reference
+  config.arrival_schedule =
+      std::make_shared<RateSchedule>(*schedule);
+  config.seed = 31;
+  MarketSimulator market(config);
+  // A slow task keeps the market open for several cycles.
+  TaskSpec spec;
+  spec.price_per_repetition = 1;
+  spec.repetitions = 40;
+  spec.on_hold_rate = 0.8;
+  spec.processing_rate = 1e5;
+  ASSERT_TRUE(market.PostTask(spec).ok());
+  ASSERT_TRUE(market.RunToCompletion().ok());
+
+  double busy = 0.0, quiet = 0.0;
+  double horizon = 0.0;
+  for (const TraceEvent& event : market.trace()) {
+    if (event.kind != TraceEventKind::kWorkerArrival) continue;
+    const double phase = std::fmod(event.time, 10.0);
+    (phase < 5.0 ? busy : quiet) += 1.0;
+    horizon = event.time;
+  }
+  ASSERT_GT(horizon, 30.0);
+  // Busy half should see about 10x the arrivals of the quiet half.
+  EXPECT_GT(busy / quiet, 6.0);
+  EXPECT_LT(busy / quiet, 15.0);
+}
+
+TEST(NonhomogeneousMarketTest, AcceptanceRateScalesWithSchedule) {
+  // Constant schedule at twice the reference rate: acceptance runs 2x the
+  // nominal on-hold rate.
+  MarketConfig config;
+  config.worker_arrival_rate = 10.0;
+  config.arrival_schedule =
+      std::make_shared<RateSchedule>(RateSchedule::Constant(20.0));
+  config.seed = 32;
+  config.record_trace = false;
+  std::vector<double> on_hold;
+  for (int m = 0; m < 200; ++m) {
+    MarketConfig c = config;
+    c.seed = 32 + static_cast<uint64_t>(m);
+    MarketSimulator market(c);
+    TaskSpec spec;
+    spec.price_per_repetition = 1;
+    spec.repetitions = 3;
+    spec.on_hold_rate = 2.0;  // nominal, at the reference arrival rate
+    spec.processing_rate = 50.0;
+    const auto id = market.PostTask(spec);
+    ASSERT_TRUE(id.ok());
+    ASSERT_TRUE(market.RunToCompletion().ok());
+    const TaskOutcome outcome = *market.GetOutcome(*id);
+    for (const RepetitionOutcome& rep : outcome.repetitions) {
+      on_hold.push_back(rep.OnHoldLatency());
+    }
+  }
+  // Expected effective rate 4.0 -> mean 0.25.
+  EXPECT_NEAR(Mean(on_hold), 0.25, 0.03);
+}
+
+TEST(HeterogeneousWorkerTest, AggregateErrorRateMatchesMean) {
+  // One worker answers many repetitions with the same personal error rate,
+  // so answers within a market are correlated: sample across independent
+  // markets with a low acceptance probability (≈ one task per worker).
+  int wrong = 0, total = 0;
+  for (int m = 0; m < 40; ++m) {
+    MarketConfig config;
+    config.worker_arrival_rate = 50.0;
+    config.worker_error_prob = 0.2;
+    config.worker_error_concentration = 4.0;  // highly variable workers
+    config.seed = 33 + static_cast<uint64_t>(m);
+    config.record_trace = false;
+    MarketSimulator market(config);
+    std::vector<TaskId> ids;
+    for (int i = 0; i < 50; ++i) {
+      TaskSpec spec;
+      spec.price_per_repetition = 1;
+      spec.repetitions = 2;
+      spec.on_hold_rate = 0.5;
+      spec.processing_rate = 2.0;
+      spec.num_options = 2;
+      ids.push_back(*market.PostTask(spec));
+    }
+    ASSERT_TRUE(market.RunToCompletion().ok());
+    for (TaskId id : ids) {
+      const TaskOutcome outcome = *market.GetOutcome(id);
+      for (const RepetitionOutcome& rep : outcome.repetitions) {
+        ++total;
+        if (!rep.correct) ++wrong;
+      }
+    }
+  }
+  EXPECT_NEAR(wrong / static_cast<double>(total), 0.2, 0.02);
+}
+
+TEST(HeterogeneousWorkerDeathTest, BetaNeedsInteriorMean) {
+  MarketConfig config;
+  config.worker_arrival_rate = 10.0;
+  config.worker_error_prob = 0.0;
+  config.worker_error_concentration = 5.0;
+  EXPECT_DEATH(MarketSimulator{config}, "HTUNE_CHECK");
+}
+
+TEST(TrueCurveTest, MarketOverridesCallerRates) {
+  // The caller believes rate 100; the market's truth is rate(price=2) = 3.
+  MarketConfig config;
+  config.worker_arrival_rate = 50.0;
+  config.true_curve = std::make_shared<LinearCurve>(1.0, 1.0);
+  config.seed = 34;
+  config.record_trace = false;
+  std::vector<double> on_hold;
+  for (int m = 0; m < 300; ++m) {
+    MarketConfig c = config;
+    c.seed = 34 + static_cast<uint64_t>(m);
+    MarketSimulator market(c);
+    TaskSpec spec;
+    spec.price_per_repetition = 2;
+    spec.repetitions = 2;
+    spec.on_hold_rate = 100.0;  // the caller's wrong belief
+    spec.processing_rate = 10.0;
+    const auto id = market.PostTask(spec);
+    ASSERT_TRUE(id.ok());
+    ASSERT_TRUE(market.RunToCompletion().ok());
+    const TaskOutcome outcome = *market.GetOutcome(*id);
+    for (const RepetitionOutcome& rep : outcome.repetitions) {
+      on_hold.push_back(rep.OnHoldLatency());
+    }
+  }
+  EXPECT_NEAR(Mean(on_hold), 1.0 / 3.0, 0.03);
+}
+
+TEST(RepriceTest, AffectsOnlyFutureRepetitions) {
+  MarketConfig config;
+  config.worker_arrival_rate = 50.0;
+  config.seed = 35;
+  config.record_trace = false;
+  MarketSimulator market(config);
+  TaskSpec spec;
+  spec.price_per_repetition = 2;
+  spec.repetitions = 4;
+  spec.on_hold_rate = 3.0;
+  spec.processing_rate = 1.0;
+  const TaskId id = *market.PostTask(spec);
+  // Let some progress happen, then reprice.
+  market.RunUntil(1.0);
+  ASSERT_TRUE(market.Reprice(id, 7, 9.0).ok());
+  ASSERT_TRUE(market.RunToCompletion().ok());
+  const TaskOutcome outcome = *market.GetOutcome(id);
+  ASSERT_EQ(outcome.repetitions.size(), 4u);
+  // Every repetition accepted after the reprice carries the new price.
+  for (const RepetitionOutcome& rep : outcome.repetitions) {
+    if (rep.accepted_time > 1.0) {
+      EXPECT_EQ(rep.price, 7);
+    } else {
+      EXPECT_EQ(rep.price, 2);
+    }
+  }
+  // Spend reflects the mix of old and new prices.
+  long expected = 0;
+  for (const RepetitionOutcome& rep : outcome.repetitions) {
+    expected += rep.price;
+  }
+  EXPECT_EQ(market.TotalSpent(), expected);
+}
+
+TEST(RepriceTest, SpeedsUpAcceptance) {
+  // Raise a starving task's price: mean remaining on-hold must shrink.
+  RunningStats slow, fast;
+  for (int m = 0; m < 200; ++m) {
+    for (const bool reprice : {false, true}) {
+      MarketConfig config;
+      config.worker_arrival_rate = 50.0;
+      config.seed = 36 + static_cast<uint64_t>(m);
+      config.record_trace = false;
+      MarketSimulator market(config);
+      TaskSpec spec;
+      spec.price_per_repetition = 1;
+      spec.repetitions = 1;
+      spec.on_hold_rate = 0.2;
+      spec.processing_rate = 100.0;
+      const TaskId id = *market.PostTask(spec);
+      if (reprice) {
+        ASSERT_TRUE(market.Reprice(id, 10, 20.0).ok());
+      }
+      ASSERT_TRUE(market.RunToCompletion().ok());
+      (reprice ? fast : slow)
+          .Add(market.GetOutcome(id)->repetitions[0].OnHoldLatency());
+    }
+  }
+  EXPECT_LT(fast.Mean() * 10.0, slow.Mean());
+}
+
+TEST(RepriceTest, ValidationErrors) {
+  MarketConfig config;
+  config.worker_arrival_rate = 10.0;
+  config.seed = 37;
+  MarketSimulator market(config);
+  TaskSpec spec;
+  spec.price_per_repetition = 1;
+  spec.repetitions = 1;
+  spec.on_hold_rate = 1.0;
+  spec.processing_rate = 5.0;
+  const TaskId id = *market.PostTask(spec);
+
+  EXPECT_FALSE(market.Reprice(id, 0, 1.0).ok());          // bad price
+  EXPECT_FALSE(market.Reprice(id, 2, 0.0).ok());          // no rate, no curve
+  EXPECT_EQ(market.Reprice(id, 2, 100.0).code(),          // above arrivals
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(market.Reprice(99, 2, 1.0).code(), StatusCode::kNotFound);
+
+  ASSERT_TRUE(market.RunToCompletion().ok());
+  EXPECT_EQ(market.Reprice(id, 2, 1.0).code(),
+            StatusCode::kFailedPrecondition);  // completed
+}
+
+TEST(RepriceTest, TrueCurveDrivesRepriceRate) {
+  MarketConfig config;
+  config.worker_arrival_rate = 50.0;
+  config.true_curve = std::make_shared<LinearCurve>(2.0, 0.0);
+  config.seed = 38;
+  config.record_trace = false;
+  RunningStats on_hold;
+  for (int m = 0; m < 200; ++m) {
+    MarketConfig c = config;
+    c.seed = 38 + static_cast<uint64_t>(m);
+    MarketSimulator market(c);
+    TaskSpec spec;
+    spec.price_per_repetition = 1;
+    spec.repetitions = 1;
+    spec.processing_rate = 100.0;
+    const TaskId id = *market.PostTask(spec);
+    // Reprice to 5 units: the true curve gives rate 10 (argument ignored).
+    ASSERT_TRUE(market.Reprice(id, 5, 0.001).ok());
+    ASSERT_TRUE(market.RunToCompletion().ok());
+    on_hold.Add(market.GetOutcome(id)->repetitions[0].OnHoldLatency());
+  }
+  EXPECT_NEAR(on_hold.Mean(), 0.1, 0.02);
+}
+
+}  // namespace
+}  // namespace htune

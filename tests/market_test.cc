@@ -1,0 +1,351 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "market/simulator.h"
+#include "stats/descriptive.h"
+
+namespace htune {
+namespace {
+
+MarketConfig FastConfig(uint64_t seed) {
+  MarketConfig config;
+  config.worker_arrival_rate = 50.0;
+  config.seed = seed;
+  return config;
+}
+
+TaskSpec BasicSpec() {
+  TaskSpec spec;
+  spec.price_per_repetition = 2;
+  spec.repetitions = 1;
+  spec.on_hold_rate = 3.0;
+  spec.processing_rate = 2.0;
+  return spec;
+}
+
+TEST(MarketTest, PostTaskValidatesSpec) {
+  MarketSimulator market(FastConfig(1));
+  TaskSpec spec = BasicSpec();
+
+  spec.price_per_repetition = 0;
+  EXPECT_FALSE(market.PostTask(spec).ok());
+
+  spec = BasicSpec();
+  spec.repetitions = 0;
+  EXPECT_FALSE(market.PostTask(spec).ok());
+
+  spec = BasicSpec();
+  spec.on_hold_rate = 0.0;
+  EXPECT_FALSE(market.PostTask(spec).ok());
+
+  spec = BasicSpec();
+  spec.on_hold_rate = 100.0;  // exceeds arrival rate 50
+  EXPECT_EQ(market.PostTask(spec).status().code(),
+            StatusCode::kFailedPrecondition);
+
+  spec = BasicSpec();
+  spec.processing_rate = -1.0;
+  EXPECT_FALSE(market.PostTask(spec).ok());
+
+  spec = BasicSpec();
+  spec.true_answer = 5;
+  spec.num_options = 2;
+  EXPECT_FALSE(market.PostTask(spec).ok());
+
+  spec = BasicSpec();
+  spec.per_repetition_prices = {1, 2};  // wrong length for 1 repetition
+  EXPECT_FALSE(market.PostTask(spec).ok());
+
+  spec = BasicSpec();
+  spec.per_repetition_rates = {1.0, 1.0};
+  EXPECT_FALSE(market.PostTask(spec).ok());
+}
+
+TEST(MarketTest, RunToCompletionWithoutTasksFails) {
+  MarketSimulator market(FastConfig(2));
+  EXPECT_EQ(market.RunToCompletion().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(MarketTest, SingleTaskCompletes) {
+  MarketSimulator market(FastConfig(3));
+  const auto id = market.PostTask(BasicSpec());
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(market.RunToCompletion().ok());
+  const auto outcome = market.GetOutcome(*id);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->repetitions.size(), 1u);
+  EXPECT_GT(outcome->completed_time, outcome->posted_time);
+  EXPECT_GT(outcome->Latency(), 0.0);
+  EXPECT_EQ(market.TotalSpent(), 2);
+}
+
+TEST(MarketTest, DeterministicReplay) {
+  std::vector<double> latencies;
+  for (int run = 0; run < 2; ++run) {
+    MarketSimulator market(FastConfig(42));
+    std::vector<TaskId> ids;
+    for (int i = 0; i < 5; ++i) {
+      TaskSpec spec = BasicSpec();
+      spec.repetitions = 3;
+      ids.push_back(*market.PostTask(spec));
+    }
+    ASSERT_TRUE(market.RunToCompletion().ok());
+    for (TaskId id : ids) {
+      latencies.push_back(market.GetOutcome(id)->Latency());
+    }
+  }
+  ASSERT_EQ(latencies.size(), 10u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(latencies[i], latencies[i + 5]);
+  }
+}
+
+TEST(MarketTest, SequentialRepetitionsAreOrdered) {
+  MarketSimulator market(FastConfig(4));
+  TaskSpec spec = BasicSpec();
+  spec.repetitions = 6;
+  const TaskId id = *market.PostTask(spec);
+  ASSERT_TRUE(market.RunToCompletion().ok());
+  const TaskOutcome outcome = *market.GetOutcome(id);
+  ASSERT_EQ(outcome.repetitions.size(), 6u);
+  double prev_complete = outcome.posted_time;
+  for (const RepetitionOutcome& rep : outcome.repetitions) {
+    // Each repetition is posted exactly when the previous one finished.
+    EXPECT_DOUBLE_EQ(rep.posted_time, prev_complete);
+    EXPECT_GE(rep.accepted_time, rep.posted_time);
+    EXPECT_GE(rep.completed_time, rep.accepted_time);
+    prev_complete = rep.completed_time;
+  }
+  EXPECT_DOUBLE_EQ(outcome.completed_time, prev_complete);
+}
+
+TEST(MarketTest, OnHoldLatencyIsExponentialWithRequestedRate) {
+  // Acceptance is the arrival Poisson stream thinned by rate/arrival_rate,
+  // so on-hold latencies must be Exp(on_hold_rate). Tasks sharing one
+  // market share arrival epochs and are correlated, so the sample is drawn
+  // across many independent markets.
+  const double rate = 4.0;
+  std::vector<double> on_hold;
+  for (int m = 0; m < 300; ++m) {
+    MarketSimulator market(FastConfig(500 + m));
+    std::vector<TaskId> ids;
+    for (int i = 0; i < 5; ++i) {
+      TaskSpec spec = BasicSpec();
+      spec.on_hold_rate = rate;
+      spec.processing_rate = 100.0;
+      ids.push_back(*market.PostTask(spec));
+    }
+    ASSERT_TRUE(market.RunToCompletion().ok());
+    for (TaskId id : ids) {
+      on_hold.push_back(
+          market.GetOutcome(id)->repetitions[0].OnHoldLatency());
+    }
+  }
+  EXPECT_NEAR(Mean(on_hold), 1.0 / rate, 0.02);
+  EmpiricalCdf ecdf(on_hold);
+  const double ks = KolmogorovSmirnovStatistic(ecdf, [rate](double t) {
+    return 1.0 - std::exp(-rate * t);
+  });
+  EXPECT_LT(ks, 0.05);
+}
+
+TEST(MarketTest, ProcessingLatencyIsExponential) {
+  MarketSimulator market(FastConfig(6));
+  const double processing_rate = 1.5;
+  std::vector<TaskId> ids;
+  for (int i = 0; i < 1500; ++i) {
+    TaskSpec spec = BasicSpec();
+    spec.processing_rate = processing_rate;
+    ids.push_back(*market.PostTask(spec));
+  }
+  ASSERT_TRUE(market.RunToCompletion().ok());
+  std::vector<double> processing;
+  for (TaskId id : ids) {
+    processing.push_back(
+        market.GetOutcome(id)->repetitions[0].ProcessingLatency());
+  }
+  EXPECT_NEAR(Mean(processing), 1.0 / processing_rate, 0.05);
+  EmpiricalCdf ecdf(processing);
+  const double ks =
+      KolmogorovSmirnovStatistic(ecdf, [processing_rate](double t) {
+        return 1.0 - std::exp(-processing_rate * t);
+      });
+  EXPECT_LT(ks, 0.05);
+}
+
+TEST(MarketTest, WorkerArrivalsFormPoissonProcess) {
+  MarketConfig config = FastConfig(7);
+  config.worker_arrival_rate = 10.0;
+  MarketSimulator market(config);
+  TaskSpec spec = BasicSpec();
+  spec.on_hold_rate = 0.5;
+  spec.repetitions = 40;
+  ASSERT_TRUE(market.PostTask(spec).ok());
+  ASSERT_TRUE(market.RunToCompletion().ok());
+  // Count arrival events in the trace; their count over elapsed time must
+  // match the configured rate, and inter-arrival gaps must look memoryless.
+  std::vector<double> arrival_times;
+  for (const TraceEvent& event : market.trace()) {
+    if (event.kind == TraceEventKind::kWorkerArrival) {
+      arrival_times.push_back(event.time);
+    }
+  }
+  ASSERT_GT(arrival_times.size(), 100u);
+  const double elapsed = arrival_times.back();
+  EXPECT_NEAR(static_cast<double>(arrival_times.size()) / elapsed, 10.0, 0.8);
+  std::vector<double> gaps;
+  for (size_t i = 1; i < arrival_times.size(); ++i) {
+    gaps.push_back(arrival_times[i] - arrival_times[i - 1]);
+  }
+  EmpiricalCdf ecdf(gaps);
+  const double ks = KolmogorovSmirnovStatistic(
+      ecdf, [](double t) { return 1.0 - std::exp(-10.0 * t); });
+  EXPECT_LT(ks, 0.06);
+}
+
+TEST(MarketTest, ErrorInjectionMatchesConfiguredProbability) {
+  MarketConfig config = FastConfig(8);
+  config.worker_error_prob = 0.25;
+  MarketSimulator market(config);
+  std::vector<TaskId> ids;
+  for (int i = 0; i < 800; ++i) {
+    TaskSpec spec = BasicSpec();
+    spec.repetitions = 3;
+    spec.true_answer = 1;
+    spec.num_options = 4;
+    ids.push_back(*market.PostTask(spec));
+  }
+  ASSERT_TRUE(market.RunToCompletion().ok());
+  int wrong = 0, total = 0;
+  for (TaskId id : ids) {
+    const TaskOutcome outcome = *market.GetOutcome(id);
+    for (const RepetitionOutcome& rep : outcome.repetitions) {
+      ++total;
+      if (!rep.correct) {
+        ++wrong;
+        EXPECT_NE(rep.answer, 1);
+        EXPECT_GE(rep.answer, 0);
+        EXPECT_LT(rep.answer, 4);
+      } else {
+        EXPECT_EQ(rep.answer, 1);
+      }
+    }
+  }
+  EXPECT_NEAR(wrong / static_cast<double>(total), 0.25, 0.035);
+}
+
+TEST(MarketTest, ErrorsRequireMultipleOptions) {
+  MarketConfig config = FastConfig(9);
+  config.worker_error_prob = 0.5;
+  MarketSimulator market(config);
+  TaskSpec spec = BasicSpec();
+  spec.num_options = 1;
+  spec.true_answer = 0;
+  EXPECT_FALSE(market.PostTask(spec).ok());
+}
+
+TEST(MarketTest, PerRepetitionOverridesApply) {
+  MarketSimulator market(FastConfig(10));
+  TaskSpec spec = BasicSpec();
+  spec.repetitions = 3;
+  spec.per_repetition_prices = {1, 5, 2};
+  spec.per_repetition_rates = {1.0, 10.0, 2.0};
+  const TaskId id = *market.PostTask(spec);
+  ASSERT_TRUE(market.RunToCompletion().ok());
+  EXPECT_EQ(market.TotalSpent(), 8);
+  EXPECT_EQ(market.GetOutcome(id)->repetitions.size(), 3u);
+}
+
+TEST(MarketTest, RunUntilStopsAtDeadline) {
+  MarketSimulator market(FastConfig(11));
+  TaskSpec spec = BasicSpec();
+  spec.on_hold_rate = 0.001;  // will not be accepted quickly
+  ASSERT_TRUE(market.PostTask(spec).ok());
+  const size_t open = market.RunUntil(1.0);
+  EXPECT_EQ(open, 1u);
+  EXPECT_DOUBLE_EQ(market.now(), 1.0);
+  // The incomplete task reports progress but not an outcome.
+  EXPECT_EQ(market.GetOutcome(1).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(market.GetProgress(1).ok());
+}
+
+TEST(MarketTest, GetOutcomeUnknownIdIsNotFound) {
+  MarketSimulator market(FastConfig(12));
+  EXPECT_EQ(market.GetOutcome(99).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(market.GetProgress(99).status().code(), StatusCode::kNotFound);
+}
+
+TEST(MarketTest, CompletedOutcomesInCompletionOrder) {
+  MarketSimulator market(FastConfig(13));
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(market.PostTask(BasicSpec()).ok());
+  }
+  ASSERT_TRUE(market.RunToCompletion().ok());
+  const std::vector<TaskOutcome> outcomes = market.CompletedOutcomes();
+  ASSERT_EQ(outcomes.size(), 20u);
+  double prev = 0.0;
+  for (const TaskOutcome& outcome : outcomes) {
+    EXPECT_GE(outcome.completed_time, prev);
+    prev = outcome.completed_time;
+  }
+}
+
+TEST(MarketTest, TraceDisabledLeavesTraceEmpty) {
+  MarketConfig config = FastConfig(14);
+  config.record_trace = false;
+  MarketSimulator market(config);
+  ASSERT_TRUE(market.PostTask(BasicSpec()).ok());
+  ASSERT_TRUE(market.RunToCompletion().ok());
+  EXPECT_TRUE(market.trace().empty());
+}
+
+TEST(MarketTest, TraceEventKindsAreNamed) {
+  EXPECT_EQ(TraceEventKindToString(TraceEventKind::kWorkerArrival),
+            "WORKER_ARRIVAL");
+  EXPECT_EQ(TraceEventKindToString(TraceEventKind::kTaskAccepted),
+            "TASK_ACCEPTED");
+  EXPECT_EQ(TraceEventKindToString(TraceEventKind::kRepetitionCompleted),
+            "REPETITION_COMPLETED");
+  EXPECT_EQ(TraceEventKindToString(TraceEventKind::kTaskCompleted),
+            "TASK_COMPLETED");
+}
+
+TEST(MarketTest, HigherRateShortensOnHoldLatency) {
+  // End-to-end stochastic dominance check: raising the on-hold rate (the
+  // price knob) must reduce mean acceptance latency.
+  double slow_mean = 0.0, fast_mean = 0.0;
+  for (int pass = 0; pass < 2; ++pass) {
+    MarketSimulator market(FastConfig(15));
+    const double rate = pass == 0 ? 1.0 : 8.0;
+    std::vector<TaskId> ids;
+    for (int i = 0; i < 600; ++i) {
+      TaskSpec spec = BasicSpec();
+      spec.on_hold_rate = rate;
+      ids.push_back(*market.PostTask(spec));
+    }
+    EXPECT_TRUE(market.RunToCompletion().ok());
+    RunningStats stats;
+    for (TaskId id : ids) {
+      stats.Add(market.GetOutcome(id)->repetitions[0].OnHoldLatency());
+    }
+    (pass == 0 ? slow_mean : fast_mean) = stats.Mean();
+  }
+  EXPECT_LT(fast_mean, slow_mean / 4.0);
+}
+
+TEST(MarketTest, SpentAccountingMatchesPrices) {
+  MarketSimulator market(FastConfig(16));
+  TaskSpec spec = BasicSpec();
+  spec.repetitions = 4;
+  spec.price_per_repetition = 3;
+  ASSERT_TRUE(market.PostTask(spec).ok());
+  ASSERT_TRUE(market.PostTask(spec).ok());
+  ASSERT_TRUE(market.RunToCompletion().ok());
+  EXPECT_EQ(market.TotalSpent(), 2 * 4 * 3);
+}
+
+}  // namespace
+}  // namespace htune

@@ -1,0 +1,118 @@
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "crowddb/merge_sort.h"
+#include "rng/random.h"
+
+namespace htune {
+namespace {
+
+std::shared_ptr<const PriceRateCurve> Curve() {
+  return std::make_shared<LinearCurve>(1.0, 1.0);
+}
+
+MarketConfig Market(uint64_t seed, double error = 0.0) {
+  MarketConfig config;
+  config.worker_arrival_rate = 200.0;
+  config.seed = seed;
+  config.worker_error_prob = error;
+  config.record_trace = false;
+  return config;
+}
+
+std::vector<Item> SomeItems(int n) {
+  std::vector<Item> items;
+  for (int i = 0; i < n; ++i) {
+    items.push_back({i, 3.0 * (i + 1)});
+  }
+  return items;
+}
+
+TEST(CrowdMergeSortTest, CreateValidation) {
+  EXPECT_FALSE(CrowdMergeSort::Create({{0, 1.0}}, 1).ok());
+  EXPECT_FALSE(CrowdMergeSort::Create(SomeItems(4), 0).ok());
+  EXPECT_FALSE(CrowdMergeSort::Create({{0, 1.0}, {0, 2.0}}, 1).ok());
+  EXPECT_FALSE(CrowdMergeSort::Create({{0, 1.0}, {1, 1.0}}, 1).ok());
+  EXPECT_TRUE(CrowdMergeSort::Create(SomeItems(4), 3).ok());
+}
+
+TEST(CrowdMergeSortTest, WorstCaseComparisonCounts) {
+  // n=2: 1. n=4: 2 + 3 = 5. n=8: 4 + 6 + 7 = 17.
+  EXPECT_EQ(CrowdMergeSort::Create(SomeItems(2), 1)->WorstCaseComparisons(),
+            1);
+  EXPECT_EQ(CrowdMergeSort::Create(SomeItems(4), 1)->WorstCaseComparisons(),
+            5);
+  EXPECT_EQ(CrowdMergeSort::Create(SomeItems(8), 1)->WorstCaseComparisons(),
+            17);
+  // Odd n=5: level 1 merges (1,1),(1,1) carry 1 -> 2 comps; level 2 merges
+  // (2,2) carry 1 -> 3; level 3 merges (4,1) -> 4. Total 9.
+  EXPECT_EQ(CrowdMergeSort::Create(SomeItems(5), 1)->WorstCaseComparisons(),
+            9);
+}
+
+TEST(CrowdMergeSortTest, PerfectWorkersSortExactly) {
+  for (const int n : {2, 5, 8, 13}) {
+    const auto sorter = CrowdMergeSort::Create(SomeItems(n), 3);
+    ASSERT_TRUE(sorter.ok());
+    MarketSimulator market(Market(10 + static_cast<uint64_t>(n)));
+    const auto result =
+        sorter->Run(market, sorter->WorstCaseComparisons() * 3L * 5L,
+                    Curve(), 5.0);
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_DOUBLE_EQ(result->kendall_tau, 1.0) << "n=" << n;
+    EXPECT_EQ(result->ranking.front(), n - 1);
+    EXPECT_LE(result->comparisons, sorter->WorstCaseComparisons());
+    EXPECT_GT(result->levels, 0);
+  }
+}
+
+TEST(CrowdMergeSortTest, AsksFarFewerComparisonsThanAllPairs) {
+  const int n = 16;
+  const auto sorter = CrowdMergeSort::Create(SomeItems(n), 1);
+  ASSERT_TRUE(sorter.ok());
+  // All-pairs: 120 comparisons; merge sort worst case: 8+12+14+15 = 49.
+  EXPECT_LT(sorter->WorstCaseComparisons(), n * (n - 1) / 2 / 2);
+}
+
+TEST(CrowdMergeSortTest, SpendReflectsActualComparisons) {
+  const auto sorter = CrowdMergeSort::Create(SomeItems(6), 2);
+  ASSERT_TRUE(sorter.ok());
+  const long budget = sorter->WorstCaseComparisons() * 2L * 4L;
+  MarketSimulator market(Market(20));
+  const auto result = sorter->Run(market, budget, Curve(), 5.0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result->spent, budget);
+  EXPECT_EQ(result->spent, static_cast<long>(result->comparisons) * 2 * 4);
+}
+
+TEST(CrowdMergeSortTest, RejectsTinyBudget) {
+  const auto sorter = CrowdMergeSort::Create(SomeItems(8), 3);
+  ASSERT_TRUE(sorter.ok());
+  MarketSimulator market(Market(21));
+  EXPECT_FALSE(
+      sorter->Run(market, sorter->WorstCaseComparisons() * 3L - 1, Curve(),
+                  5.0)
+          .ok());
+}
+
+TEST(CrowdMergeSortTest, NoisyWorkersStillRankWell) {
+  Random seed_rng(22);
+  double tau_total = 0.0;
+  const int trials = 8;
+  for (int t = 0; t < trials; ++t) {
+    const auto sorter = CrowdMergeSort::Create(SomeItems(8), 5);
+    ASSERT_TRUE(sorter.ok());
+    MarketSimulator market(Market(30 + t, /*error=*/0.2));
+    const auto result =
+        sorter->Run(market, sorter->WorstCaseComparisons() * 5L * 5L,
+                    Curve(), 5.0);
+    ASSERT_TRUE(result.ok());
+    tau_total += result->kendall_tau;
+  }
+  EXPECT_GT(tau_total / trials, 0.75);
+}
+
+}  // namespace
+}  // namespace htune

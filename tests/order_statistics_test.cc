@@ -1,0 +1,200 @@
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "model/distributions.h"
+#include "model/order_statistics.h"
+#include "rng/random.h"
+#include "stats/descriptive.h"
+
+namespace htune {
+namespace {
+
+TEST(HarmonicTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(HarmonicNumber(0), 0.0);
+  EXPECT_DOUBLE_EQ(HarmonicNumber(1), 1.0);
+  EXPECT_DOUBLE_EQ(HarmonicNumber(2), 1.5);
+  EXPECT_NEAR(HarmonicNumber(4), 25.0 / 12.0, 1e-12);
+}
+
+TEST(ExpectedMaxExponentialTest, ClosedForm) {
+  EXPECT_DOUBLE_EQ(ExpectedMaxExponential(1, 2.0), 0.5);
+  EXPECT_DOUBLE_EQ(ExpectedMaxExponential(2, 1.0), 1.5);
+  EXPECT_NEAR(ExpectedMaxExponential(3, 0.5), 2.0 * (1.0 + 0.5 + 1.0 / 3.0),
+              1e-12);
+}
+
+TEST(ExpectedMaxTwoExponentialsTest, SymmetricCaseMatchesHarmonic) {
+  EXPECT_NEAR(ExpectedMaxTwoExponentials(2.0, 2.0),
+              ExpectedMaxExponential(2, 2.0), 1e-12);
+}
+
+TEST(ExpectedMaxTwoExponentialsTest, MatchesMonteCarlo) {
+  Random rng(1);
+  RunningStats stats;
+  for (int i = 0; i < 400000; ++i) {
+    stats.Add(std::max(rng.Exponential(1.0), rng.Exponential(3.0)));
+  }
+  EXPECT_NEAR(stats.Mean(), ExpectedMaxTwoExponentials(1.0, 3.0), 0.01);
+}
+
+TEST(ExpectedMinExponentialTest, ClosedForm) {
+  EXPECT_DOUBLE_EQ(ExpectedMinExponential(4, 2.0), 1.0 / 8.0);
+}
+
+TEST(ExpectedMaxGenericTest, MatchesExponentialClosedForm) {
+  for (int n : {1, 2, 5, 20, 100}) {
+    const double lambda = 1.7;
+    ExponentialDist dist(lambda);
+    const double numeric = ExpectedMaxGeneric(
+        [&dist](double t) { return dist.Cdf(t); }, n, dist.Mean());
+    EXPECT_NEAR(numeric, ExpectedMaxExponential(n, lambda), 1e-6)
+        << "n=" << n;
+  }
+}
+
+TEST(ExpectedMaxErlangTest, K1UsesHarmonicForm) {
+  EXPECT_NEAR(ExpectedMaxErlang(10, 1, 2.0), ExpectedMaxExponential(10, 2.0),
+              1e-12);
+}
+
+TEST(ExpectedMaxErlangTest, SingleDrawIsMean) {
+  EXPECT_NEAR(ExpectedMaxErlang(1, 5, 2.0), 2.5, 1e-6);
+}
+
+// Property sweep: E[max of n Erlang(k, lambda)] matches Monte Carlo across a
+// (n, k, lambda) grid.
+class ErlangMaxSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, double>> {};
+
+TEST_P(ErlangMaxSweep, MatchesMonteCarlo) {
+  const auto [n, k, lambda] = GetParam();
+  const double analytic = ExpectedMaxErlang(n, k, lambda);
+  Random rng(static_cast<uint64_t>(n * 1000 + k * 10) + 7);
+  RunningStats stats;
+  const int trials = 60000;
+  for (int t = 0; t < trials; ++t) {
+    double max_value = 0.0;
+    for (int i = 0; i < n; ++i) {
+      max_value = std::max(max_value, rng.Erlang(k, lambda));
+    }
+    stats.Add(max_value);
+  }
+  EXPECT_NEAR(analytic, stats.Mean(), 5.0 * stats.StdError() + 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ErlangMaxSweep,
+    ::testing::Combine(::testing::Values(1, 3, 10, 50),
+                       ::testing::Values(1, 2, 5),
+                       ::testing::Values(0.5, 2.0, 10.0)));
+
+TEST(ExpectedMaxErlangTest, MonotoneInN) {
+  double prev = 0.0;
+  for (int n : {1, 2, 4, 8, 16, 32}) {
+    const double value = ExpectedMaxErlang(n, 3, 1.0);
+    EXPECT_GT(value, prev);
+    prev = value;
+  }
+}
+
+TEST(ExpectedMaxErlangTest, DecreasingInLambda) {
+  double prev = 1e18;
+  for (double lambda : {0.5, 1.0, 2.0, 4.0}) {
+    const double value = ExpectedMaxErlang(10, 4, lambda);
+    EXPECT_LT(value, prev);
+    prev = value;
+  }
+}
+
+TEST(ExpectedMaxErlangTest, ScalesInverselyWithLambda) {
+  // E[max] for rate c*lambda is E[max for lambda] / c.
+  const double base = ExpectedMaxErlang(7, 3, 1.0);
+  EXPECT_NEAR(ExpectedMaxErlang(7, 3, 4.0), base / 4.0, 1e-6);
+}
+
+TEST(ExpectedMaxTwoPhaseTest, MatchesMonteCarlo) {
+  TwoPhaseLatencyDist dist(2.0, 0.8);
+  const double analytic = ExpectedMaxTwoPhase(12, dist);
+  Random rng(9);
+  RunningStats stats;
+  for (int t = 0; t < 100000; ++t) {
+    double max_value = 0.0;
+    for (int i = 0; i < 12; ++i) {
+      max_value = std::max(max_value, dist.Sample(rng));
+    }
+    stats.Add(max_value);
+  }
+  EXPECT_NEAR(analytic, stats.Mean(), 5.0 * stats.StdError() + 1e-3);
+}
+
+TEST(ExpectedMaxIndependentTest, MatchesTwoExponentialClosedForm) {
+  ExponentialDist d1(1.0), d2(3.0);
+  const double numeric = ExpectedMaxIndependent(
+      {[&d1](double t) { return d1.Cdf(t); },
+       [&d2](double t) { return d2.Cdf(t); }},
+      1.0);
+  EXPECT_NEAR(numeric, ExpectedMaxTwoExponentials(1.0, 3.0), 1e-6);
+}
+
+TEST(ExpectedMaxIndependentTest, MotivationExampleOneShape) {
+  // Figure 1(a): task 1 = one sort vote, task 2 = two sequential sort votes.
+  // With the load-sensitive allocation the heavier task gets the higher
+  // rate, which must beat the even split.
+  ExponentialDist even1(3.0);
+  ErlangDist even2(2, 3.0);
+  const double even = ExpectedMaxIndependent(
+      {[&even1](double t) { return even1.Cdf(t); },
+       [&even2](double t) { return even2.Cdf(t); }},
+      even2.Mean());
+  ExponentialDist biased1(2.0);
+  ErlangDist biased2(2, 4.0);
+  const double load_sensitive = ExpectedMaxIndependent(
+      {[&biased1](double t) { return biased1.Cdf(t); },
+       [&biased2](double t) { return biased2.Cdf(t); }},
+      biased2.Mean());
+  EXPECT_LT(load_sensitive, even);
+}
+
+TEST(ExpectedMaxWithMultiplicityTest, MatchesUnrolledForm) {
+  ErlangDist dist(3, 2.0);
+  const auto cdf = [&dist](double t) { return dist.Cdf(t); };
+  const double grouped =
+      ExpectedMaxWithMultiplicity({{cdf, 25}}, dist.Mean());
+  const double direct = ExpectedMaxErlang(25, 3, 2.0);
+  EXPECT_NEAR(grouped, direct, 1e-6);
+}
+
+TEST(ExpectedMaxWithMultiplicityTest, MixedGroups) {
+  ExponentialDist fast(5.0);
+  ExponentialDist slow(1.0);
+  const double mixed = ExpectedMaxWithMultiplicity(
+      {{[&fast](double t) { return fast.Cdf(t); }, 3},
+       {[&slow](double t) { return slow.Cdf(t); }, 2}},
+      1.0);
+  Random rng(11);
+  RunningStats stats;
+  for (int t = 0; t < 200000; ++t) {
+    double max_value = 0.0;
+    for (int i = 0; i < 3; ++i) {
+      max_value = std::max(max_value, fast.Sample(rng));
+    }
+    for (int i = 0; i < 2; ++i) {
+      max_value = std::max(max_value, slow.Sample(rng));
+    }
+    stats.Add(max_value);
+  }
+  EXPECT_NEAR(mixed, stats.Mean(), 5.0 * stats.StdError() + 1e-3);
+}
+
+TEST(OrderStatisticsDeathTest, RejectsBadArguments) {
+  EXPECT_DEATH(ExpectedMaxExponential(0, 1.0), "HTUNE_CHECK");
+  EXPECT_DEATH(ExpectedMaxExponential(1, 0.0), "HTUNE_CHECK");
+  EXPECT_DEATH(ExpectedMaxErlang(1, 0, 1.0), "HTUNE_CHECK");
+  EXPECT_DEATH(ExpectedMaxIndependent({}, 1.0), "HTUNE_CHECK");
+}
+
+}  // namespace
+}  // namespace htune

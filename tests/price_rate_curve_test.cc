@@ -1,0 +1,157 @@
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "model/price_rate_curve.h"
+
+namespace htune {
+namespace {
+
+TEST(LinearCurveTest, EvaluatesLine) {
+  LinearCurve curve(2.0, 3.0);
+  EXPECT_DOUBLE_EQ(curve.Rate(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(curve.Rate(10.0), 23.0);
+  EXPECT_DOUBLE_EQ(curve.slope(), 2.0);
+  EXPECT_DOUBLE_EQ(curve.intercept(), 3.0);
+}
+
+TEST(LinearCurveTest, NameIsReadable) {
+  EXPECT_EQ(LinearCurve(1.0, 1.0).Name(), "1.0p+1.0");
+  EXPECT_EQ(LinearCurve(0.1, 10.0).Name(), "0.1p+10.0");
+}
+
+TEST(LinearCurveTest, CloneIsIndependentCopy) {
+  LinearCurve curve(2.0, 1.0);
+  const std::unique_ptr<PriceRateCurve> clone = curve.Clone();
+  EXPECT_DOUBLE_EQ(clone->Rate(4.0), curve.Rate(4.0));
+  EXPECT_EQ(clone->Name(), curve.Name());
+}
+
+TEST(LinearCurveDeathTest, RejectsInvalidParameters) {
+  EXPECT_DEATH(LinearCurve(-1.0, 5.0), "HTUNE_CHECK");
+  EXPECT_DEATH(LinearCurve(0.0, 0.0), "HTUNE_CHECK");
+}
+
+TEST(QuadraticCurveTest, EvaluatesParabola) {
+  QuadraticCurve curve(1.0, 1.0);  // 1 + p^2
+  EXPECT_DOUBLE_EQ(curve.Rate(1.0), 2.0);
+  EXPECT_DOUBLE_EQ(curve.Rate(3.0), 10.0);
+}
+
+TEST(LogCurveTest, EvaluatesLog1p) {
+  LogCurve curve(2.0);
+  EXPECT_NEAR(curve.Rate(1.0), 2.0 * std::log(2.0), 1e-12);
+  EXPECT_NEAR(curve.Rate(0.0), 0.0, 1e-12);
+}
+
+TEST(TableCurveTest, InterpolatesBetweenPoints) {
+  const auto curve = TableCurve::Create({{1.0, 2.0}, {3.0, 6.0}}, "t");
+  ASSERT_TRUE(curve.ok());
+  EXPECT_DOUBLE_EQ(curve->Rate(1.0), 2.0);
+  EXPECT_DOUBLE_EQ(curve->Rate(2.0), 4.0);
+  EXPECT_DOUBLE_EQ(curve->Rate(3.0), 6.0);
+}
+
+TEST(TableCurveTest, ExtrapolatesConstantBelowAndLinearAbove) {
+  const auto curve = TableCurve::Create({{2.0, 4.0}, {4.0, 8.0}}, "t");
+  ASSERT_TRUE(curve.ok());
+  EXPECT_DOUBLE_EQ(curve->Rate(1.0), 4.0);   // clamp below
+  EXPECT_DOUBLE_EQ(curve->Rate(6.0), 12.0);  // extend last segment
+}
+
+TEST(TableCurveTest, SortsUnorderedInput) {
+  const auto curve = TableCurve::Create({{4.0, 8.0}, {2.0, 4.0}}, "t");
+  ASSERT_TRUE(curve.ok());
+  EXPECT_DOUBLE_EQ(curve->Rate(3.0), 6.0);
+}
+
+TEST(TableCurveTest, PaperTable1SortVotes) {
+  // Table 1 sorting-vote column: (1.5, 1.5), (2, 2), (3, 3) — the identity.
+  const auto curve =
+      TableCurve::Create({{2.0, 2.0}, {3.0, 3.0}, {1.5, 1.5}}, "sort-vote");
+  ASSERT_TRUE(curve.ok());
+  EXPECT_DOUBLE_EQ(curve->Rate(2.5), 2.5);
+  EXPECT_DOUBLE_EQ(curve->Rate(4.0), 4.0);
+}
+
+TEST(TableCurveTest, RejectsDegenerateTables) {
+  EXPECT_FALSE(TableCurve::Create({{1.0, 2.0}}, "t").ok());
+  EXPECT_FALSE(TableCurve::Create({{1.0, 2.0}, {1.0, 3.0}}, "t").ok());
+  EXPECT_FALSE(TableCurve::Create({{1.0, 2.0}, {2.0, 1.0}}, "t").ok());
+  EXPECT_FALSE(TableCurve::Create({{1.0, 0.0}, {2.0, 1.0}}, "t").ok());
+}
+
+TEST(TableCurveTest, CloneMatchesOriginal) {
+  const auto curve = TableCurve::Create({{1.0, 1.0}, {5.0, 9.0}}, "t");
+  ASSERT_TRUE(curve.ok());
+  const auto clone = curve->Clone();
+  for (double p : {0.5, 2.0, 7.0}) {
+    EXPECT_DOUBLE_EQ(clone->Rate(p), curve->Rate(p));
+  }
+}
+
+TEST(SigmoidCurveTest, SaturatesAtMaxRate) {
+  SigmoidCurve curve(10.0, 4.0, 1.5);
+  EXPECT_DOUBLE_EQ(curve.Rate(4.0), 5.0);  // midpoint = half of max
+  EXPECT_LT(curve.Rate(1.0), curve.Rate(4.0));
+  EXPECT_LT(curve.Rate(50.0), 10.0);
+  EXPECT_GT(curve.Rate(50.0), 9.99);
+  EXPECT_GT(curve.Rate(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(curve.max_rate(), 10.0);
+}
+
+TEST(SigmoidCurveTest, MonotoneEverywhere) {
+  SigmoidCurve curve(5.0, 10.0, 3.0);
+  double prev = 0.0;
+  for (int p = 0; p <= 40; ++p) {
+    const double rate = curve.Rate(p);
+    EXPECT_GT(rate, prev);
+    prev = rate;
+  }
+}
+
+TEST(SigmoidCurveTest, CloneAndName) {
+  SigmoidCurve curve(8.0, 3.0, 2.0);
+  EXPECT_DOUBLE_EQ(curve.Clone()->Rate(3.0), 4.0);
+  EXPECT_EQ(curve.Name(), "sigmoid(8.0,3.0,2.0)");
+}
+
+TEST(SigmoidCurveDeathTest, RejectsBadParameters) {
+  EXPECT_DEATH(SigmoidCurve(0.0, 1.0, 1.0), "HTUNE_CHECK");
+  EXPECT_DEATH(SigmoidCurve(1.0, 1.0, 0.0), "HTUNE_CHECK");
+}
+
+TEST(FunctionCurveTest, WrapsCallable) {
+  FunctionCurve curve([](double p) { return 1.0 + 2.0 * p; }, "custom");
+  EXPECT_DOUBLE_EQ(curve.Rate(2.0), 5.0);
+  EXPECT_EQ(curve.Name(), "custom");
+  EXPECT_DOUBLE_EQ(curve.Clone()->Rate(2.0), 5.0);
+}
+
+TEST(PaperSyntheticCurvesTest, MatchesPaperParameterization) {
+  const auto curves = PaperSyntheticCurves();
+  ASSERT_EQ(curves.size(), 6u);
+  // (a) 1+p, (b) 10p+1, (c) 0.1p+10, (d) 3p+3, (e) 1+p^2, (f) log(1+p).
+  EXPECT_DOUBLE_EQ(curves[0]->Rate(2.0), 3.0);
+  EXPECT_DOUBLE_EQ(curves[1]->Rate(2.0), 21.0);
+  EXPECT_DOUBLE_EQ(curves[2]->Rate(2.0), 10.2);
+  EXPECT_DOUBLE_EQ(curves[3]->Rate(2.0), 9.0);
+  EXPECT_DOUBLE_EQ(curves[4]->Rate(2.0), 5.0);
+  EXPECT_NEAR(curves[5]->Rate(2.0), std::log(3.0), 1e-12);
+}
+
+TEST(PaperSyntheticCurvesTest, AllMonotoneOverExperimentRange) {
+  for (const auto& curve : PaperSyntheticCurves()) {
+    double prev = 0.0;
+    for (int p = 1; p <= 50; ++p) {
+      const double rate = curve->Rate(p);
+      EXPECT_GT(rate, 0.0) << curve->Name() << " at p=" << p;
+      EXPECT_GE(rate, prev) << curve->Name() << " at p=" << p;
+      prev = rate;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace htune

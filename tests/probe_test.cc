@@ -1,0 +1,182 @@
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "market/simulator.h"
+#include "probe/calibration.h"
+#include "probe/probe.h"
+
+namespace htune {
+namespace {
+
+MarketConfig ProbeMarket(uint64_t seed) {
+  MarketConfig config;
+  config.worker_arrival_rate = 100.0;
+  config.seed = seed;
+  config.record_trace = false;
+  return config;
+}
+
+TEST(ProbeTest, FixedPeriodEstimatesRate) {
+  MarketSimulator market(ProbeMarket(1));
+  ProbeSpec spec;
+  spec.price = 2;
+  spec.on_hold_rate = 5.0;
+  const auto report = RunFixedPeriodProbe(market, spec, 200.0);
+  ASSERT_TRUE(report.ok());
+  // ~1000 events; relative error ~ 1/sqrt(1000) ~ 3%.
+  EXPECT_NEAR(report->lambda_hat, 5.0, 0.5);
+  EXPECT_EQ(report->lambda_corrected, report->lambda_hat);
+  EXPECT_GT(report->events, 800);
+  EXPECT_DOUBLE_EQ(report->period, 200.0);
+}
+
+TEST(ProbeTest, FixedPeriodRejectsBadPeriod) {
+  MarketSimulator market(ProbeMarket(2));
+  EXPECT_FALSE(RunFixedPeriodProbe(market, ProbeSpec{}, 0.0).ok());
+}
+
+TEST(ProbeTest, RandomPeriodEstimatesRate) {
+  MarketSimulator market(ProbeMarket(3));
+  ProbeSpec spec;
+  spec.on_hold_rate = 2.0;
+  const auto report = RunRandomPeriodProbe(market, spec, 800);
+  ASSERT_TRUE(report.ok());
+  EXPECT_NEAR(report->lambda_hat, 2.0, 0.2);
+  EXPECT_EQ(report->events, 800);
+  // Bias correction shrinks the estimate by (N-1)/N.
+  EXPECT_NEAR(report->lambda_corrected,
+              report->lambda_hat * 799.0 / 800.0, 1e-12);
+}
+
+TEST(ProbeTest, RandomPeriodNeedsTwoEvents) {
+  MarketSimulator market(ProbeMarket(4));
+  EXPECT_FALSE(RunRandomPeriodProbe(market, ProbeSpec{}, 1).ok());
+}
+
+TEST(ProbeTest, RandomPeriodBiasCorrectionReducesBias) {
+  // With tiny N the raw MLE N/T0 overestimates; the corrected estimator's
+  // average should sit closer to the truth.
+  const double truth = 3.0;
+  double raw_sum = 0.0, corrected_sum = 0.0;
+  const int runs = 800;
+  for (int r = 0; r < runs; ++r) {
+    MarketSimulator market(ProbeMarket(100 + r));
+    ProbeSpec spec;
+    spec.on_hold_rate = truth;
+    const auto report = RunRandomPeriodProbe(market, spec, 4);
+    ASSERT_TRUE(report.ok());
+    raw_sum += report->lambda_hat;
+    corrected_sum += report->lambda_corrected;
+  }
+  const double raw_bias = raw_sum / runs - truth;
+  const double corrected_bias = corrected_sum / runs - truth;
+  EXPECT_GT(raw_bias, 0.0);
+  EXPECT_LT(std::abs(corrected_bias), std::abs(raw_bias));
+}
+
+TEST(ProbeTest, ProcessingAndOnHoldRateEstimators) {
+  MarketSimulator market(ProbeMarket(5));
+  TaskSpec task;
+  task.price_per_repetition = 1;
+  task.repetitions = 5;
+  task.on_hold_rate = 4.0;
+  task.processing_rate = 1.5;
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(market.PostTask(task).ok());
+  }
+  ASSERT_TRUE(market.RunToCompletion().ok());
+  const std::vector<TaskOutcome> outcomes = market.CompletedOutcomes();
+  const auto processing = EstimateProcessingRate(outcomes);
+  const auto on_hold = EstimateOnHoldRate(outcomes);
+  ASSERT_TRUE(processing.ok());
+  ASSERT_TRUE(on_hold.ok());
+  EXPECT_NEAR(*processing, 1.5, 0.1);
+  EXPECT_NEAR(*on_hold, 4.0, 0.3);
+}
+
+TEST(ProbeTest, EstimatorsRejectEmptyInput) {
+  EXPECT_FALSE(EstimateProcessingRate({}).ok());
+  EXPECT_FALSE(EstimateOnHoldRate({}).ok());
+}
+
+TEST(ProbeTest, DecomposeOverallRate) {
+  // lambda_o = 4, lambda_p = 2 -> overall mean 0.25 + 0.5 = 0.75,
+  // overall rate = 4/3.
+  const auto decomposition = DecomposeOverallRate(4.0 / 3.0, 4.0);
+  ASSERT_TRUE(decomposition.ok());
+  EXPECT_NEAR(decomposition->processing_rate_harmonic, 2.0, 1e-9);
+  EXPECT_NEAR(decomposition->processing_rate_subtraction, 4.0 - 4.0 / 3.0,
+              1e-12);
+}
+
+TEST(ProbeTest, DecomposeRejectsInfeasibleRates) {
+  EXPECT_FALSE(DecomposeOverallRate(5.0, 4.0).ok());
+  EXPECT_FALSE(DecomposeOverallRate(0.0, 4.0).ok());
+}
+
+TEST(CalibrationTest, RecoversLinearMarketCurve) {
+  // Probe a market whose true curve is 0.5p + 1 at several prices, then fit.
+  const LinearCurve truth(0.5, 1.0);
+  std::vector<std::pair<double, double>> measured;
+  for (int price : {1, 2, 4, 6, 8}) {
+    MarketSimulator market(ProbeMarket(40 + static_cast<uint64_t>(price)));
+    ProbeSpec spec;
+    spec.price = price;
+    spec.on_hold_rate = truth.Rate(price);
+    const auto report = RunFixedPeriodProbe(market, spec, 400.0);
+    ASSERT_TRUE(report.ok());
+    measured.emplace_back(price, report->lambda_hat);
+  }
+  const auto calibration = CalibrateLinearCurve(measured);
+  ASSERT_TRUE(calibration.ok());
+  EXPECT_TRUE(calibration->SupportsLinearity(0.9));
+  EXPECT_NEAR(calibration->fit.slope, 0.5, 0.1);
+  EXPECT_NEAR(calibration->fit.intercept, 1.0, 0.4);
+  const auto curve = calibration->ToCurve();
+  ASSERT_TRUE(curve.ok());
+  EXPECT_NEAR((*curve)->Rate(10.0), truth.Rate(10.0), 1.0);
+}
+
+TEST(CalibrationTest, PaperAmtPointsSupportLinearity) {
+  // §5.2.2: the four (reward, lambda) measurements support Hypothesis 1.
+  const auto calibration = CalibrateLinearCurve(PaperAmtMeasuredPoints());
+  ASSERT_TRUE(calibration.ok());
+  EXPECT_GT(calibration->fit.slope, 0.0);
+  EXPECT_TRUE(calibration->SupportsLinearity(0.85));
+}
+
+TEST(CalibrationTest, Table1PointsAreMonotone) {
+  for (const auto& points :
+       {PaperTable1SortVotePoints(), PaperTable1YesNoVotePoints()}) {
+    const auto calibration = CalibrateLinearCurve(points);
+    ASSERT_TRUE(calibration.ok());
+    EXPECT_GT(calibration->fit.slope, 0.0);
+  }
+  // Yes/no votes are easier, so their rate dominates sort votes at every
+  // measured price.
+  const auto sort_points = PaperTable1SortVotePoints();
+  const auto yesno_points = PaperTable1YesNoVotePoints();
+  for (size_t i = 0; i < sort_points.size(); ++i) {
+    EXPECT_GE(yesno_points[i].second, sort_points[i].second);
+  }
+}
+
+TEST(CalibrationTest, ToCurveRejectsNegativeSlope) {
+  Calibration calibration;
+  calibration.fit.slope = -1.0;
+  calibration.fit.intercept = 5.0;
+  EXPECT_FALSE(calibration.ToCurve().ok());
+  calibration.fit.slope = 0.0;
+  calibration.fit.intercept = 0.0;
+  EXPECT_FALSE(calibration.ToCurve().ok());
+}
+
+TEST(CalibrationTest, RejectsTooFewPoints) {
+  EXPECT_FALSE(CalibrateLinearCurve({{1.0, 2.0}}).ok());
+}
+
+}  // namespace
+}  // namespace htune

@@ -1,0 +1,120 @@
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "tuning/allocation.h"
+#include "tuning/problem.h"
+
+namespace htune {
+namespace {
+
+std::shared_ptr<const PriceRateCurve> TestCurve() {
+  return std::make_shared<LinearCurve>(1.0, 1.0);
+}
+
+TaskGroup MakeGroup(int tasks, int reps, double processing = 2.0) {
+  TaskGroup g;
+  g.name = "g";
+  g.num_tasks = tasks;
+  g.repetitions = reps;
+  g.processing_rate = processing;
+  g.curve = TestCurve();
+  return g;
+}
+
+TEST(ProblemTest, MinimumBudgetAndTotals) {
+  TuningProblem problem;
+  problem.groups.push_back(MakeGroup(10, 3));
+  problem.groups.push_back(MakeGroup(5, 4));
+  problem.budget = 100;
+  EXPECT_EQ(problem.MinimumBudget(), 10 * 3 + 5 * 4);
+  EXPECT_EQ(problem.TotalTasks(), 15);
+  EXPECT_EQ(problem.TotalRepetitions(), 50);
+  EXPECT_EQ(problem.groups[0].UnitCost(), 30);
+}
+
+TEST(ProblemTest, ValidationErrors) {
+  TuningProblem problem;
+  EXPECT_FALSE(ValidateProblem(problem).ok());  // no groups
+
+  problem.groups.push_back(MakeGroup(0, 1));
+  problem.budget = 100;
+  EXPECT_FALSE(ValidateProblem(problem).ok());  // zero tasks
+
+  problem.groups[0] = MakeGroup(1, 0);
+  EXPECT_FALSE(ValidateProblem(problem).ok());  // zero reps
+
+  problem.groups[0] = MakeGroup(1, 1, 0.0);
+  EXPECT_FALSE(ValidateProblem(problem).ok());  // bad processing rate
+
+  problem.groups[0] = MakeGroup(1, 1);
+  problem.groups[0].curve = nullptr;
+  EXPECT_FALSE(ValidateProblem(problem).ok());  // no curve
+
+  problem.groups[0] = MakeGroup(10, 2);
+  problem.budget = 19;  // below minimum of 20
+  EXPECT_FALSE(ValidateProblem(problem).ok());
+
+  problem.budget = 20;
+  EXPECT_TRUE(ValidateProblem(problem).ok());
+}
+
+TEST(AllocationTest, CostAndUniformity) {
+  GroupAllocation uniform = UniformGroupAllocation(3, 2, 5);
+  EXPECT_EQ(uniform.TotalCost(), 30);
+  EXPECT_TRUE(uniform.IsUniform());
+  EXPECT_EQ(uniform.UniformPrice(), 5);
+
+  GroupAllocation mixed = uniform;
+  mixed.prices[1][0] = 6;
+  EXPECT_EQ(mixed.TotalCost(), 31);
+  EXPECT_FALSE(mixed.IsUniform());
+}
+
+TEST(AllocationTest, ToStringSummaries) {
+  Allocation allocation;
+  allocation.groups.push_back(UniformGroupAllocation(4, 3, 2));
+  EXPECT_EQ(allocation.ToString(), "g0: 4x3 @ 2");
+  allocation.groups.push_back(UniformGroupAllocation(1, 1, 1));
+  allocation.groups[1].prices[0][0] = 9;
+  EXPECT_NE(allocation.ToString().find("g1"), std::string::npos);
+}
+
+TEST(AllocationTest, ValidationCatchesShapeAndBudgetErrors) {
+  TuningProblem problem;
+  problem.groups.push_back(MakeGroup(2, 2));
+  problem.budget = 100;
+
+  Allocation ok;
+  ok.groups.push_back(UniformGroupAllocation(2, 2, 3));
+  EXPECT_TRUE(ValidateAllocation(problem, ok).ok());
+
+  Allocation wrong_groups;
+  EXPECT_FALSE(ValidateAllocation(problem, wrong_groups).ok());
+
+  Allocation wrong_tasks;
+  wrong_tasks.groups.push_back(UniformGroupAllocation(3, 2, 3));
+  EXPECT_FALSE(ValidateAllocation(problem, wrong_tasks).ok());
+
+  Allocation wrong_reps;
+  wrong_reps.groups.push_back(UniformGroupAllocation(2, 3, 3));
+  EXPECT_FALSE(ValidateAllocation(problem, wrong_reps).ok());
+
+  Allocation below_unit;
+  below_unit.groups.push_back(UniformGroupAllocation(2, 2, 1));
+  below_unit.groups[0].prices[0][0] = 0;
+  EXPECT_FALSE(ValidateAllocation(problem, below_unit).ok());
+
+  Allocation over_budget;
+  over_budget.groups.push_back(UniformGroupAllocation(2, 2, 26));
+  EXPECT_FALSE(ValidateAllocation(problem, over_budget).ok());
+}
+
+TEST(AllocationDeathTest, UniformPriceRequiresUniform) {
+  GroupAllocation mixed = UniformGroupAllocation(2, 1, 3);
+  mixed.prices[0][0] = 4;
+  EXPECT_DEATH(mixed.UniformPrice(), "HTUNE_CHECK");
+}
+
+}  // namespace
+}  // namespace htune

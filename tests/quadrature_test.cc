@@ -1,0 +1,68 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "model/quadrature.h"
+
+namespace htune {
+namespace {
+
+TEST(QuadratureTest, ExactForCubics) {
+  // Simpson's rule is exact for polynomials up to degree 3.
+  const auto cubic = [](double x) { return 2.0 * x * x * x - x + 4.0; };
+  const double result = IntegrateAdaptiveSimpson(cubic, 0.0, 2.0, 1e-12);
+  // Antiderivative: x^4/2 - x^2/2 + 4x -> 8 - 2 + 8 = 14.
+  EXPECT_NEAR(result, 14.0, 1e-10);
+}
+
+TEST(QuadratureTest, EmptyIntervalIsZero) {
+  EXPECT_EQ(IntegrateAdaptiveSimpson([](double) { return 5.0; }, 1.0, 1.0,
+                                     1e-9),
+            0.0);
+}
+
+TEST(QuadratureTest, SmoothTranscendental) {
+  const double result = IntegrateAdaptiveSimpson(
+      [](double x) { return std::sin(x); }, 0.0, M_PI, 1e-10);
+  EXPECT_NEAR(result, 2.0, 1e-8);
+}
+
+TEST(QuadratureTest, SharpPeakResolved) {
+  // A narrow Gaussian bump requires adaptive refinement.
+  const auto peak = [](double x) {
+    const double d = x - 0.73;
+    return std::exp(-d * d / (2.0 * 1e-4));
+  };
+  const double result = IntegrateAdaptiveSimpson(peak, 0.0, 2.0, 1e-10);
+  const double expected = std::sqrt(2.0 * M_PI * 1e-4);
+  EXPECT_NEAR(result, expected, 1e-6);
+}
+
+TEST(QuadratureTest, DecayingTailCapturesFullMass) {
+  // integral of e^{-x} over [0, inf) = 1, starting from a small window.
+  const double result = IntegrateDecayingTail(
+      [](double x) { return std::exp(-x); }, 0.5, 1e-12, 1e-10);
+  EXPECT_NEAR(result, 1.0, 1e-7);
+}
+
+TEST(QuadratureTest, DecayingTailSlowDecay) {
+  // integral of e^{-x/50}: mass 50, needs many doublings from upper=1.
+  const double result = IntegrateDecayingTail(
+      [](double x) { return std::exp(-x / 50.0); }, 1.0, 1e-12, 1e-8);
+  EXPECT_NEAR(result, 50.0, 1e-4);
+}
+
+TEST(QuadratureDeathTest, RejectsBadArguments) {
+  EXPECT_DEATH(IntegrateAdaptiveSimpson([](double) { return 0.0; }, 1.0, 0.0,
+                                        1e-9),
+               "HTUNE_CHECK");
+  EXPECT_DEATH(IntegrateAdaptiveSimpson([](double) { return 0.0; }, 0.0, 1.0,
+                                        0.0),
+               "HTUNE_CHECK");
+  EXPECT_DEATH(IntegrateDecayingTail([](double) { return 0.0; }, 0.0, 1e-9,
+                                     1e-9),
+               "HTUNE_CHECK");
+}
+
+}  // namespace
+}  // namespace htune

@@ -1,0 +1,145 @@
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "model/quality.h"
+#include "rng/random.h"
+
+namespace htune {
+namespace {
+
+TEST(MajorityCorrectTest, SingleVoteIsRawAccuracy) {
+  const auto p = MajorityCorrectProbability(0.2, 1);
+  ASSERT_TRUE(p.ok());
+  EXPECT_NEAR(*p, 0.8, 1e-12);
+}
+
+TEST(MajorityCorrectTest, ThreeVotesClosedForm) {
+  // P(correct) = p^3 + 3 p^2 (1-p) with p = 0.9.
+  const auto result = MajorityCorrectProbability(0.1, 3);
+  ASSERT_TRUE(result.ok());
+  const double p = 0.9;
+  EXPECT_NEAR(*result, p * p * p + 3.0 * p * p * (1.0 - p), 1e-12);
+}
+
+TEST(MajorityCorrectTest, DegenerateErrorRates) {
+  EXPECT_DOUBLE_EQ(*MajorityCorrectProbability(0.0, 5), 1.0);
+  EXPECT_DOUBLE_EQ(*MajorityCorrectProbability(1.0, 5), 0.0);
+}
+
+TEST(MajorityCorrectTest, FairCoinWorkersStayAtHalf) {
+  for (int r : {1, 3, 7, 15}) {
+    const auto p = MajorityCorrectProbability(0.5, r);
+    ASSERT_TRUE(p.ok());
+    EXPECT_NEAR(*p, 0.5, 1e-9) << "r=" << r;
+  }
+}
+
+TEST(MajorityCorrectTest, TieBreakOrdering) {
+  // Even repetition count: pessimistic <= coin flip <= optimistic, strictly
+  // separated by half the tie mass.
+  const double eps = 0.3;
+  const int r = 4;
+  const double pess =
+      *MajorityCorrectProbability(eps, r, TieBreak::kPessimistic);
+  const double coin = *MajorityCorrectProbability(eps, r, TieBreak::kCoinFlip);
+  const double opt =
+      *MajorityCorrectProbability(eps, r, TieBreak::kOptimistic);
+  EXPECT_LT(pess, coin);
+  EXPECT_LT(coin, opt);
+  EXPECT_NEAR(coin, 0.5 * (pess + opt), 1e-12);
+}
+
+TEST(MajorityCorrectTest, OddCountsHaveNoTies) {
+  const double eps = 0.25;
+  for (int r : {1, 3, 5, 9}) {
+    EXPECT_DOUBLE_EQ(
+        *MajorityCorrectProbability(eps, r, TieBreak::kPessimistic),
+        *MajorityCorrectProbability(eps, r, TieBreak::kOptimistic))
+        << "r=" << r;
+  }
+}
+
+TEST(MajorityCorrectTest, RejectsBadArguments) {
+  EXPECT_FALSE(MajorityCorrectProbability(-0.1, 3).ok());
+  EXPECT_FALSE(MajorityCorrectProbability(1.1, 3).ok());
+  EXPECT_FALSE(MajorityCorrectProbability(0.2, 0).ok());
+}
+
+// Property sweep: majority accuracy is monotone in odd repetitions when
+// workers beat a coin, and matches a Monte Carlo estimate.
+class MajoritySweep
+    : public ::testing::TestWithParam<std::tuple<double, int>> {};
+
+TEST_P(MajoritySweep, MatchesMonteCarloAndMonotone) {
+  const auto [eps, r] = GetParam();
+  const double analytic = *MajorityCorrectProbability(eps, r);
+  if (r > 2) {
+    EXPECT_GE(analytic + 1e-12, *MajorityCorrectProbability(eps, r - 2));
+  }
+  Random rng(static_cast<uint64_t>(r * 100) + 3);
+  int correct = 0;
+  const int trials = 120000;
+  for (int t = 0; t < trials; ++t) {
+    int right = 0;
+    for (int i = 0; i < r; ++i) {
+      if (!rng.Bernoulli(eps)) ++right;
+    }
+    if (2 * right > r) {
+      ++correct;
+    } else if (2 * right == r && rng.Bernoulli(0.5)) {
+      ++correct;
+    }
+  }
+  EXPECT_NEAR(analytic, correct / static_cast<double>(trials), 0.006);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, MajoritySweep,
+    ::testing::Combine(::testing::Values(0.05, 0.2, 0.35),
+                       ::testing::Values(1, 3, 5, 9)));
+
+TEST(MinRepetitionsTest, KnownThresholds) {
+  // eps=0.3: r=1 -> 0.7; r=3 -> 0.784; r=5 -> 0.837.
+  EXPECT_EQ(*MinRepetitionsForTarget(0.3, 0.70), 1);
+  EXPECT_EQ(*MinRepetitionsForTarget(0.3, 0.75), 3);
+  EXPECT_EQ(*MinRepetitionsForTarget(0.3, 0.80), 5);
+}
+
+TEST(MinRepetitionsTest, PerfectWorkersNeedOneVote) {
+  EXPECT_EQ(*MinRepetitionsForTarget(0.0, 0.999), 1);
+}
+
+TEST(MinRepetitionsTest, CoinWorkersNeverReachTarget) {
+  const auto result = MinRepetitionsForTarget(0.5, 0.9, 31);
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(MinRepetitionsTest, RejectsBadArguments) {
+  EXPECT_FALSE(MinRepetitionsForTarget(0.2, 0.0).ok());
+  EXPECT_FALSE(MinRepetitionsForTarget(0.2, 1.0).ok());
+  EXPECT_FALSE(MinRepetitionsForTarget(0.2, 0.9, 0).ok());
+  EXPECT_FALSE(MinRepetitionsForTarget(-1.0, 0.9).ok());
+}
+
+TEST(QualityCurveTest, IncreasingOddPoints) {
+  const auto curve = QualityCurve(0.2, 9);
+  ASSERT_TRUE(curve.ok());
+  ASSERT_EQ(curve->size(), 5u);
+  double prev = 0.0;
+  for (const QualityPoint& point : *curve) {
+    EXPECT_EQ(point.repetitions % 2, 1);
+    EXPECT_GT(point.correct_prob, prev);
+    EXPECT_DOUBLE_EQ(point.latency_factor, point.repetitions);
+    EXPECT_DOUBLE_EQ(point.cost_factor, point.repetitions);
+    prev = point.correct_prob;
+  }
+}
+
+TEST(QualityCurveTest, RejectsHopelessWorkers) {
+  EXPECT_FALSE(QualityCurve(0.5, 9).ok());
+  EXPECT_FALSE(QualityCurve(0.2, 0).ok());
+}
+
+}  // namespace
+}  // namespace htune

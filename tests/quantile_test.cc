@@ -1,0 +1,175 @@
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rng/random.h"
+#include "tuning/quantile.h"
+#include "tuning/repetition_allocator.h"
+
+namespace htune {
+namespace {
+
+std::shared_ptr<const PriceRateCurve> Curve() {
+  return std::make_shared<LinearCurve>(1.0, 1.0);
+}
+
+TuningProblem SmallProblem(long budget) {
+  TaskGroup a;
+  a.name = "a";
+  a.num_tasks = 4;
+  a.repetitions = 2;
+  a.processing_rate = 2.0;
+  a.curve = Curve();
+  TaskGroup b = a;
+  b.name = "b";
+  b.repetitions = 3;
+  b.processing_rate = 1.0;
+  TuningProblem problem;
+  problem.groups = {a, b};
+  problem.budget = budget;
+  return problem;
+}
+
+Allocation UniformAlloc(const TuningProblem& problem,
+                        const std::vector<int>& prices) {
+  return UniformAllocation(problem, prices);
+}
+
+TEST(JobCompletionProbabilityTest, MonotoneAndBounded) {
+  const TuningProblem problem = SmallProblem(200);
+  const Allocation alloc = UniformAlloc(problem, {3, 3});
+  EXPECT_EQ(JobCompletionProbability(problem, alloc, 0.0), 0.0);
+  EXPECT_EQ(JobCompletionProbability(problem, alloc, -1.0), 0.0);
+  double prev = 0.0;
+  for (double t = 0.5; t <= 30.0; t += 0.5) {
+    const double p = JobCompletionProbability(problem, alloc, t);
+    EXPECT_GE(p, prev - 1e-9);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    prev = p;
+  }
+  EXPECT_GT(JobCompletionProbability(problem, alloc, 100.0), 0.999);
+}
+
+TEST(JobCompletionProbabilityTest, MatchesMonteCarlo) {
+  const TuningProblem problem = SmallProblem(200);
+  const Allocation alloc = UniformAlloc(problem, {4, 5});
+  Random rng(3);
+  for (const double t : {2.0, 4.0, 7.0}) {
+    int done = 0;
+    const int trials = 60000;
+    for (int trial = 0; trial < trials; ++trial) {
+      double worst = 0.0;
+      for (const TaskGroup& g : problem.groups) {
+        const double rate =
+            g.curve->Rate(g.name == "a" ? 4.0 : 5.0);
+        for (int task = 0; task < g.num_tasks; ++task) {
+          const double latency = rng.Erlang(g.repetitions, rate) +
+                                 rng.Erlang(g.repetitions,
+                                            g.processing_rate);
+          worst = std::max(worst, latency);
+        }
+      }
+      if (worst <= t) ++done;
+    }
+    EXPECT_NEAR(JobCompletionProbability(problem, alloc, t),
+                done / static_cast<double>(trials), 0.01)
+        << "t=" << t;
+  }
+}
+
+TEST(JobCompletionProbabilityTest, HigherPricesShiftMassEarlier) {
+  const TuningProblem problem = SmallProblem(500);
+  const Allocation cheap = UniformAlloc(problem, {1, 1});
+  const Allocation rich = UniformAlloc(problem, {10, 10});
+  for (const double t : {2.0, 5.0, 8.0}) {
+    EXPECT_GT(JobCompletionProbability(problem, rich, t),
+              JobCompletionProbability(problem, cheap, t));
+  }
+}
+
+TEST(JobLatencyQuantileTest, InvertsTheCdf) {
+  const TuningProblem problem = SmallProblem(200);
+  const Allocation alloc = UniformAlloc(problem, {3, 4});
+  for (const double q : {0.25, 0.5, 0.9, 0.99}) {
+    const auto t = JobLatencyQuantile(problem, alloc, q);
+    ASSERT_TRUE(t.ok());
+    EXPECT_NEAR(JobCompletionProbability(problem, alloc, *t), q, 1e-6);
+  }
+  // Quantiles are increasing in q.
+  EXPECT_LT(*JobLatencyQuantile(problem, alloc, 0.5),
+            *JobLatencyQuantile(problem, alloc, 0.95));
+}
+
+TEST(JobLatencyQuantileTest, RejectsBadQ) {
+  const TuningProblem problem = SmallProblem(200);
+  const Allocation alloc = UniformAlloc(problem, {2, 2});
+  EXPECT_FALSE(JobLatencyQuantile(problem, alloc, 0.0).ok());
+  EXPECT_FALSE(JobLatencyQuantile(problem, alloc, 1.0).ok());
+}
+
+TEST(SolveQuantileDeadlineTest, PlanReachesTheConfidence) {
+  const TuningProblem problem = SmallProblem(400);
+  const auto plan = SolveQuantileDeadline(problem, 8.0, 0.9);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_GE(plan->achieved, 0.9);
+  EXPECT_LE(plan->cost, problem.budget);
+  const Allocation alloc = UniformAlloc(problem, plan->prices);
+  EXPECT_NEAR(JobCompletionProbability(problem, alloc, 8.0),
+              plan->achieved, 1e-9);
+}
+
+TEST(SolveQuantileDeadlineTest, TighterConfidenceCostsMore) {
+  const TuningProblem problem = SmallProblem(600);
+  long prev_cost = 0;
+  for (const double confidence : {0.5, 0.8, 0.95}) {
+    const auto plan = SolveQuantileDeadline(problem, 9.0, confidence);
+    ASSERT_TRUE(plan.ok()) << confidence << ": " << plan.status();
+    EXPECT_GE(plan->cost, prev_cost) << confidence;
+    prev_cost = plan->cost;
+  }
+}
+
+TEST(SolveQuantileDeadlineTest, InfeasibleWhenProcessingCapsProbability) {
+  // Deadline far below the processing time scale: even infinite payment
+  // cannot make P(done by deadline) high.
+  const TuningProblem problem = SmallProblem(2000);
+  const auto plan = SolveQuantileDeadline(problem, 0.4, 0.95);
+  EXPECT_EQ(plan.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(SolveQuantileDeadlineTest, Validation) {
+  const TuningProblem problem = SmallProblem(200);
+  EXPECT_FALSE(SolveQuantileDeadline(problem, -1.0, 0.9).ok());
+  EXPECT_FALSE(SolveQuantileDeadline(problem, 5.0, 0.0).ok());
+  EXPECT_FALSE(SolveQuantileDeadline(problem, 5.0, 1.0).ok());
+  TuningProblem empty;
+  EXPECT_FALSE(SolveQuantileDeadline(empty, 5.0, 0.9).ok());
+}
+
+TEST(SolveQuantileDeadlineTest, MatchesEnumerationOracle) {
+  // Tiny instance: verify exact minimality against enumeration.
+  TuningProblem problem = SmallProblem(60);
+  const double deadline = 6.0;
+  const double confidence = 0.7;
+  const auto plan = SolveQuantileDeadline(problem, deadline, confidence);
+  long oracle_cost = 1L << 60;
+  for (int pa = 1; pa * 8 <= problem.budget; ++pa) {
+    for (int pb = 1; pa * 8 + pb * 12 <= problem.budget; ++pb) {
+      const Allocation alloc = UniformAlloc(problem, {pa, pb});
+      if (JobCompletionProbability(problem, alloc, deadline) >= confidence) {
+        oracle_cost = std::min<long>(oracle_cost, pa * 8 + pb * 12);
+      }
+    }
+  }
+  if (oracle_cost == (1L << 60)) {
+    EXPECT_EQ(plan.status().code(), StatusCode::kOutOfRange);
+  } else {
+    ASSERT_TRUE(plan.ok());
+    EXPECT_EQ(plan->cost, oracle_cost);
+  }
+}
+
+}  // namespace
+}  // namespace htune

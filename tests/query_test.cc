@@ -1,0 +1,142 @@
+// Tests for CrowdCategorize and the two-phase TopKFilteredQuery plan.
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "crowddb/categorize.h"
+#include "crowddb/query.h"
+#include "tuning/even_allocator.h"
+
+namespace htune {
+namespace {
+
+std::shared_ptr<const PriceRateCurve> Curve() {
+  return std::make_shared<LinearCurve>(1.0, 1.0);
+}
+
+MarketConfig Market(uint64_t seed, double error = 0.0) {
+  MarketConfig config;
+  config.worker_arrival_rate = 200.0;
+  config.seed = seed;
+  config.worker_error_prob = error;
+  config.record_trace = false;
+  return config;
+}
+
+std::vector<Item> SomeItems(int n) {
+  std::vector<Item> items;
+  for (int i = 0; i < n; ++i) {
+    items.push_back({i, 10.0 * (i + 1)});
+  }
+  return items;
+}
+
+TEST(CrowdCategorizeTest, CreateValidation) {
+  EXPECT_FALSE(CrowdCategorize::Create({}, {1.0}, 1).ok());
+  EXPECT_FALSE(CrowdCategorize::Create(SomeItems(3), {}, 1).ok());
+  EXPECT_FALSE(CrowdCategorize::Create(SomeItems(3), {1.0}, 0).ok());
+  EXPECT_FALSE(CrowdCategorize::Create(SomeItems(3), {2.0, 1.0}, 1).ok());
+  EXPECT_FALSE(
+      CrowdCategorize::Create({{0, 1.0}, {0, 2.0}}, {1.5}, 1).ok());
+  EXPECT_TRUE(CrowdCategorize::Create(SomeItems(3), {15.0, 25.0}, 2).ok());
+}
+
+TEST(CrowdCategorizeTest, TrueBucketBoundaries) {
+  const auto cat = CrowdCategorize::Create(SomeItems(3), {15.0, 25.0}, 1);
+  ASSERT_TRUE(cat.ok());
+  EXPECT_EQ(cat->NumBuckets(), 3);
+  EXPECT_EQ(cat->TrueBucket(10.0), 0);
+  EXPECT_EQ(cat->TrueBucket(15.0), 1);  // boundary goes to the upper bucket
+  EXPECT_EQ(cat->TrueBucket(20.0), 1);
+  EXPECT_EQ(cat->TrueBucket(30.0), 2);
+}
+
+TEST(CrowdCategorizeTest, PerfectWorkersBucketExactly) {
+  const auto cat = CrowdCategorize::Create(SomeItems(9), {35.0, 65.0}, 3);
+  ASSERT_TRUE(cat.ok());
+  MarketSimulator market(Market(1));
+  const auto result = cat->Run(market, EvenAllocator(), 200, Curve(), 5.0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->accuracy, 1.0);
+  // Values 10..90: buckets 0,0,0, 1,1,1, 2,2,2.
+  EXPECT_EQ(result->categories,
+            (std::vector<int>{0, 0, 0, 1, 1, 1, 2, 2, 2}));
+}
+
+TEST(CrowdCategorizeTest, NoisyWorkersDegradeGracefully) {
+  const auto cat = CrowdCategorize::Create(SomeItems(20), {105.0}, 5);
+  ASSERT_TRUE(cat.ok());
+  MarketSimulator market(Market(2, /*error=*/0.25));
+  const auto result = cat->Run(market, EvenAllocator(), 600, Curve(), 5.0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->accuracy, 0.8);
+  EXPECT_LE(result->accuracy, 1.0);
+}
+
+TEST(TopKFilteredQueryTest, CreateValidation) {
+  EXPECT_FALSE(
+      TopKFilteredQuery::Create({{0, 1.0}}, 0.5, 1, 1, 1).ok());
+  EXPECT_FALSE(TopKFilteredQuery::Create(SomeItems(4), 5.0, 0, 1, 1).ok());
+  EXPECT_FALSE(TopKFilteredQuery::Create(SomeItems(4), 5.0, 1, 0, 1).ok());
+  EXPECT_FALSE(TopKFilteredQuery::Create(SomeItems(4), 5.0, 1, 1, 0).ok());
+  EXPECT_TRUE(TopKFilteredQuery::Create(SomeItems(4), 5.0, 2, 3, 3).ok());
+}
+
+TEST(TopKFilteredQueryTest, PerfectWorkersAnswerTheQuery) {
+  // Items 10..120; WHERE value >= 45 keeps ids 4..11; top-3 = 11, 10, 9.
+  const auto query =
+      TopKFilteredQuery::Create(SomeItems(12), 45.0, 3, 3, 3);
+  ASSERT_TRUE(query.ok());
+  MarketSimulator market(Market(3));
+  const auto result =
+      query->Run(market, EvenAllocator(), 3000, Curve(), 5.0);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->top_ids, (std::vector<int>{11, 10, 9}));
+  EXPECT_DOUBLE_EQ(result->quality.precision, 1.0);
+  EXPECT_DOUBLE_EQ(result->quality.recall, 1.0);
+  EXPECT_EQ(result->filtered_ids.size(), 8u);
+  EXPECT_LE(result->spent, 3000);
+  EXPECT_GT(result->latency, 0.0);
+}
+
+TEST(TopKFilteredQueryTest, FewSurvivorsSkipTheRankingPhase) {
+  // Threshold keeps only ids 10 and 11; k=3 > survivors, so the filter's
+  // output is the whole answer.
+  const auto query =
+      TopKFilteredQuery::Create(SomeItems(12), 105.0, 3, 3, 3);
+  ASSERT_TRUE(query.ok());
+  MarketSimulator market(Market(4));
+  const auto result =
+      query->Run(market, EvenAllocator(), 3000, Curve(), 5.0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->top_ids.size(), 2u);
+  EXPECT_DOUBLE_EQ(result->quality.recall, 1.0);
+}
+
+TEST(TopKFilteredQueryTest, RejectsTinyBudget) {
+  const auto query = TopKFilteredQuery::Create(SomeItems(8), 5.0, 2, 3, 3);
+  ASSERT_TRUE(query.ok());
+  MarketSimulator market(Market(5));
+  EXPECT_FALSE(query->Run(market, EvenAllocator(), 10, Curve(), 5.0).ok());
+}
+
+TEST(TopKFilteredQueryTest, PhasesAreSequential) {
+  // The query's latency equals phase-1 latency + phase-2 latency; with two
+  // phases on one market, total spent splits between them.
+  const auto query =
+      TopKFilteredQuery::Create(SomeItems(10), 25.0, 2, 2, 2);
+  ASSERT_TRUE(query.ok());
+  MarketSimulator market(Market(6));
+  const auto result =
+      query->Run(market, EvenAllocator(), 2000, Curve(), 5.0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->latency, 0.0);
+  EXPECT_GT(result->spent, 0);
+  // The market's clock advanced through both phases.
+  EXPECT_GE(market.now(), result->latency);
+}
+
+}  // namespace
+}  // namespace htune

@@ -1,0 +1,199 @@
+// Randomized invariant checks ("fuzz-lite"): generate random tuning
+// problems and market workloads and verify structural properties that must
+// hold for every instance, independent of the specific numbers.
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "market/simulator.h"
+#include "rng/random.h"
+#include "tuning/baselines.h"
+#include "tuning/brute_force.h"
+#include "tuning/deadline_allocator.h"
+#include "tuning/evaluator.h"
+#include "tuning/group_latency_table.h"
+#include "tuning/heterogeneous_allocator.h"
+#include "tuning/repetition_allocator.h"
+
+namespace htune {
+namespace {
+
+std::shared_ptr<const PriceRateCurve> RandomCurve(Random& rng) {
+  switch (rng.UniformInt(3)) {
+    case 0:
+      return std::make_shared<LinearCurve>(rng.UniformRange(0.2, 5.0),
+                                           rng.UniformRange(0.2, 5.0));
+    case 1:
+      return std::make_shared<QuadraticCurve>(rng.UniformRange(0.1, 2.0),
+                                              rng.UniformRange(0.5, 3.0));
+    default:
+      return std::make_shared<LogCurve>(rng.UniformRange(0.5, 4.0));
+  }
+}
+
+TuningProblem RandomProblem(Random& rng, int max_groups = 3) {
+  TuningProblem problem;
+  const int groups = 1 + static_cast<int>(rng.UniformInt(max_groups));
+  for (int g = 0; g < groups; ++g) {
+    TaskGroup group;
+    group.name = "g" + std::to_string(g);
+    group.num_tasks = 1 + static_cast<int>(rng.UniformInt(4));
+    group.repetitions = 1 + static_cast<int>(rng.UniformInt(4));
+    group.processing_rate = rng.UniformRange(0.5, 5.0);
+    group.curve = RandomCurve(rng);
+    problem.groups.push_back(std::move(group));
+  }
+  problem.budget =
+      problem.MinimumBudget() + static_cast<long>(rng.UniformInt(60));
+  return problem;
+}
+
+TEST(RandomizedInvariants, AllocatorsProduceValidBudgetRespectingPlans) {
+  Random rng(101);
+  const RepetitionAllocator ra;
+  const RepetitionAllocator ra_exact(RepetitionAllocator::Mode::kExactDp);
+  const HeterogeneousAllocator ha;
+  const RepEvenAllocator rep_even;
+  const std::vector<const BudgetAllocator*> allocators = {&ra, &ra_exact,
+                                                          &ha, &rep_even};
+  for (int trial = 0; trial < 40; ++trial) {
+    const TuningProblem problem = RandomProblem(rng);
+    for (const BudgetAllocator* allocator : allocators) {
+      const auto alloc = allocator->Allocate(problem);
+      ASSERT_TRUE(alloc.ok())
+          << allocator->Name() << " trial " << trial << ": "
+          << alloc.status();
+      EXPECT_TRUE(ValidateAllocation(problem, *alloc).ok())
+          << allocator->Name() << " trial " << trial;
+      EXPECT_LE(alloc->TotalCost(), problem.budget);
+    }
+  }
+}
+
+TEST(RandomizedInvariants, ExactDpNeverLosesToAnyUniformVector) {
+  Random rng(102);
+  const RepetitionAllocator exact(RepetitionAllocator::Mode::kExactDp);
+  for (int trial = 0; trial < 15; ++trial) {
+    const TuningProblem problem = RandomProblem(rng, 2);
+    const auto prices = exact.SolvePrices(problem);
+    ASSERT_TRUE(prices.ok());
+    std::vector<GroupLatencyTable> tables;
+    for (const TaskGroup& g : problem.groups) {
+      tables.emplace_back(g);
+    }
+    const auto objective = [&](const std::vector<int>& p) {
+      double total = 0.0;
+      for (size_t i = 0; i < tables.size(); ++i) {
+        total += tables[i].Phase1(p[i]);
+      }
+      return total;
+    };
+    const double exact_value = objective(*prices);
+    ForEachUniformPriceVector(problem, [&](const std::vector<int>& p) {
+      EXPECT_LE(exact_value, objective(p) + 1e-9) << "trial " << trial;
+    });
+  }
+}
+
+TEST(RandomizedInvariants, GroupSumAlwaysBoundsTrueMax) {
+  Random rng(103);
+  for (int trial = 0; trial < 20; ++trial) {
+    const TuningProblem problem = RandomProblem(rng);
+    const auto alloc = RepEvenAllocator().Allocate(problem);
+    ASSERT_TRUE(alloc.ok());
+    EXPECT_GE(Phase1GroupSum(problem, *alloc) + 1e-9,
+              ExpectedPhase1Latency(problem, *alloc))
+        << "trial " << trial;
+  }
+}
+
+TEST(RandomizedInvariants, UtopiaPointDominatesHaSolution) {
+  Random rng(104);
+  const HeterogeneousAllocator ha;
+  for (int trial = 0; trial < 15; ++trial) {
+    const TuningProblem problem = RandomProblem(rng, 2);
+    const auto utopia = ha.UtopiaPoint(problem);
+    const auto prices = ha.SolvePrices(problem);
+    ASSERT_TRUE(utopia.ok());
+    ASSERT_TRUE(prices.ok());
+    const ObjectivePoint op =
+        HeterogeneousAllocator::Objectives(problem, *prices);
+    EXPECT_GE(op.o1 + 1e-9, utopia->o1) << "trial " << trial;
+    EXPECT_GE(op.o2 + 1e-9, utopia->o2) << "trial " << trial;
+  }
+}
+
+TEST(RandomizedInvariants, DeadlinePlansMeetTheirDeadlines) {
+  Random rng(105);
+  for (int trial = 0; trial < 20; ++trial) {
+    TuningProblem problem = RandomProblem(rng, 2);
+    problem.budget = problem.MinimumBudget() * 10 + 200;
+    for (const auto objective : {DeadlineObjective::kPhase1Sum,
+                                 DeadlineObjective::kMostDifficult}) {
+      const double deadline = rng.UniformRange(0.5, 20.0);
+      const auto plan = SolveDeadline(problem, deadline, objective);
+      if (!plan.ok()) {
+        EXPECT_EQ(plan.status().code(), StatusCode::kOutOfRange)
+            << "trial " << trial;
+        continue;
+      }
+      EXPECT_LE(plan->achieved, deadline) << "trial " << trial;
+      EXPECT_LE(plan->cost, problem.budget) << "trial " << trial;
+      const Allocation alloc = DeadlinePlanToAllocation(problem, *plan);
+      EXPECT_TRUE(ValidateAllocation(problem, alloc).ok());
+    }
+  }
+}
+
+TEST(RandomizedInvariants, MarketConservesTasksAndMoney) {
+  Random rng(106);
+  for (int trial = 0; trial < 15; ++trial) {
+    MarketConfig config;
+    config.worker_arrival_rate = rng.UniformRange(20.0, 200.0);
+    config.worker_error_prob = rng.UniformRange(0.0, 0.4);
+    config.seed = 500 + static_cast<uint64_t>(trial);
+    config.record_trace = false;
+    MarketSimulator market(config);
+    long expected_spend = 0;
+    int expected_reps = 0;
+    std::vector<TaskId> ids;
+    const int tasks = 1 + static_cast<int>(rng.UniformInt(20));
+    for (int i = 0; i < tasks; ++i) {
+      TaskSpec spec;
+      spec.price_per_repetition = 1 + static_cast<int>(rng.UniformInt(5));
+      spec.repetitions = 1 + static_cast<int>(rng.UniformInt(4));
+      spec.on_hold_rate =
+          rng.UniformRange(0.5, config.worker_arrival_rate * 0.5);
+      spec.processing_rate = rng.UniformRange(0.5, 10.0);
+      spec.num_options = 2 + static_cast<int>(rng.UniformInt(3));
+      spec.true_answer =
+          static_cast<int>(rng.UniformInt(spec.num_options));
+      const auto id = market.PostTask(spec);
+      ASSERT_TRUE(id.ok()) << id.status();
+      ids.push_back(*id);
+      expected_spend += static_cast<long>(spec.price_per_repetition) *
+                        spec.repetitions;
+      expected_reps += spec.repetitions;
+    }
+    ASSERT_TRUE(market.RunToCompletion().ok());
+    EXPECT_EQ(market.TotalSpent(), expected_spend);
+    EXPECT_EQ(market.OpenTaskCount(), 0u);
+    int completed_reps = 0;
+    for (const TaskId id : ids) {
+      const auto outcome = market.GetOutcome(id);
+      ASSERT_TRUE(outcome.ok());
+      completed_reps += static_cast<int>(outcome->repetitions.size());
+      for (const RepetitionOutcome& rep : outcome->repetitions) {
+        EXPECT_GE(rep.accepted_time, rep.posted_time);
+        EXPECT_GE(rep.completed_time, rep.accepted_time);
+        EXPECT_GE(rep.answer, 0);
+      }
+    }
+    EXPECT_EQ(completed_reps, expected_reps);
+  }
+}
+
+}  // namespace
+}  // namespace htune

@@ -1,0 +1,191 @@
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tuning/brute_force.h"
+#include "tuning/evaluator.h"
+#include "tuning/group_latency_table.h"
+#include "tuning/repetition_allocator.h"
+
+namespace htune {
+namespace {
+
+TaskGroup MakeGroup(const std::string& name, int tasks, int reps,
+                    std::shared_ptr<const PriceRateCurve> curve,
+                    double processing = 2.0) {
+  TaskGroup g;
+  g.name = name;
+  g.num_tasks = tasks;
+  g.repetitions = reps;
+  g.processing_rate = processing;
+  g.curve = std::move(curve);
+  return g;
+}
+
+TuningProblem TwoGroupProblem(long budget,
+                              std::shared_ptr<const PriceRateCurve> curve) {
+  TuningProblem problem;
+  problem.groups.push_back(MakeGroup("three-reps", 2, 3, curve));
+  problem.groups.push_back(MakeGroup("five-reps", 2, 5, curve));
+  problem.budget = budget;
+  return problem;
+}
+
+double GroupSumObjective(const TuningProblem& problem,
+                         const std::vector<int>& prices) {
+  double total = 0.0;
+  for (size_t i = 0; i < problem.groups.size(); ++i) {
+    total += GroupLatencyTable(problem.groups[i]).Phase1(prices[i]);
+  }
+  return total;
+}
+
+TEST(GroupLatencyTableTest, CachesAndMatchesDirectComputation) {
+  const auto curve = std::make_shared<LinearCurve>(1.0, 1.0);
+  const TaskGroup group = MakeGroup("g", 4, 2, curve);
+  GroupLatencyTable table(group);
+  const double first = table.Phase1(3);
+  const double second = table.Phase1(3);
+  EXPECT_DOUBLE_EQ(first, second);
+  EXPECT_GT(table.Phase1Gain(3), 0.0);
+  EXPECT_DOUBLE_EQ(table.Phase2(), 1.0);
+}
+
+TEST(RepetitionAllocatorTest, SpendsWithinBudget) {
+  const auto curve = std::make_shared<LinearCurve>(1.0, 1.0);
+  const TuningProblem problem = TwoGroupProblem(100, curve);
+  for (const auto mode : {RepetitionAllocator::Mode::kPaperDp,
+                          RepetitionAllocator::Mode::kExactDp}) {
+    const auto alloc = RepetitionAllocator(mode).Allocate(problem);
+    ASSERT_TRUE(alloc.ok());
+    EXPECT_LE(alloc->TotalCost(), 100);
+    EXPECT_TRUE(ValidateAllocation(problem, *alloc).ok());
+  }
+}
+
+TEST(RepetitionAllocatorTest, RejectsInsufficientBudget) {
+  const auto curve = std::make_shared<LinearCurve>(1.0, 1.0);
+  const TuningProblem problem = TwoGroupProblem(15, curve);  // min is 16
+  EXPECT_FALSE(RepetitionAllocator().Allocate(problem).ok());
+}
+
+TEST(RepetitionAllocatorTest, MinimalBudgetGivesAllOnes) {
+  const auto curve = std::make_shared<LinearCurve>(1.0, 1.0);
+  const TuningProblem problem = TwoGroupProblem(16, curve);
+  const auto prices = RepetitionAllocator().SolvePrices(problem);
+  ASSERT_TRUE(prices.ok());
+  EXPECT_EQ(*prices, (std::vector<int>{1, 1}));
+}
+
+// Property sweep: the paper's DP matches the exact DP and the brute-force
+// oracle across curves and budgets.
+class RaExactnessSweep
+    : public ::testing::TestWithParam<std::tuple<int, long>> {};
+
+TEST_P(RaExactnessSweep, MatchesOracles) {
+  const auto [curve_index, budget] = GetParam();
+  const auto curves = PaperSyntheticCurves();
+  const std::shared_ptr<const PriceRateCurve> curve =
+      std::shared_ptr<const PriceRateCurve>(curves[curve_index]->Clone());
+  const TuningProblem problem = TwoGroupProblem(budget, curve);
+
+  const auto paper =
+      RepetitionAllocator(RepetitionAllocator::Mode::kPaperDp)
+          .SolvePrices(problem);
+  const auto exact =
+      RepetitionAllocator(RepetitionAllocator::Mode::kExactDp)
+          .SolvePrices(problem);
+  const auto oracle = BruteForceMinimize(
+      problem, [&problem](const std::vector<int>& prices) {
+        return GroupSumObjective(problem, prices);
+      });
+  ASSERT_TRUE(paper.ok());
+  ASSERT_TRUE(exact.ok());
+  ASSERT_TRUE(oracle.ok());
+
+  const double paper_value = GroupSumObjective(problem, *paper);
+  const double exact_value = GroupSumObjective(problem, *exact);
+  const double oracle_value = GroupSumObjective(problem, *oracle);
+  // All three must land on the same objective value (the price vectors may
+  // differ on exact ties).
+  EXPECT_NEAR(exact_value, oracle_value, 1e-9)
+      << "curve=" << curve->Name() << " budget=" << budget;
+  EXPECT_NEAR(paper_value, oracle_value, 1e-9)
+      << "curve=" << curve->Name() << " budget=" << budget;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CurvesAndBudgets, RaExactnessSweep,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3, 4, 5),
+                       ::testing::Values(16L, 20L, 33L, 48L, 64L)));
+
+TEST(RepetitionAllocatorTest, ObjectiveMonotoneInBudget) {
+  const auto curve = std::make_shared<LinearCurve>(1.0, 1.0);
+  double prev = 1e18;
+  for (long budget : {16, 24, 32, 48, 64, 96}) {
+    const TuningProblem problem = TwoGroupProblem(budget, curve);
+    const auto prices = RepetitionAllocator().SolvePrices(problem);
+    ASSERT_TRUE(prices.ok());
+    const double value = GroupSumObjective(problem, *prices);
+    EXPECT_LE(value, prev + 1e-12) << "budget=" << budget;
+    prev = value;
+  }
+}
+
+TEST(RepetitionAllocatorTest, AsymmetricUnitCostsStillOptimal) {
+  // Group sizes that make per-unit upgrade costs differ by 12x: the DP must
+  // still land on the brute-force optimum.
+  const auto curve = std::make_shared<LinearCurve>(1.0, 1.0);
+  TuningProblem problem;
+  problem.groups.push_back(MakeGroup("light", 1, 1, curve));
+  problem.groups.push_back(MakeGroup("heavy", 1, 12, curve));
+  problem.budget = 40;
+  const auto prices = RepetitionAllocator().SolvePrices(problem);
+  ASSERT_TRUE(prices.ok());
+  const auto oracle = BruteForceMinimize(
+      problem, [&problem](const std::vector<int>& p) {
+        return GroupSumObjective(problem, p);
+      });
+  ASSERT_TRUE(oracle.ok());
+  EXPECT_NEAR(GroupSumObjective(problem, *prices),
+              GroupSumObjective(problem, *oracle), 1e-9);
+}
+
+TEST(RepetitionAllocatorTest, SingleGroupDegeneratesToEvenPerRepetition) {
+  const auto curve = std::make_shared<LinearCurve>(1.0, 1.0);
+  TuningProblem problem;
+  problem.groups.push_back(MakeGroup("only", 5, 2, curve));
+  problem.budget = 70;  // 7 per repetition exactly
+  const auto prices = RepetitionAllocator().SolvePrices(problem);
+  ASSERT_TRUE(prices.ok());
+  EXPECT_EQ((*prices)[0], 7);
+}
+
+TEST(BruteForceTest, EnumeratesFeasibleSet) {
+  const auto curve = std::make_shared<LinearCurve>(1.0, 1.0);
+  TuningProblem problem;
+  problem.groups.push_back(MakeGroup("a", 1, 2, curve));  // unit cost 2
+  problem.groups.push_back(MakeGroup("b", 1, 3, curve));  // unit cost 3
+  problem.budget = 10;
+  int count = 0;
+  ForEachUniformPriceVector(problem, [&](const std::vector<int>& prices) {
+    ++count;
+    EXPECT_LE(2 * prices[0] + 3 * prices[1], 10);
+    EXPECT_GE(prices[0], 1);
+    EXPECT_GE(prices[1], 1);
+  });
+  // Feasible: (1,1),(1,2),(2,1),(3,1),(2,2). Check (3,1): 6+3=9 ok;
+  // (1,2): 2+6=8 ok; (2,2): 4+6=10 ok.
+  EXPECT_EQ(count, 5);
+}
+
+TEST(BruteForceTest, MinimizeRejectsInvalidProblem) {
+  TuningProblem empty;
+  EXPECT_FALSE(
+      BruteForceMinimize(empty, [](const std::vector<int>&) { return 0.0; })
+          .ok());
+}
+
+}  // namespace
+}  // namespace htune

@@ -1,0 +1,290 @@
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rng/random.h"
+#include "rng/splitmix64.h"
+#include "rng/xoshiro256.h"
+#include "stats/descriptive.h"
+
+namespace htune {
+namespace {
+
+TEST(SplitMix64Test, DeterministicStream) {
+  SplitMix64 a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(SplitMix64Test, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  int differing = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() != b.Next()) ++differing;
+  }
+  EXPECT_GT(differing, 60);
+}
+
+TEST(Xoshiro256Test, DeterministicStream) {
+  Xoshiro256 a(7), b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(Xoshiro256Test, JumpChangesStream) {
+  Xoshiro256 a(7), b(7);
+  b.Jump();
+  int differing = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() != b.Next()) ++differing;
+  }
+  EXPECT_GT(differing, 60);
+}
+
+TEST(Xoshiro256Test, SplitStreamsAreDistinct) {
+  Xoshiro256 parent(42);
+  Xoshiro256 child1 = parent.Split();
+  Xoshiro256 child2 = parent.Split();
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 200; ++i) {
+    seen.insert(child1.Next());
+    seen.insert(child2.Next());
+    seen.insert(parent.Next());
+  }
+  EXPECT_EQ(seen.size(), 600u);
+}
+
+TEST(RandomTest, UniformInUnitInterval) {
+  Random rng(1);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.Uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    stats.Add(u);
+  }
+  EXPECT_NEAR(stats.Mean(), 0.5, 0.01);
+  EXPECT_NEAR(stats.Variance(), 1.0 / 12.0, 0.01);
+}
+
+TEST(RandomTest, UniformRangeRespectsBounds) {
+  Random rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.UniformRange(-3.0, 5.0);
+    ASSERT_GE(v, -3.0);
+    ASSERT_LT(v, 5.0);
+  }
+}
+
+TEST(RandomTest, UniformIntIsUnbiased) {
+  Random rng(3);
+  std::vector<int> counts(7, 0);
+  const int trials = 140000;
+  for (int i = 0; i < trials; ++i) {
+    ++counts[rng.UniformInt(7)];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), trials / 7.0, 5.0 * std::sqrt(trials / 7.0));
+  }
+}
+
+TEST(RandomTest, BernoulliFrequencies) {
+  Random rng(4);
+  int hits = 0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / static_cast<double>(trials), 0.3, 0.01);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+  EXPECT_FALSE(rng.Bernoulli(-0.5));
+  EXPECT_TRUE(rng.Bernoulli(1.5));
+}
+
+TEST(RandomTest, ExponentialMoments) {
+  Random rng(5);
+  const double lambda = 2.5;
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) {
+    const double x = rng.Exponential(lambda);
+    ASSERT_GE(x, 0.0);
+    stats.Add(x);
+  }
+  EXPECT_NEAR(stats.Mean(), 1.0 / lambda, 0.005);
+  EXPECT_NEAR(stats.Variance(), 1.0 / (lambda * lambda), 0.01);
+}
+
+TEST(RandomTest, ErlangMoments) {
+  Random rng(6);
+  const int k = 4;
+  const double lambda = 3.0;
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) {
+    stats.Add(rng.Erlang(k, lambda));
+  }
+  EXPECT_NEAR(stats.Mean(), k / lambda, 0.01);
+  EXPECT_NEAR(stats.Variance(), k / (lambda * lambda), 0.02);
+}
+
+TEST(RandomTest, ErlangOfOneMatchesExponentialLaw) {
+  Random rng(7);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) {
+    stats.Add(rng.Erlang(1, 2.0));
+  }
+  EXPECT_NEAR(stats.Mean(), 0.5, 0.01);
+}
+
+TEST(RandomTest, PoissonMoments) {
+  Random rng(8);
+  const double mean = 6.5;
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) {
+    stats.Add(rng.Poisson(mean));
+  }
+  EXPECT_NEAR(stats.Mean(), mean, 0.05);
+  EXPECT_NEAR(stats.Variance(), mean, 0.2);
+}
+
+TEST(RandomTest, PoissonZeroMeanIsZero) {
+  Random rng(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.Poisson(0.0), 0);
+  }
+}
+
+TEST(RandomTest, PoissonLargeMeanUsesBlocking) {
+  Random rng(10);
+  const double mean = 1500.0;  // exceeds the internal 500 block size
+  RunningStats stats;
+  for (int i = 0; i < 5000; ++i) {
+    stats.Add(rng.Poisson(mean));
+  }
+  EXPECT_NEAR(stats.Mean(), mean, 3.0);
+  EXPECT_NEAR(stats.StdDev(), std::sqrt(mean), 2.0);
+}
+
+TEST(RandomTest, NormalMoments) {
+  Random rng(11);
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) {
+    stats.Add(rng.Normal(10.0, 3.0));
+  }
+  EXPECT_NEAR(stats.Mean(), 10.0, 0.05);
+  EXPECT_NEAR(stats.StdDev(), 3.0, 0.05);
+}
+
+TEST(RandomTest, DiscreteRespectsWeights) {
+  Random rng(12);
+  const std::vector<double> weights = {1.0, 3.0, 0.0, 6.0};
+  std::vector<int> counts(4, 0);
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) {
+    ++counts[rng.Discrete(weights)];
+  }
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(counts[0] / static_cast<double>(trials), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(trials), 0.3, 0.01);
+  EXPECT_NEAR(counts[3] / static_cast<double>(trials), 0.6, 0.01);
+}
+
+TEST(RandomTest, ShufflePreservesElements) {
+  Random rng(13);
+  std::vector<int> values(50);
+  std::iota(values.begin(), values.end(), 0);
+  std::vector<int> shuffled = values;
+  rng.Shuffle(shuffled);
+  std::vector<int> sorted = shuffled;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, values);
+}
+
+TEST(RandomTest, ShuffleIsUniformOnPositions) {
+  Random rng(14);
+  // Element 0's final position should be uniform over 5 slots.
+  std::vector<int> counts(5, 0);
+  const int trials = 50000;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<int> v = {0, 1, 2, 3, 4};
+    rng.Shuffle(v);
+    for (int i = 0; i < 5; ++i) {
+      if (v[i] == 0) ++counts[i];
+    }
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c / static_cast<double>(trials), 0.2, 0.01);
+  }
+}
+
+TEST(RandomTest, SplitProducesIndependentStream) {
+  Random parent(15);
+  Random child = parent.Split();
+  RunningStats corr;
+  // Crude independence check: products of centered uniforms average ~0.
+  for (int i = 0; i < 100000; ++i) {
+    corr.Add((parent.Uniform() - 0.5) * (child.Uniform() - 0.5));
+  }
+  EXPECT_NEAR(corr.Mean(), 0.0, 0.002);
+}
+
+TEST(RandomTest, GammaMoments) {
+  Random rng(17);
+  for (const double shape : {0.5, 1.0, 2.5, 9.0}) {
+    RunningStats stats;
+    for (int i = 0; i < 120000; ++i) {
+      const double x = rng.Gamma(shape);
+      ASSERT_GT(x, 0.0);
+      stats.Add(x);
+    }
+    EXPECT_NEAR(stats.Mean(), shape, 0.05 * shape + 0.01) << shape;
+    EXPECT_NEAR(stats.Variance(), shape, 0.1 * shape + 0.05) << shape;
+  }
+}
+
+TEST(RandomTest, BetaMomentsAndSupport) {
+  Random rng(18);
+  const double a = 2.0, b = 6.0;
+  RunningStats stats;
+  for (int i = 0; i < 120000; ++i) {
+    const double x = rng.Beta(a, b);
+    ASSERT_GT(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    stats.Add(x);
+  }
+  EXPECT_NEAR(stats.Mean(), a / (a + b), 0.005);
+  const double variance = a * b / ((a + b) * (a + b) * (a + b + 1.0));
+  EXPECT_NEAR(stats.Variance(), variance, 0.002);
+}
+
+TEST(RandomTest, BetaConcentrationShrinksSpread) {
+  Random rng(19);
+  RunningStats loose, tight;
+  for (int i = 0; i < 50000; ++i) {
+    loose.Add(rng.Beta(0.4, 1.6));   // concentration 2
+    tight.Add(rng.Beta(8.0, 32.0));  // concentration 40, same mean 0.2
+  }
+  EXPECT_NEAR(loose.Mean(), 0.2, 0.01);
+  EXPECT_NEAR(tight.Mean(), 0.2, 0.01);
+  EXPECT_LT(tight.Variance() * 5.0, loose.Variance());
+}
+
+TEST(RandomDeathTest, InvalidArgumentsAbort) {
+  Random rng(16);
+  EXPECT_DEATH(rng.Exponential(0.0), "HTUNE_CHECK");
+  EXPECT_DEATH(rng.Erlang(0, 1.0), "HTUNE_CHECK");
+  EXPECT_DEATH(rng.UniformInt(0), "HTUNE_CHECK");
+  EXPECT_DEATH(rng.Poisson(-1.0), "HTUNE_CHECK");
+  EXPECT_DEATH(rng.Discrete({0.0, 0.0}), "HTUNE_CHECK");
+  EXPECT_DEATH(rng.Gamma(0.0), "HTUNE_CHECK");
+  EXPECT_DEATH(rng.Beta(1.0, 0.0), "HTUNE_CHECK");
+}
+
+}  // namespace
+}  // namespace htune

@@ -1,0 +1,222 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rng/random.h"
+#include "stats/bootstrap.h"
+#include "stats/descriptive.h"
+#include "stats/histogram.h"
+#include "stats/regression.h"
+
+namespace htune {
+namespace {
+
+TEST(RunningStatsTest, EmptyDefaults) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_EQ(stats.Mean(), 0.0);
+  EXPECT_EQ(stats.Variance(), 0.0);
+  EXPECT_EQ(stats.StdError(), 0.0);
+}
+
+TEST(RunningStatsTest, MatchesDirectComputation) {
+  const std::vector<double> values = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  RunningStats stats;
+  stats.AddAll(values);
+  EXPECT_EQ(stats.count(), values.size());
+  EXPECT_DOUBLE_EQ(stats.Mean(), 5.0);
+  EXPECT_NEAR(stats.Variance(), Variance(values), 1e-12);
+  EXPECT_DOUBLE_EQ(stats.Min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.Max(), 9.0);
+}
+
+TEST(RunningStatsTest, SingleValueHasZeroVariance) {
+  RunningStats stats;
+  stats.Add(3.0);
+  EXPECT_EQ(stats.Variance(), 0.0);
+  EXPECT_EQ(stats.Mean(), 3.0);
+}
+
+TEST(RunningStatsTest, NumericallyStableForLargeOffsets) {
+  RunningStats stats;
+  for (int i = 0; i < 1000; ++i) {
+    stats.Add(1e9 + (i % 2));  // values 1e9 and 1e9+1
+  }
+  // Unbiased sample variance of a 500/500 split of {1e9, 1e9+1}.
+  EXPECT_NEAR(stats.Variance(), 250.0 / 999.0, 1e-6);
+}
+
+TEST(DescriptiveTest, MeanAndVariance) {
+  EXPECT_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_EQ(Variance({1.0}), 0.0);
+  EXPECT_DOUBLE_EQ(Variance({1.0, 3.0}), 2.0);
+}
+
+TEST(QuantileTest, OrderStatisticsAndInterpolation) {
+  const std::vector<double> values = {3.0, 1.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(Quantile(values, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(values, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(Quantile(values, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(Quantile(values, 1.0 / 3.0), 2.0);
+}
+
+TEST(QuantileDeathTest, RejectsBadInput) {
+  EXPECT_DEATH(Quantile({}, 0.5), "HTUNE_CHECK");
+  EXPECT_DEATH(Quantile({1.0}, 1.5), "HTUNE_CHECK");
+}
+
+TEST(EmpiricalCdfTest, StepFunction) {
+  EmpiricalCdf ecdf({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(ecdf(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(ecdf(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(ecdf(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(ecdf(10.0), 1.0);
+}
+
+TEST(KolmogorovSmirnovTest, ZeroForPerfectFit) {
+  // Sample placed at theoretical quantile midpoints of U(0,1).
+  std::vector<double> sample;
+  const int n = 100;
+  for (int i = 0; i < n; ++i) {
+    sample.push_back((i + 0.5) / n);
+  }
+  EmpiricalCdf ecdf(sample);
+  const double d =
+      KolmogorovSmirnovStatistic(ecdf, [](double x) { return x; });
+  EXPECT_LT(d, 0.01);
+}
+
+TEST(KolmogorovSmirnovTest, DetectsWrongDistribution) {
+  Random rng(1);
+  std::vector<double> sample;
+  for (int i = 0; i < 2000; ++i) {
+    sample.push_back(rng.Exponential(1.0));
+  }
+  EmpiricalCdf ecdf(sample);
+  // Against the true Exp(1) CDF the statistic is small...
+  const double d_true = KolmogorovSmirnovStatistic(
+      ecdf, [](double x) { return 1.0 - std::exp(-x); });
+  EXPECT_LT(d_true, 0.04);
+  // ...but against Exp(2) it is large.
+  const double d_wrong = KolmogorovSmirnovStatistic(
+      ecdf, [](double x) { return 1.0 - std::exp(-2.0 * x); });
+  EXPECT_GT(d_wrong, 0.1);
+}
+
+TEST(RegressionTest, ExactLineRecovered) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  std::vector<double> ys;
+  for (double x : xs) ys.push_back(3.0 * x - 1.0);
+  const auto fit = FitLinear(xs, ys);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->slope, 3.0, 1e-12);
+  EXPECT_NEAR(fit->intercept, -1.0, 1e-12);
+  EXPECT_NEAR(fit->r_squared, 1.0, 1e-12);
+  EXPECT_NEAR(fit->residual_rms, 0.0, 1e-12);
+  EXPECT_NEAR(fit->Predict(10.0), 29.0, 1e-12);
+}
+
+TEST(RegressionTest, NoisyLineApproximatelyRecovered) {
+  Random rng(2);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.UniformRange(0.0, 10.0);
+    xs.push_back(x);
+    ys.push_back(2.0 * x + 5.0 + rng.Normal(0.0, 0.5));
+  }
+  const auto fit = FitLinear(xs, ys);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->slope, 2.0, 0.05);
+  EXPECT_NEAR(fit->intercept, 5.0, 0.2);
+  EXPECT_GT(fit->r_squared, 0.98);
+}
+
+TEST(RegressionTest, RejectsDegenerateInput) {
+  EXPECT_FALSE(FitLinear({1.0}, {1.0}).ok());
+  EXPECT_FALSE(FitLinear({1.0, 2.0}, {1.0}).ok());
+  EXPECT_FALSE(FitLinear({2.0, 2.0}, {1.0, 3.0}).ok());
+}
+
+TEST(RegressionTest, ConstantYGivesZeroSlopeAndPerfectR2) {
+  const auto fit = FitLinear({1.0, 2.0, 3.0}, {4.0, 4.0, 4.0});
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->slope, 0.0, 1e-12);
+  EXPECT_NEAR(fit->r_squared, 1.0, 1e-12);
+}
+
+TEST(BootstrapTest, CoverageFrequencyNearNominal) {
+  // A 90% CI should cover the true mean in roughly 90% of repetitions.
+  Random rng(3);
+  int covered = 0;
+  const int repeats = 200;
+  for (int r = 0; r < repeats; ++r) {
+    std::vector<double> sample;
+    for (int i = 0; i < 200; ++i) {
+      sample.push_back(rng.Exponential(0.5));  // mean 2
+    }
+    const auto ci = BootstrapMeanCi(sample, 0.90, 500, rng);
+    ASSERT_TRUE(ci.ok());
+    EXPECT_TRUE(ci->Contains(ci->point_estimate));
+    EXPECT_LT(ci->lower, ci->upper);
+    if (ci->Contains(2.0)) ++covered;
+  }
+  // Percentile bootstrap under-covers slightly for skewed data; accept a
+  // generous band around the nominal level.
+  EXPECT_GE(covered, repeats * 80 / 100);
+  EXPECT_LE(covered, repeats * 98 / 100);
+}
+
+TEST(BootstrapTest, NarrowerAtLowerConfidence) {
+  Random rng(4);
+  std::vector<double> sample;
+  for (int i = 0; i < 400; ++i) {
+    sample.push_back(rng.Normal(0.0, 1.0));
+  }
+  Random rng_a(5), rng_b(5);
+  const auto wide = BootstrapMeanCi(sample, 0.99, 3000, rng_a);
+  const auto narrow = BootstrapMeanCi(sample, 0.80, 3000, rng_b);
+  ASSERT_TRUE(wide.ok());
+  ASSERT_TRUE(narrow.ok());
+  EXPECT_LT(narrow->upper - narrow->lower, wide->upper - wide->lower);
+}
+
+TEST(BootstrapTest, RejectsBadArguments) {
+  Random rng(6);
+  EXPECT_FALSE(BootstrapMeanCi({}, 0.95, 100, rng).ok());
+  EXPECT_FALSE(BootstrapMeanCi({1.0}, 1.5, 100, rng).ok());
+  EXPECT_FALSE(BootstrapMeanCi({1.0}, 0.95, 5, rng).ok());
+}
+
+TEST(HistogramTest, BucketsAndClamping) {
+  Histogram hist(0.0, 10.0, 5);
+  hist.Add(0.5);    // bucket 0
+  hist.Add(3.0);    // bucket 1
+  hist.Add(-5.0);   // clamps to bucket 0
+  hist.Add(100.0);  // clamps to bucket 4
+  hist.Add(9.999);  // bucket 4
+  EXPECT_EQ(hist.count(), 5u);
+  EXPECT_EQ(hist.bucket_count(0), 2u);
+  EXPECT_EQ(hist.bucket_count(1), 1u);
+  EXPECT_EQ(hist.bucket_count(4), 2u);
+  EXPECT_DOUBLE_EQ(hist.bucket_lower(0), 0.0);
+  EXPECT_DOUBLE_EQ(hist.bucket_lower(4), 8.0);
+}
+
+TEST(HistogramTest, AsciiRendering) {
+  Histogram hist(0.0, 2.0, 2);
+  hist.Add(0.5);
+  hist.Add(1.5);
+  hist.Add(1.6);
+  const std::string ascii = hist.ToAscii(10);
+  EXPECT_NE(ascii.find("(1)"), std::string::npos);
+  EXPECT_NE(ascii.find("(2)"), std::string::npos);
+}
+
+TEST(HistogramDeathTest, RejectsEmptyRange) {
+  EXPECT_DEATH(Histogram(1.0, 1.0, 3), "HTUNE_CHECK");
+}
+
+}  // namespace
+}  // namespace htune

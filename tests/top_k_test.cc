@@ -1,0 +1,109 @@
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "crowddb/top_k.h"
+#include "tuning/even_allocator.h"
+
+namespace htune {
+namespace {
+
+std::shared_ptr<const PriceRateCurve> Curve() {
+  return std::make_shared<LinearCurve>(1.0, 1.0);
+}
+
+std::vector<Item> SomeItems(int n) {
+  std::vector<Item> items;
+  for (int i = 0; i < n; ++i) {
+    items.push_back({i, 5.0 * (i + 1)});
+  }
+  return items;
+}
+
+MarketConfig Market(uint64_t seed, double error = 0.0) {
+  MarketConfig config;
+  config.worker_arrival_rate = 200.0;
+  config.seed = seed;
+  config.worker_error_prob = error;
+  config.record_trace = false;
+  return config;
+}
+
+TEST(CrowdTopKTest, CreateValidation) {
+  EXPECT_FALSE(CrowdTopK::Create({{0, 1.0}}, 1, 1).ok());
+  EXPECT_FALSE(CrowdTopK::Create(SomeItems(5), 0, 1).ok());
+  EXPECT_FALSE(CrowdTopK::Create(SomeItems(5), 5, 1).ok());  // k == n
+  EXPECT_FALSE(CrowdTopK::Create(SomeItems(5), 2, 0).ok());
+  EXPECT_FALSE(CrowdTopK::Create({{0, 1.0}, {1, 1.0}}, 1, 1).ok());
+  EXPECT_TRUE(CrowdTopK::Create(SomeItems(5), 2, 3).ok());
+}
+
+TEST(CrowdTopKTest, MatchAccounting) {
+  // n=8, k=3: tournaments cost 7 + 6 + 5 = 18 matches.
+  const auto query = CrowdTopK::Create(SomeItems(8), 3, 2);
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(query->TotalMatches(), 18);
+}
+
+TEST(CrowdTopKTest, PerfectWorkersFindTrueTopK) {
+  for (const int k : {1, 2, 3}) {
+    const auto query = CrowdTopK::Create(SomeItems(7), k, 3);
+    ASSERT_TRUE(query.ok());
+    MarketSimulator market(Market(40 + static_cast<uint64_t>(k)));
+    const auto result = query->Run(market, EvenAllocator(),
+                                   query->TotalMatches() * 3L * 10L,
+                                   Curve(), 5.0);
+    ASSERT_TRUE(result.ok()) << result.status();
+    ASSERT_EQ(result->top_ids.size(), static_cast<size_t>(k));
+    // True top ids are 6, 5, 4, ... in that order.
+    for (int i = 0; i < k; ++i) {
+      EXPECT_EQ(result->top_ids[static_cast<size_t>(i)], 6 - i);
+    }
+    EXPECT_DOUBLE_EQ(result->quality.precision, 1.0);
+    EXPECT_DOUBLE_EQ(result->quality.recall, 1.0);
+    EXPECT_GT(result->rounds, 0);
+  }
+}
+
+TEST(CrowdTopKTest, SpendStaysWithinBudget) {
+  const auto query = CrowdTopK::Create(SomeItems(6), 2, 3);
+  ASSERT_TRUE(query.ok());
+  const long budget = query->TotalMatches() * 3L * 7L;
+  MarketSimulator market(Market(50));
+  const auto result =
+      query->Run(market, EvenAllocator(), budget, Curve(), 5.0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result->spent, budget);
+  EXPECT_GT(result->latency, 0.0);
+}
+
+TEST(CrowdTopKTest, RejectsTinyBudget) {
+  const auto query = CrowdTopK::Create(SomeItems(6), 2, 3);
+  ASSERT_TRUE(query.ok());
+  MarketSimulator market(Market(51));
+  EXPECT_FALSE(query->Run(market, EvenAllocator(),
+                          query->TotalMatches() * 3L - 1, Curve(), 5.0)
+                   .ok());
+}
+
+TEST(CrowdTopKTest, NoisyWorkersStillMostlyRight) {
+  int hits = 0, total = 0;
+  for (int t = 0; t < 10; ++t) {
+    const auto query = CrowdTopK::Create(SomeItems(6), 2, 5);
+    ASSERT_TRUE(query.ok());
+    MarketSimulator market(Market(60 + t, /*error=*/0.2));
+    const auto result = query->Run(market, EvenAllocator(),
+                                   query->TotalMatches() * 5L * 6L,
+                                   Curve(), 5.0);
+    ASSERT_TRUE(result.ok());
+    total += 2;
+    for (int id : result->top_ids) {
+      if (id == 5 || id == 4) ++hits;
+    }
+  }
+  EXPECT_GT(hits, total * 7 / 10);
+}
+
+}  // namespace
+}  // namespace htune

@@ -1,0 +1,87 @@
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "market/simulator.h"
+#include "market/trace_io.h"
+
+namespace htune {
+namespace {
+
+TEST(TraceIoTest, CsvHeaderAndRows) {
+  std::vector<TraceEvent> trace;
+  trace.push_back({1.5, TraceEventKind::kWorkerArrival, 3, 0, 0});
+  trace.push_back({2.25, TraceEventKind::kTaskAccepted, 3, 7, 1});
+  const std::string csv = TraceToCsv(trace);
+  EXPECT_NE(csv.find("time,kind,worker,task,repetition\n"),
+            std::string::npos);
+  EXPECT_NE(csv.find("1.500000,WORKER_ARRIVAL,3,0,0\n"), std::string::npos);
+  EXPECT_NE(csv.find("2.250000,TASK_ACCEPTED,3,7,1\n"), std::string::npos);
+}
+
+TEST(TraceIoTest, EmptyTraceIsJustHeader) {
+  EXPECT_EQ(TraceToCsv({}), "time,kind,worker,task,repetition\n");
+}
+
+TEST(TraceIoTest, WriteAndReadBack) {
+  MarketConfig config;
+  config.worker_arrival_rate = 50.0;
+  config.seed = 1;
+  MarketSimulator market(config);
+  TaskSpec spec;
+  spec.price_per_repetition = 2;
+  spec.repetitions = 2;
+  spec.on_hold_rate = 5.0;
+  spec.processing_rate = 3.0;
+  ASSERT_TRUE(market.PostTask(spec).ok());
+  ASSERT_TRUE(market.RunToCompletion().ok());
+
+  const std::string path = ::testing::TempDir() + "/trace_io_test.csv";
+  ASSERT_TRUE(WriteTraceCsv(market.trace(), path).ok());
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char line[256];
+  ASSERT_NE(std::fgets(line, sizeof(line), f), nullptr);
+  EXPECT_EQ(std::string(line), "time,kind,worker,task,repetition\n");
+  std::fclose(f);
+
+  EXPECT_FALSE(WriteTraceCsv(market.trace(), "/no/such/dir/x.csv").ok());
+}
+
+TEST(TraceIoTest, SummaryAggregatesOutcomes) {
+  MarketConfig config;
+  config.worker_arrival_rate = 50.0;
+  config.worker_error_prob = 0.5;
+  config.seed = 2;
+  config.record_trace = false;
+  MarketSimulator market(config);
+  for (int i = 0; i < 50; ++i) {
+    TaskSpec spec;
+    spec.price_per_repetition = 3;
+    spec.repetitions = 2;
+    spec.on_hold_rate = 4.0;
+    spec.processing_rate = 2.0;
+    ASSERT_TRUE(market.PostTask(spec).ok());
+  }
+  ASSERT_TRUE(market.RunToCompletion().ok());
+  const auto summary = SummarizeOutcomes(market.CompletedOutcomes());
+  ASSERT_TRUE(summary.ok());
+  EXPECT_EQ(summary->tasks, 50u);
+  EXPECT_EQ(summary->repetitions, 100u);
+  EXPECT_EQ(summary->total_paid, 300);
+  EXPECT_NEAR(summary->mean_on_hold, 0.25, 0.1);
+  EXPECT_NEAR(summary->mean_processing, 0.5, 0.15);
+  EXPECT_NEAR(summary->error_rate, 0.5, 0.15);
+  EXPECT_GT(summary->max_task_latency, 0.0);
+
+  const std::string text = SummaryToString(*summary);
+  EXPECT_NE(text.find("50 tasks"), std::string::npos);
+  EXPECT_NE(text.find("paid 300 units"), std::string::npos);
+}
+
+TEST(TraceIoTest, SummaryRejectsEmptyInput) {
+  EXPECT_FALSE(SummarizeOutcomes({}).ok());
+}
+
+}  // namespace
+}  // namespace htune

@@ -1,0 +1,218 @@
+// htune_cli — plan and simulate crowdsourcing budget allocations from a
+// job-spec file.
+//
+//   htune_cli plan <spec> [--allocator=ra|ra-exact|ha|ea|rep-even|task-even]
+//   htune_cli deadline <spec> <deadline> [--objective=ph1|most-difficult]
+//   htune_cli simulate <spec> [--allocator=...] [--runs=N]
+//
+// The spec format is documented in src/spec/job_spec.h (and the paper
+// mapping in DESIGN.md).
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "crowddb/executor.h"
+#include "market/simulator.h"
+#include "market/trace_io.h"
+#include "spec/job_spec.h"
+#include "stats/descriptive.h"
+#include "tuning/baselines.h"
+#include "tuning/deadline_allocator.h"
+#include "tuning/evaluator.h"
+#include "tuning/even_allocator.h"
+#include "tuning/heterogeneous_allocator.h"
+#include "tuning/quantile.h"
+#include "tuning/repetition_allocator.h"
+
+namespace {
+
+void Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  %s plan <spec> [--allocator=NAME]\n"
+      "  %s deadline <spec> <deadline> [--objective=ph1|most-difficult]\n"
+      "                               [--confidence=Q] (probabilistic: min\n"
+      "                               cost with P(job done by deadline)>=Q)\n"
+      "  %s simulate <spec> [--allocator=NAME] [--runs=N]\n"
+      "allocators: ra (default), ra-exact, ha, ea, rep-even, task-even\n",
+      argv0, argv0, argv0);
+}
+
+std::unique_ptr<htune::BudgetAllocator> MakeAllocator(
+    const std::string& name) {
+  if (name == "ra") return std::make_unique<htune::RepetitionAllocator>();
+  if (name == "ra-exact") {
+    return std::make_unique<htune::RepetitionAllocator>(
+        htune::RepetitionAllocator::Mode::kExactDp);
+  }
+  if (name == "ha") return std::make_unique<htune::HeterogeneousAllocator>();
+  if (name == "ea") return std::make_unique<htune::EvenAllocator>();
+  if (name == "rep-even") return std::make_unique<htune::RepEvenAllocator>();
+  if (name == "task-even") {
+    return std::make_unique<htune::TaskEvenAllocator>();
+  }
+  return nullptr;
+}
+
+std::string FlagValue(int argc, char** argv, const std::string& flag,
+                      const std::string& fallback) {
+  const std::string prefix = flag + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return argv[i] + prefix.size();
+    }
+  }
+  return fallback;
+}
+
+int Plan(const htune::JobSpec& spec, const std::string& allocator_name) {
+  const auto allocator = MakeAllocator(allocator_name);
+  if (allocator == nullptr) {
+    std::fprintf(stderr, "unknown allocator '%s'\n", allocator_name.c_str());
+    return 2;
+  }
+  const auto alloc = allocator->Allocate(spec.problem);
+  if (!alloc.ok()) {
+    std::fprintf(stderr, "%s\n", alloc.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("allocator : %s\n", allocator->Name().c_str());
+  std::printf("allocation: %s\n", alloc->ToString().c_str());
+  std::printf("cost      : %ld of %ld budget units\n", alloc->TotalCost(),
+              spec.problem.budget);
+  std::printf("E[phase-1 latency of the job]: %.4f\n",
+              htune::ExpectedPhase1Latency(spec.problem, *alloc));
+  const auto per_group =
+      htune::ExpectedPhase1GroupLatencies(spec.problem, *alloc);
+  for (size_t g = 0; g < spec.problem.groups.size(); ++g) {
+    const htune::TaskGroup& group = spec.problem.groups[g];
+    std::printf(
+        "  %-24s E[phase-1] %.4f + E[phase-2] %.4f per task\n",
+        group.name.c_str(), per_group[g],
+        group.repetitions / group.processing_rate);
+  }
+  return 0;
+}
+
+int Deadline(const htune::JobSpec& spec, double deadline,
+             const std::string& objective_name, double confidence) {
+  htune::StatusOr<htune::DeadlinePlan> plan =
+      htune::InvalidArgumentError("unset");
+  std::string describes;
+  if (confidence > 0.0) {
+    plan = htune::SolveQuantileDeadline(spec.problem, deadline, confidence);
+    describes = "P(job done)";
+  } else if (objective_name == "ph1") {
+    plan = htune::SolveDeadline(spec.problem, deadline,
+                                htune::DeadlineObjective::kPhase1Sum);
+    describes = "E[phase-1 sum]";
+  } else if (objective_name == "most-difficult") {
+    plan = htune::SolveDeadline(spec.problem, deadline,
+                                htune::DeadlineObjective::kMostDifficult);
+    describes = "E[most difficult task]";
+  } else {
+    std::fprintf(stderr, "unknown objective '%s'\n", objective_name.c_str());
+    return 2;
+  }
+  if (!plan.ok()) {
+    std::fprintf(stderr, "%s\n", plan.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("cheapest plan meeting deadline %.4f:\n", deadline);
+  for (size_t g = 0; g < spec.problem.groups.size(); ++g) {
+    std::printf("  %-24s %d units per repetition\n",
+                spec.problem.groups[g].name.c_str(), plan->prices[g]);
+  }
+  std::printf("cost %ld units, achieves %s = %.4f\n", plan->cost,
+              describes.c_str(), plan->achieved);
+  return 0;
+}
+
+int Simulate(const htune::JobSpec& spec, const std::string& allocator_name,
+             int runs) {
+  const auto allocator = MakeAllocator(allocator_name);
+  if (allocator == nullptr) {
+    std::fprintf(stderr, "unknown allocator '%s'\n", allocator_name.c_str());
+    return 2;
+  }
+  const auto alloc = allocator->Allocate(spec.problem);
+  if (!alloc.ok()) {
+    std::fprintf(stderr, "%s\n", alloc.status().ToString().c_str());
+    return 1;
+  }
+  htune::RunningStats latency;
+  for (int r = 0; r < runs; ++r) {
+    htune::MarketConfig config;
+    config.worker_arrival_rate = spec.arrival_rate;
+    config.worker_error_prob = spec.worker_error_prob;
+    config.seed = spec.seed + static_cast<uint64_t>(r);
+    config.record_trace = false;
+    htune::MarketSimulator market(config);
+    const std::vector<htune::QuestionSpec> questions(
+        static_cast<size_t>(spec.problem.TotalTasks()));
+    const auto run =
+        htune::ExecuteJob(market, spec.problem, *alloc, questions);
+    if (!run.ok()) {
+      std::fprintf(stderr, "%s\n", run.status().ToString().c_str());
+      return 1;
+    }
+    latency.Add(run->latency);
+    if (r == 0) {
+      const auto summary =
+          htune::SummarizeOutcomes(market.CompletedOutcomes());
+      if (summary.ok()) {
+        std::printf("first run: %s\n",
+                    htune::SummaryToString(*summary).c_str());
+      }
+    }
+  }
+  std::printf("%s over %d runs: mean job latency %.4f (+/- %.4f se)\n",
+              allocator->Name().c_str(), runs, latency.Mean(),
+              latency.StdError());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    Usage(argv[0]);
+    return 2;
+  }
+  const std::string command = argv[1];
+  const auto spec = htune::LoadJobSpec(argv[2]);
+  if (!spec.ok()) {
+    std::fprintf(stderr, "%s\n", spec.status().ToString().c_str());
+    return 1;
+  }
+  const std::string allocator_name =
+      FlagValue(argc, argv, "--allocator", "ra");
+  if (command == "plan") {
+    return Plan(*spec, allocator_name);
+  }
+  if (command == "deadline") {
+    if (argc < 4) {
+      Usage(argv[0]);
+      return 2;
+    }
+    const double deadline = std::atof(argv[3]);
+    const double confidence =
+        std::atof(FlagValue(argc, argv, "--confidence", "0").c_str());
+    return Deadline(*spec, deadline,
+                    FlagValue(argc, argv, "--objective", "ph1"), confidence);
+  }
+  if (command == "simulate") {
+    const int runs = std::atoi(FlagValue(argc, argv, "--runs", "20").c_str());
+    if (runs < 1) {
+      std::fprintf(stderr, "--runs must be >= 1\n");
+      return 2;
+    }
+    return Simulate(*spec, allocator_name, runs);
+  }
+  Usage(argv[0]);
+  return 2;
+}
