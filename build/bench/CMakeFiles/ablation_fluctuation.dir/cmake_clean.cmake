@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fluctuation.dir/ablation_fluctuation.cc.o"
+  "CMakeFiles/ablation_fluctuation.dir/ablation_fluctuation.cc.o.d"
+  "ablation_fluctuation"
+  "ablation_fluctuation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fluctuation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_group_approx.dir/ablation_group_approx.cc.o"
+  "CMakeFiles/ablation_group_approx.dir/ablation_group_approx.cc.o.d"
+  "ablation_group_approx"
+  "ablation_group_approx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_group_approx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

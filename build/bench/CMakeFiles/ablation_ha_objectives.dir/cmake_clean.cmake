@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ha_objectives.dir/ablation_ha_objectives.cc.o"
+  "CMakeFiles/ablation_ha_objectives.dir/ablation_ha_objectives.cc.o.d"
+  "ablation_ha_objectives"
+  "ablation_ha_objectives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ha_objectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

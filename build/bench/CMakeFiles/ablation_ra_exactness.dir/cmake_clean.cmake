@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ra_exactness.dir/ablation_ra_exactness.cc.o"
+  "CMakeFiles/ablation_ra_exactness.dir/ablation_ra_exactness.cc.o.d"
+  "ablation_ra_exactness"
+  "ablation_ra_exactness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ra_exactness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

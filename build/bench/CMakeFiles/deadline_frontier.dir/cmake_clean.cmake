@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deadline_frontier.dir/deadline_frontier.cc.o"
+  "CMakeFiles/deadline_frontier.dir/deadline_frontier.cc.o.d"
+  "deadline_frontier"
+  "deadline_frontier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deadline_frontier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_heterogeneous.dir/fig2_heterogeneous.cc.o"
+  "CMakeFiles/fig2_heterogeneous.dir/fig2_heterogeneous.cc.o.d"
+  "fig2_heterogeneous"
+  "fig2_heterogeneous.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_heterogeneous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_homogeneous.dir/fig2_homogeneous.cc.o"
+  "CMakeFiles/fig2_homogeneous.dir/fig2_homogeneous.cc.o.d"
+  "fig2_homogeneous"
+  "fig2_homogeneous.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_homogeneous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

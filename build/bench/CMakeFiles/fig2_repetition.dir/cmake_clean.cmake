@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_repetition.dir/fig2_repetition.cc.o"
+  "CMakeFiles/fig2_repetition.dir/fig2_repetition.cc.o.d"
+  "fig2_repetition"
+  "fig2_repetition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_repetition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_arrivals.dir/fig3_arrivals.cc.o"
+  "CMakeFiles/fig3_arrivals.dir/fig3_arrivals.cc.o.d"
+  "fig3_arrivals"
+  "fig3_arrivals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_arrivals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

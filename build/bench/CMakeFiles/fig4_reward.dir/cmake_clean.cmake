@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_reward.dir/fig4_reward.cc.o"
+  "CMakeFiles/fig4_reward.dir/fig4_reward.cc.o.d"
+  "fig4_reward"
+  "fig4_reward.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_reward.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

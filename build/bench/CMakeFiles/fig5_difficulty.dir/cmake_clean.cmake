@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_difficulty.dir/fig5_difficulty.cc.o"
+  "CMakeFiles/fig5_difficulty.dir/fig5_difficulty.cc.o.d"
+  "fig5_difficulty"
+  "fig5_difficulty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_difficulty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

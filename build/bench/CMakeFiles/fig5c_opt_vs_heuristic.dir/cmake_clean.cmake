@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5c_opt_vs_heuristic.dir/fig5c_opt_vs_heuristic.cc.o"
+  "CMakeFiles/fig5c_opt_vs_heuristic.dir/fig5c_opt_vs_heuristic.cc.o.d"
+  "fig5c_opt_vs_heuristic"
+  "fig5c_opt_vs_heuristic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5c_opt_vs_heuristic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/model_validation.cc" "bench/CMakeFiles/model_validation.dir/model_validation.cc.o" "gcc" "bench/CMakeFiles/model_validation.dir/model_validation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/probe/CMakeFiles/htune_probe.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/htune_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/control/CMakeFiles/htune_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/crowddb/CMakeFiles/htune_crowddb.dir/DependInfo.cmake"
+  "/root/repo/build/src/market/CMakeFiles/htune_market.dir/DependInfo.cmake"
+  "/root/repo/build/src/spec/CMakeFiles/htune_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/tuning/CMakeFiles/htune_tuning.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/htune_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/htune_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/htune_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

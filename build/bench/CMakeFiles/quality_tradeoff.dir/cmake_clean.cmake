@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quality_tradeoff.dir/quality_tradeoff.cc.o"
+  "CMakeFiles/quality_tradeoff.dir/quality_tradeoff.cc.o.d"
+  "quality_tradeoff"
+  "quality_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quality_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

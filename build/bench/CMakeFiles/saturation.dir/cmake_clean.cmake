@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/saturation.dir/saturation.cc.o"
+  "CMakeFiles/saturation.dir/saturation.cc.o.d"
+  "saturation"
+  "saturation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/saturation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sort_planners.dir/sort_planners.cc.o"
+  "CMakeFiles/sort_planners.dir/sort_planners.cc.o.d"
+  "sort_planners"
+  "sort_planners.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sort_planners.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

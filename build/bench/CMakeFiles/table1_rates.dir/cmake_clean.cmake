@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_rates.dir/table1_rates.cc.o"
+  "CMakeFiles/table1_rates.dir/table1_rates.cc.o.d"
+  "table1_rates"
+  "table1_rates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_pricing.dir/adaptive_pricing.cpp.o"
+  "CMakeFiles/adaptive_pricing.dir/adaptive_pricing.cpp.o.d"
+  "adaptive_pricing"
+  "adaptive_pricing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_pricing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

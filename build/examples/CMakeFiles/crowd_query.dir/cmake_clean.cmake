@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowd_query.dir/crowd_query.cpp.o"
+  "CMakeFiles/crowd_query.dir/crowd_query.cpp.o.d"
+  "crowd_query"
+  "crowd_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowd_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowd_sort.dir/crowd_sort.cpp.o"
+  "CMakeFiles/crowd_sort.dir/crowd_sort.cpp.o.d"
+  "crowd_sort"
+  "crowd_sort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowd_sort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/market_probe.dir/market_probe.cpp.o"
+  "CMakeFiles/market_probe.dir/market_probe.cpp.o.d"
+  "market_probe"
+  "market_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/market_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mixed_queries.dir/mixed_queries.cpp.o"
+  "CMakeFiles/mixed_queries.dir/mixed_queries.cpp.o.d"
+  "mixed_queries"
+  "mixed_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mixed_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htune_common.dir/status.cc.o"
+  "CMakeFiles/htune_common.dir/status.cc.o.d"
+  "CMakeFiles/htune_common.dir/strings.cc.o"
+  "CMakeFiles/htune_common.dir/strings.cc.o.d"
+  "libhtune_common.a"
+  "libhtune_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htune_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

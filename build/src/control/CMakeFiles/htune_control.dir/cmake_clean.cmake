@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htune_control.dir/adaptive_retuner.cc.o"
+  "CMakeFiles/htune_control.dir/adaptive_retuner.cc.o.d"
+  "libhtune_control.a"
+  "libhtune_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htune_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

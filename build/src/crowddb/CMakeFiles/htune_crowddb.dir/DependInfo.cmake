@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crowddb/categorize.cc" "src/crowddb/CMakeFiles/htune_crowddb.dir/categorize.cc.o" "gcc" "src/crowddb/CMakeFiles/htune_crowddb.dir/categorize.cc.o.d"
+  "/root/repo/src/crowddb/executor.cc" "src/crowddb/CMakeFiles/htune_crowddb.dir/executor.cc.o" "gcc" "src/crowddb/CMakeFiles/htune_crowddb.dir/executor.cc.o.d"
+  "/root/repo/src/crowddb/filter.cc" "src/crowddb/CMakeFiles/htune_crowddb.dir/filter.cc.o" "gcc" "src/crowddb/CMakeFiles/htune_crowddb.dir/filter.cc.o.d"
+  "/root/repo/src/crowddb/max.cc" "src/crowddb/CMakeFiles/htune_crowddb.dir/max.cc.o" "gcc" "src/crowddb/CMakeFiles/htune_crowddb.dir/max.cc.o.d"
+  "/root/repo/src/crowddb/merge_sort.cc" "src/crowddb/CMakeFiles/htune_crowddb.dir/merge_sort.cc.o" "gcc" "src/crowddb/CMakeFiles/htune_crowddb.dir/merge_sort.cc.o.d"
+  "/root/repo/src/crowddb/metrics.cc" "src/crowddb/CMakeFiles/htune_crowddb.dir/metrics.cc.o" "gcc" "src/crowddb/CMakeFiles/htune_crowddb.dir/metrics.cc.o.d"
+  "/root/repo/src/crowddb/query.cc" "src/crowddb/CMakeFiles/htune_crowddb.dir/query.cc.o" "gcc" "src/crowddb/CMakeFiles/htune_crowddb.dir/query.cc.o.d"
+  "/root/repo/src/crowddb/sort.cc" "src/crowddb/CMakeFiles/htune_crowddb.dir/sort.cc.o" "gcc" "src/crowddb/CMakeFiles/htune_crowddb.dir/sort.cc.o.d"
+  "/root/repo/src/crowddb/top_k.cc" "src/crowddb/CMakeFiles/htune_crowddb.dir/top_k.cc.o" "gcc" "src/crowddb/CMakeFiles/htune_crowddb.dir/top_k.cc.o.d"
+  "/root/repo/src/crowddb/types.cc" "src/crowddb/CMakeFiles/htune_crowddb.dir/types.cc.o" "gcc" "src/crowddb/CMakeFiles/htune_crowddb.dir/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/htune_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/market/CMakeFiles/htune_market.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/htune_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/tuning/CMakeFiles/htune_tuning.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/htune_rng.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htune_crowddb.dir/categorize.cc.o"
+  "CMakeFiles/htune_crowddb.dir/categorize.cc.o.d"
+  "CMakeFiles/htune_crowddb.dir/executor.cc.o"
+  "CMakeFiles/htune_crowddb.dir/executor.cc.o.d"
+  "CMakeFiles/htune_crowddb.dir/filter.cc.o"
+  "CMakeFiles/htune_crowddb.dir/filter.cc.o.d"
+  "CMakeFiles/htune_crowddb.dir/max.cc.o"
+  "CMakeFiles/htune_crowddb.dir/max.cc.o.d"
+  "CMakeFiles/htune_crowddb.dir/merge_sort.cc.o"
+  "CMakeFiles/htune_crowddb.dir/merge_sort.cc.o.d"
+  "CMakeFiles/htune_crowddb.dir/metrics.cc.o"
+  "CMakeFiles/htune_crowddb.dir/metrics.cc.o.d"
+  "CMakeFiles/htune_crowddb.dir/query.cc.o"
+  "CMakeFiles/htune_crowddb.dir/query.cc.o.d"
+  "CMakeFiles/htune_crowddb.dir/sort.cc.o"
+  "CMakeFiles/htune_crowddb.dir/sort.cc.o.d"
+  "CMakeFiles/htune_crowddb.dir/top_k.cc.o"
+  "CMakeFiles/htune_crowddb.dir/top_k.cc.o.d"
+  "CMakeFiles/htune_crowddb.dir/types.cc.o"
+  "CMakeFiles/htune_crowddb.dir/types.cc.o.d"
+  "libhtune_crowddb.a"
+  "libhtune_crowddb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htune_crowddb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htune_market.dir/rate_schedule.cc.o"
+  "CMakeFiles/htune_market.dir/rate_schedule.cc.o.d"
+  "CMakeFiles/htune_market.dir/simulator.cc.o"
+  "CMakeFiles/htune_market.dir/simulator.cc.o.d"
+  "CMakeFiles/htune_market.dir/trace_io.cc.o"
+  "CMakeFiles/htune_market.dir/trace_io.cc.o.d"
+  "libhtune_market.a"
+  "libhtune_market.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htune_market.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

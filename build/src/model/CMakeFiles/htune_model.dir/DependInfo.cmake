@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/distributions.cc" "src/model/CMakeFiles/htune_model.dir/distributions.cc.o" "gcc" "src/model/CMakeFiles/htune_model.dir/distributions.cc.o.d"
+  "/root/repo/src/model/hypoexponential.cc" "src/model/CMakeFiles/htune_model.dir/hypoexponential.cc.o" "gcc" "src/model/CMakeFiles/htune_model.dir/hypoexponential.cc.o.d"
+  "/root/repo/src/model/latency_model.cc" "src/model/CMakeFiles/htune_model.dir/latency_model.cc.o" "gcc" "src/model/CMakeFiles/htune_model.dir/latency_model.cc.o.d"
+  "/root/repo/src/model/order_statistics.cc" "src/model/CMakeFiles/htune_model.dir/order_statistics.cc.o" "gcc" "src/model/CMakeFiles/htune_model.dir/order_statistics.cc.o.d"
+  "/root/repo/src/model/price_rate_curve.cc" "src/model/CMakeFiles/htune_model.dir/price_rate_curve.cc.o" "gcc" "src/model/CMakeFiles/htune_model.dir/price_rate_curve.cc.o.d"
+  "/root/repo/src/model/quadrature.cc" "src/model/CMakeFiles/htune_model.dir/quadrature.cc.o" "gcc" "src/model/CMakeFiles/htune_model.dir/quadrature.cc.o.d"
+  "/root/repo/src/model/quality.cc" "src/model/CMakeFiles/htune_model.dir/quality.cc.o" "gcc" "src/model/CMakeFiles/htune_model.dir/quality.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/htune_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/htune_rng.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htune_model.dir/distributions.cc.o"
+  "CMakeFiles/htune_model.dir/distributions.cc.o.d"
+  "CMakeFiles/htune_model.dir/hypoexponential.cc.o"
+  "CMakeFiles/htune_model.dir/hypoexponential.cc.o.d"
+  "CMakeFiles/htune_model.dir/latency_model.cc.o"
+  "CMakeFiles/htune_model.dir/latency_model.cc.o.d"
+  "CMakeFiles/htune_model.dir/order_statistics.cc.o"
+  "CMakeFiles/htune_model.dir/order_statistics.cc.o.d"
+  "CMakeFiles/htune_model.dir/price_rate_curve.cc.o"
+  "CMakeFiles/htune_model.dir/price_rate_curve.cc.o.d"
+  "CMakeFiles/htune_model.dir/quadrature.cc.o"
+  "CMakeFiles/htune_model.dir/quadrature.cc.o.d"
+  "CMakeFiles/htune_model.dir/quality.cc.o"
+  "CMakeFiles/htune_model.dir/quality.cc.o.d"
+  "libhtune_model.a"
+  "libhtune_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htune_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

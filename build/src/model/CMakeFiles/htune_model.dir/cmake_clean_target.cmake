@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhtune_model.a"
+)

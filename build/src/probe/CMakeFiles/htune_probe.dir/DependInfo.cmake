@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/probe/calibration.cc" "src/probe/CMakeFiles/htune_probe.dir/calibration.cc.o" "gcc" "src/probe/CMakeFiles/htune_probe.dir/calibration.cc.o.d"
+  "/root/repo/src/probe/probe.cc" "src/probe/CMakeFiles/htune_probe.dir/probe.cc.o" "gcc" "src/probe/CMakeFiles/htune_probe.dir/probe.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/htune_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/market/CMakeFiles/htune_market.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/htune_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/htune_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/htune_rng.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htune_probe.dir/calibration.cc.o"
+  "CMakeFiles/htune_probe.dir/calibration.cc.o.d"
+  "CMakeFiles/htune_probe.dir/probe.cc.o"
+  "CMakeFiles/htune_probe.dir/probe.cc.o.d"
+  "libhtune_probe.a"
+  "libhtune_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htune_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

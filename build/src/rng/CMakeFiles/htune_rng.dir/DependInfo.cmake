@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rng/random.cc" "src/rng/CMakeFiles/htune_rng.dir/random.cc.o" "gcc" "src/rng/CMakeFiles/htune_rng.dir/random.cc.o.d"
+  "/root/repo/src/rng/xoshiro256.cc" "src/rng/CMakeFiles/htune_rng.dir/xoshiro256.cc.o" "gcc" "src/rng/CMakeFiles/htune_rng.dir/xoshiro256.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/htune_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htune_rng.dir/random.cc.o"
+  "CMakeFiles/htune_rng.dir/random.cc.o.d"
+  "CMakeFiles/htune_rng.dir/xoshiro256.cc.o"
+  "CMakeFiles/htune_rng.dir/xoshiro256.cc.o.d"
+  "libhtune_rng.a"
+  "libhtune_rng.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htune_rng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

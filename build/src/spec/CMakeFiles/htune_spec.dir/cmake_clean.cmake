@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htune_spec.dir/job_spec.cc.o"
+  "CMakeFiles/htune_spec.dir/job_spec.cc.o.d"
+  "libhtune_spec.a"
+  "libhtune_spec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htune_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/bootstrap.cc" "src/stats/CMakeFiles/htune_stats.dir/bootstrap.cc.o" "gcc" "src/stats/CMakeFiles/htune_stats.dir/bootstrap.cc.o.d"
+  "/root/repo/src/stats/descriptive.cc" "src/stats/CMakeFiles/htune_stats.dir/descriptive.cc.o" "gcc" "src/stats/CMakeFiles/htune_stats.dir/descriptive.cc.o.d"
+  "/root/repo/src/stats/histogram.cc" "src/stats/CMakeFiles/htune_stats.dir/histogram.cc.o" "gcc" "src/stats/CMakeFiles/htune_stats.dir/histogram.cc.o.d"
+  "/root/repo/src/stats/kaplan_meier.cc" "src/stats/CMakeFiles/htune_stats.dir/kaplan_meier.cc.o" "gcc" "src/stats/CMakeFiles/htune_stats.dir/kaplan_meier.cc.o.d"
+  "/root/repo/src/stats/regression.cc" "src/stats/CMakeFiles/htune_stats.dir/regression.cc.o" "gcc" "src/stats/CMakeFiles/htune_stats.dir/regression.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/htune_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/htune_rng.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htune_stats.dir/bootstrap.cc.o"
+  "CMakeFiles/htune_stats.dir/bootstrap.cc.o.d"
+  "CMakeFiles/htune_stats.dir/descriptive.cc.o"
+  "CMakeFiles/htune_stats.dir/descriptive.cc.o.d"
+  "CMakeFiles/htune_stats.dir/histogram.cc.o"
+  "CMakeFiles/htune_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/htune_stats.dir/kaplan_meier.cc.o"
+  "CMakeFiles/htune_stats.dir/kaplan_meier.cc.o.d"
+  "CMakeFiles/htune_stats.dir/regression.cc.o"
+  "CMakeFiles/htune_stats.dir/regression.cc.o.d"
+  "libhtune_stats.a"
+  "libhtune_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htune_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

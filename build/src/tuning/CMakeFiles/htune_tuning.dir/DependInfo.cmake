@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tuning/allocation.cc" "src/tuning/CMakeFiles/htune_tuning.dir/allocation.cc.o" "gcc" "src/tuning/CMakeFiles/htune_tuning.dir/allocation.cc.o.d"
+  "/root/repo/src/tuning/baselines.cc" "src/tuning/CMakeFiles/htune_tuning.dir/baselines.cc.o" "gcc" "src/tuning/CMakeFiles/htune_tuning.dir/baselines.cc.o.d"
+  "/root/repo/src/tuning/brute_force.cc" "src/tuning/CMakeFiles/htune_tuning.dir/brute_force.cc.o" "gcc" "src/tuning/CMakeFiles/htune_tuning.dir/brute_force.cc.o.d"
+  "/root/repo/src/tuning/deadline_allocator.cc" "src/tuning/CMakeFiles/htune_tuning.dir/deadline_allocator.cc.o" "gcc" "src/tuning/CMakeFiles/htune_tuning.dir/deadline_allocator.cc.o.d"
+  "/root/repo/src/tuning/evaluator.cc" "src/tuning/CMakeFiles/htune_tuning.dir/evaluator.cc.o" "gcc" "src/tuning/CMakeFiles/htune_tuning.dir/evaluator.cc.o.d"
+  "/root/repo/src/tuning/even_allocator.cc" "src/tuning/CMakeFiles/htune_tuning.dir/even_allocator.cc.o" "gcc" "src/tuning/CMakeFiles/htune_tuning.dir/even_allocator.cc.o.d"
+  "/root/repo/src/tuning/group_latency_table.cc" "src/tuning/CMakeFiles/htune_tuning.dir/group_latency_table.cc.o" "gcc" "src/tuning/CMakeFiles/htune_tuning.dir/group_latency_table.cc.o.d"
+  "/root/repo/src/tuning/heterogeneous_allocator.cc" "src/tuning/CMakeFiles/htune_tuning.dir/heterogeneous_allocator.cc.o" "gcc" "src/tuning/CMakeFiles/htune_tuning.dir/heterogeneous_allocator.cc.o.d"
+  "/root/repo/src/tuning/problem.cc" "src/tuning/CMakeFiles/htune_tuning.dir/problem.cc.o" "gcc" "src/tuning/CMakeFiles/htune_tuning.dir/problem.cc.o.d"
+  "/root/repo/src/tuning/quantile.cc" "src/tuning/CMakeFiles/htune_tuning.dir/quantile.cc.o" "gcc" "src/tuning/CMakeFiles/htune_tuning.dir/quantile.cc.o.d"
+  "/root/repo/src/tuning/repetition_allocator.cc" "src/tuning/CMakeFiles/htune_tuning.dir/repetition_allocator.cc.o" "gcc" "src/tuning/CMakeFiles/htune_tuning.dir/repetition_allocator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/htune_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/htune_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/htune_rng.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htune_tuning.dir/allocation.cc.o"
+  "CMakeFiles/htune_tuning.dir/allocation.cc.o.d"
+  "CMakeFiles/htune_tuning.dir/baselines.cc.o"
+  "CMakeFiles/htune_tuning.dir/baselines.cc.o.d"
+  "CMakeFiles/htune_tuning.dir/brute_force.cc.o"
+  "CMakeFiles/htune_tuning.dir/brute_force.cc.o.d"
+  "CMakeFiles/htune_tuning.dir/deadline_allocator.cc.o"
+  "CMakeFiles/htune_tuning.dir/deadline_allocator.cc.o.d"
+  "CMakeFiles/htune_tuning.dir/evaluator.cc.o"
+  "CMakeFiles/htune_tuning.dir/evaluator.cc.o.d"
+  "CMakeFiles/htune_tuning.dir/even_allocator.cc.o"
+  "CMakeFiles/htune_tuning.dir/even_allocator.cc.o.d"
+  "CMakeFiles/htune_tuning.dir/group_latency_table.cc.o"
+  "CMakeFiles/htune_tuning.dir/group_latency_table.cc.o.d"
+  "CMakeFiles/htune_tuning.dir/heterogeneous_allocator.cc.o"
+  "CMakeFiles/htune_tuning.dir/heterogeneous_allocator.cc.o.d"
+  "CMakeFiles/htune_tuning.dir/problem.cc.o"
+  "CMakeFiles/htune_tuning.dir/problem.cc.o.d"
+  "CMakeFiles/htune_tuning.dir/quantile.cc.o"
+  "CMakeFiles/htune_tuning.dir/quantile.cc.o.d"
+  "CMakeFiles/htune_tuning.dir/repetition_allocator.cc.o"
+  "CMakeFiles/htune_tuning.dir/repetition_allocator.cc.o.d"
+  "libhtune_tuning.a"
+  "libhtune_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htune_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_retuner_test.dir/adaptive_retuner_test.cc.o"
+  "CMakeFiles/adaptive_retuner_test.dir/adaptive_retuner_test.cc.o.d"
+  "adaptive_retuner_test"
+  "adaptive_retuner_test.pdb"
+  "adaptive_retuner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_retuner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

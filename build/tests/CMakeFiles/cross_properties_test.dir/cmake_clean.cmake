@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cross_properties_test.dir/cross_properties_test.cc.o"
+  "CMakeFiles/cross_properties_test.dir/cross_properties_test.cc.o.d"
+  "cross_properties_test"
+  "cross_properties_test.pdb"
+  "cross_properties_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cross_properties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowddb_test.dir/crowddb_test.cc.o"
+  "CMakeFiles/crowddb_test.dir/crowddb_test.cc.o.d"
+  "crowddb_test"
+  "crowddb_test.pdb"
+  "crowddb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowddb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deadline_allocator_test.dir/deadline_allocator_test.cc.o"
+  "CMakeFiles/deadline_allocator_test.dir/deadline_allocator_test.cc.o.d"
+  "deadline_allocator_test"
+  "deadline_allocator_test.pdb"
+  "deadline_allocator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deadline_allocator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/even_allocator_test.dir/even_allocator_test.cc.o"
+  "CMakeFiles/even_allocator_test.dir/even_allocator_test.cc.o.d"
+  "even_allocator_test"
+  "even_allocator_test.pdb"
+  "even_allocator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/even_allocator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

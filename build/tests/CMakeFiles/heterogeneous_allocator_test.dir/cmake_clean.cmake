@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heterogeneous_allocator_test.dir/heterogeneous_allocator_test.cc.o"
+  "CMakeFiles/heterogeneous_allocator_test.dir/heterogeneous_allocator_test.cc.o.d"
+  "heterogeneous_allocator_test"
+  "heterogeneous_allocator_test.pdb"
+  "heterogeneous_allocator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heterogeneous_allocator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kaplan_meier_test.dir/kaplan_meier_test.cc.o"
+  "CMakeFiles/kaplan_meier_test.dir/kaplan_meier_test.cc.o.d"
+  "kaplan_meier_test"
+  "kaplan_meier_test.pdb"
+  "kaplan_meier_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kaplan_meier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/market_extensions_test.dir/market_extensions_test.cc.o"
+  "CMakeFiles/market_extensions_test.dir/market_extensions_test.cc.o.d"
+  "market_extensions_test"
+  "market_extensions_test.pdb"
+  "market_extensions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/market_extensions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/merge_sort_test.dir/merge_sort_test.cc.o"
+  "CMakeFiles/merge_sort_test.dir/merge_sort_test.cc.o.d"
+  "merge_sort_test"
+  "merge_sort_test.pdb"
+  "merge_sort_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/merge_sort_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/price_rate_curve_test.dir/price_rate_curve_test.cc.o"
+  "CMakeFiles/price_rate_curve_test.dir/price_rate_curve_test.cc.o.d"
+  "price_rate_curve_test"
+  "price_rate_curve_test.pdb"
+  "price_rate_curve_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/price_rate_curve_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

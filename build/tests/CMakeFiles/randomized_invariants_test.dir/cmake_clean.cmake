@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/randomized_invariants_test.dir/randomized_invariants_test.cc.o"
+  "CMakeFiles/randomized_invariants_test.dir/randomized_invariants_test.cc.o.d"
+  "randomized_invariants_test"
+  "randomized_invariants_test.pdb"
+  "randomized_invariants_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/randomized_invariants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repetition_allocator_test.dir/repetition_allocator_test.cc.o"
+  "CMakeFiles/repetition_allocator_test.dir/repetition_allocator_test.cc.o.d"
+  "repetition_allocator_test"
+  "repetition_allocator_test.pdb"
+  "repetition_allocator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repetition_allocator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

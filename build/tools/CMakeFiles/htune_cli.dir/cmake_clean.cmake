@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htune_cli.dir/htune_cli.cc.o"
+  "CMakeFiles/htune_cli.dir/htune_cli.cc.o.d"
+  "htune_cli"
+  "htune_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htune_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
