@@ -1,0 +1,213 @@
+// Robustness F: fault-tolerant execution vs static allocation and online
+// re-tuning when the market misbehaves. Two fault regimes: (1) a worker
+// abandonment sweep (accepted repetitions returned unanswered with
+// probability p after an exponential hold) and (2) a scripted mid-job
+// demand outage with an error burst. The fault-tolerant executor allocates
+// against the renewal-corrected rates, detects stragglers, and reposts at
+// escalated prices inside a budget ceiling.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/report.h"
+#include "common/check.h"
+#include "control/adaptive_retuner.h"
+#include "control/fault_tolerant_executor.h"
+#include "crowddb/executor.h"
+#include "crowddb/types.h"
+#include "market/fault_schedule.h"
+#include "stats/descriptive.h"
+#include "tuning/repetition_allocator.h"
+
+namespace {
+
+struct RunResult {
+  double latency = 0.0;
+  double spent = 0.0;
+  double accuracy = 0.0;
+};
+
+htune::TuningProblem MakeProblem(long budget) {
+  htune::TaskGroup g;
+  g.name = "vote";
+  g.num_tasks = 12;
+  g.repetitions = 5;
+  g.processing_rate = 5.0;
+  g.curve = std::make_shared<htune::LinearCurve>(1.0, 1.0);
+  htune::TuningProblem problem;
+  problem.groups = {g};
+  problem.budget = budget;
+  return problem;
+}
+
+double MajorityAccuracy(const std::vector<std::vector<int>>& answers) {
+  int correct = 0;
+  for (const std::vector<int>& task : answers) {
+    if (htune::MajorityVote(task) == 0) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(answers.size());
+}
+
+}  // namespace
+
+int main() {
+  htune::bench::Banner(
+      "robustness_faults",
+      "DESIGN.md robustness F: static vs adaptive vs fault-tolerant "
+      "execution under abandonment and outage faults");
+
+  const htune::RepetitionAllocator allocator;
+  const int kRuns = 20;
+  const long kBudget = 600;        // spend ceiling every strategy gets
+  const long kPlanBudget = 450;    // FT allocates below the ceiling:
+                                   // the difference is escalation headroom
+  const double kHoldRate = 2.0;    // abandoning workers give up at this rate
+
+  std::printf("\n-- abandonment sweep (p = return probability) --\n");
+  std::printf("%8s %12s %12s %12s %10s %10s %10s %10s\n", "p", "static lat",
+              "adaptive", "fault-tol", "ft spend", "ft acc", "stragglers",
+              "escalated");
+  for (const double p : {0.0, 0.1, 0.2, 0.3, 0.4, 0.5}) {
+    htune::RunningStats static_lat, adaptive_lat, ft_lat, ft_spent, ft_acc,
+        ft_stragglers, ft_escalations;
+    for (int r = 0; r < kRuns; ++r) {
+      for (const int mode : {0, 1, 2}) {  // static, adaptive, fault-tolerant
+        htune::MarketConfig market_config;
+        market_config.worker_arrival_rate = 200.0;
+        market_config.worker_error_prob = 0.25;
+        market_config.abandon_prob = p;
+        market_config.abandon_hold_rate = kHoldRate;
+        market_config.seed = 31000 + static_cast<uint64_t>(r);
+        market_config.record_trace = false;
+        htune::MarketSimulator market(market_config);
+
+        const htune::TuningProblem problem =
+            MakeProblem(mode == 2 ? kPlanBudget : kBudget);
+        const std::vector<htune::QuestionSpec> questions(
+            static_cast<size_t>(problem.TotalTasks()));
+
+        if (mode == 0) {
+          const auto alloc = allocator.Allocate(problem);
+          HTUNE_CHECK(alloc.ok());
+          const auto result =
+              htune::ExecuteJob(market, problem, *alloc, questions);
+          HTUNE_CHECK(result.ok());
+          static_lat.Add(result->latency);
+        } else if (mode == 1) {
+          htune::RetunerConfig config;
+          config.review_interval = 0.25;
+          const htune::AdaptiveRetuner runner(&allocator, config);
+          const auto report = runner.Run(market, problem, questions);
+          HTUNE_CHECK(report.ok());
+          adaptive_lat.Add(report->latency);
+        } else {
+          htune::FaultTolerantConfig config;
+          config.review_interval = 0.25;
+          config.straggler_quantile = 0.9;
+          config.budget = kBudget;
+          config.abandonment = {p, kHoldRate};
+          const htune::FaultTolerantExecutor runner(&allocator, config);
+          const auto report = runner.Run(market, problem, questions);
+          HTUNE_CHECK(report.ok());
+          ft_lat.Add(report->latency);
+          ft_spent.Add(static_cast<double>(report->spent));
+          ft_acc.Add(MajorityAccuracy(report->answers));
+          ft_stragglers.Add(static_cast<double>(report->stragglers));
+          ft_escalations.Add(static_cast<double>(report->escalations));
+        }
+      }
+    }
+    std::printf("%8.2f %12.3f %12.3f %12.3f %10.1f %10.3f %10.2f %10.2f\n",
+                p, static_lat.Mean(), adaptive_lat.Mean(), ft_lat.Mean(),
+                ft_spent.Mean(), ft_acc.Mean(), ft_stragglers.Mean(),
+                ft_escalations.Mean());
+  }
+
+  std::printf("\n-- scripted outage: arrivals x0.05 and error burst 0.5 "
+              "over t in [1.5, 4.5), abandonment p=0.1 --\n");
+  std::printf("%12s %12s %12s %10s\n", "strategy", "latency", "spend", "acc");
+  const char* names[] = {"static", "adaptive", "fault-tol"};
+  for (const int mode : {0, 1, 2}) {
+    htune::RunningStats lat, spent, acc;
+    for (int r = 0; r < kRuns; ++r) {
+      htune::FaultWindow outage;
+      outage.start = 1.5;
+      outage.end = 4.5;
+      outage.arrival_factor = 0.05;
+      outage.error_prob = 0.5;
+      auto schedule = htune::FaultSchedule::Create({outage});
+      HTUNE_CHECK(schedule.ok());
+
+      htune::MarketConfig market_config;
+      market_config.worker_arrival_rate = 200.0;
+      market_config.worker_error_prob = 0.25;
+      market_config.abandon_prob = 0.1;
+      market_config.abandon_hold_rate = kHoldRate;
+      market_config.fault_schedule =
+          std::make_shared<htune::FaultSchedule>(*schedule);
+      market_config.seed = 47000 + static_cast<uint64_t>(r);
+      market_config.record_trace = false;
+      htune::MarketSimulator market(market_config);
+
+      const htune::TuningProblem problem =
+          MakeProblem(mode == 2 ? kPlanBudget : kBudget);
+      const std::vector<htune::QuestionSpec> questions(
+          static_cast<size_t>(problem.TotalTasks()));
+
+      RunResult result;
+      if (mode == 0) {
+        const auto alloc = allocator.Allocate(problem);
+        HTUNE_CHECK(alloc.ok());
+        const auto run = htune::ExecuteJob(market, problem, *alloc, questions);
+        HTUNE_CHECK(run.ok());
+        result = {run->latency, static_cast<double>(run->spent),
+                  MajorityAccuracy(run->answers)};
+      } else if (mode == 1) {
+        htune::RetunerConfig config;
+        config.review_interval = 0.25;
+        const htune::AdaptiveRetuner runner(&allocator, config);
+        const auto run = runner.Run(market, problem, questions);
+        HTUNE_CHECK(run.ok());
+        // The retuner does not report answers; accuracy comes from the
+        // market outcomes directly.
+        double correct = 0.0;
+        for (const htune::TaskOutcome& outcome : market.CompletedOutcomes()) {
+          std::vector<int> answers;
+          for (const htune::RepetitionOutcome& rep : outcome.repetitions) {
+            answers.push_back(rep.answer);
+          }
+          if (htune::MajorityVote(answers) == 0) correct += 1.0;
+        }
+        result = {run->latency, static_cast<double>(run->spent),
+                  correct / static_cast<double>(questions.size())};
+      } else {
+        htune::FaultTolerantConfig config;
+        config.review_interval = 0.25;
+        config.straggler_quantile = 0.9;
+        config.budget = kBudget;
+        config.abandonment = {0.1, kHoldRate};
+        const htune::FaultTolerantExecutor runner(&allocator, config);
+        const auto run = runner.Run(market, problem, questions);
+        HTUNE_CHECK(run.ok());
+        result = {run->latency, static_cast<double>(run->spent),
+                  MajorityAccuracy(run->answers)};
+      }
+      lat.Add(result.latency);
+      spent.Add(result.spent);
+      acc.Add(result.accuracy);
+    }
+    std::printf("%12s %12.3f %12.3f %10.3f\n", names[mode], lat.Mean(),
+                spent.Mean(), acc.Mean());
+  }
+
+  htune::bench::Note(
+      "the static path pays for abandonment and outages entirely in latency "
+      "(stragglers dominate the job's E[max]); the adaptive retuner only "
+      "helps once its rate estimates drift, while the fault-tolerant "
+      "executor converts budget headroom into targeted escalations of the "
+      "repetitions that are actually stuck. Its spend stays under the same "
+      "ceiling the other strategies allocate outright, and majority-vote "
+      "accuracy is preserved because escalation never reduces repetitions.");
+  return 0;
+}

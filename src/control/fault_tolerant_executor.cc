@@ -1,0 +1,300 @@
+#include "control/fault_tolerant_executor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "tuning/allocation.h"
+
+namespace htune {
+
+FaultTolerantExecutor::FaultTolerantExecutor(const BudgetAllocator* allocator,
+                                             FaultTolerantConfig config)
+    : allocator_(allocator), config_(config) {
+  HTUNE_CHECK(allocator != nullptr);
+  HTUNE_CHECK_GT(config.review_interval, 0.0);
+  HTUNE_CHECK_GE(config.max_reviews, 0);
+  HTUNE_CHECK_GT(config.straggler_quantile, 0.0);
+  HTUNE_CHECK_LT(config.straggler_quantile, 1.0);
+  HTUNE_CHECK_GE(config.max_reposts, 0);
+  HTUNE_CHECK_GT(config.price_escalation, 1.0);
+  HTUNE_CHECK_GE(config.budget, 0);
+  HTUNE_CHECK_GE(config.acceptance_timeout, 0.0);
+}
+
+namespace {
+
+/// Executor-side view of one posted task.
+struct TaskState {
+  TaskId id = 0;
+  size_t group = 0;
+  /// Planned payment of every repetition slot; escalations and floor
+  /// demotions rewrite the not-yet-accepted suffix.
+  std::vector<int> planned;
+  /// Escalations applied to the slot that was current when
+  /// `counter_completed` repetitions had completed (bounded retries).
+  int counter_completed = 0;
+  int escalations_this_slot = 0;
+  bool floored = false;
+  bool done = false;
+};
+
+int CompletedRepetitions(const TaskOutcome& progress) {
+  int completed = 0;
+  for (const RepetitionOutcome& rep : progress.repetitions) {
+    if (rep.completed_time > 0.0) ++completed;
+  }
+  return completed;
+}
+
+/// Cost of the not-yet-accepted slots ([accepted, end) of the plan).
+long FutureCost(const TaskState& state, size_t accepted) {
+  long cost = 0;
+  for (size_t j = accepted; j < state.planned.size(); ++j) {
+    cost += state.planned[j];
+  }
+  return cost;
+}
+
+/// Reprices `state`'s open task to `target`, clamping down while the market
+/// refuses a rate above its arrival capacity (as AdaptiveRetuner). On
+/// success the achieved price is written into the plan's unaccepted suffix.
+StatusOr<int> RepriceTo(MarketSimulator& market, const PriceRateCurve& curve,
+                        TaskState& state, size_t accepted, int target) {
+  int attempt = target;
+  Status status =
+      market.Reprice(state.id, attempt,
+                     curve.Rate(static_cast<double>(attempt)));
+  while (!status.ok() && status.code() == StatusCode::kFailedPrecondition &&
+         attempt > 1) {
+    --attempt;
+    status = market.Reprice(state.id, attempt,
+                            curve.Rate(static_cast<double>(attempt)));
+  }
+  HTUNE_RETURN_IF_ERROR(status);
+  for (size_t j = accepted; j < state.planned.size(); ++j) {
+    state.planned[j] = attempt;
+  }
+  return attempt;
+}
+
+}  // namespace
+
+StatusOr<FaultTolerantReport> FaultTolerantExecutor::Run(
+    MarketSimulator& market, const TuningProblem& problem,
+    const std::vector<QuestionSpec>& questions) const {
+  HTUNE_RETURN_IF_ERROR(ValidateProblem(problem));
+  if (questions.size() != static_cast<size_t>(problem.TotalTasks())) {
+    return InvalidArgumentError(
+        "FaultTolerantExecutor: need one question per atomic task");
+  }
+  const long budget =
+      config_.budget > 0 ? config_.budget : problem.budget;
+
+  // Allocate against the abandonment-corrected problem so the initial prices
+  // already account for wasted attempts.
+  const TuningProblem adjusted =
+      ProblemWithAbandonment(problem, config_.abandonment);
+  HTUNE_ASSIGN_OR_RETURN(const Allocation initial,
+                         allocator_->Allocate(adjusted));
+  long initial_cost = 0;
+  for (const GroupAllocation& g : initial.groups) {
+    for (const std::vector<int>& prices : g.prices) {
+      for (int price : prices) initial_cost += price;
+    }
+  }
+  if (initial_cost > budget) {
+    return InvalidArgumentError(
+        "FaultTolerantExecutor: initial allocation costs " +
+        std::to_string(initial_cost) + " but the budget is " +
+        std::to_string(budget));
+  }
+
+  const double start = market.now();
+  const long spent_before = market.TotalSpent();
+
+  // Post everything under the initial allocation. Rates sent to the market
+  // are the requester's belief about the raw (pre-abandonment) curve; the
+  // market applies abandonment itself.
+  std::vector<TaskState> tasks;
+  tasks.reserve(questions.size());
+  size_t question_index = 0;
+  for (size_t g = 0; g < problem.groups.size(); ++g) {
+    const TaskGroup& group = problem.groups[g];
+    for (int t = 0; t < group.num_tasks; ++t, ++question_index) {
+      const std::vector<int>& prices = initial.groups[g].prices[t];
+      TaskSpec spec;
+      spec.repetitions = group.repetitions;
+      spec.processing_rate = group.processing_rate;
+      spec.per_repetition_prices = prices;
+      spec.per_repetition_rates.reserve(prices.size());
+      for (int price : prices) {
+        spec.per_repetition_rates.push_back(
+            group.curve->Rate(static_cast<double>(price)));
+      }
+      spec.acceptance_timeout = config_.acceptance_timeout;
+      spec.true_answer = questions[question_index].true_answer;
+      spec.num_options = questions[question_index].num_options;
+      HTUNE_ASSIGN_OR_RETURN(const TaskId id, market.PostTask(spec));
+      TaskState state;
+      state.id = id;
+      state.group = g;
+      state.planned = prices;
+      tasks.push_back(std::move(state));
+    }
+  }
+
+  FaultTolerantReport report;
+  const double quantile_factor = -std::log(1.0 - config_.straggler_quantile);
+  double deadline = start;
+  for (int review = 0; review < config_.max_reviews; ++review) {
+    deadline += config_.review_interval;
+    if (market.RunUntil(deadline) == 0) {
+      break;
+    }
+    ++report.reviews;
+    const double now = market.now();
+    const long spent = market.TotalSpent() - spent_before;
+
+    // Accounting pass: what the job is already committed to pay (spent plus
+    // in-flight promises) and what the current plan would add.
+    long committed = spent;
+    long future = 0;
+    std::vector<size_t> accepted_of(tasks.size(), 0);
+    // Time the currently exposed slot first became available (the previous
+    // answer's completion, or the post); < 0 when the task is processing.
+    // Abandon/expiry reposts do NOT reset this clock — unlike OnHoldSince —
+    // so churn accumulates into a detectable straggler wait.
+    std::vector<double> slot_open_since(tasks.size(), -1.0);
+    for (size_t i = 0; i < tasks.size(); ++i) {
+      TaskState& state = tasks[i];
+      if (state.done) continue;
+      HTUNE_ASSIGN_OR_RETURN(const TaskOutcome progress,
+                             market.GetProgress(state.id));
+      if (progress.completed_time > 0.0) {
+        state.done = true;
+        continue;
+      }
+      const int completed = CompletedRepetitions(progress);
+      if (completed != state.counter_completed) {
+        state.counter_completed = completed;
+        state.escalations_this_slot = 0;
+      }
+      const size_t accepted = progress.repetitions.size();
+      accepted_of[i] = accepted;
+      if (static_cast<int>(accepted) > completed) {
+        committed += progress.repetitions.back().price;  // in flight
+      } else {
+        slot_open_since[i] = progress.repetitions.empty()
+                                 ? progress.posted_time
+                                 : progress.repetitions.back().completed_time;
+      }
+      future += FutureCost(state, accepted);
+    }
+    long planned_total = committed + future;
+
+    // Budget-exhaustion pass: the plan can exceed the ceiling when the
+    // configured budget is below the initial allocation's assumption (e.g. a
+    // mid-course budget cut between runs) — demote the costliest plans to
+    // floor price until the job fits again, and flag partial quality.
+    while (planned_total > budget) {
+      size_t worst = tasks.size();
+      long worst_future = 0;
+      for (size_t i = 0; i < tasks.size(); ++i) {
+        if (tasks[i].done || tasks[i].floored) continue;
+        const long task_future = FutureCost(tasks[i], accepted_of[i]);
+        if (task_future > worst_future) {
+          worst_future = task_future;
+          worst = i;
+        }
+      }
+      if (worst == tasks.size()) break;  // only in-flight promises remain
+      TaskState& state = tasks[worst];
+      const long slots = static_cast<long>(state.planned.size()) -
+                         static_cast<long>(accepted_of[worst]);
+      HTUNE_ASSIGN_OR_RETURN(
+          const int achieved,
+          RepriceTo(market, *problem.groups[state.group].curve, state,
+                    accepted_of[worst], 1));
+      planned_total += static_cast<long>(achieved) * slots - worst_future;
+      state.floored = true;
+      report.degraded = true;
+      report.floor_repetitions += static_cast<int>(slots);
+    }
+
+    // Straggler pass.
+    for (size_t i = 0; i < tasks.size(); ++i) {
+      TaskState& state = tasks[i];
+      if (state.done || state.floored) continue;
+      if (slot_open_since[i] < 0.0) continue;  // processing: no wait
+      HTUNE_ASSIGN_OR_RETURN(const int price, market.CurrentPrice(state.id));
+      const double effective_rate = adjusted.groups[state.group].curve->Rate(
+          static_cast<double>(price));
+      if (now - slot_open_since[i] <= quantile_factor / effective_rate) {
+        continue;
+      }
+      ++report.stragglers;
+      if (state.escalations_this_slot >= config_.max_reposts) {
+        continue;  // retries exhausted for this slot; let it ride
+      }
+      const size_t accepted = accepted_of[i];
+      const long slots =
+          static_cast<long>(state.planned.size()) - static_cast<long>(accepted);
+      if (slots <= 0) continue;
+      const long task_future = FutureCost(state, accepted);
+      const int proposed = std::max(
+          price + 1,
+          static_cast<int>(
+              std::ceil(config_.price_escalation * static_cast<double>(price))));
+      // Raising every remaining slot of this task to q keeps the job within
+      // budget iff planned_total - task_future + slots * q <= budget.
+      const long cap = (budget - planned_total + task_future) / slots;
+      const int target =
+          static_cast<int>(std::min<long>(proposed, cap));
+      const PriceRateCurve& believed = *problem.groups[state.group].curve;
+      if (target > price) {
+        HTUNE_ASSIGN_OR_RETURN(
+            const int achieved,
+            RepriceTo(market, believed, state, accepted, target));
+        planned_total += static_cast<long>(achieved) * slots - task_future;
+        ++report.escalations;
+        ++state.escalations_this_slot;
+      } else {
+        // Budget exhausted: no raise is affordable, so this straggler's
+        // remaining repetitions ride at the prices already planned — the
+        // floor of what the budget allows. The job still finishes; the
+        // report carries the partial-quality flag.
+        state.floored = true;
+        report.degraded = true;
+        report.floor_repetitions += static_cast<int>(slots);
+      }
+    }
+  }
+
+  if (market.OpenTaskCount() > 0) {
+    HTUNE_RETURN_IF_ERROR(market.RunToCompletion());
+  }
+
+  report.answers.reserve(tasks.size());
+  double last_completion = start;
+  for (const TaskState& state : tasks) {
+    HTUNE_ASSIGN_OR_RETURN(const TaskOutcome outcome,
+                           market.GetOutcome(state.id));
+    std::vector<int> answers;
+    answers.reserve(outcome.repetitions.size());
+    for (const RepetitionOutcome& rep : outcome.repetitions) {
+      answers.push_back(rep.answer);
+    }
+    report.answers.push_back(std::move(answers));
+    report.abandoned_attempts += outcome.abandoned_attempts;
+    report.expired_posts += outcome.expired_posts;
+    last_completion = std::max(last_completion, outcome.completed_time);
+  }
+  report.latency = last_completion - start;
+  report.spent = market.TotalSpent() - spent_before;
+  return report;
+}
+
+}  // namespace htune

@@ -1,0 +1,115 @@
+#ifndef HTUNE_CONTROL_FAULT_TOLERANT_EXECUTOR_H_
+#define HTUNE_CONTROL_FAULT_TOLERANT_EXECUTOR_H_
+
+#include <vector>
+
+#include "common/statusor.h"
+#include "crowddb/types.h"
+#include "market/simulator.h"
+#include "model/latency_model.h"
+#include "tuning/allocator.h"
+#include "tuning/problem.h"
+
+namespace htune {
+
+/// Knobs for the fault-tolerant execution loop.
+struct FaultTolerantConfig {
+  /// Simulated time between straggler reviews.
+  double review_interval = 0.25;
+  /// Hard cap on review rounds; the job is run to completion afterwards.
+  int max_reviews = 100000;
+  /// A repetition is a straggler when its current on-hold wait exceeds this
+  /// quantile of the modeled (abandonment-corrected) acceptance
+  /// distribution: threshold = -ln(1 - q) / lambda_eff.
+  double straggler_quantile = 0.95;
+  /// Bounded retries: escalations applied to any one repetition slot.
+  int max_reposts = 4;
+  /// Multiplicative price raise per repost (reverse backoff); each repost
+  /// pays max(p + 1, ceil(p * price_escalation)), capped by the remaining
+  /// budget.
+  double price_escalation = 1.5;
+  /// Total spend ceiling covering the initial allocation plus every
+  /// escalation. 0 means the problem's own budget — which leaves no
+  /// escalation headroom, since allocators spend the full problem budget;
+  /// callers normally allocate against a reduced problem budget and put the
+  /// real ceiling here.
+  long budget = 0;
+  /// Acceptance window stamped on every posted repetition (TaskSpec::
+  /// acceptance_timeout); 0 leaves expiry to the market default (never).
+  double acceptance_timeout = 0.0;
+  /// The executor's belief about worker abandonment. Applied internally: the
+  /// initial allocation is solved against ProblemWithAbandonment(problem,
+  /// abandonment) and straggler thresholds use the corrected rates, so
+  /// callers pass the raw (uncorrected) problem.
+  AbandonmentModel abandonment;
+};
+
+/// Outcome of one fault-tolerant job execution.
+struct FaultTolerantReport {
+  /// Wall-clock latency of the whole job.
+  double latency = 0.0;
+  /// Payment units spent (never exceeds the configured budget).
+  long spent = 0;
+  /// Review rounds held.
+  int reviews = 0;
+  /// Straggler detections (a slot may be detected repeatedly).
+  int stragglers = 0;
+  /// Price escalations actually applied.
+  int escalations = 0;
+  /// Accepted attempts that workers abandoned, summed over tasks.
+  int abandoned_attempts = 0;
+  /// Acceptance-window expiries, summed over tasks.
+  int expired_posts = 0;
+  /// True when the budget ran out: some repetitions finished at the floor
+  /// of what the budget allowed instead of being escalated — the
+  /// partial-quality signal.
+  bool degraded = false;
+  /// Repetitions that rode out budget exhaustion at floor terms: stragglers
+  /// no raise was affordable for, plus any plans demoted to floor price
+  /// because the ceiling was below the initial allocation's assumption.
+  int floor_repetitions = 0;
+  /// answers[q] holds the repetitions' answers for question q, flattened
+  /// group-major like ExecuteJob.
+  std::vector<std::vector<int>> answers;
+};
+
+/// Closed-loop executor that finishes a tuned job on a faulty market.
+///
+/// The static pipeline posts once and waits; a single straggling repetition
+/// — a worker who abandoned the HIT, an outage window with no arrivals —
+/// then dominates the job's latency (the E[max] in Lemma 3 is driven by the
+/// slowest task). FaultTolerantExecutor posts the initial allocation, then
+/// periodically:
+///  1. detects stragglers: an exposed repetition whose current wait exceeds
+///     the straggler_quantile of its modeled acceptance distribution
+///     (abandonment-corrected via EffectiveOnHoldRate);
+///  2. reposts them at escalated terms — Reprice acts as cancel + repost by
+///     memorylessness — raising the price multiplicatively with bounded
+///     retries per slot, spending only headroom the budget still has;
+///  3. degrades gracefully: when no raise is affordable, the straggler
+///     rides out the job at the prices the budget already covers, and when
+///     the ceiling sits below what the plan assumed, the costliest plans
+///     are demoted to floor price until the job fits — either way the
+///     report is flagged `degraded` instead of the job failing.
+class FaultTolerantExecutor {
+ public:
+  /// `allocator` is borrowed and must outlive the executor.
+  FaultTolerantExecutor(const BudgetAllocator* allocator,
+                        FaultTolerantConfig config);
+
+  /// Runs `problem` on `market` with one question per atomic task
+  /// (group-major order, as ExecuteJob). Returns InvalidArgument on shape
+  /// errors or when the initial allocation already exceeds the configured
+  /// budget, and propagates market/allocator failures.
+  StatusOr<FaultTolerantReport> Run(
+      MarketSimulator& market, const TuningProblem& problem,
+      const std::vector<QuestionSpec>& questions) const;
+
+ private:
+  const BudgetAllocator* allocator_;
+  FaultTolerantConfig config_;
+};
+
+}  // namespace htune
+
+#endif  // HTUNE_CONTROL_FAULT_TOLERANT_EXECUTOR_H_

@@ -23,6 +23,13 @@ enum class TraceEventKind {
   kRepetitionCompleted,
   /// All repetitions of a task finished.
   kTaskCompleted,
+  /// A worker returned an accepted repetition without answering: no payment,
+  /// the repetition goes back on hold (the AMT "return HIT" failure mode).
+  kAbandoned,
+  /// The exposed repetition's acceptance window lapsed with no taker.
+  kExpired,
+  /// An abandoned or expired repetition was re-exposed to workers.
+  kReposted,
 };
 
 std::string_view TraceEventKindToString(TraceEventKind kind);
@@ -71,6 +78,14 @@ struct TaskOutcome {
   /// completed_time - posted_time.
   double completed_time = 0.0;
   std::vector<RepetitionOutcome> repetitions;
+  /// Accepted attempts a worker abandoned before answering. Abandoned
+  /// attempts are not paid and do not appear in `repetitions` (each
+  /// successful repetition's posted_time is its last re-exposure); their
+  /// cost shows up only in the task's overall latency.
+  int abandoned_attempts = 0;
+  /// Times an exposed repetition's acceptance window lapsed and the
+  /// repetition was reposted.
+  int expired_posts = 0;
 
   double Latency() const { return completed_time - posted_time; }
 };

@@ -1,0 +1,79 @@
+#include "market/fault_schedule.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+namespace htune {
+
+FaultSchedule::FaultSchedule(std::vector<FaultWindow> windows)
+    : windows_(std::move(windows)) {}
+
+StatusOr<FaultSchedule> FaultSchedule::Create(
+    std::vector<FaultWindow> windows) {
+  if (windows.empty()) {
+    return InvalidArgumentError("FaultSchedule: need at least one window");
+  }
+  for (const FaultWindow& w : windows) {
+    if (w.start < 0.0 || w.end <= w.start) {
+      return InvalidArgumentError(
+          "FaultSchedule: every window needs end > start >= 0");
+    }
+    if (w.arrival_factor < 0.0) {
+      return InvalidArgumentError(
+          "FaultSchedule: arrival_factor must be >= 0");
+    }
+    if (w.error_prob > 1.0) {
+      return InvalidArgumentError(
+          "FaultSchedule: error_prob override must lie in [0, 1]");
+    }
+  }
+  std::sort(windows.begin(), windows.end(),
+            [](const FaultWindow& a, const FaultWindow& b) {
+              return a.start < b.start;
+            });
+  for (size_t i = 1; i < windows.size(); ++i) {
+    if (windows[i].start < windows[i - 1].end) {
+      return InvalidArgumentError(
+          "FaultSchedule: windows overlap at t=" +
+          std::to_string(windows[i].start));
+    }
+  }
+  return FaultSchedule(std::move(windows));
+}
+
+double FaultSchedule::ArrivalFactorAt(double t) const {
+  for (const FaultWindow& w : windows_) {
+    if (t < w.start) break;
+    if (t < w.end) return w.arrival_factor;
+  }
+  return 1.0;
+}
+
+double FaultSchedule::ErrorProbAt(double t, double base_error_prob) const {
+  for (const FaultWindow& w : windows_) {
+    if (t < w.start) break;
+    if (t < w.end) {
+      return w.error_prob >= 0.0 ? w.error_prob : base_error_prob;
+    }
+  }
+  return base_error_prob;
+}
+
+double FaultSchedule::MaxArrivalFactor() const {
+  double factor = 1.0;
+  for (const FaultWindow& w : windows_) {
+    factor = std::max(factor, w.arrival_factor);
+  }
+  return factor;
+}
+
+double FaultSchedule::MaxErrorProb(double base_error_prob) const {
+  double prob = base_error_prob;
+  for (const FaultWindow& w : windows_) {
+    prob = std::max(prob, w.error_prob);
+  }
+  return prob;
+}
+
+}  // namespace htune

@@ -1,0 +1,62 @@
+#ifndef HTUNE_MARKET_FAULT_SCHEDULE_H_
+#define HTUNE_MARKET_FAULT_SCHEDULE_H_
+
+#include <vector>
+
+#include "common/statusor.h"
+
+namespace htune {
+
+/// One scripted fault window on the simulated market: over [start, end) the
+/// worker-arrival intensity is multiplied by `arrival_factor` (0 = total
+/// demand outage, values in (0, 1) = partial outage, > 1 = surge), and, when
+/// `error_prob >= 0`, every arriving worker's error probability is overridden
+/// by it (an error burst — e.g. a spammer wave).
+struct FaultWindow {
+  double start = 0.0;
+  double end = 0.0;
+  double arrival_factor = 1.0;
+  /// Negative = keep the market's base error model inside the window.
+  double error_prob = -1.0;
+};
+
+/// A one-shot fault-injection script: a sorted, non-overlapping list of
+/// FaultWindows. Outside every window the market behaves nominally
+/// (arrival factor 1, base error model). Unlike RateSchedule — which models
+/// recurring workforce cycles and repeats forever — a FaultSchedule is an
+/// absolute-time script for robustness experiments; the two compose
+/// multiplicatively when both are configured.
+class FaultSchedule {
+ public:
+  /// Validates and builds a schedule. Windows must have end > start >= 0,
+  /// arrival_factor >= 0, error_prob either negative or within [0, 1], and
+  /// must not overlap once sorted by start time. At least one window is
+  /// required (an empty script is expressed by no FaultSchedule at all).
+  static StatusOr<FaultSchedule> Create(std::vector<FaultWindow> windows);
+
+  /// Arrival-intensity multiplier at absolute time `t` (1 outside windows).
+  double ArrivalFactorAt(double t) const;
+
+  /// Worker error probability at `t`: the window's override when `t` falls
+  /// inside a window carrying one, otherwise `base_error_prob`.
+  double ErrorProbAt(double t, double base_error_prob) const;
+
+  /// Largest arrival multiplier over all time, including the implicit 1
+  /// outside windows — the thinning envelope for arrival generation.
+  double MaxArrivalFactor() const;
+
+  /// Largest error probability reachable given `base_error_prob`.
+  double MaxErrorProb(double base_error_prob) const;
+
+  const std::vector<FaultWindow>& windows() const { return windows_; }
+
+ private:
+  explicit FaultSchedule(std::vector<FaultWindow> windows);
+
+  /// Sorted by start, pairwise disjoint.
+  std::vector<FaultWindow> windows_;
+};
+
+}  // namespace htune
+
+#endif  // HTUNE_MARKET_FAULT_SCHEDULE_H_

@@ -16,6 +16,12 @@ std::string_view TraceEventKindToString(TraceEventKind kind) {
       return "REPETITION_COMPLETED";
     case TraceEventKind::kTaskCompleted:
       return "TASK_COMPLETED";
+    case TraceEventKind::kAbandoned:
+      return "ABANDONED";
+    case TraceEventKind::kExpired:
+      return "EXPIRED";
+    case TraceEventKind::kReposted:
+      return "REPOSTED";
   }
   return "UNKNOWN";
 }
@@ -32,20 +38,34 @@ MarketSimulator::MarketSimulator(const MarketConfig& config)
     HTUNE_CHECK_GT(config.worker_error_prob, 0.0);
     HTUNE_CHECK_LT(config.worker_error_prob, 1.0);
   }
+  HTUNE_CHECK_GE(config.abandon_prob, 0.0);
+  HTUNE_CHECK_LE(config.abandon_prob, 1.0);
+  if (config.abandon_prob > 0.0) {
+    HTUNE_CHECK_GT(config.abandon_hold_rate, 0.0);
+  }
   next_arrival_time_ = SampleArrivalAfter(0.0);
 }
 
 double MarketSimulator::SampleArrivalAfter(double after) {
-  if (config_.arrival_schedule == nullptr) {
+  const RateSchedule* schedule = config_.arrival_schedule.get();
+  const FaultSchedule* faults = config_.fault_schedule.get();
+  if (schedule == nullptr && faults == nullptr) {
     return after + rng_.Exponential(config_.worker_arrival_rate);
   }
-  // Nonhomogeneous Poisson via thinning against the cycle's max rate.
-  const RateSchedule& schedule = *config_.arrival_schedule;
-  const double envelope = schedule.MaxRate();
+  // Nonhomogeneous Poisson via thinning against the joint envelope: the
+  // cycle's max rate times the largest fault multiplier (>= 1, so a pure
+  // outage script still thins against the nominal rate).
+  const double base_max =
+      schedule != nullptr ? schedule->MaxRate() : config_.worker_arrival_rate;
+  const double envelope =
+      base_max * (faults != nullptr ? faults->MaxArrivalFactor() : 1.0);
   double t = after;
   while (true) {
     t += rng_.Exponential(envelope);
-    if (rng_.Bernoulli(schedule.RateAt(t) / envelope)) {
+    const double base =
+        schedule != nullptr ? schedule->RateAt(t) : config_.worker_arrival_rate;
+    const double factor = faults != nullptr ? faults->ArrivalFactorAt(t) : 1.0;
+    if (rng_.Bernoulli(base * factor / envelope)) {
       return t;
     }
   }
@@ -64,9 +84,17 @@ StatusOr<TaskId> MarketSimulator::PostTask(const TaskSpec& spec) {
   if (spec.processing_rate <= 0.0) {
     return InvalidArgumentError("PostTask: processing_rate must be positive");
   }
-  if (spec.num_options < 2 && config_.worker_error_prob > 0.0) {
+  const double max_error_prob =
+      config_.fault_schedule != nullptr
+          ? config_.fault_schedule->MaxErrorProb(config_.worker_error_prob)
+          : config_.worker_error_prob;
+  if (spec.num_options < 2 && max_error_prob > 0.0) {
     return InvalidArgumentError(
         "PostTask: need >= 2 answer options when workers can err");
+  }
+  if (spec.acceptance_timeout < 0.0) {
+    return InvalidArgumentError(
+        "PostTask: acceptance_timeout must be >= 0 (0 disables expiry)");
   }
   if (spec.true_answer < 0 || spec.true_answer >= spec.num_options) {
     return InvalidArgumentError("PostTask: true_answer outside option range");
@@ -126,10 +154,26 @@ StatusOr<TaskId> MarketSimulator::PostTask(const TaskSpec& spec) {
   task.rep_rates = std::move(rep_rates);
   task.outcome.id = id;
   task.outcome.posted_time = now_;
-  task.current_posted_time = now_;
-  task.awaiting_acceptance = true;
-  open_tasks_.emplace(id, std::move(task));
+  auto [it, inserted] = open_tasks_.emplace(id, std::move(task));
+  HTUNE_CHECK(inserted);
+  ExposeCurrentRepetition(id, it->second, now_, /*reposted=*/false);
   return id;
+}
+
+void MarketSimulator::ExposeCurrentRepetition(TaskId id, OpenTask& task,
+                                              double t, bool reposted) {
+  task.current_posted_time = t;
+  task.awaiting_acceptance = true;
+  ++task.exposure_generation;
+  const int rep_index =
+      static_cast<int>(task.outcome.repetitions.size()) + 1;
+  if (reposted) {
+    Record({t, TraceEventKind::kReposted, 0, id, rep_index});
+  }
+  if (task.spec.acceptance_timeout > 0.0) {
+    events_.push({t + task.spec.acceptance_timeout, event_sequence_++, id,
+                  PendingEvent::Kind::kExpiry, task.exposure_generation});
+  }
 }
 
 void MarketSimulator::FillAnswer(const OpenTask& task, double worker_error,
@@ -152,14 +196,19 @@ void MarketSimulator::StepWorkerArrival() {
   const WorkerId worker = next_worker_++;
   Record({now_, TraceEventKind::kWorkerArrival, worker, 0, 0});
   // The worker's personal reliability: fixed market-wide, or drawn from a
-  // Beta distribution when heterogeneity is configured.
-  const double worker_error =
+  // Beta distribution when heterogeneity is configured. An error-burst
+  // window overrides the result wholesale (the burst's spammers are not the
+  // regular population).
+  double worker_error =
       config_.worker_error_concentration > 0.0
           ? rng_.Beta(config_.worker_error_prob *
                           config_.worker_error_concentration,
                       (1.0 - config_.worker_error_prob) *
                           config_.worker_error_concentration)
           : config_.worker_error_prob;
+  if (config_.fault_schedule != nullptr) {
+    worker_error = config_.fault_schedule->ErrorProbAt(now_, worker_error);
+  }
 
   // The worker considers every open repetition independently: acceptance
   // with probability lambda_o / arrival_rate thins the Poisson arrival
@@ -186,9 +235,20 @@ void MarketSimulator::StepWorkerArrival() {
     const int rep_index = static_cast<int>(task.outcome.repetitions.size());
     Record({now_, TraceEventKind::kTaskAccepted, worker, id, rep_index});
 
-    const double processing = rng_.Exponential(task.spec.processing_rate);
-    completions_.push(
-        {now_ + processing, completion_sequence_++, id});
+    // Decide at acceptance whether this worker will answer or abandon (the
+    // gate keeps the RNG stream identical to the fault-free simulator when
+    // abandonment is disabled).
+    const bool abandons =
+        config_.abandon_prob > 0.0 && rng_.Bernoulli(config_.abandon_prob);
+    if (abandons) {
+      const double hold = rng_.Exponential(config_.abandon_hold_rate);
+      events_.push({now_ + hold, event_sequence_++, id,
+                    PendingEvent::Kind::kAbandon, 0});
+    } else {
+      const double processing = rng_.Exponential(task.spec.processing_rate);
+      events_.push({now_ + processing, event_sequence_++, id,
+                    PendingEvent::Kind::kCompletion, 0});
+    }
   }
 }
 
@@ -203,23 +263,57 @@ void MarketSimulator::AdvanceTask(TaskId id, OpenTask& task, double t) {
     return;
   }
   // Expose the next repetition: sequential submission (§4.3).
-  task.current_posted_time = t;
-  task.awaiting_acceptance = true;
+  ExposeCurrentRepetition(id, task, t, /*reposted=*/false);
 }
 
-void MarketSimulator::ApplyCompletion(const PendingCompletion& completion) {
-  now_ = completion.time;
-  auto it = open_tasks_.find(completion.task);
+void MarketSimulator::ApplyEvent(const PendingEvent& event) {
+  now_ = event.time;
+  auto it = open_tasks_.find(event.task);
+  if (event.kind == PendingEvent::Kind::kExpiry) {
+    // Expiry events may be stale: the task completed, a worker accepted the
+    // exposed repetition, or it was already reposted (new generation).
+    if (it == open_tasks_.end()) return;
+    OpenTask& task = it->second;
+    if (!task.awaiting_acceptance ||
+        event.generation != task.exposure_generation) {
+      return;
+    }
+    ++task.outcome.expired_posts;
+    const int rep_index =
+        static_cast<int>(task.outcome.repetitions.size()) + 1;
+    Record({now_, TraceEventKind::kExpired, 0, event.task, rep_index});
+    ExposeCurrentRepetition(event.task, task, now_, /*reposted=*/true);
+    return;
+  }
+
   HTUNE_CHECK(it != open_tasks_.end());
   OpenTask& task = it->second;
+
+  if (event.kind == PendingEvent::Kind::kAbandon) {
+    // The worker returns the repetition unanswered: drop the attempt, pay
+    // nothing, and put the repetition back on hold at the task's current
+    // terms (a later Reprice supersedes the abandoned promise).
+    const RepetitionOutcome attempt = task.outcome.repetitions.back();
+    task.outcome.repetitions.pop_back();
+    ++task.outcome.abandoned_attempts;
+    const size_t slot = task.outcome.repetitions.size();
+    if (task.reprice_price > 0) {
+      task.rep_prices[slot] = task.reprice_price;
+      task.rep_rates[slot] = task.reprice_rate;
+    }
+    Record({now_, TraceEventKind::kAbandoned, attempt.worker, event.task,
+            static_cast<int>(slot) + 1});
+    ExposeCurrentRepetition(event.task, task, now_, /*reposted=*/true);
+    return;
+  }
 
   RepetitionOutcome& rep = task.outcome.repetitions.back();
   rep.completed_time = now_;
   total_spent_ += task.rep_prices[task.outcome.repetitions.size() - 1];
   const int rep_index = static_cast<int>(task.outcome.repetitions.size());
   Record({now_, TraceEventKind::kRepetitionCompleted, rep.worker,
-          completion.task, rep_index});
-  AdvanceTask(completion.task, task, now_);
+          event.task, rep_index});
+  AdvanceTask(event.task, task, now_);
 }
 
 Status MarketSimulator::Reprice(TaskId id, int new_price,
@@ -249,25 +343,27 @@ Status MarketSimulator::Reprice(TaskId id, int new_price,
   }
   // While on hold, the current slot (= repetitions.size()) takes the new
   // terms; while processing, the accepted repetition keeps its promise and
-  // only later slots change.
+  // only later slots change (but if the in-flight attempt is abandoned, its
+  // slot is re-exposed at the repriced terms).
   const size_t first = task.outcome.repetitions.size();
   for (size_t r = first; r < task.rep_prices.size(); ++r) {
     task.rep_prices[r] = new_price;
     task.rep_rates[r] = rate;
   }
+  task.reprice_price = new_price;
+  task.reprice_rate = rate;
   return OkStatus();
 }
 
 size_t MarketSimulator::RunUntil(double deadline) {
   while (!open_tasks_.empty()) {
-    const bool has_completion = !completions_.empty();
-    const double completion_time =
-        has_completion ? completions_.top().time : 0.0;
-    if (has_completion && completion_time <= next_arrival_time_) {
-      if (completion_time > deadline) break;
-      const PendingCompletion head = completions_.top();
-      completions_.pop();
-      ApplyCompletion(head);
+    const bool has_event = !events_.empty();
+    const double event_time = has_event ? events_.top().time : 0.0;
+    if (has_event && event_time <= next_arrival_time_) {
+      if (event_time > deadline) break;
+      const PendingEvent head = events_.top();
+      events_.pop();
+      ApplyEvent(head);
     } else {
       if (next_arrival_time_ > deadline) break;
       StepWorkerArrival();
@@ -284,18 +380,27 @@ Status MarketSimulator::RunToCompletion() {
     return FailedPreconditionError("RunToCompletion: no open tasks");
   }
   // Safety valve: with sane rates a job finishes long before this many
-  // events; hitting the cap means a posted rate is effectively zero.
+  // events; hitting the cap means a posted rate is effectively zero (or an
+  // acceptance timeout is reposting a starved repetition forever).
   constexpr uint64_t kMaxEvents = 200'000'000;
   uint64_t events = 0;
   while (!open_tasks_.empty()) {
     if (++events > kMaxEvents) {
-      return InternalError("RunToCompletion: event horizon exceeded");
+      const auto& [stuck_id, stuck] = *open_tasks_.begin();
+      return InternalError(
+          "RunToCompletion: event horizon exceeded at t=" +
+          std::to_string(now_) + "; task " + std::to_string(stuck_id) +
+          " is still open on repetition " +
+          std::to_string(stuck.outcome.repetitions.size() + 1) + " of " +
+          std::to_string(stuck.spec.repetitions) + " (" +
+          std::to_string(open_tasks_.size()) +
+          " open tasks total) — a posted rate is effectively zero");
     }
-    const bool has_completion = !completions_.empty();
-    if (has_completion && completions_.top().time <= next_arrival_time_) {
-      const PendingCompletion head = completions_.top();
-      completions_.pop();
-      ApplyCompletion(head);
+    const bool has_event = !events_.empty();
+    if (has_event && events_.top().time <= next_arrival_time_) {
+      const PendingEvent head = events_.top();
+      events_.pop();
+      ApplyEvent(head);
     } else {
       StepWorkerArrival();
     }
@@ -312,6 +417,37 @@ StatusOr<TaskOutcome> MarketSimulator::GetOutcome(TaskId id) const {
     return FailedPreconditionError("GetOutcome: task not yet complete");
   }
   return NotFoundError("GetOutcome: unknown task id");
+}
+
+StatusOr<double> MarketSimulator::OnHoldSince(TaskId id) const {
+  const auto open = open_tasks_.find(id);
+  if (open == open_tasks_.end()) {
+    if (completed_.count(id) > 0) {
+      return FailedPreconditionError("OnHoldSince: task already completed");
+    }
+    return NotFoundError("OnHoldSince: unknown task id");
+  }
+  if (!open->second.awaiting_acceptance) {
+    return FailedPreconditionError(
+        "OnHoldSince: current repetition is being processed");
+  }
+  return open->second.current_posted_time;
+}
+
+StatusOr<int> MarketSimulator::CurrentPrice(TaskId id) const {
+  const auto open = open_tasks_.find(id);
+  if (open == open_tasks_.end()) {
+    if (completed_.count(id) > 0) {
+      return FailedPreconditionError("CurrentPrice: task already completed");
+    }
+    return NotFoundError("CurrentPrice: unknown task id");
+  }
+  const OpenTask& task = open->second;
+  const size_t reps = task.outcome.repetitions.size();
+  // On hold: the exposed slot == reps. Processing: the in-flight attempt is
+  // the last recorded repetition.
+  const size_t slot = task.awaiting_acceptance ? reps : reps - 1;
+  return task.rep_prices[slot];
 }
 
 StatusOr<TaskOutcome> MarketSimulator::GetProgress(TaskId id) const {

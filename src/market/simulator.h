@@ -9,6 +9,7 @@
 
 #include "common/statusor.h"
 #include "market/events.h"
+#include "market/fault_schedule.h"
 #include "market/rate_schedule.h"
 #include "model/price_rate_curve.h"
 #include "rng/random.h"
@@ -44,6 +45,20 @@ struct MarketConfig {
   /// situation where the requester only controls the price and may hold a
   /// stale estimate of the market's responsiveness.
   std::shared_ptr<const PriceRateCurve> true_curve;
+  /// Worker abandonment ("return HIT"): with this probability an accepted
+  /// repetition is never answered — the worker holds it for an
+  /// Exp(abandon_hold_rate) time, then returns it. Nothing is paid and the
+  /// repetition goes back on hold (kAbandoned then kReposted in the trace).
+  /// 0 disables the fault and leaves the RNG stream untouched.
+  double abandon_prob = 0.0;
+  /// Rate of the exponential hold before an abandoning worker gives up.
+  /// Must be positive when abandon_prob > 0.
+  double abandon_hold_rate = 1.0;
+  /// Optional scripted fault windows (demand outages, error bursts). The
+  /// arrival factor composes multiplicatively with `arrival_schedule` (or
+  /// the constant worker_arrival_rate); error overrides replace the worker
+  /// error model inside their window.
+  std::shared_ptr<const FaultSchedule> fault_schedule;
   /// PRNG seed; two simulators with equal configs and posting sequences
   /// produce identical traces.
   uint64_t seed = 1;
@@ -78,6 +93,11 @@ struct TaskSpec {
   std::shared_ptr<const PriceRateCurve> true_curve;
   /// Processing clock rate lambda_p (difficulty; price independent).
   double processing_rate = 1.0;
+  /// When > 0, the exposed repetition expires if no worker accepts it
+  /// within this window; the simulator reposts it immediately (kExpired
+  /// then kReposted) and the on-hold clock restarts. Models the HIT
+  /// lifetime requesters set on AMT. 0 = never expires.
+  double acceptance_timeout = 0.0;
   /// Ground-truth option index for answer bookkeeping.
   int true_answer = 0;
   /// Number of answer options (>= 2 when errors are possible): a worker who
@@ -131,9 +151,20 @@ class MarketSimulator {
   StatusOr<TaskOutcome> GetOutcome(TaskId id) const;
 
   /// Snapshot of task `id`'s progress, complete or not: the outcome so far,
-  /// with completed_time == 0 while the task is still open. NotFound if
+  /// with completed_time == 0 while the task is still open (abandoned
+  /// attempts and expired posts are reflected as they happen). NotFound if
   /// unknown.
   StatusOr<TaskOutcome> GetProgress(TaskId id) const;
+
+  /// Time the currently exposed repetition of `id` was (re)posted, i.e. how
+  /// long it has been waiting is now() - OnHoldSince(id). FailedPrecondition
+  /// when the current repetition is being processed or the task completed;
+  /// NotFound for unknown ids. Controllers use this to spot stragglers.
+  StatusOr<double> OnHoldSince(TaskId id) const;
+
+  /// Payment the currently exposed (or in-flight) repetition of `id`
+  /// promises. FailedPrecondition for completed tasks, NotFound otherwise.
+  StatusOr<int> CurrentPrice(TaskId id) const;
 
   /// Outcomes of all completed tasks, in completion order.
   std::vector<TaskOutcome> CompletedOutcomes() const;
@@ -151,11 +182,20 @@ class MarketSimulator {
   long TotalSpent() const { return total_spent_; }
 
  private:
-  struct PendingCompletion {
+  /// A scheduled simulator event: the in-flight repetition finishing
+  /// (kCompletion), the in-flight repetition being returned unanswered
+  /// (kAbandon), or the exposed repetition's acceptance window lapsing
+  /// (kExpiry). Expiry events carry the exposure generation they were armed
+  /// for; a stale generation (the repetition got accepted or reposted in
+  /// the meantime) makes the event a no-op.
+  struct PendingEvent {
+    enum class Kind { kCompletion, kAbandon, kExpiry };
     double time;
     uint64_t sequence;
     TaskId task;
-    bool operator>(const PendingCompletion& other) const {
+    Kind kind;
+    uint64_t generation = 0;
+    bool operator>(const PendingEvent& other) const {
       if (time != other.time) return time > other.time;
       return sequence > other.sequence;
     }
@@ -178,11 +218,19 @@ class MarketSimulator {
     bool awaiting_acceptance = true;
     /// Posted time of the currently exposed repetition.
     double current_posted_time = 0.0;
+    /// Bumped on every (re)exposure; invalidates stale expiry events.
+    uint64_t exposure_generation = 0;
+    /// Terms set by the latest Reprice (or -1 when never repriced): an
+    /// abandoned repetition is re-exposed at these, not at the terms the
+    /// abandoning worker accepted under.
+    int reprice_price = -1;
+    double reprice_rate = 0.0;
   };
 
   void Record(const TraceEvent& event);
   /// Samples the next worker arrival epoch after `after` (homogeneous, or
-  /// thinned against the schedule's max rate when one is configured).
+  /// thinned against the joint schedule x fault envelope when either is
+  /// configured).
   double SampleArrivalAfter(double after);
   /// Advances to the next worker arrival and lets that worker consider every
   /// open repetition.
@@ -190,10 +238,15 @@ class MarketSimulator {
   /// Decides an arriving worker's answer for `task` (error model applied).
   void FillAnswer(const OpenTask& task, double worker_error,
                   RepetitionOutcome& rep);
-  /// Applies the completion event at the head of the completion queue.
-  void ApplyCompletion(const PendingCompletion& completion);
+  /// Applies the event at the head of the event queue.
+  void ApplyEvent(const PendingEvent& event);
   /// Exposes the next repetition of `task` (or finalizes it) at time `t`.
   void AdvanceTask(TaskId id, OpenTask& task, double t);
+  /// Puts the current repetition of `task` (back) on hold at time `t`,
+  /// arming the acceptance-timeout clock. `reposted` records a kReposted
+  /// trace event (abandonment / expiry recovery).
+  void ExposeCurrentRepetition(TaskId id, OpenTask& task, double t,
+                               bool reposted);
 
   MarketConfig config_;
   Random rng_;
@@ -201,14 +254,14 @@ class MarketSimulator {
   double next_arrival_time_;
   uint64_t next_worker_ = 0;
   TaskId next_task_ = 1;
-  uint64_t completion_sequence_ = 0;
+  uint64_t event_sequence_ = 0;
   long total_spent_ = 0;
   std::map<TaskId, OpenTask> open_tasks_;
   std::map<TaskId, TaskOutcome> completed_;
   std::vector<TaskId> completion_order_;
-  std::priority_queue<PendingCompletion, std::vector<PendingCompletion>,
-                      std::greater<PendingCompletion>>
-      completions_;
+  std::priority_queue<PendingEvent, std::vector<PendingEvent>,
+                      std::greater<PendingEvent>>
+      events_;
   std::vector<TraceEvent> trace_;
 };
 

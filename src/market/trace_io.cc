@@ -2,13 +2,20 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 
 #include "common/strings.h"
 
 namespace htune {
 
+namespace {
+
+constexpr std::string_view kCsvHeader = "time,kind,worker,task,repetition";
+
+}  // namespace
+
 std::string TraceToCsv(const std::vector<TraceEvent>& trace) {
-  std::string csv = "time,kind,worker,task,repetition\n";
+  std::string csv = std::string(kCsvHeader) + "\n";
   for (const TraceEvent& event : trace) {
     csv += FormatDouble(event.time, 6);
     csv += ',';
@@ -39,6 +46,81 @@ Status WriteTraceCsv(const std::vector<TraceEvent>& trace,
   return OkStatus();
 }
 
+StatusOr<TraceEventKind> TraceEventKindFromString(std::string_view name) {
+  for (const TraceEventKind kind :
+       {TraceEventKind::kWorkerArrival, TraceEventKind::kTaskAccepted,
+        TraceEventKind::kRepetitionCompleted, TraceEventKind::kTaskCompleted,
+        TraceEventKind::kAbandoned, TraceEventKind::kExpired,
+        TraceEventKind::kReposted}) {
+    if (TraceEventKindToString(kind) == name) {
+      return kind;
+    }
+  }
+  return InvalidArgumentError("unknown trace event kind: '" +
+                              std::string(name) + "'");
+}
+
+StatusOr<std::vector<TraceEvent>> ParseTraceCsv(std::string_view csv) {
+  std::vector<std::string> lines = SplitString(csv, '\n');
+  // The writer ends every row with '\n', leaving one trailing empty field.
+  if (!lines.empty() && lines.back().empty()) {
+    lines.pop_back();
+  }
+  if (lines.empty() || lines[0] != kCsvHeader) {
+    return InvalidArgumentError("ParseTraceCsv: missing header '" +
+                                std::string(kCsvHeader) + "'");
+  }
+  std::vector<TraceEvent> trace;
+  trace.reserve(lines.size() - 1);
+  for (size_t i = 1; i < lines.size(); ++i) {
+    const std::string where =
+        "ParseTraceCsv: line " + std::to_string(i + 1) + ": ";
+    const std::vector<std::string> fields = SplitString(lines[i], ',');
+    if (fields.size() != 5) {
+      return InvalidArgumentError(where + "expected 5 fields, got " +
+                                  std::to_string(fields.size()));
+    }
+    TraceEvent event;
+    char* end = nullptr;
+    event.time = std::strtod(fields[0].c_str(), &end);
+    if (end == fields[0].c_str() || *end != '\0') {
+      return InvalidArgumentError(where + "bad time '" + fields[0] + "'");
+    }
+    HTUNE_ASSIGN_OR_RETURN(event.kind, TraceEventKindFromString(fields[1]));
+    event.worker = std::strtoull(fields[2].c_str(), &end, 10);
+    if (end == fields[2].c_str() || *end != '\0') {
+      return InvalidArgumentError(where + "bad worker '" + fields[2] + "'");
+    }
+    event.task = std::strtoull(fields[3].c_str(), &end, 10);
+    if (end == fields[3].c_str() || *end != '\0') {
+      return InvalidArgumentError(where + "bad task '" + fields[3] + "'");
+    }
+    const long repetition = std::strtol(fields[4].c_str(), &end, 10);
+    if (end == fields[4].c_str() || *end != '\0') {
+      return InvalidArgumentError(where + "bad repetition '" + fields[4] +
+                                  "'");
+    }
+    event.repetition = static_cast<int>(repetition);
+    trace.push_back(event);
+  }
+  return trace;
+}
+
+StatusOr<std::vector<TraceEvent>> ReadTraceCsv(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return NotFoundError("ReadTraceCsv: cannot read " + path);
+  }
+  std::string csv;
+  char buffer[4096];
+  size_t got;
+  while ((got = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    csv.append(buffer, got);
+  }
+  std::fclose(file);
+  return ParseTraceCsv(csv);
+}
+
 StatusOr<TraceSummary> SummarizeOutcomes(
     const std::vector<TaskOutcome>& outcomes) {
   if (outcomes.empty()) {
@@ -57,6 +139,9 @@ StatusOr<TraceSummary> SummarizeOutcomes(
     }
     summary.max_task_latency =
         std::max(summary.max_task_latency, outcome.Latency());
+    summary.abandoned_attempts +=
+        static_cast<size_t>(outcome.abandoned_attempts);
+    summary.expired_posts += static_cast<size_t>(outcome.expired_posts);
     for (const RepetitionOutcome& rep : outcome.repetitions) {
       ++summary.repetitions;
       on_hold_total += rep.OnHoldLatency();
@@ -93,6 +178,13 @@ std::string SummaryToString(const TraceSummary& summary) {
   out += "%, paid ";
   out += std::to_string(summary.total_paid);
   out += " units";
+  if (summary.abandoned_attempts > 0 || summary.expired_posts > 0) {
+    out += "; ";
+    out += std::to_string(summary.abandoned_attempts);
+    out += " abandoned, ";
+    out += std::to_string(summary.expired_posts);
+    out += " expired";
+  }
   return out;
 }
 

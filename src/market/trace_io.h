@@ -2,6 +2,7 @@
 #define HTUNE_MARKET_TRACE_IO_H_
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/statusor.h"
@@ -19,6 +20,19 @@ std::string TraceToCsv(const std::vector<TraceEvent>& trace);
 Status WriteTraceCsv(const std::vector<TraceEvent>& trace,
                      const std::string& path);
 
+/// Inverse of TraceEventKindToString; InvalidArgument for unknown names.
+StatusOr<TraceEventKind> TraceEventKindFromString(std::string_view name);
+
+/// Parses the CSV produced by TraceToCsv back into events. Round-trips
+/// exactly: TraceToCsv(*ParseTraceCsv(csv)) == csv for any csv the writer
+/// produced (times are serialized at fixed precision, so the writer-parser
+/// composition is the identity on the textual form). InvalidArgument with a
+/// line-numbered message on malformed input.
+StatusOr<std::vector<TraceEvent>> ParseTraceCsv(std::string_view csv);
+
+/// Reads `path` and parses it. NotFound when the file cannot be read.
+StatusOr<std::vector<TraceEvent>> ReadTraceCsv(const std::string& path);
+
 /// Aggregate statistics computed from completed task outcomes.
 struct TraceSummary {
   size_t tasks = 0;
@@ -29,6 +43,10 @@ struct TraceSummary {
   /// Fraction of repetitions answered incorrectly.
   double error_rate = 0.0;
   long total_paid = 0;
+  /// Accepted attempts abandoned by workers (unpaid, reposted).
+  size_t abandoned_attempts = 0;
+  /// Acceptance-window expiries that forced a repost.
+  size_t expired_posts = 0;
 };
 
 /// Summarizes a set of completed outcomes; returns InvalidArgument when

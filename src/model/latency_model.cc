@@ -1,12 +1,73 @@
 #include "model/latency_model.h"
 
 #include <cmath>
+#include <string>
+#include <utility>
 
 #include "common/check.h"
+#include "common/strings.h"
 #include "model/order_statistics.h"
 #include "model/quadrature.h"
 
 namespace htune {
+
+namespace {
+
+void CheckAbandonmentModel(const AbandonmentModel& model) {
+  HTUNE_CHECK_GE(model.prob, 0.0);
+  HTUNE_CHECK_LT(model.prob, 1.0);
+  if (model.prob > 0.0) {
+    HTUNE_CHECK_GT(model.hold_rate, 0.0);
+  }
+}
+
+}  // namespace
+
+double ExpectedAttemptsPerRepetition(const AbandonmentModel& model) {
+  CheckAbandonmentModel(model);
+  return 1.0 / (1.0 - model.prob);
+}
+
+double EffectiveOnHoldMean(double on_hold_rate,
+                           const AbandonmentModel& model) {
+  CheckAbandonmentModel(model);
+  HTUNE_CHECK_GT(on_hold_rate, 0.0);
+  if (model.prob == 0.0) {
+    return 1.0 / on_hold_rate;
+  }
+  const double attempts = 1.0 / (1.0 - model.prob);
+  return attempts / on_hold_rate +
+         (attempts - 1.0) / model.hold_rate;
+}
+
+double EffectiveOnHoldRate(double on_hold_rate,
+                           const AbandonmentModel& model) {
+  return 1.0 / EffectiveOnHoldMean(on_hold_rate, model);
+}
+
+double EffectiveRepetitionLatency(double on_hold_rate,
+                                  double processing_rate,
+                                  const AbandonmentModel& model) {
+  HTUNE_CHECK_GT(processing_rate, 0.0);
+  return EffectiveOnHoldMean(on_hold_rate, model) + 1.0 / processing_rate;
+}
+
+std::shared_ptr<const PriceRateCurve> AdjustCurveForAbandonment(
+    std::shared_ptr<const PriceRateCurve> curve,
+    const AbandonmentModel& model) {
+  HTUNE_CHECK(curve != nullptr);
+  CheckAbandonmentModel(model);
+  if (model.prob == 0.0) {
+    return curve;
+  }
+  const std::string name =
+      curve->Name() + " | abandon(" + FormatDouble(model.prob, 2) + ")";
+  return std::make_shared<FunctionCurve>(
+      [base = std::move(curve), model](double price) {
+        return EffectiveOnHoldRate(base->Rate(price), model);
+      },
+      name);
+}
 
 double ExpectedGroupOnHoldLatency(const GroupShape& shape,
                                   const PriceRateCurve& curve,

@@ -1,6 +1,8 @@
 #ifndef HTUNE_MODEL_LATENCY_MODEL_H_
 #define HTUNE_MODEL_LATENCY_MODEL_H_
 
+#include <memory>
+
 #include "model/distributions.h"
 #include "model/price_rate_curve.h"
 
@@ -43,6 +45,54 @@ double ExpectedGroupTotalLatency(const GroupShape& shape, double on_hold_rate);
 /// CDF of Erlang(k1, rate1) + Erlang(k2, rate2) at `t` by numerical
 /// convolution of the first pdf against the second CDF.
 double SumOfErlangsCdf(int k1, double rate1, int k2, double rate2, double t);
+
+/// Worker abandonment as the tuners model it, mirroring
+/// MarketConfig::{abandon_prob, abandon_hold_rate}: an accepted repetition
+/// is returned unanswered with probability `prob` after an Exp(hold_rate)
+/// hold, and the repetition goes back on hold.
+struct AbandonmentModel {
+  double prob = 0.0;
+  double hold_rate = 1.0;
+};
+
+/// Expected acceptances needed to get one answered repetition: the attempt
+/// count is Geometric(1 - prob), so this is 1 / (1 - prob). Requires
+/// prob in [0, 1).
+double ExpectedAttemptsPerRepetition(const AbandonmentModel& model);
+
+/// Mean of the renewal pre-processing cycle of one repetition under
+/// abandonment: the repetition alternates Exp(on_hold_rate) waits and (with
+/// probability prob) Exp(hold_rate) abandoned holds until an attempt
+/// sticks, so the renewal sum has mean
+///   (1 / (1 - prob)) / on_hold_rate + (prob / (1 - prob)) / hold_rate.
+double EffectiveOnHoldMean(double on_hold_rate,
+                           const AbandonmentModel& model);
+
+/// The exponential rate whose mean matches EffectiveOnHoldMean — the
+/// corrected lambda_o the tuners should allocate against:
+///   ((1 - prob) * on_hold_rate * hold_rate)
+///     / (hold_rate + prob * on_hold_rate).
+/// The renewal sum itself is phase-type, not exponential; matching the mean
+/// keeps every first-moment quantity (and the allocators' marginal-gain
+/// ordering) exact while the E[max] order statistics become approximations.
+double EffectiveOnHoldRate(double on_hold_rate,
+                           const AbandonmentModel& model);
+
+/// Expected end-to-end latency of one repetition under abandonment:
+/// EffectiveOnHoldMean + 1 / processing_rate. Exact (no distributional
+/// approximation — means add by Wald's identity).
+double EffectiveRepetitionLatency(double on_hold_rate,
+                                  double processing_rate,
+                                  const AbandonmentModel& model);
+
+/// Decorates `curve` so Rate(p) returns the abandonment-corrected effective
+/// on-hold rate EffectiveOnHoldRate(curve->Rate(p), model). Monotonicity
+/// and positivity are preserved, so the result honors the PriceRateCurve
+/// contract and plugs into every allocator and evaluator unchanged. A model
+/// with prob == 0 returns `curve` itself.
+std::shared_ptr<const PriceRateCurve> AdjustCurveForAbandonment(
+    std::shared_ptr<const PriceRateCurve> curve,
+    const AbandonmentModel& model);
 
 }  // namespace htune
 

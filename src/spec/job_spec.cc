@@ -196,6 +196,11 @@ StatusOr<JobSpec> ParseJobSpec(std::string_view text) {
       } else if (key == "error_prob") {
         HTUNE_ASSIGN_OR_RETURN(spec.worker_error_prob,
                                ParseDouble(value, key));
+      } else if (key == "abandon_prob") {
+        HTUNE_ASSIGN_OR_RETURN(spec.abandon_prob, ParseDouble(value, key));
+      } else if (key == "abandon_hold_rate") {
+        HTUNE_ASSIGN_OR_RETURN(spec.abandon_hold_rate,
+                               ParseDouble(value, key));
       } else if (key == "seed") {
         HTUNE_ASSIGN_OR_RETURN(const long seed, ParseLong(value, key));
         spec.seed = static_cast<uint64_t>(seed);
@@ -234,6 +239,13 @@ StatusOr<JobSpec> ParseJobSpec(std::string_view text) {
   }
   if (spec.worker_error_prob < 0.0 || spec.worker_error_prob > 1.0) {
     return InvalidArgumentError("error_prob must lie in [0, 1]");
+  }
+  if (spec.abandon_prob < 0.0 || spec.abandon_prob >= 1.0) {
+    return InvalidArgumentError("abandon_prob must lie in [0, 1)");
+  }
+  if (spec.abandon_prob > 0.0 && spec.abandon_hold_rate <= 0.0) {
+    return InvalidArgumentError(
+        "abandon_hold_rate must be positive when abandon_prob > 0");
   }
   return spec;
 }

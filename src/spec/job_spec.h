@@ -17,6 +17,11 @@ struct JobSpec {
   /// Market settings for `htune_cli simulate`.
   double arrival_rate = 100.0;
   double worker_error_prob = 0.0;
+  /// Worker abandonment ("return HIT") applied by the simulated market; see
+  /// MarketConfig::{abandon_prob, abandon_hold_rate}. `plan` also corrects
+  /// the tuned allocation for it via ProblemWithAbandonment.
+  double abandon_prob = 0.0;
+  double abandon_hold_rate = 1.0;
   uint64_t seed = 1;
 };
 
@@ -27,6 +32,8 @@ struct JobSpec {
 ///   budget = 1500
 ///   arrival_rate = 100      # optional (simulation)
 ///   error_prob = 0.1        # optional (simulation)
+///   abandon_prob = 0.2      # optional (simulation fault model)
+///   abandon_hold_rate = 2   # optional (simulation fault model)
 ///   seed = 7                # optional (simulation)
 ///
 ///   [group]

@@ -50,4 +50,18 @@ Status ValidateProblem(const TuningProblem& problem) {
   return OkStatus();
 }
 
+TuningProblem ProblemWithAbandonment(const TuningProblem& problem,
+                                     const AbandonmentModel& model) {
+  if (model.prob == 0.0) {
+    return problem;
+  }
+  TuningProblem adjusted = problem;
+  for (TaskGroup& group : adjusted.groups) {
+    if (group.curve != nullptr) {
+      group.curve = AdjustCurveForAbandonment(group.curve, model);
+    }
+  }
+  return adjusted;
+}
+
 }  // namespace htune

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "model/latency_model.h"
 #include "model/price_rate_curve.h"
 
 namespace htune {
@@ -52,6 +53,15 @@ struct TuningProblem {
 /// Validates an instance: at least one group; every group has num_tasks >= 1,
 /// repetitions >= 1, processing_rate > 0, a curve; budget >= MinimumBudget().
 Status ValidateProblem(const TuningProblem& problem);
+
+/// Returns a copy of `problem` whose group curves are wrapped with
+/// AdjustCurveForAbandonment, so every allocator and latency evaluator
+/// consumes the renewal-corrected effective on-hold rates: allocations
+/// tuned on the result stay optimal (to first order) on a market with the
+/// given abandonment behaviour. A model with prob == 0 returns the problem
+/// unchanged.
+TuningProblem ProblemWithAbandonment(const TuningProblem& problem,
+                                     const AbandonmentModel& model);
 
 }  // namespace htune
 

@@ -1,0 +1,377 @@
+// Tests for the fault layer: worker abandonment, acceptance-timeout expiry,
+// scripted fault schedules, the renewal-corrected latency model, and the
+// fault-tolerant executor's recovery behaviour.
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "control/fault_tolerant_executor.h"
+#include "crowddb/executor.h"
+#include "market/fault_schedule.h"
+#include "market/simulator.h"
+#include "market/trace_io.h"
+#include "model/latency_model.h"
+#include "stats/descriptive.h"
+#include "tuning/repetition_allocator.h"
+
+namespace htune {
+namespace {
+
+TEST(FaultScheduleTest, CreateValidation) {
+  EXPECT_FALSE(FaultSchedule::Create({}).ok());
+  EXPECT_FALSE(FaultSchedule::Create({{2.0, 1.0, 0.5, -1.0}}).ok());  // end<=s
+  EXPECT_FALSE(FaultSchedule::Create({{-1.0, 1.0, 0.5, -1.0}}).ok());
+  EXPECT_FALSE(FaultSchedule::Create({{0.0, 1.0, -0.5, -1.0}}).ok());
+  EXPECT_FALSE(FaultSchedule::Create({{0.0, 1.0, 1.0, 2.0}}).ok());  // p > 1
+  // Overlapping windows are rejected; unsorted input is sorted internally.
+  EXPECT_FALSE(
+      FaultSchedule::Create({{0.0, 2.0, 0.5, -1.0}, {1.0, 3.0, 0.5, -1.0}})
+          .ok());
+  const auto unsorted =
+      FaultSchedule::Create({{5.0, 6.0, 0.5, -1.0}, {1.0, 2.0, 0.3, -1.0}});
+  ASSERT_TRUE(unsorted.ok());
+  EXPECT_DOUBLE_EQ(unsorted->ArrivalFactorAt(1.5), 0.3);
+  EXPECT_DOUBLE_EQ(unsorted->ArrivalFactorAt(5.5), 0.5);
+  EXPECT_TRUE(
+      FaultSchedule::Create({{0.0, 2.0, 0.5, -1.0}, {2.0, 3.0, 2.0, 0.9}})
+          .ok());
+}
+
+TEST(FaultScheduleTest, LookupAndEnvelope) {
+  const auto schedule = FaultSchedule::Create(
+      {{1.0, 2.0, 0.1, -1.0}, {5.0, 6.0, 3.0, 0.75}});
+  ASSERT_TRUE(schedule.ok());
+  EXPECT_DOUBLE_EQ(schedule->ArrivalFactorAt(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(schedule->ArrivalFactorAt(1.0), 0.1);
+  EXPECT_DOUBLE_EQ(schedule->ArrivalFactorAt(1.999), 0.1);
+  EXPECT_DOUBLE_EQ(schedule->ArrivalFactorAt(2.0), 1.0);
+  EXPECT_DOUBLE_EQ(schedule->ArrivalFactorAt(5.5), 3.0);
+  // Error override only inside the second window.
+  EXPECT_DOUBLE_EQ(schedule->ErrorProbAt(1.5, 0.2), 0.2);
+  EXPECT_DOUBLE_EQ(schedule->ErrorProbAt(5.5, 0.2), 0.75);
+  // Envelope covers the implicit factor 1 outside all windows.
+  EXPECT_DOUBLE_EQ(schedule->MaxArrivalFactor(), 3.0);
+  EXPECT_DOUBLE_EQ(schedule->MaxErrorProb(0.2), 0.75);
+  const auto dimmed = FaultSchedule::Create({{1.0, 2.0, 0.1, -1.0}});
+  ASSERT_TRUE(dimmed.ok());
+  EXPECT_DOUBLE_EQ(dimmed->MaxArrivalFactor(), 1.0);
+}
+
+TEST(AbandonmentModelTest, RenewalFormulas) {
+  const AbandonmentModel none;
+  EXPECT_DOUBLE_EQ(ExpectedAttemptsPerRepetition(none), 1.0);
+  EXPECT_DOUBLE_EQ(EffectiveOnHoldMean(4.0, none), 0.25);
+  EXPECT_DOUBLE_EQ(EffectiveOnHoldRate(4.0, none), 4.0);
+
+  const AbandonmentModel model{0.4, 2.0};
+  EXPECT_NEAR(ExpectedAttemptsPerRepetition(model), 1.0 / 0.6, 1e-12);
+  // (1/0.6)/4 + (0.4/0.6)/2
+  const double mean = (1.0 / 0.6) / 4.0 + (0.4 / 0.6) / 2.0;
+  EXPECT_NEAR(EffectiveOnHoldMean(4.0, model), mean, 1e-12);
+  EXPECT_NEAR(EffectiveOnHoldRate(4.0, model), 1.0 / mean, 1e-12);
+  EXPECT_NEAR(EffectiveRepetitionLatency(4.0, 2.0, model), mean + 0.5,
+              1e-12);
+}
+
+TEST(AbandonmentModelTest, AdjustCurveDecorates) {
+  const auto base = std::make_shared<LinearCurve>(1.0, 1.0);
+  // prob == 0 must return the identical curve (no wrapper, no RNG cost).
+  EXPECT_EQ(AdjustCurveForAbandonment(base, AbandonmentModel{}).get(),
+            base.get());
+  const AbandonmentModel model{0.25, 3.0};
+  const auto adjusted = AdjustCurveForAbandonment(base, model);
+  ASSERT_NE(adjusted, nullptr);
+  for (const double price : {1.0, 4.0, 9.0}) {
+    EXPECT_NEAR(adjusted->Rate(price),
+                EffectiveOnHoldRate(base->Rate(price), model), 1e-12);
+  }
+  // Correction always slows the curve down.
+  EXPECT_LT(adjusted->Rate(5.0), base->Rate(5.0));
+}
+
+TEST(ProblemWithAbandonmentTest, WrapsEveryGroupCurve) {
+  TaskGroup g;
+  g.num_tasks = 4;
+  g.repetitions = 2;
+  g.processing_rate = 3.0;
+  g.curve = std::make_shared<LinearCurve>(1.0, 1.0);
+  TuningProblem problem;
+  problem.groups = {g, g};
+  problem.budget = 40;
+
+  const TuningProblem same = ProblemWithAbandonment(problem, {});
+  EXPECT_EQ(same.groups[0].curve.get(), problem.groups[0].curve.get());
+
+  const AbandonmentModel model{0.3, 2.0};
+  const TuningProblem adjusted = ProblemWithAbandonment(problem, model);
+  ASSERT_EQ(adjusted.groups.size(), 2u);
+  EXPECT_EQ(adjusted.budget, problem.budget);
+  for (const TaskGroup& group : adjusted.groups) {
+    EXPECT_NEAR(group.curve->Rate(5.0),
+                EffectiveOnHoldRate(problem.groups[0].curve->Rate(5.0), model),
+                1e-12);
+  }
+}
+
+// Acceptance criterion (a): simulated mean job latency under abandonment
+// matches the analytic renewal-corrected expectation within MC tolerance.
+TEST(AbandonmentSimTest, MeanLatencyMatchesRenewalExpectation) {
+  const AbandonmentModel model{0.4, 2.0};
+  const int kReps = 3;
+  const double expected_task =
+      kReps * EffectiveRepetitionLatency(4.0, 2.0, model);
+  ASSERT_NEAR(expected_task, 3.75, 1e-12);  // the numbers behind the test
+
+  RunningStats task_latency;
+  long answered = 0, abandoned = 0;
+  for (int m = 0; m < 100; ++m) {
+    MarketConfig config;
+    config.worker_arrival_rate = 100.0;
+    config.abandon_prob = model.prob;
+    config.abandon_hold_rate = model.hold_rate;
+    config.seed = 500 + static_cast<uint64_t>(m);
+    config.record_trace = false;
+    MarketSimulator market(config);
+    std::vector<TaskId> ids;
+    for (int i = 0; i < 8; ++i) {
+      TaskSpec spec;
+      spec.price_per_repetition = 3;
+      spec.repetitions = kReps;
+      spec.on_hold_rate = 4.0;
+      spec.processing_rate = 2.0;
+      ids.push_back(*market.PostTask(spec));
+    }
+    ASSERT_TRUE(market.RunToCompletion().ok());
+    long expected_spend = 0;
+    for (const TaskId id : ids) {
+      const TaskOutcome outcome = *market.GetOutcome(id);
+      task_latency.Add(outcome.Latency());
+      answered += static_cast<long>(outcome.repetitions.size());
+      abandoned += outcome.abandoned_attempts;
+      for (const RepetitionOutcome& rep : outcome.repetitions) {
+        expected_spend += rep.price;
+      }
+    }
+    // Abandoned attempts are unpaid: spend covers answered repetitions only.
+    EXPECT_EQ(market.TotalSpent(), expected_spend);
+    EXPECT_EQ(expected_spend, 8L * kReps * 3);
+  }
+  EXPECT_NEAR(task_latency.Mean(), expected_task, 0.15);
+  // The abandoned fraction of accepted attempts estimates p.
+  EXPECT_NEAR(abandoned / static_cast<double>(answered + abandoned),
+              model.prob, 0.05);
+}
+
+TEST(ExpiryTest, TimedOutRepetitionsRepostUntilAccepted) {
+  MarketConfig config;
+  config.worker_arrival_rate = 20.0;
+  config.seed = 71;
+  MarketSimulator market(config);
+  std::vector<TaskId> ids;
+  for (int i = 0; i < 6; ++i) {
+    TaskSpec spec;
+    spec.price_per_repetition = 1;
+    spec.repetitions = 2;
+    spec.on_hold_rate = 0.8;          // slow acceptance...
+    spec.acceptance_timeout = 0.5;    // ...against a short window
+    spec.processing_rate = 10.0;
+    ids.push_back(*market.PostTask(spec));
+  }
+  ASSERT_TRUE(market.RunToCompletion().ok());
+  int expired = 0;
+  for (const TaskId id : ids) {
+    const TaskOutcome outcome = *market.GetOutcome(id);
+    EXPECT_EQ(outcome.repetitions.size(), 2u);
+    expired += outcome.expired_posts;
+  }
+  // E[expiries per exposure] = e^{-0.4}/(1-e^{-0.4}) ≈ 2: plenty expected.
+  EXPECT_GT(expired, 0);
+  int reposted_events = 0, expired_events = 0;
+  for (const TraceEvent& event : market.trace()) {
+    if (event.kind == TraceEventKind::kReposted) ++reposted_events;
+    if (event.kind == TraceEventKind::kExpired) ++expired_events;
+  }
+  EXPECT_EQ(expired_events, expired);
+  EXPECT_GE(reposted_events, expired_events);
+}
+
+TEST(GetProgressTest, ReflectsAbandonedAttemptsWhileOpen) {
+  MarketConfig config;
+  config.worker_arrival_rate = 30.0;
+  config.abandon_prob = 0.5;
+  config.abandon_hold_rate = 1.0;
+  config.seed = 72;
+  config.record_trace = false;
+  MarketSimulator market(config);
+  std::vector<TaskId> ids;
+  for (int i = 0; i < 6; ++i) {
+    TaskSpec spec;
+    spec.price_per_repetition = 1;
+    spec.repetitions = 3;
+    spec.on_hold_rate = 4.0;
+    spec.processing_rate = 2.0;
+    ids.push_back(*market.PostTask(spec));
+  }
+  // Poll progress while the job runs: abandoned attempts must be visible
+  // before completion, not only in the final outcome.
+  bool seen_open_abandon = false;
+  for (int step = 0; step < 200 && market.OpenTaskCount() > 0; ++step) {
+    market.RunUntil(market.now() + 0.05);
+    for (const TaskId id : ids) {
+      const auto progress = market.GetProgress(id);
+      ASSERT_TRUE(progress.ok());
+      if (progress->completed_time == 0.0 &&
+          progress->abandoned_attempts > 0) {
+        seen_open_abandon = true;
+      }
+    }
+  }
+  EXPECT_TRUE(seen_open_abandon);
+}
+
+// Acceptance criterion (c): traces containing the new event kinds round-trip
+// through trace_io, and equal configs produce identical traces.
+TEST(TraceRoundTripTest, FaultEventKindsRoundTripAndDeterminism) {
+  const auto run_once = [] {
+    MarketConfig config;
+    config.worker_arrival_rate = 20.0;
+    config.abandon_prob = 0.4;
+    config.abandon_hold_rate = 2.0;
+    config.seed = 73;
+    MarketSimulator market(config);
+    for (int i = 0; i < 5; ++i) {
+      TaskSpec spec;
+      spec.price_per_repetition = 2;
+      spec.repetitions = 2;
+      spec.on_hold_rate = 1.0;
+      spec.acceptance_timeout = 0.6;
+      spec.processing_rate = 5.0;
+      EXPECT_TRUE(market.PostTask(spec).ok());
+    }
+    EXPECT_TRUE(market.RunToCompletion().ok());
+    return TraceToCsv(market.trace());
+  };
+
+  const std::string csv = run_once();
+  for (const char* kind : {"ABANDONED", "EXPIRED", "REPOSTED"}) {
+    EXPECT_NE(csv.find(kind), std::string::npos) << kind;
+  }
+  const auto parsed = ParseTraceCsv(csv);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(TraceToCsv(*parsed), csv);  // exact textual round trip
+  // Same config + posting sequence => identical trace, fault events and all.
+  EXPECT_EQ(run_once(), csv);
+}
+
+TEST(TraceIoTest, NewKindsParseAndRejectUnknown) {
+  EXPECT_EQ(*TraceEventKindFromString("ABANDONED"), TraceEventKind::kAbandoned);
+  EXPECT_EQ(*TraceEventKindFromString("EXPIRED"), TraceEventKind::kExpired);
+  EXPECT_EQ(*TraceEventKindFromString("REPOSTED"), TraceEventKind::kReposted);
+  EXPECT_FALSE(TraceEventKindFromString("NOPE").ok());
+}
+
+// Acceptance criterion (b): under a scripted mid-job outage the executor
+// completes every repetition within budget, while the static path's latency
+// degrades measurably against its own fault-free baseline.
+TEST(FaultTolerantExecutorTest, OutageRecoveryWithinBudget) {
+  const RepetitionAllocator allocator;
+  const long kCeiling = 240;
+  const int kTasks = 8, kReps = 3;
+
+  const auto make_problem = [&](long budget) {
+    TaskGroup g;
+    g.name = "vote";
+    g.num_tasks = kTasks;
+    g.repetitions = kReps;
+    g.processing_rate = 5.0;
+    g.curve = std::make_shared<LinearCurve>(1.0, 1.0);
+    TuningProblem problem;
+    problem.groups = {g};
+    problem.budget = budget;
+    return problem;
+  };
+  const auto make_market = [&](uint64_t seed, bool outage) {
+    MarketConfig config;
+    config.worker_arrival_rate = 150.0;
+    config.abandon_prob = 0.1;
+    config.abandon_hold_rate = 2.0;
+    if (outage) {
+      const auto schedule =
+          FaultSchedule::Create({{0.8, 2.8, 0.03, -1.0}});
+      EXPECT_TRUE(schedule.ok());
+      config.fault_schedule = std::make_shared<FaultSchedule>(*schedule);
+    }
+    config.seed = seed;
+    config.record_trace = false;
+    return config;
+  };
+
+  RunningStats static_clean, static_outage, ft_outage;
+  for (int r = 0; r < 15; ++r) {
+    const uint64_t seed = 900 + static_cast<uint64_t>(r);
+    const std::vector<QuestionSpec> questions(kTasks);
+
+    // Static path, fault-free baseline and outage run, full budget.
+    const TuningProblem full = make_problem(kCeiling);
+    const auto alloc = allocator.Allocate(full);
+    ASSERT_TRUE(alloc.ok());
+    for (const bool outage : {false, true}) {
+      MarketSimulator market(make_market(seed, outage));
+      const auto run = ExecuteJob(market, full, *alloc, questions);
+      ASSERT_TRUE(run.ok());
+      (outage ? static_outage : static_clean).Add(run->latency);
+    }
+
+    // Fault-tolerant path plans below the ceiling and escalates into it.
+    MarketSimulator market(make_market(seed, true));
+    FaultTolerantConfig config;
+    config.review_interval = 0.2;
+    config.straggler_quantile = 0.9;
+    config.budget = kCeiling;
+    config.abandonment = {0.1, 2.0};
+    const FaultTolerantExecutor executor(&allocator, config);
+    const auto report =
+        executor.Run(market, make_problem(180), questions);
+    ASSERT_TRUE(report.ok());
+    // Every repetition of every task completed, inside the spend ceiling.
+    ASSERT_EQ(report->answers.size(), static_cast<size_t>(kTasks));
+    for (const std::vector<int>& answers : report->answers) {
+      EXPECT_EQ(answers.size(), static_cast<size_t>(kReps));
+    }
+    EXPECT_LE(report->spent, kCeiling);
+    EXPECT_GT(report->stragglers, 0);
+    ft_outage.Add(report->latency);
+  }
+  // The outage measurably degrades the static path...
+  EXPECT_GT(static_outage.Mean(), static_clean.Mean() + 0.8);
+  // ...while escalation claws most of that degradation back.
+  EXPECT_LT(ft_outage.Mean(), static_outage.Mean() + 0.25);
+}
+
+TEST(FaultTolerantExecutorTest, RejectsPlanAboveBudget) {
+  const RepetitionAllocator allocator;
+  TaskGroup g;
+  g.num_tasks = 2;
+  g.repetitions = 2;
+  g.processing_rate = 4.0;
+  g.curve = std::make_shared<LinearCurve>(1.0, 1.0);
+  TuningProblem problem;
+  problem.groups = {g};
+  problem.budget = 40;
+
+  MarketConfig market_config;
+  market_config.worker_arrival_rate = 100.0;
+  MarketSimulator market(market_config);
+  FaultTolerantConfig config;
+  config.budget = 20;  // below what the allocation will spend
+  const FaultTolerantExecutor executor(&allocator, config);
+  const std::vector<QuestionSpec> questions(2);
+  EXPECT_EQ(executor.Run(market, problem, questions).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace htune

@@ -12,6 +12,8 @@ constexpr char kGoodSpec[] = R"(
 budget = 1500
 arrival_rate = 120   # workers per unit time
 error_prob = 0.1
+abandon_prob = 0.2
+abandon_hold_rate = 2.5
 seed = 9
 
 [group]
@@ -34,6 +36,8 @@ TEST(JobSpecTest, ParsesFullSpec) {
   EXPECT_EQ(spec->problem.budget, 1500);
   EXPECT_DOUBLE_EQ(spec->arrival_rate, 120.0);
   EXPECT_DOUBLE_EQ(spec->worker_error_prob, 0.1);
+  EXPECT_DOUBLE_EQ(spec->abandon_prob, 0.2);
+  EXPECT_DOUBLE_EQ(spec->abandon_hold_rate, 2.5);
   EXPECT_EQ(spec->seed, 9u);
   ASSERT_EQ(spec->problem.groups.size(), 2u);
   EXPECT_EQ(spec->problem.groups[0].name, "easy labels");
@@ -52,6 +56,8 @@ TEST(JobSpecTest, DefaultsApply) {
   ASSERT_TRUE(spec.ok());
   EXPECT_DOUBLE_EQ(spec->arrival_rate, 100.0);
   EXPECT_DOUBLE_EQ(spec->worker_error_prob, 0.0);
+  EXPECT_DOUBLE_EQ(spec->abandon_prob, 0.0);
+  EXPECT_DOUBLE_EQ(spec->abandon_hold_rate, 1.0);
   EXPECT_EQ(spec->seed, 1u);
 }
 
@@ -94,6 +100,16 @@ TEST(JobSpecTest, RejectsBadSimulationSettings) {
                    "budget = 100\narrival_rate = -5\n[group]\ntasks = 2\n"
                    "repetitions = 2\nprocessing_rate = 1\ncurve = linear 1 "
                    "1\n")
+                   .ok());
+  EXPECT_FALSE(ParseJobSpec(
+                   "budget = 100\nabandon_prob = 1.0\n[group]\ntasks = 2\n"
+                   "repetitions = 2\nprocessing_rate = 1\ncurve = linear 1 "
+                   "1\n")
+                   .ok());
+  EXPECT_FALSE(ParseJobSpec(
+                   "budget = 100\nabandon_prob = 0.2\nabandon_hold_rate = "
+                   "0\n[group]\ntasks = 2\nrepetitions = 2\n"
+                   "processing_rate = 1\ncurve = linear 1 1\n")
                    .ok());
 }
 

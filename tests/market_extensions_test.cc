@@ -270,6 +270,97 @@ TEST(RepriceTest, ValidationErrors) {
             StatusCode::kFailedPrecondition);  // completed
 }
 
+TEST(RepriceTest, MidProcessingKeepsInFlightPromise) {
+  // Repricing while the current repetition is being processed must not
+  // touch the in-flight worker's terms; only later repetitions repay.
+  MarketConfig config;
+  config.worker_arrival_rate = 50.0;
+  config.seed = 40;
+  config.record_trace = false;
+  MarketSimulator market(config);
+  TaskSpec spec;
+  spec.price_per_repetition = 2;
+  spec.repetitions = 2;
+  spec.on_hold_rate = 5.0;
+  spec.processing_rate = 0.5;  // long processing: easy to catch in flight
+  const TaskId id = *market.PostTask(spec);
+  bool repriced = false;
+  for (int step = 0; step < 400 && !repriced; ++step) {
+    market.RunUntil(market.now() + 0.02);
+    const auto progress = market.GetProgress(id);
+    ASSERT_TRUE(progress.ok());
+    if (progress->repetitions.size() == 1 &&
+        progress->repetitions[0].completed_time == 0.0) {
+      ASSERT_TRUE(market.Reprice(id, 7, 9.0).ok());  // mid-processing
+      repriced = true;
+    }
+  }
+  ASSERT_TRUE(repriced);
+  ASSERT_TRUE(market.RunToCompletion().ok());
+  const TaskOutcome outcome = *market.GetOutcome(id);
+  ASSERT_EQ(outcome.repetitions.size(), 2u);
+  EXPECT_EQ(outcome.repetitions[0].price, 2);  // promise kept
+  EXPECT_EQ(outcome.repetitions[1].price, 7);
+  EXPECT_EQ(market.TotalSpent(), 9);
+}
+
+TEST(RepriceTest, JustAbandonedSlotTakesNewTerms) {
+  // A repetition whose attempt was just abandoned is back on hold: a
+  // reprice right then governs the slot's re-exposure, and the repetition
+  // that finally answers carries the new price.
+  MarketConfig config;
+  config.worker_arrival_rate = 50.0;
+  config.abandon_prob = 0.6;
+  config.abandon_hold_rate = 2.0;
+  config.seed = 41;
+  config.record_trace = false;
+  MarketSimulator market(config);
+  TaskSpec spec;
+  spec.price_per_repetition = 2;
+  spec.repetitions = 2;
+  spec.on_hold_rate = 5.0;
+  spec.processing_rate = 2.0;
+  const TaskId id = *market.PostTask(spec);
+  double reprice_time = -1.0;
+  for (int step = 0; step < 400 && reprice_time < 0.0; ++step) {
+    market.RunUntil(market.now() + 0.02);
+    const auto progress = market.GetProgress(id);
+    ASSERT_TRUE(progress.ok());
+    if (progress->completed_time == 0.0 && progress->abandoned_attempts > 0 &&
+        market.OnHoldSince(id).ok()) {
+      ASSERT_TRUE(market.Reprice(id, 7, 9.0).ok());  // just-abandoned slot
+      reprice_time = market.now();
+    }
+  }
+  ASSERT_GE(reprice_time, 0.0) << "seed produced no mid-job abandonment";
+  ASSERT_TRUE(market.RunToCompletion().ok());
+  const TaskOutcome outcome = *market.GetOutcome(id);
+  ASSERT_EQ(outcome.repetitions.size(), 2u);
+  long expected_spend = 0;
+  for (const RepetitionOutcome& rep : outcome.repetitions) {
+    EXPECT_EQ(rep.price, rep.accepted_time > reprice_time ? 7 : 2);
+    expected_spend += rep.price;
+  }
+  EXPECT_EQ(market.TotalSpent(), expected_spend);
+}
+
+TEST(RepriceTest, AfterCompletionFailsPrecondition) {
+  MarketConfig config;
+  config.worker_arrival_rate = 50.0;
+  config.seed = 42;
+  config.record_trace = false;
+  MarketSimulator market(config);
+  TaskSpec spec;
+  spec.price_per_repetition = 1;
+  spec.repetitions = 1;
+  spec.on_hold_rate = 5.0;
+  spec.processing_rate = 5.0;
+  const TaskId id = *market.PostTask(spec);
+  ASSERT_TRUE(market.RunToCompletion().ok());
+  EXPECT_EQ(market.Reprice(id, 3, 6.0).code(),
+            StatusCode::kFailedPrecondition);
+}
+
 TEST(RepriceTest, TrueCurveDrivesRepriceRate) {
   MarketConfig config;
   config.worker_arrival_rate = 50.0;

@@ -69,27 +69,40 @@ std::string FlagValue(int argc, char** argv, const std::string& flag,
   return fallback;
 }
 
+/// The problem the tuners should solve: abandonment-corrected when the spec
+/// declares a fault model, the spec's own problem otherwise.
+htune::TuningProblem TunedProblem(const htune::JobSpec& spec) {
+  return htune::ProblemWithAbandonment(
+      spec.problem, {spec.abandon_prob, spec.abandon_hold_rate});
+}
+
 int Plan(const htune::JobSpec& spec, const std::string& allocator_name) {
   const auto allocator = MakeAllocator(allocator_name);
   if (allocator == nullptr) {
     std::fprintf(stderr, "unknown allocator '%s'\n", allocator_name.c_str());
     return 2;
   }
-  const auto alloc = allocator->Allocate(spec.problem);
+  const htune::TuningProblem problem = TunedProblem(spec);
+  const auto alloc = allocator->Allocate(problem);
   if (!alloc.ok()) {
     std::fprintf(stderr, "%s\n", alloc.status().ToString().c_str());
     return 1;
   }
   std::printf("allocator : %s\n", allocator->Name().c_str());
+  if (spec.abandon_prob > 0.0) {
+    std::printf("fault model: abandon_prob %.3f, hold rate %.3f "
+                "(rates renewal-corrected)\n",
+                spec.abandon_prob, spec.abandon_hold_rate);
+  }
   std::printf("allocation: %s\n", alloc->ToString().c_str());
   std::printf("cost      : %ld of %ld budget units\n", alloc->TotalCost(),
-              spec.problem.budget);
+              problem.budget);
   std::printf("E[phase-1 latency of the job]: %.4f\n",
-              htune::ExpectedPhase1Latency(spec.problem, *alloc));
+              htune::ExpectedPhase1Latency(problem, *alloc));
   const auto per_group =
-      htune::ExpectedPhase1GroupLatencies(spec.problem, *alloc);
-  for (size_t g = 0; g < spec.problem.groups.size(); ++g) {
-    const htune::TaskGroup& group = spec.problem.groups[g];
+      htune::ExpectedPhase1GroupLatencies(problem, *alloc);
+  for (size_t g = 0; g < problem.groups.size(); ++g) {
+    const htune::TaskGroup& group = problem.groups[g];
     std::printf(
         "  %-24s E[phase-1] %.4f + E[phase-2] %.4f per task\n",
         group.name.c_str(), per_group[g],
@@ -100,18 +113,19 @@ int Plan(const htune::JobSpec& spec, const std::string& allocator_name) {
 
 int Deadline(const htune::JobSpec& spec, double deadline,
              const std::string& objective_name, double confidence) {
+  const htune::TuningProblem problem = TunedProblem(spec);
   htune::StatusOr<htune::DeadlinePlan> plan =
       htune::InvalidArgumentError("unset");
   std::string describes;
   if (confidence > 0.0) {
-    plan = htune::SolveQuantileDeadline(spec.problem, deadline, confidence);
+    plan = htune::SolveQuantileDeadline(problem, deadline, confidence);
     describes = "P(job done)";
   } else if (objective_name == "ph1") {
-    plan = htune::SolveDeadline(spec.problem, deadline,
+    plan = htune::SolveDeadline(problem, deadline,
                                 htune::DeadlineObjective::kPhase1Sum);
     describes = "E[phase-1 sum]";
   } else if (objective_name == "most-difficult") {
-    plan = htune::SolveDeadline(spec.problem, deadline,
+    plan = htune::SolveDeadline(problem, deadline,
                                 htune::DeadlineObjective::kMostDifficult);
     describes = "E[most difficult task]";
   } else {
@@ -139,7 +153,9 @@ int Simulate(const htune::JobSpec& spec, const std::string& allocator_name,
     std::fprintf(stderr, "unknown allocator '%s'\n", allocator_name.c_str());
     return 2;
   }
-  const auto alloc = allocator->Allocate(spec.problem);
+  // Tune against the corrected rates, but post with the raw curves: the
+  // market applies abandonment itself.
+  const auto alloc = allocator->Allocate(TunedProblem(spec));
   if (!alloc.ok()) {
     std::fprintf(stderr, "%s\n", alloc.status().ToString().c_str());
     return 1;
@@ -149,6 +165,8 @@ int Simulate(const htune::JobSpec& spec, const std::string& allocator_name,
     htune::MarketConfig config;
     config.worker_arrival_rate = spec.arrival_rate;
     config.worker_error_prob = spec.worker_error_prob;
+    config.abandon_prob = spec.abandon_prob;
+    config.abandon_hold_rate = spec.abandon_hold_rate;
     config.seed = spec.seed + static_cast<uint64_t>(r);
     config.record_trace = false;
     htune::MarketSimulator market(config);
