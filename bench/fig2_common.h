@@ -14,7 +14,6 @@
 
 #include "bench/report.h"
 #include "common/check.h"
-#include "rng/random.h"
 #include "tuning/allocator.h"
 #include "tuning/evaluator.h"
 #include "tuning/problem.h"
@@ -58,9 +57,9 @@ inline void RunFig2Sweep(const Fig2Config& config) {
       for (const BudgetAllocator* strategy : config.strategies) {
         const auto alloc = strategy->Allocate(problem);
         HTUNE_CHECK(alloc.ok());
-        Random rng(static_cast<uint64_t>(budget) * 131 + 7);
-        row.push_back(
-            MonteCarloOverallLatency(problem, *alloc, config.mc_trials, rng));
+        row.push_back(ParallelMonteCarloOverallLatency(
+            problem, *alloc, config.mc_trials,
+            static_cast<uint64_t>(budget) * 131 + 7));
         phase1_row.push_back(ExpectedPhase1Latency(problem, *alloc));
       }
       row.insert(row.end(), phase1_row.begin(), phase1_row.end());

@@ -3,13 +3,17 @@
 // interactively, plus market simulator event throughput.
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include <benchmark/benchmark.h>
 
+#include "common/parallel.h"
 #include "market/simulator.h"
+#include "model/latency_cache.h"
 #include "spec/job_spec.h"
 #include "stats/kaplan_meier.h"
+#include "tuning/evaluator.h"
 #include "tuning/quantile.h"
 #include "model/distributions.h"
 #include "model/hypoexponential.h"
@@ -94,6 +98,135 @@ void BM_HeterogeneousAllocator(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_HeterogeneousAllocator)->Arg(1000)->Arg(5000)
+    ->Unit(benchmark::kMillisecond);
+
+// 16 distinct group shapes (tasks x repetitions cross product) replicated
+// `copies` times each — 64 groups at copies=4, 256 at copies=16. With
+// `clone_curves=false` every group shares one curve object, so the global
+// latency cache dedupes the quadrature kernel across copies; with
+// `clone_curves=true` each group carries its own deep copy, which defeats
+// cross-group sharing and reproduces the pre-cache per-group cost.
+TuningProblem ManyGroupProblem(int copies, bool clone_curves) {
+  const std::shared_ptr<const PriceRateCurve> shared_curve = BenchCurve();
+  TuningProblem problem;
+  long unit_cost_sum = 0;
+  for (int c = 0; c < copies; ++c) {
+    for (const int tasks : {20, 30, 40, 50}) {
+      for (const int reps : {2, 3, 4, 5}) {
+        TaskGroup g;
+        g.name = "g" + std::to_string(problem.groups.size());
+        g.num_tasks = tasks;
+        g.repetitions = reps;
+        g.processing_rate = 2.0;
+        g.curve = clone_curves
+                      ? std::shared_ptr<const PriceRateCurve>(
+                            shared_curve->Clone())
+                      : shared_curve;
+        unit_cost_sum += tasks * reps;
+        problem.groups.push_back(std::move(g));
+      }
+    }
+  }
+  // Minimum spend plus a fixed spare so the DP depth (and therefore the
+  // price range the kernels are evaluated over) is the same at every size.
+  problem.budget = unit_cost_sum + 2000;
+  return problem;
+}
+
+// End-to-end cold solve: the cache is cleared outside the timed region, so
+// each iteration pays the full quadrature bill once per distinct
+// (shape, price) — copies of a shape share entries.
+void BM_RepetitionAllocatorManyGroups(benchmark::State& state) {
+  const TuningProblem problem =
+      ManyGroupProblem(static_cast<int>(state.range(0)),
+                       /*clone_curves=*/false);
+  const RepetitionAllocator tuner;
+  for (auto _ : state) {
+    state.PauseTiming();
+    GlobalLatencyCache().Clear();
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(tuner.SolvePrices(problem));
+  }
+  state.counters["groups"] =
+      static_cast<double>(problem.groups.size());
+}
+BENCHMARK(BM_RepetitionAllocatorManyGroups)->Arg(4)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+// Same instance but with per-group cloned curves: distinct curve identities
+// keep the cache from sharing kernel results across the copies, matching
+// the pre-cache behavior where every group recomputed its own table.
+void BM_RepetitionAllocatorManyGroupsBaseline(benchmark::State& state) {
+  const TuningProblem problem =
+      ManyGroupProblem(static_cast<int>(state.range(0)),
+                       /*clone_curves=*/true);
+  const RepetitionAllocator tuner;
+  for (auto _ : state) {
+    state.PauseTiming();
+    GlobalLatencyCache().Clear();
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(tuner.SolvePrices(problem));
+  }
+  state.counters["groups"] =
+      static_cast<double>(problem.groups.size());
+}
+BENCHMARK(BM_RepetitionAllocatorManyGroupsBaseline)->Arg(4)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_HeterogeneousAllocatorManyGroups(benchmark::State& state) {
+  const TuningProblem problem =
+      ManyGroupProblem(static_cast<int>(state.range(0)),
+                       /*clone_curves=*/false);
+  const HeterogeneousAllocator tuner;
+  for (auto _ : state) {
+    state.PauseTiming();
+    GlobalLatencyCache().Clear();
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(tuner.SolvePrices(problem));
+  }
+  state.counters["groups"] =
+      static_cast<double>(problem.groups.size());
+}
+BENCHMARK(BM_HeterogeneousAllocatorManyGroups)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+// Warm-path cost of one memoized kernel lookup.
+void BM_LatencyCacheHit(benchmark::State& state) {
+  const auto curve = BenchCurve();
+  GroupShape shape;
+  shape.num_tasks = 50;
+  shape.repetitions = 3;
+  GlobalLatencyCache().Phase1(shape, curve, 2);  // warm the entry
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GlobalLatencyCache().Phase1(shape, curve, 2));
+  }
+}
+BENCHMARK(BM_LatencyCacheHit);
+
+// Fork/join overhead of an n-index region with a trivial body.
+void BM_ParallelForOverhead(benchmark::State& state) {
+  std::vector<double> slots(static_cast<size_t>(state.range(0)), 0.0);
+  for (auto _ : state) {
+    ParallelFor(slots.size(), [&](size_t i) {
+      slots[i] += 1.0;
+    });
+    benchmark::DoNotOptimize(slots.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ParallelForOverhead)->Arg(64)->Arg(4096);
+
+void BM_ParallelMonteCarlo(benchmark::State& state) {
+  const TuningProblem problem = BenchProblem(2000);
+  const RepetitionAllocator tuner;
+  const auto alloc = tuner.Allocate(problem);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ParallelMonteCarloOverallLatency(
+        problem, *alloc, static_cast<int>(state.range(0)), 12345));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ParallelMonteCarlo)->Arg(400)
     ->Unit(benchmark::kMillisecond);
 
 void BM_MarketThroughput(benchmark::State& state) {

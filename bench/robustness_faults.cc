@@ -12,6 +12,7 @@
 
 #include "bench/report.h"
 #include "common/check.h"
+#include "common/parallel.h"
 #include "control/adaptive_retuner.h"
 #include "control/fault_tolerant_executor.h"
 #include "crowddb/executor.h"
@@ -69,54 +70,78 @@ int main() {
               "adaptive", "fault-tol", "ft spend", "ft acc", "stragglers",
               "escalated");
   for (const double p : {0.0, 0.1, 0.2, 0.3, 0.4, 0.5}) {
+    // One replication = one parallel job (its own market instances, seeded
+    // by r exactly as the serial loop was); stats accumulate serially in r
+    // order below, so the report is identical for any thread count.
+    struct SweepResult {
+      double static_lat = 0.0;
+      double adaptive_lat = 0.0;
+      double ft_lat = 0.0;
+      double ft_spent = 0.0;
+      double ft_acc = 0.0;
+      double ft_stragglers = 0.0;
+      double ft_escalations = 0.0;
+    };
+    const std::vector<SweepResult> runs =
+        htune::ParallelMap<SweepResult>(kRuns, [&](size_t r) {
+          SweepResult out;
+          for (const int mode : {0, 1, 2}) {  // static, adaptive, fault-tol
+            htune::MarketConfig market_config;
+            market_config.worker_arrival_rate = 200.0;
+            market_config.worker_error_prob = 0.25;
+            market_config.abandon_prob = p;
+            market_config.abandon_hold_rate = kHoldRate;
+            market_config.seed = 31000 + static_cast<uint64_t>(r);
+            market_config.record_trace = false;
+            htune::MarketSimulator market(market_config);
+
+            const htune::TuningProblem problem =
+                MakeProblem(mode == 2 ? kPlanBudget : kBudget);
+            const std::vector<htune::QuestionSpec> questions(
+                static_cast<size_t>(problem.TotalTasks()));
+
+            if (mode == 0) {
+              const auto alloc = allocator.Allocate(problem);
+              HTUNE_CHECK(alloc.ok());
+              const auto result =
+                  htune::ExecuteJob(market, problem, *alloc, questions);
+              HTUNE_CHECK(result.ok());
+              out.static_lat = result->latency;
+            } else if (mode == 1) {
+              htune::RetunerConfig config;
+              config.review_interval = 0.25;
+              const htune::AdaptiveRetuner runner(&allocator, config);
+              const auto report = runner.Run(market, problem, questions);
+              HTUNE_CHECK(report.ok());
+              out.adaptive_lat = report->latency;
+            } else {
+              htune::FaultTolerantConfig config;
+              config.review_interval = 0.25;
+              config.straggler_quantile = 0.9;
+              config.budget = kBudget;
+              config.abandonment = {p, kHoldRate};
+              const htune::FaultTolerantExecutor runner(&allocator, config);
+              const auto report = runner.Run(market, problem, questions);
+              HTUNE_CHECK(report.ok());
+              out.ft_lat = report->latency;
+              out.ft_spent = static_cast<double>(report->spent);
+              out.ft_acc = MajorityAccuracy(report->answers);
+              out.ft_stragglers = static_cast<double>(report->stragglers);
+              out.ft_escalations = static_cast<double>(report->escalations);
+            }
+          }
+          return out;
+        });
     htune::RunningStats static_lat, adaptive_lat, ft_lat, ft_spent, ft_acc,
         ft_stragglers, ft_escalations;
-    for (int r = 0; r < kRuns; ++r) {
-      for (const int mode : {0, 1, 2}) {  // static, adaptive, fault-tolerant
-        htune::MarketConfig market_config;
-        market_config.worker_arrival_rate = 200.0;
-        market_config.worker_error_prob = 0.25;
-        market_config.abandon_prob = p;
-        market_config.abandon_hold_rate = kHoldRate;
-        market_config.seed = 31000 + static_cast<uint64_t>(r);
-        market_config.record_trace = false;
-        htune::MarketSimulator market(market_config);
-
-        const htune::TuningProblem problem =
-            MakeProblem(mode == 2 ? kPlanBudget : kBudget);
-        const std::vector<htune::QuestionSpec> questions(
-            static_cast<size_t>(problem.TotalTasks()));
-
-        if (mode == 0) {
-          const auto alloc = allocator.Allocate(problem);
-          HTUNE_CHECK(alloc.ok());
-          const auto result =
-              htune::ExecuteJob(market, problem, *alloc, questions);
-          HTUNE_CHECK(result.ok());
-          static_lat.Add(result->latency);
-        } else if (mode == 1) {
-          htune::RetunerConfig config;
-          config.review_interval = 0.25;
-          const htune::AdaptiveRetuner runner(&allocator, config);
-          const auto report = runner.Run(market, problem, questions);
-          HTUNE_CHECK(report.ok());
-          adaptive_lat.Add(report->latency);
-        } else {
-          htune::FaultTolerantConfig config;
-          config.review_interval = 0.25;
-          config.straggler_quantile = 0.9;
-          config.budget = kBudget;
-          config.abandonment = {p, kHoldRate};
-          const htune::FaultTolerantExecutor runner(&allocator, config);
-          const auto report = runner.Run(market, problem, questions);
-          HTUNE_CHECK(report.ok());
-          ft_lat.Add(report->latency);
-          ft_spent.Add(static_cast<double>(report->spent));
-          ft_acc.Add(MajorityAccuracy(report->answers));
-          ft_stragglers.Add(static_cast<double>(report->stragglers));
-          ft_escalations.Add(static_cast<double>(report->escalations));
-        }
-      }
+    for (const SweepResult& run : runs) {
+      static_lat.Add(run.static_lat);
+      adaptive_lat.Add(run.adaptive_lat);
+      ft_lat.Add(run.ft_lat);
+      ft_spent.Add(run.ft_spent);
+      ft_acc.Add(run.ft_acc);
+      ft_stragglers.Add(run.ft_stragglers);
+      ft_escalations.Add(run.ft_escalations);
     }
     std::printf("%8.2f %12.3f %12.3f %12.3f %10.1f %10.3f %10.2f %10.2f\n",
                 p, static_lat.Mean(), adaptive_lat.Mean(), ft_lat.Mean(),
@@ -129,8 +154,8 @@ int main() {
   std::printf("%12s %12s %12s %10s\n", "strategy", "latency", "spend", "acc");
   const char* names[] = {"static", "adaptive", "fault-tol"};
   for (const int mode : {0, 1, 2}) {
-    htune::RunningStats lat, spent, acc;
-    for (int r = 0; r < kRuns; ++r) {
+    const std::vector<RunResult> runs = htune::ParallelMap<RunResult>(
+        kRuns, [&](size_t r) {
       htune::FaultWindow outage;
       outage.start = 1.5;
       outage.end = 4.5;
@@ -193,6 +218,10 @@ int main() {
         result = {run->latency, static_cast<double>(run->spent),
                   MajorityAccuracy(run->answers)};
       }
+      return result;
+    });
+    htune::RunningStats lat, spent, acc;
+    for (const RunResult& result : runs) {
       lat.Add(result.latency);
       spent.Add(result.spent);
       acc.Add(result.accuracy);

@@ -1,0 +1,173 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "common/check.h"
+
+namespace htune {
+
+namespace {
+
+/// One dynamic-scheduling parallel region. Helper tasks enqueued on the pool
+/// and the calling thread all pull chunks off `next` until the index space
+/// is exhausted; `done` counts finished indices so the caller can wait out
+/// chunks still running on workers after it runs dry. Held by shared_ptr so
+/// helper tasks that wake after the region completed find valid (drained)
+/// state and return immediately.
+struct ForRegion {
+  const std::function<void(size_t)>* body = nullptr;
+  size_t n = 0;
+  size_t chunk = 1;
+  std::atomic<size_t> next{0};
+  std::mutex mu;
+  std::condition_variable done_cv;
+  size_t done = 0;  // guarded by mu
+  std::exception_ptr error;  // first failure; guarded by mu
+
+  void RunChunks() {
+    while (true) {
+      const size_t start = next.fetch_add(chunk, std::memory_order_relaxed);
+      if (start >= n) return;
+      const size_t end = std::min(start + chunk, n);
+      std::exception_ptr caught;
+      try {
+        for (size_t i = start; i < end; ++i) {
+          (*body)(i);
+        }
+      } catch (...) {
+        caught = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      if (caught && !error) error = caught;
+      done += end - start;
+      if (done == n) done_cv.notify_all();
+    }
+  }
+};
+
+}  // namespace
+
+struct ThreadPool::Impl {
+  std::mutex mu;
+  std::condition_variable work_cv;
+  std::deque<std::function<void()>> queue;
+  bool stopping = false;
+  std::vector<std::thread> workers;
+
+  void WorkerLoop() {
+    while (true) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        work_cv.wait(lock, [this] { return stopping || !queue.empty(); });
+        if (queue.empty()) return;  // stopping and drained
+        task = std::move(queue.front());
+        queue.pop_front();
+      }
+      task();
+    }
+  }
+
+  void Enqueue(std::function<void()> task) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      queue.push_back(std::move(task));
+    }
+    work_cv.notify_one();
+  }
+};
+
+ThreadPool::ThreadPool(int threads)
+    : impl_(std::make_unique<Impl>()), threads_(threads) {
+  HTUNE_CHECK_GE(threads, 1);
+  impl_->workers.reserve(static_cast<size_t>(threads - 1));
+  for (int i = 0; i < threads - 1; ++i) {
+    impl_->workers.emplace_back([impl = impl_.get()] { impl->WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->stopping = true;
+  }
+  impl_->work_cv.notify_all();
+  for (std::thread& worker : impl_->workers) {
+    worker.join();
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n,
+                             const std::function<void(size_t)>& body) {
+  if (n == 0) return;
+  if (threads_ <= 1 || n == 1) {
+    for (size_t i = 0; i < n; ++i) {
+      body(i);
+    }
+    return;
+  }
+
+  auto region = std::make_shared<ForRegion>();
+  region->body = &body;
+  region->n = n;
+  // Small chunks keep the expensive-kernel case (quadrature per index)
+  // balanced; the cap bounds scheduling overhead for huge cheap loops.
+  region->chunk =
+      std::max<size_t>(1, n / (static_cast<size_t>(threads_) * 8));
+
+  const size_t helpers =
+      std::min<size_t>(static_cast<size_t>(threads_ - 1),
+                       (n + region->chunk - 1) / region->chunk);
+  for (size_t h = 0; h < helpers; ++h) {
+    impl_->Enqueue([region] { region->RunChunks(); });
+  }
+  region->RunChunks();
+
+  std::unique_lock<std::mutex> lock(region->mu);
+  region->done_cv.wait(lock, [&region] { return region->done == region->n; });
+  if (region->error) std::rethrow_exception(region->error);
+}
+
+int DefaultThreadCount() {
+  if (const char* env = std::getenv("HTUNE_THREADS")) {
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && parsed >= 1 && parsed <= 1024) {
+      return static_cast<int>(parsed);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+namespace {
+ThreadPool* g_default_override = nullptr;
+}  // namespace
+
+ThreadPool& DefaultThreadPool() {
+  if (g_default_override != nullptr) return *g_default_override;
+  static ThreadPool pool(DefaultThreadCount());
+  return pool;
+}
+
+ScopedDefaultThreadPool::ScopedDefaultThreadPool(ThreadPool* pool)
+    : previous_(g_default_override) {
+  g_default_override = pool;
+}
+
+ScopedDefaultThreadPool::~ScopedDefaultThreadPool() {
+  g_default_override = previous_;
+}
+
+void ParallelFor(size_t n, const std::function<void(size_t)>& body) {
+  DefaultThreadPool().ParallelFor(n, body);
+}
+
+}  // namespace htune

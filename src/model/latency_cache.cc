@@ -1,0 +1,68 @@
+#include "model/latency_cache.h"
+
+#include "common/check.h"
+
+namespace htune {
+
+double LatencyKernelCache::Phase1(
+    const GroupShape& shape,
+    const std::shared_ptr<const PriceRateCurve>& curve, int price) {
+  HTUNE_CHECK(curve != nullptr);
+  HTUNE_CHECK_GE(price, 1);
+  const Key key{shape.num_tasks, shape.repetitions, curve.get(), price};
+  Shard& shard = shards_[KeyHash()(key) % kShards];
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  // Pin before the entry becomes visible so a hit always refers to a live
+  // curve (and therefore to THIS curve: live objects have unique addresses).
+  PinCurve(curve);
+  // Quadrature runs outside the shard lock; see header for the benign race.
+  const double value =
+      ExpectedGroupOnHoldLatency(shape, *curve, static_cast<double>(price));
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.map.emplace(key, value).first->second;
+}
+
+void LatencyKernelCache::PinCurve(
+    const std::shared_ptr<const PriceRateCurve>& curve) {
+  std::lock_guard<std::mutex> lock(pin_mu_);
+  pins_.emplace(curve.get(), curve);
+}
+
+void LatencyKernelCache::Clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.map.clear();
+  }
+  {
+    std::lock_guard<std::mutex> lock(pin_mu_);
+    pins_.clear();
+  }
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+}
+
+LatencyCacheStats LatencyKernelCache::Stats() const {
+  LatencyCacheStats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    stats.entries += shard.map.size();
+  }
+  return stats;
+}
+
+LatencyKernelCache& GlobalLatencyCache() {
+  static LatencyKernelCache cache;
+  return cache;
+}
+
+}  // namespace htune

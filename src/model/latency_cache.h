@@ -1,0 +1,106 @@
+#ifndef HTUNE_MODEL_LATENCY_CACHE_H_
+#define HTUNE_MODEL_LATENCY_CACHE_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "model/latency_model.h"
+#include "model/price_rate_curve.h"
+
+namespace htune {
+
+struct LatencyCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t entries = 0;
+};
+
+/// Process-wide memo cache for ExpectedGroupOnHoldLatency — the adaptive
+/// quadrature kernel every tuner inner loop reduces to. Keyed on
+/// (num_tasks, repetitions, curve identity, price); the group's
+/// processing_rate is deliberately NOT part of the key because the phase-1
+/// on-hold expectation does not depend on it, so groups that differ only in
+/// difficulty (every Fig. 5 sweep) share entries. Duplicate task groups
+/// across allocator calls, sweep points, and Monte Carlo replications dedupe
+/// their quadrature work here.
+///
+/// Thread safety: sharded mutexes; safe for concurrent GetOrCompute from
+/// pool workers. Misses compute outside the shard lock, so a racing pair may
+/// both evaluate the kernel — the integrand is a pure deterministic function
+/// of the key, so both arrive at the same bits and either insert wins.
+///
+/// Curve identity is the curve object's address. To make that sound, the
+/// cache pins a shared_ptr to every curve it has entries for: a pinned curve
+/// can never be destroyed, so its address can never be recycled into a
+/// colliding key by a later allocation. Clear() drops entries and pins.
+class LatencyKernelCache {
+ public:
+  /// Cached E[max over num_tasks of Erlang(repetitions, curve(price))].
+  /// `shape.processing_rate` is ignored (see class comment).
+  double Phase1(const GroupShape& shape,
+                const std::shared_ptr<const PriceRateCurve>& curve,
+                int price);
+
+  /// Drops every entry, pin, and counter.
+  void Clear();
+
+  LatencyCacheStats Stats() const;
+
+ private:
+  struct Key {
+    int num_tasks;
+    int repetitions;
+    const PriceRateCurve* curve;
+    int price;
+
+    bool operator==(const Key& other) const {
+      return num_tasks == other.num_tasks &&
+             repetitions == other.repetitions && curve == other.curve &&
+             price == other.price;
+    }
+  };
+
+  struct KeyHash {
+    size_t operator()(const Key& key) const {
+      // SplitMix64-style finalization over the packed fields.
+      uint64_t h = static_cast<uint64_t>(key.num_tasks) * 0x9e3779b97f4a7c15ULL;
+      h ^= static_cast<uint64_t>(key.repetitions) + 0x9e3779b97f4a7c15ULL +
+           (h << 6) + (h >> 2);
+      h ^= reinterpret_cast<uintptr_t>(key.curve) + 0x9e3779b97f4a7c15ULL +
+           (h << 6) + (h >> 2);
+      h ^= static_cast<uint64_t>(key.price) + 0x9e3779b97f4a7c15ULL +
+           (h << 6) + (h >> 2);
+      h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+      return static_cast<size_t>(h ^ (h >> 31));
+    }
+  };
+
+  static constexpr size_t kShards = 16;
+
+  struct Shard {
+    std::mutex mu;
+    std::unordered_map<Key, double, KeyHash> map;
+  };
+
+  void PinCurve(const std::shared_ptr<const PriceRateCurve>& curve);
+
+  mutable std::array<Shard, kShards> shards_;
+  mutable std::mutex pin_mu_;
+  std::unordered_map<const PriceRateCurve*,
+                     std::shared_ptr<const PriceRateCurve>>
+      pins_;
+  mutable std::atomic<uint64_t> hits_{0};
+  mutable std::atomic<uint64_t> misses_{0};
+};
+
+/// The process-wide cache instance shared by every GroupLatencyTable.
+LatencyKernelCache& GlobalLatencyCache();
+
+}  // namespace htune
+
+#endif  // HTUNE_MODEL_LATENCY_CACHE_H_

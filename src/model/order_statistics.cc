@@ -9,6 +9,20 @@ namespace htune {
 
 double HarmonicNumber(int n) {
   HTUNE_CHECK_GE(n, 0);
+  // Above the threshold, the Euler-Maclaurin expansion
+  //   H_n = ln n + gamma + 1/(2n) - 1/(12n^2) + 1/(120n^4) - O(1/n^6)
+  // replaces the O(n) summation loop (this sits on every
+  // ExpectedMaxExponential call). The truncation error is bounded by the
+  // next term, 1/(252 n^6) < 6e-14 at n = 65 — comfortably inside the
+  // 1e-12 agreement with the exact sum that the tests pin.
+  constexpr int kExactThreshold = 64;
+  constexpr double kEulerGamma = 0.57721566490153286061;
+  if (n > kExactThreshold) {
+    const double nn = static_cast<double>(n);
+    const double inv2 = 1.0 / (nn * nn);
+    return std::log(nn) + kEulerGamma + 0.5 / nn - inv2 / 12.0 +
+           inv2 * inv2 / 120.0;
+  }
   double h = 0.0;
   for (int i = 1; i <= n; ++i) {
     h += 1.0 / static_cast<double>(i);

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/parallel.h"
 #include "tuning/group_latency_table.h"
 #include "tuning/repetition_allocator.h"
 
@@ -30,18 +31,31 @@ double Evaluate(const std::vector<GroupLatencyTable>& tables,
 }
 
 // kMostDifficult decomposes per group: every group independently needs the
-// cheapest price whose phase-1 + phase-2 is within the deadline.
+// cheapest price whose phase-1 + phase-2 is within the deadline. The
+// stopping price is unknown upfront, so instead of prewarming the whole
+// budget band we evaluate doubling windows of prices in parallel and scan
+// each window serially — the same first-feasible price the fully serial
+// scan finds, with wasted kernel work bounded by the final window.
 StatusOr<DeadlinePlan> SolveBottleneck(
     const TuningProblem& problem,
-    const std::vector<GroupLatencyTable>& tables,
+    std::vector<GroupLatencyTable>& tables,
     const std::vector<long>& unit_cost, double deadline) {
   DeadlinePlan plan;
   const size_t n = tables.size();
   plan.prices.assign(n, 1);
   for (size_t i = 0; i < n; ++i) {
     const long max_price = problem.budget / unit_cost[i];
+    int window = std::max(DefaultThreadPool().threads() * 2, 8);
+    int warmed = 0;
     int price = 1;
-    while (tables[i].Phase1(price) + tables[i].Phase2() > deadline) {
+    while (true) {
+      if (price > warmed) {
+        warmed = static_cast<int>(
+            std::min<long>(static_cast<long>(price + window - 1), max_price));
+        tables[i].Prewarm(warmed);
+        window *= 2;
+      }
+      if (tables[i].Phase1(price) + tables[i].Phase2() <= deadline) break;
       if (price >= max_price) {
         return OutOfRangeError(
             "SolveDeadline: deadline unreachable within the budget ceiling "
@@ -69,10 +83,24 @@ StatusOr<DeadlinePlan> SolveBottleneck(
 // deadline.
 StatusOr<DeadlinePlan> SolveSeparable(
     const TuningProblem& problem,
-    const std::vector<GroupLatencyTable>& tables,
+    std::vector<GroupLatencyTable>& tables,
     const std::vector<long>& unit_cost, double deadline) {
   const size_t n = tables.size();
   const long budget = problem.budget;
+
+  // The knapsack touches every price up to budget / u_i for every group:
+  // prewarm the whole band in one parallel fan-out and hoist the tables
+  // flat before the serial DP.
+  std::vector<int> max_price(n);
+  for (size_t i = 0; i < n; ++i) {
+    max_price[i] = static_cast<int>(budget / unit_cost[i]);
+  }
+  PrewarmTables(tables, max_price);
+  std::vector<std::vector<double>> phase1(n);
+  for (size_t i = 0; i < n; ++i) {
+    phase1[i] = tables[i].FlatPhase1(max_price[i]);
+  }
+
   constexpr double kInf = std::numeric_limits<double>::infinity();
   std::vector<double> best(static_cast<size_t>(budget) + 1, kInf);
   best[0] = 0.0;
@@ -81,14 +109,15 @@ StatusOr<DeadlinePlan> SolveSeparable(
 
   for (size_t i = 0; i < n; ++i) {
     std::vector<double> next(static_cast<size_t>(budget) + 1, kInf);
-    const long max_price = budget / unit_cost[i];
+    const long group_max = max_price[i];
+    const std::vector<double>& phase1_i = phase1[i];
     for (long b = 0; b <= budget; ++b) {
       if (best[static_cast<size_t>(b)] == kInf) continue;
-      for (long p = 1; p <= max_price; ++p) {
+      for (long p = 1; p <= group_max; ++p) {
         const long spend = b + unit_cost[i] * p;
         if (spend > budget) break;
-        const double value = best[static_cast<size_t>(b)] +
-                             tables[i].Phase1(static_cast<int>(p));
+        const double value =
+            best[static_cast<size_t>(b)] + phase1_i[static_cast<size_t>(p)];
         if (value < next[static_cast<size_t>(spend)]) {
           next[static_cast<size_t>(spend)] = value;
           choice[i][static_cast<size_t>(spend)] = static_cast<int>(p);

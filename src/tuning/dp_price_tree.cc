@@ -1,0 +1,141 @@
+#include "tuning/dp_price_tree.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+
+namespace htune {
+
+namespace {
+
+size_t CeilLog2(size_t n) {
+  size_t bits = 0;
+  while ((size_t{1} << bits) < n) ++bits;
+  return bits;
+}
+
+}  // namespace
+
+DpPriceTree::DpPriceTree(size_t n, int price,
+                         const std::vector<double>& values)
+    : n_(n) {
+  HTUNE_CHECK_GE(n, size_t{1});
+  HTUNE_CHECK(values.empty() || values.size() == n);
+  nodes_.reserve(2 * n);
+  init_root_ = Build(0, n, price, values);
+}
+
+void DpPriceTree::ReserveUpdates(size_t updates) {
+  nodes_.reserve(nodes_.size() + updates * (CeilLog2(n_) + 1));
+}
+
+int32_t DpPriceTree::Build(size_t lo, size_t hi, int price,
+                           const std::vector<double>& values) {
+  if (hi - lo == 1) {
+    nodes_.push_back(
+        {-1, -1, price, values.empty() ? 0.0 : values[lo]});
+    return static_cast<int32_t>(nodes_.size() - 1);
+  }
+  const size_t mid = lo + (hi - lo) / 2;
+  const int32_t left = Build(lo, mid, price, values);
+  const int32_t right = Build(mid, hi, price, values);
+  Node node;
+  node.left = left;
+  node.right = right;
+  node.value = std::max(nodes_[left].value, nodes_[right].value);
+  nodes_.push_back(node);
+  return static_cast<int32_t>(nodes_.size() - 1);
+}
+
+int DpPriceTree::PriceAt(int32_t root, size_t i) const {
+  HTUNE_CHECK_LT(i, n_);
+  size_t lo = 0;
+  size_t hi = n_;
+  int32_t node = root;
+  while (hi - lo > 1) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (i < mid) {
+      node = nodes_[static_cast<size_t>(node)].left;
+      hi = mid;
+    } else {
+      node = nodes_[static_cast<size_t>(node)].right;
+      lo = mid;
+    }
+  }
+  return nodes_[static_cast<size_t>(node)].price;
+}
+
+double DpPriceTree::MaxValue(int32_t root) const {
+  return nodes_[static_cast<size_t>(root)].value;
+}
+
+double DpPriceTree::MaxValueExcluding(int32_t root, size_t i) const {
+  HTUNE_CHECK_LT(i, n_);
+  double best = -std::numeric_limits<double>::infinity();
+  size_t lo = 0;
+  size_t hi = n_;
+  int32_t node = root;
+  while (hi - lo > 1) {
+    const size_t mid = lo + (hi - lo) / 2;
+    const Node& cur = nodes_[static_cast<size_t>(node)];
+    if (i < mid) {
+      best = std::max(best, nodes_[static_cast<size_t>(cur.right)].value);
+      node = cur.left;
+      hi = mid;
+    } else {
+      best = std::max(best, nodes_[static_cast<size_t>(cur.left)].value);
+      node = cur.right;
+      lo = mid;
+    }
+  }
+  return best;
+}
+
+int32_t DpPriceTree::CopySet(int32_t node, size_t lo, size_t hi, size_t i,
+                             int price, double value) {
+  if (hi - lo == 1) {
+    nodes_.push_back({-1, -1, price, value});
+    return static_cast<int32_t>(nodes_.size() - 1);
+  }
+  const size_t mid = lo + (hi - lo) / 2;
+  // Copy the fields before any push_back can move the arena.
+  const Node cur = nodes_[static_cast<size_t>(node)];
+  Node fresh;
+  if (i < mid) {
+    fresh.left = CopySet(cur.left, lo, mid, i, price, value);
+    fresh.right = cur.right;
+  } else {
+    fresh.left = cur.left;
+    fresh.right = CopySet(cur.right, mid, hi, i, price, value);
+  }
+  fresh.value = std::max(nodes_[static_cast<size_t>(fresh.left)].value,
+                         nodes_[static_cast<size_t>(fresh.right)].value);
+  nodes_.push_back(fresh);
+  return static_cast<int32_t>(nodes_.size() - 1);
+}
+
+int32_t DpPriceTree::WithLeaf(int32_t root, size_t i, int price,
+                              double value) {
+  HTUNE_CHECK_LT(i, n_);
+  return CopySet(root, 0, n_, i, price, value);
+}
+
+void DpPriceTree::Collect(int32_t node, std::vector<int>& out) const {
+  const Node& cur = nodes_[static_cast<size_t>(node)];
+  if (cur.left < 0) {
+    out.push_back(cur.price);
+    return;
+  }
+  Collect(cur.left, out);
+  Collect(cur.right, out);
+}
+
+std::vector<int> DpPriceTree::Prices(int32_t root) const {
+  std::vector<int> out;
+  out.reserve(n_);
+  Collect(root, out);
+  return out;
+}
+
+}  // namespace htune

@@ -4,8 +4,10 @@
 #include <map>
 
 #include "common/check.h"
+#include "common/parallel.h"
 #include "model/hypoexponential.h"
 #include "model/order_statistics.h"
+#include "rng/splitmix64.h"
 
 namespace htune {
 namespace {
@@ -119,16 +121,16 @@ double MostDifficultObjective(const TuningProblem& problem,
 
 namespace {
 
-double MonteCarloMax(const TuningProblem& problem, const Allocation& alloc,
-                     int trials, Random& rng, bool include_processing) {
-  HTUNE_CHECK_GE(trials, 1);
+// Precomputed per-repetition on-hold rates for every task.
+struct TaskRates {
+  std::vector<double> on_hold;
+  double processing;
+  int repetitions;
+};
+
+std::vector<TaskRates> BuildTaskRates(const TuningProblem& problem,
+                                      const Allocation& alloc) {
   HTUNE_CHECK_EQ(alloc.groups.size(), problem.groups.size());
-  // Precompute per-repetition on-hold rates for every task.
-  struct TaskRates {
-    std::vector<double> on_hold;
-    double processing;
-    int repetitions;
-  };
   std::vector<TaskRates> tasks;
   for (size_t i = 0; i < problem.groups.size(); ++i) {
     const TaskGroup& g = problem.groups[i];
@@ -143,21 +145,52 @@ double MonteCarloMax(const TuningProblem& problem, const Allocation& alloc,
       tasks.push_back(std::move(tr));
     }
   }
+  return tasks;
+}
 
+double OneTrialMax(const std::vector<TaskRates>& tasks, Random& rng,
+                   bool include_processing) {
+  double job_latency = 0.0;
+  for (const TaskRates& tr : tasks) {
+    double task_latency = 0.0;
+    for (double rate : tr.on_hold) {
+      task_latency += rng.Exponential(rate);
+    }
+    if (include_processing) {
+      task_latency += rng.Erlang(tr.repetitions, tr.processing);
+    }
+    job_latency = std::max(job_latency, task_latency);
+  }
+  return job_latency;
+}
+
+double MonteCarloMax(const TuningProblem& problem, const Allocation& alloc,
+                     int trials, Random& rng, bool include_processing) {
+  HTUNE_CHECK_GE(trials, 1);
+  const std::vector<TaskRates> tasks = BuildTaskRates(problem, alloc);
   double total = 0.0;
   for (int trial = 0; trial < trials; ++trial) {
-    double job_latency = 0.0;
-    for (const TaskRates& tr : tasks) {
-      double task_latency = 0.0;
-      for (double rate : tr.on_hold) {
-        task_latency += rng.Exponential(rate);
-      }
-      if (include_processing) {
-        task_latency += rng.Erlang(tr.repetitions, tr.processing);
-      }
-      job_latency = std::max(job_latency, task_latency);
-    }
-    total += job_latency;
+    total += OneTrialMax(tasks, rng, include_processing);
+  }
+  return total / static_cast<double>(trials);
+}
+
+double ParallelMonteCarloMax(const TuningProblem& problem,
+                             const Allocation& alloc, int trials,
+                             uint64_t seed, bool include_processing) {
+  HTUNE_CHECK_GE(trials, 1);
+  const std::vector<TaskRates> tasks = BuildTaskRates(problem, alloc);
+  // Each trial draws from its own SplitMix64-derived stream and writes only
+  // its own slot, so the estimate is bitwise-identical for any thread
+  // count; the reduction below runs serially in trial order.
+  std::vector<double> per_trial(static_cast<size_t>(trials), 0.0);
+  ParallelFor(per_trial.size(), [&](size_t trial) {
+    Random rng(SplitMix64(seed + static_cast<uint64_t>(trial)).Next());
+    per_trial[trial] = OneTrialMax(tasks, rng, include_processing);
+  });
+  double total = 0.0;
+  for (double value : per_trial) {
+    total += value;
   }
   return total / static_cast<double>(trials);
 }
@@ -175,6 +208,20 @@ double MonteCarloPhase1Latency(const TuningProblem& problem,
                                Random& rng) {
   return MonteCarloMax(problem, alloc, trials, rng,
                        /*include_processing=*/false);
+}
+
+double ParallelMonteCarloOverallLatency(const TuningProblem& problem,
+                                        const Allocation& alloc, int trials,
+                                        uint64_t seed) {
+  return ParallelMonteCarloMax(problem, alloc, trials, seed,
+                               /*include_processing=*/true);
+}
+
+double ParallelMonteCarloPhase1Latency(const TuningProblem& problem,
+                                       const Allocation& alloc, int trials,
+                                       uint64_t seed) {
+  return ParallelMonteCarloMax(problem, alloc, trials, seed,
+                               /*include_processing=*/false);
 }
 
 }  // namespace htune

@@ -50,6 +50,23 @@ double MonteCarloPhase1Latency(const TuningProblem& problem,
                                const Allocation& alloc, int trials,
                                Random& rng);
 
+/// Parallel Monte Carlo estimate of E[max over all tasks of total latency],
+/// fanning the trials out on the default thread pool. Trial t samples from
+/// an independent stream seeded as SplitMix64(seed + t), and per-trial
+/// results are reduced serially in trial order, so the estimate is
+/// bitwise-identical for any thread count (it differs from the serial
+/// single-stream MonteCarloOverallLatency estimate, which threads one
+/// stream through all trials).
+double ParallelMonteCarloOverallLatency(const TuningProblem& problem,
+                                        const Allocation& alloc, int trials,
+                                        uint64_t seed);
+
+/// Parallel Monte Carlo estimate of E[max over all tasks of phase-1
+/// latency]; same determinism contract as ParallelMonteCarloOverallLatency.
+double ParallelMonteCarloPhase1Latency(const TuningProblem& problem,
+                                       const Allocation& alloc, int trials,
+                                       uint64_t seed);
+
 }  // namespace htune
 
 #endif  // HTUNE_TUNING_EVALUATOR_H_

@@ -1,9 +1,10 @@
 #include "tuning/group_latency_table.h"
 
-#include <cmath>
+#include <utility>
 
 #include "common/check.h"
-#include "model/latency_model.h"
+#include "common/parallel.h"
+#include "model/latency_cache.h"
 
 namespace htune {
 
@@ -15,19 +16,70 @@ GroupLatencyTable::GroupLatencyTable(const TaskGroup& group) : group_(group) {
   phase2_ = static_cast<double>(group_.repetitions) / group_.processing_rate;
 }
 
+void GroupLatencyTable::EnsureCapacity(int max_price) const {
+  const size_t needed = static_cast<size_t>(max_price);
+  if (needed > cache_.size()) {
+    cache_.resize(needed, 0.0);
+    computed_.resize(needed, 0);
+  }
+}
+
+void GroupLatencyTable::FillSlot(int price) const {
+  const size_t index = static_cast<size_t>(price - 1);
+  GroupShape shape{group_.num_tasks, group_.repetitions,
+                   group_.processing_rate};
+  cache_[index] = GlobalLatencyCache().Phase1(shape, group_.curve, price);
+  computed_[index] = 1;
+}
+
 double GroupLatencyTable::Phase1(int price) const {
   HTUNE_CHECK_GE(price, 1);
+  EnsureCapacity(price);
   const size_t index = static_cast<size_t>(price - 1);
-  if (index >= cache_.size()) {
-    cache_.resize(index + 1, std::nan(""));
-  }
-  if (std::isnan(cache_[index])) {
-    GroupShape shape{group_.num_tasks, group_.repetitions,
-                     group_.processing_rate};
-    cache_[index] = ExpectedGroupOnHoldLatency(shape, *group_.curve,
-                                               static_cast<double>(price));
+  if (!computed_[index]) {
+    FillSlot(price);
   }
   return cache_[index];
+}
+
+void GroupLatencyTable::Prewarm(int max_price) {
+  HTUNE_CHECK_GE(max_price, 1);
+  EnsureCapacity(max_price);
+  std::vector<int> missing;
+  for (int price = 1; price <= max_price; ++price) {
+    if (!computed_[static_cast<size_t>(price - 1)]) {
+      missing.push_back(price);
+    }
+  }
+  ParallelFor(missing.size(),
+              [this, &missing](size_t j) { FillSlot(missing[j]); });
+}
+
+std::vector<double> GroupLatencyTable::FlatPhase1(int max_price) const {
+  HTUNE_CHECK_GE(max_price, 1);
+  std::vector<double> flat(static_cast<size_t>(max_price) + 1, 0.0);
+  for (int price = 1; price <= max_price; ++price) {
+    flat[static_cast<size_t>(price)] = Phase1(price);
+  }
+  return flat;
+}
+
+void PrewarmTables(std::vector<GroupLatencyTable>& tables,
+                   const std::vector<int>& max_prices) {
+  HTUNE_CHECK_EQ(tables.size(), max_prices.size());
+  std::vector<std::pair<GroupLatencyTable*, int>> jobs;
+  for (size_t i = 0; i < tables.size(); ++i) {
+    HTUNE_CHECK_GE(max_prices[i], 1);
+    tables[i].EnsureCapacity(max_prices[i]);
+    for (int price = 1; price <= max_prices[i]; ++price) {
+      if (!tables[i].computed_[static_cast<size_t>(price - 1)]) {
+        jobs.emplace_back(&tables[i], price);
+      }
+    }
+  }
+  ParallelFor(jobs.size(), [&jobs](size_t j) {
+    jobs[j].first->FillSlot(jobs[j].second);
+  });
 }
 
 }  // namespace htune

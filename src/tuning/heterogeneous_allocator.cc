@@ -7,6 +7,7 @@
 
 #include "common/check.h"
 #include "tuning/brute_force.h"
+#include "tuning/dp_price_tree.h"
 #include "tuning/group_latency_table.h"
 #include "tuning/repetition_allocator.h"
 
@@ -20,6 +21,20 @@ std::vector<GroupLatencyTable> BuildTables(const TuningProblem& problem) {
     tables.emplace_back(g);
   }
   return tables;
+}
+
+// Fans every price any HA phase can touch (enumeration, greedy bottleneck,
+// the exact RA used for O1*, and the unit DP) out on the pool. The kernel
+// values land in the process-wide cache, so the tables this and every
+// downstream helper rebuilds become pure lookups.
+void PrewarmForProblem(const TuningProblem& problem,
+                       std::vector<GroupLatencyTable>& tables) {
+  std::vector<int> max_price(tables.size());
+  for (size_t i = 0; i < tables.size(); ++i) {
+    max_price[i] = static_cast<int>(
+        problem.budget / problem.groups[i].UnitCost()) + 1;
+  }
+  PrewarmTables(tables, max_price);
 }
 
 ObjectivePoint ObjectivesFromTables(
@@ -127,7 +142,8 @@ double EnumerationBound(const TuningProblem& problem) {
 StatusOr<std::vector<int>> HeterogeneousAllocator::SolvePrices(
     const TuningProblem& problem) const {
   HTUNE_RETURN_IF_ERROR(ValidateProblem(problem));
-  const std::vector<GroupLatencyTable> tables = BuildTables(problem);
+  std::vector<GroupLatencyTable> tables = BuildTables(problem);
+  PrewarmForProblem(problem, tables);
   HTUNE_ASSIGN_OR_RETURN(const ObjectivePoint utopia, UtopiaPoint(problem));
 
   // Exact path: the closeness objective is not separable (O2 is a max), and
@@ -157,43 +173,77 @@ StatusOr<std::vector<int>> HeterogeneousAllocator::SolvePrices(
   }
 
   // Algorithm 3: budget-indexed DP over price vectors, objective = Closeness
-  // to the Utopia point.
+  // to the Utopia point. As in SolvePaperDp, each state is an int32 root
+  // into a persistent price tree — O(spare) state memory, no O(n) copies.
+  // The tree's leaf values carry each group's E[L1] + E[L2], so the O2 max
+  // of a candidate bump is an O(log n) sibling walk instead of an O(n)
+  // rescan, and O1 is maintained incrementally from the marginal gain.
   const long spare = problem.budget - problem.MinimumBudget();
-  std::vector<std::vector<int>> prices_at(
-      static_cast<size_t>(spare) + 1, std::vector<int>(n, 1));
-  std::vector<double> closeness_at(static_cast<size_t>(spare) + 1, 0.0);
-  closeness_at[0] =
-      Closeness(ObjectivesFromTables(tables, prices_at[0]), utopia);
+  std::vector<int> max_price(n);
+  std::vector<std::vector<double>> phase1(n);
+  std::vector<double> phase2(n);
+  std::vector<double> initial_value(n);
+  for (size_t i = 0; i < n; ++i) {
+    max_price[i] = static_cast<int>(1 + spare / unit_cost[i]) + 1;
+    phase1[i] = tables[i].FlatPhase1(max_price[i]);
+    phase2[i] = tables[i].Phase2();
+    initial_value[i] = phase1[i][1] + phase2[i];
+  }
 
-  std::vector<int> scratch(n, 1);
+  DpPriceTree tree(n, /*price=*/1, initial_value);
+  tree.ReserveUpdates(static_cast<size_t>(spare));
+  std::vector<int32_t> root_at(static_cast<size_t>(spare) + 1, tree.root());
+  std::vector<double> o1_at(static_cast<size_t>(spare) + 1, 0.0);
+  std::vector<double> closeness_at(static_cast<size_t>(spare) + 1, 0.0);
+  double base_o1 = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    base_o1 += phase1[i][1];
+  }
+  o1_at[0] = base_o1;
+  closeness_at[0] =
+      Closeness(ObjectivePoint{base_o1, tree.MaxValue(tree.root())}, utopia);
+
   for (long x = 1; x <= spare; ++x) {
     const size_t xi = static_cast<size_t>(x);
     double best = closeness_at[xi - 1];
     size_t best_group = n;  // n = carry previous state
+    int best_price = 0;
+    double best_o1 = o1_at[xi - 1];
+    double best_leaf_value = 0.0;
     for (size_t i = 0; i < n; ++i) {
       if (unit_cost[i] > x) continue;
       const size_t from = static_cast<size_t>(x - unit_cost[i]);
-      scratch = prices_at[from];
-      ++scratch[i];
+      const int p = tree.PriceAt(root_at[from], i);
+      const double next_phase1 = phase1[i][static_cast<size_t>(p) + 1];
+      const double o1_candidate =
+          o1_at[from] -
+          (phase1[i][static_cast<size_t>(p)] - next_phase1);
+      const double leaf_value = next_phase1 + phase2[i];
+      const double o2_candidate =
+          std::max(tree.MaxValueExcluding(root_at[from], i), leaf_value);
       const double candidate =
-          Closeness(ObjectivesFromTables(tables, scratch), utopia);
+          Closeness(ObjectivePoint{o1_candidate, o2_candidate}, utopia);
       // Ties prefer spending (see RepetitionAllocator): zero-gain plateaus
       // of the curve must be crossable.
       if (candidate <= best) {
         best = candidate;
         best_group = i;
+        best_price = p + 1;
+        best_o1 = o1_candidate;
+        best_leaf_value = leaf_value;
       }
     }
     if (best_group == n) {
-      prices_at[xi] = prices_at[xi - 1];
+      root_at[xi] = root_at[xi - 1];
     } else {
       const size_t from = static_cast<size_t>(x - unit_cost[best_group]);
-      prices_at[xi] = prices_at[from];
-      ++prices_at[xi][best_group];
+      root_at[xi] = tree.WithLeaf(root_at[from], best_group, best_price,
+                                  best_leaf_value);
     }
+    o1_at[xi] = best_o1;
     closeness_at[xi] = best;
   }
-  return prices_at[static_cast<size_t>(spare)];
+  return tree.Prices(root_at[static_cast<size_t>(spare)]);
 }
 
 StatusOr<Allocation> HeterogeneousAllocator::Allocate(

@@ -3,6 +3,7 @@
 #include <limits>
 
 #include "common/check.h"
+#include "tuning/dp_price_tree.h"
 #include "tuning/group_latency_table.h"
 
 namespace htune {
@@ -49,12 +50,30 @@ std::vector<int> RepetitionAllocator::SolvePaperDp(
   // Algorithm 2: start every repetition at one unit; the DP state at spare
   // budget x holds the best price vector reachable with x extra units.
   const long spare = problem.budget - problem.MinimumBudget();
-  std::vector<std::vector<int>> prices_at(
-      static_cast<size_t>(spare) + 1, std::vector<int>(n, 1));
+
+  // Group i's price at any state is at most 1 + spare / u_i (every unit step
+  // costs u_i), and the marginal-gain lookup touches one price beyond.
+  // Prewarm that whole band in one parallel fan-out, then hoist the tables
+  // into flat arrays so the serial DP below is pure double indexing.
+  std::vector<int> max_price(n);
+  for (size_t i = 0; i < n; ++i) {
+    max_price[i] = static_cast<int>(1 + spare / unit_cost[i]) + 1;
+  }
+  PrewarmTables(tables, max_price);
+  std::vector<std::vector<double>> phase1(n);
+  for (size_t i = 0; i < n; ++i) {
+    phase1[i] = tables[i].FlatPhase1(max_price[i]);
+  }
+
+  // Each DP state is an int32 root into a persistent price tree plus its
+  // objective value — O(spare) state memory, no per-state vector copies.
+  DpPriceTree tree(n, /*price=*/1, /*values=*/{});
+  tree.ReserveUpdates(static_cast<size_t>(spare));
+  std::vector<int32_t> root_at(static_cast<size_t>(spare) + 1, tree.root());
   std::vector<double> objective_at(static_cast<size_t>(spare) + 1, 0.0);
   double base = 0.0;
   for (size_t i = 0; i < n; ++i) {
-    base += tables[i].Phase1(1);
+    base += phase1[i][1];
   }
   objective_at[0] = base;
 
@@ -62,12 +81,14 @@ std::vector<int> RepetitionAllocator::SolvePaperDp(
     // Default: carry the previous state (one unit left unspent).
     double best = objective_at[static_cast<size_t>(x - 1)];
     size_t best_group = n;  // n = carry
+    int best_price = 0;
     for (size_t i = 0; i < n; ++i) {
       if (unit_cost[i] > x) continue;
       const size_t from = static_cast<size_t>(x - unit_cost[i]);
-      const int p = prices_at[from][i];
+      const int p = tree.PriceAt(root_at[from], i);
       const double candidate =
-          objective_at[from] - tables[i].Phase1Gain(p);
+          objective_at[from] - (phase1[i][static_cast<size_t>(p)] -
+                                phase1[i][static_cast<size_t>(p) + 1]);
       // Ties prefer spending over carrying: on a flat stretch of the
       // price-rate curve the marginal gain is zero, and only a state that
       // keeps accumulating price units can cross the plateau and reach the
@@ -75,19 +96,19 @@ std::vector<int> RepetitionAllocator::SolvePaperDp(
       if (candidate <= best) {
         best = candidate;
         best_group = i;
+        best_price = p + 1;
       }
     }
     const size_t xi = static_cast<size_t>(x);
     if (best_group == n) {
-      prices_at[xi] = prices_at[xi - 1];
+      root_at[xi] = root_at[xi - 1];
     } else {
       const size_t from = static_cast<size_t>(x - unit_cost[best_group]);
-      prices_at[xi] = prices_at[from];
-      ++prices_at[xi][best_group];
+      root_at[xi] = tree.WithLeaf(root_at[from], best_group, best_price, 0.0);
     }
     objective_at[xi] = best;
   }
-  return prices_at[static_cast<size_t>(spare)];
+  return tree.Prices(root_at[static_cast<size_t>(spare)]);
 }
 
 std::vector<int> RepetitionAllocator::SolveExactDp(
@@ -102,6 +123,20 @@ std::vector<int> RepetitionAllocator::SolveExactDp(
   }
 
   const long budget = problem.budget;
+
+  // Every price the knapsack loop can touch, prewarmed in parallel and
+  // hoisted flat so the O(n * B * p_max) inner loop below never leaves
+  // straight-line array code.
+  std::vector<int> max_price(n);
+  for (size_t i = 0; i < n; ++i) {
+    max_price[i] = static_cast<int>(budget / unit_cost[i]);
+  }
+  PrewarmTables(tables, max_price);
+  std::vector<std::vector<double>> phase1(n);
+  for (size_t i = 0; i < n; ++i) {
+    phase1[i] = tables[i].FlatPhase1(max_price[i]);
+  }
+
   constexpr double kInf = std::numeric_limits<double>::infinity();
   // best[b] = min sum of E over groups processed so far spending exactly b;
   // choice[i][b] = price picked for group i to reach b.
@@ -112,14 +147,15 @@ std::vector<int> RepetitionAllocator::SolveExactDp(
 
   for (size_t i = 0; i < n; ++i) {
     std::vector<double> next(static_cast<size_t>(budget) + 1, kInf);
-    const long max_price = budget / unit_cost[i];
+    const long group_max = max_price[i];
+    const std::vector<double>& phase1_i = phase1[i];
     for (long b = 0; b <= budget; ++b) {
       if (best[static_cast<size_t>(b)] == kInf) continue;
-      for (long p = 1; p <= max_price; ++p) {
+      for (long p = 1; p <= group_max; ++p) {
         const long spend = b + unit_cost[i] * p;
         if (spend > budget) break;
-        const double value = best[static_cast<size_t>(b)] +
-                             tables[i].Phase1(static_cast<int>(p));
+        const double value =
+            best[static_cast<size_t>(b)] + phase1_i[static_cast<size_t>(p)];
         if (value < next[static_cast<size_t>(spend)]) {
           next[static_cast<size_t>(spend)] = value;
           choice[i][static_cast<size_t>(spend)] = static_cast<int>(p);

@@ -19,6 +19,35 @@ TEST(HarmonicTest, KnownValues) {
   EXPECT_NEAR(HarmonicNumber(4), 25.0 / 12.0, 1e-12);
 }
 
+// Kahan-compensated forward sum: exact to well below 1e-14 relative error
+// even at n = 1e6, so it can referee the asymptotic expansion at 1e-12.
+double KahanHarmonic(int n) {
+  double sum = 0.0;
+  double carry = 0.0;
+  for (int k = 1; k <= n; ++k) {
+    const double term = 1.0 / static_cast<double>(k) - carry;
+    const double next = sum + term;
+    carry = (next - sum) - term;
+    sum = next;
+  }
+  return sum;
+}
+
+TEST(HarmonicTest, AsymptoticExpansionMatchesExactSum) {
+  // The implementation switches to the Euler–Maclaurin expansion above
+  // n = 64; pin agreement with the exact sum across the asymptotic range.
+  for (const int n : {65, 100, 128, 1000, 4096, 100000, 1000000}) {
+    EXPECT_NEAR(HarmonicNumber(n), KahanHarmonic(n), 1e-12)
+        << "n = " << n;
+  }
+}
+
+TEST(HarmonicTest, ContinuousAcrossExpansionThreshold) {
+  // H(65) - H(64) crosses the exact-sum/expansion boundary and must still
+  // equal 1/65 to full accuracy.
+  EXPECT_NEAR(HarmonicNumber(65) - HarmonicNumber(64), 1.0 / 65.0, 1e-13);
+}
+
 TEST(ExpectedMaxExponentialTest, ClosedForm) {
   EXPECT_DOUBLE_EQ(ExpectedMaxExponential(1, 2.0), 0.5);
   EXPECT_DOUBLE_EQ(ExpectedMaxExponential(2, 1.0), 1.5);

@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Run the tuning microbenchmarks and distill a BENCH_tuning.json snapshot.
+
+Runs the google-benchmark `microbench` binary with --benchmark_format=json,
+keeps the allocator end-to-end and parallel-runtime entries, and computes the
+shared-cache speedup (Baseline / ManyGroups wall time at each group count).
+Stdlib only; no third-party packages.
+
+Usage:
+  tools/bench_report.py --bin build/bench/microbench --out BENCH_tuning.json \
+      [--min-time 0.1] [--extra-filter REGEX]
+"""
+
+import argparse
+import json
+import re
+import subprocess
+import sys
+
+# Benchmarks the report tracks: allocator end-to-end costs plus the parallel
+# runtime primitives they are built on.
+FILTER = (
+    "ManyGroups|LatencyCacheHit|ParallelForOverhead|ParallelMonteCarlo"
+    "|BM_RepetitionAllocator/|BM_HeterogeneousAllocator/"
+)
+
+
+def run_benchmarks(binary, min_time, extra_filter):
+    bench_filter = FILTER
+    if extra_filter:
+        bench_filter = f"{bench_filter}|{extra_filter}"
+    cmd = [
+        binary,
+        f"--benchmark_filter={bench_filter}",
+        f"--benchmark_min_time={min_time}",
+        "--benchmark_format=json",
+    ]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stderr)
+        raise SystemExit(f"benchmark run failed: {' '.join(cmd)}")
+    return json.loads(proc.stdout)
+
+
+def speedups(benchmarks):
+    """Baseline / shared-cache time ratio per group-count argument."""
+    times = {}
+    for entry in benchmarks:
+        name = entry.get("name", "")
+        match = re.fullmatch(
+            r"BM_RepetitionAllocatorManyGroups(Baseline)?/(\d+)", name)
+        if not match:
+            continue
+        variant = "baseline" if match.group(1) else "shared"
+        # User counters surface as top-level keys in the JSON entries.
+        groups = int(entry.get("groups", 0))
+        times.setdefault(groups, {})[variant] = entry["real_time"]
+    out = []
+    for groups in sorted(times):
+        pair = times[groups]
+        if "baseline" in pair and "shared" in pair and pair["shared"] > 0:
+            out.append({
+                "groups": groups,
+                "shared_cache_ms": pair["shared"],
+                "baseline_ms": pair["baseline"],
+                "speedup": pair["baseline"] / pair["shared"],
+            })
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--bin", default="build/bench/microbench",
+                        help="path to the microbench binary")
+    parser.add_argument("--out", default="BENCH_tuning.json",
+                        help="output JSON path")
+    parser.add_argument("--min-time", default="0.1",
+                        help="--benchmark_min_time per benchmark (seconds)")
+    parser.add_argument("--extra-filter", default="",
+                        help="extra regex OR-ed onto the benchmark filter")
+    args = parser.parse_args()
+
+    raw = run_benchmarks(args.bin, args.min_time, args.extra_filter)
+    benchmarks = [
+        {
+            "name": b["name"],
+            "real_time": b["real_time"],
+            "cpu_time": b["cpu_time"],
+            "time_unit": b["time_unit"],
+            "iterations": b["iterations"],
+            **({"groups": b["groups"]} if "groups" in b else {}),
+        }
+        for b in raw.get("benchmarks", [])
+        if b.get("run_type", "iteration") == "iteration"
+    ]
+    report = {
+        "context": {
+            key: raw.get("context", {}).get(key)
+            for key in ("host_name", "num_cpus", "mhz_per_cpu",
+                        "library_build_type")
+        },
+        "allocator_speedup_vs_cloned_curves": speedups(benchmarks),
+        "benchmarks": benchmarks,
+    }
+    with open(args.out, "w") as f:
+        json.dump(report, f, indent=2)
+        f.write("\n")
+    for entry in report["allocator_speedup_vs_cloned_curves"]:
+        print(f"{entry['groups']} groups: {entry['speedup']:.2f}x "
+              f"({entry['baseline_ms']:.1f} -> {entry['shared_cache_ms']:.1f})")
+    print(f"wrote {args.out} ({len(benchmarks)} benchmarks)")
+
+
+if __name__ == "__main__":
+    main()
