@@ -6,6 +6,8 @@
 
 #include "common/statusor.h"
 #include "crowddb/types.h"
+#include "durability/recovery.h"
+#include "market/events.h"
 #include "model/price_rate_curve.h"
 #include "market/simulator.h"
 #include "tuning/allocator.h"
@@ -81,6 +83,20 @@ class AdaptiveRetuner {
   StatusOr<RetunerReport> Run(MarketSimulator& market,
                               const TuningProblem& problem,
                               const std::vector<QuestionSpec>& questions) const;
+
+  /// Durable variant: the same loop journaled through `durability.storage`,
+  /// owning the market (fresh from `market_config`, or restored from the
+  /// newest intact snapshot) so a killed run resumes where it crashed. See
+  /// FaultTolerantExecutor::RunDurable for the recovery contract — bitwise
+  /// replay verification, exactly-once payments, identical final report.
+  /// Snapshots serialize curve references as indices into
+  /// `market_truth_per_group`, so recovery must be configured with the same
+  /// curves.
+  StatusOr<RetunerReport> RunDurable(
+      const MarketConfig& market_config, const TuningProblem& problem,
+      const std::vector<QuestionSpec>& questions,
+      const DurabilityConfig& durability,
+      std::vector<TraceEvent>* final_trace = nullptr) const;
 
  private:
   const BudgetAllocator* allocator_;

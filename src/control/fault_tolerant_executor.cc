@@ -2,26 +2,85 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "common/check.h"
+#include "durability/ledger.h"
+#include "durability/serialize.h"
+#include "durability/snapshot.h"
 #include "tuning/allocation.h"
 
 namespace htune {
+
+namespace {
+
+Status CheckFinitePositive(double value, std::string_view name) {
+  if (std::isnan(value)) {
+    return InvalidArgumentError("FaultTolerantConfig: " + std::string(name) +
+                                " is NaN");
+  }
+  if (!std::isfinite(value) || value <= 0.0) {
+    return InvalidArgumentError("FaultTolerantConfig: " + std::string(name) +
+                                " must be positive and finite, got " +
+                                std::to_string(value));
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+Status ValidateFaultTolerantConfig(const FaultTolerantConfig& config) {
+  HTUNE_RETURN_IF_ERROR(
+      CheckFinitePositive(config.review_interval, "review_interval"));
+  if (config.max_reviews < 0) {
+    return InvalidArgumentError(
+        "FaultTolerantConfig: max_reviews must be >= 0, got " +
+        std::to_string(config.max_reviews));
+  }
+  if (std::isnan(config.straggler_quantile) ||
+      config.straggler_quantile <= 0.0 || config.straggler_quantile >= 1.0) {
+    return InvalidArgumentError(
+        "FaultTolerantConfig: straggler_quantile must lie strictly inside "
+        "(0, 1), got " +
+        std::to_string(config.straggler_quantile));
+  }
+  if (config.max_reposts < 0) {
+    return InvalidArgumentError(
+        "FaultTolerantConfig: max_reposts must be >= 0, got " +
+        std::to_string(config.max_reposts));
+  }
+  if (std::isnan(config.price_escalation)) {
+    return InvalidArgumentError(
+        "FaultTolerantConfig: price_escalation is NaN");
+  }
+  if (!std::isfinite(config.price_escalation) ||
+      config.price_escalation <= 1.0) {
+    return InvalidArgumentError(
+        "FaultTolerantConfig: price_escalation must be finite and > 1, got " +
+        std::to_string(config.price_escalation));
+  }
+  if (config.budget < 0) {
+    return InvalidArgumentError(
+        "FaultTolerantConfig: budget (spend ceiling) must be >= 0, got " +
+        std::to_string(config.budget));
+  }
+  if (std::isnan(config.acceptance_timeout) ||
+      !std::isfinite(config.acceptance_timeout) ||
+      config.acceptance_timeout < 0.0) {
+    return InvalidArgumentError(
+        "FaultTolerantConfig: acceptance_timeout must be >= 0 and finite, "
+        "got " +
+        std::to_string(config.acceptance_timeout));
+  }
+  return OkStatus();
+}
 
 FaultTolerantExecutor::FaultTolerantExecutor(const BudgetAllocator* allocator,
                                              FaultTolerantConfig config)
     : allocator_(allocator), config_(config) {
   HTUNE_CHECK(allocator != nullptr);
-  HTUNE_CHECK_GT(config.review_interval, 0.0);
-  HTUNE_CHECK_GE(config.max_reviews, 0);
-  HTUNE_CHECK_GT(config.straggler_quantile, 0.0);
-  HTUNE_CHECK_LT(config.straggler_quantile, 1.0);
-  HTUNE_CHECK_GE(config.max_reposts, 0);
-  HTUNE_CHECK_GT(config.price_escalation, 1.0);
-  HTUNE_CHECK_GE(config.budget, 0);
-  HTUNE_CHECK_GE(config.acceptance_timeout, 0.0);
 }
 
 namespace {
@@ -40,6 +99,102 @@ struct TaskState {
   bool floored = false;
   bool done = false;
 };
+
+/// Loop-carried executor state. Everything a resumed run needs beyond the
+/// market snapshot lives here (and in the BudgetLedger serialized alongside
+/// it); `deadline` is stored rather than recomputed because repeated `+=`
+/// accumulation is not bitwise equal to `start + n * interval`, and recovery
+/// promises bitwise identity.
+struct ExecState {
+  std::vector<TaskState> tasks;
+  long budget = 0;
+  double start = 0.0;
+  long spent_before = 0;
+  double deadline = 0.0;
+  int next_review = 0;
+  // Report counters accumulated across crash/recover cycles.
+  int reviews = 0;
+  int stragglers = 0;
+  int escalations = 0;
+  int floor_repetitions = 0;
+  bool degraded = false;
+  /// False until the initial allocation has been posted (not serialized:
+  /// restoring a snapshot implies it).
+  bool initialized = false;
+};
+
+std::string EncodeExecutorState(const ExecState& state,
+                                const BudgetLedger& ledger) {
+  Encoder encoder;
+  encoder.PutI64(state.budget);
+  encoder.PutDouble(state.start);
+  encoder.PutI64(state.spent_before);
+  encoder.PutDouble(state.deadline);
+  encoder.PutI32(state.next_review);
+  encoder.PutI32(state.reviews);
+  encoder.PutI32(state.stragglers);
+  encoder.PutI32(state.escalations);
+  encoder.PutI32(state.floor_repetitions);
+  encoder.PutBool(state.degraded);
+  encoder.PutU64(state.tasks.size());
+  for (const TaskState& task : state.tasks) {
+    encoder.PutU64(task.id);
+    encoder.PutU64(task.group);
+    encoder.PutI32Vector(task.planned);
+    encoder.PutI32(task.counter_completed);
+    encoder.PutI32(task.escalations_this_slot);
+    encoder.PutBool(task.floored);
+    encoder.PutBool(task.done);
+  }
+  encoder.PutString(ledger.Encode());
+  return std::move(encoder).Release();
+}
+
+Status DecodeExecutorState(std::string_view bytes, ExecState& state,
+                           BudgetLedger& ledger) {
+  Decoder decoder(bytes);
+  int64_t budget = 0;
+  int64_t spent_before = 0;
+  HTUNE_RETURN_IF_ERROR(decoder.GetI64(&budget));
+  HTUNE_RETURN_IF_ERROR(decoder.GetDouble(&state.start));
+  HTUNE_RETURN_IF_ERROR(decoder.GetI64(&spent_before));
+  HTUNE_RETURN_IF_ERROR(decoder.GetDouble(&state.deadline));
+  HTUNE_RETURN_IF_ERROR(decoder.GetI32(&state.next_review));
+  HTUNE_RETURN_IF_ERROR(decoder.GetI32(&state.reviews));
+  HTUNE_RETURN_IF_ERROR(decoder.GetI32(&state.stragglers));
+  HTUNE_RETURN_IF_ERROR(decoder.GetI32(&state.escalations));
+  HTUNE_RETURN_IF_ERROR(decoder.GetI32(&state.floor_repetitions));
+  HTUNE_RETURN_IF_ERROR(decoder.GetBool(&state.degraded));
+  state.budget = static_cast<long>(budget);
+  state.spent_before = static_cast<long>(spent_before);
+  uint64_t task_count = 0;
+  HTUNE_RETURN_IF_ERROR(decoder.GetU64(&task_count));
+  if (task_count > decoder.remaining()) {
+    return InvalidArgumentError(
+        "executor snapshot: task count exceeds input size");
+  }
+  state.tasks.clear();
+  state.tasks.reserve(static_cast<size_t>(task_count));
+  for (uint64_t i = 0; i < task_count; ++i) {
+    TaskState task;
+    uint64_t group = 0;
+    HTUNE_RETURN_IF_ERROR(decoder.GetU64(&task.id));
+    HTUNE_RETURN_IF_ERROR(decoder.GetU64(&group));
+    HTUNE_RETURN_IF_ERROR(decoder.GetI32Vector(&task.planned));
+    HTUNE_RETURN_IF_ERROR(decoder.GetI32(&task.counter_completed));
+    HTUNE_RETURN_IF_ERROR(decoder.GetI32(&task.escalations_this_slot));
+    HTUNE_RETURN_IF_ERROR(decoder.GetBool(&task.floored));
+    HTUNE_RETURN_IF_ERROR(decoder.GetBool(&task.done));
+    task.group = static_cast<size_t>(group);
+    state.tasks.push_back(std::move(task));
+  }
+  std::string ledger_bytes;
+  HTUNE_RETURN_IF_ERROR(decoder.GetString(&ledger_bytes));
+  HTUNE_RETURN_IF_ERROR(decoder.ExpectDone());
+  HTUNE_ASSIGN_OR_RETURN(ledger, BudgetLedger::Decode(ledger_bytes));
+  state.initialized = true;
+  return OkStatus();
+}
 
 int CompletedRepetitions(const TaskOutcome& progress) {
   int completed = 0;
@@ -60,9 +215,11 @@ long FutureCost(const TaskState& state, size_t accepted) {
 
 /// Reprices `state`'s open task to `target`, clamping down while the market
 /// refuses a rate above its arrival capacity (as AdaptiveRetuner). On
-/// success the achieved price is written into the plan's unaccepted suffix.
+/// success the achieved price is written into the plan's unaccepted suffix
+/// and, when `ctx` journals the run, a kReprice record is emitted.
 StatusOr<int> RepriceTo(MarketSimulator& market, const PriceRateCurve& curve,
-                        TaskState& state, size_t accepted, int target) {
+                        TaskState& state, size_t accepted, int target,
+                        DurableContext* ctx) {
   int attempt = target;
   Status status =
       market.Reprice(state.id, attempt,
@@ -77,110 +234,183 @@ StatusOr<int> RepriceTo(MarketSimulator& market, const PriceRateCurve& curve,
   for (size_t j = accepted; j < state.planned.size(); ++j) {
     state.planned[j] = attempt;
   }
+  if (ctx != nullptr) {
+    Encoder record;
+    record.PutU64(state.id);
+    record.PutI32(attempt);
+    record.PutI64(static_cast<int64_t>(state.planned.size()) -
+                  static_cast<int64_t>(accepted));
+    HTUNE_RETURN_IF_ERROR(
+        ctx->Emit(JournalRecordType::kReprice, record.bytes()));
+  }
   return attempt;
 }
 
-}  // namespace
+/// Journals and ledgers the payments for every completed-but-unpaid slot of
+/// one task (slots are paid in order; the ledger knows the next unpaid one).
+Status SettlePayments(DurableContext& ctx, BudgetLedger& ledger,
+                      const TaskState& state, const TaskOutcome& progress,
+                      int completed) {
+  for (int slot = ledger.PaymentsFor(state.id); slot < completed; ++slot) {
+    const int price = progress.repetitions[static_cast<size_t>(slot)].price;
+    Encoder record;
+    record.PutU64(state.id);
+    record.PutI32(slot);
+    record.PutI32(price);
+    HTUNE_RETURN_IF_ERROR(
+        ctx.Emit(JournalRecordType::kPayment, record.bytes()));
+    HTUNE_ASSIGN_OR_RETURN(const bool fresh,
+                           ledger.RecordPayment(state.id, slot, price));
+    (void)fresh;
+  }
+  return OkStatus();
+}
 
-StatusOr<FaultTolerantReport> FaultTolerantExecutor::Run(
+Status EmitCompletion(DurableContext& ctx, const TaskOutcome& outcome) {
+  Encoder record;
+  record.PutU64(outcome.id);
+  record.PutDouble(outcome.completed_time);
+  return ctx.Emit(JournalRecordType::kCompletion, record.bytes());
+}
+
+/// The closed loop shared by Run and RunDurable. When `ctx` is null the run
+/// is not journaled (`ledger` is then unused and may be null); `state` is
+/// either fresh (tasks get allocated and posted here) or restored from a
+/// snapshot (posting is skipped and the loop resumes mid-run).
+StatusOr<FaultTolerantReport> RunJob(
+    const BudgetAllocator& allocator, const FaultTolerantConfig& config,
     MarketSimulator& market, const TuningProblem& problem,
-    const std::vector<QuestionSpec>& questions) const {
+    const std::vector<QuestionSpec>& questions, DurableContext* ctx,
+    BudgetLedger* ledger, ExecState& state) {
   HTUNE_RETURN_IF_ERROR(ValidateProblem(problem));
   if (questions.size() != static_cast<size_t>(problem.TotalTasks())) {
     return InvalidArgumentError(
         "FaultTolerantExecutor: need one question per atomic task");
   }
-  const long budget =
-      config_.budget > 0 ? config_.budget : problem.budget;
 
   // Allocate against the abandonment-corrected problem so the initial prices
   // already account for wasted attempts.
   const TuningProblem adjusted =
-      ProblemWithAbandonment(problem, config_.abandonment);
-  HTUNE_ASSIGN_OR_RETURN(const Allocation initial,
-                         allocator_->Allocate(adjusted));
-  long initial_cost = 0;
-  for (const GroupAllocation& g : initial.groups) {
-    for (const std::vector<int>& prices : g.prices) {
-      for (int price : prices) initial_cost += price;
-    }
-  }
-  if (initial_cost > budget) {
-    return InvalidArgumentError(
-        "FaultTolerantExecutor: initial allocation costs " +
-        std::to_string(initial_cost) + " but the budget is " +
-        std::to_string(budget));
-  }
+      ProblemWithAbandonment(problem, config.abandonment);
 
-  const double start = market.now();
-  const long spent_before = market.TotalSpent();
-
-  // Post everything under the initial allocation. Rates sent to the market
-  // are the requester's belief about the raw (pre-abandonment) curve; the
-  // market applies abandonment itself.
-  std::vector<TaskState> tasks;
-  tasks.reserve(questions.size());
-  size_t question_index = 0;
-  for (size_t g = 0; g < problem.groups.size(); ++g) {
-    const TaskGroup& group = problem.groups[g];
-    for (int t = 0; t < group.num_tasks; ++t, ++question_index) {
-      const std::vector<int>& prices = initial.groups[g].prices[t];
-      TaskSpec spec;
-      spec.repetitions = group.repetitions;
-      spec.processing_rate = group.processing_rate;
-      spec.per_repetition_prices = prices;
-      spec.per_repetition_rates.reserve(prices.size());
-      for (int price : prices) {
-        spec.per_repetition_rates.push_back(
-            group.curve->Rate(static_cast<double>(price)));
+  if (!state.initialized) {
+    state.budget = config.budget > 0 ? config.budget : problem.budget;
+    HTUNE_ASSIGN_OR_RETURN(const Allocation initial,
+                           allocator.Allocate(adjusted));
+    long initial_cost = 0;
+    for (const GroupAllocation& g : initial.groups) {
+      for (const std::vector<int>& prices : g.prices) {
+        for (int price : prices) initial_cost += price;
       }
-      spec.acceptance_timeout = config_.acceptance_timeout;
-      spec.true_answer = questions[question_index].true_answer;
-      spec.num_options = questions[question_index].num_options;
-      HTUNE_ASSIGN_OR_RETURN(const TaskId id, market.PostTask(spec));
-      TaskState state;
-      state.id = id;
-      state.group = g;
-      state.planned = prices;
-      tasks.push_back(std::move(state));
     }
+    if (initial_cost > state.budget) {
+      return InvalidArgumentError(
+          "FaultTolerantExecutor: initial allocation costs " +
+          std::to_string(initial_cost) + " but the budget is " +
+          std::to_string(state.budget));
+    }
+
+    state.start = market.now();
+    state.spent_before = market.TotalSpent();
+    state.deadline = state.start;
+    if (ctx != nullptr) {
+      Encoder record;
+      record.PutI64(state.budget);
+      record.PutU64(questions.size());
+      HTUNE_RETURN_IF_ERROR(
+          ctx->Emit(JournalRecordType::kRunStart, record.bytes()));
+    }
+
+    // Post everything under the initial allocation. Rates sent to the market
+    // are the requester's belief about the raw (pre-abandonment) curve; the
+    // market applies abandonment itself.
+    state.tasks.reserve(questions.size());
+    size_t question_index = 0;
+    for (size_t g = 0; g < problem.groups.size(); ++g) {
+      const TaskGroup& group = problem.groups[g];
+      for (int t = 0; t < group.num_tasks; ++t, ++question_index) {
+        const std::vector<int>& prices = initial.groups[g].prices[t];
+        TaskSpec spec;
+        spec.repetitions = group.repetitions;
+        spec.processing_rate = group.processing_rate;
+        spec.per_repetition_prices = prices;
+        spec.per_repetition_rates.reserve(prices.size());
+        for (int price : prices) {
+          spec.per_repetition_rates.push_back(
+              group.curve->Rate(static_cast<double>(price)));
+        }
+        spec.acceptance_timeout = config.acceptance_timeout;
+        spec.true_answer = questions[question_index].true_answer;
+        spec.num_options = questions[question_index].num_options;
+        HTUNE_ASSIGN_OR_RETURN(const TaskId id, market.PostTask(spec));
+        TaskState task;
+        task.id = id;
+        task.group = g;
+        task.planned = prices;
+        if (ctx != nullptr) {
+          Encoder record;
+          record.PutU64(id);
+          record.PutU64(g);
+          record.PutI32Vector(prices);
+          HTUNE_RETURN_IF_ERROR(
+              ctx->Emit(JournalRecordType::kPost, record.bytes()));
+        }
+        state.tasks.push_back(std::move(task));
+      }
+    }
+    state.initialized = true;
+  } else if (state.tasks.size() != questions.size()) {
+    return InvalidArgumentError(
+        "FaultTolerantExecutor: recovered state has " +
+        std::to_string(state.tasks.size()) + " tasks but the problem has " +
+        std::to_string(questions.size()));
   }
 
-  FaultTolerantReport report;
-  const double quantile_factor = -std::log(1.0 - config_.straggler_quantile);
-  double deadline = start;
-  for (int review = 0; review < config_.max_reviews; ++review) {
-    deadline += config_.review_interval;
-    if (market.RunUntil(deadline) == 0) {
+  const long budget = state.budget;
+  const double quantile_factor = -std::log(1.0 - config.straggler_quantile);
+  for (int review = state.next_review; review < config.max_reviews;
+       ++review) {
+    state.next_review = review + 1;
+    state.deadline += config.review_interval;
+    if (market.RunUntil(state.deadline) == 0) {
       break;
     }
-    ++report.reviews;
+    ++state.reviews;
     const double now = market.now();
-    const long spent = market.TotalSpent() - spent_before;
+    const long spent = market.TotalSpent() - state.spent_before;
 
     // Accounting pass: what the job is already committed to pay (spent plus
-    // in-flight promises) and what the current plan would add.
+    // in-flight promises) and what the current plan would add. Durable runs
+    // settle newly completed repetitions into the ledger here, before the
+    // done-check, so a task is never marked done with unpaid slots.
     long committed = spent;
     long future = 0;
-    std::vector<size_t> accepted_of(tasks.size(), 0);
+    std::vector<size_t> accepted_of(state.tasks.size(), 0);
     // Time the currently exposed slot first became available (the previous
     // answer's completion, or the post); < 0 when the task is processing.
     // Abandon/expiry reposts do NOT reset this clock — unlike OnHoldSince —
     // so churn accumulates into a detectable straggler wait.
-    std::vector<double> slot_open_since(tasks.size(), -1.0);
-    for (size_t i = 0; i < tasks.size(); ++i) {
-      TaskState& state = tasks[i];
-      if (state.done) continue;
+    std::vector<double> slot_open_since(state.tasks.size(), -1.0);
+    for (size_t i = 0; i < state.tasks.size(); ++i) {
+      TaskState& task = state.tasks[i];
+      if (task.done) continue;
       HTUNE_ASSIGN_OR_RETURN(const TaskOutcome progress,
-                             market.GetProgress(state.id));
+                             market.GetProgress(task.id));
+      const int completed = CompletedRepetitions(progress);
+      if (ctx != nullptr) {
+        HTUNE_RETURN_IF_ERROR(
+            SettlePayments(*ctx, *ledger, task, progress, completed));
+      }
       if (progress.completed_time > 0.0) {
-        state.done = true;
+        if (ctx != nullptr) {
+          HTUNE_RETURN_IF_ERROR(EmitCompletion(*ctx, progress));
+        }
+        task.done = true;
         continue;
       }
-      const int completed = CompletedRepetitions(progress);
-      if (completed != state.counter_completed) {
-        state.counter_completed = completed;
-        state.escalations_this_slot = 0;
+      if (completed != task.counter_completed) {
+        task.counter_completed = completed;
+        task.escalations_this_slot = 0;
       }
       const size_t accepted = progress.repetitions.size();
       accepted_of[i] = accepted;
@@ -191,7 +421,7 @@ StatusOr<FaultTolerantReport> FaultTolerantExecutor::Run(
                                  ? progress.posted_time
                                  : progress.repetitions.back().completed_time;
       }
-      future += FutureCost(state, accepted);
+      future += FutureCost(task, accepted);
     }
     long planned_total = committed + future;
 
@@ -200,75 +430,91 @@ StatusOr<FaultTolerantReport> FaultTolerantExecutor::Run(
     // mid-course budget cut between runs) — demote the costliest plans to
     // floor price until the job fits again, and flag partial quality.
     while (planned_total > budget) {
-      size_t worst = tasks.size();
+      size_t worst = state.tasks.size();
       long worst_future = 0;
-      for (size_t i = 0; i < tasks.size(); ++i) {
-        if (tasks[i].done || tasks[i].floored) continue;
-        const long task_future = FutureCost(tasks[i], accepted_of[i]);
+      for (size_t i = 0; i < state.tasks.size(); ++i) {
+        if (state.tasks[i].done || state.tasks[i].floored) continue;
+        const long task_future = FutureCost(state.tasks[i], accepted_of[i]);
         if (task_future > worst_future) {
           worst_future = task_future;
           worst = i;
         }
       }
-      if (worst == tasks.size()) break;  // only in-flight promises remain
-      TaskState& state = tasks[worst];
-      const long slots = static_cast<long>(state.planned.size()) -
+      if (worst == state.tasks.size()) break;  // only in-flight promises
+      TaskState& task = state.tasks[worst];
+      const long slots = static_cast<long>(task.planned.size()) -
                          static_cast<long>(accepted_of[worst]);
       HTUNE_ASSIGN_OR_RETURN(
           const int achieved,
-          RepriceTo(market, *problem.groups[state.group].curve, state,
-                    accepted_of[worst], 1));
+          RepriceTo(market, *problem.groups[task.group].curve, task,
+                    accepted_of[worst], 1, ctx));
       planned_total += static_cast<long>(achieved) * slots - worst_future;
-      state.floored = true;
-      report.degraded = true;
-      report.floor_repetitions += static_cast<int>(slots);
+      task.floored = true;
+      state.degraded = true;
+      state.floor_repetitions += static_cast<int>(slots);
     }
 
     // Straggler pass.
-    for (size_t i = 0; i < tasks.size(); ++i) {
-      TaskState& state = tasks[i];
-      if (state.done || state.floored) continue;
+    for (size_t i = 0; i < state.tasks.size(); ++i) {
+      TaskState& task = state.tasks[i];
+      if (task.done || task.floored) continue;
       if (slot_open_since[i] < 0.0) continue;  // processing: no wait
-      HTUNE_ASSIGN_OR_RETURN(const int price, market.CurrentPrice(state.id));
-      const double effective_rate = adjusted.groups[state.group].curve->Rate(
+      HTUNE_ASSIGN_OR_RETURN(const int price, market.CurrentPrice(task.id));
+      const double effective_rate = adjusted.groups[task.group].curve->Rate(
           static_cast<double>(price));
       if (now - slot_open_since[i] <= quantile_factor / effective_rate) {
         continue;
       }
-      ++report.stragglers;
-      if (state.escalations_this_slot >= config_.max_reposts) {
+      ++state.stragglers;
+      if (task.escalations_this_slot >= config.max_reposts) {
         continue;  // retries exhausted for this slot; let it ride
       }
       const size_t accepted = accepted_of[i];
       const long slots =
-          static_cast<long>(state.planned.size()) - static_cast<long>(accepted);
+          static_cast<long>(task.planned.size()) - static_cast<long>(accepted);
       if (slots <= 0) continue;
-      const long task_future = FutureCost(state, accepted);
+      const long task_future = FutureCost(task, accepted);
       const int proposed = std::max(
           price + 1,
           static_cast<int>(
-              std::ceil(config_.price_escalation * static_cast<double>(price))));
+              std::ceil(config.price_escalation * static_cast<double>(price))));
       // Raising every remaining slot of this task to q keeps the job within
       // budget iff planned_total - task_future + slots * q <= budget.
       const long cap = (budget - planned_total + task_future) / slots;
       const int target =
           static_cast<int>(std::min<long>(proposed, cap));
-      const PriceRateCurve& believed = *problem.groups[state.group].curve;
+      const PriceRateCurve& believed = *problem.groups[task.group].curve;
       if (target > price) {
         HTUNE_ASSIGN_OR_RETURN(
             const int achieved,
-            RepriceTo(market, believed, state, accepted, target));
+            RepriceTo(market, believed, task, accepted, target, ctx));
         planned_total += static_cast<long>(achieved) * slots - task_future;
-        ++report.escalations;
-        ++state.escalations_this_slot;
+        ++state.escalations;
+        ++task.escalations_this_slot;
       } else {
         // Budget exhausted: no raise is affordable, so this straggler's
         // remaining repetitions ride at the prices already planned — the
         // floor of what the budget allows. The job still finishes; the
         // report carries the partial-quality flag.
-        state.floored = true;
-        report.degraded = true;
-        report.floor_repetitions += static_cast<int>(slots);
+        task.floored = true;
+        state.degraded = true;
+        state.floor_repetitions += static_cast<int>(slots);
+      }
+    }
+
+    if (ctx != nullptr) {
+      Encoder record;
+      record.PutI32(review);
+      record.PutDouble(now);
+      record.PutI64(market.TotalSpent() - state.spent_before);
+      HTUNE_RETURN_IF_ERROR(
+          ctx->Emit(JournalRecordType::kReviewEnd, record.bytes()));
+      if (ctx->ShouldSnapshot(state.reviews) && !ctx->replaying()) {
+        HTUNE_ASSIGN_OR_RETURN(const MarketState market_state,
+                               market.CaptureState({}));
+        HTUNE_RETURN_IF_ERROR(
+            ctx->EmitSnapshot(EncodeMarketState(market_state),
+                              EncodeExecutorState(state, *ledger)));
       }
     }
   }
@@ -277,11 +523,23 @@ StatusOr<FaultTolerantReport> FaultTolerantExecutor::Run(
     HTUNE_RETURN_IF_ERROR(market.RunToCompletion());
   }
 
-  report.answers.reserve(tasks.size());
-  double last_completion = start;
-  for (const TaskState& state : tasks) {
+  FaultTolerantReport report;
+  report.answers.reserve(state.tasks.size());
+  double last_completion = state.start;
+  for (TaskState& task : state.tasks) {
     HTUNE_ASSIGN_OR_RETURN(const TaskOutcome outcome,
-                           market.GetOutcome(state.id));
+                           market.GetOutcome(task.id));
+    if (ctx != nullptr) {
+      // Final settlement: repetitions that finished after the last review
+      // (or after the loop broke) are paid and completed here, exactly once.
+      HTUNE_RETURN_IF_ERROR(SettlePayments(
+          *ctx, *ledger, task, outcome,
+          static_cast<int>(outcome.repetitions.size())));
+      if (!task.done) {
+        HTUNE_RETURN_IF_ERROR(EmitCompletion(*ctx, outcome));
+        task.done = true;
+      }
+    }
     std::vector<int> answers;
     answers.reserve(outcome.repetitions.size());
     for (const RepetitionOutcome& rep : outcome.repetitions) {
@@ -292,8 +550,67 @@ StatusOr<FaultTolerantReport> FaultTolerantExecutor::Run(
     report.expired_posts += outcome.expired_posts;
     last_completion = std::max(last_completion, outcome.completed_time);
   }
-  report.latency = last_completion - start;
-  report.spent = market.TotalSpent() - spent_before;
+  report.latency = last_completion - state.start;
+  report.spent = market.TotalSpent() - state.spent_before;
+  report.reviews = state.reviews;
+  report.stragglers = state.stragglers;
+  report.escalations = state.escalations;
+  report.floor_repetitions = state.floor_repetitions;
+  report.degraded = state.degraded;
+
+  if (ctx != nullptr) {
+    Encoder record;
+    record.PutI64(report.spent);
+    record.PutDouble(report.latency);
+    HTUNE_RETURN_IF_ERROR(
+        ctx->Emit(JournalRecordType::kRunEnd, record.bytes()));
+    if (ledger->TotalPaid() != report.spent) {
+      return InternalError(
+          "FaultTolerantExecutor: ledger total " +
+          std::to_string(ledger->TotalPaid()) +
+          " != market spend " + std::to_string(report.spent) +
+          " -- a payment was lost or double-counted");
+    }
+    HTUNE_RETURN_IF_ERROR(ctx->Flush());
+  }
+  return report;
+}
+
+}  // namespace
+
+StatusOr<FaultTolerantReport> FaultTolerantExecutor::Run(
+    MarketSimulator& market, const TuningProblem& problem,
+    const std::vector<QuestionSpec>& questions) const {
+  HTUNE_RETURN_IF_ERROR(ValidateFaultTolerantConfig(config_));
+  ExecState state;
+  return RunJob(*allocator_, config_, market, problem, questions,
+                /*ctx=*/nullptr, /*ledger=*/nullptr, state);
+}
+
+StatusOr<FaultTolerantReport> FaultTolerantExecutor::RunDurable(
+    const MarketConfig& market_config, const TuningProblem& problem,
+    const std::vector<QuestionSpec>& questions,
+    const DurabilityConfig& durability,
+    std::vector<TraceEvent>* final_trace) const {
+  HTUNE_RETURN_IF_ERROR(ValidateFaultTolerantConfig(config_));
+  HTUNE_ASSIGN_OR_RETURN(DurableContext ctx, DurableContext::Open(durability));
+  MarketSimulator market(market_config);
+  ExecState state;
+  BudgetLedger ledger;
+  if (ctx.has_snapshot()) {
+    HTUNE_ASSIGN_OR_RETURN(const MarketState market_state,
+                           DecodeMarketState(ctx.market_snapshot()));
+    HTUNE_RETURN_IF_ERROR(market.RestoreState(market_state, {}));
+    HTUNE_RETURN_IF_ERROR(
+        DecodeExecutorState(ctx.executor_snapshot(), state, ledger));
+  }
+  HTUNE_ASSIGN_OR_RETURN(
+      FaultTolerantReport report,
+      RunJob(*allocator_, config_, market, problem, questions, &ctx, &ledger,
+             state));
+  if (final_trace != nullptr) {
+    *final_trace = market.trace();
+  }
   return report;
 }
 

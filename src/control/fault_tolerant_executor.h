@@ -5,6 +5,8 @@
 
 #include "common/statusor.h"
 #include "crowddb/types.h"
+#include "durability/recovery.h"
+#include "market/events.h"
 #include "market/simulator.h"
 #include "model/latency_model.h"
 #include "tuning/allocator.h"
@@ -43,6 +45,14 @@ struct FaultTolerantConfig {
   /// callers pass the raw (uncorrected) problem.
   AbandonmentModel abandonment;
 };
+
+/// Validates every FaultTolerantConfig knob, returning InvalidArgument with
+/// a descriptive message on the first violation: non-positive, NaN, or
+/// infinite review intervals and escalation factors, quantiles outside
+/// (0, 1), negative retry caps, spend ceilings, or timeouts. Run and
+/// RunDurable call it before touching the market; callers constructing
+/// configs from untrusted job specs can call it directly.
+Status ValidateFaultTolerantConfig(const FaultTolerantConfig& config);
 
 /// Outcome of one fault-tolerant job execution.
 struct FaultTolerantReport {
@@ -104,6 +114,30 @@ class FaultTolerantExecutor {
   StatusOr<FaultTolerantReport> Run(
       MarketSimulator& market, const TuningProblem& problem,
       const std::vector<QuestionSpec>& questions) const;
+
+  /// Durable variant: the same closed loop, journaled through
+  /// `durability.storage` so a killed run can resume. Unlike `Run` it owns
+  /// the market — a fresh `MarketSimulator(market_config)` when the journal
+  /// is empty, or one restored from the newest intact snapshot — because
+  /// recovery must rebuild the market the crashed process lost. Every
+  /// controller decision and observed market event is journaled; snapshots
+  /// every `durability.snapshot_interval` reviews bound replay time.
+  ///
+  /// Calling RunDurable again with the same storage, config, problem, and
+  /// market_config after a crash resumes the run: the journal tail past the
+  /// snapshot is verified bitwise against re-execution (Internal on
+  /// divergence), payments are settled exactly once across any number of
+  /// crash/recover cycles, and the final report is bitwise identical to an
+  /// uninterrupted run's. Storage failures (including injected crashes)
+  /// propagate out as the simulated kill.
+  ///
+  /// `final_trace`, when non-null, receives the market's event trace for
+  /// post-run comparison.
+  StatusOr<FaultTolerantReport> RunDurable(
+      const MarketConfig& market_config, const TuningProblem& problem,
+      const std::vector<QuestionSpec>& questions,
+      const DurabilityConfig& durability,
+      std::vector<TraceEvent>* final_trace = nullptr) const;
 
  private:
   const BudgetAllocator* allocator_;

@@ -1,0 +1,41 @@
+#include "durability/crc32c.h"
+
+#include <array>
+
+namespace htune {
+
+namespace {
+
+/// Reflected CRC-32C table for byte-at-a-time processing, built once at
+/// first use (constant thereafter; thread-safe per C++11 static init).
+const std::array<uint32_t, 256>& Crc32cTable() {
+  static const std::array<uint32_t, 256> table = [] {
+    constexpr uint32_t kPolyReflected = 0x82F63B78u;
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1u) ? kPolyReflected : 0u);
+      }
+      t[i] = crc;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+uint32_t ExtendCrc32c(uint32_t crc, std::string_view bytes) {
+  const std::array<uint32_t, 256>& table = Crc32cTable();
+  // Un-finalize, process, re-finalize: the running state is ~crc.
+  uint32_t state = ~crc;
+  for (const char c : bytes) {
+    state = (state >> 8) ^ table[(state ^ static_cast<uint8_t>(c)) & 0xFFu];
+  }
+  return ~state;
+}
+
+uint32_t Crc32c(std::string_view bytes) { return ExtendCrc32c(0, bytes); }
+
+}  // namespace htune

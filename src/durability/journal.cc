@@ -1,0 +1,242 @@
+#include "durability/journal.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "durability/crc32c.h"
+#include "durability/serialize.h"
+
+namespace htune {
+
+namespace {
+
+constexpr size_t kHeaderSize = 8;          // magic + version
+constexpr size_t kFrameOverhead = 4 + 1 + 4;  // length + type + crc
+// Guards the frame walk against a corrupted length field pointing far past
+// the buffer; no legitimate record (even a snapshot of a large job) comes
+// near this.
+constexpr uint32_t kMaxPayload = 1u << 30;
+
+std::string EncodeHeader() {
+  std::string header(kJournalMagic);
+  Encoder version;
+  version.PutU32(kJournalVersion);
+  header += version.bytes();
+  return header;
+}
+
+}  // namespace
+
+std::string_view JournalRecordTypeToString(JournalRecordType type) {
+  switch (type) {
+    case JournalRecordType::kRunStart:
+      return "RUN_START";
+    case JournalRecordType::kPost:
+      return "POST";
+    case JournalRecordType::kReprice:
+      return "REPRICE";
+    case JournalRecordType::kPayment:
+      return "PAYMENT";
+    case JournalRecordType::kCompletion:
+      return "COMPLETION";
+    case JournalRecordType::kReviewEnd:
+      return "REVIEW_END";
+    case JournalRecordType::kSnapshot:
+      return "SNAPSHOT";
+    case JournalRecordType::kRunEnd:
+      return "RUN_END";
+  }
+  return "UNKNOWN";
+}
+
+Status InMemoryJournalStorage::Append(std::string_view bytes) {
+  bytes_.append(bytes.data(), bytes.size());
+  return OkStatus();
+}
+
+Status InMemoryJournalStorage::Truncate(uint64_t size) {
+  if (size < bytes_.size()) {
+    bytes_.resize(static_cast<size_t>(size));
+  }
+  return OkStatus();
+}
+
+StatusOr<std::string> FileJournalStorage::Load() {
+  std::FILE* file = std::fopen(path_.c_str(), "rb");
+  if (file == nullptr) {
+    // A journal that does not exist yet is simply fresh.
+    return std::string();
+  }
+  std::string bytes;
+  char buffer[4096];
+  size_t got;
+  while ((got = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    bytes.append(buffer, got);
+  }
+  const bool read_error = std::ferror(file) != 0;
+  std::fclose(file);
+  if (read_error) {
+    return InternalError("journal: read error on " + path_);
+  }
+  return bytes;
+}
+
+Status FileJournalStorage::Append(std::string_view bytes) {
+  std::FILE* file = std::fopen(path_.c_str(), "ab");
+  if (file == nullptr) {
+    return InternalError("journal: cannot open " + path_ + " for append");
+  }
+  const size_t written = std::fwrite(bytes.data(), 1, bytes.size(), file);
+  const int flushed = std::fflush(file);
+  const int closed = std::fclose(file);
+  if (written != bytes.size() || flushed != 0 || closed != 0) {
+    return InternalError("journal: short append to " + path_);
+  }
+  return OkStatus();
+}
+
+Status FileJournalStorage::Truncate(uint64_t size) {
+  struct stat st;
+  if (::stat(path_.c_str(), &st) != 0) {
+    // Nothing on disk: truncating a fresh journal to 0 is a no-op.
+    return size == 0 ? OkStatus()
+                     : InternalError("journal: cannot stat " + path_);
+  }
+  if (static_cast<uint64_t>(st.st_size) <= size) {
+    return OkStatus();
+  }
+  if (::truncate(path_.c_str(), static_cast<off_t>(size)) != 0) {
+    return InternalError("journal: cannot truncate " + path_);
+  }
+  return OkStatus();
+}
+
+Status FileJournalStorage::Flush() { return OkStatus(); }
+
+Status CrashInjectingStorage::CrashStatus() {
+  return ResourceExhaustedError(
+      "injected crash: journal storage failed mid-write");
+}
+
+Status CrashInjectingStorage::Append(std::string_view bytes) {
+  if (crashed_) {
+    return CrashStatus();
+  }
+  if (bytes.size() <= budget_) {
+    budget_ -= bytes.size();
+    return inner_->Append(bytes);
+  }
+  // Torn write: the prefix that fit reaches the disk, then the process
+  // dies. The inner append's own status is irrelevant — the crash wins.
+  (void)inner_->Append(bytes.substr(0, static_cast<size_t>(budget_)));
+  budget_ = 0;
+  crashed_ = true;
+  return CrashStatus();
+}
+
+std::string EncodeJournalRecord(JournalRecordType type,
+                                std::string_view payload) {
+  Encoder frame;
+  frame.PutU32(static_cast<uint32_t>(payload.size()));
+  frame.PutU8(static_cast<uint8_t>(type));
+  std::string bytes = frame.Release();
+  bytes.append(payload.data(), payload.size());
+  Encoder crc;
+  crc.PutU32(Crc32c(bytes));
+  bytes += crc.bytes();
+  return bytes;
+}
+
+StatusOr<JournalContents> ScanJournal(std::string_view bytes) {
+  JournalContents contents;
+  if (bytes.empty()) {
+    return contents;  // fresh journal
+  }
+  if (bytes.size() < kHeaderSize) {
+    // A torn header write: nothing trustworthy, recover to empty — unless
+    // the bytes do not even start like our magic, in which case this is not
+    // our file and truncating it would destroy someone's data.
+    const size_t n = std::min(bytes.size(), kJournalMagic.size());
+    if (bytes.substr(0, n) != kJournalMagic.substr(0, n)) {
+      return InvalidArgumentError("journal: not a journal file (bad magic)");
+    }
+    contents.truncated_tail = true;
+    return contents;
+  }
+  if (bytes.substr(0, kJournalMagic.size()) != kJournalMagic) {
+    return InvalidArgumentError("journal: not a journal file (bad magic)");
+  }
+  {
+    Decoder header(bytes.substr(kJournalMagic.size(), 4));
+    uint32_t version = 0;
+    HTUNE_RETURN_IF_ERROR(header.GetU32(&version));
+    if (version != kJournalVersion) {
+      return InvalidArgumentError("journal: unsupported format version " +
+                                  std::to_string(version));
+    }
+    contents.version = version;
+  }
+  contents.valid_bytes = kHeaderSize;
+
+  size_t offset = kHeaderSize;
+  while (offset < bytes.size()) {
+    if (bytes.size() - offset < kFrameOverhead) {
+      break;  // torn frame header/footer
+    }
+    Decoder prefix(bytes.substr(offset, 5));
+    uint32_t length = 0;
+    uint8_t type = 0;
+    HTUNE_RETURN_IF_ERROR(prefix.GetU32(&length));
+    HTUNE_RETURN_IF_ERROR(prefix.GetU8(&type));
+    if (length > kMaxPayload || bytes.size() - offset - kFrameOverhead <
+                                    static_cast<size_t>(length)) {
+      break;  // corrupt length or torn payload
+    }
+    const std::string_view framed = bytes.substr(offset, 5 + length);
+    Decoder footer(bytes.substr(offset + 5 + length, 4));
+    uint32_t stored_crc = 0;
+    HTUNE_RETURN_IF_ERROR(footer.GetU32(&stored_crc));
+    if (Crc32c(framed) != stored_crc) {
+      break;  // bit-flipped record
+    }
+    if (type < static_cast<uint8_t>(JournalRecordType::kRunStart) ||
+        type > static_cast<uint8_t>(JournalRecordType::kRunEnd)) {
+      break;  // unknown record type: cannot trust anything after it
+    }
+    JournalRecord record;
+    record.type = static_cast<JournalRecordType>(type);
+    record.payload = std::string(framed.substr(5));
+    offset += 5 + length + 4;
+    record.end_offset = offset;
+    contents.records.push_back(std::move(record));
+    contents.valid_bytes = offset;
+  }
+  contents.truncated_tail = contents.valid_bytes < bytes.size();
+  return contents;
+}
+
+StatusOr<JournalContents> OpenJournal(JournalStorage& storage) {
+  HTUNE_ASSIGN_OR_RETURN(const std::string bytes, storage.Load());
+  HTUNE_ASSIGN_OR_RETURN(JournalContents contents, ScanJournal(bytes));
+  if (contents.truncated_tail) {
+    HTUNE_RETURN_IF_ERROR(storage.Truncate(contents.valid_bytes));
+  }
+  return contents;
+}
+
+JournalWriter::JournalWriter(JournalStorage* storage, uint64_t existing_bytes)
+    : storage_(storage), header_written_(existing_bytes > 0) {}
+
+Status JournalWriter::Append(JournalRecordType type,
+                             std::string_view payload) {
+  if (!header_written_) {
+    HTUNE_RETURN_IF_ERROR(storage_->Append(EncodeHeader()));
+    header_written_ = true;
+  }
+  return storage_->Append(EncodeJournalRecord(type, payload));
+}
+
+}  // namespace htune

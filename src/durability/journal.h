@@ -1,0 +1,191 @@
+#ifndef HTUNE_DURABILITY_JOURNAL_H_
+#define HTUNE_DURABILITY_JOURNAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/statusor.h"
+
+namespace htune {
+
+/// Byte-oriented backing store for a write-ahead journal. Implementations
+/// are append-mostly: `Truncate` exists only so recovery can physically drop
+/// a torn tail before appending resumes. The controller owns exactly one
+/// storage per job; pluggability is what lets tests run the full crash
+/// matrix in memory while the CLI and bench persist to disk.
+class JournalStorage {
+ public:
+  virtual ~JournalStorage() = default;
+
+  /// Reads the journal's current full contents.
+  virtual StatusOr<std::string> Load() = 0;
+  /// Appends `bytes` at the end. A failed append may have persisted any
+  /// prefix of `bytes` (the torn-write model); recovery handles it.
+  virtual Status Append(std::string_view bytes) = 0;
+  /// Discards everything past the first `size` bytes.
+  virtual Status Truncate(uint64_t size) = 0;
+  /// Forces appended bytes to stable storage (no-op for memory).
+  virtual Status Flush() = 0;
+};
+
+/// In-memory storage for tests and ephemeral runs.
+class InMemoryJournalStorage : public JournalStorage {
+ public:
+  InMemoryJournalStorage() = default;
+  explicit InMemoryJournalStorage(std::string initial)
+      : bytes_(std::move(initial)) {}
+
+  StatusOr<std::string> Load() override { return bytes_; }
+  Status Append(std::string_view bytes) override;
+  Status Truncate(uint64_t size) override;
+  Status Flush() override { return OkStatus(); }
+
+  /// Direct access for corruption tests.
+  std::string& bytes() { return bytes_; }
+
+ private:
+  std::string bytes_;
+};
+
+/// File-backed storage for the CLI and benches. The file is opened per
+/// operation; journals are small and controller decisions are rare relative
+/// to simulated market events, so simplicity wins over a cached descriptor.
+class FileJournalStorage : public JournalStorage {
+ public:
+  explicit FileJournalStorage(std::string path) : path_(std::move(path)) {}
+
+  StatusOr<std::string> Load() override;
+  Status Append(std::string_view bytes) override;
+  Status Truncate(uint64_t size) override;
+  Status Flush() override;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// Deterministic crash injection: behaves as the wrapped storage until
+/// `fail_after_bytes` total bytes have been appended, then persists exactly
+/// the prefix of the crossing append that fits and fails every append from
+/// then on — modeling a process killed mid-write with a torn final record.
+/// Load/Truncate keep working so the subsequent recovery run can reuse the
+/// same underlying storage.
+class CrashInjectingStorage : public JournalStorage {
+ public:
+  /// `inner` is borrowed and must outlive this wrapper.
+  CrashInjectingStorage(JournalStorage* inner, uint64_t fail_after_bytes)
+      : inner_(inner), budget_(fail_after_bytes) {}
+
+  StatusOr<std::string> Load() override { return inner_->Load(); }
+  Status Append(std::string_view bytes) override;
+  Status Truncate(uint64_t size) override { return inner_->Truncate(size); }
+  Status Flush() override {
+    return crashed_ ? CrashStatus() : inner_->Flush();
+  }
+
+  bool crashed() const { return crashed_; }
+
+  /// The status every post-crash operation returns; controllers propagate
+  /// it out of the run, which is the simulated kill.
+  static Status CrashStatus();
+
+ private:
+  JournalStorage* inner_;
+  uint64_t budget_;
+  bool crashed_ = false;
+};
+
+/// Journal file layout:
+///   header:  "HTWJ" magic (4 bytes) + u32 LE format version
+///   record:  u32 LE payload length | u8 type | payload | u32 LE CRC-32C
+/// The CRC covers the length, type, and payload bytes, so a corrupted
+/// length field cannot redirect the frame walk to a byte range that
+/// happens to checksum correctly against a different payload.
+inline constexpr std::string_view kJournalMagic = "HTWJ";
+inline constexpr uint32_t kJournalVersion = 1;
+
+/// Controller-level record types. Values are part of the on-disk format
+/// (tools/journal_inspect.py mirrors them); append only, never renumber.
+enum class JournalRecordType : uint8_t {
+  /// Job began: {budget, task count}.
+  kRunStart = 1,
+  /// One task posted: {task id, group, planned per-repetition prices}.
+  kPost = 2,
+  /// A task repriced (escalation, floor demotion, or retune):
+  /// {task id, new price, remaining slots}.
+  kReprice = 3,
+  /// One repetition's answer was paid for: {task id, slot, price}. The
+  /// exactly-once unit of the budget ledger.
+  kPayment = 4,
+  /// All repetitions of a task finished: {task id, completion time}.
+  kCompletion = 5,
+  /// A review round ended: {review index, simulated time, spent so far}.
+  kReviewEnd = 6,
+  /// Checkpoint: {market state blob, executor state blob}.
+  kSnapshot = 7,
+  /// Job finished: {total spent, job latency}.
+  kRunEnd = 8,
+};
+
+std::string_view JournalRecordTypeToString(JournalRecordType type);
+
+/// One validated record read back from a journal.
+struct JournalRecord {
+  JournalRecordType type = JournalRecordType::kRunStart;
+  std::string payload;
+  /// Byte offset one past this record's frame — i.e. the journal size if
+  /// the run had been killed exactly at this record boundary. The crash
+  /// harness enumerates these.
+  uint64_t end_offset = 0;
+};
+
+/// Result of scanning a journal's bytes.
+struct JournalContents {
+  uint32_t version = kJournalVersion;
+  std::vector<JournalRecord> records;
+  /// Length of the valid prefix (header + intact records). Everything past
+  /// it is a torn or corrupted tail that recovery truncates.
+  uint64_t valid_bytes = 0;
+  /// True when trailing bytes past `valid_bytes` were present and dropped.
+  bool truncated_tail = false;
+};
+
+/// Encodes one framed record (length | type | payload | crc).
+std::string EncodeJournalRecord(JournalRecordType type,
+                                std::string_view payload);
+
+/// Scans raw journal bytes into validated records. An empty input is a
+/// fresh journal. A torn or bit-flipped record ends the valid prefix: that
+/// record and everything after it are reported as truncated, never an
+/// error — this is the WAL recovery contract. Only a present-but-wrong
+/// magic or an unsupported version is an error (the bytes are not ours to
+/// truncate).
+StatusOr<JournalContents> ScanJournal(std::string_view bytes);
+
+/// Loads, scans, and physically truncates the torn tail (if any) so the
+/// storage ends at a record boundary and appends go to a clean end.
+StatusOr<JournalContents> OpenJournal(JournalStorage& storage);
+
+/// Appends records to a storage, writing the header first on a fresh
+/// journal.
+class JournalWriter {
+ public:
+  /// `storage` is borrowed. `existing_bytes` is the valid size already in
+  /// the storage (0 for fresh; OpenJournal().valid_bytes after recovery).
+  JournalWriter(JournalStorage* storage, uint64_t existing_bytes);
+
+  Status Append(JournalRecordType type, std::string_view payload);
+  Status Flush() { return storage_->Flush(); }
+
+ private:
+  JournalStorage* storage_;
+  bool header_written_;
+};
+
+}  // namespace htune
+
+#endif  // HTUNE_DURABILITY_JOURNAL_H_

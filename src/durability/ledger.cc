@@ -1,0 +1,91 @@
+#include "durability/ledger.h"
+
+#include "durability/serialize.h"
+
+namespace htune {
+
+StatusOr<bool> BudgetLedger::RecordPayment(TaskId task, int slot, int price) {
+  if (slot < 0 || price < 1) {
+    return InvalidArgumentError("ledger: slot must be >= 0 and price >= 1");
+  }
+  std::vector<int>& slots = payments_[task];
+  const size_t index = static_cast<size_t>(slot);
+  if (index < slots.size()) {
+    if (slots[index] != price) {
+      return InternalError(
+          "ledger: double payment with conflicting terms for task " +
+          std::to_string(task) + " slot " + std::to_string(slot) + ": " +
+          std::to_string(slots[index]) + " vs " + std::to_string(price));
+    }
+    return false;  // idempotent replay
+  }
+  if (index != slots.size()) {
+    return InternalError("ledger: payment for task " + std::to_string(task) +
+                         " skips from slot " + std::to_string(slots.size()) +
+                         " to " + std::to_string(slot));
+  }
+  slots.push_back(price);
+  return true;
+}
+
+int BudgetLedger::PaymentsFor(TaskId task) const {
+  const auto it = payments_.find(task);
+  return it == payments_.end() ? 0 : static_cast<int>(it->second.size());
+}
+
+long BudgetLedger::TotalPaid() const {
+  long total = 0;
+  for (const auto& [task, slots] : payments_) {
+    for (const int price : slots) total += price;
+  }
+  return total;
+}
+
+size_t BudgetLedger::Entries() const {
+  size_t entries = 0;
+  for (const auto& [task, slots] : payments_) {
+    entries += slots.size();
+  }
+  return entries;
+}
+
+std::string BudgetLedger::Encode() const {
+  Encoder enc;
+  enc.PutU64(payments_.size());
+  for (const auto& [task, slots] : payments_) {
+    enc.PutU64(task);
+    enc.PutI32Vector(slots);
+  }
+  return enc.Release();
+}
+
+StatusOr<BudgetLedger> BudgetLedger::Decode(std::string_view bytes) {
+  Decoder dec(bytes);
+  uint64_t tasks = 0;
+  HTUNE_RETURN_IF_ERROR(dec.GetU64(&tasks));
+  if (tasks > dec.remaining() / 8) {
+    return InvalidArgumentError("ledger: task count exceeds input");
+  }
+  BudgetLedger ledger;
+  TaskId previous = 0;
+  for (uint64_t i = 0; i < tasks; ++i) {
+    TaskId task = 0;
+    std::vector<int> slots;
+    HTUNE_RETURN_IF_ERROR(dec.GetU64(&task));
+    HTUNE_RETURN_IF_ERROR(dec.GetI32Vector(&slots));
+    if (i > 0 && task <= previous) {
+      return InvalidArgumentError("ledger: task ids out of order");
+    }
+    previous = task;
+    for (const int price : slots) {
+      if (price < 1) {
+        return InvalidArgumentError("ledger: non-positive price");
+      }
+    }
+    ledger.payments_.emplace(task, std::move(slots));
+  }
+  HTUNE_RETURN_IF_ERROR(dec.ExpectDone());
+  return ledger;
+}
+
+}  // namespace htune

@@ -1,0 +1,50 @@
+#ifndef HTUNE_DURABILITY_LEDGER_H_
+#define HTUNE_DURABILITY_LEDGER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "market/events.h"
+
+namespace htune {
+
+/// Exactly-once payment accounting for a controller run. Each entry is one
+/// paid repetition attempt, keyed (task, slot): abandoned attempts are
+/// never paid (the market drops them), so the paid attempts of a task are
+/// exactly slots 0..n-1 in completion order. The ledger is the arbiter the
+/// crash harness checks — across any number of crash/recover cycles, every
+/// attempt must be recorded exactly once and the total must equal the
+/// market's spend delta.
+class BudgetLedger {
+ public:
+  /// Records the payment of `price` for repetition slot `slot` of `task`.
+  /// Returns true when the entry is new, false when the identical entry is
+  /// already present (an idempotent re-record during replay). A conflicting
+  /// price for an existing slot, or a slot that skips ahead of the
+  /// sequential order, is an Internal error: it means an attempt would be
+  /// paid twice under different terms or an attempt went missing.
+  StatusOr<bool> RecordPayment(TaskId task, int slot, int price);
+
+  /// Number of payments recorded for `task` (== the next unpaid slot).
+  int PaymentsFor(TaskId task) const;
+
+  /// Sum of every recorded payment.
+  long TotalPaid() const;
+
+  /// Total number of recorded payment entries.
+  size_t Entries() const;
+
+  /// Stable binary form for snapshots.
+  std::string Encode() const;
+  static StatusOr<BudgetLedger> Decode(std::string_view bytes);
+
+ private:
+  /// Per task, the price paid at each slot, in slot order.
+  std::map<TaskId, std::vector<int>> payments_;
+};
+
+}  // namespace htune
+
+#endif  // HTUNE_DURABILITY_LEDGER_H_

@@ -1,0 +1,34 @@
+#ifndef HTUNE_DURABILITY_SNAPSHOT_H_
+#define HTUNE_DURABILITY_SNAPSHOT_H_
+
+#include <string>
+
+#include "common/statusor.h"
+#include "durability/serialize.h"
+#include "market/simulator.h"
+
+namespace htune {
+
+/// Binary codec for MarketState (see market/simulator.h). The encoding is
+/// deterministic — encoding equal states yields equal bytes — so snapshot
+/// records can be compared bitwise during replay verification. Doubles are
+/// stored as IEEE-754 bit patterns, making a decode(encode(s)) round trip
+/// exact.
+std::string EncodeMarketState(const MarketState& state);
+
+/// Inverse of EncodeMarketState. Returns InvalidArgument on truncated or
+/// structurally corrupt input (never crashes on hostile bytes); semantic
+/// validation beyond shape (heap order, curve indices) happens in
+/// MarketSimulator::RestoreState.
+StatusOr<MarketState> DecodeMarketState(std::string_view bytes);
+
+/// Sub-codecs shared with executor-state serialization.
+void EncodeTraceEvents(const std::vector<TraceEvent>& events,
+                       Encoder& encoder);
+Status DecodeTraceEvents(Decoder& decoder, std::vector<TraceEvent>& events);
+void EncodeTaskOutcome(const TaskOutcome& outcome, Encoder& encoder);
+Status DecodeTaskOutcome(Decoder& decoder, TaskOutcome& outcome);
+
+}  // namespace htune
+
+#endif  // HTUNE_DURABILITY_SNAPSHOT_H_

@@ -86,6 +86,10 @@ struct TaskOutcome {
   /// Times an exposed repetition's acceptance window lapsed and the
   /// repetition was reposted.
   int expired_posts = 0;
+  /// Times a repetition of this task was re-exposed to workers (kReposted
+  /// trace events): one per abandoned attempt and one per expired post.
+  /// Surfaced separately so repost storms are visible without a trace.
+  int reposted_posts = 0;
 
   double Latency() const { return completed_time - posted_time; }
 };

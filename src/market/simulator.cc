@@ -1,5 +1,7 @@
 #include "market/simulator.h"
 
+#include <algorithm>
+#include <functional>
 #include <string>
 
 #include "common/check.h"
@@ -69,6 +71,19 @@ double MarketSimulator::SampleArrivalAfter(double after) {
       return t;
     }
   }
+}
+
+void MarketSimulator::PushEvent(const PendingEvent& event) {
+  events_.push_back(event);
+  std::push_heap(events_.begin(), events_.end(),
+                 std::greater<PendingEvent>());
+}
+
+MarketSimulator::PendingEvent MarketSimulator::PopEvent() {
+  std::pop_heap(events_.begin(), events_.end(), std::greater<PendingEvent>());
+  const PendingEvent event = events_.back();
+  events_.pop_back();
+  return event;
 }
 
 void MarketSimulator::Record(const TraceEvent& event) {
@@ -168,11 +183,12 @@ void MarketSimulator::ExposeCurrentRepetition(TaskId id, OpenTask& task,
   const int rep_index =
       static_cast<int>(task.outcome.repetitions.size()) + 1;
   if (reposted) {
+    ++task.outcome.reposted_posts;
     Record({t, TraceEventKind::kReposted, 0, id, rep_index});
   }
   if (task.spec.acceptance_timeout > 0.0) {
-    events_.push({t + task.spec.acceptance_timeout, event_sequence_++, id,
-                  PendingEvent::Kind::kExpiry, task.exposure_generation});
+    PushEvent({t + task.spec.acceptance_timeout, event_sequence_++, id,
+               PendingEvent::Kind::kExpiry, task.exposure_generation});
   }
 }
 
@@ -242,12 +258,12 @@ void MarketSimulator::StepWorkerArrival() {
         config_.abandon_prob > 0.0 && rng_.Bernoulli(config_.abandon_prob);
     if (abandons) {
       const double hold = rng_.Exponential(config_.abandon_hold_rate);
-      events_.push({now_ + hold, event_sequence_++, id,
-                    PendingEvent::Kind::kAbandon, 0});
+      PushEvent({now_ + hold, event_sequence_++, id,
+                 PendingEvent::Kind::kAbandon, 0});
     } else {
       const double processing = rng_.Exponential(task.spec.processing_rate);
-      events_.push({now_ + processing, event_sequence_++, id,
-                    PendingEvent::Kind::kCompletion, 0});
+      PushEvent({now_ + processing, event_sequence_++, id,
+                 PendingEvent::Kind::kCompletion, 0});
     }
   }
 }
@@ -358,12 +374,10 @@ Status MarketSimulator::Reprice(TaskId id, int new_price,
 size_t MarketSimulator::RunUntil(double deadline) {
   while (!open_tasks_.empty()) {
     const bool has_event = !events_.empty();
-    const double event_time = has_event ? events_.top().time : 0.0;
+    const double event_time = has_event ? events_.front().time : 0.0;
     if (has_event && event_time <= next_arrival_time_) {
       if (event_time > deadline) break;
-      const PendingEvent head = events_.top();
-      events_.pop();
-      ApplyEvent(head);
+      ApplyEvent(PopEvent());
     } else {
       if (next_arrival_time_ > deadline) break;
       StepWorkerArrival();
@@ -397,10 +411,8 @@ Status MarketSimulator::RunToCompletion() {
           " open tasks total) — a posted rate is effectively zero");
     }
     const bool has_event = !events_.empty();
-    if (has_event && events_.top().time <= next_arrival_time_) {
-      const PendingEvent head = events_.top();
-      events_.pop();
-      ApplyEvent(head);
+    if (has_event && events_.front().time <= next_arrival_time_) {
+      ApplyEvent(PopEvent());
     } else {
       StepWorkerArrival();
     }
@@ -469,6 +481,201 @@ std::vector<TaskOutcome> MarketSimulator::CompletedOutcomes() const {
     outcomes.push_back(completed_.at(id));
   }
   return outcomes;
+}
+
+namespace {
+
+/// Maps a task's curve pointer to its MarketState index (pointer identity:
+/// the controller posts tasks with curves from its own table, so the same
+/// shared object is found again at capture time).
+StatusOr<int32_t> CurveToIndex(
+    const std::shared_ptr<const PriceRateCurve>& curve,
+    const std::shared_ptr<const PriceRateCurve>& market_curve,
+    const std::vector<std::shared_ptr<const PriceRateCurve>>& table) {
+  if (curve == nullptr) return MarketState::kCurveNone;
+  if (curve == market_curve) return MarketState::kCurveMarket;
+  for (size_t i = 0; i < table.size(); ++i) {
+    if (table[i] == curve) {
+      return static_cast<int32_t>(MarketState::kCurveTableBase + i);
+    }
+  }
+  return InvalidArgumentError(
+      "CaptureState: open task references a curve outside the curve table");
+}
+
+StatusOr<std::shared_ptr<const PriceRateCurve>> CurveFromIndex(
+    int32_t index, const std::shared_ptr<const PriceRateCurve>& market_curve,
+    const std::vector<std::shared_ptr<const PriceRateCurve>>& table) {
+  if (index == MarketState::kCurveNone) {
+    return std::shared_ptr<const PriceRateCurve>();
+  }
+  if (index == MarketState::kCurveMarket) {
+    if (market_curve == nullptr) {
+      return InvalidArgumentError(
+          "RestoreState: state references the market true_curve but the "
+          "config has none");
+    }
+    return market_curve;
+  }
+  const int64_t slot = static_cast<int64_t>(index) -
+                       MarketState::kCurveTableBase;
+  if (slot < 0 || slot >= static_cast<int64_t>(table.size()) ||
+      table[static_cast<size_t>(slot)] == nullptr) {
+    return InvalidArgumentError("RestoreState: curve index " +
+                                std::to_string(index) +
+                                " outside the curve table");
+  }
+  return table[static_cast<size_t>(slot)];
+}
+
+}  // namespace
+
+StatusOr<MarketState> MarketSimulator::CaptureState(
+    const std::vector<std::shared_ptr<const PriceRateCurve>>& curve_table)
+    const {
+  MarketState state;
+  state.now = now_;
+  state.next_arrival_time = next_arrival_time_;
+  state.next_worker = next_worker_;
+  state.next_task = next_task_;
+  state.event_sequence = event_sequence_;
+  state.total_spent = total_spent_;
+  state.rng = rng_.SaveState();
+  state.events.reserve(events_.size());
+  for (const PendingEvent& event : events_) {
+    state.events.push_back({event.time, event.sequence, event.task,
+                            static_cast<uint8_t>(event.kind),
+                            event.generation});
+  }
+  state.open_tasks.reserve(open_tasks_.size());
+  for (const auto& [id, task] : open_tasks_) {
+    MarketState::Task t;
+    t.id = id;
+    t.price_per_repetition = task.spec.price_per_repetition;
+    t.repetitions = task.spec.repetitions;
+    t.on_hold_rate = task.spec.on_hold_rate;
+    t.spec_prices = task.spec.per_repetition_prices;
+    t.spec_rates = task.spec.per_repetition_rates;
+    HTUNE_ASSIGN_OR_RETURN(
+        t.spec_curve,
+        CurveToIndex(task.spec.true_curve, config_.true_curve, curve_table));
+    t.processing_rate = task.spec.processing_rate;
+    t.acceptance_timeout = task.spec.acceptance_timeout;
+    t.true_answer = task.spec.true_answer;
+    t.num_options = task.spec.num_options;
+    t.rep_prices = task.rep_prices;
+    t.rep_rates = task.rep_rates;
+    HTUNE_ASSIGN_OR_RETURN(
+        t.effective_curve,
+        CurveToIndex(task.effective_curve, config_.true_curve, curve_table));
+    t.outcome = task.outcome;
+    t.next_repetition = task.next_repetition;
+    t.awaiting_acceptance = task.awaiting_acceptance;
+    t.current_posted_time = task.current_posted_time;
+    t.exposure_generation = task.exposure_generation;
+    t.reprice_price = task.reprice_price;
+    t.reprice_rate = task.reprice_rate;
+    state.open_tasks.push_back(std::move(t));
+  }
+  state.completed.reserve(completed_.size());
+  for (const auto& [id, outcome] : completed_) {
+    state.completed.push_back(outcome);
+  }
+  state.completion_order = completion_order_;
+  state.trace = trace_;
+  return state;
+}
+
+Status MarketSimulator::RestoreState(
+    const MarketState& state,
+    const std::vector<std::shared_ptr<const PriceRateCurve>>& curve_table) {
+  // Structural validation first so a failed restore leaves the simulator
+  // untouched.
+  for (const MarketState::Event& event : state.events) {
+    if (event.kind > static_cast<uint8_t>(PendingEvent::Kind::kExpiry)) {
+      return InvalidArgumentError("RestoreState: unknown event kind");
+    }
+  }
+  std::map<TaskId, OpenTask> open_tasks;
+  for (const MarketState::Task& t : state.open_tasks) {
+    const size_t reps = static_cast<size_t>(t.repetitions);
+    if (t.repetitions < 1 || t.rep_prices.size() != reps ||
+        t.rep_rates.size() != reps ||
+        t.outcome.repetitions.size() > reps) {
+      return InvalidArgumentError(
+          "RestoreState: task repetition shape is inconsistent");
+    }
+    OpenTask task;
+    task.spec.price_per_repetition = t.price_per_repetition;
+    task.spec.repetitions = t.repetitions;
+    task.spec.on_hold_rate = t.on_hold_rate;
+    task.spec.per_repetition_prices = t.spec_prices;
+    task.spec.per_repetition_rates = t.spec_rates;
+    HTUNE_ASSIGN_OR_RETURN(
+        task.spec.true_curve,
+        CurveFromIndex(t.spec_curve, config_.true_curve, curve_table));
+    task.spec.processing_rate = t.processing_rate;
+    task.spec.acceptance_timeout = t.acceptance_timeout;
+    task.spec.true_answer = t.true_answer;
+    task.spec.num_options = t.num_options;
+    task.rep_prices = t.rep_prices;
+    task.rep_rates = t.rep_rates;
+    HTUNE_ASSIGN_OR_RETURN(
+        task.effective_curve,
+        CurveFromIndex(t.effective_curve, config_.true_curve, curve_table));
+    task.outcome = t.outcome;
+    task.next_repetition = t.next_repetition;
+    task.awaiting_acceptance = t.awaiting_acceptance;
+    task.current_posted_time = t.current_posted_time;
+    task.exposure_generation = t.exposure_generation;
+    task.reprice_price = t.reprice_price;
+    task.reprice_rate = t.reprice_rate;
+    if (!open_tasks.emplace(t.id, std::move(task)).second) {
+      return InvalidArgumentError("RestoreState: duplicate open task id");
+    }
+  }
+  std::map<TaskId, TaskOutcome> completed;
+  for (const TaskOutcome& outcome : state.completed) {
+    if (!completed.emplace(outcome.id, outcome).second) {
+      return InvalidArgumentError("RestoreState: duplicate completed id");
+    }
+  }
+  if (state.completion_order.size() != completed.size()) {
+    return InvalidArgumentError(
+        "RestoreState: completion order does not match completed set");
+  }
+  for (const TaskId id : state.completion_order) {
+    if (completed.count(id) == 0) {
+      return InvalidArgumentError(
+          "RestoreState: completion order names an unknown task");
+    }
+  }
+  std::vector<PendingEvent> events;
+  events.reserve(state.events.size());
+  for (const MarketState::Event& event : state.events) {
+    events.push_back({event.time, event.sequence, event.task,
+                      static_cast<PendingEvent::Kind>(event.kind),
+                      event.generation});
+  }
+  if (!std::is_heap(events.begin(), events.end(),
+                    std::greater<PendingEvent>())) {
+    return InvalidArgumentError(
+        "RestoreState: pending events are not in heap order");
+  }
+
+  now_ = state.now;
+  next_arrival_time_ = state.next_arrival_time;
+  next_worker_ = state.next_worker;
+  next_task_ = state.next_task;
+  event_sequence_ = state.event_sequence;
+  total_spent_ = state.total_spent;
+  rng_.RestoreState(state.rng);
+  events_ = std::move(events);
+  open_tasks_ = std::move(open_tasks);
+  completed_ = std::move(completed);
+  completion_order_ = state.completion_order;
+  trace_ = state.trace;
+  return OkStatus();
 }
 
 }  // namespace htune

@@ -4,7 +4,6 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <queue>
 #include <vector>
 
 #include "common/statusor.h"
@@ -105,6 +104,75 @@ struct TaskSpec {
   int num_options = 2;
 };
 
+/// Complete dynamic state of a MarketSimulator as plain serializable data,
+/// for checkpoint/restore (src/durability). The MarketConfig is NOT part of
+/// the state: recovery reconstructs the simulator from the same config the
+/// original run was started with (configs come from code or a job spec, not
+/// from the snapshot), then restores this state into it. Curves referenced
+/// by open tasks are encoded as indices into a caller-supplied table of
+/// shared curve objects, since arbitrary PriceRateCurve implementations are
+/// not serializable (see MarketState::kCurve* sentinels).
+struct MarketState {
+  /// Curve reference encoding used by `Task::spec_curve` /
+  /// `Task::effective_curve`.
+  static constexpr int32_t kCurveNone = 0;     ///< no curve (null)
+  static constexpr int32_t kCurveMarket = 1;   ///< the config's true_curve
+  static constexpr int32_t kCurveTableBase = 2;  ///< table[i] at 2 + i
+
+  /// Mirror of MarketSimulator::PendingEvent, in raw binary-heap order: the
+  /// captured vector is the heap's backing store verbatim, so restoring it
+  /// verbatim reproduces the exact pop order (ties included).
+  struct Event {
+    double time = 0.0;
+    uint64_t sequence = 0;
+    TaskId task = 0;
+    uint8_t kind = 0;  // PendingEvent::Kind
+    uint64_t generation = 0;
+  };
+
+  /// Mirror of MarketSimulator::OpenTask plus its TaskSpec.
+  struct Task {
+    TaskId id = 0;
+    // TaskSpec fields (scalar price/rate retained for faithfulness even
+    // though the normalized per-repetition vectors govern execution).
+    int price_per_repetition = 1;
+    int repetitions = 1;
+    double on_hold_rate = 1.0;
+    std::vector<int> spec_prices;
+    std::vector<double> spec_rates;
+    int32_t spec_curve = kCurveNone;
+    double processing_rate = 1.0;
+    double acceptance_timeout = 0.0;
+    int true_answer = 0;
+    int num_options = 2;
+    // OpenTask fields.
+    std::vector<int> rep_prices;
+    std::vector<double> rep_rates;
+    int32_t effective_curve = kCurveNone;
+    TaskOutcome outcome;
+    int next_repetition = 0;
+    bool awaiting_acceptance = true;
+    double current_posted_time = 0.0;
+    uint64_t exposure_generation = 0;
+    int reprice_price = -1;
+    double reprice_rate = 0.0;
+  };
+
+  double now = 0.0;
+  double next_arrival_time = 0.0;
+  uint64_t next_worker = 0;
+  TaskId next_task = 1;
+  uint64_t event_sequence = 0;
+  long total_spent = 0;
+  Random::State rng;
+  std::vector<Event> events;
+  std::vector<Task> open_tasks;
+  /// Completed outcomes keyed by TaskOutcome::id.
+  std::vector<TaskOutcome> completed;
+  std::vector<TaskId> completion_order;
+  std::vector<TraceEvent> trace;
+};
+
 /// Discrete-event simulator of a crowdsourcing marketplace implementing the
 /// paper's stochastic model end-to-end: Poisson worker arrivals (§3.1.1),
 /// price-thinned task acceptance (§3.1.2), exponential processing times
@@ -181,6 +249,25 @@ class MarketSimulator {
   /// Total payment units spent on completed repetitions so far.
   long TotalSpent() const { return total_spent_; }
 
+  /// Captures the complete dynamic state for a checkpoint. `curve_table`
+  /// must contain (by pointer identity) every curve referenced by an open
+  /// task that is neither null nor the config's own true_curve; an
+  /// unmatchable curve is an InvalidArgument, since a restore could never
+  /// rebuild it. Controllers pass the same table they post tasks with.
+  StatusOr<MarketState> CaptureState(
+      const std::vector<std::shared_ptr<const PriceRateCurve>>& curve_table)
+      const;
+
+  /// Restores a captured state, replacing all dynamic state of this
+  /// simulator. The simulator must have been constructed with the same
+  /// MarketConfig as the one the state was captured from, and `curve_table`
+  /// must resolve the state's curve indices. A restored simulator continues
+  /// bitwise-identically to the captured one. InvalidArgument on indices or
+  /// shapes the state cannot satisfy.
+  Status RestoreState(
+      const MarketState& state,
+      const std::vector<std::shared_ptr<const PriceRateCurve>>& curve_table);
+
  private:
   /// A scheduled simulator event: the in-flight repetition finishing
   /// (kCompletion), the in-flight repetition being returned unanswered
@@ -227,6 +314,13 @@ class MarketSimulator {
     double reprice_rate = 0.0;
   };
 
+  /// Binary-heap push/pop over `events_` (kept as a raw vector so
+  /// CaptureState can serialize the exact heap layout; std::priority_queue
+  /// hides its container). Identical ordering semantics: a min-heap on
+  /// (time, sequence) via operator>.
+  void PushEvent(const PendingEvent& event);
+  PendingEvent PopEvent();
+
   void Record(const TraceEvent& event);
   /// Samples the next worker arrival epoch after `after` (homogeneous, or
   /// thinned against the joint schedule x fault envelope when either is
@@ -259,9 +353,8 @@ class MarketSimulator {
   std::map<TaskId, OpenTask> open_tasks_;
   std::map<TaskId, TaskOutcome> completed_;
   std::vector<TaskId> completion_order_;
-  std::priority_queue<PendingEvent, std::vector<PendingEvent>,
-                      std::greater<PendingEvent>>
-      events_;
+  /// Min-heap on (time, sequence); see PushEvent/PopEvent.
+  std::vector<PendingEvent> events_;
   std::vector<TraceEvent> trace_;
 };
 

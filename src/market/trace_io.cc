@@ -1,8 +1,10 @@
 #include "market/trace_io.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <map>
 
 #include "common/strings.h"
 
@@ -72,6 +74,11 @@ StatusOr<std::vector<TraceEvent>> ParseTraceCsv(std::string_view csv) {
   }
   std::vector<TraceEvent> trace;
   trace.reserve(lines.size() - 1);
+  // Per-task monotonicity check: a task's events must carry non-decreasing
+  // timestamps (task 0 covers worker arrivals, which the simulator also
+  // emits in time order). Catches hand-edited or corrupted traces that
+  // would silently skew latency statistics downstream.
+  std::map<TaskId, double> last_time_per_task;
   for (size_t i = 1; i < lines.size(); ++i) {
     const std::string where =
         "ParseTraceCsv: line " + std::to_string(i + 1) + ": ";
@@ -85,6 +92,10 @@ StatusOr<std::vector<TraceEvent>> ParseTraceCsv(std::string_view csv) {
     event.time = std::strtod(fields[0].c_str(), &end);
     if (end == fields[0].c_str() || *end != '\0') {
       return InvalidArgumentError(where + "bad time '" + fields[0] + "'");
+    }
+    if (std::isnan(event.time) || event.time < 0.0) {
+      return InvalidArgumentError(where + "negative or NaN time '" +
+                                  fields[0] + "'");
     }
     HTUNE_ASSIGN_OR_RETURN(event.kind, TraceEventKindFromString(fields[1]));
     event.worker = std::strtoull(fields[2].c_str(), &end, 10);
@@ -101,6 +112,18 @@ StatusOr<std::vector<TraceEvent>> ParseTraceCsv(std::string_view csv) {
                                   "'");
     }
     event.repetition = static_cast<int>(repetition);
+    const auto [it, first_event] =
+        last_time_per_task.emplace(event.task, event.time);
+    if (!first_event) {
+      if (event.time < it->second) {
+        return InvalidArgumentError(
+            where + "time " + fields[0] + " for task " +
+            std::to_string(event.task) +
+            " goes backwards (previous event at " +
+            FormatDouble(it->second, 6) + ")");
+      }
+      it->second = event.time;
+    }
     trace.push_back(event);
   }
   return trace;
@@ -142,6 +165,7 @@ StatusOr<TraceSummary> SummarizeOutcomes(
     summary.abandoned_attempts +=
         static_cast<size_t>(outcome.abandoned_attempts);
     summary.expired_posts += static_cast<size_t>(outcome.expired_posts);
+    summary.reposted_posts += static_cast<size_t>(outcome.reposted_posts);
     for (const RepetitionOutcome& rep : outcome.repetitions) {
       ++summary.repetitions;
       on_hold_total += rep.OnHoldLatency();
@@ -178,12 +202,15 @@ std::string SummaryToString(const TraceSummary& summary) {
   out += "%, paid ";
   out += std::to_string(summary.total_paid);
   out += " units";
-  if (summary.abandoned_attempts > 0 || summary.expired_posts > 0) {
+  if (summary.abandoned_attempts > 0 || summary.expired_posts > 0 ||
+      summary.reposted_posts > 0) {
     out += "; ";
     out += std::to_string(summary.abandoned_attempts);
     out += " abandoned, ";
     out += std::to_string(summary.expired_posts);
-    out += " expired";
+    out += " expired, ";
+    out += std::to_string(summary.reposted_posts);
+    out += " reposts";
   }
   return out;
 }

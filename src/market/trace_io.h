@@ -27,7 +27,9 @@ StatusOr<TraceEventKind> TraceEventKindFromString(std::string_view name);
 /// exactly: TraceToCsv(*ParseTraceCsv(csv)) == csv for any csv the writer
 /// produced (times are serialized at fixed precision, so the writer-parser
 /// composition is the identity on the textual form). InvalidArgument with a
-/// line-numbered message on malformed input.
+/// line-numbered message on malformed input, on negative or NaN timestamps,
+/// and on a timestamp that goes backwards within one task's event sequence
+/// (worker arrivals, task id 0, are checked as their own sequence).
 StatusOr<std::vector<TraceEvent>> ParseTraceCsv(std::string_view csv);
 
 /// Reads `path` and parses it. NotFound when the file cannot be read.
@@ -47,6 +49,9 @@ struct TraceSummary {
   size_t abandoned_attempts = 0;
   /// Acceptance-window expiries that forced a repost.
   size_t expired_posts = 0;
+  /// Re-exposures of a repetition after abandonment or expiry (kReposted
+  /// events); the total churn the market absorbed to finish the job.
+  size_t reposted_posts = 0;
 };
 
 /// Summarizes a set of completed outcomes; returns InvalidArgument when

@@ -70,6 +70,24 @@ class Random {
   /// Returns an independent stream (see Xoshiro256::Split).
   Random Split();
 
+  /// Complete sampler state for checkpoint/restore: the engine's 256 bits
+  /// plus the polar method's cached second normal. Restoring it resumes the
+  /// exact sample stream, which market snapshots rely on for bitwise
+  /// crash-recovery identity.
+  struct State {
+    std::array<uint64_t, 4> engine = {0, 0, 0, 0};
+    bool has_cached_normal = false;
+    double cached_normal = 0.0;
+  };
+  State SaveState() const {
+    return {engine_.state(), has_cached_normal_, cached_normal_};
+  }
+  void RestoreState(const State& state) {
+    engine_.set_state(state.engine);
+    has_cached_normal_ = state.has_cached_normal;
+    cached_normal_ = state.cached_normal;
+  }
+
   /// Direct access to the underlying bit generator.
   Xoshiro256& engine() { return engine_; }
 

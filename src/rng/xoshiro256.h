@@ -34,6 +34,12 @@ class Xoshiro256 {
   /// yield further disjoint streams.
   Xoshiro256 Split();
 
+  /// Raw 256-bit state, for checkpoint/restore. A generator whose state is
+  /// restored continues the exact output stream the captured one would
+  /// have produced.
+  const std::array<uint64_t, 4>& state() const { return state_; }
+  void set_state(const std::array<uint64_t, 4>& state) { state_ = state; }
+
  private:
   std::array<uint64_t, 4> state_;
 };

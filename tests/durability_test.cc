@@ -1,0 +1,408 @@
+// Unit tests for the durability layer: CRC32C, the binary codec, journal
+// framing and torn-tail recovery, the exactly-once budget ledger, the
+// market snapshot codec, and MarketSimulator capture/restore determinism.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "durability/crc32c.h"
+#include "durability/journal.h"
+#include "durability/ledger.h"
+#include "durability/recovery.h"
+#include "durability/serialize.h"
+#include "durability/snapshot.h"
+#include "market/simulator.h"
+#include "model/price_rate_curve.h"
+
+namespace htune {
+namespace {
+
+TEST(Crc32cTest, KnownVectors) {
+  // The canonical CRC-32C check value (RFC 3720 / Castagnoli).
+  EXPECT_EQ(Crc32c("123456789"), 0xE3069283u);
+  EXPECT_EQ(Crc32c(""), 0u);
+  // iSCSI test vector: 32 zero bytes.
+  EXPECT_EQ(Crc32c(std::string(32, '\0')), 0x8A9136AAu);
+}
+
+TEST(Crc32cTest, ExtendComposes) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  for (size_t split = 0; split <= data.size(); ++split) {
+    const uint32_t head = Crc32c(data.substr(0, split));
+    EXPECT_EQ(ExtendCrc32c(head, data.substr(split)), Crc32c(data));
+  }
+}
+
+TEST(SerializeTest, RoundTripsEveryType) {
+  Encoder encoder;
+  encoder.PutU8(250);
+  encoder.PutU32(0xDEADBEEFu);
+  encoder.PutU64(0x0123456789ABCDEFull);
+  encoder.PutI32(-42);
+  encoder.PutI64(-1234567890123LL);
+  encoder.PutBool(true);
+  encoder.PutDouble(3.14159265358979);
+  encoder.PutString("payload");
+  encoder.PutI32Vector({1, -2, 3});
+  encoder.PutDoubleVector({0.5, -0.25});
+
+  Decoder decoder(encoder.bytes());
+  uint8_t u8;
+  uint32_t u32;
+  uint64_t u64;
+  int32_t i32;
+  int64_t i64;
+  bool b;
+  double d;
+  std::string s;
+  std::vector<int> iv;
+  std::vector<double> dv;
+  ASSERT_TRUE(decoder.GetU8(&u8).ok());
+  ASSERT_TRUE(decoder.GetU32(&u32).ok());
+  ASSERT_TRUE(decoder.GetU64(&u64).ok());
+  ASSERT_TRUE(decoder.GetI32(&i32).ok());
+  ASSERT_TRUE(decoder.GetI64(&i64).ok());
+  ASSERT_TRUE(decoder.GetBool(&b).ok());
+  ASSERT_TRUE(decoder.GetDouble(&d).ok());
+  ASSERT_TRUE(decoder.GetString(&s).ok());
+  ASSERT_TRUE(decoder.GetI32Vector(&iv).ok());
+  ASSERT_TRUE(decoder.GetDoubleVector(&dv).ok());
+  EXPECT_TRUE(decoder.Done());
+  EXPECT_TRUE(decoder.ExpectDone().ok());
+  EXPECT_EQ(u8, 250);
+  EXPECT_EQ(u32, 0xDEADBEEFu);
+  EXPECT_EQ(u64, 0x0123456789ABCDEFull);
+  EXPECT_EQ(i32, -42);
+  EXPECT_EQ(i64, -1234567890123LL);
+  EXPECT_TRUE(b);
+  EXPECT_DOUBLE_EQ(d, 3.14159265358979);
+  EXPECT_EQ(s, "payload");
+  EXPECT_EQ(iv, (std::vector<int>{1, -2, 3}));
+  EXPECT_EQ(dv, (std::vector<double>{0.5, -0.25}));
+}
+
+TEST(SerializeTest, TruncatedInputFailsCleanly) {
+  Encoder encoder;
+  encoder.PutDouble(1.5);
+  encoder.PutString("hello");
+  const std::string bytes = encoder.bytes();
+  // Every strict prefix must fail on some accessor, never crash.
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    Decoder decoder(std::string_view(bytes).substr(0, len));
+    double d;
+    std::string s;
+    const Status status =
+        !decoder.GetDouble(&d).ok()
+            ? InvalidArgumentError("truncated double")
+            : decoder.GetString(&s);
+    EXPECT_FALSE(status.ok()) << "prefix length " << len;
+  }
+}
+
+TEST(SerializeTest, HostileLengthIsRejectedBeforeAllocation) {
+  Encoder encoder;
+  encoder.PutU64(~0ull);  // a string length claiming 2^64-1 bytes
+  Decoder decoder(encoder.bytes());
+  std::string s;
+  EXPECT_FALSE(decoder.GetString(&s).ok());
+  Decoder decoder2(encoder.bytes());
+  std::vector<double> dv;
+  EXPECT_FALSE(decoder2.GetDoubleVector(&dv).ok());
+}
+
+std::string JournalWith(const std::vector<std::pair<JournalRecordType,
+                                                    std::string>>& records) {
+  InMemoryJournalStorage storage;
+  JournalWriter writer(&storage, 0);
+  for (const auto& [type, payload] : records) {
+    EXPECT_TRUE(writer.Append(type, payload).ok());
+  }
+  return storage.bytes();
+}
+
+TEST(JournalTest, EmptyIsFresh) {
+  const auto contents = ScanJournal("");
+  ASSERT_TRUE(contents.ok());
+  EXPECT_TRUE(contents->records.empty());
+  EXPECT_FALSE(contents->truncated_tail);
+  EXPECT_EQ(contents->valid_bytes, 0u);
+}
+
+TEST(JournalTest, RoundTripsRecords) {
+  const std::string bytes = JournalWith({
+      {JournalRecordType::kRunStart, "alpha"},
+      {JournalRecordType::kPayment, std::string("\x00\x01", 2)},
+      {JournalRecordType::kRunEnd, ""},
+  });
+  const auto contents = ScanJournal(bytes);
+  ASSERT_TRUE(contents.ok());
+  ASSERT_EQ(contents->records.size(), 3u);
+  EXPECT_EQ(contents->records[0].type, JournalRecordType::kRunStart);
+  EXPECT_EQ(contents->records[0].payload, "alpha");
+  EXPECT_EQ(contents->records[1].payload, std::string("\x00\x01", 2));
+  EXPECT_EQ(contents->records[2].type, JournalRecordType::kRunEnd);
+  EXPECT_EQ(contents->records.back().end_offset, bytes.size());
+  EXPECT_FALSE(contents->truncated_tail);
+}
+
+TEST(JournalTest, EveryTruncationRecoversTheValidPrefix) {
+  const std::string bytes = JournalWith({
+      {JournalRecordType::kRunStart, "alpha"},
+      {JournalRecordType::kPost, "bravo-bravo"},
+      {JournalRecordType::kRunEnd, "c"},
+  });
+  const auto full = ScanJournal(bytes);
+  ASSERT_TRUE(full.ok());
+  std::vector<uint64_t> boundaries = {8};  // header
+  for (const JournalRecord& record : full->records) {
+    boundaries.push_back(record.end_offset);
+  }
+  for (size_t len = 0; len <= bytes.size(); ++len) {
+    const auto contents = ScanJournal(std::string_view(bytes).substr(0, len));
+    ASSERT_TRUE(contents.ok()) << "truncated to " << len;
+    // The scan keeps exactly the records whose frames fit entirely.
+    size_t expect_records = 0;
+    uint64_t expect_valid = len < 8 ? 0 : 8;
+    for (size_t i = 1; i < boundaries.size(); ++i) {
+      if (boundaries[i] <= len) {
+        expect_records = i;
+        expect_valid = boundaries[i];
+      }
+    }
+    EXPECT_EQ(contents->records.size(), expect_records) << "len " << len;
+    EXPECT_EQ(contents->valid_bytes, expect_valid) << "len " << len;
+    EXPECT_EQ(contents->truncated_tail, len != expect_valid) << "len " << len;
+  }
+}
+
+TEST(JournalTest, EveryBitFlipIsDetected) {
+  const std::string bytes = JournalWith({
+      {JournalRecordType::kRunStart, "seed"},
+      {JournalRecordType::kPayment, "pay"},
+  });
+  const auto full = ScanJournal(bytes);
+  ASSERT_TRUE(full.ok());
+  ASSERT_EQ(full->records.size(), 2u);
+  // Flip every bit of the second record's frame: the scan must either drop
+  // that record (CRC/length/type detection) or report an error — it must
+  // never return a record with altered bytes as valid.
+  const uint64_t frame_start = full->records[0].end_offset;
+  for (size_t byte = frame_start; byte < bytes.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string corrupt = bytes;
+      corrupt[byte] = static_cast<char>(corrupt[byte] ^ (1 << bit));
+      const auto contents = ScanJournal(corrupt);
+      ASSERT_TRUE(contents.ok());
+      ASSERT_LE(contents->records.size(), 2u);
+      if (contents->records.size() == 2) {
+        // A surviving second record must be byte-identical to the original
+        // (possible only if the flip landed past the frame—it cannot here).
+        EXPECT_EQ(contents->records[1].payload, "pay")
+            << "byte " << byte << " bit " << bit;
+        ADD_FAILURE() << "bit flip inside the frame went undetected at byte "
+                      << byte << " bit " << bit;
+      } else {
+        EXPECT_TRUE(contents->truncated_tail);
+        EXPECT_EQ(contents->records.size(), 1u);
+      }
+    }
+  }
+}
+
+TEST(JournalTest, BadMagicIsAnErrorNotATruncation) {
+  std::string bytes = JournalWith({{JournalRecordType::kRunStart, "x"}});
+  bytes[0] = 'X';
+  EXPECT_FALSE(ScanJournal(bytes).ok());
+}
+
+TEST(JournalTest, OpenPhysicallyTruncatesTornTail) {
+  InMemoryJournalStorage storage;
+  JournalWriter writer(&storage, 0);
+  ASSERT_TRUE(writer.Append(JournalRecordType::kRunStart, "alpha").ok());
+  const size_t valid = storage.bytes().size();
+  storage.bytes() += "torn-partial-frame";
+  const auto contents = OpenJournal(storage);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_TRUE(contents->truncated_tail);
+  EXPECT_EQ(storage.bytes().size(), valid);
+  // Appending after recovery lands on a clean boundary.
+  JournalWriter resumed(&storage, contents->valid_bytes);
+  ASSERT_TRUE(resumed.Append(JournalRecordType::kRunEnd, "omega").ok());
+  const auto reread = ScanJournal(storage.bytes());
+  ASSERT_TRUE(reread.ok());
+  ASSERT_EQ(reread->records.size(), 2u);
+  EXPECT_EQ(reread->records[1].payload, "omega");
+}
+
+TEST(JournalTest, CrashInjectionTearsExactlyAtBudget) {
+  const std::string one = EncodeJournalRecord(JournalRecordType::kPost, "pp");
+  InMemoryJournalStorage inner;
+  // Budget covers the header and half of the first record.
+  const uint64_t budget = 8 + one.size() / 2;
+  CrashInjectingStorage crash(&inner, budget);
+  JournalWriter writer(&crash, 0);
+  const Status status = writer.Append(JournalRecordType::kPost, "pp");
+  EXPECT_FALSE(status.ok());
+  EXPECT_TRUE(crash.crashed());
+  EXPECT_EQ(inner.bytes().size(), budget);  // torn prefix persisted
+  EXPECT_FALSE(writer.Append(JournalRecordType::kPost, "pp").ok());
+  // Recovery on the torn storage drops the partial frame.
+  const auto contents = OpenJournal(inner);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_TRUE(contents->records.empty());
+  EXPECT_TRUE(contents->truncated_tail);
+  EXPECT_EQ(inner.bytes().size(), 8u);
+}
+
+TEST(LedgerTest, ExactlyOnceSemantics) {
+  BudgetLedger ledger;
+  auto first = ledger.RecordPayment(7, 0, 3);
+  ASSERT_TRUE(first.ok());
+  EXPECT_TRUE(*first);
+  auto duplicate = ledger.RecordPayment(7, 0, 3);
+  ASSERT_TRUE(duplicate.ok());
+  EXPECT_FALSE(*duplicate);  // idempotent re-record
+  EXPECT_FALSE(ledger.RecordPayment(7, 0, 4).ok());  // conflicting price
+  EXPECT_FALSE(ledger.RecordPayment(7, 2, 3).ok());  // slot gap
+  ASSERT_TRUE(ledger.RecordPayment(7, 1, 5).ok());
+  EXPECT_EQ(ledger.PaymentsFor(7), 2);
+  EXPECT_EQ(ledger.PaymentsFor(8), 0);
+  EXPECT_EQ(ledger.TotalPaid(), 8);
+  EXPECT_EQ(ledger.Entries(), 2u);
+}
+
+TEST(LedgerTest, EncodeDecodeRoundTrip) {
+  BudgetLedger ledger;
+  ASSERT_TRUE(ledger.RecordPayment(1, 0, 2).ok());
+  ASSERT_TRUE(ledger.RecordPayment(1, 1, 4).ok());
+  ASSERT_TRUE(ledger.RecordPayment(9, 0, 1).ok());
+  const std::string bytes = ledger.Encode();
+  const auto decoded = BudgetLedger::Decode(bytes);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->TotalPaid(), 7);
+  EXPECT_EQ(decoded->PaymentsFor(1), 2);
+  EXPECT_EQ(decoded->PaymentsFor(9), 1);
+  EXPECT_EQ(decoded->Encode(), bytes);
+  // Corrupted ledger bytes fail cleanly.
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    BudgetLedger::Decode(std::string_view(bytes).substr(0, len)).ok();
+  }
+}
+
+MarketConfig AbandonmentConfig() {
+  MarketConfig config;
+  config.worker_arrival_rate = 30.0;
+  config.worker_error_prob = 0.2;
+  config.abandon_prob = 0.25;
+  config.abandon_hold_rate = 4.0;
+  config.seed = 77;
+  return config;
+}
+
+void PostSomeTasks(MarketSimulator& market, int count) {
+  for (int i = 0; i < count; ++i) {
+    TaskSpec spec;
+    spec.price_per_repetition = 2;
+    spec.repetitions = 3;
+    spec.on_hold_rate = 3.0;
+    spec.processing_rate = 2.0;
+    spec.acceptance_timeout = 1.5;
+    spec.num_options = 4;
+    ASSERT_TRUE(market.PostTask(spec).ok());
+  }
+}
+
+TEST(SnapshotTest, MarketStateCodecRoundTripsBitwise) {
+  MarketSimulator market(AbandonmentConfig());
+  PostSomeTasks(market, 6);
+  market.RunUntil(0.8);  // capture mid-run, with events in flight
+  const auto state = market.CaptureState({});
+  ASSERT_TRUE(state.ok());
+  const std::string bytes = EncodeMarketState(*state);
+  const auto decoded = DecodeMarketState(bytes);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(EncodeMarketState(*decoded), bytes);
+  // Hostile inputs: every truncation fails cleanly.
+  for (size_t len = 0; len < bytes.size(); len += 7) {
+    EXPECT_FALSE(DecodeMarketState(std::string_view(bytes).substr(0, len))
+                     .ok());
+  }
+}
+
+TEST(SnapshotTest, RestoredMarketContinuesBitwiseIdentically) {
+  MarketSimulator original(AbandonmentConfig());
+  PostSomeTasks(original, 6);
+  original.RunUntil(0.8);
+  const auto state = original.CaptureState({});
+  ASSERT_TRUE(state.ok());
+
+  MarketSimulator restored(AbandonmentConfig());
+  ASSERT_TRUE(restored.RestoreState(*state, {}).ok());
+
+  ASSERT_TRUE(original.RunToCompletion().ok());
+  ASSERT_TRUE(restored.RunToCompletion().ok());
+  EXPECT_EQ(original.TotalSpent(), restored.TotalSpent());
+  EXPECT_EQ(original.now(), restored.now());
+  EXPECT_EQ(original.workers_arrived(), restored.workers_arrived());
+  const auto& trace_a = original.trace();
+  const auto& trace_b = restored.trace();
+  ASSERT_EQ(trace_a.size(), trace_b.size());
+  for (size_t i = 0; i < trace_a.size(); ++i) {
+    EXPECT_EQ(trace_a[i].time, trace_b[i].time) << "event " << i;
+    EXPECT_EQ(trace_a[i].kind, trace_b[i].kind) << "event " << i;
+    EXPECT_EQ(trace_a[i].worker, trace_b[i].worker) << "event " << i;
+    EXPECT_EQ(trace_a[i].task, trace_b[i].task) << "event " << i;
+    EXPECT_EQ(trace_a[i].repetition, trace_b[i].repetition) << "event " << i;
+  }
+}
+
+TEST(SnapshotTest, CaptureRejectsUnknownCurves) {
+  MarketConfig config;
+  config.seed = 3;
+  MarketSimulator market(config);
+  TaskSpec spec;
+  spec.price_per_repetition = 1;
+  spec.repetitions = 1;
+  spec.on_hold_rate = 2.0;
+  spec.true_curve = std::make_shared<LinearCurve>(1.0, 1.0);
+  ASSERT_TRUE(market.PostTask(spec).ok());
+  EXPECT_FALSE(market.CaptureState({}).ok());  // curve not in the table
+  EXPECT_TRUE(market.CaptureState({spec.true_curve}).ok());
+}
+
+TEST(RecoveryTest, SnapshotPayloadRoundTrip) {
+  InMemoryJournalStorage storage;
+  DurabilityConfig config;
+  config.storage = &storage;
+  auto context = DurableContext::Open(config);
+  ASSERT_TRUE(context.ok());
+  EXPECT_FALSE(context->has_snapshot());
+  EXPECT_FALSE(context->replaying());
+  ASSERT_TRUE(context->Emit(JournalRecordType::kRunStart, "rs").ok());
+  ASSERT_TRUE(context->EmitSnapshot("market-blob", "executor-blob").ok());
+  ASSERT_TRUE(context->Emit(JournalRecordType::kPayment, "pay0").ok());
+
+  auto reopened = DurableContext::Open(config);
+  ASSERT_TRUE(reopened.ok());
+  ASSERT_TRUE(reopened->has_snapshot());
+  EXPECT_EQ(reopened->market_snapshot(), "market-blob");
+  EXPECT_EQ(reopened->executor_snapshot(), "executor-blob");
+  // One record after the snapshot: replay must verify it bitwise.
+  EXPECT_TRUE(reopened->replaying());
+  EXPECT_FALSE(
+      reopened->Emit(JournalRecordType::kPayment, "different").ok());
+  auto reopened2 = DurableContext::Open(config);
+  ASSERT_TRUE(reopened2.ok());
+  EXPECT_TRUE(
+      reopened2->Emit(JournalRecordType::kPayment, "pay0").ok());
+  EXPECT_FALSE(reopened2->replaying());  // tail exhausted: append mode
+  EXPECT_TRUE(reopened2->Emit(JournalRecordType::kRunEnd, "done").ok());
+}
+
+}  // namespace
+}  // namespace htune

@@ -4,6 +4,8 @@
 //   htune_cli plan <spec> [--allocator=ra|ra-exact|ha|ea|rep-even|task-even]
 //   htune_cli deadline <spec> <deadline> [--objective=ph1|most-difficult]
 //   htune_cli simulate <spec> [--allocator=...] [--runs=N]
+//   htune_cli run-durable <spec> --journal=PATH [--budget=N]
+//                                [--snapshot-interval=N]
 //
 // The spec format is documented in src/spec/job_spec.h (and the paper
 // mapping in DESIGN.md).
@@ -14,7 +16,9 @@
 #include <string>
 #include <vector>
 
+#include "control/fault_tolerant_executor.h"
 #include "crowddb/executor.h"
+#include "durability/journal.h"
 #include "market/simulator.h"
 #include "market/trace_io.h"
 #include "spec/job_spec.h"
@@ -38,8 +42,13 @@ void Usage(const char* argv0) {
       "                               [--confidence=Q] (probabilistic: min\n"
       "                               cost with P(job done by deadline)>=Q)\n"
       "  %s simulate <spec> [--allocator=NAME] [--runs=N]\n"
+      "  %s run-durable <spec> --journal=PATH [--budget=N]\n"
+      "                               [--snapshot-interval=N] (fault-\n"
+      "                               tolerant run journaled to PATH; re-run\n"
+      "                               the same command after a crash to\n"
+      "                               resume from the last snapshot)\n"
       "allocators: ra (default), ra-exact, ha, ea, rep-even, task-even\n",
-      argv0, argv0, argv0);
+      argv0, argv0, argv0, argv0);
 }
 
 std::unique_ptr<htune::BudgetAllocator> MakeAllocator(
@@ -194,6 +203,66 @@ int Simulate(const htune::JobSpec& spec, const std::string& allocator_name,
   return 0;
 }
 
+int RunDurable(const htune::JobSpec& spec, const std::string& journal_path,
+               long ceiling, int snapshot_interval) {
+  if (journal_path.empty()) {
+    std::fprintf(stderr, "run-durable requires --journal=PATH\n");
+    return 2;
+  }
+  htune::FileJournalStorage storage(journal_path);
+  const auto existing = htune::OpenJournal(storage);
+  if (!existing.ok()) {
+    std::fprintf(stderr, "%s\n", existing.status().ToString().c_str());
+    return 1;
+  }
+  if (existing->records.empty()) {
+    std::printf("journal %s: fresh run\n", journal_path.c_str());
+  } else {
+    std::printf("journal %s: resuming with %zu intact records%s\n",
+                journal_path.c_str(), existing->records.size(),
+                existing->truncated_tail ? " (torn tail dropped)" : "");
+  }
+
+  const htune::RepetitionAllocator allocator;
+  htune::FaultTolerantConfig config;
+  config.budget = ceiling;
+  config.abandonment = {spec.abandon_prob, spec.abandon_hold_rate};
+  const htune::FaultTolerantExecutor executor(&allocator, config);
+
+  htune::MarketConfig market;
+  market.worker_arrival_rate = spec.arrival_rate;
+  market.worker_error_prob = spec.worker_error_prob;
+  market.abandon_prob = spec.abandon_prob;
+  market.abandon_hold_rate = spec.abandon_hold_rate;
+  market.seed = spec.seed;
+  market.record_trace = true;
+
+  htune::DurabilityConfig durability;
+  durability.storage = &storage;
+  durability.snapshot_interval = snapshot_interval;
+  const std::vector<htune::QuestionSpec> questions(
+      static_cast<size_t>(spec.problem.TotalTasks()));
+  const auto report = executor.RunDurable(market, spec.problem, questions,
+                                          durability);
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "job latency %.4f, spent %ld units, %d reviews, %d stragglers, "
+      "%d escalations%s\n",
+      report->latency, report->spent, report->reviews, report->stragglers,
+      report->escalations, report->degraded ? " (degraded)" : "");
+  const auto final_journal = htune::OpenJournal(storage);
+  if (final_journal.ok()) {
+    std::printf("journal now holds %zu records (%llu bytes); verify with "
+                "tools/journal_inspect.py\n",
+                final_journal->records.size(),
+                static_cast<unsigned long long>(final_journal->valid_bytes));
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -230,6 +299,14 @@ int main(int argc, char** argv) {
       return 2;
     }
     return Simulate(*spec, allocator_name, runs);
+  }
+  if (command == "run-durable") {
+    const long ceiling =
+        std::atol(FlagValue(argc, argv, "--budget", "0").c_str());
+    const int snapshot_interval = std::atoi(
+        FlagValue(argc, argv, "--snapshot-interval", "8").c_str());
+    return RunDurable(*spec, FlagValue(argc, argv, "--journal", ""),
+                      ceiling, snapshot_interval);
   }
   Usage(argv[0]);
   return 2;

@@ -1,0 +1,251 @@
+#!/usr/bin/env python3
+"""Inspect an htune write-ahead journal.
+
+Usage:
+  journal_inspect.py dump <journal>     # print every record, decoded
+  journal_inspect.py verify <journal>   # exit 0 iff the journal is a
+                                        # complete, uncorrupted run whose
+                                        # payment ledger balances
+  journal_inspect.py ledger <journal>   # print the per-task payment ledger
+
+The binary format mirrors src/durability/journal.h:
+  header:  b"HTWJ" magic + u32 LE format version
+  record:  u32 LE payload length | u8 type | payload | u32 LE CRC-32C
+The CRC covers length, type, and payload. Integers are little-endian;
+doubles are IEEE-754 bit patterns. Pure stdlib — no third-party deps.
+"""
+
+import struct
+import sys
+
+MAGIC = b"HTWJ"
+VERSION = 1
+HEADER_SIZE = 8
+FRAME_OVERHEAD = 9  # u32 len + u8 type + u32 crc
+
+RECORD_TYPES = {
+    1: "run-start",
+    2: "post",
+    3: "reprice",
+    4: "payment",
+    5: "completion",
+    6: "review-end",
+    7: "snapshot",
+    8: "run-end",
+}
+
+# CRC-32C (Castagnoli), reflected, poly 0x82F63B78 — matches
+# src/durability/crc32c.cc.
+_CRC_TABLE = []
+for _i in range(256):
+    _c = _i
+    for _ in range(8):
+        _c = (_c >> 1) ^ 0x82F63B78 if _c & 1 else _c >> 1
+    _CRC_TABLE.append(_c)
+
+
+def crc32c(data: bytes) -> int:
+    crc = 0xFFFFFFFF
+    for byte in data:
+        crc = _CRC_TABLE[(crc ^ byte) & 0xFF] ^ (crc >> 8)
+    return crc ^ 0xFFFFFFFF
+
+
+class Cursor:
+    def __init__(self, data: bytes):
+        self.data = data
+        self.pos = 0
+
+    def take(self, n: int) -> bytes:
+        if self.pos + n > len(self.data):
+            raise ValueError("truncated payload")
+        out = self.data[self.pos:self.pos + n]
+        self.pos += n
+        return out
+
+    def u64(self) -> int:
+        return struct.unpack("<Q", self.take(8))[0]
+
+    def i64(self) -> int:
+        return struct.unpack("<q", self.take(8))[0]
+
+    def i32(self) -> int:
+        return struct.unpack("<i", self.take(4))[0]
+
+    def f64(self) -> float:
+        return struct.unpack("<d", self.take(8))[0]
+
+    def string(self) -> bytes:
+        return self.take(self.u64())
+
+    def i32_vector(self):
+        return [self.i32() for _ in range(self.u64())]
+
+
+def describe(rtype: int, payload: bytes) -> str:
+    """Human rendering of one record payload; never raises on garbage."""
+    c = Cursor(payload)
+    try:
+        if rtype == 1:
+            return f"budget={c.i64()} tasks={c.u64()}"
+        if rtype == 2:
+            return (f"task={c.u64()} group={c.u64()} "
+                    f"prices={c.i32_vector()}")
+        if rtype == 3:
+            return (f"task={c.u64()} new_price={c.i32()} "
+                    f"remaining_slots={c.i64()}")
+        if rtype == 4:
+            return f"task={c.u64()} slot={c.i32()} price={c.i32()}"
+        if rtype == 5:
+            return f"task={c.u64()} completed_time={c.f64():.6f}"
+        if rtype == 6:
+            return (f"review={c.i32()} now={c.f64():.6f} "
+                    f"spent={c.i64()}")
+        if rtype == 7:
+            market = c.string()
+            executor = c.string()
+            return (f"market_blob={len(market)}B "
+                    f"executor_blob={len(executor)}B")
+        if rtype == 8:
+            return f"spent={c.i64()} latency={c.f64():.6f}"
+        return f"{len(payload)} payload bytes"
+    except ValueError:
+        return f"<malformed payload, {len(payload)} bytes>"
+
+
+def scan(data: bytes):
+    """Yields (offset, type, payload) for the valid prefix; returns via
+    StopIteration-free protocol: (records, valid_bytes, torn_reason)."""
+    if len(data) == 0:
+        return [], 0, None
+    if data[:min(len(data), 4)] != MAGIC[:min(len(data), 4)]:
+        raise ValueError("bad magic: not an htune journal")
+    if len(data) < HEADER_SIZE:
+        return [], 0, "torn header"
+    version = struct.unpack("<I", data[4:8])[0]
+    if version != VERSION:
+        raise ValueError(f"unsupported journal version {version}")
+    records = []
+    pos = HEADER_SIZE
+    while pos < len(data):
+        if pos + 5 > len(data):
+            return records, pos, "torn frame header"
+        length, rtype = struct.unpack_from("<IB", data, pos)
+        end = pos + FRAME_OVERHEAD + length
+        if end > len(data):
+            return records, pos, "torn frame body"
+        framed = data[pos:pos + 5 + length]
+        (crc,) = struct.unpack_from("<I", data, pos + 5 + length)
+        if crc32c(framed) != crc:
+            return records, pos, "CRC mismatch"
+        records.append((pos, rtype, data[pos + 5:pos + 5 + length]))
+        pos = end
+    return records, pos, None
+
+
+def build_ledger(records):
+    """Returns ({(task, slot): price}, reported_spent_or_None, errors)."""
+    ledger = {}
+    errors = []
+    reported = None
+    for offset, rtype, payload in records:
+        if rtype == 4:
+            c = Cursor(payload)
+            task, slot, price = c.u64(), c.i32(), c.i32()
+            if (task, slot) in ledger:
+                errors.append(
+                    f"offset {offset}: task {task} slot {slot} paid twice")
+            ledger[(task, slot)] = price
+        elif rtype == 8:
+            c = Cursor(payload)
+            reported = c.i64()
+    by_task = {}
+    for (task, slot), _ in ledger.items():
+        by_task.setdefault(task, []).append(slot)
+    for task, slots in sorted(by_task.items()):
+        expect = list(range(len(slots)))
+        if sorted(slots) != expect:
+            errors.append(f"task {task}: non-contiguous paid slots "
+                          f"{sorted(slots)}")
+    return ledger, reported, errors
+
+
+def cmd_dump(data: bytes) -> int:
+    records, valid, torn = scan(data)
+    print(f"{len(records)} records, {valid} valid bytes of {len(data)}")
+    for offset, rtype, payload in records:
+        name = RECORD_TYPES.get(rtype, f"type-{rtype}")
+        print(f"  {offset:8d}  {name:<12} {describe(rtype, payload)}")
+    if torn:
+        print(f"  TORN TAIL at offset {valid}: {torn} "
+              f"({len(data) - valid} bytes dropped on recovery)")
+    return 0
+
+
+def cmd_ledger(data: bytes) -> int:
+    records, _, _ = scan(data)
+    ledger, reported, errors = build_ledger(records)
+    total = sum(ledger.values())
+    by_task = {}
+    for (task, slot), price in sorted(ledger.items()):
+        by_task.setdefault(task, []).append((slot, price))
+    for task, slots in sorted(by_task.items()):
+        paid = ", ".join(f"slot {s}: {p}" for s, p in slots)
+        print(f"task {task}: {paid}")
+    print(f"total paid {total} across {len(ledger)} payments")
+    if reported is not None:
+        print(f"run-end reports spent {reported}: "
+              f"{'BALANCED' if reported == total else 'MISMATCH'}")
+    for error in errors:
+        print(f"ERROR: {error}")
+    return 1 if errors else 0
+
+
+def cmd_verify(data: bytes) -> int:
+    records, valid, torn = scan(data)
+    problems = []
+    if torn:
+        problems.append(f"torn tail at offset {valid}: {torn}")
+    if not records:
+        problems.append("no records")
+    else:
+        if records[0][1] != 1:
+            problems.append("first record is not run-start")
+        if records[-1][1] != 8:
+            problems.append("last record is not run-end (incomplete run)")
+    ledger, reported, errors = build_ledger(records)
+    problems.extend(errors)
+    total = sum(ledger.values())
+    if reported is not None and reported != total:
+        problems.append(
+            f"ledger total {total} != run-end spent {reported}")
+    snapshots = sum(1 for _, rtype, _ in records if rtype == 7)
+    if problems:
+        for p in problems:
+            print(f"FAIL: {p}")
+        return 1
+    print(f"OK: {len(records)} records, {snapshots} snapshots, "
+          f"{len(ledger)} payments totalling {total}, ledger balanced")
+    return 0
+
+
+def main(argv) -> int:
+    if len(argv) != 3 or argv[1] not in ("dump", "verify", "ledger"):
+        print(__doc__, file=sys.stderr)
+        return 2
+    try:
+        with open(argv[2], "rb") as f:
+            data = f.read()
+    except OSError as e:
+        print(f"cannot read {argv[2]}: {e}", file=sys.stderr)
+        return 1
+    try:
+        return {"dump": cmd_dump, "verify": cmd_verify,
+                "ledger": cmd_ledger}[argv[1]](data)
+    except ValueError as e:
+        print(f"FAIL: {e}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
