@@ -8,6 +8,8 @@
 
 #include "common/check.h"
 #include "durability/ledger.h"
+#include "model/latency_cache.h"
+#include "obs/obs.h"
 #include "durability/serialize.h"
 #include "durability/snapshot.h"
 #include "model/price_rate_curve.h"
@@ -241,10 +243,15 @@ StatusOr<RetunerReport> RunJob(const BudgetAllocator& allocator,
        ++review) {
     state.next_review = review + 1;
     state.deadline += config.review_interval;
-    if (market.RunUntil(state.deadline) == 0) {
-      break;
+    {
+      HTUNE_OBS_SPAN("market.run_until");
+      if (market.RunUntil(state.deadline) == 0) {
+        break;
+      }
     }
     ++state.reviews;
+    HTUNE_OBS_SPAN("retuner.review");
+    HTUNE_OBS_COUNTER_ADD("retuner.reviews", 1);
 
     // 1. Re-estimate each group's scale from observed acceptances. The
     // estimate is the censored MLE: completed waits contribute an event and
@@ -253,60 +260,65 @@ StatusOr<RetunerReport> RunJob(const BudgetAllocator& allocator,
     // term would bias the scale upward badly — short waits complete first.
     bool drifted = false;
     const double now = market.now();
-    for (size_t g = 0; g < state.groups.size(); ++g) {
-      GroupState& group = state.groups[g];
-      ScaleEstimate estimate;
-      for (size_t t = 0; t < group.task_ids.size(); ++t) {
-        const TaskId id = group.task_ids[t];
-        HTUNE_ASSIGN_OR_RETURN(const TaskOutcome progress,
-                               market.GetProgress(id));
-        if (ctx != nullptr) {
-          HTUNE_RETURN_IF_ERROR(SettleTask(*ctx, *ledger, id, progress,
-                                           group.completed_logged[t]));
+    {
+      HTUNE_OBS_SPAN("retuner.scale_estimation");
+      for (size_t g = 0; g < state.groups.size(); ++g) {
+        GroupState& group = state.groups[g];
+        ScaleEstimate estimate;
+        for (size_t t = 0; t < group.task_ids.size(); ++t) {
+          const TaskId id = group.task_ids[t];
+          HTUNE_ASSIGN_OR_RETURN(const TaskOutcome progress,
+                                 market.GetProgress(id));
+          if (ctx != nullptr) {
+            HTUNE_RETURN_IF_ERROR(SettleTask(*ctx, *ledger, id, progress,
+                                             group.completed_logged[t]));
+          }
+          for (const RepetitionOutcome& rep : progress.repetitions) {
+            ++estimate.events;
+            estimate.exposure +=
+                rep.OnHoldLatency() *
+                problem.groups[g].curve->Rate(static_cast<double>(rep.price));
+          }
+          if (progress.completed_time > 0.0) {
+            continue;  // no active wait
+          }
+          // Censored wait in progress: it started when the task was posted
+          // (no acceptances yet) or when the last answer came back and the
+          // next repetition was exposed.
+          double wait_start = -1.0;
+          if (progress.repetitions.empty()) {
+            wait_start = progress.posted_time;
+          } else if (progress.repetitions.back().completed_time > 0.0 &&
+                     static_cast<int>(progress.repetitions.size()) <
+                         problem.groups[g].repetitions) {
+            wait_start = progress.repetitions.back().completed_time;
+          }  // else: the current repetition is being processed, not waiting
+          if (wait_start >= 0.0 && now > wait_start) {
+            estimate.exposure +=
+                (now - wait_start) *
+                problem.groups[g].curve->Rate(
+                    static_cast<double>(group.current_price));
+          }
         }
-        for (const RepetitionOutcome& rep : progress.repetitions) {
-          ++estimate.events;
-          estimate.exposure +=
-              rep.OnHoldLatency() *
-              problem.groups[g].curve->Rate(static_cast<double>(rep.price));
+        if (estimate.events < config.min_observations ||
+            estimate.exposure <= 0.0) {
+          continue;
         }
-        if (progress.completed_time > 0.0) {
-          continue;  // no active wait
+        const double fresh = estimate.Value();
+        if (std::abs(fresh - group.scale) >
+            config.retune_threshold * group.scale) {
+          group.scale = config.smoothing * fresh +
+                        (1.0 - config.smoothing) * group.scale;
+          drifted = true;
         }
-        // Censored wait in progress: it started when the task was posted
-        // (no acceptances yet) or when the last answer came back and the
-        // next repetition was exposed.
-        double wait_start = -1.0;
-        if (progress.repetitions.empty()) {
-          wait_start = progress.posted_time;
-        } else if (progress.repetitions.back().completed_time > 0.0 &&
-                   static_cast<int>(progress.repetitions.size()) <
-                       problem.groups[g].repetitions) {
-          wait_start = progress.repetitions.back().completed_time;
-        }  // else: the current repetition is being processed, not waiting
-        if (wait_start >= 0.0 && now > wait_start) {
-          estimate.exposure +=
-              (now - wait_start) *
-              problem.groups[g].curve->Rate(
-                  static_cast<double>(group.current_price));
-        }
-      }
-      if (estimate.events < config.min_observations ||
-          estimate.exposure <= 0.0) {
-        continue;
-      }
-      const double fresh = estimate.Value();
-      if (std::abs(fresh - group.scale) >
-          config.retune_threshold * group.scale) {
-        group.scale = config.smoothing * fresh +
-                      (1.0 - config.smoothing) * group.scale;
-        drifted = true;
       }
     }
 
     // 2 + 3. Re-solve the remaining problem under the rescaled curves and
     // reprice open tasks in place.
     if (drifted) {
+      HTUNE_OBS_SPAN("retuner.reallocation");
+      HTUNE_OBS_COUNTER_ADD("retuner.retunes", 1);
       TuningProblem remaining;
       std::vector<size_t> remaining_to_group;
       std::vector<std::vector<TaskId>> open_ids_per_group(
@@ -447,6 +459,9 @@ StatusOr<RetunerReport> RunJob(const BudgetAllocator& allocator,
   }
   report.latency = last_completion - state.start;
   report.spent = market.TotalSpent() - state.spent_before;
+  HTUNE_OBS_GAUGE_SET("retuner.spent", static_cast<double>(report.spent));
+  HTUNE_OBS_GAUGE_SET("retuner.latency", report.latency);
+  GlobalLatencyCache().PublishToMetrics();
 
   if (ctx != nullptr) {
     Encoder record;

@@ -7,7 +7,10 @@
 #include <vector>
 
 #include "common/check.h"
+#include "control/market_metrics.h"
 #include "durability/ledger.h"
+#include "model/latency_cache.h"
+#include "obs/obs.h"
 #include "durability/serialize.h"
 #include "durability/snapshot.h"
 #include "tuning/allocation.h"
@@ -220,6 +223,7 @@ long FutureCost(const TaskState& state, size_t accepted) {
 StatusOr<int> RepriceTo(MarketSimulator& market, const PriceRateCurve& curve,
                         TaskState& state, size_t accepted, int target,
                         DurableContext* ctx) {
+  HTUNE_OBS_COUNTER_ADD("executor.reprices", 1);
   int attempt = target;
   Status status =
       market.Reprice(state.id, attempt,
@@ -295,6 +299,7 @@ StatusOr<FaultTolerantReport> RunJob(
 
   if (!state.initialized) {
     state.budget = config.budget > 0 ? config.budget : problem.budget;
+    HTUNE_OBS_SPAN("executor.allocate");
     HTUNE_ASSIGN_OR_RETURN(const Allocation initial,
                            allocator.Allocate(adjusted));
     long initial_cost = 0;
@@ -372,10 +377,15 @@ StatusOr<FaultTolerantReport> RunJob(
        ++review) {
     state.next_review = review + 1;
     state.deadline += config.review_interval;
-    if (market.RunUntil(state.deadline) == 0) {
-      break;
+    {
+      HTUNE_OBS_SPAN("market.run_until");
+      if (market.RunUntil(state.deadline) == 0) {
+        break;
+      }
     }
     ++state.reviews;
+    HTUNE_OBS_SPAN("executor.review");
+    HTUNE_OBS_COUNTER_ADD("executor.reviews", 1);
     const double now = market.now();
     const long spent = market.TotalSpent() - state.spent_before;
 
@@ -452,6 +462,7 @@ StatusOr<FaultTolerantReport> RunJob(
       task.floored = true;
       state.degraded = true;
       state.floor_repetitions += static_cast<int>(slots);
+      HTUNE_OBS_COUNTER_ADD("executor.floor_demotions", 1);
     }
 
     // Straggler pass.
@@ -466,7 +477,9 @@ StatusOr<FaultTolerantReport> RunJob(
         continue;
       }
       ++state.stragglers;
+      HTUNE_OBS_COUNTER_ADD("executor.stragglers", 1);
       if (task.escalations_this_slot >= config.max_reposts) {
+        HTUNE_OBS_COUNTER_ADD("executor.retries_exhausted", 1);
         continue;  // retries exhausted for this slot; let it ride
       }
       const size_t accepted = accepted_of[i];
@@ -491,6 +504,7 @@ StatusOr<FaultTolerantReport> RunJob(
         planned_total += static_cast<long>(achieved) * slots - task_future;
         ++state.escalations;
         ++task.escalations_this_slot;
+        HTUNE_OBS_COUNTER_ADD("executor.escalations", 1);
       } else {
         // Budget exhausted: no raise is affordable, so this straggler's
         // remaining repetitions ride at the prices already planned — the
@@ -552,6 +566,10 @@ StatusOr<FaultTolerantReport> RunJob(
   }
   report.latency = last_completion - state.start;
   report.spent = market.TotalSpent() - state.spent_before;
+  HTUNE_OBS_GAUGE_SET("executor.spent", static_cast<double>(report.spent));
+  HTUNE_OBS_GAUGE_SET("executor.latency", report.latency);
+  PublishMarketMetrics(market);
+  GlobalLatencyCache().PublishToMetrics();
   report.reviews = state.reviews;
   report.stragglers = state.stragglers;
   report.escalations = state.escalations;

@@ -1,0 +1,27 @@
+#include "control/market_metrics.h"
+
+#include "obs/obs.h"
+
+namespace htune {
+
+void PublishMarketMetrics(const MarketSimulator& market) {
+  const MarketEventCounts& counts = market.EventCounts();
+  HTUNE_OBS_GAUGE_SET("market.events_dispatched",
+                      static_cast<double>(counts.events_dispatched));
+  HTUNE_OBS_GAUGE_SET("market.completions",
+                      static_cast<double>(counts.completions));
+  HTUNE_OBS_GAUGE_SET("market.abandons",
+                      static_cast<double>(counts.abandons));
+  HTUNE_OBS_GAUGE_SET("market.expiries",
+                      static_cast<double>(counts.expiries));
+  HTUNE_OBS_GAUGE_SET("market.stale_expiries",
+                      static_cast<double>(counts.stale_expiries));
+  HTUNE_OBS_GAUGE_SET("market.worker_arrivals",
+                      static_cast<double>(counts.worker_arrivals));
+  HTUNE_OBS_GAUGE_SET("market.tasks_posted",
+                      static_cast<double>(counts.tasks_posted));
+  HTUNE_OBS_GAUGE_SET("market.reprices",
+                      static_cast<double>(counts.reprices));
+}
+
+}  // namespace htune

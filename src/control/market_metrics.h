@@ -1,0 +1,18 @@
+#ifndef HTUNE_CONTROL_MARKET_METRICS_H_
+#define HTUNE_CONTROL_MARKET_METRICS_H_
+
+#include "market/simulator.h"
+
+namespace htune {
+
+/// Mirrors `market`'s cumulative dispatch counts into the obs gauges
+/// "market.*". The market layer itself stays free of any observability
+/// dependency (it keeps plain counters; see MarketEventCounts), so
+/// controllers and the CLI call this at phase boundaries — end of a run,
+/// before a metrics export. Gauges, not counters: the counts are already
+/// cumulative per simulator, so re-publishing must overwrite, not add.
+void PublishMarketMetrics(const MarketSimulator& market);
+
+}  // namespace htune
+
+#endif  // HTUNE_CONTROL_MARKET_METRICS_H_

@@ -8,6 +8,7 @@
 
 #include "durability/crc32c.h"
 #include "durability/serialize.h"
+#include "obs/obs.h"
 
 namespace htune {
 
@@ -232,11 +233,15 @@ JournalWriter::JournalWriter(JournalStorage* storage, uint64_t existing_bytes)
 
 Status JournalWriter::Append(JournalRecordType type,
                              std::string_view payload) {
+  HTUNE_OBS_SPAN("journal.append");
   if (!header_written_) {
     HTUNE_RETURN_IF_ERROR(storage_->Append(EncodeHeader()));
     header_written_ = true;
   }
-  return storage_->Append(EncodeJournalRecord(type, payload));
+  const std::string record = EncodeJournalRecord(type, payload);
+  HTUNE_OBS_COUNTER_ADD("journal.appends", 1);
+  HTUNE_OBS_COUNTER_ADD("journal.appended_bytes", record.size());
+  return storage_->Append(record);
 }
 
 }  // namespace htune

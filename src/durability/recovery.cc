@@ -5,6 +5,7 @@
 
 #include "common/status.h"
 #include "durability/serialize.h"
+#include "obs/obs.h"
 
 namespace htune {
 
@@ -16,6 +17,7 @@ StatusOr<DurableContext> DurableContext::Open(const DurabilityConfig& config) {
     return InvalidArgumentError(
         "DurableContext: snapshot_interval must be >= 0");
   }
+  HTUNE_OBS_SPAN("journal.recovery_open");
   HTUNE_ASSIGN_OR_RETURN(JournalContents contents,
                          OpenJournal(*config.storage));
   DurableContext context(config.storage, contents.valid_bytes,
@@ -35,6 +37,10 @@ StatusOr<DurableContext> DurableContext::Open(const DurabilityConfig& config) {
   context.tail_.assign(
       std::make_move_iterator(contents.records.begin() + tail_begin),
       std::make_move_iterator(contents.records.end()));
+  HTUNE_OBS_COUNTER_ADD("journal.recovered_tail_records",
+                        context.tail_.size());
+  HTUNE_OBS_COUNTER_ADD("journal.recovered_snapshots",
+                        context.has_snapshot_ ? 1 : 0);
   return context;
 }
 
@@ -53,6 +59,7 @@ Status DurableContext::Emit(JournalRecordType type, std::string_view payload) {
           " bytes) -- recovery did not reproduce the original run");
     }
     ++replay_cursor_;
+    HTUNE_OBS_COUNTER_ADD("journal.replayed_records", 1);
     return OkStatus();
   }
   return writer_.Append(type, payload);
@@ -60,6 +67,8 @@ Status DurableContext::Emit(JournalRecordType type, std::string_view payload) {
 
 Status DurableContext::EmitSnapshot(std::string_view market_state,
                                     std::string_view executor_state) {
+  HTUNE_OBS_SPAN("journal.snapshot");
+  HTUNE_OBS_COUNTER_ADD("journal.snapshots_emitted", 1);
   Encoder encoder;
   encoder.PutString(market_state);
   encoder.PutString(executor_state);

@@ -171,6 +171,7 @@ StatusOr<TaskId> MarketSimulator::PostTask(const TaskSpec& spec) {
   task.outcome.posted_time = now_;
   auto [it, inserted] = open_tasks_.emplace(id, std::move(task));
   HTUNE_CHECK(inserted);
+  ++event_counts_.tasks_posted;
   ExposeCurrentRepetition(id, it->second, now_, /*reposted=*/false);
   return id;
 }
@@ -208,6 +209,7 @@ void MarketSimulator::FillAnswer(const OpenTask& task, double worker_error,
 
 void MarketSimulator::StepWorkerArrival() {
   now_ = next_arrival_time_;
+  ++event_counts_.worker_arrivals;
   next_arrival_time_ = SampleArrivalAfter(now_);
   const WorkerId worker = next_worker_++;
   Record({now_, TraceEventKind::kWorkerArrival, worker, 0, 0});
@@ -284,16 +286,22 @@ void MarketSimulator::AdvanceTask(TaskId id, OpenTask& task, double t) {
 
 void MarketSimulator::ApplyEvent(const PendingEvent& event) {
   now_ = event.time;
+  ++event_counts_.events_dispatched;
   auto it = open_tasks_.find(event.task);
   if (event.kind == PendingEvent::Kind::kExpiry) {
     // Expiry events may be stale: the task completed, a worker accepted the
     // exposed repetition, or it was already reposted (new generation).
-    if (it == open_tasks_.end()) return;
+    if (it == open_tasks_.end()) {
+      ++event_counts_.stale_expiries;
+      return;
+    }
     OpenTask& task = it->second;
     if (!task.awaiting_acceptance ||
         event.generation != task.exposure_generation) {
+      ++event_counts_.stale_expiries;
       return;
     }
+    ++event_counts_.expiries;
     ++task.outcome.expired_posts;
     const int rep_index =
         static_cast<int>(task.outcome.repetitions.size()) + 1;
@@ -309,6 +317,7 @@ void MarketSimulator::ApplyEvent(const PendingEvent& event) {
     // The worker returns the repetition unanswered: drop the attempt, pay
     // nothing, and put the repetition back on hold at the task's current
     // terms (a later Reprice supersedes the abandoned promise).
+    ++event_counts_.abandons;
     const RepetitionOutcome attempt = task.outcome.repetitions.back();
     task.outcome.repetitions.pop_back();
     ++task.outcome.abandoned_attempts;
@@ -323,6 +332,7 @@ void MarketSimulator::ApplyEvent(const PendingEvent& event) {
     return;
   }
 
+  ++event_counts_.completions;
   RepetitionOutcome& rep = task.outcome.repetitions.back();
   rep.completed_time = now_;
   total_spent_ += task.rep_prices[task.outcome.repetitions.size() - 1];
@@ -368,6 +378,7 @@ Status MarketSimulator::Reprice(TaskId id, int new_price,
   }
   task.reprice_price = new_price;
   task.reprice_rate = rate;
+  ++event_counts_.reprices;
   return OkStatus();
 }
 

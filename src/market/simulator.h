@@ -173,6 +173,24 @@ struct MarketState {
   std::vector<TraceEvent> trace;
 };
 
+/// Cumulative dispatch counts maintained by the simulator since
+/// construction. Plain integers bumped inline on the hot event loop — the
+/// market layer stays free of any observability dependency; controllers and
+/// the CLI publish these to obs gauges at phase boundaries. Deliberately NOT
+/// part of MarketState: counters are diagnostics, and excluding them keeps
+/// the capture/restore bitwise-identity contract about simulation state
+/// only.
+struct MarketEventCounts {
+  uint64_t events_dispatched = 0;  ///< total PendingEvents applied
+  uint64_t completions = 0;        ///< kCompletion events applied
+  uint64_t abandons = 0;           ///< kAbandon events applied
+  uint64_t expiries = 0;           ///< live kExpiry events applied
+  uint64_t stale_expiries = 0;     ///< kExpiry no-ops (stale generation)
+  uint64_t worker_arrivals = 0;    ///< worker-arrival steps taken
+  uint64_t tasks_posted = 0;       ///< successful PostTask calls
+  uint64_t reprices = 0;           ///< successful Reprice calls
+};
+
 /// Discrete-event simulator of a crowdsourcing marketplace implementing the
 /// paper's stochastic model end-to-end: Poisson worker arrivals (§3.1.1),
 /// price-thinned task acceptance (§3.1.2), exponential processing times
@@ -248,6 +266,10 @@ class MarketSimulator {
 
   /// Total payment units spent on completed repetitions so far.
   long TotalSpent() const { return total_spent_; }
+
+  /// Cumulative event-dispatch counts since construction (not part of
+  /// MarketState; a restored simulator keeps its own counts).
+  const MarketEventCounts& EventCounts() const { return event_counts_; }
 
   /// Captures the complete dynamic state for a checkpoint. `curve_table`
   /// must contain (by pointer identity) every curve referenced by an open
@@ -356,6 +378,7 @@ class MarketSimulator {
   /// Min-heap on (time, sequence); see PushEvent/PopEvent.
   std::vector<PendingEvent> events_;
   std::vector<TraceEvent> trace_;
+  MarketEventCounts event_counts_;
 };
 
 }  // namespace htune

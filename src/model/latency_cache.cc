@@ -1,6 +1,7 @@
 #include "model/latency_cache.h"
 
 #include "common/check.h"
+#include "obs/obs.h"
 
 namespace htune {
 
@@ -24,6 +25,9 @@ double LatencyKernelCache::Phase1(
   // curve (and therefore to THIS curve: live objects have unique addresses).
   PinCurve(curve);
   // Quadrature runs outside the shard lock; see header for the benign race.
+  // The span rides the miss path only, so the hit path stays untouched and
+  // span cost is dwarfed by the quadrature it times.
+  HTUNE_OBS_SPAN("cache.quadrature_eval");
   const double value =
       ExpectedGroupOnHoldLatency(shape, *curve, static_cast<double>(price));
   std::lock_guard<std::mutex> lock(shard.mu);
@@ -58,6 +62,16 @@ LatencyCacheStats LatencyKernelCache::Stats() const {
     stats.entries += shard.map.size();
   }
   return stats;
+}
+
+void LatencyKernelCache::PublishToMetrics() const {
+  const LatencyCacheStats stats = Stats();
+  HTUNE_OBS_GAUGE_SET("cache.latency_kernel.hits",
+                      static_cast<double>(stats.hits));
+  HTUNE_OBS_GAUGE_SET("cache.latency_kernel.misses",
+                      static_cast<double>(stats.misses));
+  HTUNE_OBS_GAUGE_SET("cache.latency_kernel.entries",
+                      static_cast<double>(stats.entries));
 }
 
 LatencyKernelCache& GlobalLatencyCache() {

@@ -50,6 +50,11 @@ class LatencyKernelCache {
 
   LatencyCacheStats Stats() const;
 
+  /// Mirrors Stats() into the observability gauges "cache.latency_kernel.*".
+  /// Called at phase boundaries (tuner entry points, CLI export) rather than
+  /// on the hit path, which keeps the hot lookup untouched.
+  void PublishToMetrics() const;
+
  private:
   struct Key {
     int num_tasks;

@@ -1,0 +1,226 @@
+#include "obs/export.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+
+namespace htune::obs {
+
+namespace {
+
+/// %.17g: the shortest printf format guaranteed to round-trip an IEEE
+/// double exactly through text (and python's float()).
+std::string DoubleRepr(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+std::string EscapeJson(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+Status CheckFinite(const std::string& name, double value) {
+  if (!std::isfinite(value)) {
+    return Status(StatusCode::kInvalidArgument,
+                  "metric '" + name + "' holds non-finite value " +
+                      DoubleRepr(value) + "; JSON cannot represent it");
+  }
+  return Status::OK();
+}
+
+/// Per-name aggregate used by the table view.
+struct SpanAggregate {
+  uint64_t count = 0;
+  uint64_t total_ns = 0;
+  uint64_t max_ns = 0;
+};
+
+std::map<std::string, SpanAggregate> AggregateSpans(
+    const std::vector<SpanRecord>& spans) {
+  std::map<std::string, SpanAggregate> by_name;
+  for (const SpanRecord& span : spans) {
+    SpanAggregate& agg = by_name[span.name];
+    ++agg.count;
+    agg.total_ns += span.duration_ns;
+    if (span.duration_ns > agg.max_ns) agg.max_ns = span.duration_ns;
+  }
+  return by_name;
+}
+
+}  // namespace
+
+StatusOr<std::string> MetricsToJson(const MetricsSnapshot& snapshot,
+                                    const std::vector<SpanRecord>& spans,
+                                    uint64_t spans_dropped) {
+  std::ostringstream out;
+  out << "{\n  \"schema_version\": " << kMetricsSchemaVersion << ",\n";
+
+  out << "  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    out << (first ? "\n" : ",\n") << "    \"" << EscapeJson(name)
+        << "\": " << value;
+    first = false;
+  }
+  out << (first ? "}" : "\n  }") << ",\n";
+
+  out << "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : snapshot.gauges) {
+    HTUNE_RETURN_IF_ERROR(CheckFinite(name, value));
+    out << (first ? "\n" : ",\n") << "    \"" << EscapeJson(name)
+        << "\": " << DoubleRepr(value);
+    first = false;
+  }
+  out << (first ? "}" : "\n  }") << ",\n";
+
+  out << "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, histogram] : snapshot.histograms) {
+    HTUNE_RETURN_IF_ERROR(CheckFinite(name + ".lo", histogram.lo));
+    HTUNE_RETURN_IF_ERROR(CheckFinite(name + ".hi", histogram.hi));
+    out << (first ? "\n" : ",\n") << "    \"" << EscapeJson(name) << "\": {"
+        << "\"lo\": " << DoubleRepr(histogram.lo)
+        << ", \"hi\": " << DoubleRepr(histogram.hi) << ", \"buckets\": [";
+    for (size_t i = 0; i < histogram.buckets.size(); ++i) {
+      if (i > 0) out << ", ";
+      out << histogram.buckets[i];
+    }
+    out << "], \"underflow\": " << histogram.underflow
+        << ", \"overflow\": " << histogram.overflow
+        << ", \"nan_count\": " << histogram.nan_count
+        << ", \"count\": " << histogram.count << "}";
+    first = false;
+  }
+  out << (first ? "}" : "\n  }") << ",\n";
+
+  out << "  \"spans\": [";
+  first = true;
+  for (const SpanRecord& span : spans) {
+    out << (first ? "\n" : ",\n") << "    {\"name\": \""
+        << EscapeJson(span.name) << "\", \"id\": " << span.id
+        << ", \"parent_id\": " << span.parent_id
+        << ", \"start_ns\": " << span.start_ns
+        << ", \"duration_ns\": " << span.duration_ns
+        << ", \"depth\": " << span.depth << ", \"thread\": " << span.thread
+        << "}";
+    first = false;
+  }
+  out << (first ? "]" : "\n  ]") << ",\n";
+
+  out << "  \"spans_dropped\": " << spans_dropped << "\n}\n";
+  return out.str();
+}
+
+std::string MetricsToTable(const MetricsSnapshot& snapshot,
+                           const std::vector<SpanRecord>& spans,
+                           uint64_t spans_dropped) {
+  std::ostringstream out;
+  char line[256];
+
+  if (!snapshot.counters.empty()) {
+    out << "counters\n";
+    for (const auto& [name, value] : snapshot.counters) {
+      std::snprintf(line, sizeof(line), "  %-44s %20" PRIu64 "\n",
+                    name.c_str(), value);
+      out << line;
+    }
+  }
+  if (!snapshot.gauges.empty()) {
+    out << "gauges\n";
+    for (const auto& [name, value] : snapshot.gauges) {
+      std::snprintf(line, sizeof(line), "  %-44s %20.6g\n", name.c_str(),
+                    value);
+      out << line;
+    }
+  }
+  if (!snapshot.histograms.empty()) {
+    out << "histograms\n";
+    for (const auto& [name, histogram] : snapshot.histograms) {
+      std::snprintf(line, sizeof(line),
+                    "  %-44s count=%" PRIu64 " range=[%g, %g) underflow=%" PRIu64
+                    " overflow=%" PRIu64 " nan=%" PRIu64 "\n",
+                    name.c_str(), histogram.count, histogram.lo, histogram.hi,
+                    histogram.underflow, histogram.overflow,
+                    histogram.nan_count);
+      out << line;
+    }
+  }
+  const std::map<std::string, SpanAggregate> by_name = AggregateSpans(spans);
+  if (!by_name.empty()) {
+    out << "spans (buffered tail";
+    if (spans_dropped > 0) out << ", " << spans_dropped << " dropped";
+    out << ")\n";
+    for (const auto& [name, agg] : by_name) {
+      const double mean_us =
+          static_cast<double>(agg.total_ns) / static_cast<double>(agg.count) /
+          1e3;
+      std::snprintf(line, sizeof(line),
+                    "  %-44s n=%-8" PRIu64 " total=%.3fms mean=%.1fus "
+                    "max=%.1fus\n",
+                    name.c_str(), agg.count,
+                    static_cast<double>(agg.total_ns) / 1e6, mean_us,
+                    static_cast<double>(agg.max_ns) / 1e3);
+      out << line;
+    }
+  }
+  return out.str();
+}
+
+Status WriteGlobalMetrics(const std::string& path) {
+  const MetricsSnapshot snapshot = GlobalMetrics().Snapshot();
+  const std::vector<SpanRecord> spans = GlobalTracer().Drain();
+  const uint64_t dropped = GlobalTracer().dropped();
+  if (path == "-") {
+    std::cout << MetricsToTable(snapshot, spans, dropped);
+    return Status::OK();
+  }
+  HTUNE_ASSIGN_OR_RETURN(std::string json,
+                         MetricsToJson(snapshot, spans, dropped));
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return Status(StatusCode::kInternal,
+                  "cannot open metrics output file: " + path);
+  }
+  out << json;
+  out.flush();
+  if (!out) {
+    return Status(StatusCode::kInternal,
+                  "failed writing metrics output file: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace htune::obs

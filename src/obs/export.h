@@ -1,0 +1,48 @@
+#ifndef HTUNE_OBS_EXPORT_H_
+#define HTUNE_OBS_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/statusor.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace htune::obs {
+
+/// Version stamped into every JSON export; bump on any layout change so
+/// downstream consumers (tools/bench_report.py) can reject payloads they do
+/// not understand.
+inline constexpr int kMetricsSchemaVersion = 1;
+
+/// Serializes a snapshot plus span records to schema-versioned JSON:
+///   { "schema_version": 1,
+///     "counters": {name: uint}, "gauges": {name: double},
+///     "histograms": {name: {lo, hi, buckets, underflow, overflow,
+///                           nan_count, count}},
+///     "spans": [{name, id, parent_id, start_ns, duration_ns, depth,
+///                thread}],
+///     "spans_dropped": uint }
+/// Doubles are printed with %.17g so a round trip through python's float()
+/// is exact. Any non-finite double (a gauge or histogram bound holding
+/// inf/NaN) is rejected with InvalidArgument — JSON has no encoding for
+/// non-finite numbers, and silently emitting "inf" corrupts downstream
+/// parsers.
+StatusOr<std::string> MetricsToJson(const MetricsSnapshot& snapshot,
+                                    const std::vector<SpanRecord>& spans,
+                                    uint64_t spans_dropped = 0);
+
+/// Human-readable fixed-width table of the same data: counters, gauges,
+/// histogram summaries, then per-span-name aggregate timings.
+std::string MetricsToTable(const MetricsSnapshot& snapshot,
+                           const std::vector<SpanRecord>& spans,
+                           uint64_t spans_dropped = 0);
+
+/// Snapshots the global registry + tracer and writes JSON to `path`, or the
+/// table to stdout when `path` is "-".
+Status WriteGlobalMetrics(const std::string& path);
+
+}  // namespace htune::obs
+
+#endif  // HTUNE_OBS_EXPORT_H_

@@ -1,0 +1,164 @@
+#include "obs/metrics.h"
+
+#include <bit>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace htune::obs {
+
+namespace {
+std::atomic<bool> g_enabled{true};
+std::atomic<size_t> g_next_shard{0};
+}  // namespace
+
+bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void SetEnabled(bool enabled) {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+size_t ThisThreadShard() {
+  thread_local const size_t shard =
+      g_next_shard.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+  return shard;
+}
+
+void Gauge::Set(double value) {
+  bits_.store(std::bit_cast<uint64_t>(value), std::memory_order_relaxed);
+}
+
+double Gauge::Value() const {
+  return std::bit_cast<double>(bits_.load(std::memory_order_relaxed));
+}
+
+HistogramMetric::HistogramMetric(double lo, double hi, size_t num_buckets)
+    : lo_(lo),
+      hi_(hi),
+      inv_width_(static_cast<double>(num_buckets) / (hi - lo)),
+      num_buckets_(num_buckets) {
+  HTUNE_CHECK_LT(lo, hi);
+  HTUNE_CHECK_GE(num_buckets, 1u);
+  HTUNE_CHECK_LE(num_buckets, 512u);
+  for (Shard& shard : shards_) {
+    shard.buckets = std::make_unique<std::atomic<uint64_t>[]>(num_buckets);
+    for (size_t i = 0; i < num_buckets; ++i) {
+      shard.buckets[i].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+void HistogramMetric::Observe(double value) {
+  Shard& shard = shards_[ThisThreadShard()];
+  if (std::isnan(value)) {
+    shard.nan_count.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (value < lo_) {
+    shard.underflow.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (value >= hi_) {
+    shard.overflow.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  size_t index = static_cast<size_t>((value - lo_) * inv_width_);
+  // In-range by the guards above; rounding at the top edge clamps.
+  if (index >= num_buckets_) index = num_buckets_ - 1;
+  shard.buckets[index].fetch_add(1, std::memory_order_relaxed);
+}
+
+HistogramSnapshot HistogramMetric::Merge() const {
+  HistogramSnapshot merged;
+  merged.lo = lo_;
+  merged.hi = hi_;
+  merged.buckets.assign(num_buckets_, 0);
+  for (const Shard& shard : shards_) {
+    for (size_t i = 0; i < num_buckets_; ++i) {
+      merged.buckets[i] += shard.buckets[i].load(std::memory_order_relaxed);
+    }
+    merged.underflow += shard.underflow.load(std::memory_order_relaxed);
+    merged.overflow += shard.overflow.load(std::memory_order_relaxed);
+    merged.nan_count += shard.nan_count.load(std::memory_order_relaxed);
+  }
+  merged.count = merged.underflow + merged.overflow + merged.nan_count;
+  for (uint64_t b : merged.buckets) merged.count += b;
+  return merged;
+}
+
+void HistogramMetric::Reset() {
+  for (Shard& shard : shards_) {
+    for (size_t i = 0; i < num_buckets_; ++i) {
+      shard.buckets[i].store(0, std::memory_order_relaxed);
+    }
+    shard.underflow.store(0, std::memory_order_relaxed);
+    shard.overflow.store(0, std::memory_order_relaxed);
+    shard.nan_count.store(0, std::memory_order_relaxed);
+  }
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+HistogramMetric& MetricsRegistry::GetHistogram(std::string_view name,
+                                               double lo, double hi,
+                                               size_t num_buckets) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<HistogramMetric>(lo, hi, num_buckets))
+             .first;
+  } else {
+    HTUNE_CHECK_EQ(it->second->lo(), lo);
+    HTUNE_CHECK_EQ(it->second->hi(), hi);
+    HTUNE_CHECK_EQ(it->second->num_buckets(), num_buckets);
+  }
+  return *it->second;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snapshot;
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters.emplace(name, counter->Value());
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges.emplace(name, gauge->Value());
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    snapshot.histograms.emplace(name, histogram->Merge());
+  }
+  return snapshot;
+}
+
+void MetricsRegistry::ResetValues() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+MetricsRegistry& GlobalMetrics() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+}  // namespace htune::obs

@@ -1,0 +1,192 @@
+#ifndef HTUNE_OBS_METRICS_H_
+#define HTUNE_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace htune::obs {
+
+/// Runtime observability switch. Instrumentation macros (obs.h) check it
+/// before touching any metric, so a disabled process pays one relaxed load
+/// per site; the overhead bench flips it to measure instrumented vs
+/// uninstrumented hot paths in one binary. Defaults to on. Orthogonal to the
+/// compile-time HTUNE_OBS_OFF kill switch, which removes the sites outright.
+bool Enabled();
+void SetEnabled(bool enabled);
+
+/// Number of accumulation shards per metric. Each thread is assigned a home
+/// shard round-robin on first use; writers touch only their shard's cache
+/// line, readers sum all shards.
+inline constexpr size_t kMetricShards = 16;
+
+/// This thread's home shard index in [0, kMetricShards).
+size_t ThisThreadShard();
+
+/// Monotonic counter with thread-local sharded accumulation. The same
+/// determinism contract as common/parallel: which thread (and therefore
+/// which shard) takes each increment is unspecified, but increments are
+/// integers and addition over them is exact and commutative, so Value() —
+/// and any Snapshot() built from it — is identical for a given set of
+/// increments regardless of thread count or scheduling.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Add(uint64_t delta) {
+    shards_[ThisThreadShard()].value.fetch_add(delta,
+                                               std::memory_order_relaxed);
+  }
+
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Shard& shard : shards_) {
+      total += shard.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  void Reset() {
+    for (Shard& shard : shards_) {
+      shard.value.store(0, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> value{0};
+  };
+  std::array<Shard, kMetricShards> shards_;
+};
+
+/// Last-write-wins double gauge. Set from one logical site at a time (phase
+/// boundaries, run ends); concurrent setters race benignly to one of their
+/// values.
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(double value);
+  double Value() const;
+  void Reset() { Set(0.0); }
+
+ private:
+  std::atomic<uint64_t> bits_{0};
+};
+
+/// Merged read-only view of one histogram (see HistogramMetric).
+struct HistogramSnapshot {
+  double lo = 0.0;
+  double hi = 1.0;
+  std::vector<uint64_t> buckets;
+  uint64_t underflow = 0;
+  uint64_t overflow = 0;
+  uint64_t nan_count = 0;
+  /// Total observations (bucketed + underflow + overflow + nan).
+  uint64_t count = 0;
+
+  bool operator==(const HistogramSnapshot&) const = default;
+};
+
+/// Fixed-bucket histogram with the same sharded accumulation and determinism
+/// contract as Counter: all state is integer bucket counts, so merges are
+/// exact. Out-of-range and NaN observations go to explicit counters, never
+/// into the edge buckets (the same policy as stats::Histogram).
+class HistogramMetric {
+ public:
+  /// `num_buckets` equal-width buckets spanning [lo, hi); lo < hi and
+  /// num_buckets in [1, 512] (fixed small size keeps shards cache-friendly).
+  HistogramMetric(double lo, double hi, size_t num_buckets);
+  HistogramMetric(const HistogramMetric&) = delete;
+  HistogramMetric& operator=(const HistogramMetric&) = delete;
+
+  void Observe(double value);
+
+  /// Sums all shards into one snapshot.
+  HistogramSnapshot Merge() const;
+
+  void Reset();
+
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  size_t num_buckets() const { return num_buckets_; }
+
+ private:
+  struct Shard {
+    std::unique_ptr<std::atomic<uint64_t>[]> buckets;
+    alignas(64) std::atomic<uint64_t> underflow{0};
+    std::atomic<uint64_t> overflow{0};
+    std::atomic<uint64_t> nan_count{0};
+  };
+
+  double lo_;
+  double hi_;
+  double inv_width_;
+  size_t num_buckets_;
+  std::array<Shard, kMetricShards> shards_;
+};
+
+/// Merged read-only view of a whole registry. Maps are name-sorted, so two
+/// snapshots of identical metric values compare (and export) identically.
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  bool operator==(const MetricsSnapshot&) const = default;
+};
+
+/// Process-wide registry of named metrics. Get* registers on first use and
+/// returns a stable reference afterwards — metrics are never deleted, so
+/// instrumentation sites may cache the reference (the macros in obs.h do)
+/// and write to it lock-free for the life of the process. Registration takes
+/// a mutex; the write paths never do.
+///
+/// Naming scheme: dot-separated lowercase path, "<subsystem>.<what>[_unit]"
+/// — e.g. "allocator.dp_ns", "market.events_dispatched",
+/// "journal.appended_bytes". See DESIGN.md §8 for the full taxonomy.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& GetCounter(std::string_view name);
+  Gauge& GetGauge(std::string_view name);
+  /// The shape (lo, hi, num_buckets) is fixed by the first registration;
+  /// later calls with a different shape abort (two sites disagreeing on a
+  /// metric's buckets is a programming error).
+  HistogramMetric& GetHistogram(std::string_view name, double lo, double hi,
+                                size_t num_buckets);
+
+  /// Merges every metric into a read-only snapshot.
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every registered metric (registrations survive, so cached
+  /// references stay valid). Benches and tests use this between phases.
+  void ResetValues();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<HistogramMetric>, std::less<>>
+      histograms_;
+};
+
+/// The process-wide registry every instrumentation macro records into.
+MetricsRegistry& GlobalMetrics();
+
+}  // namespace htune::obs
+
+#endif  // HTUNE_OBS_METRICS_H_

@@ -1,0 +1,107 @@
+#ifndef HTUNE_OBS_OBS_H_
+#define HTUNE_OBS_OBS_H_
+
+/// Instrumentation entry points. Include this header (only) at call sites;
+/// it is the one place that honors the compile-time HTUNE_OBS_OFF kill
+/// switch — with it defined, every macro below expands to a no-op and the
+/// observability layer costs nothing, not even the Enabled() load.
+///
+/// All macros intern their metric lazily in a function-local static on first
+/// execution, so steady-state cost is one relaxed Enabled() load plus one
+/// relaxed atomic add (counters/histograms) or store (gauges). HTUNE_OBS_SPAN
+/// additionally takes two steady_clock readings and one mutex-guarded ring
+/// push, which is why spans wrap coarse operations only (allocator phases,
+/// kernel evaluations, review rounds, journal writes) — never per-element
+/// inner loops.
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+#define HTUNE_OBS_CONCAT_INNER_(a, b) a##b
+#define HTUNE_OBS_CONCAT_(a, b) HTUNE_OBS_CONCAT_INNER_(a, b)
+
+#ifndef HTUNE_OBS_OFF
+
+/// Adds `delta` (uint64) to the counter named `name` (string literal).
+#define HTUNE_OBS_COUNTER_ADD(name, delta)                                \
+  do {                                                                    \
+    if (::htune::obs::Enabled()) {                                        \
+      static ::htune::obs::Counter& HTUNE_OBS_CONCAT_(obs_counter_,       \
+                                                      __LINE__) =         \
+          ::htune::obs::GlobalMetrics().GetCounter(name);                 \
+      HTUNE_OBS_CONCAT_(obs_counter_, __LINE__).Add(delta);               \
+    }                                                                     \
+  } while (0)
+
+/// Sets the gauge named `name` to `value` (double, last write wins).
+#define HTUNE_OBS_GAUGE_SET(name, value)                                  \
+  do {                                                                    \
+    if (::htune::obs::Enabled()) {                                        \
+      static ::htune::obs::Gauge& HTUNE_OBS_CONCAT_(obs_gauge_,           \
+                                                    __LINE__) =           \
+          ::htune::obs::GlobalMetrics().GetGauge(name);                   \
+      HTUNE_OBS_CONCAT_(obs_gauge_, __LINE__).Set(value);                 \
+    }                                                                     \
+  } while (0)
+
+/// Observes `value` in the fixed-bucket histogram named `name` with shape
+/// (lo, hi, num_buckets); the shape is fixed by whichever site runs first.
+#define HTUNE_OBS_HISTOGRAM_OBSERVE(name, lo, hi, num_buckets, value)     \
+  do {                                                                    \
+    if (::htune::obs::Enabled()) {                                        \
+      static ::htune::obs::HistogramMetric& HTUNE_OBS_CONCAT_(            \
+          obs_histogram_, __LINE__) =                                     \
+          ::htune::obs::GlobalMetrics().GetHistogram(name, lo, hi,        \
+                                                     num_buckets);        \
+      HTUNE_OBS_CONCAT_(obs_histogram_, __LINE__).Observe(value);         \
+    }                                                                     \
+  } while (0)
+
+/// Opens a RAII span named `name` (string literal) covering the rest of the
+/// enclosing scope. Feeds "span.<name>.count" / "span.<name>.total_ns" and
+/// pushes a record (with parent/child nesting) into the global tracer ring.
+#define HTUNE_OBS_SPAN(name)                                              \
+  static const ::htune::obs::SpanSite HTUNE_OBS_CONCAT_(obs_span_site_,   \
+                                                        __LINE__){name};  \
+  const ::htune::obs::Span HTUNE_OBS_CONCAT_(obs_span_, __LINE__)(        \
+      HTUNE_OBS_CONCAT_(obs_span_site_, __LINE__))
+
+#else  // HTUNE_OBS_OFF
+
+/// The arguments are still named (inside dead code the optimizer removes)
+/// so values computed only to feed a metric do not trip
+/// -Wunused-but-set-variable in the kill-switch build.
+#define HTUNE_OBS_COUNTER_ADD(name, delta) \
+  do {                                     \
+    if (false) {                           \
+      static_cast<void>(name);             \
+      static_cast<void>(delta);            \
+    }                                      \
+  } while (0)
+#define HTUNE_OBS_GAUGE_SET(name, value) \
+  do {                                   \
+    if (false) {                         \
+      static_cast<void>(name);           \
+      static_cast<void>(value);          \
+    }                                    \
+  } while (0)
+#define HTUNE_OBS_HISTOGRAM_OBSERVE(name, lo, hi, num_buckets, value) \
+  do {                                                                \
+    if (false) {                                                      \
+      static_cast<void>(name);                                        \
+      static_cast<void>(lo);                                          \
+      static_cast<void>(hi);                                          \
+      static_cast<void>(num_buckets);                                 \
+      static_cast<void>(value);                                       \
+    }                                                                 \
+  } while (0)
+#define HTUNE_OBS_SPAN(name)   \
+  do {                         \
+    if (false) {               \
+      static_cast<void>(name); \
+    }                          \
+  } while (0)
+
+#endif  // HTUNE_OBS_OFF
+
+#endif  // HTUNE_OBS_OBS_H_

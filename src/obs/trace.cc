@@ -1,0 +1,130 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <string>
+
+#include "common/check.h"
+
+namespace htune::obs {
+
+namespace {
+
+std::atomic<uint64_t> g_next_span_id{1};
+
+/// The span currently open on this thread (0 = none) and its depth.
+struct ThreadSpanState {
+  uint64_t current_id = 0;
+  uint32_t depth = 0;
+};
+
+ThreadSpanState& ThisThreadSpanState() {
+  thread_local ThreadSpanState state;
+  return state;
+}
+
+std::chrono::steady_clock::time_point ProcessEpoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+}  // namespace
+
+uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - ProcessEpoch())
+          .count());
+}
+
+Tracer::Tracer(size_t capacity) : capacity_(capacity) {
+  HTUNE_CHECK_GE(capacity, 1u);
+  ring_.reserve(capacity);
+}
+
+void Tracer::Push(const SpanRecord& record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(record);
+  } else {
+    ring_[next_] = record;
+    wrapped_ = true;
+    ++dropped_;
+  }
+  next_ = (next_ + 1) % capacity_;
+}
+
+std::vector<SpanRecord> Tracer::Drain() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!wrapped_) {
+    return ring_;
+  }
+  std::vector<SpanRecord> out;
+  out.reserve(capacity_);
+  out.insert(out.end(), ring_.begin() + static_cast<long>(next_), ring_.end());
+  out.insert(out.end(), ring_.begin(), ring_.begin() + static_cast<long>(next_));
+  return out;
+}
+
+uint64_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  next_ = 0;
+  wrapped_ = false;
+  dropped_ = 0;
+}
+
+Tracer& GlobalTracer() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+SpanSite::SpanSite(const char* span_name)
+    : name(span_name),
+      count(&GlobalMetrics().GetCounter("span." + std::string(span_name) +
+                                        ".count")),
+      total_ns(&GlobalMetrics().GetCounter("span." + std::string(span_name) +
+                                           ".total_ns")) {}
+
+Span::Span(const SpanSite& site) {
+  if (!Enabled()) {
+    site_ = nullptr;
+    return;
+  }
+  site_ = &site;
+  id_ = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+  ThreadSpanState& state = ThisThreadSpanState();
+  parent_id_ = state.current_id;
+  depth_ = state.depth;
+  state.current_id = id_;
+  ++state.depth;
+  start_ns_ = NowNanos();
+}
+
+Span::~Span() {
+  if (site_ == nullptr) {
+    return;
+  }
+  const uint64_t end_ns = NowNanos();
+  ThreadSpanState& state = ThisThreadSpanState();
+  state.current_id = parent_id_;
+  --state.depth;
+  SpanRecord record;
+  record.name = site_->name;
+  record.id = id_;
+  record.parent_id = parent_id_;
+  record.start_ns = start_ns_;
+  record.duration_ns = end_ns - start_ns_;
+  record.depth = depth_;
+  record.thread = static_cast<uint32_t>(ThisThreadShard());
+  GlobalTracer().Push(record);
+  site_->count->Add(1);
+  site_->total_ns->Add(record.duration_ns);
+}
+
+}  // namespace htune::obs

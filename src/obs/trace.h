@@ -1,0 +1,104 @@
+#ifndef HTUNE_OBS_TRACE_H_
+#define HTUNE_OBS_TRACE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace htune::obs {
+
+/// One finished span. Names are interned string literals (the SpanSite owns
+/// them for the life of the process), so records are POD-cheap to copy.
+struct SpanRecord {
+  const char* name = nullptr;
+  /// Process-wide unique id (never 0) and the id of the span that was open
+  /// on this thread when this one started (0 = root).
+  uint64_t id = 0;
+  uint64_t parent_id = 0;
+  /// Nanoseconds since the tracer's process-start epoch.
+  uint64_t start_ns = 0;
+  uint64_t duration_ns = 0;
+  /// Nesting depth at start (0 = root), per thread.
+  uint32_t depth = 0;
+  /// Home metric shard of the emitting thread — a stable small thread tag.
+  uint32_t thread = 0;
+};
+
+/// Fixed-capacity ring buffer of finished spans. Push overwrites the oldest
+/// record once full (and counts the loss), so a long run keeps the freshest
+/// tail of timing history at O(capacity) memory. A mutex guards the ring:
+/// spans wrap coarse operations (allocator phases, kernel evaluations,
+/// review rounds, journal writes), so contention is negligible next to the
+/// work they time.
+class Tracer {
+ public:
+  explicit Tracer(size_t capacity = 4096);
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  void Push(const SpanRecord& record);
+
+  /// The buffered spans, oldest first.
+  std::vector<SpanRecord> Drain() const;
+
+  /// Spans overwritten because the ring was full.
+  uint64_t dropped() const;
+
+  size_t capacity() const { return capacity_; }
+
+  void Clear();
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<SpanRecord> ring_;
+  size_t next_ = 0;
+  bool wrapped_ = false;
+  uint64_t dropped_ = 0;
+};
+
+/// The process-wide tracer every span records into.
+Tracer& GlobalTracer();
+
+/// Nanoseconds since the process-start epoch (steady clock).
+uint64_t NowNanos();
+
+/// Per-instrumentation-site state: the interned span name plus the derived
+/// counters every completed span feeds ("span.<name>.count" and
+/// "span.<name>.total_ns"). Constructed once per site as a function-local
+/// static by the HTUNE_OBS_SPAN macro, so the registry lookup happens once
+/// and the per-span cost is two relaxed counter adds plus a ring push.
+struct SpanSite {
+  explicit SpanSite(const char* span_name);
+
+  const char* name;
+  Counter* count;
+  Counter* total_ns;
+};
+
+/// RAII scoped timer. Starting a span makes it the thread's current span;
+/// spans opened inside it become its children (parent_id/depth in the
+/// record), restoring the parent on destruction — strict stack discipline
+/// per thread. When observability is disabled at runtime the constructor
+/// takes no clock reading and the destructor does nothing.
+class Span {
+ public:
+  explicit Span(const SpanSite& site);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const SpanSite* site_;  // null when disabled at construction
+  uint64_t id_ = 0;
+  uint64_t parent_id_ = 0;
+  uint64_t start_ns_ = 0;
+  uint32_t depth_ = 0;
+};
+
+}  // namespace htune::obs
+
+#endif  // HTUNE_OBS_TRACE_H_

@@ -12,6 +12,10 @@ RunningStats::RunningStats()
     : min_(std::numeric_limits<double>::infinity()),
       max_(-std::numeric_limits<double>::infinity()) {}
 
+double RunningStats::Min() const { return count_ == 0 ? 0.0 : min_; }
+
+double RunningStats::Max() const { return count_ == 0 ? 0.0 : max_; }
+
 void RunningStats::Add(double value) {
   ++count_;
   const double delta = value - mean_;
@@ -57,8 +61,26 @@ double Variance(const std::vector<double>& values) {
   return sum_sq / static_cast<double>(values.size() - 1);
 }
 
+namespace {
+
+/// NaN samples would sort with undefined ordering (std::sort's comparator
+/// contract) and silently poison every order statistic, so the quantile and
+/// ECDF entry points reject them up front — file-sourced data is expected to
+/// have been validated already (ParseTraceCsv returns a line-numbered
+/// InvalidArgument for NaN); reaching this point with a NaN is a programming
+/// error in the caller.
+bool SampleIsNanFree(const std::vector<double>& values) {
+  for (double v : values) {
+    if (std::isnan(v)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
 double Quantile(std::vector<double> values, double q) {
   HTUNE_CHECK(!values.empty());
+  HTUNE_CHECK(SampleIsNanFree(values));
   HTUNE_CHECK_GE(q, 0.0);
   HTUNE_CHECK_LE(q, 1.0);
   std::sort(values.begin(), values.end());
@@ -74,6 +96,7 @@ double Quantile(std::vector<double> values, double q) {
 EmpiricalCdf::EmpiricalCdf(std::vector<double> sample)
     : sorted_(std::move(sample)) {
   HTUNE_CHECK(!sorted_.empty());
+  HTUNE_CHECK(SampleIsNanFree(sorted_));
   std::sort(sorted_.begin(), sorted_.end());
 }
 

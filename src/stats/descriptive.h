@@ -25,10 +25,12 @@ class RunningStats {
   double Variance() const;
   /// Square root of `Variance()`.
   double StdDev() const;
-  /// Smallest added value; +inf if empty.
-  double Min() const { return min_; }
-  /// Largest added value; -inf if empty.
-  double Max() const { return max_; }
+  /// Smallest added value; 0 if empty. (The +/-inf sentinels used to leak
+  /// out of empty accumulators straight into JSON exports, which have no
+  /// representation for non-finite numbers.)
+  double Min() const;
+  /// Largest added value; 0 if empty.
+  double Max() const;
   /// Standard error of the mean; 0 if fewer than two values.
   double StdError() const;
 
@@ -47,14 +49,16 @@ double Mean(const std::vector<double>& values);
 double Variance(const std::vector<double>& values);
 
 /// Returns the `q`-quantile (q in [0, 1]) with linear interpolation between
-/// order statistics. Requires a non-empty vector; `values` is copied and
-/// sorted internally.
+/// order statistics. Requires a non-empty, NaN-free vector (a NaN sample
+/// aborts with a diagnostic: NaN would make the internal sort's ordering
+/// undefined); `values` is copied and sorted internally.
 double Quantile(std::vector<double> values, double q);
 
 /// Empirical CDF over a fixed sample.
 class EmpiricalCdf {
  public:
-  /// Builds the ECDF of `sample` (copied and sorted). Requires non-empty.
+  /// Builds the ECDF of `sample` (copied and sorted). Requires a non-empty,
+  /// NaN-free sample (NaN aborts with a diagnostic, as Quantile).
   explicit EmpiricalCdf(std::vector<double> sample);
 
   /// Fraction of sample points <= x.

@@ -1,6 +1,7 @@
 #include "stats/histogram.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/check.h"
 #include "common/strings.h"
@@ -14,11 +15,25 @@ Histogram::Histogram(double lo, double hi, size_t num_buckets)
 }
 
 void Histogram::Add(double value) {
+  ++count_;
+  if (std::isnan(value)) {
+    ++nan_count_;
+    return;
+  }
+  if (value < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (value >= hi_) {
+    ++overflow_;
+    return;
+  }
   const double width = (hi_ - lo_) / static_cast<double>(buckets_.size());
   long index = static_cast<long>((value - lo_) / width);
+  // Floating-point rounding can push a value just below hi_ to an index of
+  // num_buckets; clamping is correct here because the value IS in range.
   index = std::clamp<long>(index, 0, static_cast<long>(buckets_.size()) - 1);
   ++buckets_[static_cast<size_t>(index)];
-  ++count_;
 }
 
 double Histogram::bucket_lower(size_t i) const {
@@ -39,6 +54,17 @@ std::string Histogram::ToAscii(size_t width) const {
     out += " (";
     out += std::to_string(buckets_[i]);
     out += ")\n";
+  }
+  if (underflow_ > 0) {
+    out += "< " + FormatDouble(lo_, 3) + " underflow (" +
+           std::to_string(underflow_) + ")\n";
+  }
+  if (overflow_ > 0) {
+    out += ">= " + FormatDouble(hi_, 3) + " overflow (" +
+           std::to_string(overflow_) + ")\n";
+  }
+  if (nan_count_ > 0) {
+    out += "NaN (" + std::to_string(nan_count_) + ")\n";
   }
   return out;
 }

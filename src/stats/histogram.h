@@ -7,29 +7,41 @@
 
 namespace htune {
 
-/// Fixed-width histogram over [lo, hi) with an overflow/underflow policy of
-/// clamping into the edge buckets. Used for latency distributions in traces
-/// and bench reports.
+/// Fixed-width histogram over [lo, hi). Observations outside the range are
+/// NOT folded into the edge buckets (that silently corrupts the tail buckets
+/// of latency reports); they are tallied in explicit underflow/overflow
+/// counters instead, and NaN observations in their own counter. Used for
+/// latency distributions in traces and bench reports.
 class Histogram {
  public:
   /// Builds `num_buckets` equal-width buckets spanning [lo, hi).
   /// Requires lo < hi and num_buckets >= 1.
   Histogram(double lo, double hi, size_t num_buckets);
 
-  /// Records one observation.
+  /// Records one observation. Values < lo count as underflow, values >= hi
+  /// as overflow, NaN as nan_count; only in-range values land in a bucket.
   void Add(double value);
 
-  /// Total number of recorded observations.
+  /// Total number of recorded observations, including out-of-range and NaN.
   size_t count() const { return count_; }
 
   /// Count in bucket `i`.
   size_t bucket_count(size_t i) const { return buckets_[i]; }
   size_t num_buckets() const { return buckets_.size(); }
 
+  /// Observations below `lo` (excluded from the buckets).
+  size_t underflow() const { return underflow_; }
+  /// Observations at or above `hi` (excluded from the buckets).
+  size_t overflow() const { return overflow_; }
+  /// NaN observations (neither bucketed nor counted as under/overflow).
+  size_t nan_count() const { return nan_count_; }
+
   /// Inclusive lower edge of bucket `i`.
   double bucket_lower(size_t i) const;
 
   /// Renders an ASCII bar chart, one bucket per line, `width` chars max bar.
+  /// Out-of-range tallies are appended as explicit "< lo" / ">= hi" / "NaN"
+  /// lines whenever they are non-zero, so clipped tails stay visible.
   std::string ToAscii(size_t width) const;
 
  private:
@@ -37,6 +49,9 @@ class Histogram {
   double hi_;
   std::vector<size_t> buckets_;
   size_t count_ = 0;
+  size_t underflow_ = 0;
+  size_t overflow_ = 0;
+  size_t nan_count_ = 0;
 };
 
 }  // namespace htune

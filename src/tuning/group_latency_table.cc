@@ -5,6 +5,7 @@
 #include "common/check.h"
 #include "common/parallel.h"
 #include "model/latency_cache.h"
+#include "obs/obs.h"
 
 namespace htune {
 
@@ -44,6 +45,7 @@ double GroupLatencyTable::Phase1(int price) const {
 
 void GroupLatencyTable::Prewarm(int max_price) {
   HTUNE_CHECK_GE(max_price, 1);
+  HTUNE_OBS_SPAN("allocator.prewarm");
   EnsureCapacity(max_price);
   std::vector<int> missing;
   for (int price = 1; price <= max_price; ++price) {
@@ -67,6 +69,7 @@ std::vector<double> GroupLatencyTable::FlatPhase1(int max_price) const {
 void PrewarmTables(std::vector<GroupLatencyTable>& tables,
                    const std::vector<int>& max_prices) {
   HTUNE_CHECK_EQ(tables.size(), max_prices.size());
+  HTUNE_OBS_SPAN("allocator.prewarm");
   std::vector<std::pair<GroupLatencyTable*, int>> jobs;
   for (size_t i = 0; i < tables.size(); ++i) {
     HTUNE_CHECK_GE(max_prices[i], 1);
@@ -80,6 +83,7 @@ void PrewarmTables(std::vector<GroupLatencyTable>& tables,
   ParallelFor(jobs.size(), [&jobs](size_t j) {
     jobs[j].first->FillSlot(jobs[j].second);
   });
+  HTUNE_OBS_COUNTER_ADD("allocator.prewarm_slots_filled", jobs.size());
 }
 
 }  // namespace htune

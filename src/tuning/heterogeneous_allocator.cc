@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "obs/obs.h"
 #include "tuning/brute_force.h"
 #include "tuning/dp_price_tree.h"
 #include "tuning/group_latency_table.h"
@@ -151,6 +152,7 @@ StatusOr<std::vector<int>> HeterogeneousAllocator::SolvePrices(
   // curves, so when the uniform-price space is small enough we enumerate it
   // outright and return the true compromise optimum.
   if (EnumerationBound(problem) <= kMaxEnumeration) {
+    HTUNE_OBS_SPAN("allocator.enumeration");
     std::vector<int> best;
     double best_value = std::numeric_limits<double>::infinity();
     ForEachUniformPriceVector(problem, [&](const std::vector<int>& prices) {
@@ -203,6 +205,7 @@ StatusOr<std::vector<int>> HeterogeneousAllocator::SolvePrices(
   closeness_at[0] =
       Closeness(ObjectivePoint{base_o1, tree.MaxValue(tree.root())}, utopia);
 
+  HTUNE_OBS_SPAN("allocator.dp");
   for (long x = 1; x <= spare; ++x) {
     const size_t xi = static_cast<size_t>(x);
     double best = closeness_at[xi - 1];
@@ -243,6 +246,7 @@ StatusOr<std::vector<int>> HeterogeneousAllocator::SolvePrices(
     o1_at[xi] = best_o1;
     closeness_at[xi] = best;
   }
+  HTUNE_OBS_SPAN("allocator.backtrack");
   return tree.Prices(root_at[static_cast<size_t>(spare)]);
 }
 

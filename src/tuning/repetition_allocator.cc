@@ -3,6 +3,7 @@
 #include <limits>
 
 #include "common/check.h"
+#include "obs/obs.h"
 #include "tuning/dp_price_tree.h"
 #include "tuning/group_latency_table.h"
 
@@ -77,37 +78,43 @@ std::vector<int> RepetitionAllocator::SolvePaperDp(
   }
   objective_at[0] = base;
 
-  for (long x = 1; x <= spare; ++x) {
-    // Default: carry the previous state (one unit left unspent).
-    double best = objective_at[static_cast<size_t>(x - 1)];
-    size_t best_group = n;  // n = carry
-    int best_price = 0;
-    for (size_t i = 0; i < n; ++i) {
-      if (unit_cost[i] > x) continue;
-      const size_t from = static_cast<size_t>(x - unit_cost[i]);
-      const int p = tree.PriceAt(root_at[from], i);
-      const double candidate =
-          objective_at[from] - (phase1[i][static_cast<size_t>(p)] -
-                                phase1[i][static_cast<size_t>(p) + 1]);
-      // Ties prefer spending over carrying: on a flat stretch of the
-      // price-rate curve the marginal gain is zero, and only a state that
-      // keeps accumulating price units can cross the plateau and reach the
-      // improving region beyond it.
-      if (candidate <= best) {
-        best = candidate;
-        best_group = i;
-        best_price = p + 1;
+  {
+    HTUNE_OBS_SPAN("allocator.dp");
+    for (long x = 1; x <= spare; ++x) {
+      // Default: carry the previous state (one unit left unspent).
+      double best = objective_at[static_cast<size_t>(x - 1)];
+      size_t best_group = n;  // n = carry
+      int best_price = 0;
+      for (size_t i = 0; i < n; ++i) {
+        if (unit_cost[i] > x) continue;
+        const size_t from = static_cast<size_t>(x - unit_cost[i]);
+        const int p = tree.PriceAt(root_at[from], i);
+        const double candidate =
+            objective_at[from] - (phase1[i][static_cast<size_t>(p)] -
+                                  phase1[i][static_cast<size_t>(p) + 1]);
+        // Ties prefer spending over carrying: on a flat stretch of the
+        // price-rate curve the marginal gain is zero, and only a state that
+        // keeps accumulating price units can cross the plateau and reach the
+        // improving region beyond it.
+        if (candidate <= best) {
+          best = candidate;
+          best_group = i;
+          best_price = p + 1;
+        }
       }
+      const size_t xi = static_cast<size_t>(x);
+      if (best_group == n) {
+        root_at[xi] = root_at[xi - 1];
+      } else {
+        const size_t from = static_cast<size_t>(x - unit_cost[best_group]);
+        root_at[xi] = tree.WithLeaf(root_at[from], best_group, best_price, 0.0);
+      }
+      objective_at[xi] = best;
     }
-    const size_t xi = static_cast<size_t>(x);
-    if (best_group == n) {
-      root_at[xi] = root_at[xi - 1];
-    } else {
-      const size_t from = static_cast<size_t>(x - unit_cost[best_group]);
-      root_at[xi] = tree.WithLeaf(root_at[from], best_group, best_price, 0.0);
-    }
-    objective_at[xi] = best;
+    HTUNE_OBS_COUNTER_ADD("allocator.dp_states",
+                          static_cast<uint64_t>(spare) + 1);
   }
+  HTUNE_OBS_SPAN("allocator.backtrack");
   return tree.Prices(root_at[static_cast<size_t>(spare)]);
 }
 
@@ -145,6 +152,7 @@ std::vector<int> RepetitionAllocator::SolveExactDp(
   std::vector<std::vector<int>> choice(
       n, std::vector<int>(static_cast<size_t>(budget) + 1, 0));
 
+  HTUNE_OBS_SPAN("allocator.dp");
   for (size_t i = 0; i < n; ++i) {
     std::vector<double> next(static_cast<size_t>(budget) + 1, kInf);
     const long group_max = max_price[i];
@@ -177,6 +185,7 @@ std::vector<int> RepetitionAllocator::SolveExactDp(
   }
   HTUNE_CHECK_GE(best_spend, 0);
 
+  HTUNE_OBS_SPAN("allocator.backtrack");
   std::vector<int> prices(n, 0);
   long b = best_spend;
   for (size_t i = n; i > 0; --i) {

@@ -2,6 +2,7 @@
 // and the parallel Monte Carlo evaluator must produce bitwise-identical
 // results whether the default pool has 1, 4, or hardware_concurrency lanes.
 
+#include <cmath>
 #include <memory>
 #include <vector>
 
@@ -9,6 +10,7 @@
 
 #include "common/parallel.h"
 #include "model/latency_cache.h"
+#include "obs/metrics.h"
 #include "tuning/deadline_allocator.h"
 #include "tuning/evaluator.h"
 #include "tuning/heterogeneous_allocator.h"
@@ -148,6 +150,29 @@ TEST(DeterminismTest, ParallelMonteCarloAcrossPools) {
   });
   ExpectSameAcrossPools<double>([&] {
     return ParallelMonteCarloPhase1Latency(problem, *alloc, 500, 99);
+  });
+}
+
+// The observability layer makes the same promise as the allocators: metric
+// values — and therefore whole snapshots — must not depend on which threads
+// (and which shards) took which increments.
+TEST(DeterminismTest, MetricsRegistryMergeAcrossPools) {
+  ExpectSameAcrossPools<obs::MetricsSnapshot>([] {
+    obs::MetricsRegistry registry;
+    obs::Counter& items = registry.GetCounter("det.items");
+    obs::Counter& weighted = registry.GetCounter("det.weighted");
+    obs::HistogramMetric& histogram =
+        registry.GetHistogram("det.hist", 0.0, 1.0, 32);
+    ParallelFor(10000, [&](size_t i) {
+      items.Add(1);
+      weighted.Add(i % 7);
+      // Deterministic per-index value: same observation set regardless of
+      // which thread lands it (including some under/overflow and NaN).
+      const double value = static_cast<double>(i % 130) / 100.0 - 0.1;
+      histogram.Observe(i % 997 == 0 ? std::nan("") : value);
+    });
+    registry.GetGauge("det.gauge").Set(static_cast<double>(items.Value()));
+    return registry.Snapshot();
   });
 }
 

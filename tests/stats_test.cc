@@ -189,19 +189,33 @@ TEST(BootstrapTest, RejectsBadArguments) {
   EXPECT_FALSE(BootstrapMeanCi({1.0}, 0.95, 5, rng).ok());
 }
 
-TEST(HistogramTest, BucketsAndClamping) {
+TEST(HistogramTest, BucketsAndOutOfRangeCounters) {
   Histogram hist(0.0, 10.0, 5);
   hist.Add(0.5);    // bucket 0
   hist.Add(3.0);    // bucket 1
-  hist.Add(-5.0);   // clamps to bucket 0
-  hist.Add(100.0);  // clamps to bucket 4
+  hist.Add(-5.0);   // underflow, NOT clamped into bucket 0
+  hist.Add(100.0);  // overflow, NOT clamped into bucket 4
   hist.Add(9.999);  // bucket 4
   EXPECT_EQ(hist.count(), 5u);
-  EXPECT_EQ(hist.bucket_count(0), 2u);
+  EXPECT_EQ(hist.bucket_count(0), 1u);
   EXPECT_EQ(hist.bucket_count(1), 1u);
-  EXPECT_EQ(hist.bucket_count(4), 2u);
+  EXPECT_EQ(hist.bucket_count(4), 1u);
+  EXPECT_EQ(hist.underflow(), 1u);
+  EXPECT_EQ(hist.overflow(), 1u);
+  EXPECT_EQ(hist.nan_count(), 0u);
   EXPECT_DOUBLE_EQ(hist.bucket_lower(0), 0.0);
   EXPECT_DOUBLE_EQ(hist.bucket_lower(4), 8.0);
+}
+
+TEST(HistogramTest, RangeEdgesAndNan) {
+  Histogram hist(0.0, 10.0, 5);
+  hist.Add(0.0);   // lo is inclusive -> bucket 0
+  hist.Add(10.0);  // hi is exclusive -> overflow
+  hist.Add(std::nan(""));
+  EXPECT_EQ(hist.count(), 3u);
+  EXPECT_EQ(hist.bucket_count(0), 1u);
+  EXPECT_EQ(hist.overflow(), 1u);
+  EXPECT_EQ(hist.nan_count(), 1u);
 }
 
 TEST(HistogramTest, AsciiRendering) {
@@ -216,6 +230,44 @@ TEST(HistogramTest, AsciiRendering) {
 
 TEST(HistogramDeathTest, RejectsEmptyRange) {
   EXPECT_DEATH(Histogram(1.0, 1.0, 3), "HTUNE_CHECK");
+}
+
+TEST(HistogramTest, AsciiShowsOutOfRangeTallies) {
+  Histogram hist(0.0, 2.0, 2);
+  hist.Add(0.5);
+  hist.Add(-1.0);
+  hist.Add(5.0);
+  hist.Add(std::nan(""));
+  const std::string ascii = hist.ToAscii(10);
+  EXPECT_NE(ascii.find("< "), std::string::npos) << ascii;
+  EXPECT_NE(ascii.find(">= "), std::string::npos) << ascii;
+  EXPECT_NE(ascii.find("NaN"), std::string::npos) << ascii;
+}
+
+TEST(HistogramTest, AsciiOmitsZeroTallies) {
+  Histogram hist(0.0, 2.0, 2);
+  hist.Add(0.5);
+  const std::string ascii = hist.ToAscii(10);
+  EXPECT_EQ(ascii.find("NaN"), std::string::npos) << ascii;
+  EXPECT_EQ(ascii.find(">= "), std::string::npos) << ascii;
+}
+
+TEST(RunningStatsTest, EmptyMinMaxAreZeroNotInfinite) {
+  // An empty accumulator used to leak +/-inf sentinels through Min()/Max(),
+  // which then poisoned JSON exports downstream.
+  RunningStats stats;
+  EXPECT_EQ(stats.Min(), 0.0);
+  EXPECT_EQ(stats.Max(), 0.0);
+  EXPECT_TRUE(std::isfinite(stats.Min()));
+  EXPECT_TRUE(std::isfinite(stats.Max()));
+}
+
+TEST(QuantileDeathTest, RejectsNanSample) {
+  EXPECT_DEATH(Quantile({1.0, std::nan(""), 3.0}, 0.5), "HTUNE_CHECK");
+}
+
+TEST(EmpiricalCdfDeathTest, RejectsNanSample) {
+  EXPECT_DEATH(EmpiricalCdf({0.5, std::nan("")}), "HTUNE_CHECK");
 }
 
 }  // namespace

@@ -8,14 +8,26 @@ Stdlib only; no third-party packages.
 
 Usage:
   tools/bench_report.py --bin build/bench/microbench --out BENCH_tuning.json \
-      [--min-time 0.1] [--extra-filter REGEX]
+      [--min-time 0.1] [--extra-filter REGEX] [--metrics METRICS_JSON]
+  tools/bench_report.py --validate-metrics METRICS_JSON
+
+--metrics folds an observability export (htune_cli --metrics=PATH, schema
+version 1; see src/obs/export.h) into the report under a "metrics" key:
+counters and gauges verbatim, histograms summarized, spans aggregated per
+name. --validate-metrics parses an export, checks every invariant the
+schema promises (finite numbers, histogram count arithmetic, span field
+sanity), prints a canonical digest, and exits nonzero on any violation —
+the C++ round-trip test drives this mode.
 """
 
 import argparse
 import json
+import math
 import re
 import subprocess
 import sys
+
+METRICS_SCHEMA_VERSION = 1
 
 # Benchmarks the report tracks: allocator end-to-end costs plus the parallel
 # runtime primitives they are built on.
@@ -68,6 +80,108 @@ def speedups(benchmarks):
     return out
 
 
+def load_metrics(path):
+    """Parses and validates an observability metrics export."""
+    with open(path) as f:
+        data = json.load(f)
+    if data.get("schema_version") != METRICS_SCHEMA_VERSION:
+        raise SystemExit(
+            f"{path}: unsupported metrics schema_version "
+            f"{data.get('schema_version')!r} (expected "
+            f"{METRICS_SCHEMA_VERSION})")
+    for section in ("counters", "gauges", "histograms", "spans"):
+        if section not in data:
+            raise SystemExit(f"{path}: missing '{section}' section")
+    for name, value in data["counters"].items():
+        if not isinstance(value, int) or value < 0:
+            raise SystemExit(f"{path}: counter {name} is not a non-negative "
+                             f"integer: {value!r}")
+    for name, value in data["gauges"].items():
+        if not isinstance(value, (int, float)) or not math.isfinite(value):
+            raise SystemExit(f"{path}: gauge {name} is not finite: {value!r}")
+    for name, hist in data["histograms"].items():
+        for bound in ("lo", "hi"):
+            if not math.isfinite(hist[bound]):
+                raise SystemExit(f"{path}: histogram {name} {bound} is not "
+                                 f"finite: {hist[bound]!r}")
+        if not hist["lo"] < hist["hi"]:
+            raise SystemExit(f"{path}: histogram {name} has lo >= hi")
+        parts = (sum(hist["buckets"]) + hist["underflow"] + hist["overflow"]
+                 + hist["nan_count"])
+        if parts != hist["count"]:
+            raise SystemExit(
+                f"{path}: histogram {name} count {hist['count']} != "
+                f"buckets+underflow+overflow+nan {parts}")
+    for span in data["spans"]:
+        for key in ("id", "parent_id", "start_ns", "duration_ns", "depth",
+                    "thread"):
+            if not isinstance(span.get(key), int) or span[key] < 0:
+                raise SystemExit(f"{path}: span {span.get('name')!r} has a "
+                                 f"bad '{key}' field: {span.get(key)!r}")
+        if span["id"] == 0:
+            raise SystemExit(f"{path}: span {span.get('name')!r} has id 0 "
+                             "(ids start at 1)")
+    if data.get("spans_dropped", 0) < 0:
+        raise SystemExit(f"{path}: negative spans_dropped")
+    return data
+
+
+def aggregate_spans(spans):
+    """Per-name span aggregates, name-sorted."""
+    by_name = {}
+    for span in spans:
+        agg = by_name.setdefault(span["name"],
+                                 {"count": 0, "total_ns": 0, "max_ns": 0})
+        agg["count"] += 1
+        agg["total_ns"] += span["duration_ns"]
+        agg["max_ns"] = max(agg["max_ns"], span["duration_ns"])
+    return {name: by_name[name] for name in sorted(by_name)}
+
+
+def metrics_digest(data):
+    """Canonical text form of an export; %.17g matches the C++ writer, so a
+    digest comparison proves the numbers survived the JSON round trip."""
+    lines = [f"schema_version={data['schema_version']}"]
+    for name in sorted(data["counters"]):
+        lines.append(f"counter {name}={data['counters'][name]}")
+    for name in sorted(data["gauges"]):
+        lines.append("gauge %s=%.17g" % (name, data["gauges"][name]))
+    for name in sorted(data["histograms"]):
+        hist = data["histograms"][name]
+        buckets = ",".join(str(b) for b in hist["buckets"])
+        lines.append(
+            "histogram %s lo=%.17g hi=%.17g count=%d underflow=%d "
+            "overflow=%d nan=%d buckets=%s"
+            % (name, hist["lo"], hist["hi"], hist["count"],
+               hist["underflow"], hist["overflow"], hist["nan_count"],
+               buckets))
+    lines.append(f"spans={len(data['spans'])} "
+                 f"dropped={data['spans_dropped']}")
+    return "\n".join(lines)
+
+
+def fold_metrics(data):
+    """The report's "metrics" entry: raw scalars, summarized distributions."""
+    return {
+        "schema_version": data["schema_version"],
+        "counters": dict(sorted(data["counters"].items())),
+        "gauges": dict(sorted(data["gauges"].items())),
+        "histograms": {
+            name: {
+                "lo": hist["lo"],
+                "hi": hist["hi"],
+                "count": hist["count"],
+                "underflow": hist["underflow"],
+                "overflow": hist["overflow"],
+                "nan_count": hist["nan_count"],
+            }
+            for name, hist in sorted(data["histograms"].items())
+        },
+        "spans": aggregate_spans(data["spans"]),
+        "spans_dropped": data["spans_dropped"],
+    }
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--bin", default="build/bench/microbench",
@@ -78,7 +192,17 @@ def main():
                         help="--benchmark_min_time per benchmark (seconds)")
     parser.add_argument("--extra-filter", default="",
                         help="extra regex OR-ed onto the benchmark filter")
+    parser.add_argument("--metrics", default="",
+                        help="observability metrics JSON (htune_cli "
+                             "--metrics=PATH) to fold into the report")
+    parser.add_argument("--validate-metrics", default="",
+                        help="validate a metrics JSON export, print its "
+                             "canonical digest, and exit")
     args = parser.parse_args()
+
+    if args.validate_metrics:
+        print(metrics_digest(load_metrics(args.validate_metrics)))
+        return
 
     raw = run_benchmarks(args.bin, args.min_time, args.extra_filter)
     benchmarks = [
@@ -102,6 +226,8 @@ def main():
         "allocator_speedup_vs_cloned_curves": speedups(benchmarks),
         "benchmarks": benchmarks,
     }
+    if args.metrics:
+        report["metrics"] = fold_metrics(load_metrics(args.metrics))
     with open(args.out, "w") as f:
         json.dump(report, f, indent=2)
         f.write("\n")

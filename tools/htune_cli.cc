@@ -7,6 +7,11 @@
 //   htune_cli run-durable <spec> --journal=PATH [--budget=N]
 //                                [--snapshot-interval=N]
 //
+// Every command accepts --metrics=PATH: after the command finishes, the
+// observability registry (counters/gauges/histograms) and the span ring are
+// exported as schema-versioned JSON to PATH, or as a human-readable table to
+// stdout when PATH is "-". See DESIGN.md §8.
+//
 // The spec format is documented in src/spec/job_spec.h (and the paper
 // mapping in DESIGN.md).
 
@@ -17,7 +22,10 @@
 #include <vector>
 
 #include "control/fault_tolerant_executor.h"
+#include "control/market_metrics.h"
 #include "crowddb/executor.h"
+#include "model/latency_cache.h"
+#include "obs/export.h"
 #include "durability/journal.h"
 #include "market/simulator.h"
 #include "market/trace_io.h"
@@ -47,7 +55,8 @@ void Usage(const char* argv0) {
       "                               tolerant run journaled to PATH; re-run\n"
       "                               the same command after a crash to\n"
       "                               resume from the last snapshot)\n"
-      "allocators: ra (default), ra-exact, ha, ea, rep-even, task-even\n",
+      "allocators: ra (default), ra-exact, ha, ea, rep-even, task-even\n"
+      "every command accepts --metrics=PATH (JSON; '-' prints a table)\n",
       argv0, argv0, argv0, argv0);
 }
 
@@ -188,6 +197,7 @@ int Simulate(const htune::JobSpec& spec, const std::string& allocator_name,
       return 1;
     }
     latency.Add(run->latency);
+    htune::PublishMarketMetrics(market);
     if (r == 0) {
       const auto summary =
           htune::SummarizeOutcomes(market.CompletedOutcomes());
@@ -278,10 +288,12 @@ int main(int argc, char** argv) {
   }
   const std::string allocator_name =
       FlagValue(argc, argv, "--allocator", "ra");
+  const std::string metrics_path = FlagValue(argc, argv, "--metrics", "");
+  int exit_code = 2;
+  bool known_command = true;
   if (command == "plan") {
-    return Plan(*spec, allocator_name);
-  }
-  if (command == "deadline") {
+    exit_code = Plan(*spec, allocator_name);
+  } else if (command == "deadline") {
     if (argc < 4) {
       Usage(argv[0]);
       return 2;
@@ -289,25 +301,37 @@ int main(int argc, char** argv) {
     const double deadline = std::atof(argv[3]);
     const double confidence =
         std::atof(FlagValue(argc, argv, "--confidence", "0").c_str());
-    return Deadline(*spec, deadline,
-                    FlagValue(argc, argv, "--objective", "ph1"), confidence);
-  }
-  if (command == "simulate") {
+    exit_code =
+        Deadline(*spec, deadline,
+                 FlagValue(argc, argv, "--objective", "ph1"), confidence);
+  } else if (command == "simulate") {
     const int runs = std::atoi(FlagValue(argc, argv, "--runs", "20").c_str());
     if (runs < 1) {
       std::fprintf(stderr, "--runs must be >= 1\n");
       return 2;
     }
-    return Simulate(*spec, allocator_name, runs);
-  }
-  if (command == "run-durable") {
+    exit_code = Simulate(*spec, allocator_name, runs);
+  } else if (command == "run-durable") {
     const long ceiling =
         std::atol(FlagValue(argc, argv, "--budget", "0").c_str());
     const int snapshot_interval = std::atoi(
         FlagValue(argc, argv, "--snapshot-interval", "8").c_str());
-    return RunDurable(*spec, FlagValue(argc, argv, "--journal", ""),
-                      ceiling, snapshot_interval);
+    exit_code = RunDurable(*spec, FlagValue(argc, argv, "--journal", ""),
+                           ceiling, snapshot_interval);
+  } else {
+    known_command = false;
   }
-  Usage(argv[0]);
-  return 2;
+  if (!known_command) {
+    Usage(argv[0]);
+    return 2;
+  }
+  if (!metrics_path.empty()) {
+    htune::GlobalLatencyCache().PublishToMetrics();
+    const htune::Status status = htune::obs::WriteGlobalMetrics(metrics_path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "--metrics: %s\n", status.ToString().c_str());
+      if (exit_code == 0) exit_code = 1;
+    }
+  }
+  return exit_code;
 }
