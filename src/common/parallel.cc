@@ -2,14 +2,14 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <cstdlib>
 #include <deque>
 #include <exception>
-#include <mutex>
 #include <thread>
 
 #include "common/check.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace htune {
 
@@ -22,14 +22,16 @@ namespace {
 /// helper tasks that wake after the region completed find valid (drained)
 /// state and return immediately.
 struct ForRegion {
+  /// body/n/chunk are written once before the region is published to any
+  /// helper task and read-only afterwards, so they need no guard.
   const std::function<void(size_t)>* body = nullptr;
   size_t n = 0;
   size_t chunk = 1;
   std::atomic<size_t> next{0};
-  std::mutex mu;
-  std::condition_variable done_cv;
-  size_t done = 0;  // guarded by mu
-  std::exception_ptr error;  // first failure; guarded by mu
+  Mutex mu;
+  CondVar done_cv;
+  size_t done HTUNE_GUARDED_BY(mu) = 0;
+  std::exception_ptr error HTUNE_GUARDED_BY(mu);  // first failure
 
   void RunChunks() {
     while (true) {
@@ -44,10 +46,10 @@ struct ForRegion {
       } catch (...) {
         caught = std::current_exception();
       }
-      std::lock_guard<std::mutex> lock(mu);
+      MutexLock lock(mu);
       if (caught && !error) error = caught;
       done += end - start;
-      if (done == n) done_cv.notify_all();
+      if (done == n) done_cv.NotifyAll();
     }
   }
 };
@@ -55,18 +57,20 @@ struct ForRegion {
 }  // namespace
 
 struct ThreadPool::Impl {
-  std::mutex mu;
-  std::condition_variable work_cv;
-  std::deque<std::function<void()>> queue;
-  bool stopping = false;
+  Mutex mu;
+  CondVar work_cv;
+  std::deque<std::function<void()>> queue HTUNE_GUARDED_BY(mu);
+  bool stopping HTUNE_GUARDED_BY(mu) = false;
+  /// Touched only by the owning thread (constructor spawn, destructor
+  /// join), never from workers, so it stays unguarded.
   std::vector<std::thread> workers;
 
   void WorkerLoop() {
     while (true) {
       std::function<void()> task;
       {
-        std::unique_lock<std::mutex> lock(mu);
-        work_cv.wait(lock, [this] { return stopping || !queue.empty(); });
+        MutexLock lock(mu);
+        while (!stopping && queue.empty()) work_cv.Wait(mu);
         if (queue.empty()) return;  // stopping and drained
         task = std::move(queue.front());
         queue.pop_front();
@@ -77,10 +81,10 @@ struct ThreadPool::Impl {
 
   void Enqueue(std::function<void()> task) {
     {
-      std::lock_guard<std::mutex> lock(mu);
+      MutexLock lock(mu);
       queue.push_back(std::move(task));
     }
-    work_cv.notify_one();
+    work_cv.NotifyOne();
   }
 };
 
@@ -95,10 +99,10 @@ ThreadPool::ThreadPool(int threads)
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(impl_->mu);
+    MutexLock lock(impl_->mu);
     impl_->stopping = true;
   }
-  impl_->work_cv.notify_all();
+  impl_->work_cv.NotifyAll();
   for (std::thread& worker : impl_->workers) {
     worker.join();
   }
@@ -130,12 +134,14 @@ void ThreadPool::ParallelFor(size_t n,
   }
   region->RunChunks();
 
-  std::unique_lock<std::mutex> lock(region->mu);
-  region->done_cv.wait(lock, [&region] { return region->done == region->n; });
+  MutexLock lock(region->mu);
+  while (region->done != region->n) region->done_cv.Wait(region->mu);
   if (region->error) std::rethrow_exception(region->error);
 }
 
 int DefaultThreadCount() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read once, before any worker
+  // thread exists; the result is cached in the default pool's size.
   if (const char* env = std::getenv("HTUNE_THREADS")) {
     char* end = nullptr;
     const long parsed = std::strtol(env, &end, 10);

@@ -27,8 +27,11 @@ std::string_view StatusCodeToString(StatusCode code);
 
 /// A lightweight success-or-error result. htune is exception-free: every
 /// fallible operation returns `Status` (or `StatusOr<T>`); callers must check
-/// `ok()` before relying on side effects.
-class Status {
+/// `ok()` before relying on side effects. The type is [[nodiscard]], so
+/// silently dropping a journal/recovery/spec-parsing error is a compile
+/// error under -Werror; a call site that intentionally ignores the result
+/// must say so with a `(void)` cast.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}

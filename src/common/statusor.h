@@ -12,9 +12,10 @@ namespace htune {
 
 /// Holds either a value of type `T` or an error `Status`. Accessing the value
 /// of a non-OK StatusOr aborts the process (htune is exception-free), so
-/// callers must test `ok()` first.
+/// callers must test `ok()` first. [[nodiscard]] like Status: a dropped
+/// result is a dropped error.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   /// Constructs from an error status. Passing an OK status here is a
   /// programming error and is converted to an internal error.

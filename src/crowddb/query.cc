@@ -76,6 +76,7 @@ StatusOr<QueryResult> TopKFilteredQuery::Run(
   std::sort(qualifying.begin(), qualifying.end(),
             [](const Item& a, const Item& b) { return a.value > b.value; });
   std::vector<int> truth;
+  truth.reserve(std::min(qualifying.size(), static_cast<size_t>(k_)));
   for (size_t i = 0; i < qualifying.size() && i < static_cast<size_t>(k_);
        ++i) {
     truth.push_back(qualifying[i].id);

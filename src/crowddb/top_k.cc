@@ -84,6 +84,7 @@ StatusOr<TopKResult> CrowdTopK::Run(
   std::sort(by_value.begin(), by_value.end(),
             [](const Item& a, const Item& b) { return a.value > b.value; });
   std::vector<int> truth;
+  truth.reserve(static_cast<size_t>(k_));
   for (int i = 0; i < k_; ++i) {
     truth.push_back(by_value[static_cast<size_t>(i)].id);
   }

@@ -13,7 +13,7 @@ double LatencyKernelCache::Phase1(
   const Key key{shape.num_tasks, shape.repetitions, curve.get(), price};
   Shard& shard = shards_[KeyHash()(key) % kShards];
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     const auto it = shard.map.find(key);
     if (it != shard.map.end()) {
       hits_.fetch_add(1, std::memory_order_relaxed);
@@ -21,34 +21,31 @@ double LatencyKernelCache::Phase1(
     }
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
-  // Pin before the entry becomes visible so a hit always refers to a live
-  // curve (and therefore to THIS curve: live objects have unique addresses).
-  PinCurve(curve);
-  // Quadrature runs outside the shard lock; see header for the benign race.
+  // Quadrature runs outside the locks; see header for the benign race.
   // The span rides the miss path only, so the hit path stays untouched and
   // span cost is dwarfed by the quadrature it times.
   HTUNE_OBS_SPAN("cache.quadrature_eval");
   const double value =
       ExpectedGroupOnHoldLatency(shape, *curve, static_cast<double>(price));
-  std::lock_guard<std::mutex> lock(shard.mu);
+  // Pin and insert under one pin_mu_ section (lock order: pin_mu_ then
+  // shard.mu) so Clear() can never drop the pin while the entry survives;
+  // a live pin keeps the curve's address from being recycled into a
+  // colliding key.
+  MutexLock pin_lock(pin_mu_);
+  pins_.emplace(curve.get(), curve);
+  MutexLock lock(shard.mu);
   return shard.map.emplace(key, value).first->second;
 }
 
-void LatencyKernelCache::PinCurve(
-    const std::shared_ptr<const PriceRateCurve>& curve) {
-  std::lock_guard<std::mutex> lock(pin_mu_);
-  pins_.emplace(curve.get(), curve);
-}
-
 void LatencyKernelCache::Clear() {
+  // pin_mu_ held across the whole wipe: the miss path's pin+insert pair
+  // also runs under pin_mu_, so Clear is atomic with respect to it.
+  MutexLock pin_lock(pin_mu_);
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     shard.map.clear();
   }
-  {
-    std::lock_guard<std::mutex> lock(pin_mu_);
-    pins_.clear();
-  }
+  pins_.clear();
   hits_.store(0, std::memory_order_relaxed);
   misses_.store(0, std::memory_order_relaxed);
 }
@@ -58,10 +55,23 @@ LatencyCacheStats LatencyKernelCache::Stats() const {
   stats.hits = hits_.load(std::memory_order_relaxed);
   stats.misses = misses_.load(std::memory_order_relaxed);
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     stats.entries += shard.map.size();
   }
   return stats;
+}
+
+size_t LatencyKernelCache::UnpinnedEntryCountForTest() const {
+  MutexLock pin_lock(pin_mu_);
+  size_t unpinned = 0;
+  for (Shard& shard : shards_) {
+    MutexLock lock(shard.mu);
+    // htune-lint: allow(unordered-iter) order-independent count, no output
+    for (const auto& [key, value] : shard.map) {
+      if (pins_.find(key.curve) == pins_.end()) ++unpinned;
+    }
+  }
+  return unpinned;
 }
 
 void LatencyKernelCache::PublishToMetrics() const {

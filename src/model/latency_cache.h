@@ -5,9 +5,10 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "model/latency_model.h"
 #include "model/price_rate_curve.h"
 
@@ -37,6 +38,14 @@ struct LatencyCacheStats {
 /// cache pins a shared_ptr to every curve it has entries for: a pinned curve
 /// can never be destroyed, so its address can never be recycled into a
 /// colliding key by a later allocation. Clear() drops entries and pins.
+///
+/// Lock order: pin_mu_ before any shard mutex, never the reverse. The
+/// miss path inserts the pin and the entry under one pin_mu_ critical
+/// section so the pair is atomic against Clear() — otherwise Clear()
+/// could land between them and drop the pin while the entry survives,
+/// leaving a key whose curve address may be recycled (see
+/// LatencyCachePinClearRace regression test). The hit path takes only
+/// the shard mutex.
 class LatencyKernelCache {
  public:
   /// Cached E[max over num_tasks of Erlang(repetitions, curve(price))].
@@ -54,6 +63,10 @@ class LatencyKernelCache {
   /// Called at phase boundaries (tuner entry points, CLI export) rather than
   /// on the hit path, which keeps the hot lookup untouched.
   void PublishToMetrics() const;
+
+  /// Entries whose curve has no pin — always 0 when the pin/insert pair
+  /// is atomic against Clear(). Test-only invariant probe.
+  size_t UnpinnedEntryCountForTest() const;
 
  private:
   struct Key {
@@ -88,17 +101,15 @@ class LatencyKernelCache {
   static constexpr size_t kShards = 16;
 
   struct Shard {
-    std::mutex mu;
-    std::unordered_map<Key, double, KeyHash> map;
+    Mutex mu;
+    std::unordered_map<Key, double, KeyHash> map HTUNE_GUARDED_BY(mu);
   };
 
-  void PinCurve(const std::shared_ptr<const PriceRateCurve>& curve);
-
   mutable std::array<Shard, kShards> shards_;
-  mutable std::mutex pin_mu_;
+  mutable Mutex pin_mu_;
   std::unordered_map<const PriceRateCurve*,
                      std::shared_ptr<const PriceRateCurve>>
-      pins_;
+      pins_ HTUNE_GUARDED_BY(pin_mu_);
   mutable std::atomic<uint64_t> hits_{0};
   mutable std::atomic<uint64_t> misses_{0};
 };

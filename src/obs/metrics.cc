@@ -98,7 +98,12 @@ void HistogramMetric::Reset() {
 }
 
 Counter& MetricsRegistry::GetCounter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  {
+    ReaderMutexLock lock(mu_);
+    const auto it = counters_.find(name);
+    if (it != counters_.end()) return *it->second;
+  }
+  WriterMutexLock lock(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_.emplace(std::string(name), std::make_unique<Counter>())
@@ -108,7 +113,12 @@ Counter& MetricsRegistry::GetCounter(std::string_view name) {
 }
 
 Gauge& MetricsRegistry::GetGauge(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  {
+    ReaderMutexLock lock(mu_);
+    const auto it = gauges_.find(name);
+    if (it != gauges_.end()) return *it->second;
+  }
+  WriterMutexLock lock(mu_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
@@ -119,7 +129,21 @@ Gauge& MetricsRegistry::GetGauge(std::string_view name) {
 HistogramMetric& MetricsRegistry::GetHistogram(std::string_view name,
                                                double lo, double hi,
                                                size_t num_buckets) {
-  std::lock_guard<std::mutex> lock(mu_);
+  const auto check_shape = [lo, hi,
+                            num_buckets](const HistogramMetric& histogram) {
+    HTUNE_CHECK_EQ(histogram.lo(), lo);
+    HTUNE_CHECK_EQ(histogram.hi(), hi);
+    HTUNE_CHECK_EQ(histogram.num_buckets(), num_buckets);
+  };
+  {
+    ReaderMutexLock lock(mu_);
+    const auto it = histograms_.find(name);
+    if (it != histograms_.end()) {
+      check_shape(*it->second);
+      return *it->second;
+    }
+  }
+  WriterMutexLock lock(mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_
@@ -127,15 +151,15 @@ HistogramMetric& MetricsRegistry::GetHistogram(std::string_view name,
                       std::make_unique<HistogramMetric>(lo, hi, num_buckets))
              .first;
   } else {
-    HTUNE_CHECK_EQ(it->second->lo(), lo);
-    HTUNE_CHECK_EQ(it->second->hi(), hi);
-    HTUNE_CHECK_EQ(it->second->num_buckets(), num_buckets);
+    check_shape(*it->second);
   }
   return *it->second;
 }
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  // Shared lock: the maps' structure is all this section reads; the
+  // metric values themselves are atomics.
+  ReaderMutexLock lock(mu_);
   MetricsSnapshot snapshot;
   for (const auto& [name, counter] : counters_) {
     snapshot.counters.emplace(name, counter->Value());
@@ -150,7 +174,9 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
 }
 
 void MetricsRegistry::ResetValues() {
-  std::lock_guard<std::mutex> lock(mu_);
+  // Shared lock suffices: zeroing goes through each metric's atomics and
+  // never mutates the maps.
+  ReaderMutexLock lock(mu_);
   for (auto& [name, counter] : counters_) counter->Reset();
   for (auto& [name, gauge] : gauges_) gauge->Reset();
   for (auto& [name, histogram] : histograms_) histogram->Reset();

@@ -6,10 +6,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace htune::obs {
 
@@ -149,8 +151,9 @@ struct MetricsSnapshot {
 /// Process-wide registry of named metrics. Get* registers on first use and
 /// returns a stable reference afterwards — metrics are never deleted, so
 /// instrumentation sites may cache the reference (the macros in obs.h do)
-/// and write to it lock-free for the life of the process. Registration takes
-/// a mutex; the write paths never do.
+/// and write to it lock-free for the life of the process. Registration
+/// takes the registry lock exclusively; repeat lookups take it shared and
+/// the metric write paths never touch it at all.
 ///
 /// Naming scheme: dot-separated lowercase path, "<subsystem>.<what>[_unit]"
 /// — e.g. "allocator.dp_ns", "market.events_dispatched",
@@ -177,11 +180,13 @@ class MetricsRegistry {
   void ResetValues();
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  mutable SharedMutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      HTUNE_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      HTUNE_GUARDED_BY(mu_);
   std::map<std::string, std::unique_ptr<HistogramMetric>, std::less<>>
-      histograms_;
+      histograms_ HTUNE_GUARDED_BY(mu_);
 };
 
 /// The process-wide registry every instrumentation macro records into.

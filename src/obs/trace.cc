@@ -43,7 +43,7 @@ Tracer::Tracer(size_t capacity) : capacity_(capacity) {
 }
 
 void Tracer::Push(const SpanRecord& record) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (ring_.size() < capacity_) {
     ring_.push_back(record);
   } else {
@@ -55,7 +55,7 @@ void Tracer::Push(const SpanRecord& record) {
 }
 
 std::vector<SpanRecord> Tracer::Drain() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (!wrapped_) {
     return ring_;
   }
@@ -67,12 +67,12 @@ std::vector<SpanRecord> Tracer::Drain() const {
 }
 
 uint64_t Tracer::dropped() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return dropped_;
 }
 
 void Tracer::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ring_.clear();
   next_ = 0;
   wrapped_ = false;

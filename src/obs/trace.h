@@ -2,9 +2,10 @@
 #define HTUNE_OBS_TRACE_H_
 
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "obs/metrics.h"
 
 namespace htune::obs {
@@ -52,11 +53,11 @@ class Tracer {
 
  private:
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::vector<SpanRecord> ring_;
-  size_t next_ = 0;
-  bool wrapped_ = false;
-  uint64_t dropped_ = 0;
+  mutable Mutex mu_;
+  std::vector<SpanRecord> ring_ HTUNE_GUARDED_BY(mu_);
+  size_t next_ HTUNE_GUARDED_BY(mu_) = 0;
+  bool wrapped_ HTUNE_GUARDED_BY(mu_) = false;
+  uint64_t dropped_ HTUNE_GUARDED_BY(mu_) = 0;
 };
 
 /// The process-wide tracer every span records into.

@@ -1,0 +1,4 @@
+// Fixture: obs macros in the (virtually src/market/) simulator.
+void OnEvent() {
+  HTUNE_OBS_COUNTER_ADD("market.events_dispatched", 1);
+}

@@ -1,0 +1,5 @@
+// Fixture: file-level suppression for a hypothetical non-replayed path.
+// htune-lint: allow-file(market-obs) outside the replayed region
+void OnShutdown() {
+  HTUNE_OBS_COUNTER_ADD("market.shutdowns", 1);
+}

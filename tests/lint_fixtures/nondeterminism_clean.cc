@@ -1,0 +1,9 @@
+// Fixture: seeded streams and steady_clock are the approved sources.
+#include <chrono>
+#include <cstdint>
+
+uint64_t Now() {
+  return static_cast<uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+}
+uint64_t NextState(uint64_t state) { return state * 6364136223846793005ULL; }

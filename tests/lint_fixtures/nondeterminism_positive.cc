@@ -1,0 +1,12 @@
+// Fixture: nondeterminism rule must fire on each ambient-random source.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+int Seed() {
+  std::random_device rd;
+  std::srand(static_cast<unsigned>(time(nullptr)));
+  return rd() + rand() + static_cast<int>(std::chrono::system_clock::now()
+                                              .time_since_epoch()
+                                              .count());
+}

@@ -1,0 +1,8 @@
+// Fixture: a justified suppression silences the rule.
+#include <random>
+
+int EntropyForDiagnosticsOnly() {
+  // htune-lint: allow(nondeterminism) diagnostics banner only, never data
+  std::random_device rd;
+  return static_cast<int>(rd());
+}

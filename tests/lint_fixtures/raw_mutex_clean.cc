@@ -1,0 +1,11 @@
+// Fixture: locking through the annotated wrappers.
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+htune::Mutex mu_;
+int value_ HTUNE_GUARDED_BY(mu_) = 0;
+
+void Bump() {
+  htune::MutexLock lock(mu_);
+  ++value_;
+}

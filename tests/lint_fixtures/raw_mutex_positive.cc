@@ -1,0 +1,8 @@
+// Fixture: raw std synchronization outside common/mutex.h.
+#include <mutex>
+
+std::mutex mu_;
+
+void Touch() {
+  std::lock_guard<std::mutex> lock(mu_);
+}

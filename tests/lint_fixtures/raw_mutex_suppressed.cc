@@ -1,0 +1,7 @@
+// Fixture: justified raw use (e.g. interop with a std API).
+#include <mutex>
+
+// htune-lint: allow(raw-mutex) std::call_once requires std::once_flag
+std::once_flag init_flag_;
+void Init() {}
+void EnsureInit() { std::call_once(init_flag_, Init); }

@@ -1,0 +1,13 @@
+// Fixture: sort into an ordered view before iterating for export.
+#include <iostream>
+#include <map>
+#include <unordered_map>
+
+std::unordered_map<int, double> table_;
+
+void Export(std::ostream& os) {
+  const std::map<int, double> sorted(table_.begin(), table_.end());
+  for (const auto& [key, value] : sorted) {
+    os << key << "," << value << "\n";
+  }
+}

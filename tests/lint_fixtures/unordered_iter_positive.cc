@@ -1,0 +1,11 @@
+// Fixture: range-for over an unordered container in the same file.
+#include <iostream>
+#include <unordered_map>
+
+std::unordered_map<int, double> table_;
+
+void Export(std::ostream& os) {
+  for (const auto& [key, value] : table_) {
+    os << key << "," << value << "\n";
+  }
+}

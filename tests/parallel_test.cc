@@ -159,6 +159,34 @@ TEST(LatencyCacheTest, ClearDropsEntriesAndCounters) {
   EXPECT_EQ(stats.misses, 0u);
 }
 
+// Regression: the miss path used to pin the curve and insert the entry
+// under separate critical sections, so a concurrent Clear() could land
+// between them — dropping the pin while the entry survived, leaving a
+// key whose curve address could be recycled into a colliding key. The
+// pair is now atomic against Clear() (both run under pin_mu_), so every
+// surviving entry always has a live pin.
+TEST(LatencyCacheTest, ClearNeverStrandsAnUnpinnedEntry) {
+  GlobalLatencyCache().Clear();
+  ThreadPool pool(4);
+  const size_t kIters = 4000;
+  pool.ParallelFor(kIters, [](size_t i) {
+    if (i % 17 == 0) {
+      GlobalLatencyCache().Clear();
+      return;
+    }
+    // Fresh heap allocation per iteration: unpinned curves really are
+    // destroyed, so their addresses really can be recycled.
+    const auto curve =
+        std::make_shared<LinearCurve>(1.0 + static_cast<double>(i % 7), 1.0);
+    GroupShape shape;
+    shape.num_tasks = 2 + static_cast<int>(i % 3);
+    shape.repetitions = 1 + static_cast<int>(i % 2);
+    GlobalLatencyCache().Phase1(shape, curve, 1 + static_cast<int>(i % 4));
+  });
+  EXPECT_EQ(GlobalLatencyCache().UnpinnedEntryCountForTest(), 0u);
+  GlobalLatencyCache().Clear();
+}
+
 TEST(LatencyCacheTest, ProcessingRateDoesNotSplitEntries) {
   GlobalLatencyCache().Clear();
   const auto curve = std::make_shared<LinearCurve>(1.0, 1.0);

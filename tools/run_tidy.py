@@ -1,0 +1,167 @@
+#!/usr/bin/env python3
+"""clang-tidy driver for htune.
+
+Builds (or reuses) a compile database, then runs the checked-in
+.clang-tidy profile over the C++ sources in parallel. By default the
+whole of src/ and tools/ is linted; --changed restricts the run to files
+the current branch touches (plus, for a changed header, the .cc files in
+the same directory, which are the likeliest translation units to inhale
+it) so CI lints only the PR diff.
+
+Exit codes: 0 clean, 1 findings, 2 environment error (no clang-tidy,
+cmake failure). Pure stdlib.
+"""
+
+import argparse
+import concurrent.futures
+import os
+import shutil
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+SOURCE_DIRS = ("src", "tools")
+CXX_SOURCES = (".cc", ".cpp")
+CXX_HEADERS = (".h", ".hpp")
+
+
+def find_clang_tidy():
+    explicit = os.environ.get("CLANG_TIDY")
+    if explicit:
+        return explicit if shutil.which(explicit) else None
+    for name in ("clang-tidy", "clang-tidy-18", "clang-tidy-17",
+                 "clang-tidy-16", "clang-tidy-15", "clang-tidy-14"):
+        if shutil.which(name):
+            return name
+    return None
+
+
+def ensure_compile_db(build_dir):
+    db = os.path.join(build_dir, "compile_commands.json")
+    if os.path.exists(db):
+        return db
+    cmake = shutil.which("cmake")
+    if cmake is None:
+        return None
+    result = subprocess.run(
+        [cmake, "-B", build_dir, "-S", REPO_ROOT,
+         "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+    if result.returncode != 0:
+        sys.stderr.write(result.stdout)
+        return None
+    return db if os.path.exists(db) else None
+
+
+def all_sources():
+    files = []
+    for rel in SOURCE_DIRS:
+        for dirpath, dirnames, filenames in os.walk(
+                os.path.join(REPO_ROOT, rel)):
+            dirnames.sort()
+            for name in sorted(filenames):
+                if name.endswith(CXX_SOURCES):
+                    files.append(os.path.join(dirpath, name))
+    return files
+
+
+def git_changed_files(base):
+    def lines(*cmd):
+        result = subprocess.run(cmd, cwd=REPO_ROOT, stdout=subprocess.PIPE,
+                                stderr=subprocess.DEVNULL, text=True)
+        return result.stdout.splitlines() if result.returncode == 0 else []
+
+    changed = set(lines("git", "diff", "--name-only", "--diff-filter=ACMR",
+                        f"{base}...HEAD"))
+    # A base with no merge-base (shallow clone, first push) yields nothing;
+    # fall back to the last commit's files.
+    if not changed:
+        changed = set(lines("git", "diff", "--name-only", "--diff-filter=ACMR",
+                            "HEAD~1"))
+    changed |= set(lines("git", "diff", "--name-only", "--diff-filter=ACMR"))
+    changed |= set(lines("git", "diff", "--name-only", "--diff-filter=ACMR",
+                         "--cached"))
+    return sorted(changed)
+
+
+def changed_sources(base):
+    changed = [f for f in git_changed_files(base)
+               if f.startswith(tuple(d + "/" for d in SOURCE_DIRS))]
+    files = set()
+    for rel in changed:
+        path = os.path.join(REPO_ROOT, rel)
+        if rel.endswith(CXX_SOURCES) and os.path.exists(path):
+            files.add(path)
+        elif rel.endswith(CXX_HEADERS) and os.path.exists(path):
+            directory = os.path.dirname(path)
+            for name in os.listdir(directory):
+                if name.endswith(CXX_SOURCES):
+                    files.add(os.path.join(directory, name))
+    return sorted(files)
+
+
+def run_one(clang_tidy, db_dir, path):
+    result = subprocess.run(
+        [clang_tidy, "-p", db_dir, "--quiet", path],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+    return path, result.returncode, result.stdout, result.stderr
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description="run clang-tidy over htune")
+    parser.add_argument("files", nargs="*",
+                        help="explicit files (default: all of src/ + tools/)")
+    parser.add_argument("--changed", action="store_true",
+                        help="lint only files changed relative to --base")
+    parser.add_argument("--base", default="origin/main",
+                        help="git base for --changed (default: origin/main)")
+    parser.add_argument("--build-dir",
+                        default=os.path.join(REPO_ROOT, "build"),
+                        help="build dir holding compile_commands.json")
+    parser.add_argument("-j", "--jobs", type=int, default=os.cpu_count() or 2)
+    args = parser.parse_args(argv)
+
+    clang_tidy = find_clang_tidy()
+    if clang_tidy is None:
+        print("run_tidy: clang-tidy not found on PATH (set CLANG_TIDY to "
+              "override); install clang-tidy or run in the static-analysis "
+              "CI image", file=sys.stderr)
+        return 2
+
+    db = ensure_compile_db(args.build_dir)
+    if db is None:
+        print(f"run_tidy: no compile_commands.json under {args.build_dir} "
+              "and cmake configure failed", file=sys.stderr)
+        return 2
+
+    if args.files:
+        files = [os.path.abspath(f) for f in args.files]
+    elif args.changed:
+        files = changed_sources(args.base)
+        if not files:
+            print("run_tidy: no changed C++ sources; nothing to lint")
+            return 0
+    else:
+        files = all_sources()
+
+    failures = 0
+    with concurrent.futures.ThreadPoolExecutor(max_workers=args.jobs) as pool:
+        futures = [pool.submit(run_one, clang_tidy, args.build_dir, f)
+                   for f in files]
+        for future in concurrent.futures.as_completed(futures):
+            path, code, out, err = future.result()
+            rel = os.path.relpath(path, REPO_ROOT)
+            if code != 0:
+                failures += 1
+                print(f"== {rel}")
+                if out.strip():
+                    print(out.strip())
+                if err.strip():
+                    print(err.strip(), file=sys.stderr)
+    print(f"run_tidy: {len(files)} file(s) linted, {failures} with findings")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
