@@ -1,0 +1,357 @@
+// Chaos-soak bench: puts numbers on the resilience layer (DESIGN.md §10).
+//
+//   chaos_soak [--smoke] [--max-ratio=R] [--schedules=N] [--out=PATH]
+//
+// Two measurements:
+//  1. Fault-free overhead — the durable workload runs with the resilience
+//     wiring fully engaged (journal retry armed, deadline checks live,
+//     breaker constructed, gate empty) vs fully inert (retry disabled, no
+//     deadline). The claim is that an idle resilience layer is noise: the
+//     bench FAILS (exit 1) when the min-time ratio exceeds --max-ratio
+//     (default 1.02, the <=2% budget). Trials alternate modes and each
+//     scores its MINIMUM wall time, so one-sided interference cannot fake
+//     or mask an overhead.
+//  2. Recovery latency — N seeded crash/chaos schedules: each run is killed
+//     by a crash injector under a transient-fault storm, then recovered
+//     from the surviving journal; the wall time of the recovery run and
+//     the faults healed along the way are reported (and written as JSON
+//     for tools/bench_report.py --chaos).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/report.h"
+#include "control/fault_tolerant_executor.h"
+#include "durability/journal.h"
+#include "market/simulator.h"
+#include "model/price_rate_curve.h"
+#include "resilience/fault_injector.h"
+#include "rng/splitmix64.h"
+#include "tuning/problem.h"
+#include "tuning/repetition_allocator.h"
+
+namespace htune {
+namespace {
+
+TuningProblem BenchProblem(long budget, int num_tasks,
+                           const std::shared_ptr<const PriceRateCurve>& curve) {
+  TaskGroup a;
+  a.name = "a";
+  a.num_tasks = num_tasks;
+  a.repetitions = 3;
+  a.processing_rate = 2.0;
+  a.curve = curve;
+  TaskGroup b = a;
+  b.name = "b";
+  b.repetitions = 5;
+  b.processing_rate = 3.0;
+  TuningProblem problem;
+  problem.groups = {a, b};
+  problem.budget = budget;
+  return problem;
+}
+
+struct Workload {
+  TuningProblem problem;
+  std::vector<QuestionSpec> questions;
+  MarketConfig market;
+  FaultTolerantConfig config;
+};
+
+Workload MakeWorkload(long budget, int num_tasks, int reviews,
+                      uint64_t seed, bool resilience_on) {
+  Workload w;
+  const auto curve = std::make_shared<LinearCurve>(1.0, 1.0);
+  w.problem = BenchProblem(budget, num_tasks, curve);
+  w.questions.assign(static_cast<size_t>(w.problem.TotalTasks()),
+                     QuestionSpec{});
+  w.market.worker_arrival_rate = 100.0;
+  w.market.seed = seed;
+  w.market.record_trace = false;
+  w.config.review_interval = 0.5;
+  w.config.max_reviews = reviews;
+  if (resilience_on) {
+    // Engaged but idle: deadline far past the job, retry armed, no gate.
+    w.config.time_deadline = 1e6;
+    w.config.market_retry.max_attempts = 4;
+  }
+  return w;
+}
+
+struct RunResult {
+  long spent = 0;
+  bool ok = false;
+  Status status = OkStatus();
+};
+
+RunResult RunDurableOnce(const Workload& w, JournalStorage& storage,
+                         FaultGate gate, bool retry_on) {
+  const RepetitionAllocator allocator;
+  FaultTolerantConfig config = w.config;
+  config.market_fault_gate = std::move(gate);
+  const FaultTolerantExecutor executor(&allocator, config);
+  DurabilityConfig durability;
+  durability.storage = &storage;
+  durability.snapshot_interval = 8;
+  durability.journal_retry.max_attempts = retry_on ? 4 : 1;
+  const auto report =
+      executor.RunDurable(w.market, w.problem, w.questions, durability);
+  RunResult result;
+  result.ok = report.ok();
+  result.status = report.status();
+  if (report.ok()) result.spent = report->spent;
+  return result;
+}
+
+double TimeFaultFreeMs(int reps, long budget, int num_tasks, int reviews,
+                       bool resilience_on) {
+  const auto start = std::chrono::steady_clock::now();
+  long sink = 0;
+  for (int r = 0; r < reps; ++r) {
+    const Workload w = MakeWorkload(budget, num_tasks, reviews,
+                                    1 + static_cast<uint64_t>(r),
+                                    resilience_on);
+    InMemoryJournalStorage storage;
+    const RunResult result =
+        RunDurableOnce(w, storage, FaultGate(), resilience_on);
+    if (!result.ok) {
+      std::fprintf(stderr, "workload failed: %s\n",
+                   result.status.ToString().c_str());
+      std::exit(2);
+    }
+    sink += result.spent;
+  }
+  const auto end = std::chrono::steady_clock::now();
+  std::fprintf(stderr, "  (sink %ld)\n", sink);
+  return std::chrono::duration<double, std::milli>(end - start).count();
+}
+
+double NextDouble(SplitMix64& rng) {
+  return static_cast<double>(rng.Next() >> 11) * 0x1.0p-53;
+}
+
+struct ChaosStats {
+  int schedules = 0;
+  int converged = 0;
+  uint64_t faults_healed = 0;
+  uint64_t crashes = 0;
+  std::vector<double> recovery_ms;
+};
+
+/// One crash + recovery schedule: the run dies under a transient-fault
+/// storm via the crash injector, then a recovery run (still under a storm)
+/// finishes the job from the surviving journal. Returns false on any
+/// correctness violation.
+bool RunOneSchedule(uint64_t seed, long budget, int num_tasks, int reviews,
+                    long reference_spent, ChaosStats* stats) {
+  const Workload w = MakeWorkload(budget, num_tasks, reviews, /*seed=*/7,
+                                  /*resilience_on=*/true);
+  SplitMix64 rng(seed * 0x9e3779b97f4a7c15ULL);
+  FaultInjectorConfig chaos;
+  chaos.seed = rng.Next();
+  chaos.append_fault_prob = 0.05 + 0.15 * NextDouble(rng);
+  chaos.short_write_prob = 0.05 + 0.10 * NextDouble(rng);
+  chaos.flush_fault_prob = 0.10 * NextDouble(rng);
+  chaos.market_fault_prob = 0.05 + 0.15 * NextDouble(rng);
+  chaos.max_consecutive_faults = 1 + static_cast<int>(rng.Next() % 3);
+
+  InMemoryJournalStorage inner;
+  ++stats->schedules;
+  // Phase 1: die mid-run (crash injector under the fault injector).
+  {
+    const uint64_t crash_budget = 64 + rng.Next() % 8192;
+    CrashInjectingStorage crash(&inner, crash_budget);
+    FaultInjector injector(chaos);
+    auto storage = injector.WrapStorage(&crash);
+    const RunResult killed =
+        RunDurableOnce(w, *storage, injector.MarketGate(), true);
+    stats->faults_healed += injector.stats().append_faults +
+                            injector.stats().short_writes +
+                            injector.stats().flush_faults +
+                            injector.stats().market_faults;
+    if (killed.ok) {
+      // Crash budget outlasted the whole run; still a valid (quiet) sample.
+      if (killed.spent != reference_spent) return false;
+      ++stats->converged;
+      return true;
+    }
+    if (killed.status.code() != StatusCode::kResourceExhausted) {
+      std::fprintf(stderr, "seed %llu: unexpected kill status %s\n",
+                   static_cast<unsigned long long>(seed),
+                   killed.status.ToString().c_str());
+      return false;
+    }
+    ++stats->crashes;
+  }
+  // Phase 2: recover under a fresh storm and time it.
+  chaos.seed = rng.Next();
+  FaultInjector injector(chaos);
+  auto storage = injector.WrapStorage(&inner);
+  const auto start = std::chrono::steady_clock::now();
+  const RunResult recovered =
+      RunDurableOnce(w, *storage, injector.MarketGate(), true);
+  const auto end = std::chrono::steady_clock::now();
+  stats->faults_healed += injector.stats().append_faults +
+                          injector.stats().short_writes +
+                          injector.stats().flush_faults +
+                          injector.stats().market_faults;
+  if (!recovered.ok || recovered.spent != reference_spent) {
+    std::fprintf(stderr, "seed %llu: recovery diverged: %s\n",
+                 static_cast<unsigned long long>(seed),
+                 recovered.status.ToString().c_str());
+    return false;
+  }
+  stats->recovery_ms.push_back(
+      std::chrono::duration<double, std::milli>(end - start).count());
+  ++stats->converged;
+  return true;
+}
+
+}  // namespace
+}  // namespace htune
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  double max_ratio = 1.02;
+  int schedules = 40;
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+      schedules = 10;
+    } else if (std::strncmp(argv[i], "--max-ratio=", 12) == 0) {
+      max_ratio = std::atof(argv[i] + 12);
+    } else if (std::strncmp(argv[i], "--schedules=", 12) == 0) {
+      schedules = std::atoi(argv[i] + 12);
+    } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out_path = argv[i] + 6;
+    }
+  }
+
+  const int trials = smoke ? 3 : 5;
+  const int reps = smoke ? 30 : 50;
+  const long budget = smoke ? 1000 : 1200;
+  const int num_tasks = smoke ? 50 : 60;
+  const int reviews = smoke ? 16 : 24;
+
+  htune::bench::Banner(
+      "chaos soak (resilience overhead + recovery latency)",
+      "DESIGN.md §10 degradation ladder");
+
+  // -------------------------------------------------------------- overhead
+  htune::TimeFaultFreeMs(1, budget, num_tasks, reviews, true);  // warm-up
+  double best_on = -1.0, best_off = -1.0;
+  for (int t = 0; t < trials; ++t) {
+    const double on =
+        htune::TimeFaultFreeMs(reps, budget, num_tasks, reviews, true);
+    const double off =
+        htune::TimeFaultFreeMs(reps, budget, num_tasks, reviews, false);
+    if (best_on < 0.0 || on < best_on) best_on = on;
+    if (best_off < 0.0 || off < best_off) best_off = off;
+    std::printf("trial %d: resilience-on %.2f ms, resilience-off %.2f ms\n",
+                t + 1, on, off);
+  }
+  const double ratio = best_on / best_off;
+  std::printf("\nfault-free overhead: best-of-%d on %.2f ms / off %.2f ms = "
+              "ratio %.4f (max allowed %.2f)\n",
+              trials, best_on, best_off, ratio, max_ratio);
+
+  // --------------------------------------------------------------- recovery
+  const htune::Workload reference_workload = htune::MakeWorkload(
+      budget, num_tasks, reviews, /*seed=*/7, /*resilience_on=*/true);
+  long reference_spent = 0;
+  double fresh_run_ms = 0.0;
+  {
+    htune::InMemoryJournalStorage storage;
+    const auto start = std::chrono::steady_clock::now();
+    const htune::RunResult reference = htune::RunDurableOnce(
+        reference_workload, storage, htune::FaultGate(), true);
+    fresh_run_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+    if (!reference.ok) {
+      std::fprintf(stderr, "reference run failed: %s\n",
+                   reference.status.ToString().c_str());
+      return 2;
+    }
+    reference_spent = reference.spent;
+  }
+
+  htune::ChaosStats stats;
+  bool correct = true;
+  for (int s = 1; s <= schedules; ++s) {
+    correct = htune::RunOneSchedule(static_cast<uint64_t>(s), budget,
+                                    num_tasks, reviews, reference_spent,
+                                    &stats) &&
+              correct;
+  }
+  double rec_min = 0.0, rec_max = 0.0, rec_mean = 0.0;
+  if (!stats.recovery_ms.empty()) {
+    rec_min = *std::min_element(stats.recovery_ms.begin(),
+                                stats.recovery_ms.end());
+    rec_max = *std::max_element(stats.recovery_ms.begin(),
+                                stats.recovery_ms.end());
+    for (const double ms : stats.recovery_ms) rec_mean += ms;
+    rec_mean /= static_cast<double>(stats.recovery_ms.size());
+  }
+  std::printf("chaos: %d/%d schedules converged, %llu crashes, %llu faults "
+              "healed\n",
+              stats.converged, stats.schedules,
+              static_cast<unsigned long long>(stats.crashes),
+              static_cast<unsigned long long>(stats.faults_healed));
+  std::printf("recovery latency over %zu recoveries: min %.2f / mean %.2f / "
+              "max %.2f ms (fresh run %.2f ms)\n",
+              stats.recovery_ms.size(), rec_min, rec_mean, rec_max,
+              fresh_run_ms);
+
+  if (!out_path.empty()) {
+    std::FILE* f = std::fopen(out_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+      return 2;
+    }
+    std::fprintf(
+        f,
+        "{\n"
+        "  \"schema_version\": 1,\n"
+        "  \"schedules\": %d,\n"
+        "  \"converged\": %d,\n"
+        "  \"crashes\": %llu,\n"
+        "  \"faults_healed\": %llu,\n"
+        "  \"fault_free_overhead\": {\"on_ms\": %.4f, \"off_ms\": %.4f, "
+        "\"ratio\": %.6f, \"max_ratio\": %.4f},\n"
+        "  \"recovery_latency_ms\": {\"count\": %zu, \"min\": %.4f, "
+        "\"mean\": %.4f, \"max\": %.4f, \"fresh_run_ms\": %.4f}\n"
+        "}\n",
+        stats.schedules, stats.converged,
+        static_cast<unsigned long long>(stats.crashes),
+        static_cast<unsigned long long>(stats.faults_healed), best_on,
+        best_off, ratio, max_ratio, stats.recovery_ms.size(), rec_min,
+        rec_mean, rec_max, fresh_run_ms);
+    std::fclose(f);
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+
+  if (!correct || stats.converged != stats.schedules) {
+    std::printf("FAIL: %d of %d chaos schedules did not converge to the "
+                "reference\n",
+                stats.schedules - stats.converged, stats.schedules);
+    return 1;
+  }
+  if (ratio > max_ratio) {
+    std::printf("FAIL: fault-free resilience overhead %.1f%% exceeds the "
+                "%.1f%% budget\n",
+                (ratio - 1.0) * 100.0, (max_ratio - 1.0) * 100.0);
+    return 1;
+  }
+  std::printf("PASS: overhead %.1f%% within budget; all schedules "
+              "converged\n",
+              (ratio - 1.0) * 100.0);
+  return 0;
+}

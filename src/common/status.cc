@@ -24,6 +24,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "INTERNAL";
     case StatusCode::kUnimplemented:
       return "UNIMPLEMENTED";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
   }
   return "UNKNOWN";
 }
@@ -74,6 +76,10 @@ Status InternalError(std::string_view message) {
 
 Status UnimplementedError(std::string_view message) {
   return Status(StatusCode::kUnimplemented, std::string(message));
+}
+
+Status UnavailableError(std::string_view message) {
+  return Status(StatusCode::kUnavailable, std::string(message));
 }
 
 }  // namespace htune

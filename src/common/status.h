@@ -20,6 +20,11 @@ enum class StatusCode {
   kResourceExhausted = 6,
   kInternal = 7,
   kUnimplemented = 8,
+  /// A transient fault: the operation failed now but may succeed if
+  /// retried (flaky journal I/O, a stalled market endpoint). This is the
+  /// one code the resilience layer treats as retryable; everything else is
+  /// considered permanent.
+  kUnavailable = 9,
 };
 
 /// Returns a human-readable name for `code` ("OK", "INVALID_ARGUMENT", ...).
@@ -80,6 +85,7 @@ Status AlreadyExistsError(std::string_view message);
 Status ResourceExhaustedError(std::string_view message);
 Status InternalError(std::string_view message);
 Status UnimplementedError(std::string_view message);
+Status UnavailableError(std::string_view message);
 
 }  // namespace htune
 

@@ -77,6 +77,14 @@ Status ValidateFaultTolerantConfig(const FaultTolerantConfig& config) {
         "got " +
         std::to_string(config.acceptance_timeout));
   }
+  HTUNE_RETURN_IF_ERROR(ValidateRetryPolicy(config.market_retry));
+  HTUNE_RETURN_IF_ERROR(ValidateCircuitBreakerConfig(config.breaker));
+  if (std::isnan(config.time_deadline) ||
+      !std::isfinite(config.time_deadline) || config.time_deadline < 0.0) {
+    return InvalidArgumentError(
+        "FaultTolerantConfig: time_deadline must be >= 0 and finite, got " +
+        std::to_string(config.time_deadline));
+  }
   return OkStatus();
 }
 
@@ -277,6 +285,63 @@ Status EmitCompletion(DurableContext& ctx, const TaskOutcome& outcome) {
   return ctx.Emit(JournalRecordType::kCompletion, record.bytes());
 }
 
+/// Per-run resilience state for the market transport: the circuit breaker
+/// and the deterministic jitter stream behind `Clear`. With no fault gate
+/// installed every call is a free pass and none of this machinery runs, so
+/// production configs pay nothing.
+class MarketResilience {
+ public:
+  explicit MarketResilience(const FaultTolerantConfig& config)
+      : config_(&config),
+        jitter_(config.resilience_seed),
+        breaker_(config.breaker) {}
+
+  /// Clears the market transport for operation `op` at simulated time
+  /// `now`. Outcomes:
+  ///   OK, *admitted = true   — transport is up (possibly after retries);
+  ///                            run the real market call;
+  ///   OK, *admitted = false  — breaker is open: short-circuited without
+  ///                            touching the fault schedule; the caller
+  ///                            decides whether the op is skippable;
+  ///   kUnavailable           — a transient fault outlasted the whole retry
+  ///                            budget (the caller parks or skips);
+  ///   other error            — the gate failed permanently.
+  Status Clear(double now, std::string_view op, bool* admitted) {
+    *admitted = true;
+    if (!config_->market_fault_gate) {
+      return OkStatus();
+    }
+    bool open = false;
+    const Status status = RetryTransient(
+        config_->market_retry, jitter_, [&]() -> Status {
+          if (!breaker_.AllowRequest(now)) {
+            open = true;
+            return OkStatus();  // short-circuit: ends the retry loop
+          }
+          const Status gated = config_->market_fault_gate(op);
+          if (gated.ok()) {
+            breaker_.RecordSuccess(now);
+          } else if (IsTransient(gated)) {
+            breaker_.RecordFailure(now);
+          }
+          return gated;
+        });
+    if (open) {
+      *admitted = false;
+      return OkStatus();
+    }
+    if (IsTransient(status)) {
+      HTUNE_OBS_COUNTER_ADD("resilience.market_retries_exhausted", 1);
+    }
+    return status;
+  }
+
+ private:
+  const FaultTolerantConfig* config_;
+  SplitMix64 jitter_;
+  CircuitBreaker breaker_;
+};
+
 /// The closed loop shared by Run and RunDurable. When `ctx` is null the run
 /// is not journaled (`ledger` is then unused and may be null); `state` is
 /// either fresh (tasks get allocated and posted here) or restored from a
@@ -296,6 +361,8 @@ StatusOr<FaultTolerantReport> RunJob(
   // already account for wasted attempts.
   const TuningProblem adjusted =
       ProblemWithAbandonment(problem, config.abandonment);
+
+  MarketResilience resilience(config);
 
   if (!state.initialized) {
     state.budget = config.budget > 0 ? config.budget : problem.budget;
@@ -347,6 +414,16 @@ StatusOr<FaultTolerantReport> RunJob(
         spec.acceptance_timeout = config.acceptance_timeout;
         spec.true_answer = questions[question_index].true_answer;
         spec.num_options = questions[question_index].num_options;
+        // Posting is mandatory: a breaker-open short-circuit here is a
+        // transport outage the job cannot degrade around, so it parks.
+        bool admitted = true;
+        HTUNE_RETURN_IF_ERROR(
+            resilience.Clear(market.now(), "post", &admitted));
+        if (!admitted) {
+          return UnavailableError(
+              "market transport unavailable (circuit open) while posting "
+              "the initial allocation");
+        }
         HTUNE_ASSIGN_OR_RETURN(const TaskId id, market.PostTask(spec));
         TaskState task;
         task.id = id;
@@ -373,8 +450,24 @@ StatusOr<FaultTolerantReport> RunJob(
 
   const long budget = state.budget;
   const double quantile_factor = -std::log(1.0 - config.straggler_quantile);
+  // The completion deadline is recomputed from config + run start rather
+  // than serialized: the check sits at the loop top, before any state
+  // mutation, and market.now() at iteration entry is identical for the
+  // original and any resumed run, so recovery reproduces the same cut.
+  const Deadline deadline = config.time_deadline > 0.0
+                                ? Deadline::At(state.start +
+                                               config.time_deadline)
+                                : Deadline::Infinite();
+  bool deadline_expired = false;
   for (int review = state.next_review; review < config.max_reviews;
        ++review) {
+    if (!deadline.Check(market.now(), "FaultTolerantExecutor review loop")
+             .ok()) {
+      // Past the deadline: stop escalating (no new spend) and ride the
+      // open tasks to completion below at the terms they already have.
+      deadline_expired = true;
+      break;
+    }
     state.next_review = review + 1;
     state.deadline += config.review_interval;
     {
@@ -454,6 +547,16 @@ StatusOr<FaultTolerantReport> RunJob(
       TaskState& task = state.tasks[worst];
       const long slots = static_cast<long>(task.planned.size()) -
                          static_cast<long>(accepted_of[worst]);
+      // Demotions protect the spend ceiling, so they are mandatory: a
+      // transport outage here parks the run rather than risking overspend.
+      bool demote_admitted = true;
+      HTUNE_RETURN_IF_ERROR(
+          resilience.Clear(now, "reprice.demote", &demote_admitted));
+      if (!demote_admitted) {
+        return UnavailableError(
+            "market transport unavailable (circuit open) during a "
+            "mandatory budget demotion");
+      }
       HTUNE_ASSIGN_OR_RETURN(
           const int achieved,
           RepriceTo(market, *problem.groups[task.group].curve, task,
@@ -498,6 +601,20 @@ StatusOr<FaultTolerantReport> RunJob(
           static_cast<int>(std::min<long>(proposed, cap));
       const PriceRateCurve& believed = *problem.groups[task.group].curve;
       if (target > price) {
+        // Escalations are optional spend: when the breaker is open or the
+        // transport stays down through the whole retry budget, skip the
+        // raise — the slot rides at its current price (floor-price mode)
+        // and is reconsidered at the next review.
+        bool escalate_admitted = true;
+        const Status cleared =
+            resilience.Clear(now, "reprice.escalate", &escalate_admitted);
+        if (!cleared.ok() && !IsTransient(cleared)) {
+          return cleared;
+        }
+        if (!cleared.ok() || !escalate_admitted) {
+          HTUNE_OBS_COUNTER_ADD("resilience.skipped_escalations", 1);
+          continue;
+        }
         HTUNE_ASSIGN_OR_RETURN(
             const int achieved,
             RepriceTo(market, believed, task, accepted, target, ctx));
@@ -575,6 +692,7 @@ StatusOr<FaultTolerantReport> RunJob(
   report.escalations = state.escalations;
   report.floor_repetitions = state.floor_repetitions;
   report.degraded = state.degraded;
+  report.deadline_expired = deadline_expired;
 
   if (ctx != nullptr) {
     Encoder record;
@@ -622,14 +740,28 @@ StatusOr<FaultTolerantReport> FaultTolerantExecutor::RunDurable(
     HTUNE_RETURN_IF_ERROR(
         DecodeExecutorState(ctx.executor_snapshot(), state, ledger));
   }
-  HTUNE_ASSIGN_OR_RETURN(
-      FaultTolerantReport report,
-      RunJob(*allocator_, config_, market, problem, questions, &ctx, &ledger,
-             state));
+  StatusOr<FaultTolerantReport> result = RunJob(
+      *allocator_, config_, market, problem, questions, &ctx, &ledger, state);
+  if (!result.ok() && IsTransient(result.status())) {
+    // Checkpoint-and-park: a transient fault outlasted its retry budget.
+    // Every decision up to the fault is journaled, so this is not a crash —
+    // the caller reruns RunDurable with the same storage once the fault
+    // clears and the run resumes exactly like crash recovery.
+    HTUNE_OBS_COUNTER_ADD("resilience.parks", 1);
+    // Best-effort flush so the parked journal is durable; a failure here
+    // leaves recovery no worse off (appends already reached storage).
+    (void)ctx.Flush();
+    return Status(StatusCode::kUnavailable,
+                  "parked: " + result.status().message() +
+                      " -- the journal holds every decision up to the "
+                      "fault; rerun RunDurable with the same storage to "
+                      "resume");
+  }
+  HTUNE_RETURN_IF_ERROR(result.status());
   if (final_trace != nullptr) {
     *final_trace = market.trace();
   }
-  return report;
+  return std::move(result).value();
 }
 
 }  // namespace htune

@@ -9,6 +9,8 @@
 #include "market/events.h"
 #include "market/simulator.h"
 #include "model/latency_model.h"
+#include "resilience/circuit_breaker.h"
+#include "resilience/policy.h"
 #include "tuning/allocator.h"
 #include "tuning/problem.h"
 
@@ -44,13 +46,48 @@ struct FaultTolerantConfig {
   /// abandonment) and straggler thresholds use the corrected rates, so
   /// callers pass the raw (uncorrected) problem.
   AbandonmentModel abandonment;
+  /// Retry policy for market-side operations (posting, repricing) when a
+  /// fault gate is installed: transient (kUnavailable) gate failures are
+  /// retried with jittered exponential backoff before the operation is
+  /// given up on. Unused when `market_fault_gate` is empty — the simulated
+  /// market itself never fails transiently.
+  RetryPolicy market_retry;
+  /// Circuit breaker over the market transport. Consecutive transient
+  /// failures past the threshold open the breaker; while open, *optional*
+  /// operations (straggler escalations) are skipped — the job rides at
+  /// current terms, the floor-price degradation mode — and *mandatory*
+  /// operations (initial posting, budget demotions) fail with kUnavailable,
+  /// which RunDurable turns into checkpoint-and-park. Only consulted when a
+  /// fault gate is installed.
+  CircuitBreakerConfig breaker;
+  /// Completion deadline in simulated seconds from the run's start; once the
+  /// market clock passes it the review loop stops escalating (no new spend)
+  /// and the job runs to completion at current terms, with
+  /// `FaultTolerantReport::deadline_expired` set. 0 disables.
+  double time_deadline = 0.0;
+  /// Seeds the deterministic backoff jitter stream for market retries.
+  uint64_t resilience_seed = 0x6d61726b6574ULL;  // "market"
+  /// Chaos-test seam: consulted before every market post/reprice (see
+  /// resilience/policy.h). Leave empty in production — with no gate the
+  /// retry/breaker machinery is bypassed entirely and behavior is bitwise
+  /// identical to a config without resilience fields.
+  ///
+  /// Durable runs require a *bounded* gate (FaultInjectorConfig::
+  /// max_consecutive_faults < market_retry.max_attempts): faults then heal
+  /// inside the retry loop and never alter journaled decisions, so recovery
+  /// replays bitwise even though the gate's draw stream realigns. An
+  /// unbounded gate can skip escalations, which is fine for Run but makes a
+  /// mid-run snapshot resume diverge from the original decision sequence.
+  FaultGate market_fault_gate;
 };
 
 /// Validates every FaultTolerantConfig knob, returning InvalidArgument with
 /// a descriptive message on the first violation: non-positive, NaN, or
 /// infinite review intervals and escalation factors, quantiles outside
-/// (0, 1), negative retry caps, spend ceilings, or timeouts. Run and
-/// RunDurable call it before touching the market; callers constructing
+/// (0, 1), negative retry caps, spend ceilings, or timeouts, plus the
+/// embedded retry policy (ValidateRetryPolicy), breaker config
+/// (ValidateCircuitBreakerConfig), and time_deadline (>= 0, finite). Run
+/// and RunDurable call it before touching the market; callers constructing
 /// configs from untrusted job specs can call it directly.
 Status ValidateFaultTolerantConfig(const FaultTolerantConfig& config);
 
@@ -78,6 +115,10 @@ struct FaultTolerantReport {
   /// no raise was affordable for, plus any plans demoted to floor price
   /// because the ceiling was below the initial allocation's assumption.
   int floor_repetitions = 0;
+  /// True when the configured time_deadline passed before the review loop
+  /// finished: escalation stopped early and the job rode to completion at
+  /// the terms it already had.
+  bool deadline_expired = false;
   /// answers[q] holds the repetitions' answers for question q, flattened
   /// group-major like ExecuteJob.
   std::vector<std::vector<int>> answers;
@@ -130,6 +171,13 @@ class FaultTolerantExecutor {
   /// crash/recover cycles, and the final report is bitwise identical to an
   /// uninterrupted run's. Storage failures (including injected crashes)
   /// propagate out as the simulated kill.
+  ///
+  /// A *transient* failure that survives its whole retry budget does not
+  /// crash the run either: RunDurable returns kUnavailable with a
+  /// "parked: ..." message. The journal is intact and flushed up to the
+  /// last good record, so the run resumes — exactly like crash recovery —
+  /// by calling RunDurable again with the same storage once the fault
+  /// clears (checkpoint-and-park, the last rung of the degradation ladder).
   ///
   /// `final_trace`, when non-null, receives the market's event trace for
   /// post-run comparison.

@@ -1,8 +1,11 @@
 #include "durability/journal.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 
+#include <fcntl.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
@@ -66,35 +69,70 @@ Status InMemoryJournalStorage::Truncate(uint64_t size) {
 }
 
 StatusOr<std::string> FileJournalStorage::Load() {
-  std::FILE* file = std::fopen(path_.c_str(), "rb");
-  if (file == nullptr) {
-    // A journal that does not exist yet is simply fresh.
-    return std::string();
+  const int fd = ::open(path_.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      // A journal that does not exist yet is simply fresh.
+      return std::string();
+    }
+    return InternalError("journal: cannot open " + path_ +
+                         " for read: " + std::strerror(errno));
   }
   std::string bytes;
   char buffer[4096];
-  size_t got;
-  while ((got = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
-    bytes.append(buffer, got);
+  for (;;) {
+    const ssize_t got = ::read(fd, buffer, sizeof(buffer));
+    if (got > 0) {
+      bytes.append(buffer, static_cast<size_t>(got));
+      continue;
+    }
+    if (got == 0) {
+      break;
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    const std::string detail = std::strerror(errno);
+    ::close(fd);
+    return InternalError("journal: read error on " + path_ + ": " + detail);
   }
-  const bool read_error = std::ferror(file) != 0;
-  std::fclose(file);
-  if (read_error) {
-    return InternalError("journal: read error on " + path_);
-  }
+  ::close(fd);
   return bytes;
 }
 
 Status FileJournalStorage::Append(std::string_view bytes) {
-  std::FILE* file = std::fopen(path_.c_str(), "ab");
-  if (file == nullptr) {
-    return InternalError("journal: cannot open " + path_ + " for append");
+  const int fd = ::open(path_.c_str(),
+                        O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return InternalError("journal: cannot open " + path_ +
+                         " for append: " + std::strerror(errno));
   }
-  const size_t written = std::fwrite(bytes.data(), 1, bytes.size(), file);
-  const int flushed = std::fflush(file);
-  const int closed = std::fclose(file);
-  if (written != bytes.size() || flushed != 0 || closed != 0) {
-    return InternalError("journal: short append to " + path_);
+  // Write loop: EINTR restarts, a partial write resumes from the persisted
+  // prefix, and any other failure is an explicit short-write status — the
+  // old fwrite path could fold a partial write and a flush error into one
+  // ambiguous result.
+  size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t n =
+        ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n > 0) {
+      written += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    const std::string detail =
+        n < 0 ? std::strerror(errno) : "write returned 0";
+    ::close(fd);
+    return InternalError("journal: short append to " + path_ + ": " +
+                         std::to_string(written) + " of " +
+                         std::to_string(bytes.size()) +
+                         " bytes persisted: " + detail);
+  }
+  if (::close(fd) != 0) {
+    return InternalError("journal: close after append to " + path_ +
+                         " failed: " + std::strerror(errno));
   }
   return OkStatus();
 }
@@ -115,7 +153,23 @@ Status FileJournalStorage::Truncate(uint64_t size) {
   return OkStatus();
 }
 
-Status FileJournalStorage::Flush() { return OkStatus(); }
+Status FileJournalStorage::Flush() {
+  const int fd = ::open(path_.c_str(), O_WRONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      return OkStatus();  // nothing appended yet: nothing to sync
+    }
+    return InternalError("journal: cannot open " + path_ +
+                         " for fsync: " + std::strerror(errno));
+  }
+  if (::fsync(fd) != 0) {
+    const std::string detail = std::strerror(errno);
+    ::close(fd);
+    return InternalError("journal: fsync of " + path_ + " failed: " + detail);
+  }
+  ::close(fd);
+  return OkStatus();
+}
 
 Status CrashInjectingStorage::CrashStatus() {
   return ResourceExhaustedError(
@@ -229,19 +283,57 @@ StatusOr<JournalContents> OpenJournal(JournalStorage& storage) {
 }
 
 JournalWriter::JournalWriter(JournalStorage* storage, uint64_t existing_bytes)
-    : storage_(storage), header_written_(existing_bytes > 0) {}
+    : storage_(storage),
+      header_written_(existing_bytes > 0),
+      valid_bytes_(existing_bytes) {}
+
+void JournalWriter::EnableRetry(const RetryPolicy& policy,
+                                uint64_t jitter_seed) {
+  retry_enabled_ = true;
+  retry_policy_ = policy;
+  jitter_ = SplitMix64(jitter_seed);
+}
+
+Status JournalWriter::AppendWithRetry(std::string_view bytes) {
+  if (!retry_enabled_) {
+    HTUNE_RETURN_IF_ERROR(storage_->Append(bytes));
+    valid_bytes_ += bytes.size();
+    return OkStatus();
+  }
+  const Status status = RetryTransient(
+      retry_policy_, jitter_,
+      [&]() -> Status { return storage_->Append(bytes); },
+      // Repair between attempts: a failed append may have persisted any
+      // prefix (the torn-write model), so drop back to the last known-good
+      // boundary before writing the record again.
+      [&]() -> Status {
+        HTUNE_OBS_COUNTER_ADD("resilience.journal_repairs", 1);
+        return storage_->Truncate(valid_bytes_);
+      });
+  HTUNE_RETURN_IF_ERROR(status);
+  valid_bytes_ += bytes.size();
+  return OkStatus();
+}
 
 Status JournalWriter::Append(JournalRecordType type,
                              std::string_view payload) {
   HTUNE_OBS_SPAN("journal.append");
   if (!header_written_) {
-    HTUNE_RETURN_IF_ERROR(storage_->Append(EncodeHeader()));
+    HTUNE_RETURN_IF_ERROR(AppendWithRetry(EncodeHeader()));
     header_written_ = true;
   }
   const std::string record = EncodeJournalRecord(type, payload);
   HTUNE_OBS_COUNTER_ADD("journal.appends", 1);
   HTUNE_OBS_COUNTER_ADD("journal.appended_bytes", record.size());
-  return storage_->Append(record);
+  return AppendWithRetry(record);
+}
+
+Status JournalWriter::Flush() {
+  if (!retry_enabled_) {
+    return storage_->Flush();
+  }
+  return RetryTransient(retry_policy_, jitter_,
+                        [&]() -> Status { return storage_->Flush(); });
 }
 
 }  // namespace htune

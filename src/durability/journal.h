@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/statusor.h"
+#include "resilience/policy.h"
 
 namespace htune {
 
@@ -53,6 +54,12 @@ class InMemoryJournalStorage : public JournalStorage {
 /// File-backed storage for the CLI and benches. The file is opened per
 /// operation; journals are small and controller decisions are rare relative
 /// to simulated market events, so simplicity wins over a cached descriptor.
+///
+/// Append uses raw POSIX writes in a loop: EINTR restarts the write, a
+/// partial write continues from the persisted prefix, and any other errno
+/// fails with an explicit Status naming how many of the requested bytes
+/// reached the file — a short write is never reported as success. Flush
+/// fsyncs the file.
 class FileJournalStorage : public JournalStorage {
  public:
   explicit FileJournalStorage(std::string path) : path_(std::move(path)) {}
@@ -172,18 +179,41 @@ StatusOr<JournalContents> OpenJournal(JournalStorage& storage);
 
 /// Appends records to a storage, writing the header first on a fresh
 /// journal.
+///
+/// With a retry policy enabled (EnableRetry), transient storage failures
+/// (kUnavailable — flaky I/O, injected chaos) are retried with jittered
+/// exponential backoff. Before each retry the writer repairs the journal:
+/// it truncates the storage back to the last byte it knows is valid, so a
+/// short write that persisted a torn prefix can never leave garbage in the
+/// middle of the record stream. Permanent errors — including the crash
+/// injector's kResourceExhausted kill — are never retried.
 class JournalWriter {
  public:
   /// `storage` is borrowed. `existing_bytes` is the valid size already in
   /// the storage (0 for fresh; OpenJournal().valid_bytes after recovery).
   JournalWriter(JournalStorage* storage, uint64_t existing_bytes);
 
+  /// Turns on retry-on-transient under `policy`, with deterministic jitter
+  /// seeded by `jitter_seed`. Call before the first Append.
+  void EnableRetry(const RetryPolicy& policy, uint64_t jitter_seed);
+
   Status Append(JournalRecordType type, std::string_view payload);
-  Status Flush() { return storage_->Flush(); }
+  Status Flush();
+
+  /// Bytes known to be durably framed (header + whole records appended so
+  /// far). The truncation point for torn-write repair.
+  uint64_t valid_bytes() const { return valid_bytes_; }
 
  private:
+  /// Appends `bytes` with retry-and-repair when a policy is enabled.
+  Status AppendWithRetry(std::string_view bytes);
+
   JournalStorage* storage_;
   bool header_written_;
+  uint64_t valid_bytes_;
+  bool retry_enabled_ = false;
+  RetryPolicy retry_policy_;
+  SplitMix64 jitter_{0};
 };
 
 }  // namespace htune

@@ -17,11 +17,15 @@ StatusOr<DurableContext> DurableContext::Open(const DurabilityConfig& config) {
     return InvalidArgumentError(
         "DurableContext: snapshot_interval must be >= 0");
   }
+  HTUNE_RETURN_IF_ERROR(ValidateRetryPolicy(config.journal_retry));
   HTUNE_OBS_SPAN("journal.recovery_open");
   HTUNE_ASSIGN_OR_RETURN(JournalContents contents,
                          OpenJournal(*config.storage));
   DurableContext context(config.storage, contents.valid_bytes,
                          config.snapshot_interval);
+  if (config.journal_retry.max_attempts > 1) {
+    context.writer_.EnableRetry(config.journal_retry, config.retry_seed);
+  }
   // Newest intact snapshot wins; everything after it is the verify tail.
   size_t tail_begin = 0;
   for (size_t i = contents.records.size(); i > 0; --i) {

@@ -20,6 +20,14 @@ struct DurabilityConfig {
   /// then always replays from the start). Snapshots bound replay time;
   /// between them the journal alone carries the run forward.
   int snapshot_interval = 8;
+  /// Retry-on-transient for journal appends/flushes (see JournalWriter::
+  /// EnableRetry): kUnavailable storage blips are retried with jittered
+  /// exponential backoff and torn-tail repair. The default policy is inert
+  /// for permanent errors, so crash injection and real I/O failures still
+  /// kill the run. max_attempts = 1 disables retry outright.
+  RetryPolicy journal_retry;
+  /// Seeds the deterministic backoff jitter stream.
+  uint64_t retry_seed = 0x6a6f75726e616cULL;  // "journal"
 };
 
 /// Recovery and journaling context for one durable controller run.

@@ -1,0 +1,116 @@
+#include "resilience/circuit_breaker.h"
+
+#include <cmath>
+#include <string>
+
+#include "obs/obs.h"
+
+namespace htune {
+
+Status ValidateCircuitBreakerConfig(const CircuitBreakerConfig& config) {
+  if (config.failure_threshold < 1) {
+    return InvalidArgumentError(
+        "CircuitBreakerConfig: failure_threshold must be >= 1, got " +
+        std::to_string(config.failure_threshold));
+  }
+  if (std::isnan(config.open_cooldown) ||
+      !std::isfinite(config.open_cooldown) || config.open_cooldown <= 0.0) {
+    return InvalidArgumentError(
+        "CircuitBreakerConfig: open_cooldown must be positive and finite, "
+        "got " +
+        std::to_string(config.open_cooldown));
+  }
+  if (config.half_open_successes < 1) {
+    return InvalidArgumentError(
+        "CircuitBreakerConfig: half_open_successes must be >= 1, got " +
+        std::to_string(config.half_open_successes));
+  }
+  return OkStatus();
+}
+
+bool CircuitBreaker::AllowRequest(double now) {
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      if (now - opened_at_ < config_.open_cooldown) {
+        HTUNE_OBS_COUNTER_ADD("resilience.breaker_short_circuits", 1);
+        return false;
+      }
+      state_ = State::kHalfOpen;
+      half_open_streak_ = 0;
+      probe_in_flight_ = true;
+      HTUNE_OBS_COUNTER_ADD("resilience.breaker_probes", 1);
+      return true;
+    case State::kHalfOpen:
+      // Single-probe contract: only one in-flight operation may test the
+      // dependency; everyone else stays short-circuited until it resolves.
+      if (probe_in_flight_) {
+        HTUNE_OBS_COUNTER_ADD("resilience.breaker_short_circuits", 1);
+        return false;
+      }
+      probe_in_flight_ = true;
+      HTUNE_OBS_COUNTER_ADD("resilience.breaker_probes", 1);
+      return true;
+  }
+  return true;
+}
+
+void CircuitBreaker::RecordSuccess(double) {
+  switch (state_) {
+    case State::kClosed:
+      consecutive_failures_ = 0;
+      break;
+    case State::kOpen:
+      // A success reported while open (an operation admitted before the
+      // trip resolved late) does not close the breaker early.
+      break;
+    case State::kHalfOpen:
+      probe_in_flight_ = false;
+      if (++half_open_streak_ >= config_.half_open_successes) {
+        state_ = State::kClosed;
+        consecutive_failures_ = 0;
+        HTUNE_OBS_COUNTER_ADD("resilience.breaker_closes", 1);
+      }
+      break;
+  }
+}
+
+void CircuitBreaker::RecordFailure(double now) {
+  switch (state_) {
+    case State::kClosed:
+      if (++consecutive_failures_ >= config_.failure_threshold) {
+        TripOpen(now);
+      }
+      break;
+    case State::kOpen:
+      break;
+    case State::kHalfOpen:
+      probe_in_flight_ = false;
+      TripOpen(now);
+      break;
+  }
+}
+
+void CircuitBreaker::TripOpen(double now) {
+  state_ = State::kOpen;
+  opened_at_ = now;
+  half_open_streak_ = 0;
+  probe_in_flight_ = false;
+  ++trips_;
+  HTUNE_OBS_COUNTER_ADD("resilience.breaker_opens", 1);
+}
+
+std::string_view CircuitBreakerStateToString(CircuitBreaker::State state) {
+  switch (state) {
+    case CircuitBreaker::State::kClosed:
+      return "CLOSED";
+    case CircuitBreaker::State::kOpen:
+      return "OPEN";
+    case CircuitBreaker::State::kHalfOpen:
+      return "HALF_OPEN";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace htune

@@ -1,0 +1,79 @@
+#ifndef HTUNE_RESILIENCE_CIRCUIT_BREAKER_H_
+#define HTUNE_RESILIENCE_CIRCUIT_BREAKER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+
+namespace htune {
+
+/// Knobs for a closed/open/half-open circuit breaker. All times are
+/// *simulated* seconds — the breaker never reads a clock itself; every
+/// transition is driven by the `now` its caller passes, which is what makes
+/// breaker behavior bitwise-reproducible under the chaos harness.
+struct CircuitBreakerConfig {
+  /// Consecutive transient failures that trip the breaker open.
+  int failure_threshold = 5;
+  /// Simulated seconds the breaker stays open before admitting a probe.
+  double open_cooldown = 1.0;
+  /// Consecutive probe successes in half-open needed to close again.
+  int half_open_successes = 1;
+};
+
+/// Rejects NaN/non-positive thresholds and cooldowns.
+Status ValidateCircuitBreakerConfig(const CircuitBreakerConfig& config);
+
+/// A deterministic circuit breaker guarding one downstream dependency
+/// (e.g. market posting). State machine:
+///
+///   closed     requests flow; `failure_threshold` consecutive transient
+///              failures -> open.
+///   open       requests are short-circuited (AllowRequest false) until
+///              `open_cooldown` simulated seconds pass -> half-open.
+///   half-open  exactly ONE probe request is admitted at a time; further
+///              AllowRequest calls return false until the probe resolves.
+///              `half_open_successes` consecutive successes -> closed;
+///              any failure -> open with a fresh cooldown.
+///
+/// The caller contract: call AllowRequest(now) before the operation; on
+/// false, skip it (degrade). On true, run it and report the outcome with
+/// RecordSuccess/RecordFailure. Not thread-safe — one breaker per
+/// controller, like the executor itself.
+class CircuitBreaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  explicit CircuitBreaker(const CircuitBreakerConfig& config)
+      : config_(config) {}
+
+  /// True when the operation may proceed. Mutates: an open breaker whose
+  /// cooldown has elapsed transitions to half-open and admits the single
+  /// probe this call.
+  bool AllowRequest(double now);
+
+  /// Reports the outcome of an admitted operation.
+  void RecordSuccess(double now);
+  void RecordFailure(double now);
+
+  State state() const { return state_; }
+  int consecutive_failures() const { return consecutive_failures_; }
+  /// Times the breaker transitioned closed/half-open -> open.
+  int trips() const { return trips_; }
+
+ private:
+  void TripOpen(double now);
+
+  CircuitBreakerConfig config_;
+  State state_ = State::kClosed;
+  int consecutive_failures_ = 0;
+  int half_open_streak_ = 0;
+  bool probe_in_flight_ = false;
+  double opened_at_ = 0.0;
+  int trips_ = 0;
+};
+
+std::string_view CircuitBreakerStateToString(CircuitBreaker::State state);
+
+}  // namespace htune
+
+#endif  // HTUNE_RESILIENCE_CIRCUIT_BREAKER_H_

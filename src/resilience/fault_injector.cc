@@ -1,0 +1,143 @@
+#include "resilience/fault_injector.h"
+
+#include <cmath>
+#include <string>
+
+#include "obs/obs.h"
+
+namespace htune {
+
+namespace {
+
+Status CheckProb(double value, std::string_view name) {
+  if (std::isnan(value) || value < 0.0 || value > 1.0) {
+    return InvalidArgumentError("FaultInjectorConfig: " + std::string(name) +
+                                " must lie in [0, 1], got " +
+                                std::to_string(value));
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+Status ValidateFaultInjectorConfig(const FaultInjectorConfig& config) {
+  HTUNE_RETURN_IF_ERROR(
+      CheckProb(config.append_fault_prob, "append_fault_prob"));
+  HTUNE_RETURN_IF_ERROR(CheckProb(config.short_write_prob,
+                                  "short_write_prob"));
+  HTUNE_RETURN_IF_ERROR(CheckProb(config.flush_fault_prob,
+                                  "flush_fault_prob"));
+  HTUNE_RETURN_IF_ERROR(CheckProb(config.market_fault_prob,
+                                  "market_fault_prob"));
+  if (config.append_fault_prob + config.short_write_prob > 1.0) {
+    return InvalidArgumentError(
+        "FaultInjectorConfig: append_fault_prob + short_write_prob must not "
+        "exceed 1");
+  }
+  if (config.max_consecutive_faults < 0) {
+    return InvalidArgumentError(
+        "FaultInjectorConfig: max_consecutive_faults must be >= 0, got " +
+        std::to_string(config.max_consecutive_faults));
+  }
+  return OkStatus();
+}
+
+FaultInjector::FaultInjector(const FaultInjectorConfig& config)
+    : config_(config),
+      storage_stream_(config.seed + 1),
+      market_stream_(config.seed + 2),
+      length_stream_(config.seed + 3) {}
+
+double FaultInjector::NextDouble(SplitMix64& stream) {
+  return static_cast<double>(stream.Next() >> 11) * 0x1.0p-53;
+}
+
+std::unique_ptr<FaultInjectingStorage> FaultInjector::WrapStorage(
+    JournalStorage* inner) {
+  return std::make_unique<FaultInjectingStorage>(this, inner);
+}
+
+Status FaultInjector::DrawStorageFault(double fault_prob, double short_prob,
+                                       size_t size,
+                                       size_t* short_write_len) {
+  if (config_.max_consecutive_faults == 0) {
+    return OkStatus();
+  }
+  // One draw per operation regardless of outcome keeps the schedule a pure
+  // function of the operation index.
+  const double u = NextDouble(storage_stream_);
+  if (consecutive_storage_ >= config_.max_consecutive_faults) {
+    consecutive_storage_ = 0;  // forced-clean op: progress guarantee
+    return OkStatus();
+  }
+  if (short_write_len != nullptr && size > 0 && u < short_prob) {
+    ++consecutive_storage_;
+    *short_write_len = static_cast<size_t>(length_stream_.Next() % size);
+    return UnavailableError(
+        "injected short write: " + std::to_string(*short_write_len) + " of " +
+        std::to_string(size) + " bytes persisted");
+  }
+  if (u < short_prob + fault_prob) {
+    ++consecutive_storage_;
+    return UnavailableError("injected transient storage fault");
+  }
+  consecutive_storage_ = 0;
+  return OkStatus();
+}
+
+FaultGate FaultInjector::MarketGate() {
+  return [this](std::string_view op) -> Status {
+    if (config_.max_consecutive_faults == 0 ||
+        config_.market_fault_prob <= 0.0) {
+      return OkStatus();
+    }
+    const double u = NextDouble(market_stream_);
+    if (consecutive_market_ >= config_.max_consecutive_faults) {
+      consecutive_market_ = 0;
+      return OkStatus();
+    }
+    if (u < config_.market_fault_prob) {
+      ++consecutive_market_;
+      ++stats_.market_faults;
+      HTUNE_OBS_COUNTER_ADD("resilience.injected_market_faults", 1);
+      return UnavailableError("injected market stall during " +
+                              std::string(op));
+    }
+    consecutive_market_ = 0;
+    return OkStatus();
+  };
+}
+
+Status FaultInjectingStorage::Append(std::string_view bytes) {
+  size_t short_len = 0;
+  const Status fault = injector_->DrawStorageFault(
+      injector_->config_.append_fault_prob,
+      injector_->config_.short_write_prob, bytes.size(), &short_len);
+  if (fault.ok()) {
+    return inner_->Append(bytes);
+  }
+  if (short_len > 0) {
+    // The prefix reaches the device before the blip; the caller sees only
+    // the transient error and must repair (truncate) before retrying.
+    ++injector_->stats_.short_writes;
+    HTUNE_OBS_COUNTER_ADD("resilience.injected_short_writes", 1);
+    HTUNE_RETURN_IF_ERROR(inner_->Append(bytes.substr(0, short_len)));
+  } else {
+    ++injector_->stats_.append_faults;
+    HTUNE_OBS_COUNTER_ADD("resilience.injected_append_faults", 1);
+  }
+  return fault;
+}
+
+Status FaultInjectingStorage::Flush() {
+  const Status fault = injector_->DrawStorageFault(
+      injector_->config_.flush_fault_prob, 0.0, 0, nullptr);
+  if (fault.ok()) {
+    return inner_->Flush();
+  }
+  ++injector_->stats_.flush_faults;
+  HTUNE_OBS_COUNTER_ADD("resilience.injected_flush_faults", 1);
+  return fault;
+}
+
+}  // namespace htune

@@ -1,0 +1,117 @@
+#ifndef HTUNE_RESILIENCE_FAULT_INJECTOR_H_
+#define HTUNE_RESILIENCE_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/statusor.h"
+#include "durability/journal.h"
+#include "resilience/policy.h"
+#include "rng/splitmix64.h"
+
+namespace htune {
+
+/// Deterministic fault schedule for one chaos run. Probabilities are per
+/// operation; every draw comes from SplitMix64 streams derived from `seed`,
+/// so the same seed over the same operation sequence injects the same
+/// faults — chaos runs are replayable, diffable, and bisectable.
+struct FaultInjectorConfig {
+  uint64_t seed = 1;
+  /// P(append fails transiently, nothing persisted).
+  double append_fault_prob = 0.0;
+  /// P(append persists a strict prefix, then fails transiently) — the
+  /// short-write model; the persisted length is drawn uniformly.
+  double short_write_prob = 0.0;
+  /// P(flush fails transiently).
+  double flush_fault_prob = 0.0;
+  /// P(a gated market operation fails transiently).
+  double market_fault_prob = 0.0;
+  /// Hard cap on consecutive injected faults per facet (storage / market):
+  /// after this many in a row the next operation is forced clean, which
+  /// guarantees any retry policy with max_attempts > the cap makes
+  /// progress. 0 disables injection entirely.
+  int max_consecutive_faults = 2;
+};
+
+/// Rejects NaN/out-of-range probabilities and negative caps, and sums of
+/// append/short-write probabilities above 1.
+Status ValidateFaultInjectorConfig(const FaultInjectorConfig& config);
+
+/// Running tally of what a FaultInjector actually injected.
+struct FaultInjectorStats {
+  uint64_t append_faults = 0;
+  uint64_t short_writes = 0;
+  uint64_t flush_faults = 0;
+  uint64_t market_faults = 0;
+};
+
+class FaultInjectingStorage;
+
+/// Factory for the deterministic chaos surfaces of one run: a
+/// JournalStorage wrapper that injects transient append/flush faults and
+/// short writes, and a FaultGate that injects market stalls. The storage
+/// and market facets draw from independent SplitMix64 streams (seed+1 and
+/// seed+2; short-write lengths from seed+3), so retries on one facet never
+/// shift the schedule of the other.
+///
+/// The injector must outlive every wrapper and gate it hands out.
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultInjectorConfig& config);
+
+  /// Wraps `inner` (borrowed, must outlive the wrapper) with this
+  /// injector's storage fault schedule.
+  std::unique_ptr<FaultInjectingStorage> WrapStorage(JournalStorage* inner);
+
+  /// A gate bound to this injector's market fault schedule.
+  FaultGate MarketGate();
+
+  const FaultInjectorStats& stats() const { return stats_; }
+
+ private:
+  friend class FaultInjectingStorage;
+
+  /// Uniform [0, 1) draw from `stream`.
+  static double NextDouble(SplitMix64& stream);
+
+  /// One storage-facet decision; returns OK or the injected fault and
+  /// maintains the consecutive-fault cap. `short_write_len`, when
+  /// non-null, receives the prefix length for an injected short write of
+  /// an `size`-byte append (and the fault kind is then a short write).
+  Status DrawStorageFault(double fault_prob, double short_prob, size_t size,
+                          size_t* short_write_len);
+
+  FaultInjectorConfig config_;
+  SplitMix64 storage_stream_;
+  SplitMix64 market_stream_;
+  SplitMix64 length_stream_;
+  int consecutive_storage_ = 0;
+  int consecutive_market_ = 0;
+  FaultInjectorStats stats_;
+};
+
+/// JournalStorage wrapper that injects the schedule of its FaultInjector
+/// into Append and Flush. Load and Truncate pass through clean: recovery
+/// and the retry layer's torn-tail repair must always be able to run —
+/// chaos tests the write path, not the repair tools themselves.
+class FaultInjectingStorage : public JournalStorage {
+ public:
+  FaultInjectingStorage(FaultInjector* injector, JournalStorage* inner)
+      : injector_(injector), inner_(inner) {}
+
+  StatusOr<std::string> Load() override { return inner_->Load(); }
+  Status Append(std::string_view bytes) override;
+  Status Truncate(uint64_t size) override { return inner_->Truncate(size); }
+  Status Flush() override;
+
+ private:
+  FaultInjector* injector_;
+  JournalStorage* inner_;
+};
+
+}  // namespace htune
+
+#endif  // HTUNE_RESILIENCE_FAULT_INJECTOR_H_

@@ -1,0 +1,92 @@
+#include "resilience/policy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "obs/obs.h"
+
+namespace htune {
+
+namespace {
+
+Status BadKnob(std::string_view name, double value) {
+  return InvalidArgumentError("RetryPolicy: " + std::string(name) +
+                              " is invalid: " + std::to_string(value));
+}
+
+}  // namespace
+
+Status ValidateRetryPolicy(const RetryPolicy& policy) {
+  if (policy.max_attempts < 1) {
+    return InvalidArgumentError(
+        "RetryPolicy: max_attempts must be >= 1, got " +
+        std::to_string(policy.max_attempts));
+  }
+  if (std::isnan(policy.initial_backoff) ||
+      !std::isfinite(policy.initial_backoff) || policy.initial_backoff < 0.0) {
+    return BadKnob("initial_backoff", policy.initial_backoff);
+  }
+  if (std::isnan(policy.backoff_multiplier) ||
+      !std::isfinite(policy.backoff_multiplier) ||
+      policy.backoff_multiplier < 1.0) {
+    return BadKnob("backoff_multiplier", policy.backoff_multiplier);
+  }
+  if (std::isnan(policy.max_backoff) || !std::isfinite(policy.max_backoff) ||
+      policy.max_backoff < policy.initial_backoff) {
+    return BadKnob("max_backoff", policy.max_backoff);
+  }
+  if (std::isnan(policy.jitter_fraction) || policy.jitter_fraction < 0.0 ||
+      policy.jitter_fraction > 1.0) {
+    return BadKnob("jitter_fraction", policy.jitter_fraction);
+  }
+  return OkStatus();
+}
+
+double BackoffFor(const RetryPolicy& policy, int attempt, SplitMix64& jitter) {
+  HTUNE_OBS_COUNTER_ADD("resilience.retries", 1);
+  double delay = policy.initial_backoff;
+  for (int i = 1; i < attempt; ++i) {
+    delay = std::min(delay * policy.backoff_multiplier, policy.max_backoff);
+  }
+  delay = std::min(delay, policy.max_backoff);
+  if (policy.jitter_fraction > 0.0) {
+    // Top 53 bits -> uniform in [0, 1); always one draw per call so the
+    // jitter stream position is a pure function of the retry count.
+    const double u =
+        static_cast<double>(jitter.Next() >> 11) * 0x1.0p-53;
+    delay *= 1.0 + policy.jitter_fraction * (2.0 * u - 1.0);
+  }
+  HTUNE_OBS_COUNTER_ADD("resilience.retry_backoff_ticks_us",
+                        static_cast<uint64_t>(delay * 1e6));
+  return delay;
+}
+
+Deadline Deadline::At(double at) {
+  Deadline deadline;
+  if (std::isfinite(at) && at > 0.0) {
+    deadline.infinite_ = false;
+    deadline.at_ = at;
+  }
+  return deadline;
+}
+
+double Deadline::Remaining(double now) const {
+  if (infinite_) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return std::max(0.0, at_ - now);
+}
+
+Status Deadline::Check(double now, std::string_view what) const {
+  if (!Expired(now)) {
+    return OkStatus();
+  }
+  HTUNE_OBS_COUNTER_ADD("resilience.deadline_expirations", 1);
+  return ResourceExhaustedError(std::string(what) +
+                                ": deadline " + std::to_string(at_) +
+                                " expired at simulated time " +
+                                std::to_string(now));
+}
+
+}  // namespace htune

@@ -1,0 +1,457 @@
+// Chaos-soak invariant harness: hundreds of seeded fault schedules — flaky
+// journal appends, short writes, flush failures, market stalls, and
+// interleaved crash/recover cycles — driven through the durable executor.
+// Every schedule must converge to a final run whose report, market trace,
+// and journal bytes are IDENTICAL to a fault-free reference, with payments
+// accounted exactly once and spend never above the ceiling. Faults here are
+// *transparent* by construction (each injector's consecutive-fault cap sits
+// below the retry budget), so retries heal them invisibly; the divergent
+// degradation modes — breaker-open escalation skips, deadline expiry,
+// checkpoint-and-park — get their own deterministic tests below.
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "control/fault_tolerant_executor.h"
+#include "durability/journal.h"
+#include "durability/serialize.h"
+#include "market/fault_schedule.h"
+#include "market/simulator.h"
+#include "model/price_rate_curve.h"
+#include "resilience/fault_injector.h"
+#include "rng/splitmix64.h"
+#include "tuning/repetition_allocator.h"
+
+namespace htune {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Scenario: the same hostile market the crash-recovery harness uses
+// (abandonment, an outage window, acceptance timeouts) so journals carry
+// posts, reprices, payments, completions, reviews, and snapshots.
+
+struct SoakScenario {
+  TuningProblem problem;
+  std::vector<QuestionSpec> questions;
+  MarketConfig market;
+  FaultTolerantConfig config;
+  int snapshot_interval = 4;
+};
+
+SoakScenario MakeSoakScenario() {
+  SoakScenario s;
+  TaskGroup g;
+  g.name = "vote";
+  g.num_tasks = 6;
+  g.repetitions = 3;
+  g.processing_rate = 5.0;
+  g.curve = std::make_shared<LinearCurve>(1.0, 1.0);
+  s.problem.groups = {g};
+  s.problem.budget = 140;
+  s.questions.assign(6, QuestionSpec{});
+
+  s.market.worker_arrival_rate = 150.0;
+  s.market.worker_error_prob = 0.2;
+  s.market.abandon_prob = 0.15;
+  s.market.abandon_hold_rate = 2.0;
+  const auto outage = FaultSchedule::Create({{0.6, 1.8, 0.05, -1.0}});
+  EXPECT_TRUE(outage.ok());
+  s.market.fault_schedule = std::make_shared<FaultSchedule>(*outage);
+  s.market.seed = 4242;
+  s.market.record_trace = true;
+
+  s.config.review_interval = 0.2;
+  s.config.straggler_quantile = 0.9;
+  s.config.budget = 200;
+  s.config.acceptance_timeout = 1.0;
+  s.config.abandonment = {0.15, 2.0};
+  // Retry budgets sit ABOVE every injector's consecutive-fault cap (1..3
+  // below), which is what makes the injected faults transparent.
+  s.config.market_retry.max_attempts = 5;
+  return s;
+}
+
+struct DurableRun {
+  FaultTolerantReport report;
+  std::vector<TraceEvent> trace;
+};
+
+StatusOr<DurableRun> RunSoak(const SoakScenario& s, JournalStorage& storage,
+                             FaultGate gate) {
+  const RepetitionAllocator allocator;
+  FaultTolerantConfig config = s.config;
+  config.market_fault_gate = std::move(gate);
+  const FaultTolerantExecutor executor(&allocator, config);
+  DurabilityConfig durability;
+  durability.storage = &storage;
+  durability.snapshot_interval = s.snapshot_interval;
+  durability.journal_retry.max_attempts = 5;
+  DurableRun run;
+  HTUNE_ASSIGN_OR_RETURN(
+      run.report, executor.RunDurable(s.market, s.problem, s.questions,
+                                      durability, &run.trace));
+  return run;
+}
+
+void ExpectReportsIdentical(const FaultTolerantReport& a,
+                            const FaultTolerantReport& b) {
+  EXPECT_EQ(a.latency, b.latency);
+  EXPECT_EQ(a.spent, b.spent);
+  EXPECT_EQ(a.reviews, b.reviews);
+  EXPECT_EQ(a.stragglers, b.stragglers);
+  EXPECT_EQ(a.escalations, b.escalations);
+  EXPECT_EQ(a.abandoned_attempts, b.abandoned_attempts);
+  EXPECT_EQ(a.expired_posts, b.expired_posts);
+  EXPECT_EQ(a.degraded, b.degraded);
+  EXPECT_EQ(a.floor_repetitions, b.floor_repetitions);
+  EXPECT_EQ(a.deadline_expired, b.deadline_expired);
+  EXPECT_EQ(a.answers, b.answers);
+}
+
+void ExpectTracesIdentical(const std::vector<TraceEvent>& a,
+                           const std::vector<TraceEvent>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].time, b[i].time) << "event " << i;
+    EXPECT_EQ(a[i].kind, b[i].kind) << "event " << i;
+    EXPECT_EQ(a[i].worker, b[i].worker) << "event " << i;
+    EXPECT_EQ(a[i].task, b[i].task) << "event " << i;
+    EXPECT_EQ(a[i].repetition, b[i].repetition) << "event " << i;
+  }
+}
+
+void ExpectPaymentsExactlyOnce(const std::string& journal, long spent) {
+  const auto contents = ScanJournal(journal);
+  ASSERT_TRUE(contents.ok());
+  std::map<std::pair<uint64_t, int32_t>, int32_t> payments;
+  long total = 0;
+  for (const JournalRecord& record : contents->records) {
+    if (record.type != JournalRecordType::kPayment) continue;
+    Decoder decoder(record.payload);
+    uint64_t task = 0;
+    int32_t slot = 0, price = 0;
+    ASSERT_TRUE(decoder.GetU64(&task).ok());
+    ASSERT_TRUE(decoder.GetI32(&slot).ok());
+    ASSERT_TRUE(decoder.GetI32(&price).ok());
+    ASSERT_TRUE(decoder.ExpectDone().ok());
+    EXPECT_TRUE(payments.emplace(std::make_pair(task, slot), price).second)
+        << "task " << task << " slot " << slot << " paid twice";
+    total += price;
+  }
+  EXPECT_EQ(total, spent);
+}
+
+// Uniform [0, 1) from the top 53 bits.
+double NextDouble(SplitMix64& rng) {
+  return static_cast<double>(rng.Next() >> 11) * 0x1.0p-53;
+}
+
+// The per-(seed, cycle) fault schedule. Every knob is a pure function of
+// the inputs, so a soak seed is a complete, replayable description of its
+// chaos — a failing seed can be re-run alone and bisected.
+FaultInjectorConfig DeriveInjectorConfig(uint64_t seed, int cycle) {
+  SplitMix64 rng(seed * 0x9e3779b97f4a7c15ULL + static_cast<uint64_t>(cycle));
+  FaultInjectorConfig config;
+  config.seed = rng.Next();
+  config.append_fault_prob = 0.05 + 0.20 * NextDouble(rng);
+  config.short_write_prob = 0.05 + 0.15 * NextDouble(rng);
+  config.flush_fault_prob = 0.05 + 0.25 * NextDouble(rng);
+  config.market_fault_prob = 0.05 + 0.20 * NextDouble(rng);
+  config.max_consecutive_faults = 1 + static_cast<int>(rng.Next() % 3);
+  return config;
+}
+
+// One cycle's observable outcome, for the determinism checks.
+struct CycleOutcome {
+  StatusCode status = StatusCode::kOk;
+  uint64_t journal_bytes = 0;
+  uint64_t append_faults = 0;
+  uint64_t short_writes = 0;
+  uint64_t flush_faults = 0;
+  uint64_t market_faults = 0;
+
+  bool operator==(const CycleOutcome&) const = default;
+};
+
+struct SoakResult {
+  DurableRun final_run;
+  std::string final_journal;
+  std::vector<CycleOutcome> transcript;
+};
+
+// Runs one full soak schedule: repeated chaos cycles — each with its own
+// derived fault schedule and, while crashes remain, a crash injector wired
+// under the fault injector — until a run completes. The journal in `inner`
+// carries state across cycles exactly as a real process would find it on
+// disk after a kill.
+SoakResult RunOneSchedule(const SoakScenario& scenario, uint64_t seed,
+                          size_t reference_journal_size) {
+  SoakResult result;
+  SplitMix64 crash_rng(seed ^ 0xc3a5c85c97cb3127ULL);
+  int crashes_remaining = static_cast<int>(crash_rng.Next() % 3);  // 0..2
+  InMemoryJournalStorage inner;
+  for (int cycle = 0;; ++cycle) {
+    if (cycle >= 64) {
+      ADD_FAILURE() << "seed " << seed << " did not converge in 64 cycles";
+      return result;
+    }
+    std::unique_ptr<CrashInjectingStorage> crash;
+    JournalStorage* base = &inner;
+    if (crashes_remaining > 0) {
+      // Crash somewhere within roughly a reference journal's worth of
+      // appends from here; minimum 1 so the very first cycle can die
+      // before even the header lands.
+      const uint64_t budget =
+          1 + crash_rng.Next() % (2 * reference_journal_size);
+      crash = std::make_unique<CrashInjectingStorage>(&inner, budget);
+      base = crash.get();
+    }
+    FaultInjector injector(DeriveInjectorConfig(seed, cycle));
+    EXPECT_TRUE(ValidateFaultInjectorConfig(
+        DeriveInjectorConfig(seed, cycle)).ok());
+    auto storage = injector.WrapStorage(base);
+    const auto run = RunSoak(scenario, *storage, injector.MarketGate());
+    CycleOutcome outcome;
+    outcome.status = run.ok() ? StatusCode::kOk : run.status().code();
+    outcome.journal_bytes = inner.bytes().size();
+    outcome.append_faults = injector.stats().append_faults;
+    outcome.short_writes = injector.stats().short_writes;
+    outcome.flush_faults = injector.stats().flush_faults;
+    outcome.market_faults = injector.stats().market_faults;
+    result.transcript.push_back(outcome);
+    if (run.ok()) {
+      result.final_run = *run;
+      result.final_journal = inner.bytes();
+      return result;
+    }
+    // Transparent-fault construction means the only way a cycle dies is
+    // the crash injector's kill; a park (kUnavailable) here would mean a
+    // fault outlasted a retry budget and the caps are wrong.
+    if (run.status().code() != StatusCode::kResourceExhausted) {
+      ADD_FAILURE() << "seed " << seed << " cycle " << cycle
+                    << ": non-crash failure: " << run.status();
+      return result;
+    }
+    if (crash == nullptr || !crash->crashed()) {
+      ADD_FAILURE() << "seed " << seed << " cycle " << cycle
+                    << ": run failed without the crash injector firing";
+      return result;
+    }
+    --crashes_remaining;
+  }
+}
+
+TEST(ChaosSoakTest, HundredsOfSeededSchedulesConvergeBitwise) {
+  const SoakScenario scenario = MakeSoakScenario();
+
+  // Fault-free reference: the truth every chaotic schedule must reproduce.
+  InMemoryJournalStorage reference_storage;
+  const auto reference = RunSoak(scenario, reference_storage, FaultGate());
+  ASSERT_TRUE(reference.ok()) << reference.status();
+  const std::string reference_journal = reference_storage.bytes();
+  EXPECT_GT(reference->report.reviews, 3);
+  EXPECT_GT(reference->report.stragglers, 0);
+  ASSERT_LE(reference->report.spent, scenario.config.budget);
+
+  constexpr uint64_t kSchedules = 320;
+  uint64_t total_faults = 0;
+  uint64_t total_crashes = 0;
+  for (uint64_t seed = 1; seed <= kSchedules; ++seed) {
+    SCOPED_TRACE("soak seed " + std::to_string(seed));
+    const SoakResult result =
+        RunOneSchedule(scenario, seed, reference_journal.size());
+    if (::testing::Test::HasFailure()) return;
+
+    // Invariant 1: bitwise identity with the fault-free reference.
+    ExpectReportsIdentical(result.final_run.report, reference->report);
+    ExpectTracesIdentical(result.final_run.trace, reference->trace);
+    EXPECT_EQ(result.final_journal, reference_journal);
+    // Invariant 2: payments exactly once, summing to the spend.
+    ExpectPaymentsExactlyOnce(result.final_journal,
+                              result.final_run.report.spent);
+    // Invariant 3: spend never exceeds the ceiling.
+    EXPECT_LE(result.final_run.report.spent, scenario.config.budget);
+
+    for (const CycleOutcome& cycle : result.transcript) {
+      total_faults += cycle.append_faults + cycle.short_writes +
+                      cycle.flush_faults + cycle.market_faults;
+      if (cycle.status == StatusCode::kResourceExhausted) ++total_crashes;
+    }
+
+    // Invariant 4 (spot-checked): the whole schedule is deterministic —
+    // re-running a seed reproduces every cycle's status, fault counts, and
+    // surviving journal size.
+    if (seed % 16 == 0) {
+      const SoakResult again =
+          RunOneSchedule(scenario, seed, reference_journal.size());
+      if (::testing::Test::HasFailure()) return;
+      EXPECT_EQ(again.transcript, result.transcript);
+      EXPECT_EQ(again.final_journal, result.final_journal);
+    }
+  }
+  // The soak must actually have been chaotic, not vacuously green.
+  EXPECT_GT(total_faults, 2000u) << "fault schedules were too quiet";
+  EXPECT_GT(total_crashes, 50u) << "crash schedules were too quiet";
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint-and-park: a market outage that outlasts the whole retry budget
+// must not crash or corrupt anything — the run parks with kUnavailable and
+// resumes to the bitwise-identical result once the fault clears.
+
+TEST(ChaosSoakTest, ExhaustedMarketRetriesParkAndResume) {
+  const SoakScenario scenario = MakeSoakScenario();
+  InMemoryJournalStorage reference_storage;
+  const auto reference = RunSoak(scenario, reference_storage, FaultGate());
+  ASSERT_TRUE(reference.ok()) << reference.status();
+
+  FaultInjectorConfig outage;
+  outage.market_fault_prob = 1.0;
+  outage.max_consecutive_faults = 1000;  // outlasts max_attempts = 5
+  FaultInjector injector(outage);
+  InMemoryJournalStorage storage;
+  const auto parked = RunSoak(scenario, storage, injector.MarketGate());
+  ASSERT_FALSE(parked.ok());
+  EXPECT_EQ(parked.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(parked.status().message().find("parked:"), 0u)
+      << parked.status();
+
+  // The fault clears; the same storage resumes and converges.
+  const auto resumed = RunSoak(scenario, storage, FaultGate());
+  ASSERT_TRUE(resumed.ok()) << resumed.status();
+  ExpectReportsIdentical(resumed->report, reference->report);
+  ExpectTracesIdentical(resumed->trace, reference->trace);
+  EXPECT_EQ(storage.bytes(), reference_storage.bytes());
+  ExpectPaymentsExactlyOnce(storage.bytes(), resumed->report.spent);
+}
+
+TEST(ChaosSoakTest, ExhaustedJournalRetriesParkAndResume) {
+  const SoakScenario scenario = MakeSoakScenario();
+  InMemoryJournalStorage reference_storage;
+  const auto reference = RunSoak(scenario, reference_storage, FaultGate());
+  ASSERT_TRUE(reference.ok()) << reference.status();
+
+  // Storage goes mostly dark partway through: each append fails with
+  // probability 0.55, so a 5-attempt retry budget is exhausted (p ≈ 5% per
+  // append) within the first few dozen records but not before the journal
+  // has made real progress.
+  FaultInjectorConfig outage;
+  outage.seed = 31;
+  outage.append_fault_prob = 0.55;
+  outage.max_consecutive_faults = 1000;
+  FaultInjector injector(outage);
+  InMemoryJournalStorage inner;
+  auto storage = injector.WrapStorage(&inner);
+  const auto parked = RunSoak(scenario, *storage, FaultGate());
+  ASSERT_FALSE(parked.ok());
+  EXPECT_EQ(parked.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(parked.status().message().find("parked:"), 0u);
+  // The journal on the inner storage is a scannable prefix: the repair
+  // between attempts truncated any torn frame.
+  const auto torn = ScanJournal(inner.bytes());
+  ASSERT_TRUE(torn.ok());
+
+  const auto resumed = RunSoak(scenario, inner, FaultGate());
+  ASSERT_TRUE(resumed.ok()) << resumed.status();
+  ExpectReportsIdentical(resumed->report, reference->report);
+  EXPECT_EQ(inner.bytes(), reference_storage.bytes());
+  ExpectPaymentsExactlyOnce(inner.bytes(), resumed->report.spent);
+}
+
+// ---------------------------------------------------------------------------
+// Breaker-open degradation: when only escalations keep failing, the breaker
+// opens and the job finishes gracefully at current terms — floor-price mode,
+// not an error. Divergent behavior, so tested on the non-durable path where
+// no journal identity is promised.
+
+TEST(ChaosSoakTest, OpenBreakerSkipsEscalationsGracefully) {
+  const SoakScenario scenario = MakeSoakScenario();
+  const RepetitionAllocator allocator;
+
+  // Reference without a gate: the scenario genuinely escalates.
+  {
+    const FaultTolerantExecutor executor(&allocator, scenario.config);
+    MarketSimulator market(scenario.market);
+    const auto plain =
+        executor.Run(market, scenario.problem, scenario.questions);
+    ASSERT_TRUE(plain.ok()) << plain.status();
+    ASSERT_GT(plain->escalations, 0);
+  }
+
+  auto run_gated = [&]() -> StatusOr<FaultTolerantReport> {
+    FaultTolerantConfig config = scenario.config;
+    config.breaker.failure_threshold = 3;
+    config.market_fault_gate = [](std::string_view op) -> Status {
+      if (op == "reprice.escalate") {
+        return UnavailableError("escalation endpoint down");
+      }
+      return OkStatus();
+    };
+    const FaultTolerantExecutor executor(&allocator, config);
+    MarketSimulator market(scenario.market);
+    return executor.Run(market, scenario.problem, scenario.questions);
+  };
+
+  const auto degraded = run_gated();
+  ASSERT_TRUE(degraded.ok()) << degraded.status();
+  EXPECT_EQ(degraded->escalations, 0);  // every raise was skipped
+  EXPECT_LE(degraded->spent, scenario.config.budget);
+  // Degraded-mode decisions are just as deterministic as healthy ones.
+  const auto again = run_gated();
+  ASSERT_TRUE(again.ok()) << again.status();
+  ExpectReportsIdentical(*again, *degraded);
+}
+
+// ---------------------------------------------------------------------------
+// Deadline expiry is replay-consistent: a durable run that hit its deadline
+// recovers from any prefix to the identical (flagged) report.
+
+TEST(ChaosSoakTest, DeadlineExpiryIsFlaggedAndReplayConsistent) {
+  SoakScenario scenario = MakeSoakScenario();
+  scenario.config.time_deadline = 3 * scenario.config.review_interval;
+
+  InMemoryJournalStorage baseline_storage;
+  const auto baseline = RunSoak(scenario, baseline_storage, FaultGate());
+  ASSERT_TRUE(baseline.ok()) << baseline.status();
+  EXPECT_TRUE(baseline->report.deadline_expired);
+  EXPECT_LE(baseline->report.reviews, 3);
+  EXPECT_LE(baseline->report.spent, scenario.config.budget);
+
+  // Without the deadline the same scenario reviews for longer — the cut is
+  // real, not incidental.
+  SoakScenario unlimited = MakeSoakScenario();
+  InMemoryJournalStorage unlimited_storage;
+  const auto full = RunSoak(unlimited, unlimited_storage, FaultGate());
+  ASSERT_TRUE(full.ok());
+  EXPECT_FALSE(full->report.deadline_expired);
+  EXPECT_GT(full->report.reviews, baseline->report.reviews);
+
+  const std::string journal = baseline_storage.bytes();
+  const auto contents = ScanJournal(journal);
+  ASSERT_TRUE(contents.ok());
+  std::vector<uint64_t> boundaries = {0, 8};
+  for (const JournalRecord& record : contents->records) {
+    boundaries.push_back(record.end_offset);
+  }
+  for (const uint64_t boundary : boundaries) {
+    SCOPED_TRACE("killed at boundary " + std::to_string(boundary));
+    InMemoryJournalStorage storage(
+        journal.substr(0, static_cast<size_t>(boundary)));
+    const auto recovered = RunSoak(scenario, storage, FaultGate());
+    ASSERT_TRUE(recovered.ok()) << recovered.status();
+    ExpectReportsIdentical(recovered->report, baseline->report);
+    EXPECT_TRUE(recovered->report.deadline_expired);
+    EXPECT_EQ(storage.bytes(), journal);
+  }
+}
+
+}  // namespace
+}  // namespace htune

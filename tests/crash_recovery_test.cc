@@ -101,6 +101,7 @@ void ExpectReportsIdentical(const FaultTolerantReport& a,
   EXPECT_EQ(a.expired_posts, b.expired_posts);
   EXPECT_EQ(a.degraded, b.degraded);
   EXPECT_EQ(a.floor_repetitions, b.floor_repetitions);
+  EXPECT_EQ(a.deadline_expired, b.deadline_expired);
   EXPECT_EQ(a.answers, b.answers);
 }
 

@@ -1,0 +1,18 @@
+// Fixture: the approved alternative — the operation is wrapped in
+// htune::RetryTransient, which owns the attempt bound, exponential
+// backoff, and deterministic jitter (charged in simulated seconds).
+#include "resilience/policy.h"
+#include "rng/splitmix64.h"
+
+namespace htune {
+
+Status TryOnce();
+
+Status RetryViaPolicy() {
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  SplitMix64 jitter(42);
+  return RetryTransient(policy, jitter, [] { return TryOnce(); });
+}
+
+}  // namespace htune

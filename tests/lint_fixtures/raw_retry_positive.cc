@@ -1,0 +1,21 @@
+// Fixture: hand-rolled retry machinery outside src/resilience/ must fire
+// the raw-retry rule (3 findings: two sleeps, one single-line retry loop).
+#include <chrono>
+#include <thread>
+
+namespace htune {
+
+bool TryOnce();
+
+bool NaiveRetry() {
+  for (int attempt = 0; attempt < 5; ++attempt) {
+    if (TryOnce()) {
+      return true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10 << attempt));
+  }
+  usleep(1000);
+  return false;
+}
+
+}  // namespace htune

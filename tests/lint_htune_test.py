@@ -32,6 +32,7 @@ class RuleFixtureTest(unittest.TestCase):
         ("unordered_iter", "src/obs/fixture.cc", "unordered-iter", 1),
         ("market_obs", "src/market/fixture.cc", "market-obs", 1),
         ("raw_mutex", "src/tuning/fixture.cc", "raw-mutex", 2),
+        ("raw_retry", "src/control/fixture.cc", "raw-retry", 3),
     ]
 
     def test_positive_fixtures_fire(self):
@@ -70,6 +71,13 @@ class RuleScopingTest(unittest.TestCase):
     def test_mutex_header_exempt_from_raw_mutex(self):
         text = "std::mutex mu_;\n"
         self.assertEqual(lint_htune.lint_text(text, "src/common/mutex.h"), [])
+
+    def test_resilience_exempt_from_raw_retry(self):
+        text = "for (int attempt = 1; attempt <= max; ++attempt) {\n"
+        self.assertEqual(
+            lint_htune.lint_text(text, "src/resilience/policy.h"), [])
+        self.assertEqual(
+            len(lint_htune.lint_text(text, "src/durability/journal.cc")), 1)
 
     def test_non_cxx_files_skipped(self):
         self.assertEqual(

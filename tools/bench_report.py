@@ -10,6 +10,7 @@ Usage:
   tools/bench_report.py --bin build/bench/microbench --out BENCH_tuning.json \
       [--min-time 0.1] [--extra-filter REGEX] [--metrics METRICS_JSON]
   tools/bench_report.py --validate-metrics METRICS_JSON
+  tools/bench_report.py --chaos CHAOS_JSON
 
 --metrics folds an observability export (htune_cli --metrics=PATH, schema
 version 1; see src/obs/export.h) into the report under a "metrics" key:
@@ -18,6 +19,12 @@ name. --validate-metrics parses an export, checks every invariant the
 schema promises (finite numbers, histogram count arithmetic, span field
 sanity), prints a canonical digest, and exits nonzero on any violation —
 the C++ round-trip test drives this mode.
+
+--chaos parses a bench/chaos_soak --out=PATH export, re-checks the two
+gates it encodes (every chaos schedule converged to the fault-free
+reference; fault-free resilience overhead within the gated ratio), prints
+a canonical digest, and exits nonzero on any violation — CI's chaos job
+drives this mode after the bench smoke run.
 """
 
 import argparse
@@ -126,6 +133,78 @@ def load_metrics(path):
     return data
 
 
+CHAOS_SCHEMA_VERSION = 1
+
+
+def load_chaos(path):
+    """Parses and validates a bench/chaos_soak --out export."""
+    with open(path) as f:
+        data = json.load(f)
+    if data.get("schema_version") != CHAOS_SCHEMA_VERSION:
+        raise SystemExit(
+            f"{path}: unsupported chaos schema_version "
+            f"{data.get('schema_version')!r} (expected "
+            f"{CHAOS_SCHEMA_VERSION})")
+    for key in ("schedules", "converged", "crashes", "faults_healed"):
+        if not isinstance(data.get(key), int) or data[key] < 0:
+            raise SystemExit(f"{path}: '{key}' is not a non-negative "
+                             f"integer: {data.get(key)!r}")
+    if data["converged"] != data["schedules"]:
+        raise SystemExit(
+            f"{path}: only {data['converged']} of {data['schedules']} chaos "
+            "schedules converged to the fault-free reference")
+    overhead = data.get("fault_free_overhead")
+    if not isinstance(overhead, dict):
+        raise SystemExit(f"{path}: missing 'fault_free_overhead' section")
+    for key in ("on_ms", "off_ms", "ratio", "max_ratio"):
+        value = overhead.get(key)
+        if not isinstance(value, (int, float)) or not math.isfinite(value) \
+                or value <= 0:
+            raise SystemExit(f"{path}: fault_free_overhead.{key} is not a "
+                             f"positive finite number: {value!r}")
+    if overhead["ratio"] > overhead["max_ratio"]:
+        raise SystemExit(
+            f"{path}: fault-free overhead ratio {overhead['ratio']:.4f} "
+            f"exceeds the gated maximum {overhead['max_ratio']:.4f}")
+    latency = data.get("recovery_latency_ms")
+    if not isinstance(latency, dict):
+        raise SystemExit(f"{path}: missing 'recovery_latency_ms' section")
+    if not isinstance(latency.get("count"), int) or latency["count"] < 0:
+        raise SystemExit(f"{path}: recovery_latency_ms.count is not a "
+                         f"non-negative integer: {latency.get('count')!r}")
+    for key in ("min", "mean", "max", "fresh_run_ms"):
+        value = latency.get(key)
+        if not isinstance(value, (int, float)) or not math.isfinite(value) \
+                or value < 0:
+            raise SystemExit(f"{path}: recovery_latency_ms.{key} is not a "
+                             f"non-negative finite number: {value!r}")
+    if latency["count"] > 0 and not (
+            latency["min"] <= latency["mean"] <= latency["max"]):
+        raise SystemExit(
+            f"{path}: recovery latency min/mean/max are not ordered: "
+            f"{latency['min']!r}/{latency['mean']!r}/{latency['max']!r}")
+    return data
+
+
+def chaos_digest(data):
+    """Canonical one-line-per-fact text form of a chaos export."""
+    overhead = data["fault_free_overhead"]
+    latency = data["recovery_latency_ms"]
+    lines = [
+        f"schema_version={data['schema_version']}",
+        f"schedules={data['schedules']} converged={data['converged']} "
+        f"crashes={data['crashes']} faults_healed={data['faults_healed']}",
+        "overhead on_ms=%.17g off_ms=%.17g ratio=%.17g max_ratio=%.17g"
+        % (overhead["on_ms"], overhead["off_ms"], overhead["ratio"],
+           overhead["max_ratio"]),
+        "recovery count=%d min_ms=%.17g mean_ms=%.17g max_ms=%.17g "
+        "fresh_run_ms=%.17g"
+        % (latency["count"], latency["min"], latency["mean"], latency["max"],
+           latency["fresh_run_ms"]),
+    ]
+    return "\n".join(lines)
+
+
 def aggregate_spans(spans):
     """Per-name span aggregates, name-sorted."""
     by_name = {}
@@ -198,10 +277,17 @@ def main():
     parser.add_argument("--validate-metrics", default="",
                         help="validate a metrics JSON export, print its "
                              "canonical digest, and exit")
+    parser.add_argument("--chaos", default="",
+                        help="validate a bench/chaos_soak JSON export "
+                             "(convergence + overhead gate), print its "
+                             "canonical digest, and exit")
     args = parser.parse_args()
 
     if args.validate_metrics:
         print(metrics_digest(load_metrics(args.validate_metrics)))
+        return
+    if args.chaos:
+        print(chaos_digest(load_chaos(args.chaos)))
         return
 
     raw = run_benchmarks(args.bin, args.min_time, args.extra_filter)

@@ -29,6 +29,13 @@ dedicated (pure-stdlib) linter. Rules:
                    src/common/mutex.h: only the annotated htune wrappers
                    carry Clang capability attributes, so a raw
                    std::mutex is invisible to -Wthread-safety.
+  raw-retry        No hand-rolled retry loops or sleeps in src/ outside
+                   src/resilience/: ad-hoc `for (attempt...)` loops skip
+                   the bounded-attempt/backoff/jitter contract (and its
+                   resilience.* counters), and any real sleep blocks the
+                   simulated clock. Wrap the operation in
+                   htune::RetryTransient (resilience/policy.h) instead;
+                   backoff is charged in simulated seconds.
 
 Suppressions: append `// htune-lint: allow(<rule>) <reason>` on the
 offending line or the line above it. A file-level
@@ -75,6 +82,14 @@ RAW_SYNC_RE = re.compile(
 
 OBS_MACRO_RE = re.compile(r"\bHTUNE_OBS_\w+")
 
+SLEEP_RE = re.compile(
+    r"\b(?:sleep_for|sleep_until|usleep|nanosleep|sleep)\s*\("
+)
+RETRY_LOOP_RE = re.compile(
+    r"\b(?:while|for)\s*\([^)]*\b(?:retry|retries|attempt|attempts|"
+    r"backoff)\b"
+)
+
 RULES = {
     "nondeterminism": "no wall-clock/ambient-random sources in src/",
     "unordered-iter": "no iteration over unordered containers "
@@ -83,6 +98,8 @@ RULES = {
                   "(replay double-count hazard)",
     "raw-mutex": "no raw std synchronization outside common/mutex.h "
                  "(invisible to -Wthread-safety)",
+    "raw-retry": "no hand-rolled retry loops or sleeps outside "
+                 "src/resilience/ (use htune::RetryTransient)",
 }
 
 
@@ -190,6 +207,19 @@ def lint_text(text, virtual_path):
                     "raw std synchronization is invisible to "
                     "-Wthread-safety; use htune::Mutex/SharedMutex/"
                     "MutexLock (common/mutex.h)")
+
+    if in_src and not path.startswith("src/resilience/"):
+        for idx, line in enumerate(code):
+            if SLEEP_RE.search(line):
+                add(idx, "raw-retry",
+                    "real sleeps block the simulated clock; charge "
+                    "backoff in simulated seconds via "
+                    "htune::RetryTransient (resilience/policy.h)")
+            elif RETRY_LOOP_RE.search(line):
+                add(idx, "raw-retry",
+                    "hand-rolled retry loop skips the bounded-attempt/"
+                    "backoff/jitter contract; wrap the operation in "
+                    "htune::RetryTransient (resilience/policy.h)")
 
     if path.startswith("src/market/"):
         for idx, line in enumerate(code):
