@@ -1,0 +1,417 @@
+// Throughput gate for the MarketSimulator event engine (ROADMAP item 2).
+//
+// Drives million-event workloads chosen to stress the three hot paths of
+// the engine rewrite:
+//
+//   many_task_homogeneous   thousands of open tasks waiting for workers, so
+//                           the per-arrival acceptance scan dominates — the
+//                           regime of "Finish Them!" / "Human-powered Sorts
+//                           and Joins" batch workloads.
+//   churn_abandon_expiry    heavy abandonment plus tight acceptance windows:
+//                           repost storms exercise the event queue and the
+//                           on-hold index churn.
+//   reprice_adaptive        periodic fleet-wide repricing between RunUntil
+//                           slices, the adaptive-retuner access pattern.
+//   wide_fleet_processing_bound
+//                           a steady-state fleet where almost every open
+//                           task is in a worker's hands: the on-hold set is
+//                           tiny, so per-arrival cost is dominated by how
+//                           the engine finds the waiting tasks.
+//   traced_filtered         many_task workload with tracing enabled; the
+//                           trace-filter mask drops per-worker arrival
+//                           records so million-event traced runs stay small.
+//
+// The metric is events/sec where events = dispatched simulator events
+// (completions, abandons, expiries) + worker arrivals. Usage:
+//
+//   market_throughput [--smoke] [--out=PATH] [--baseline=PATH]
+//                     [--baseline-out=PATH] [--min-speedup=X]
+//
+// --baseline-out writes "name events_per_sec" lines; run it on a
+// pre-rewrite build, then pass the file via --baseline to a current build
+// to fold baseline numbers and speedups into the JSON written by --out
+// (the committed BENCH_market.json). With --min-speedup (default 10 when a
+// baseline is present), the process exits nonzero unless some workload with
+// >= 1M events meets the speedup, making this binary the perf gate.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "market/simulator.h"
+
+namespace {
+
+struct WorkloadResult {
+  std::string name;
+  size_t tasks = 0;
+  uint64_t worker_arrivals = 0;
+  uint64_t events_dispatched = 0;
+  uint64_t reprices = 0;
+  uint64_t total_events = 0;
+  uint64_t trace_records = 0;
+  double wall_seconds = 0.0;
+  double events_per_sec = 0.0;
+  long spent = 0;
+  // Filled from --baseline when present.
+  double baseline_events_per_sec = 0.0;
+  double speedup = 0.0;
+};
+
+struct Timer {
+  std::chrono::steady_clock::time_point start =
+      std::chrono::steady_clock::now();
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  }
+};
+
+void Finish(const htune::MarketSimulator& market, const Timer& timer,
+            WorkloadResult& result) {
+  result.wall_seconds = timer.Seconds();
+  const htune::MarketEventCounts& counts = market.EventCounts();
+  result.worker_arrivals = counts.worker_arrivals;
+  result.events_dispatched = counts.events_dispatched;
+  result.reprices = counts.reprices;
+  result.total_events = counts.worker_arrivals + counts.events_dispatched;
+  result.trace_records = market.trace().size();
+  result.spent = market.TotalSpent();
+  result.events_per_sec =
+      result.wall_seconds > 0.0
+          ? static_cast<double>(result.total_events) / result.wall_seconds
+          : 0.0;
+}
+
+void Check(bool ok, const char* what) {
+  if (!ok) {
+    std::fprintf(stderr, "market_throughput: %s failed\n", what);
+    std::exit(2);
+  }
+}
+
+// N tasks, all posted at t=0, slowly drained by a fast arrival stream: the
+// per-arrival scan over the on-hold population is the dominant cost.
+WorkloadResult ManyTaskHomogeneous(bool smoke) {
+  WorkloadResult result;
+  result.name = "many_task_homogeneous";
+  const int tasks = smoke ? 300 : 1500;
+  const int reps = smoke ? 4 : 50;
+  result.tasks = static_cast<size_t>(tasks);
+
+  htune::MarketConfig config;
+  config.worker_arrival_rate = 200.0;
+  config.seed = 0xBEEF01;
+  config.record_trace = false;
+
+  Timer timer;
+  htune::MarketSimulator market(config);
+  for (int i = 0; i < tasks; ++i) {
+    htune::TaskSpec spec;
+    spec.price_per_repetition = 1;
+    spec.repetitions = reps;
+    spec.on_hold_rate = 0.01;  // p_accept = 5e-5 per arrival per task
+    spec.processing_rate = 4.0;
+    Check(market.PostTask(spec).ok(), "PostTask(many_task)");
+  }
+  Check(market.RunToCompletion().ok(), "RunToCompletion(many_task)");
+  Finish(market, timer, result);
+  return result;
+}
+
+// Abandonment + tight acceptance windows: every exposure races an expiry
+// clock, and 30% of acceptances bounce back on hold, so the event queue and
+// the on-hold index churn far more than tasks complete.
+WorkloadResult ChurnAbandonExpiry(bool smoke) {
+  WorkloadResult result;
+  result.name = "churn_abandon_expiry";
+  const int tasks = smoke ? 200 : 900;
+  const int reps = smoke ? 4 : 36;
+  result.tasks = static_cast<size_t>(tasks);
+
+  htune::MarketConfig config;
+  config.worker_arrival_rate = 150.0;
+  config.abandon_prob = 0.3;
+  config.abandon_hold_rate = 2.0;
+  config.seed = 0xBEEF02;
+  config.record_trace = false;
+
+  Timer timer;
+  htune::MarketSimulator market(config);
+  for (int i = 0; i < tasks; ++i) {
+    htune::TaskSpec spec;
+    spec.price_per_repetition = 1;
+    spec.repetitions = reps;
+    spec.on_hold_rate = 0.02;
+    spec.processing_rate = 4.0;
+    spec.acceptance_timeout = 6.0;  // ~8.3 expiries per acceptance
+    Check(market.PostTask(spec).ok(), "PostTask(churn)");
+  }
+  Check(market.RunToCompletion().ok(), "RunToCompletion(churn)");
+  Finish(market, timer, result);
+  return result;
+}
+
+// The adaptive-retuner pattern: run in slices, repricing the whole open
+// fleet between slices (alternating terms), polling progress as it goes.
+WorkloadResult RepriceAdaptive(bool smoke) {
+  WorkloadResult result;
+  result.name = "reprice_adaptive";
+  const int tasks = smoke ? 200 : 1400;
+  const int reps = smoke ? 4 : 40;
+  result.tasks = static_cast<size_t>(tasks);
+
+  htune::MarketConfig config;
+  config.worker_arrival_rate = 200.0;
+  config.seed = 0xBEEF03;
+  config.record_trace = false;
+
+  Timer timer;
+  htune::MarketSimulator market(config);
+  std::vector<htune::TaskId> ids;
+  ids.reserve(static_cast<size_t>(tasks));
+  for (int i = 0; i < tasks; ++i) {
+    htune::TaskSpec spec;
+    spec.price_per_repetition = 1;
+    spec.repetitions = reps;
+    spec.on_hold_rate = 0.012;
+    spec.processing_rate = 4.0;
+    ids.push_back(*market.PostTask(spec));
+  }
+  double deadline = 0.0;
+  int phase = 0;
+  while (market.OpenTaskCount() > 0) {
+    deadline += 25.0;
+    market.RunUntil(deadline);
+    ++phase;
+    const int price = 1 + (phase & 1);
+    const double rate = price == 1 ? 0.012 : 0.02;
+    for (htune::TaskId id : ids) {
+      // Completed tasks return FailedPrecondition; that is part of the
+      // polling pattern being measured.
+      (void)market.Reprice(id, price, rate);
+    }
+  }
+  Finish(market, timer, result);
+  return result;
+}
+
+// A wide fleet where processing, not acceptance, is the bottleneck: tasks
+// are accepted within ~0.1 time units but process for ~4, so at any instant
+// only ~2% of the 2000 open tasks are actually on hold. Pre-rewrite, every
+// worker arrival still walked the full open-task map to find them; the
+// on-hold index touches only the waiting handful. This is the steady-state
+// regime of a long-running crowd pipeline (most work is in workers' hands).
+WorkloadResult WideFleetProcessingBound(bool smoke) {
+  WorkloadResult result;
+  result.name = "wide_fleet_processing_bound";
+  const int tasks = smoke ? 300 : 2000;
+  const int reps = smoke ? 3 : 125;
+  result.tasks = static_cast<size_t>(tasks);
+
+  htune::MarketConfig config;
+  config.worker_arrival_rate = 2000.0;
+  config.seed = 0xBEEF05;
+  config.record_trace = false;
+
+  Timer timer;
+  htune::MarketSimulator market(config);
+  for (int i = 0; i < tasks; ++i) {
+    htune::TaskSpec spec;
+    spec.price_per_repetition = 1;
+    spec.repetitions = reps;
+    spec.on_hold_rate = 10.0;    // accepted after ~0.1 time units
+    spec.processing_rate = 0.25;  // ...then processed for ~4
+    Check(market.PostTask(spec).ok(), "PostTask(wide_fleet)");
+  }
+  Check(market.RunToCompletion().ok(), "RunToCompletion(wide_fleet)");
+  Finish(market, timer, result);
+  return result;
+}
+
+// The many-task workload with tracing on. Pre-rewrite this records every
+// worker arrival; with the trace-filter mask the arrival firehose is
+// dropped while task-lifecycle records stay, so the comparison measures
+// what a traced million-event run actually costs end to end.
+WorkloadResult TracedFiltered(bool smoke) {
+  WorkloadResult result;
+  result.name = "traced_filtered";
+  const int tasks = smoke ? 300 : 1500;
+  const int reps = smoke ? 4 : 50;
+  result.tasks = static_cast<size_t>(tasks);
+
+  htune::MarketConfig config;
+  config.worker_arrival_rate = 200.0;
+  config.seed = 0xBEEF01;  // same stream as many_task_homogeneous
+  config.record_trace = true;
+#ifdef HTUNE_MARKET_HAS_TRACE_MASK
+  config.trace_mask = htune::kTraceMaskAll &
+                      ~htune::TraceMaskBit(htune::TraceEventKind::kWorkerArrival);
+#endif
+
+  Timer timer;
+  htune::MarketSimulator market(config);
+  for (int i = 0; i < tasks; ++i) {
+    htune::TaskSpec spec;
+    spec.price_per_repetition = 1;
+    spec.repetitions = reps;
+    spec.on_hold_rate = 0.01;
+    spec.processing_rate = 4.0;
+    Check(market.PostTask(spec).ok(), "PostTask(traced)");
+  }
+  Check(market.RunToCompletion().ok(), "RunToCompletion(traced)");
+  Finish(market, timer, result);
+  return result;
+}
+
+std::map<std::string, double> LoadBaseline(const std::string& path) {
+  std::map<std::string, double> baseline;
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "market_throughput: cannot read baseline %s\n",
+                 path.c_str());
+    std::exit(2);
+  }
+  std::string name;
+  double eps = 0.0;
+  while (in >> name >> eps) {
+    baseline[name] = eps;
+  }
+  return baseline;
+}
+
+std::string ToJson(const std::vector<WorkloadResult>& results, bool smoke,
+                   double min_speedup, bool have_baseline) {
+  std::ostringstream out;
+  out.precision(17);
+  out << "{\n  \"schema_version\": 1,\n";
+  out << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n";
+  out << "  \"min_events_for_gate\": 1000000,\n";
+  out << "  \"target_speedup\": " << min_speedup << ",\n";
+  out << "  \"has_baseline\": " << (have_baseline ? "true" : "false")
+      << ",\n";
+  out << "  \"workloads\": [\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const WorkloadResult& r = results[i];
+    out << "    {\n";
+    out << "      \"name\": \"" << r.name << "\",\n";
+    out << "      \"tasks\": " << r.tasks << ",\n";
+    out << "      \"worker_arrivals\": " << r.worker_arrivals << ",\n";
+    out << "      \"events_dispatched\": " << r.events_dispatched << ",\n";
+    out << "      \"reprices\": " << r.reprices << ",\n";
+    out << "      \"total_events\": " << r.total_events << ",\n";
+    out << "      \"trace_records\": " << r.trace_records << ",\n";
+    out << "      \"spent\": " << r.spent << ",\n";
+    out << "      \"wall_seconds\": " << r.wall_seconds << ",\n";
+    out << "      \"events_per_sec\": " << r.events_per_sec;
+    if (r.baseline_events_per_sec > 0.0) {
+      out << ",\n      \"baseline_events_per_sec\": "
+          << r.baseline_events_per_sec;
+      out << ",\n      \"speedup\": " << r.speedup;
+    }
+    out << "\n    }" << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  return out.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path, baseline_path, baseline_out_path;
+  double min_speedup = -1.0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+    } else if (arg.rfind("--baseline=", 0) == 0) {
+      baseline_path = arg.substr(11);
+    } else if (arg.rfind("--baseline-out=", 0) == 0) {
+      baseline_out_path = arg.substr(15);
+    } else if (arg.rfind("--min-speedup=", 0) == 0) {
+      min_speedup = std::stod(arg.substr(14));
+    } else {
+      std::fprintf(stderr,
+                   "usage: market_throughput [--smoke] [--out=PATH] "
+                   "[--baseline=PATH] [--baseline-out=PATH] "
+                   "[--min-speedup=X]\n");
+      return 2;
+    }
+  }
+
+  std::vector<WorkloadResult> results;
+  results.push_back(ManyTaskHomogeneous(smoke));
+  results.push_back(ChurnAbandonExpiry(smoke));
+  results.push_back(RepriceAdaptive(smoke));
+  results.push_back(WideFleetProcessingBound(smoke));
+  results.push_back(TracedFiltered(smoke));
+
+  std::map<std::string, double> baseline;
+  if (!baseline_path.empty()) {
+    baseline = LoadBaseline(baseline_path);
+    if (min_speedup < 0.0) min_speedup = 10.0;
+  }
+  if (min_speedup < 0.0) min_speedup = 0.0;
+  for (WorkloadResult& r : results) {
+    const auto it = baseline.find(r.name);
+    if (it != baseline.end() && it->second > 0.0 && r.events_per_sec > 0.0) {
+      r.baseline_events_per_sec = it->second;
+      r.speedup = r.events_per_sec / it->second;
+    }
+  }
+
+  for (const WorkloadResult& r : results) {
+    std::printf("%-24s %9.2fs  %12llu events  %12.0f events/s",
+                r.name.c_str(), r.wall_seconds,
+                static_cast<unsigned long long>(r.total_events),
+                r.events_per_sec);
+    if (r.speedup > 0.0) {
+      std::printf("  %6.2fx vs baseline", r.speedup);
+    }
+    if (r.trace_records > 0) {
+      std::printf("  (%llu trace records)",
+                  static_cast<unsigned long long>(r.trace_records));
+    }
+    std::printf("\n");
+  }
+
+  if (!baseline_out_path.empty()) {
+    std::ofstream out(baseline_out_path);
+    out.precision(17);
+    for (const WorkloadResult& r : results) {
+      out << r.name << " " << r.events_per_sec << "\n";
+    }
+    std::printf("wrote baseline %s\n", baseline_out_path.c_str());
+  }
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    out << ToJson(results, smoke, min_speedup, !baseline.empty());
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+
+  if (!baseline.empty() && min_speedup > 0.0) {
+    bool met = false;
+    for (const WorkloadResult& r : results) {
+      if (r.total_events >= 1000000 && r.speedup >= min_speedup) met = true;
+    }
+    if (!met && !smoke) {
+      std::fprintf(stderr,
+                   "market_throughput: no >=1M-event workload reached the "
+                   "%.1fx speedup gate\n",
+                   min_speedup);
+      return 1;
+    }
+  }
+  return 0;
+}

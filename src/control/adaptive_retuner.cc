@@ -267,8 +267,9 @@ StatusOr<RetunerReport> RunJob(const BudgetAllocator& allocator,
         ScaleEstimate estimate;
         for (size_t t = 0; t < group.task_ids.size(); ++t) {
           const TaskId id = group.task_ids[t];
-          HTUNE_ASSIGN_OR_RETURN(const TaskOutcome progress,
-                                 market.GetProgress(id));
+          HTUNE_ASSIGN_OR_RETURN(const TaskOutcome* progress_view,
+                                 market.GetProgressView(id));
+          const TaskOutcome& progress = *progress_view;
           if (ctx != nullptr) {
             HTUNE_RETURN_IF_ERROR(SettleTask(*ctx, *ledger, id, progress,
                                              group.completed_logged[t]));
@@ -328,8 +329,9 @@ StatusOr<RetunerReport> RunJob(const BudgetAllocator& allocator,
         int open_tasks = 0;
         long total_remaining = 0;
         for (const TaskId id : state.groups[g].task_ids) {
-          HTUNE_ASSIGN_OR_RETURN(const TaskOutcome progress,
-                                 market.GetProgress(id));
+          HTUNE_ASSIGN_OR_RETURN(const TaskOutcome* progress_view,
+                                 market.GetProgressView(id));
+          const TaskOutcome& progress = *progress_view;
           if (progress.completed_time > 0.0) {
             continue;  // task already done
           }
@@ -447,8 +449,9 @@ StatusOr<RetunerReport> RunJob(const BudgetAllocator& allocator,
     report.final_scale.push_back(group.scale);
     report.final_prices.push_back(group.current_price);
     for (size_t t = 0; t < group.task_ids.size(); ++t) {
-      HTUNE_ASSIGN_OR_RETURN(const TaskOutcome outcome,
-                             market.GetOutcome(group.task_ids[t]));
+      HTUNE_ASSIGN_OR_RETURN(const TaskOutcome* outcome_view,
+                             market.GetOutcomeView(group.task_ids[t]));
+      const TaskOutcome& outcome = *outcome_view;
       if (ctx != nullptr) {
         HTUNE_RETURN_IF_ERROR(SettleTask(*ctx, *ledger, group.task_ids[t],
                                          outcome,

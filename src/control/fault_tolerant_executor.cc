@@ -497,8 +497,9 @@ StatusOr<FaultTolerantReport> RunJob(
     for (size_t i = 0; i < state.tasks.size(); ++i) {
       TaskState& task = state.tasks[i];
       if (task.done) continue;
-      HTUNE_ASSIGN_OR_RETURN(const TaskOutcome progress,
-                             market.GetProgress(task.id));
+      HTUNE_ASSIGN_OR_RETURN(const TaskOutcome* progress_view,
+                             market.GetProgressView(task.id));
+      const TaskOutcome& progress = *progress_view;
       const int completed = CompletedRepetitions(progress);
       if (ctx != nullptr) {
         HTUNE_RETURN_IF_ERROR(
@@ -658,8 +659,9 @@ StatusOr<FaultTolerantReport> RunJob(
   report.answers.reserve(state.tasks.size());
   double last_completion = state.start;
   for (TaskState& task : state.tasks) {
-    HTUNE_ASSIGN_OR_RETURN(const TaskOutcome outcome,
-                           market.GetOutcome(task.id));
+    HTUNE_ASSIGN_OR_RETURN(const TaskOutcome* outcome_view,
+                           market.GetOutcomeView(task.id));
+    const TaskOutcome& outcome = *outcome_view;
     if (ctx != nullptr) {
       // Final settlement: repetitions that finished after the last review
       // (or after the loop broke) are paid and completed here, exactly once.

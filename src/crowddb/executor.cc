@@ -47,15 +47,16 @@ StatusOr<ExecutionResult> ExecuteJob(
   result.task_latencies.reserve(task_ids.size());
   double last_completion = start;
   for (const TaskId id : task_ids) {
-    HTUNE_ASSIGN_OR_RETURN(const TaskOutcome outcome, market.GetOutcome(id));
+    HTUNE_ASSIGN_OR_RETURN(const TaskOutcome* outcome,
+                           market.GetOutcomeView(id));
     std::vector<int> answers;
-    answers.reserve(outcome.repetitions.size());
-    for (const RepetitionOutcome& rep : outcome.repetitions) {
+    answers.reserve(outcome->repetitions.size());
+    for (const RepetitionOutcome& rep : outcome->repetitions) {
       answers.push_back(rep.answer);
     }
     result.answers.push_back(std::move(answers));
-    result.task_latencies.push_back(outcome.completed_time - start);
-    last_completion = std::max(last_completion, outcome.completed_time);
+    result.task_latencies.push_back(outcome->completed_time - start);
+    last_completion = std::max(last_completion, outcome->completed_time);
   }
   result.latency = last_completion - start;
   result.spent = market.TotalSpent() - spent_before;

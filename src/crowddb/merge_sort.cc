@@ -138,11 +138,11 @@ StatusOr<MergeSortResult> CrowdMergeSort::Run(
       for (MergeState& merge : merges) {
         if (!merge.has_pending) continue;
         merge.has_pending = false;
-        HTUNE_ASSIGN_OR_RETURN(const TaskOutcome outcome,
-                               market.GetOutcome(merge.pending));
+        HTUNE_ASSIGN_OR_RETURN(const TaskOutcome* outcome,
+                               market.GetOutcomeView(merge.pending));
         std::vector<int> answers;
-        answers.reserve(outcome.repetitions.size());
-        for (const RepetitionOutcome& rep : outcome.repetitions) {
+        answers.reserve(outcome->repetitions.size());
+        for (const RepetitionOutcome& rep : outcome->repetitions) {
           answers.push_back(rep.answer);
         }
         if (MajorityVote(answers) == 0) {

@@ -185,8 +185,16 @@ Status DecodeTraceEvents(Decoder& decoder, std::vector<TraceEvent>& events) {
       events);
 }
 
-std::string EncodeMarketState(const MarketState& state) {
-  Encoder encoder;
+namespace {
+
+/// v2 header magic: the IEEE-754 bit pattern of a quiet NaN spelling
+/// "HTSV2" in its payload. A v1 snapshot starts with PutDouble(now), and
+/// `now` is a finite simulation time, so no valid v1 blob can begin with
+/// these 8 bytes — which is what lets the decoder sniff the version.
+constexpr uint64_t kSnapshotMagic = 0xFFF7485453563200ULL;
+constexpr uint32_t kSnapshotVersion = 2;
+
+void EncodeMarketStateBody(const MarketState& state, Encoder& encoder) {
   encoder.PutDouble(state.now);
   encoder.PutDouble(state.next_arrival_time);
   encoder.PutU64(state.next_worker);
@@ -209,12 +217,9 @@ std::string EncodeMarketState(const MarketState& state) {
   encoder.PutU64(state.completion_order.size());
   for (TaskId id : state.completion_order) encoder.PutU64(id);
   EncodeTraceEvents(state.trace, encoder);
-  return std::move(encoder).Release();
 }
 
-StatusOr<MarketState> DecodeMarketState(std::string_view bytes) {
-  Decoder decoder(bytes);
-  MarketState state;
+Status DecodeMarketStateBody(Decoder& decoder, MarketState& state) {
   HTUNE_RETURN_IF_ERROR(decoder.GetDouble(&state.now));
   HTUNE_RETURN_IF_ERROR(decoder.GetDouble(&state.next_arrival_time));
   HTUNE_RETURN_IF_ERROR(decoder.GetU64(&state.next_worker));
@@ -236,7 +241,42 @@ StatusOr<MarketState> DecodeMarketState(std::string_view bytes) {
       [](Decoder& d, TaskId& id) -> Status { return d.GetU64(&id); },
       state.completion_order));
   HTUNE_RETURN_IF_ERROR(DecodeTraceEvents(decoder, state.trace));
-  HTUNE_RETURN_IF_ERROR(decoder.ExpectDone());
+  return decoder.ExpectDone();
+}
+
+}  // namespace
+
+std::string EncodeMarketState(const MarketState& state) {
+  Encoder encoder;
+  encoder.PutU64(kSnapshotMagic);
+  encoder.PutU32(kSnapshotVersion);
+  EncodeMarketStateBody(state, encoder);
+  return std::move(encoder).Release();
+}
+
+std::string EncodeMarketStateLegacyV1(const MarketState& state) {
+  Encoder encoder;
+  EncodeMarketStateBody(state, encoder);
+  return std::move(encoder).Release();
+}
+
+StatusOr<MarketState> DecodeMarketState(std::string_view bytes) {
+  MarketState state;
+  Decoder sniff(bytes);
+  uint64_t first_word = 0;
+  if (sniff.GetU64(&first_word).ok() && first_word == kSnapshotMagic) {
+    uint32_t version = 0;
+    HTUNE_RETURN_IF_ERROR(sniff.GetU32(&version));
+    if (version != kSnapshotVersion) {
+      return InvalidArgumentError("decode: unsupported snapshot version " +
+                                  std::to_string(version));
+    }
+    HTUNE_RETURN_IF_ERROR(DecodeMarketStateBody(sniff, state));
+    return state;
+  }
+  // No magic: a v1 blob, which starts directly with the `now` field.
+  Decoder decoder(bytes);
+  HTUNE_RETURN_IF_ERROR(DecodeMarketStateBody(decoder, state));
   return state;
 }
 

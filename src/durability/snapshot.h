@@ -14,11 +14,23 @@ namespace htune {
 /// records can be compared bitwise during replay verification. Doubles are
 /// stored as IEEE-754 bit patterns, making a decode(encode(s)) round trip
 /// exact.
+///
+/// Writes format v2: an 8-byte magic (a NaN bit pattern no valid v1
+/// snapshot can start with), a u32 version, then the state fields with the
+/// pending events in canonical (time, sequence) order. Version 1 — the
+/// original headerless format whose event section stored the binary heap's
+/// backing array verbatim — is still decoded transparently.
 std::string EncodeMarketState(const MarketState& state);
 
-/// Inverse of EncodeMarketState. Returns InvalidArgument on truncated or
-/// structurally corrupt input (never crashes on hostile bytes); semantic
-/// validation beyond shape (heap order, curve indices) happens in
+/// Encodes in the historical v1 format (no header, events in whatever
+/// order `state.events` holds). Kept for compatibility tests that need to
+/// fabricate pre-v2 journals; new snapshots always use v2.
+std::string EncodeMarketStateLegacyV1(const MarketState& state);
+
+/// Inverse of EncodeMarketState; accepts v1 and v2 bytes (sniffed via the
+/// v2 magic). Returns InvalidArgument on truncated or structurally corrupt
+/// input (never crashes on hostile bytes); semantic validation beyond shape
+/// (id-space consistency, curve indices) happens in
 /// MarketSimulator::RestoreState.
 StatusOr<MarketState> DecodeMarketState(std::string_view bytes);
 

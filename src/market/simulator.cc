@@ -1,8 +1,8 @@
 #include "market/simulator.h"
 
 #include <algorithm>
-#include <functional>
 #include <string>
+#include <utility>
 
 #include "common/check.h"
 
@@ -45,6 +45,10 @@ MarketSimulator::MarketSimulator(const MarketConfig& config)
   if (config.abandon_prob > 0.0) {
     HTUNE_CHECK_GT(config.abandon_hold_rate, 0.0);
   }
+  queue_ = MakeEventQueue(config.event_queue);
+  if (config.record_trace) {
+    trace_.reserve(1024);
+  }
   next_arrival_time_ = SampleArrivalAfter(0.0);
 }
 
@@ -73,21 +77,9 @@ double MarketSimulator::SampleArrivalAfter(double after) {
   }
 }
 
-void MarketSimulator::PushEvent(const PendingEvent& event) {
-  events_.push_back(event);
-  std::push_heap(events_.begin(), events_.end(),
-                 std::greater<PendingEvent>());
-}
-
-MarketSimulator::PendingEvent MarketSimulator::PopEvent() {
-  std::pop_heap(events_.begin(), events_.end(), std::greater<PendingEvent>());
-  const PendingEvent event = events_.back();
-  events_.pop_back();
-  return event;
-}
-
 void MarketSimulator::Record(const TraceEvent& event) {
-  if (config_.record_trace) {
+  if (config_.record_trace &&
+      ((config_.trace_mask >> static_cast<int>(event.kind)) & 1u) != 0) {
     trace_.push_back(event);
   }
 }
@@ -114,7 +106,8 @@ StatusOr<TaskId> MarketSimulator::PostTask(const TaskSpec& spec) {
   if (spec.true_answer < 0 || spec.true_answer >= spec.num_options) {
     return InvalidArgumentError("PostTask: true_answer outside option range");
   }
-  // Normalize per-repetition prices/rates, applying overrides if present.
+  // Validate the normalized per-repetition prices/rates without building
+  // them yet: a rejected spec must not allocate a task slot.
   const size_t reps = static_cast<size_t>(spec.repetitions);
   if (!spec.per_repetition_prices.empty() &&
       spec.per_repetition_prices.size() != reps) {
@@ -126,17 +119,15 @@ StatusOr<TaskId> MarketSimulator::PostTask(const TaskSpec& spec) {
     return InvalidArgumentError(
         "PostTask: per_repetition_rates size must equal repetitions");
   }
-  std::vector<int> rep_prices =
-      spec.per_repetition_prices.empty()
-          ? std::vector<int>(reps, spec.price_per_repetition)
-          : spec.per_repetition_prices;
-  std::vector<double> rep_rates =
-      spec.per_repetition_rates.empty()
-          ? std::vector<double>(reps, spec.on_hold_rate)
-          : spec.per_repetition_rates;
-  for (int price : rep_prices) {
-    if (price < 1) {
+  if (spec.per_repetition_prices.empty()) {
+    if (spec.price_per_repetition < 1) {
       return InvalidArgumentError("PostTask: every price must be >= 1");
+    }
+  } else {
+    for (int price : spec.per_repetition_prices) {
+      if (price < 1) {
+        return InvalidArgumentError("PostTask: every price must be >= 1");
+      }
     }
   }
   // When the market (or the task's type) owns the ground-truth curve, the
@@ -144,13 +135,18 @@ StatusOr<TaskId> MarketSimulator::PostTask(const TaskSpec& spec) {
   // the caller's belief.
   const std::shared_ptr<const PriceRateCurve> effective_curve =
       spec.true_curve != nullptr ? spec.true_curve : config_.true_curve;
-  if (effective_curve != nullptr) {
-    for (size_t i = 0; i < reps; ++i) {
-      rep_rates[i] =
-          effective_curve->Rate(static_cast<double>(rep_prices[i]));
+  rate_buf_.resize(reps);  // scratch: the validated per-repetition rates
+  for (size_t i = 0; i < reps; ++i) {
+    double rate;
+    if (effective_curve != nullptr) {
+      const int price = spec.per_repetition_prices.empty()
+                            ? spec.price_per_repetition
+                            : spec.per_repetition_prices[i];
+      rate = effective_curve->Rate(static_cast<double>(price));
+    } else {
+      rate = spec.per_repetition_rates.empty() ? spec.on_hold_rate
+                                               : spec.per_repetition_rates[i];
     }
-  }
-  for (double rate : rep_rates) {
     if (rate <= 0.0) {
       return InvalidArgumentError("PostTask: every on-hold rate must be > 0");
     }
@@ -159,37 +155,48 @@ StatusOr<TaskId> MarketSimulator::PostTask(const TaskSpec& spec) {
           "PostTask: on_hold_rate exceeds worker arrival rate; the thinned "
           "acceptance process cannot be faster than arrivals");
     }
+    rate_buf_[i] = rate;
   }
 
   const TaskId id = next_task_++;
-  OpenTask task;
+  OpenTask& task = tasks_.Insert(id);
   task.spec = spec;
-  task.rep_prices = std::move(rep_prices);
+  if (spec.per_repetition_prices.empty()) {
+    task.rep_prices.assign(reps, spec.price_per_repetition);
+  } else {
+    task.rep_prices = spec.per_repetition_prices;
+  }
+  task.rep_rates.assign(rate_buf_.begin(), rate_buf_.end());
   task.effective_curve = effective_curve;
-  task.rep_rates = std::move(rep_rates);
   task.outcome.id = id;
   task.outcome.posted_time = now_;
-  auto [it, inserted] = open_tasks_.emplace(id, std::move(task));
-  HTUNE_CHECK(inserted);
   ++event_counts_.tasks_posted;
-  ExposeCurrentRepetition(id, it->second, now_, /*reposted=*/false);
+  ExposeCurrentRepetition(id, task, now_, /*reposted=*/false,
+                          /*already_on_hold=*/false);
   return id;
 }
 
 void MarketSimulator::ExposeCurrentRepetition(TaskId id, OpenTask& task,
-                                              double t, bool reposted) {
+                                              double t, bool reposted,
+                                              bool already_on_hold) {
   task.current_posted_time = t;
   task.awaiting_acceptance = true;
   ++task.exposure_generation;
-  const int rep_index =
-      static_cast<int>(task.outcome.repetitions.size()) + 1;
+  const size_t rep_slot = task.outcome.repetitions.size();
   if (reposted) {
     ++task.outcome.reposted_posts;
-    Record({t, TraceEventKind::kReposted, 0, id, rep_index});
+    Record({t, TraceEventKind::kReposted, 0, id,
+            static_cast<int>(rep_slot) + 1});
+  }
+  if (!already_on_hold) {
+    // The expiry path re-exposes a repetition that never left the on-hold
+    // index (and whose cached probability is already current).
+    tasks_.AddOnHold(id,
+                     task.rep_rates[rep_slot] / config_.worker_arrival_rate);
   }
   if (task.spec.acceptance_timeout > 0.0) {
     PushEvent({t + task.spec.acceptance_timeout, event_sequence_++, id,
-               PendingEvent::Kind::kExpiry, task.exposure_generation});
+               MarketEvent::Kind::kExpiry, task.exposure_generation});
   }
 }
 
@@ -228,19 +235,34 @@ void MarketSimulator::StepWorkerArrival() {
     worker_error = config_.fault_schedule->ErrorProbAt(now_, worker_error);
   }
 
-  // The worker considers every open repetition independently: acceptance
-  // with probability lambda_o / arrival_rate thins the Poisson arrival
-  // stream into an Exp(lambda_o) acceptance process per task, exactly the
-  // model of §3.1.2. (A worker may accept several distinct tasks, as real
-  // workers serially accept multiple HITs.)
-  for (auto& [id, task] : open_tasks_) {
-    if (!task.awaiting_acceptance) continue;
-    const size_t rep_slot = task.outcome.repetitions.size();
-    const double accept_prob =
-        task.rep_rates[rep_slot] / config_.worker_arrival_rate;
-    if (!rng_.Bernoulli(accept_prob)) continue;
-
+  // The worker considers every repetition awaiting acceptance
+  // independently: acceptance with probability lambda_o / arrival_rate
+  // thins the Poisson arrival stream into an Exp(lambda_o) acceptance
+  // process per task, exactly the model of §3.1.2. (A worker may accept
+  // several distinct tasks, as real workers serially accept multiple HITs.)
+  // The on-hold index supplies the candidates in TaskId order — the same
+  // Bernoulli draw order as the historical scan over the full task map.
+  const size_t n = tasks_.on_hold_count();
+  if (n == 0) return;
+  const TaskId* ids = tasks_.on_hold_ids();
+  const double* probs = tasks_.on_hold_probs();
+  // With every probability strictly inside (0, 1), each Bernoulli consumes
+  // exactly one uniform, so the scan can draw inline against the raw
+  // probability array — same bit patterns in the same order as the scalar
+  // Bernoulli loop, minus its clamping branches. A saturated entry
+  // (prob >= 1) accepts without consuming a draw, so its presence forces
+  // the general loop to keep the stream identical.
+  const bool all_probs_draw = tasks_.saturated_count() == 0;
+  accepted_positions_.clear();
+  for (size_t i = 0; i < n; ++i) {
+    const bool accepted =
+        all_probs_draw ? rng_.Uniform() < probs[i] : rng_.Bernoulli(probs[i]);
+    if (!accepted) continue;
+    const TaskId id = ids[i];
+    OpenTask& task = tasks_.on_hold_task(i);
+    accepted_positions_.push_back(static_cast<uint32_t>(i));
     task.awaiting_acceptance = false;
+    const size_t rep_slot = task.outcome.repetitions.size();
     RepetitionOutcome rep;
     rep.posted_time = task.current_posted_time;
     rep.accepted_time = now_;
@@ -261,12 +283,18 @@ void MarketSimulator::StepWorkerArrival() {
     if (abandons) {
       const double hold = rng_.Exponential(config_.abandon_hold_rate);
       PushEvent({now_ + hold, event_sequence_++, id,
-                 PendingEvent::Kind::kAbandon, 0});
+                 MarketEvent::Kind::kAbandon, 0});
     } else {
       const double processing = rng_.Exponential(task.spec.processing_rate);
       PushEvent({now_ + processing, event_sequence_++, id,
-                 PendingEvent::Kind::kCompletion, 0});
+                 MarketEvent::Kind::kCompletion, 0});
     }
+  }
+  // The loop never mutates the on-hold arrays (acceptance only flips task
+  // state and schedules events), so the accepted positions stay valid for
+  // one compaction pass here.
+  if (!accepted_positions_.empty()) {
+    tasks_.RemoveOnHoldPositions(accepted_positions_);
   }
 }
 
@@ -275,27 +303,26 @@ void MarketSimulator::AdvanceTask(TaskId id, OpenTask& task, double t) {
       task.spec.repetitions) {
     task.outcome.completed_time = t;
     Record({t, TraceEventKind::kTaskCompleted, 0, id, task.spec.repetitions});
-    completed_.emplace(id, std::move(task.outcome));
-    completion_order_.push_back(id);
-    open_tasks_.erase(id);
+    tasks_.Complete(id);
     return;
   }
   // Expose the next repetition: sequential submission (§4.3).
-  ExposeCurrentRepetition(id, task, t, /*reposted=*/false);
+  ExposeCurrentRepetition(id, task, t, /*reposted=*/false,
+                          /*already_on_hold=*/false);
 }
 
-void MarketSimulator::ApplyEvent(const PendingEvent& event) {
+void MarketSimulator::ApplyEvent(const MarketEvent& event) {
   now_ = event.time;
   ++event_counts_.events_dispatched;
-  auto it = open_tasks_.find(event.task);
-  if (event.kind == PendingEvent::Kind::kExpiry) {
+  OpenTask* found = tasks_.FindOpen(event.task);
+  if (event.kind == MarketEvent::Kind::kExpiry) {
     // Expiry events may be stale: the task completed, a worker accepted the
     // exposed repetition, or it was already reposted (new generation).
-    if (it == open_tasks_.end()) {
+    if (found == nullptr) {
       ++event_counts_.stale_expiries;
       return;
     }
-    OpenTask& task = it->second;
+    OpenTask& task = *found;
     if (!task.awaiting_acceptance ||
         event.generation != task.exposure_generation) {
       ++event_counts_.stale_expiries;
@@ -306,14 +333,15 @@ void MarketSimulator::ApplyEvent(const PendingEvent& event) {
     const int rep_index =
         static_cast<int>(task.outcome.repetitions.size()) + 1;
     Record({now_, TraceEventKind::kExpired, 0, event.task, rep_index});
-    ExposeCurrentRepetition(event.task, task, now_, /*reposted=*/true);
+    ExposeCurrentRepetition(event.task, task, now_, /*reposted=*/true,
+                            /*already_on_hold=*/true);
     return;
   }
 
-  HTUNE_CHECK(it != open_tasks_.end());
-  OpenTask& task = it->second;
+  HTUNE_CHECK(found != nullptr);
+  OpenTask& task = *found;
 
-  if (event.kind == PendingEvent::Kind::kAbandon) {
+  if (event.kind == MarketEvent::Kind::kAbandon) {
     // The worker returns the repetition unanswered: drop the attempt, pay
     // nothing, and put the repetition back on hold at the task's current
     // terms (a later Reprice supersedes the abandoned promise).
@@ -328,7 +356,8 @@ void MarketSimulator::ApplyEvent(const PendingEvent& event) {
     }
     Record({now_, TraceEventKind::kAbandoned, attempt.worker, event.task,
             static_cast<int>(slot) + 1});
-    ExposeCurrentRepetition(event.task, task, now_, /*reposted=*/true);
+    ExposeCurrentRepetition(event.task, task, now_, /*reposted=*/true,
+                            /*already_on_hold=*/false);
     return;
   }
 
@@ -347,14 +376,14 @@ Status MarketSimulator::Reprice(TaskId id, int new_price,
   if (new_price < 1) {
     return InvalidArgumentError("Reprice: price must be >= 1");
   }
-  const auto it = open_tasks_.find(id);
-  if (it == open_tasks_.end()) {
-    if (completed_.count(id) > 0) {
+  OpenTask* found = tasks_.FindOpen(id);
+  if (found == nullptr) {
+    if (tasks_.FindCompleted(id) != nullptr) {
       return FailedPreconditionError("Reprice: task already completed");
     }
     return NotFoundError("Reprice: unknown task id");
   }
-  OpenTask& task = it->second;
+  OpenTask& task = *found;
   double rate = new_on_hold_rate;
   if (task.effective_curve != nullptr) {
     rate = task.effective_curve->Rate(static_cast<double>(new_price));
@@ -378,17 +407,20 @@ Status MarketSimulator::Reprice(TaskId id, int new_price,
   }
   task.reprice_price = new_price;
   task.reprice_rate = rate;
+  if (task.awaiting_acceptance) {
+    tasks_.UpdateOnHoldProb(id, rate / config_.worker_arrival_rate);
+  }
   ++event_counts_.reprices;
   return OkStatus();
 }
 
 size_t MarketSimulator::RunUntil(double deadline) {
-  while (!open_tasks_.empty()) {
-    const bool has_event = !events_.empty();
-    const double event_time = has_event ? events_.front().time : 0.0;
+  while (tasks_.open_count() > 0) {
+    const bool has_event = !queue_->empty();
+    const double event_time = has_event ? queue_->Min().time : 0.0;
     if (has_event && event_time <= next_arrival_time_) {
       if (event_time > deadline) break;
-      ApplyEvent(PopEvent());
+      ApplyEvent(queue_->Pop());
     } else {
       if (next_arrival_time_ > deadline) break;
       StepWorkerArrival();
@@ -397,11 +429,11 @@ size_t MarketSimulator::RunUntil(double deadline) {
   if (deadline > now_) {
     now_ = deadline;
   }
-  return open_tasks_.size();
+  return tasks_.open_count();
 }
 
 Status MarketSimulator::RunToCompletion() {
-  if (open_tasks_.empty()) {
+  if (tasks_.open_count() == 0) {
     return FailedPreconditionError("RunToCompletion: no open tasks");
   }
   // Safety valve: with sane rates a job finishes long before this many
@@ -409,21 +441,21 @@ Status MarketSimulator::RunToCompletion() {
   // acceptance timeout is reposting a starved repetition forever).
   constexpr uint64_t kMaxEvents = 200'000'000;
   uint64_t events = 0;
-  while (!open_tasks_.empty()) {
+  while (tasks_.open_count() > 0) {
     if (++events > kMaxEvents) {
-      const auto& [stuck_id, stuck] = *open_tasks_.begin();
+      const TaskId stuck_id = tasks_.LowestOpenId();
+      const OpenTask& stuck = *tasks_.FindOpen(stuck_id);
       return InternalError(
           "RunToCompletion: event horizon exceeded at t=" +
           std::to_string(now_) + "; task " + std::to_string(stuck_id) +
           " is still open on repetition " +
           std::to_string(stuck.outcome.repetitions.size() + 1) + " of " +
           std::to_string(stuck.spec.repetitions) + " (" +
-          std::to_string(open_tasks_.size()) +
+          std::to_string(tasks_.open_count()) +
           " open tasks total) — a posted rate is effectively zero");
     }
-    const bool has_event = !events_.empty();
-    if (has_event && events_.front().time <= next_arrival_time_) {
-      ApplyEvent(PopEvent());
+    if (!queue_->empty() && queue_->Min().time <= next_arrival_time_) {
+      ApplyEvent(queue_->Pop());
     } else {
       StepWorkerArrival();
     }
@@ -432,66 +464,72 @@ Status MarketSimulator::RunToCompletion() {
 }
 
 StatusOr<TaskOutcome> MarketSimulator::GetOutcome(TaskId id) const {
-  const auto done = completed_.find(id);
-  if (done != completed_.end()) {
-    return done->second;
+  HTUNE_ASSIGN_OR_RETURN(const TaskOutcome* outcome, GetOutcomeView(id));
+  return *outcome;
+}
+
+StatusOr<const TaskOutcome*> MarketSimulator::GetOutcomeView(
+    TaskId id) const {
+  const TaskOutcome* done = tasks_.FindCompleted(id);
+  if (done != nullptr) {
+    return done;
   }
-  if (open_tasks_.count(id) > 0) {
+  if (tasks_.FindOpen(id) != nullptr) {
     return FailedPreconditionError("GetOutcome: task not yet complete");
   }
   return NotFoundError("GetOutcome: unknown task id");
 }
 
 StatusOr<double> MarketSimulator::OnHoldSince(TaskId id) const {
-  const auto open = open_tasks_.find(id);
-  if (open == open_tasks_.end()) {
-    if (completed_.count(id) > 0) {
+  const OpenTask* open = tasks_.FindOpen(id);
+  if (open == nullptr) {
+    if (tasks_.FindCompleted(id) != nullptr) {
       return FailedPreconditionError("OnHoldSince: task already completed");
     }
     return NotFoundError("OnHoldSince: unknown task id");
   }
-  if (!open->second.awaiting_acceptance) {
+  if (!open->awaiting_acceptance) {
     return FailedPreconditionError(
         "OnHoldSince: current repetition is being processed");
   }
-  return open->second.current_posted_time;
+  return open->current_posted_time;
 }
 
 StatusOr<int> MarketSimulator::CurrentPrice(TaskId id) const {
-  const auto open = open_tasks_.find(id);
-  if (open == open_tasks_.end()) {
-    if (completed_.count(id) > 0) {
+  const OpenTask* open = tasks_.FindOpen(id);
+  if (open == nullptr) {
+    if (tasks_.FindCompleted(id) != nullptr) {
       return FailedPreconditionError("CurrentPrice: task already completed");
     }
     return NotFoundError("CurrentPrice: unknown task id");
   }
-  const OpenTask& task = open->second;
-  const size_t reps = task.outcome.repetitions.size();
+  const size_t reps = open->outcome.repetitions.size();
   // On hold: the exposed slot == reps. Processing: the in-flight attempt is
   // the last recorded repetition.
-  const size_t slot = task.awaiting_acceptance ? reps : reps - 1;
-  return task.rep_prices[slot];
+  const size_t slot = open->awaiting_acceptance ? reps : reps - 1;
+  return open->rep_prices[slot];
 }
 
 StatusOr<TaskOutcome> MarketSimulator::GetProgress(TaskId id) const {
-  const auto open = open_tasks_.find(id);
-  if (open != open_tasks_.end()) {
-    return open->second.outcome;
+  HTUNE_ASSIGN_OR_RETURN(const TaskOutcome* outcome, GetProgressView(id));
+  return *outcome;
+}
+
+StatusOr<const TaskOutcome*> MarketSimulator::GetProgressView(
+    TaskId id) const {
+  const OpenTask* open = tasks_.FindOpen(id);
+  if (open != nullptr) {
+    return &open->outcome;
   }
-  const auto done = completed_.find(id);
-  if (done != completed_.end()) {
-    return done->second;
+  const TaskOutcome* done = tasks_.FindCompleted(id);
+  if (done != nullptr) {
+    return done;
   }
   return NotFoundError("GetProgress: unknown task id");
 }
 
-std::vector<TaskOutcome> MarketSimulator::CompletedOutcomes() const {
-  std::vector<TaskOutcome> outcomes;
-  outcomes.reserve(completion_order_.size());
-  for (TaskId id : completion_order_) {
-    outcomes.push_back(completed_.at(id));
-  }
-  return outcomes;
+const std::vector<TaskOutcome>& MarketSimulator::CompletedOutcomes() const {
+  return tasks_.completed();
 }
 
 namespace {
@@ -552,14 +590,17 @@ StatusOr<MarketState> MarketSimulator::CaptureState(
   state.event_sequence = event_sequence_;
   state.total_spent = total_spent_;
   state.rng = rng_.SaveState();
-  state.events.reserve(events_.size());
-  for (const PendingEvent& event : events_) {
+  const std::vector<MarketEvent> events = queue_->SortedSnapshot();
+  state.events.reserve(events.size());
+  for (const MarketEvent& event : events) {
     state.events.push_back({event.time, event.sequence, event.task,
                             static_cast<uint8_t>(event.kind),
                             event.generation});
   }
-  state.open_tasks.reserve(open_tasks_.size());
-  for (const auto& [id, task] : open_tasks_) {
+  state.open_tasks.reserve(tasks_.open_count());
+  Status capture_status = OkStatus();
+  tasks_.ForEachOpenInIdOrder([&](TaskId id, const OpenTask& task) {
+    if (!capture_status.ok()) return;
     MarketState::Task t;
     t.id = id;
     t.price_per_repetition = task.spec.price_per_repetition;
@@ -567,18 +608,26 @@ StatusOr<MarketState> MarketSimulator::CaptureState(
     t.on_hold_rate = task.spec.on_hold_rate;
     t.spec_prices = task.spec.per_repetition_prices;
     t.spec_rates = task.spec.per_repetition_rates;
-    HTUNE_ASSIGN_OR_RETURN(
-        t.spec_curve,
-        CurveToIndex(task.spec.true_curve, config_.true_curve, curve_table));
+    StatusOr<int32_t> spec_curve =
+        CurveToIndex(task.spec.true_curve, config_.true_curve, curve_table);
+    if (!spec_curve.ok()) {
+      capture_status = spec_curve.status();
+      return;
+    }
+    t.spec_curve = *spec_curve;
     t.processing_rate = task.spec.processing_rate;
     t.acceptance_timeout = task.spec.acceptance_timeout;
     t.true_answer = task.spec.true_answer;
     t.num_options = task.spec.num_options;
     t.rep_prices = task.rep_prices;
     t.rep_rates = task.rep_rates;
-    HTUNE_ASSIGN_OR_RETURN(
-        t.effective_curve,
-        CurveToIndex(task.effective_curve, config_.true_curve, curve_table));
+    StatusOr<int32_t> effective_curve =
+        CurveToIndex(task.effective_curve, config_.true_curve, curve_table);
+    if (!effective_curve.ok()) {
+      capture_status = effective_curve.status();
+      return;
+    }
+    t.effective_curve = *effective_curve;
     t.outcome = task.outcome;
     t.next_repetition = task.next_repetition;
     t.awaiting_acceptance = task.awaiting_acceptance;
@@ -587,12 +636,13 @@ StatusOr<MarketState> MarketSimulator::CaptureState(
     t.reprice_price = task.reprice_price;
     t.reprice_rate = task.reprice_rate;
     state.open_tasks.push_back(std::move(t));
+  });
+  HTUNE_RETURN_IF_ERROR(capture_status);
+  state.completed = tasks_.completed();
+  state.completion_order.reserve(state.completed.size());
+  for (const TaskOutcome& outcome : state.completed) {
+    state.completion_order.push_back(outcome.id);
   }
-  state.completed.reserve(completed_.size());
-  for (const auto& [id, outcome] : completed_) {
-    state.completed.push_back(outcome);
-  }
-  state.completion_order = completion_order_;
   state.trace = trace_;
   return state;
 }
@@ -601,13 +651,25 @@ Status MarketSimulator::RestoreState(
     const MarketState& state,
     const std::vector<std::shared_ptr<const PriceRateCurve>>& curve_table) {
   // Structural validation first so a failed restore leaves the simulator
-  // untouched.
+  // untouched: a fresh TaskStore is built off to the side and only
+  // move-assigned over the live one once everything checks out.
   for (const MarketState::Event& event : state.events) {
-    if (event.kind > static_cast<uint8_t>(PendingEvent::Kind::kExpiry)) {
+    if (event.kind > static_cast<uint8_t>(MarketEvent::Kind::kExpiry)) {
       return InvalidArgumentError("RestoreState: unknown event kind");
     }
   }
-  std::map<TaskId, OpenTask> open_tasks;
+  // In every reachable state the id space [1, next_task) is exactly the
+  // open and completed sets combined; checking it up front also bounds the
+  // id-index allocation against hostile snapshot blobs.
+  if (state.next_task < 1 ||
+      state.next_task - 1 !=
+          state.open_tasks.size() + state.completed.size()) {
+    return InvalidArgumentError(
+        "RestoreState: task id space does not match the open and completed "
+        "sets");
+  }
+  TaskStore store;
+  store.PrepareForRestore(state.next_task);
   for (const MarketState::Task& t : state.open_tasks) {
     const size_t reps = static_cast<size_t>(t.repetitions);
     if (t.repetitions < 1 || t.rep_prices.size() != reps ||
@@ -616,62 +678,82 @@ Status MarketSimulator::RestoreState(
       return InvalidArgumentError(
           "RestoreState: task repetition shape is inconsistent");
     }
-    OpenTask task;
-    task.spec.price_per_repetition = t.price_per_repetition;
-    task.spec.repetitions = t.repetitions;
-    task.spec.on_hold_rate = t.on_hold_rate;
-    task.spec.per_repetition_prices = t.spec_prices;
-    task.spec.per_repetition_rates = t.spec_rates;
-    HTUNE_ASSIGN_OR_RETURN(
-        task.spec.true_curve,
-        CurveFromIndex(t.spec_curve, config_.true_curve, curve_table));
-    task.spec.processing_rate = t.processing_rate;
-    task.spec.acceptance_timeout = t.acceptance_timeout;
-    task.spec.true_answer = t.true_answer;
-    task.spec.num_options = t.num_options;
-    task.rep_prices = t.rep_prices;
-    task.rep_rates = t.rep_rates;
-    HTUNE_ASSIGN_OR_RETURN(
-        task.effective_curve,
-        CurveFromIndex(t.effective_curve, config_.true_curve, curve_table));
-    task.outcome = t.outcome;
-    task.next_repetition = t.next_repetition;
-    task.awaiting_acceptance = t.awaiting_acceptance;
-    task.current_posted_time = t.current_posted_time;
-    task.exposure_generation = t.exposure_generation;
-    task.reprice_price = t.reprice_price;
-    task.reprice_rate = t.reprice_rate;
-    if (!open_tasks.emplace(t.id, std::move(task)).second) {
+    if (t.awaiting_acceptance && t.outcome.repetitions.size() >= reps) {
+      // An awaiting task always has an exposed slot left; a state claiming
+      // otherwise would index rep_rates out of bounds on the next arrival.
+      return InvalidArgumentError(
+          "RestoreState: awaiting task has no repetition left to expose");
+    }
+    OpenTask* task = store.InsertForRestore(t.id);
+    if (task == nullptr) {
       return InvalidArgumentError("RestoreState: duplicate open task id");
     }
+    task->spec.price_per_repetition = t.price_per_repetition;
+    task->spec.repetitions = t.repetitions;
+    task->spec.on_hold_rate = t.on_hold_rate;
+    task->spec.per_repetition_prices = t.spec_prices;
+    task->spec.per_repetition_rates = t.spec_rates;
+    HTUNE_ASSIGN_OR_RETURN(
+        task->spec.true_curve,
+        CurveFromIndex(t.spec_curve, config_.true_curve, curve_table));
+    task->spec.processing_rate = t.processing_rate;
+    task->spec.acceptance_timeout = t.acceptance_timeout;
+    task->spec.true_answer = t.true_answer;
+    task->spec.num_options = t.num_options;
+    task->rep_prices = t.rep_prices;
+    task->rep_rates = t.rep_rates;
+    HTUNE_ASSIGN_OR_RETURN(
+        task->effective_curve,
+        CurveFromIndex(t.effective_curve, config_.true_curve, curve_table));
+    task->outcome = t.outcome;
+    task->next_repetition = t.next_repetition;
+    task->awaiting_acceptance = t.awaiting_acceptance;
+    task->current_posted_time = t.current_posted_time;
+    task->exposure_generation = t.exposure_generation;
+    task->reprice_price = t.reprice_price;
+    task->reprice_rate = t.reprice_rate;
   }
-  std::map<TaskId, TaskOutcome> completed;
-  for (const TaskOutcome& outcome : state.completed) {
-    if (!completed.emplace(outcome.id, outcome).second) {
-      return InvalidArgumentError("RestoreState: duplicate completed id");
-    }
-  }
-  if (state.completion_order.size() != completed.size()) {
+  if (state.completion_order.size() != state.completed.size()) {
     return InvalidArgumentError(
         "RestoreState: completion order does not match completed set");
   }
+  // Index the completed outcomes by id, then append them in completion
+  // order (snapshots may hold them in any permutation: v2 writes completion
+  // order, v1 wrote id order).
+  std::vector<int64_t> outcome_at(static_cast<size_t>(state.next_task - 1),
+                                  -1);
+  for (size_t i = 0; i < state.completed.size(); ++i) {
+    const TaskId id = state.completed[i].id;
+    if (id < 1 || id >= state.next_task) {
+      return InvalidArgumentError(
+          "RestoreState: completed task id outside the id space");
+    }
+    if (outcome_at[static_cast<size_t>(id - 1)] != -1) {
+      return InvalidArgumentError("RestoreState: duplicate completed id");
+    }
+    outcome_at[static_cast<size_t>(id - 1)] = static_cast<int64_t>(i);
+  }
   for (const TaskId id : state.completion_order) {
-    if (completed.count(id) == 0) {
+    const int64_t at =
+        id >= 1 && id < state.next_task
+            ? outcome_at[static_cast<size_t>(id - 1)]
+            : -1;
+    if (at < 0) {
       return InvalidArgumentError(
           "RestoreState: completion order names an unknown task");
     }
+    outcome_at[static_cast<size_t>(id - 1)] = -1;  // consume (rejects dups)
+    if (!store.AddCompletedForRestore(
+            state.completed[static_cast<size_t>(at)])) {
+      return InvalidArgumentError("RestoreState: duplicate completed id");
+    }
   }
-  std::vector<PendingEvent> events;
+  std::vector<MarketEvent> events;
   events.reserve(state.events.size());
   for (const MarketState::Event& event : state.events) {
     events.push_back({event.time, event.sequence, event.task,
-                      static_cast<PendingEvent::Kind>(event.kind),
+                      static_cast<MarketEvent::Kind>(event.kind),
                       event.generation});
-  }
-  if (!std::is_heap(events.begin(), events.end(),
-                    std::greater<PendingEvent>())) {
-    return InvalidArgumentError(
-        "RestoreState: pending events are not in heap order");
   }
 
   now_ = state.now;
@@ -681,10 +763,16 @@ Status MarketSimulator::RestoreState(
   event_sequence_ = state.event_sequence;
   total_spent_ = state.total_spent;
   rng_.RestoreState(state.rng);
-  events_ = std::move(events);
-  open_tasks_ = std::move(open_tasks);
-  completed_ = std::move(completed);
-  completion_order_ = state.completion_order;
+  queue_->Assign(std::move(events));
+  tasks_ = std::move(store);
+  // Rebuild the on-hold index (not serialized: it is derivable state).
+  tasks_.ForEachOpenInIdOrder([&](TaskId id, const OpenTask& task) {
+    if (task.awaiting_acceptance) {
+      tasks_.AddOnHold(id,
+                       task.rep_rates[task.outcome.repetitions.size()] /
+                           config_.worker_arrival_rate);
+    }
+  });
   trace_ = state.trace;
   return OkStatus();
 }

@@ -2,18 +2,33 @@
 #define HTUNE_MARKET_SIMULATOR_H_
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <vector>
 
 #include "common/statusor.h"
+#include "market/event_queue.h"
 #include "market/events.h"
 #include "market/fault_schedule.h"
 #include "market/rate_schedule.h"
+#include "market/task.h"
+#include "market/task_store.h"
 #include "model/price_rate_curve.h"
 #include "rng/random.h"
 
 namespace htune {
+
+/// Bit for `kind` in MarketConfig::trace_mask.
+constexpr uint32_t TraceMaskBit(TraceEventKind kind) {
+  return uint32_t{1} << static_cast<int>(kind);
+}
+
+/// Every TraceEventKind bit set: the full trace (the default).
+inline constexpr uint32_t kTraceMaskAll = ~uint32_t{0};
+
+/// Feature probe for tools built against multiple engine revisions (the
+/// throughput bench compiles against pre-mask checkouts to capture
+/// baselines).
+#define HTUNE_MARKET_HAS_TRACE_MASK 1
 
 /// Global marketplace parameters (the AMT stand-in).
 struct MarketConfig {
@@ -61,47 +76,21 @@ struct MarketConfig {
   /// PRNG seed; two simulators with equal configs and posting sequences
   /// produce identical traces.
   uint64_t seed = 1;
-  /// If true, every event is appended to the trace (Fig 3 uses this); large
-  /// jobs may prefer to disable tracing.
+  /// If true, every event passing `trace_mask` is appended to the trace
+  /// (Fig 3 uses this); large jobs may prefer to disable tracing.
   bool record_trace = true;
-};
-
-/// One task to post: `repetitions` answers gathered sequentially (repetition
-/// j+1 is exposed to workers only after repetition j's answer returns, per
-/// §4.3), each paying `price_per_repetition`.
-struct TaskSpec {
-  /// Payment units promised per repetition; must be >= 1.
-  int price_per_repetition = 1;
-  /// Number of sequential answer repetitions; must be >= 1.
-  int repetitions = 1;
-  /// On-hold clock rate lambda_o for this task at this price. The caller
-  /// maps price to rate through a PriceRateCurve; the simulator takes the
-  /// rate so it stays decoupled from curve calibration.
-  double on_hold_rate = 1.0;
-  /// Optional per-repetition overrides. When non-empty, both must have
-  /// exactly `repetitions` entries and replace the scalar price/rate for
-  /// the corresponding repetition (used when an allocator pays repetitions
-  /// of one task differently, e.g. EA's remainder units).
-  std::vector<int> per_repetition_prices;
-  std::vector<double> per_repetition_rates;
-  /// Optional market-behaviour override for this task's type: when set (or
-  /// when the market has a global true_curve), every rate — including
-  /// Reprice — is derived from it and caller-supplied rates are ignored.
-  /// Lets simulations give different task types different real
-  /// price-responsiveness.
-  std::shared_ptr<const PriceRateCurve> true_curve;
-  /// Processing clock rate lambda_p (difficulty; price independent).
-  double processing_rate = 1.0;
-  /// When > 0, the exposed repetition expires if no worker accepts it
-  /// within this window; the simulator reposts it immediately (kExpired
-  /// then kReposted) and the on-hold clock restarts. Models the HIT
-  /// lifetime requesters set on AMT. 0 = never expires.
-  double acceptance_timeout = 0.0;
-  /// Ground-truth option index for answer bookkeeping.
-  int true_answer = 0;
-  /// Number of answer options (>= 2 when errors are possible): a worker who
-  /// errs returns a uniformly random wrong option.
-  int num_options = 2;
+  /// Which TraceEventKinds to record (1 << kind per bit). The default
+  /// records everything, preserving the historical full trace bitwise.
+  /// Million-event runs typically drop the per-worker arrival firehose
+  /// with `kTraceMaskAll & ~TraceMaskBit(TraceEventKind::kWorkerArrival)`
+  /// while keeping every task-lifecycle record. Filtering changes only
+  /// which records are appended — never the simulation's RNG stream.
+  uint32_t trace_mask = kTraceMaskAll;
+  /// Pending-event scheduler. The calendar queue is the amortized-O(1)
+  /// default; the binary heap is the pre-rewrite reference kept for
+  /// equivalence testing. Both pop in the identical (time, sequence)
+  /// total order, so this choice never affects results — only speed.
+  EventQueueImpl event_queue = EventQueueImpl::kCalendar;
 };
 
 /// Complete dynamic state of a MarketSimulator as plain serializable data,
@@ -119,18 +108,21 @@ struct MarketState {
   static constexpr int32_t kCurveMarket = 1;   ///< the config's true_curve
   static constexpr int32_t kCurveTableBase = 2;  ///< table[i] at 2 + i
 
-  /// Mirror of MarketSimulator::PendingEvent, in raw binary-heap order: the
-  /// captured vector is the heap's backing store verbatim, so restoring it
-  /// verbatim reproduces the exact pop order (ties included).
+  /// Mirror of MarketEvent. CaptureState emits events in the canonical
+  /// (time, sequence) order — the snapshot-v2 wire order. RestoreState
+  /// accepts any permutation: the event queue's pop order depends only on
+  /// the set of events, not on their submission order (historical v1
+  /// snapshots stored the binary heap's backing array verbatim, which is
+  /// just such a permutation).
   struct Event {
     double time = 0.0;
     uint64_t sequence = 0;
     TaskId task = 0;
-    uint8_t kind = 0;  // PendingEvent::Kind
+    uint8_t kind = 0;  // MarketEvent::Kind
     uint64_t generation = 0;
   };
 
-  /// Mirror of MarketSimulator::OpenTask plus its TaskSpec.
+  /// Mirror of OpenTask plus its TaskSpec.
   struct Task {
     TaskId id = 0;
     // TaskSpec fields (scalar price/rate retained for faithfulness even
@@ -167,7 +159,10 @@ struct MarketState {
   Random::State rng;
   std::vector<Event> events;
   std::vector<Task> open_tasks;
-  /// Completed outcomes keyed by TaskOutcome::id.
+  /// Completed outcomes keyed by TaskOutcome::id. CaptureState emits them
+  /// in completion order (matching `completion_order`); v1 snapshots hold
+  /// them in id order. RestoreState accepts any permutation consistent
+  /// with `completion_order`.
   std::vector<TaskOutcome> completed;
   std::vector<TaskId> completion_order;
   std::vector<TraceEvent> trace;
@@ -181,7 +176,7 @@ struct MarketState {
 /// the capture/restore bitwise-identity contract about simulation state
 /// only.
 struct MarketEventCounts {
-  uint64_t events_dispatched = 0;  ///< total PendingEvents applied
+  uint64_t events_dispatched = 0;  ///< total MarketEvents applied
   uint64_t completions = 0;        ///< kCompletion events applied
   uint64_t abandons = 0;           ///< kAbandon events applied
   uint64_t expiries = 0;           ///< live kExpiry events applied
@@ -199,6 +194,12 @@ struct MarketEventCounts {
 /// is Exp(lambda_o) exactly as the model assumes — but realized worker by
 /// worker, which lets experiments observe arrival epochs (Fig 3) and
 /// non-asymptotic effects.
+///
+/// Engine layout (see DESIGN.md §11): tasks live in a dense slot store with
+/// an O(1) id index and a sorted on-hold index, pending events in a
+/// calendar queue, and the per-arrival acceptance scan batches its uniform
+/// draws — all bitwise-identical in observable behaviour to the original
+/// map-and-heap engine (the golden-trace suite pins that equivalence).
 class MarketSimulator {
  public:
   explicit MarketSimulator(const MarketConfig& config);
@@ -232,15 +233,24 @@ class MarketSimulator {
   /// Current simulated time.
   double now() const { return now_; }
 
-  /// Outcome of task `id`; NotFound if unknown, FailedPrecondition if still
-  /// incomplete.
+  /// Outcome of task `id`, as a copy; NotFound if unknown,
+  /// FailedPrecondition if still incomplete. Prefer GetOutcomeView on
+  /// polling paths — a TaskOutcome owns a vector per repetition.
   StatusOr<TaskOutcome> GetOutcome(TaskId id) const;
+
+  /// Copy-free variant of GetOutcome: a pointer into the completed store,
+  /// valid until the simulator is mutated (run/post/reprice/restore).
+  StatusOr<const TaskOutcome*> GetOutcomeView(TaskId id) const;
 
   /// Snapshot of task `id`'s progress, complete or not: the outcome so far,
   /// with completed_time == 0 while the task is still open (abandoned
   /// attempts and expired posts are reflected as they happen). NotFound if
   /// unknown.
   StatusOr<TaskOutcome> GetProgress(TaskId id) const;
+
+  /// Copy-free variant of GetProgress: a pointer into the live task (or
+  /// completed store), valid until the simulator is mutated.
+  StatusOr<const TaskOutcome*> GetProgressView(TaskId id) const;
 
   /// Time the currently exposed repetition of `id` was (re)posted, i.e. how
   /// long it has been waiting is now() - OnHoldSince(id). FailedPrecondition
@@ -252,16 +262,19 @@ class MarketSimulator {
   /// promises. FailedPrecondition for completed tasks, NotFound otherwise.
   StatusOr<int> CurrentPrice(TaskId id) const;
 
-  /// Outcomes of all completed tasks, in completion order.
-  std::vector<TaskOutcome> CompletedOutcomes() const;
+  /// Outcomes of all completed tasks, in completion order. The reference
+  /// is into the simulator's own store (no copy); it is invalidated by
+  /// RestoreState and grows as tasks complete.
+  const std::vector<TaskOutcome>& CompletedOutcomes() const;
 
   /// Number of workers who have arrived so far.
   uint64_t workers_arrived() const { return next_worker_; }
 
   /// Number of posted tasks not yet completed.
-  size_t OpenTaskCount() const { return open_tasks_.size(); }
+  size_t OpenTaskCount() const { return tasks_.open_count(); }
 
-  /// The recorded event trace (empty when record_trace is false).
+  /// The recorded event trace (empty when record_trace is false; filtered
+  /// by MarketConfig::trace_mask).
   const std::vector<TraceEvent>& trace() const { return trace_; }
 
   /// Total payment units spent on completed repetitions so far.
@@ -291,57 +304,7 @@ class MarketSimulator {
       const std::vector<std::shared_ptr<const PriceRateCurve>>& curve_table);
 
  private:
-  /// A scheduled simulator event: the in-flight repetition finishing
-  /// (kCompletion), the in-flight repetition being returned unanswered
-  /// (kAbandon), or the exposed repetition's acceptance window lapsing
-  /// (kExpiry). Expiry events carry the exposure generation they were armed
-  /// for; a stale generation (the repetition got accepted or reposted in
-  /// the meantime) makes the event a no-op.
-  struct PendingEvent {
-    enum class Kind { kCompletion, kAbandon, kExpiry };
-    double time;
-    uint64_t sequence;
-    TaskId task;
-    Kind kind;
-    uint64_t generation = 0;
-    bool operator>(const PendingEvent& other) const {
-      if (time != other.time) return time > other.time;
-      return sequence > other.sequence;
-    }
-  };
-
-  struct OpenTask {
-    TaskSpec spec;
-    /// Normalized per-repetition payments/rates (scalar spec expanded).
-    std::vector<int> rep_prices;
-    std::vector<double> rep_rates;
-    /// Effective market-behaviour curve (task override or market global);
-    /// null when the caller's explicit rates govern.
-    std::shared_ptr<const PriceRateCurve> effective_curve;
-    TaskOutcome outcome;
-    /// Index (0-based) of the repetition currently exposed to workers, ==
-    /// outcome.repetitions.size() while a repetition is on hold or being
-    /// processed.
-    int next_repetition = 0;
-    /// True while the current repetition awaits a worker (on-hold phase).
-    bool awaiting_acceptance = true;
-    /// Posted time of the currently exposed repetition.
-    double current_posted_time = 0.0;
-    /// Bumped on every (re)exposure; invalidates stale expiry events.
-    uint64_t exposure_generation = 0;
-    /// Terms set by the latest Reprice (or -1 when never repriced): an
-    /// abandoned repetition is re-exposed at these, not at the terms the
-    /// abandoning worker accepted under.
-    int reprice_price = -1;
-    double reprice_rate = 0.0;
-  };
-
-  /// Binary-heap push/pop over `events_` (kept as a raw vector so
-  /// CaptureState can serialize the exact heap layout; std::priority_queue
-  /// hides its container). Identical ordering semantics: a min-heap on
-  /// (time, sequence) via operator>.
-  void PushEvent(const PendingEvent& event);
-  PendingEvent PopEvent();
+  void PushEvent(const MarketEvent& event) { queue_->Push(event); }
 
   void Record(const TraceEvent& event);
   /// Samples the next worker arrival epoch after `after` (homogeneous, or
@@ -349,20 +312,23 @@ class MarketSimulator {
   /// configured).
   double SampleArrivalAfter(double after);
   /// Advances to the next worker arrival and lets that worker consider every
-  /// open repetition.
+  /// repetition awaiting acceptance (via the on-hold index, in TaskId
+  /// order — the same draw order as the historical full-map scan).
   void StepWorkerArrival();
   /// Decides an arriving worker's answer for `task` (error model applied).
   void FillAnswer(const OpenTask& task, double worker_error,
                   RepetitionOutcome& rep);
   /// Applies the event at the head of the event queue.
-  void ApplyEvent(const PendingEvent& event);
+  void ApplyEvent(const MarketEvent& event);
   /// Exposes the next repetition of `task` (or finalizes it) at time `t`.
   void AdvanceTask(TaskId id, OpenTask& task, double t);
   /// Puts the current repetition of `task` (back) on hold at time `t`,
   /// arming the acceptance-timeout clock. `reposted` records a kReposted
-  /// trace event (abandonment / expiry recovery).
+  /// trace event (abandonment / expiry recovery). `already_on_hold` is set
+  /// on the expiry path, where the task never left the on-hold index (and
+  /// its cached acceptance probability is already current).
   void ExposeCurrentRepetition(TaskId id, OpenTask& task, double t,
-                               bool reposted);
+                               bool reposted, bool already_on_hold);
 
   MarketConfig config_;
   Random rng_;
@@ -372,13 +338,15 @@ class MarketSimulator {
   TaskId next_task_ = 1;
   uint64_t event_sequence_ = 0;
   long total_spent_ = 0;
-  std::map<TaskId, OpenTask> open_tasks_;
-  std::map<TaskId, TaskOutcome> completed_;
-  std::vector<TaskId> completion_order_;
-  /// Min-heap on (time, sequence); see PushEvent/PopEvent.
-  std::vector<PendingEvent> events_;
+  TaskStore tasks_;
+  std::unique_ptr<EventQueue> queue_;
   std::vector<TraceEvent> trace_;
   MarketEventCounts event_counts_;
+  /// Reusable scratch: PostTask validates per-repetition rates into this
+  /// before committing a slot; the arrival scan collects accepted on-hold
+  /// positions. Both keep their capacity across calls.
+  std::vector<double> rate_buf_;
+  std::vector<uint32_t> accepted_positions_;
 };
 
 }  // namespace htune

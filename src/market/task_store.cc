@@ -1,0 +1,148 @@
+#include "market/task_store.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+
+namespace htune {
+
+OpenTask& TaskStore::Insert(TaskId id) {
+  // PostTask assigns ids sequentially; the flat index relies on it.
+  HTUNE_CHECK_EQ(id, static_cast<TaskId>(id_index_.size()) + 1);
+  uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    slots_[slot].ResetForReuse();
+  } else {
+    slot = static_cast<uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  id_index_.push_back(static_cast<int64_t>(slot));
+  ++open_count_;
+  return slots_[slot];
+}
+
+OpenTask* TaskStore::FindOpen(TaskId id) {
+  const int64_t entry = IndexEntry(id);
+  return entry >= 0 ? &slots_[static_cast<size_t>(entry)] : nullptr;
+}
+
+const OpenTask* TaskStore::FindOpen(TaskId id) const {
+  const int64_t entry = IndexEntry(id);
+  return entry >= 0 ? &slots_[static_cast<size_t>(entry)] : nullptr;
+}
+
+const TaskOutcome* TaskStore::FindCompleted(TaskId id) const {
+  const int64_t entry = IndexEntry(id);
+  return entry <= -2 ? &completed_[static_cast<size_t>(-entry - 2)]
+                     : nullptr;
+}
+
+bool TaskStore::IsKnown(TaskId id) const { return IndexEntry(id) != -1; }
+
+void TaskStore::Complete(TaskId id) {
+  const int64_t entry = IndexEntry(id);
+  HTUNE_CHECK_GE(entry, 0);
+  const uint32_t slot = static_cast<uint32_t>(entry);
+  id_index_[id - 1] = -static_cast<int64_t>(completed_.size()) - 2;
+  completed_.push_back(std::move(slots_[slot].outcome));
+  free_slots_.push_back(slot);
+  --open_count_;
+}
+
+TaskId TaskStore::LowestOpenId() const {
+  for (size_t i = 0; i < id_index_.size(); ++i) {
+    if (id_index_[i] >= 0) return static_cast<TaskId>(i + 1);
+  }
+  return 0;
+}
+
+size_t TaskStore::HoldPosition(TaskId id) const {
+  return static_cast<size_t>(
+      std::lower_bound(hold_ids_.begin(), hold_ids_.end(), id) -
+      hold_ids_.begin());
+}
+
+void TaskStore::AddOnHold(TaskId id, double accept_prob) {
+  const int64_t entry = IndexEntry(id);
+  HTUNE_CHECK_GE(entry, 0);
+  const size_t pos = HoldPosition(id);
+  HTUNE_CHECK(pos == hold_ids_.size() || hold_ids_[pos] != id);
+  hold_ids_.insert(hold_ids_.begin() + pos, id);
+  hold_slots_.insert(hold_slots_.begin() + pos,
+                     static_cast<uint32_t>(entry));
+  hold_probs_.insert(hold_probs_.begin() + pos, accept_prob);
+  if (accept_prob >= 1.0) ++saturated_count_;
+}
+
+void TaskStore::RemoveOnHold(TaskId id) {
+  const size_t pos = HoldPosition(id);
+  if (pos == hold_ids_.size() || hold_ids_[pos] != id) return;
+  if (hold_probs_[pos] >= 1.0) --saturated_count_;
+  hold_ids_.erase(hold_ids_.begin() + pos);
+  hold_slots_.erase(hold_slots_.begin() + pos);
+  hold_probs_.erase(hold_probs_.begin() + pos);
+}
+
+void TaskStore::UpdateOnHoldProb(TaskId id, double accept_prob) {
+  const size_t pos = HoldPosition(id);
+  if (pos == hold_ids_.size() || hold_ids_[pos] != id) return;
+  if (hold_probs_[pos] >= 1.0) --saturated_count_;
+  hold_probs_[pos] = accept_prob;
+  if (accept_prob >= 1.0) ++saturated_count_;
+}
+
+void TaskStore::RemoveOnHoldPositions(
+    const std::vector<uint32_t>& positions) {
+  if (positions.empty()) return;
+  const size_t n = hold_ids_.size();
+  size_t write = positions.front();
+  size_t next = 0;
+  for (size_t read = write; read < n; ++read) {
+    if (next < positions.size() && positions[next] == read) {
+      ++next;
+      if (hold_probs_[read] >= 1.0) --saturated_count_;
+      continue;
+    }
+    hold_ids_[write] = hold_ids_[read];
+    hold_slots_[write] = hold_slots_[read];
+    hold_probs_[write] = hold_probs_[read];
+    ++write;
+  }
+  HTUNE_CHECK_EQ(next, positions.size());
+  hold_ids_.resize(write);
+  hold_slots_.resize(write);
+  hold_probs_.resize(write);
+}
+
+void TaskStore::PrepareForRestore(TaskId next_task) {
+  HTUNE_CHECK_GE(next_task, 1u);
+  id_index_.assign(static_cast<size_t>(next_task - 1), -1);
+}
+
+OpenTask* TaskStore::InsertForRestore(TaskId id) {
+  const uint64_t pos = id - 1;
+  if (id < 1 || pos >= id_index_.size() || id_index_[pos] != -1) {
+    return nullptr;
+  }
+  const uint32_t slot = static_cast<uint32_t>(slots_.size());
+  slots_.emplace_back();
+  id_index_[pos] = static_cast<int64_t>(slot);
+  ++open_count_;
+  return &slots_[slot];
+}
+
+bool TaskStore::AddCompletedForRestore(TaskOutcome outcome) {
+  const TaskId id = outcome.id;
+  const uint64_t pos = id - 1;
+  if (id < 1 || pos >= id_index_.size() || id_index_[pos] != -1) {
+    return false;
+  }
+  id_index_[pos] = -static_cast<int64_t>(completed_.size()) - 2;
+  completed_.push_back(std::move(outcome));
+  return true;
+}
+
+}  // namespace htune

@@ -4,7 +4,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
-#include <map>
+#include <unordered_map>
 
 #include "common/strings.h"
 
@@ -77,8 +77,10 @@ StatusOr<std::vector<TraceEvent>> ParseTraceCsv(std::string_view csv) {
   // Per-task monotonicity check: a task's events must carry non-decreasing
   // timestamps (task 0 covers worker arrivals, which the simulator also
   // emits in time order). Catches hand-edited or corrupted traces that
-  // would silently skew latency statistics downstream.
-  std::map<TaskId, double> last_time_per_task;
+  // would silently skew latency statistics downstream. Hashed rather than
+  // ordered: ids come from untrusted CSV, so a flat array could be made to
+  // allocate per the largest id, and no ordered iteration is needed.
+  std::unordered_map<TaskId, double> last_time_per_task;
   for (size_t i = 1; i < lines.size(); ++i) {
     const std::string where =
         "ParseTraceCsv: line " + std::to_string(i + 1) + ": ";

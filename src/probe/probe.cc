@@ -34,9 +34,10 @@ StatusOr<ProbeReport> RunFixedPeriodProbe(MarketSimulator& market,
   const double start = market.now();
   market.RunUntil(start + period);
 
-  HTUNE_ASSIGN_OR_RETURN(const TaskOutcome progress, market.GetProgress(id));
+  HTUNE_ASSIGN_OR_RETURN(const TaskOutcome* progress,
+                         market.GetProgressView(id));
   int events = 0;
-  for (const RepetitionOutcome& rep : progress.repetitions) {
+  for (const RepetitionOutcome& rep : progress->repetitions) {
     if (rep.accepted_time <= start + period) {
       ++events;
     }
@@ -62,8 +63,9 @@ StatusOr<ProbeReport> RunRandomPeriodProbe(MarketSimulator& market,
   const double start = market.now();
   HTUNE_RETURN_IF_ERROR(market.RunToCompletion());
 
-  HTUNE_ASSIGN_OR_RETURN(const TaskOutcome outcome, market.GetOutcome(id));
-  const double period = outcome.repetitions.back().accepted_time - start;
+  HTUNE_ASSIGN_OR_RETURN(const TaskOutcome* outcome,
+                         market.GetOutcomeView(id));
+  const double period = outcome->repetitions.back().accepted_time - start;
   ProbeReport report;
   report.events = target_events;
   report.period = period;

@@ -6,11 +6,6 @@
 
 namespace htune {
 
-double Random::Uniform() {
-  // 53 random bits scaled into [0, 1).
-  return static_cast<double>(engine_.Next() >> 11) * 0x1.0p-53;
-}
-
 double Random::UniformRange(double lo, double hi) {
   HTUNE_CHECK_LE(lo, hi);
   return lo + (hi - lo) * Uniform();
@@ -26,18 +21,6 @@ uint64_t Random::UniformInt(uint64_t n) {
       return draw % n;
     }
   }
-}
-
-bool Random::Bernoulli(double p) {
-  if (p <= 0.0) return false;
-  if (p >= 1.0) return true;
-  return Uniform() < p;
-}
-
-double Random::Exponential(double lambda) {
-  HTUNE_CHECK_GT(lambda, 0.0);
-  // Inverse transform; 1 - Uniform() is in (0, 1] so the log is finite.
-  return -std::log(1.0 - Uniform()) / lambda;
 }
 
 double Random::Erlang(int k, double lambda) {

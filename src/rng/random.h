@@ -1,11 +1,13 @@
 #ifndef HTUNE_RNG_RANDOM_H_
 #define HTUNE_RNG_RANDOM_H_
 
+#include <cmath>
 #include <cstddef>
 #include <cstdint>
 #include <utility>
 #include <vector>
 
+#include "common/check.h"
 #include "rng/xoshiro256.h"
 
 namespace htune {
@@ -20,7 +22,23 @@ class Random {
   explicit Random(uint64_t seed) : engine_(seed) {}
 
   /// Uniform double in [0, 1). Uses the top 53 bits of a 64-bit draw.
-  double Uniform();
+  /// Inline (with the samplers below that wrap it) because the market
+  /// simulator's acceptance scan draws billions of these per run.
+  double Uniform() {
+    return static_cast<double>(engine_.Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Fills `out[0..n)` with exactly the values `n` successive Uniform()
+  /// calls would produce, consuming exactly `n` engine draws. Stream
+  /// identity (not just distributional equality) is the contract: the hot
+  /// market loop speculatively batches its per-task acceptance draws and
+  /// falls back to scalar replay from a saved state, which only works if
+  /// batched and scalar draws are the same bit patterns in the same order.
+  void FillUniforms(double* out, size_t n) {
+    for (size_t i = 0; i < n; ++i) {
+      out[i] = static_cast<double>(engine_.Next() >> 11) * 0x1.0p-53;
+    }
+  }
 
   /// Uniform double in [lo, hi). Requires lo <= hi.
   double UniformRange(double lo, double hi);
@@ -30,10 +48,20 @@ class Random {
   uint64_t UniformInt(uint64_t n);
 
   /// Bernoulli draw: true with probability `p` (clamped to [0, 1]).
-  bool Bernoulli(double p);
+  /// Consumes no draw when p <= 0 or p >= 1 — callers relying on stream
+  /// identity (the market's batched scan) must account for that.
+  bool Bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return Uniform() < p;
+  }
 
   /// Exponential with rate `lambda` (mean 1/lambda). Requires lambda > 0.
-  double Exponential(double lambda);
+  double Exponential(double lambda) {
+    HTUNE_CHECK_GT(lambda, 0.0);
+    // Inverse transform; 1 - Uniform() is in (0, 1] so the log is finite.
+    return -std::log(1.0 - Uniform()) / lambda;
+  }
 
   /// Erlang(k, lambda): sum of k iid Exponential(lambda). Requires k >= 1.
   double Erlang(int k, double lambda);

@@ -3,14 +3,6 @@
 #include "rng/splitmix64.h"
 
 namespace htune {
-namespace {
-
-inline uint64_t Rotl(uint64_t x, int k) {
-  return (x << k) | (x >> (64 - k));
-}
-
-}  // namespace
-
 Xoshiro256::Xoshiro256(uint64_t seed) {
   SplitMix64 seeder(seed);
   for (auto& word : state_) {
@@ -23,17 +15,6 @@ Xoshiro256::Xoshiro256(uint64_t seed) {
   }
 }
 
-uint64_t Xoshiro256::Next() {
-  const uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
-  const uint64_t t = state_[1] << 17;
-  state_[2] ^= state_[0];
-  state_[3] ^= state_[1];
-  state_[1] ^= state_[2];
-  state_[0] ^= state_[3];
-  state_[2] ^= t;
-  state_[3] = Rotl(state_[3], 45);
-  return result;
-}
 
 void Xoshiro256::Jump() {
   static constexpr uint64_t kJump[] = {

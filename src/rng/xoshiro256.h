@@ -17,8 +17,20 @@ class Xoshiro256 {
   /// reference implementation's seeding recommendation.
   explicit Xoshiro256(uint64_t seed);
 
-  /// Returns the next 64-bit value.
-  uint64_t Next();
+  /// Returns the next 64-bit value. Defined inline: this is the innermost
+  /// call of the market simulator's acceptance scan, where call overhead
+  /// would dominate the ~1ns of state arithmetic.
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
 
   /// UniformRandomBitGenerator interface.
   uint64_t operator()() { return Next(); }
@@ -41,6 +53,10 @@ class Xoshiro256 {
   void set_state(const std::array<uint64_t, 4>& state) { state_ = state; }
 
  private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
   std::array<uint64_t, 4> state_;
 };
 

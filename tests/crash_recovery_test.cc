@@ -18,7 +18,9 @@
 #include "control/adaptive_retuner.h"
 #include "control/fault_tolerant_executor.h"
 #include "durability/journal.h"
+#include "durability/recovery.h"
 #include "durability/serialize.h"
+#include "durability/snapshot.h"
 #include "market/fault_schedule.h"
 #include "market/simulator.h"
 #include "model/price_rate_curve.h"
@@ -282,6 +284,58 @@ TEST_F(FtCrashMatrixTest, BitFlippedTailIsDroppedAndRegenerated) {
   corrupt[static_cast<size_t>(begin) + 2] ^= 0x10;
   InMemoryJournalStorage storage(corrupt);
   ExpectRecoveryMatchesBaseline(storage);
+}
+
+TEST_F(FtCrashMatrixTest, V1SnapshotPrefixJournalRecoversBitwise) {
+  // Forward compatibility with pre-rewrite journals: rebuild the journal up
+  // to its newest snapshot, but rewrite that snapshot's market blob in the
+  // legacy v1 encoding (no magic/version header), and truncate everything
+  // after it — the shape of a journal written by the old engine right
+  // before an upgrade-then-crash. Recovery must sniff the v1 blob, restore
+  // bitwise, and regenerate the remainder of the run identically.
+  size_t last_snapshot = records_.size();
+  for (size_t i = records_.size(); i > 0; --i) {
+    if (records_[i - 1].type == JournalRecordType::kSnapshot) {
+      last_snapshot = i - 1;
+      break;
+    }
+  }
+  ASSERT_LT(last_snapshot, records_.size());
+
+  const size_t first_frame =
+      records_[0].end_offset -
+      EncodeJournalRecord(records_[0].type, records_[0].payload).size();
+  std::string rebuilt = journal_.substr(0, first_frame);  // header
+  for (size_t i = 0; i <= last_snapshot; ++i) {
+    std::string payload = records_[i].payload;
+    if (i == last_snapshot) {
+      std::string market_blob, executor_blob;
+      ASSERT_TRUE(DurableContext::DecodeSnapshotPayload(payload, &market_blob,
+                                                        &executor_blob)
+                      .ok());
+      const auto state = DecodeMarketState(market_blob);
+      ASSERT_TRUE(state.ok()) << state.status();
+      Encoder encoder;
+      encoder.PutString(EncodeMarketStateLegacyV1(*state));
+      encoder.PutString(executor_blob);
+      payload = std::move(encoder).Release();
+    }
+    rebuilt += EncodeJournalRecord(records_[i].type, payload);
+  }
+
+  InMemoryJournalStorage storage(rebuilt);
+  const auto recovered = RunFt(scenario_, storage);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  ExpectReportsIdentical(recovered->report, baseline_.report);
+  ExpectTracesIdentical(recovered->trace, baseline_.trace);
+  ExpectPaymentsExactlyOnce(storage.bytes(), recovered->report.spent);
+  // The v1 snapshot record itself stays as written (the journal is
+  // append-only), but every record regenerated after it must match the
+  // baseline journal's suffix byte for byte.
+  ASSERT_GT(storage.bytes().size(), rebuilt.size());
+  EXPECT_EQ(storage.bytes().substr(rebuilt.size()),
+            journal_.substr(static_cast<size_t>(
+                records_[last_snapshot].end_offset)));
 }
 
 TEST_F(FtCrashMatrixTest, RerunningAFinishedJournalVerifiesAndMatches) {

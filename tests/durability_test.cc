@@ -2,6 +2,7 @@
 // framing and torn-tail recovery, the exactly-once budget ledger, the
 // market snapshot codec, and MarketSimulator capture/restore determinism.
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -331,6 +332,69 @@ TEST(SnapshotTest, MarketStateCodecRoundTripsBitwise) {
   for (size_t len = 0; len < bytes.size(); len += 7) {
     EXPECT_FALSE(DecodeMarketState(std::string_view(bytes).substr(0, len))
                      .ok());
+  }
+}
+
+TEST(SnapshotTest, V2BlobCarriesMagicAndRejectsUnknownVersions) {
+  MarketSimulator market(AbandonmentConfig());
+  PostSomeTasks(market, 6);
+  market.RunUntil(0.8);
+  const auto state = market.CaptureState({});
+  ASSERT_TRUE(state.ok());
+  const std::string bytes = EncodeMarketState(*state);
+  // The v2 header is a NaN-patterned magic u64 — a value the v1 format
+  // (which opened with a finite clock double) can never begin with.
+  ASSERT_GE(bytes.size(), 12u);
+  Decoder decoder(bytes);
+  uint64_t magic = 0;
+  uint32_t version = 0;
+  ASSERT_TRUE(decoder.GetU64(&magic).ok());
+  ASSERT_TRUE(decoder.GetU32(&version).ok());
+  EXPECT_EQ(magic, 0xFFF7485453563200ULL);
+  EXPECT_EQ(version, 2u);
+  // A future version must be rejected, not misparsed.
+  Encoder forged;
+  forged.PutU64(magic);
+  forged.PutU32(3);
+  const auto decoded = DecodeMarketState(std::move(forged).Release());
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.status().message().find("unsupported snapshot version"),
+            std::string::npos);
+}
+
+TEST(SnapshotTest, LegacyV1BlobDecodesAndContinuesBitwise) {
+  // A pre-rewrite (v1) snapshot blob — the raw body with no magic/version
+  // header, events in whatever order the old binary heap held them — must
+  // decode transparently and restore to the same run as the v2 blob.
+  MarketSimulator original(AbandonmentConfig());
+  PostSomeTasks(original, 6);
+  original.RunUntil(0.8);
+  const auto state = original.CaptureState({});
+  ASSERT_TRUE(state.ok());
+
+  // Scramble the canonical event order: v1 journals stored raw heap order,
+  // so the decoder must accept any permutation.
+  MarketState scrambled = *state;
+  if (scrambled.events.size() > 1) {
+    std::reverse(scrambled.events.begin(), scrambled.events.end());
+  }
+  const std::string v1_bytes = EncodeMarketStateLegacyV1(scrambled);
+  const auto decoded = DecodeMarketState(v1_bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+
+  MarketSimulator from_v1(AbandonmentConfig());
+  ASSERT_TRUE(from_v1.RestoreState(*decoded, {}).ok());
+  ASSERT_TRUE(original.RunToCompletion().ok());
+  ASSERT_TRUE(from_v1.RunToCompletion().ok());
+  EXPECT_EQ(original.TotalSpent(), from_v1.TotalSpent());
+  EXPECT_EQ(original.now(), from_v1.now());
+  EXPECT_EQ(original.workers_arrived(), from_v1.workers_arrived());
+  ASSERT_EQ(original.trace().size(), from_v1.trace().size());
+  for (size_t i = 0; i < original.trace().size(); ++i) {
+    EXPECT_EQ(original.trace()[i].time, from_v1.trace()[i].time)
+        << "event " << i;
+    EXPECT_EQ(original.trace()[i].kind, from_v1.trace()[i].kind)
+        << "event " << i;
   }
 }
 

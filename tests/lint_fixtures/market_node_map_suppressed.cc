@@ -1,0 +1,4 @@
+// Fixture: a justified one-off map on a cold path, suppressed per line.
+#include <map>  // htune-lint: allow(market-node-map) cold diagnostics path
+// htune-lint: allow(market-node-map) runs once per CaptureState, not per event
+std::map<unsigned long, double> snapshot_index;

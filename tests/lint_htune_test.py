@@ -31,6 +31,7 @@ class RuleFixtureTest(unittest.TestCase):
         ("nondeterminism", "src/model/fixture.cc", "nondeterminism", 5),
         ("unordered_iter", "src/obs/fixture.cc", "unordered-iter", 1),
         ("market_obs", "src/market/fixture.cc", "market-obs", 1),
+        ("market_node_map", "src/market/fixture.cc", "market-node-map", 3),
         ("raw_mutex", "src/tuning/fixture.cc", "raw-mutex", 2),
         ("raw_retry", "src/control/fixture.cc", "raw-retry", 3),
     ]
@@ -67,6 +68,12 @@ class RuleScopingTest(unittest.TestCase):
         self.assertEqual(lint_htune.lint_text(text, "src/control/foo.cc"), [])
         self.assertEqual(
             len(lint_htune.lint_text(text, "src/market/foo.cc")), 1)
+
+    def test_node_map_rule_scoped_to_market(self):
+        text = "std::map<int, int> by_id;\n"
+        self.assertEqual(lint_htune.lint_text(text, "src/control/foo.cc"), [])
+        findings = lint_htune.lint_text(text, "src/market/foo.cc")
+        self.assertEqual([f.rule for f in findings], ["market-node-map"])
 
     def test_mutex_header_exempt_from_raw_mutex(self):
         text = "std::mutex mu_;\n"

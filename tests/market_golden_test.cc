@@ -1,0 +1,262 @@
+// Golden-trace seed-equivalence suite for the market engine rewrite.
+//
+// Each scenario drives a MarketSimulator through a representative config
+// (abandonment, expiry with per-repetition overrides, mid-run repricing
+// through a true curve, fault schedules over a cyclic arrival schedule with
+// heterogeneous workers, and a capture/restore split) and reduces the run
+// to a one-line digest: a CRC32C of the exact trace CSV plus the spent /
+// clock / worker / dispatch counters. The expected digests below were
+// captured from the pre-rewrite engine (std::map task store + binary-heap
+// event queue), so any engine change that perturbs the RNG draw order, the
+// event total order, or the trace encoding fails here bitwise — not
+// statistically.
+//
+// To regenerate after an INTENTIONAL contract change (there should be
+// none), run with HTUNE_GOLDEN_PRINT=1 and paste the printed lines.
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "durability/crc32c.h"
+#include "market/fault_schedule.h"
+#include "market/rate_schedule.h"
+#include "market/simulator.h"
+#include "market/trace_io.h"
+#include "model/price_rate_curve.h"
+
+namespace htune {
+namespace {
+
+std::string Digest(const MarketSimulator& market, bool with_counts) {
+  const uint32_t trace_crc = Crc32c(TraceToCsv(market.trace()));
+  const std::vector<TaskOutcome> outcomes = market.CompletedOutcomes();
+  uint32_t summary_crc = 0;
+  if (!outcomes.empty()) {
+    StatusOr<TraceSummary> summary = SummarizeOutcomes(outcomes);
+    if (summary.ok()) summary_crc = Crc32c(SummaryToString(*summary));
+  }
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "trace_crc=%08x records=%zu spent=%ld now=%.17g workers=%llu "
+                "done=%zu summary_crc=%08x",
+                trace_crc, market.trace().size(), market.TotalSpent(),
+                market.now(),
+                static_cast<unsigned long long>(market.workers_arrived()),
+                outcomes.size(), summary_crc);
+  std::string digest = buf;
+  if (with_counts) {
+    const MarketEventCounts& counts = market.EventCounts();
+    std::snprintf(buf, sizeof(buf),
+                  " disp=%llu comp=%llu aband=%llu exp=%llu stale=%llu "
+                  "arriv=%llu repr=%llu",
+                  static_cast<unsigned long long>(counts.events_dispatched),
+                  static_cast<unsigned long long>(counts.completions),
+                  static_cast<unsigned long long>(counts.abandons),
+                  static_cast<unsigned long long>(counts.expiries),
+                  static_cast<unsigned long long>(counts.stale_expiries),
+                  static_cast<unsigned long long>(counts.worker_arrivals),
+                  static_cast<unsigned long long>(counts.reprices));
+    digest += buf;
+  }
+  return digest;
+}
+
+void CheckGolden(const char* name, const std::string& got,
+                 const char* want) {
+  if (std::getenv("HTUNE_GOLDEN_PRINT") != nullptr) {
+    std::printf("GOLDEN %s: %s\n", name, got.c_str());
+  }
+  EXPECT_EQ(got, want) << name;
+}
+
+// Workers who accept, hold, and walk away: exercises the abandonment branch
+// (extra Bernoulli + Exponential per acceptance) and unpaid reposts.
+TEST(MarketGoldenTest, Abandonment) {
+  MarketConfig config;
+  config.worker_arrival_rate = 30.0;
+  config.worker_error_prob = 0.2;
+  config.abandon_prob = 0.25;
+  config.abandon_hold_rate = 4.0;
+  config.seed = 77;
+  MarketSimulator market(config);
+  for (int i = 0; i < 12; ++i) {
+    TaskSpec spec;
+    spec.price_per_repetition = 1 + i % 3;
+    spec.repetitions = 1 + i % 4;
+    spec.on_hold_rate = 0.5 + 0.25 * (i % 5);
+    spec.processing_rate = 1.5;
+    spec.num_options = 4;
+    spec.true_answer = i % 4;
+    ASSERT_TRUE(market.PostTask(spec).ok());
+  }
+  ASSERT_TRUE(market.RunToCompletion().ok());
+  CheckGolden(
+      "abandonment", Digest(market, /*with_counts=*/true),
+      "trace_crc=ecdfe8e3 records=612 spent=60 now=17.247142365790314 "
+      "workers=504 done=12 summary_crc=75852512 disp=42 comp=30 aband=12 "
+      "exp=0 stale=0 arriv=504 repr=0");
+}
+
+// Tight acceptance windows force expiries and reposts, including stale
+// expiry events whose generation was invalidated by an acceptance; half the
+// tasks use per-repetition price/rate overrides.
+TEST(MarketGoldenTest, ExpiryWithPerRepetitionOverrides) {
+  MarketConfig config;
+  config.worker_arrival_rate = 25.0;
+  config.worker_error_prob = 0.1;
+  config.seed = 123;
+  MarketSimulator market(config);
+  for (int i = 0; i < 10; ++i) {
+    TaskSpec spec;
+    spec.repetitions = 3;
+    spec.on_hold_rate = 0.8;
+    spec.processing_rate = 2.0;
+    spec.acceptance_timeout = 0.6;
+    if (i % 2 == 0) {
+      spec.per_repetition_prices = {1, 2, 3};
+      spec.per_repetition_rates = {0.5, 1.0, 1.5};
+    }
+    ASSERT_TRUE(market.PostTask(spec).ok());
+  }
+  ASSERT_TRUE(market.RunToCompletion().ok());
+  CheckGolden(
+      "expiry", Digest(market, /*with_counts=*/true),
+      "trace_crc=bad776fe records=705 spent=45 now=18.923486243350339 "
+      "workers=425 done=10 summary_crc=b7258d32 disp=165 comp=30 aband=0 "
+      "exp=105 stale=30 arriv=425 repr=0");
+}
+
+// Mid-run repricing through the market's ground-truth curve: already
+// accepted repetitions keep their terms, on-hold and future ones move.
+TEST(MarketGoldenTest, RepriceThroughTrueCurve) {
+  MarketConfig config;
+  config.worker_arrival_rate = 40.0;
+  config.seed = 99;
+  config.true_curve = std::make_shared<LinearCurve>(0.5, 0.5);
+  MarketSimulator market(config);
+  std::vector<TaskId> ids;
+  for (int i = 0; i < 8; ++i) {
+    TaskSpec spec;
+    spec.price_per_repetition = 1;
+    spec.repetitions = 3;
+    spec.processing_rate = 2.0;
+    StatusOr<TaskId> id = market.PostTask(spec);
+    ASSERT_TRUE(id.ok());
+    ids.push_back(*id);
+  }
+  market.RunUntil(1.0);
+  for (size_t i = 0; i < ids.size(); i += 2) {
+    (void)market.Reprice(ids[i], 4);
+  }
+  market.RunUntil(2.5);
+  for (size_t i = 1; i < ids.size(); i += 2) {
+    (void)market.Reprice(ids[i], 2);
+  }
+  ASSERT_TRUE(market.RunToCompletion().ok());
+  CheckGolden(
+      "reprice", Digest(market, /*with_counts=*/true),
+      "trace_crc=9ad4ed0a records=302 spent=55 now=5.706822280768856 "
+      "workers=246 done=8 summary_crc=a6574b27 disp=24 comp=24 aband=0 "
+      "exp=0 stale=0 arriv=246 repr=7");
+}
+
+// The works: cyclic arrival schedule x scripted outage/error-burst windows,
+// Beta-heterogeneous workers, abandonment, timeouts, and a per-task true
+// curve — every RNG draw site in one run.
+TEST(MarketGoldenTest, FaultScheduleHeterogeneousWorkers) {
+  MarketConfig config;
+  config.worker_arrival_rate = 35.0;
+  config.worker_error_prob = 0.15;
+  config.worker_error_concentration = 10.0;
+  config.abandon_prob = 0.1;
+  config.abandon_hold_rate = 3.0;
+  config.seed = 4242;
+  StatusOr<RateSchedule> schedule =
+      RateSchedule::Create({{0.0, 30.0}, {5.0, 40.0}}, 10.0);
+  ASSERT_TRUE(schedule.ok());
+  config.arrival_schedule = std::make_shared<RateSchedule>(*schedule);
+  StatusOr<FaultSchedule> faults = FaultSchedule::Create(
+      {{1.0, 2.0, 0.0, -1.0}, {3.0, 4.0, 1.0, 0.9}});
+  ASSERT_TRUE(faults.ok());
+  config.fault_schedule = std::make_shared<FaultSchedule>(*faults);
+  MarketSimulator market(config);
+  auto task_curve = std::make_shared<QuadraticCurve>(0.1, 0.5);
+  for (int i = 0; i < 10; ++i) {
+    TaskSpec spec;
+    spec.price_per_repetition = 1 + i % 3;
+    spec.repetitions = 2;
+    spec.on_hold_rate = 0.9;
+    spec.processing_rate = 1.8;
+    spec.acceptance_timeout = 1.2;
+    spec.num_options = 3;
+    spec.true_answer = i % 3;
+    if (i % 3 == 0) spec.true_curve = task_curve;
+    ASSERT_TRUE(market.PostTask(spec).ok());
+  }
+  ASSERT_TRUE(market.RunToCompletion().ok());
+  CheckGolden(
+      "faults", Digest(market, /*with_counts=*/true),
+      "trace_crc=f93f8b36 records=339 spent=38 now=7.4871202161608306 "
+      "workers=243 done=10 summary_crc=7eeb1d5e disp=61 comp=20 aband=2 "
+      "exp=20 stale=19 arriv=243 repr=0");
+}
+
+// Capture mid-run, restore into a fresh simulator, and finish both: the
+// restored run must match the uninterrupted one bitwise, and both must
+// match the pinned pre-rewrite digest (counters are construction-relative
+// and excluded; the trace, spend, clock, and worker counts are state).
+TEST(MarketGoldenTest, RestoreMidRunContinuesOnTheGoldenPath) {
+  MarketConfig config;
+  config.worker_arrival_rate = 30.0;
+  config.worker_error_prob = 0.2;
+  config.abandon_prob = 0.25;
+  config.abandon_hold_rate = 4.0;
+  config.seed = 77;
+  auto curve = std::make_shared<LinearCurve>(1.0, 1.0);
+  auto post_all = [&](MarketSimulator& market) {
+    std::vector<TaskId> ids;
+    for (int i = 0; i < 8; ++i) {
+      TaskSpec spec;
+      spec.price_per_repetition = 1 + i % 2;
+      spec.repetitions = 2 + i % 2;
+      spec.on_hold_rate = 0.75;
+      spec.processing_rate = 1.5;
+      spec.acceptance_timeout = 1.0;
+      if (i % 4 == 0) spec.true_curve = curve;
+      StatusOr<TaskId> id = market.PostTask(spec);
+      ASSERT_TRUE(id.ok()) << id.status().ToString();
+      ids.push_back(*id);
+    }
+    market.RunUntil(0.4);
+    (void)market.Reprice(ids[1], 3, 1.25);
+    (void)market.Reprice(ids[0], 2);  // curve-backed task
+  };
+
+  MarketSimulator full(config);
+  post_all(full);
+  full.RunUntil(0.8);
+  StatusOr<MarketState> state = full.CaptureState({curve});
+  ASSERT_TRUE(state.ok()) << state.status().ToString();
+
+  MarketSimulator restored(config);
+  ASSERT_TRUE(restored.RestoreState(*state, {curve}).ok());
+
+  ASSERT_TRUE(full.RunToCompletion().ok());
+  ASSERT_TRUE(restored.RunToCompletion().ok());
+
+  const std::string full_digest = Digest(full, /*with_counts=*/false);
+  const std::string restored_digest = Digest(restored, /*with_counts=*/false);
+  EXPECT_EQ(full_digest, restored_digest);
+  CheckGolden(
+      "restore", full_digest,
+      "trace_crc=cdf37f9b records=346 spent=36 now=8.1328581437894876 "
+      "workers=245 done=8 summary_crc=ae0a3e41");
+}
+
+}  // namespace
+}  // namespace htune

@@ -25,6 +25,13 @@ gates it encodes (every chaos schedule converged to the fault-free
 reference; fault-free resilience overhead within the gated ratio), prints
 a canonical digest, and exits nonzero on any violation — CI's chaos job
 drives this mode after the bench smoke run.
+
+--market parses a bench/market_throughput --out=PATH export, checks every
+field's shape, re-derives events_per_sec and speedup from their inputs
+(the committed BENCH_market.json must be internally consistent, not just
+well-formed), re-checks the ≥10x gate on at least one 1M+-event workload
+when a baseline was supplied, prints a canonical digest, and exits
+nonzero on any violation — CI's perf-smoke job drives this mode.
 """
 
 import argparse
@@ -205,6 +212,124 @@ def chaos_digest(data):
     return "\n".join(lines)
 
 
+MARKET_SCHEMA_VERSION = 1
+
+# Re-derived ratios (events/sec from counts and wall time, speedup from the
+# baseline rate) must agree to this relative tolerance; the bench computes
+# them from the same doubles it exports, so only real corruption or a
+# hand-edited report trips it.
+MARKET_RATIO_TOLERANCE = 1e-9
+
+
+def load_market(path):
+    """Parses and validates a bench/market_throughput --out export."""
+    with open(path) as f:
+        data = json.load(f)
+    if data.get("schema_version") != MARKET_SCHEMA_VERSION:
+        raise SystemExit(
+            f"{path}: unsupported market schema_version "
+            f"{data.get('schema_version')!r} (expected "
+            f"{MARKET_SCHEMA_VERSION})")
+    for key in ("smoke", "has_baseline"):
+        if not isinstance(data.get(key), bool):
+            raise SystemExit(f"{path}: '{key}' is not a bool: "
+                             f"{data.get(key)!r}")
+    gate_events = data.get("min_events_for_gate")
+    if not isinstance(gate_events, int) or gate_events <= 0:
+        raise SystemExit(f"{path}: min_events_for_gate is not a positive "
+                         f"integer: {gate_events!r}")
+    # Without a baseline there is nothing to gate against and the bench
+    # exports target_speedup 0; with one, the target must be positive.
+    target = data.get("target_speedup")
+    if not isinstance(target, (int, float)) or not math.isfinite(target) \
+            or target < 0 or (data.get("has_baseline") and target <= 0):
+        raise SystemExit(f"{path}: target_speedup is not a valid gate "
+                         f"target: {target!r}")
+    workloads = data.get("workloads")
+    if not isinstance(workloads, list) or not workloads:
+        raise SystemExit(f"{path}: 'workloads' is not a non-empty list")
+    names = set()
+    gate_met = False
+    for w in workloads:
+        name = w.get("name")
+        if not isinstance(name, str) or not name:
+            raise SystemExit(f"{path}: workload with a missing name: {w!r}")
+        if name in names:
+            raise SystemExit(f"{path}: duplicate workload '{name}'")
+        names.add(name)
+        where = f"{path}: workload '{name}'"
+        for key in ("tasks", "worker_arrivals", "events_dispatched",
+                    "reprices", "total_events", "trace_records", "spent"):
+            if not isinstance(w.get(key), int) or w[key] < 0:
+                raise SystemExit(f"{where}: '{key}' is not a non-negative "
+                                 f"integer: {w.get(key)!r}")
+        if w["tasks"] == 0 or w["total_events"] == 0:
+            raise SystemExit(f"{where}: ran no work (tasks="
+                             f"{w['tasks']}, total_events="
+                             f"{w['total_events']})")
+        if w["total_events"] < w["worker_arrivals"] + w["events_dispatched"]:
+            raise SystemExit(
+                f"{where}: total_events {w['total_events']} below its "
+                f"components ({w['worker_arrivals']} arrivals + "
+                f"{w['events_dispatched']} dispatched)")
+        for key in ("wall_seconds", "events_per_sec"):
+            value = w.get(key)
+            if not isinstance(value, (int, float)) \
+                    or not math.isfinite(value) or value <= 0:
+                raise SystemExit(f"{where}: '{key}' is not a positive "
+                                 f"finite number: {value!r}")
+        derived = w["total_events"] / w["wall_seconds"]
+        if abs(derived - w["events_per_sec"]) > \
+                MARKET_RATIO_TOLERANCE * derived:
+            raise SystemExit(
+                f"{where}: events_per_sec {w['events_per_sec']!r} does not "
+                f"equal total_events/wall_seconds ({derived!r})")
+        has_speedup = "speedup" in w or "baseline_events_per_sec" in w
+        if data["has_baseline"] != has_speedup:
+            raise SystemExit(
+                f"{where}: baseline fields "
+                f"{'missing' if data['has_baseline'] else 'present'} but "
+                f"has_baseline is {data['has_baseline']}")
+        if has_speedup:
+            for key in ("baseline_events_per_sec", "speedup"):
+                value = w.get(key)
+                if not isinstance(value, (int, float)) \
+                        or not math.isfinite(value) or value <= 0:
+                    raise SystemExit(f"{where}: '{key}' is not a positive "
+                                     f"finite number: {value!r}")
+            derived = w["events_per_sec"] / w["baseline_events_per_sec"]
+            if abs(derived - w["speedup"]) > MARKET_RATIO_TOLERANCE * derived:
+                raise SystemExit(
+                    f"{where}: speedup {w['speedup']!r} does not equal "
+                    f"events_per_sec/baseline_events_per_sec ({derived!r})")
+            if w["total_events"] >= gate_events and w["speedup"] >= target:
+                gate_met = True
+    if data["has_baseline"] and not gate_met:
+        raise SystemExit(
+            f"{path}: no workload with >= {gate_events} events reached the "
+            f"{target}x speedup gate")
+    return data
+
+
+def market_digest(data):
+    """Canonical one-line-per-workload text form of a market export."""
+    lines = [
+        f"schema_version={data['schema_version']} "
+        f"smoke={str(data['smoke']).lower()} "
+        f"min_events_for_gate={data['min_events_for_gate']} "
+        f"target_speedup=%.17g has_baseline=%s"
+        % (data["target_speedup"], str(data["has_baseline"]).lower()),
+    ]
+    for w in data["workloads"]:
+        line = (
+            "workload %s tasks=%d total_events=%d events_per_sec=%.17g"
+            % (w["name"], w["tasks"], w["total_events"], w["events_per_sec"]))
+        if "speedup" in w:
+            line += " speedup=%.17g" % w["speedup"]
+        lines.append(line)
+    return "\n".join(lines)
+
+
 def aggregate_spans(spans):
     """Per-name span aggregates, name-sorted."""
     by_name = {}
@@ -281,6 +406,10 @@ def main():
                         help="validate a bench/chaos_soak JSON export "
                              "(convergence + overhead gate), print its "
                              "canonical digest, and exit")
+    parser.add_argument("--market", default="",
+                        help="validate a bench/market_throughput JSON "
+                             "export (shape + ratio consistency + speedup "
+                             "gate), print its canonical digest, and exit")
     args = parser.parse_args()
 
     if args.validate_metrics:
@@ -288,6 +417,9 @@ def main():
         return
     if args.chaos:
         print(chaos_digest(load_chaos(args.chaos)))
+        return
+    if args.market:
+        print(market_digest(load_market(args.market)))
         return
 
     raw = run_benchmarks(args.bin, args.min_time, args.extra_filter)

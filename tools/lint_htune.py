@@ -25,6 +25,15 @@ dedicated (pure-stdlib) linter. Rules:
                    the replayed region would observe double counts
                    (metrics publish from control/market_metrics.h
                    instead).
+  market-node-map  No node-based ordered containers (std::map, std::set,
+                   their multi variants, or their includes) in
+                   src/market/: the simulator's hot loop was rewritten
+                   onto the flat TaskStore / calendar queue precisely to
+                   kill per-node allocation and pointer chasing, and a
+                   node map reintroduced anywhere in the engine tends to
+                   creep back into a per-event path. Use TaskStore, the
+                   on-hold index, sorted vectors, or (for untrusted-id
+                   bookkeeping) unordered_map.
   raw-mutex        No raw std synchronization types outside
                    src/common/mutex.h: only the annotated htune wrappers
                    carry Clang capability attributes, so a raw
@@ -82,6 +91,10 @@ RAW_SYNC_RE = re.compile(
 
 OBS_MACRO_RE = re.compile(r"\bHTUNE_OBS_\w+")
 
+NODE_MAP_RE = re.compile(
+    r"\bstd::(?:map|set|multimap|multiset)\s*<|#\s*include\s*<(?:map|set)>"
+)
+
 SLEEP_RE = re.compile(
     r"\b(?:sleep_for|sleep_until|usleep|nanosleep|sleep)\s*\("
 )
@@ -96,6 +109,9 @@ RULES = {
                       "(implementation-defined order)",
     "market-obs": "no HTUNE_OBS_* macros in src/market/ "
                   "(replay double-count hazard)",
+    "market-node-map": "no node-based std::map/std::set in src/market/ "
+                       "(per-node allocation in the event engine; use "
+                       "TaskStore/flat arrays)",
     "raw-mutex": "no raw std synchronization outside common/mutex.h "
                  "(invisible to -Wthread-safety)",
     "raw-retry": "no hand-rolled retry loops or sleeps outside "
@@ -228,6 +244,12 @@ def lint_text(text, virtual_path):
                     "observability macros in the simulator double-count "
                     "under crash-recovery replay; publish via "
                     "control/market_metrics.h")
+            if NODE_MAP_RE.search(line):
+                add(idx, "market-node-map",
+                    "node-based ordered containers allocate per element "
+                    "and chase pointers in the event engine; use "
+                    "TaskStore, the on-hold index, a sorted vector, or "
+                    "unordered_map for untrusted-id bookkeeping")
 
     unordered_names = set()
     for line in code:
