@@ -32,6 +32,38 @@ std::string EncodeHeader() {
   return header;
 }
 
+std::string ParentDirOf(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) {
+    return ".";
+  }
+  if (slash == 0) {
+    return "/";
+  }
+  return path.substr(0, slash);
+}
+
+/// fsyncs the directory containing `path` so a just-created or just-renamed
+/// entry survives power loss. Durability of file *contents* (fsync on the
+/// file) and durability of the file's *existence* (fsync on the directory)
+/// are separate guarantees on POSIX filesystems.
+Status SyncParentDir(const std::string& path) {
+  const std::string dir = ParentDirOf(path);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) {
+    return InternalError("journal: cannot open directory " + dir +
+                         " for fsync: " + std::strerror(errno));
+  }
+  if (::fsync(fd) != 0) {
+    const std::string detail = std::strerror(errno);
+    ::close(fd);
+    return InternalError("journal: fsync of directory " + dir +
+                         " failed: " + detail);
+  }
+  ::close(fd);
+  return OkStatus();
+}
+
 }  // namespace
 
 std::string_view JournalRecordTypeToString(JournalRecordType type) {
@@ -168,6 +200,65 @@ Status FileJournalStorage::Flush() {
     return InternalError("journal: fsync of " + path_ + " failed: " + detail);
   }
   ::close(fd);
+  if (!dir_synced_) {
+    // First flush since this handle created the file: make the directory
+    // entry itself durable, once. Subsequent flushes only need the data.
+    HTUNE_RETURN_IF_ERROR(SyncParentDir(path_));
+    dir_synced_ = true;
+  }
+  return OkStatus();
+}
+
+Status AtomicReplaceFile(const std::string& path, std::string_view bytes,
+                         const ReplaceFileHook& hook) {
+  const std::string temp = path + ".tmp";
+  {
+    const int fd = ::open(temp.c_str(),
+                          O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+    if (fd < 0) {
+      return InternalError("journal: cannot create " + temp + ": " +
+                           std::strerror(errno));
+    }
+    size_t written = 0;
+    while (written < bytes.size()) {
+      const ssize_t n =
+          ::write(fd, bytes.data() + written, bytes.size() - written);
+      if (n > 0) {
+        written += static_cast<size_t>(n);
+        continue;
+      }
+      if (n < 0 && errno == EINTR) {
+        continue;
+      }
+      const std::string detail =
+          n < 0 ? std::strerror(errno) : "write returned 0";
+      ::close(fd);
+      return InternalError("journal: short write to " + temp + ": " + detail);
+    }
+    if (::fsync(fd) != 0) {
+      const std::string detail = std::strerror(errno);
+      ::close(fd);
+      return InternalError("journal: fsync of " + temp + " failed: " + detail);
+    }
+    if (::close(fd) != 0) {
+      return InternalError("journal: close of " + temp +
+                           " failed: " + std::strerror(errno));
+    }
+  }
+  if (hook) {
+    HTUNE_RETURN_IF_ERROR(hook("temp_written"));
+  }
+  if (::rename(temp.c_str(), path.c_str()) != 0) {
+    return InternalError("journal: rename " + temp + " -> " + path +
+                         " failed: " + std::strerror(errno));
+  }
+  if (hook) {
+    HTUNE_RETURN_IF_ERROR(hook("renamed"));
+  }
+  HTUNE_RETURN_IF_ERROR(SyncParentDir(path));
+  if (hook) {
+    HTUNE_RETURN_IF_ERROR(hook("dir_synced"));
+  }
   return OkStatus();
 }
 

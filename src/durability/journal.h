@@ -2,6 +2,7 @@
 #define HTUNE_DURABILITY_JOURNAL_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -59,7 +60,11 @@ class InMemoryJournalStorage : public JournalStorage {
 /// partial write continues from the persisted prefix, and any other errno
 /// fails with an explicit Status naming how many of the requested bytes
 /// reached the file — a short write is never reported as success. Flush
-/// fsyncs the file.
+/// fsyncs the file, and the first Flush after the file comes into existence
+/// also fsyncs the parent directory: fsyncing only the file makes its
+/// *contents* durable, but until the directory entry is synced a power cut
+/// can forget the file ever existed (the durability-audit hole this class
+/// originally had).
 class FileJournalStorage : public JournalStorage {
  public:
   explicit FileJournalStorage(std::string path) : path_(std::move(path)) {}
@@ -73,6 +78,7 @@ class FileJournalStorage : public JournalStorage {
 
  private:
   std::string path_;
+  bool dir_synced_ = false;
 };
 
 /// Deterministic crash injection: behaves as the wrapped storage until
@@ -105,6 +111,24 @@ class CrashInjectingStorage : public JournalStorage {
   uint64_t budget_;
   bool crashed_ = false;
 };
+
+/// Test seam for AtomicReplaceFile: called after each durability step with
+/// the step's name — "temp_written" (temp file written and fsynced),
+/// "renamed" (temp renamed over the target), "dir_synced" (parent
+/// directory fsynced). Returning non-OK aborts the sequence at that point,
+/// modeling a process killed between steps; the on-disk state is whatever
+/// the completed steps left behind.
+using ReplaceFileHook = std::function<Status(std::string_view step)>;
+
+/// Atomically replaces `path` with `bytes` using the full durability
+/// sequence: write `path`.tmp -> fsync temp -> rename over `path` -> fsync
+/// the parent directory. A crash at any step leaves either the old file or
+/// the new file fully intact — never a mix, and never a file whose
+/// directory entry could vanish on power loss (the parent-directory fsync
+/// is what makes the rename itself durable; see the crash regression in
+/// tests/manifest_test.cc that kills between rename and directory fsync).
+Status AtomicReplaceFile(const std::string& path, std::string_view bytes,
+                         const ReplaceFileHook& hook = nullptr);
 
 /// Journal file layout:
 ///   header:  "HTWJ" magic (4 bytes) + u32 LE format version

@@ -140,4 +140,38 @@ Status FaultInjectingStorage::Flush() {
   return fault;
 }
 
+std::unique_ptr<FleetKillStorage> FleetKillSwitch::WrapStorage(
+    JournalStorage* inner) {
+  return std::make_unique<FleetKillStorage>(this, inner);
+}
+
+Status FleetKillStorage::Append(std::string_view bytes) {
+  if (kill_->killed_.load(std::memory_order_acquire)) {
+    return CrashInjectingStorage::CrashStatus();
+  }
+  // Claim the bytes atomically: exactly one append across all the fleet's
+  // storages crosses zero, and that append is the torn one. A concurrent
+  // append that drew its claim before the crossing one still completes —
+  // writes already "in flight at the moment of death" reaching the device
+  // is within the torn-write model recovery must absorb anyway.
+  const int64_t before = kill_->budget_.fetch_sub(
+      static_cast<int64_t>(bytes.size()), std::memory_order_acq_rel);
+  if (before >= static_cast<int64_t>(bytes.size())) {
+    return inner_->Append(bytes);
+  }
+  if (before > 0) {
+    // The crossing append: persist the prefix that fit, then die.
+    (void)inner_->Append(bytes.substr(0, static_cast<size_t>(before)));
+  }
+  kill_->killed_.store(true, std::memory_order_release);
+  return CrashInjectingStorage::CrashStatus();
+}
+
+Status FleetKillStorage::Flush() {
+  if (kill_->killed_.load(std::memory_order_acquire)) {
+    return CrashInjectingStorage::CrashStatus();
+  }
+  return inner_->Flush();
+}
+
 }  // namespace htune

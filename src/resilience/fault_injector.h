@@ -1,6 +1,7 @@
 #ifndef HTUNE_RESILIENCE_FAULT_INJECTOR_H_
 #define HTUNE_RESILIENCE_FAULT_INJECTOR_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -109,6 +110,56 @@ class FaultInjectingStorage : public JournalStorage {
 
  private:
   FaultInjector* injector_;
+  JournalStorage* inner_;
+};
+
+class FleetKillStorage;
+
+/// Whole-process kill for a fleet: one shared byte budget across every
+/// storage of every job, counted down atomically so the kill lands at a
+/// deterministic total write volume regardless of which worker thread's
+/// append crosses it. The crossing append persists exactly the prefix that
+/// still fits (the torn-write model), then the switch trips and every
+/// subsequent Append/Flush on every wrapped storage fails with
+/// CrashInjectingStorage::CrashStatus() — the fleet-wide analogue of the
+/// single-job CrashInjectingStorage. Load and Truncate keep working so the
+/// post-kill recovery can reuse the same underlying storages.
+///
+/// Thread-safe, unlike FaultInjector: the budget is one atomic and the
+/// killed flag only ever goes false -> true.
+class FleetKillSwitch {
+ public:
+  /// The fleet dies once `fail_after_bytes` total bytes have been appended
+  /// across all wrapped storages.
+  explicit FleetKillSwitch(uint64_t fail_after_bytes)
+      : budget_(static_cast<int64_t>(fail_after_bytes)) {}
+
+  /// Wraps `inner` (borrowed, must outlive the wrapper) with the shared
+  /// kill schedule. The switch must outlive every wrapper.
+  std::unique_ptr<FleetKillStorage> WrapStorage(JournalStorage* inner);
+
+  bool killed() const { return killed_.load(std::memory_order_acquire); }
+
+ private:
+  friend class FleetKillStorage;
+
+  std::atomic<int64_t> budget_;
+  std::atomic<bool> killed_{false};
+};
+
+/// JournalStorage wrapper bound to a FleetKillSwitch.
+class FleetKillStorage : public JournalStorage {
+ public:
+  FleetKillStorage(FleetKillSwitch* kill, JournalStorage* inner)
+      : kill_(kill), inner_(inner) {}
+
+  StatusOr<std::string> Load() override { return inner_->Load(); }
+  Status Append(std::string_view bytes) override;
+  Status Truncate(uint64_t size) override { return inner_->Truncate(size); }
+  Status Flush() override;
+
+ private:
+  FleetKillSwitch* kill_;
   JournalStorage* inner_;
 };
 

@@ -1,0 +1,232 @@
+#include "spec/fleet_spec.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+#include "spec/job_spec.h"
+
+namespace htune {
+namespace {
+
+// Strips whitespace and a trailing "# comment" (same grammar as job specs).
+std::string Clean(std::string_view line) {
+  const size_t hash = line.find('#');
+  if (hash != std::string_view::npos) {
+    line = line.substr(0, hash);
+  }
+  size_t begin = 0, end = line.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(line[begin]))) {
+    ++begin;
+  }
+  while (end > begin && std::isspace(static_cast<unsigned char>(line[end - 1]))) {
+    --end;
+  }
+  return std::string(line.substr(begin, end - begin));
+}
+
+StatusOr<long> ParseLong(const std::string& text, const std::string& what,
+                         int line_no) {
+  char* end = nullptr;
+  const long value = std::strtol(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0') {
+    return InvalidArgumentError("fleet spec line " + std::to_string(line_no) +
+                                ": bad integer for " + what + ": '" + text +
+                                "'");
+  }
+  return value;
+}
+
+StatusOr<std::string> ReadFileText(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return NotFoundError("cannot read spec file: " + path);
+  }
+  std::string text;
+  char buffer[4096];
+  size_t got;
+  while ((got = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    text.append(buffer, got);
+  }
+  std::fclose(file);
+  return text;
+}
+
+/// One [job] section as written, before replica expansion.
+struct JobSection {
+  std::string spec_path;
+  std::string name;
+  int priority = 0;
+  int count = 1;
+  long budget = -1;
+  long seed = -1;
+  FleetController controller = FleetController::kFaultTolerant;
+  int snapshot_interval = 8;
+  int line_no = 0;  // where the section started, for error messages
+};
+
+Status ExpandSection(const JobSection& section, const std::string& base_dir,
+                     FleetSpec* out) {
+  if (section.spec_path.empty()) {
+    return InvalidArgumentError(
+        "fleet spec line " + std::to_string(section.line_no) +
+        ": [job] section needs a spec = <path> entry");
+  }
+  if (section.count < 1) {
+    return InvalidArgumentError("fleet spec line " +
+                                std::to_string(section.line_no) +
+                                ": count must be >= 1");
+  }
+  std::string full_path = section.spec_path;
+  if (!base_dir.empty() && full_path.front() != '/') {
+    full_path = base_dir + "/" + full_path;
+  }
+  HTUNE_ASSIGN_OR_RETURN(const std::string spec_text,
+                         ReadFileText(full_path));
+  // Validate now: a malformed job spec should fail the fleet load with a
+  // useful message, not quarantine the job at dispatch time.
+  const auto parsed = ParseJobSpec(spec_text);
+  if (!parsed.ok()) {
+    return InvalidArgumentError("fleet spec line " +
+                                std::to_string(section.line_no) + ": " +
+                                full_path + ": " +
+                                parsed.status().ToString());
+  }
+  for (int i = 0; i < section.count; ++i) {
+    FleetJobSpec job;
+    job.name = section.name.empty() ? section.spec_path : section.name;
+    if (section.count > 1) {
+      job.name += "#" + std::to_string(i);
+    }
+    job.priority = section.priority;
+    job.spec_text = spec_text;
+    job.ceiling = section.budget;
+    job.seed_override = section.seed >= 0 ? section.seed + i : -1;
+    job.snapshot_interval = section.snapshot_interval;
+    job.controller = section.controller;
+    out->jobs.push_back(std::move(job));
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+StatusOr<FleetSpec> ParseFleetSpec(std::string_view text,
+                                   const std::string& base_dir) {
+  FleetSpec fleet;
+  JobSection section;
+  bool in_job = false;
+  int line_no = 0;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    const size_t eol = text.find('\n', pos);
+    const std::string line = Clean(
+        text.substr(pos, eol == std::string_view::npos ? eol : eol - pos));
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    ++line_no;
+    if (line.empty()) {
+      continue;
+    }
+    if (line == "[job]") {
+      if (in_job) {
+        HTUNE_RETURN_IF_ERROR(ExpandSection(section, base_dir, &fleet));
+      }
+      section = JobSection{};
+      section.line_no = line_no;
+      in_job = true;
+      continue;
+    }
+    if (line.front() == '[') {
+      return InvalidArgumentError("fleet spec line " +
+                                  std::to_string(line_no) +
+                                  ": unknown section " + line);
+    }
+    const size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      return InvalidArgumentError("fleet spec line " +
+                                  std::to_string(line_no) +
+                                  ": expected key = value, got '" + line +
+                                  "'");
+    }
+    const std::string key = Clean(line.substr(0, eq));
+    const std::string value = Clean(line.substr(eq + 1));
+    if (!in_job) {
+      if (key == "max_running") {
+        HTUNE_ASSIGN_OR_RETURN(const long v,
+                               ParseLong(value, key, line_no));
+        fleet.max_running = static_cast<int>(v);
+      } else if (key == "max_admitted") {
+        HTUNE_ASSIGN_OR_RETURN(const long v,
+                               ParseLong(value, key, line_no));
+        fleet.max_admitted = static_cast<int>(v);
+      } else {
+        return InvalidArgumentError("fleet spec line " +
+                                    std::to_string(line_no) +
+                                    ": unknown fleet key '" + key + "'");
+      }
+      continue;
+    }
+    if (key == "spec") {
+      section.spec_path = value;
+    } else if (key == "name") {
+      section.name = value;
+    } else if (key == "priority") {
+      HTUNE_ASSIGN_OR_RETURN(const long v, ParseLong(value, key, line_no));
+      section.priority = static_cast<int>(v);
+    } else if (key == "count") {
+      HTUNE_ASSIGN_OR_RETURN(const long v, ParseLong(value, key, line_no));
+      section.count = static_cast<int>(v);
+    } else if (key == "budget") {
+      HTUNE_ASSIGN_OR_RETURN(section.budget,
+                             ParseLong(value, key, line_no));
+    } else if (key == "seed") {
+      HTUNE_ASSIGN_OR_RETURN(section.seed, ParseLong(value, key, line_no));
+      if (section.seed < 0) {
+        return InvalidArgumentError("fleet spec line " +
+                                    std::to_string(line_no) +
+                                    ": seed must be >= 0");
+      }
+    } else if (key == "controller") {
+      if (value == "ft") {
+        section.controller = FleetController::kFaultTolerant;
+      } else if (value == "retune") {
+        section.controller = FleetController::kAdaptiveRetuner;
+      } else {
+        return InvalidArgumentError(
+            "fleet spec line " + std::to_string(line_no) +
+            ": controller must be ft or retune, got '" + value + "'");
+      }
+    } else if (key == "snapshot_interval") {
+      HTUNE_ASSIGN_OR_RETURN(const long v, ParseLong(value, key, line_no));
+      section.snapshot_interval = static_cast<int>(v);
+    } else {
+      return InvalidArgumentError("fleet spec line " +
+                                  std::to_string(line_no) +
+                                  ": unknown job key '" + key + "'");
+    }
+  }
+  if (in_job) {
+    HTUNE_RETURN_IF_ERROR(ExpandSection(section, base_dir, &fleet));
+  }
+  if (fleet.jobs.empty()) {
+    return InvalidArgumentError("fleet spec: no [job] sections");
+  }
+  if (fleet.max_running < 1) {
+    return InvalidArgumentError("fleet spec: max_running must be >= 1");
+  }
+  if (fleet.max_admitted < 0) {
+    return InvalidArgumentError("fleet spec: max_admitted must be >= 0");
+  }
+  return fleet;
+}
+
+StatusOr<FleetSpec> LoadFleetSpec(const std::string& path) {
+  HTUNE_ASSIGN_OR_RETURN(const std::string text, ReadFileText(path));
+  const size_t slash = path.rfind('/');
+  const std::string base_dir =
+      slash == std::string::npos ? std::string() : path.substr(0, slash);
+  return ParseFleetSpec(text, base_dir);
+}
+
+}  // namespace htune

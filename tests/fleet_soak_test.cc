@@ -1,0 +1,241 @@
+// Fleet chaos soak: hundreds of seeded schedules, each running a 64-job
+// fleet that is killed mid-flight at a schedule-dependent byte budget while
+// per-job fault injectors blip storage and market operations; a quarter of
+// the schedules additionally poison one interrupted job's journal (header
+// corruption or a bit flip below the manifest's durable mark). Recovery
+// must finish every non-poisoned job bitwise identically to the fault-free
+// reference — equal completion digests and an exactly-once payment
+// sequence — and quarantine exactly the deliberately poisoned jobs.
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "durability/journal.h"
+#include "durability/manifest.h"
+#include "fleet/supervisor.h"
+#include "gtest/gtest.h"
+#include "resilience/fault_injector.h"
+#include "rng/splitmix64.h"
+
+namespace htune {
+namespace {
+
+constexpr int kFleetJobs = 64;
+constexpr int kSchedules = 200;
+constexpr uint64_t kSeedBase = 1000;
+
+constexpr char kSoakSpec[] =
+    "budget = 6\n"
+    "arrival_rate = 80\n"
+    "[group]\n"
+    "tasks = 2\n"
+    "repetitions = 1\n"
+    "processing_rate = 4.0\n"
+    "curve = linear 1.0 1.0\n";
+
+FleetJobSpec SoakJob(int index) {
+  FleetJobSpec spec;
+  spec.name = "soak#" + std::to_string(index);
+  spec.spec_text = kSoakSpec;
+  spec.seed_override = static_cast<int64_t>(kSeedBase) + index;
+  spec.snapshot_interval = 4;
+  // A few retuners ride along: same durability contract, different
+  // controller and journal shape.
+  if (index % 8 == 3) {
+    spec.controller = FleetController::kAdaptiveRetuner;
+  }
+  return spec;
+}
+
+Status SubmitSoakFleet(FleetSupervisor& fleet) {
+  for (int i = 0; i < kFleetJobs; ++i) {
+    HTUNE_RETURN_IF_ERROR(fleet.Submit(SoakJob(i)).status());
+  }
+  return OkStatus();
+}
+
+/// The fault-free truth every schedule is measured against.
+struct JobTruth {
+  std::string digest;  // manifest completion detail, "crc32c:<n>"
+  std::vector<std::string> payments;  // kPayment payloads in order
+};
+
+std::vector<std::string> PaymentPayloads(std::string_view journal_bytes) {
+  std::vector<std::string> payments;
+  const auto scan = ScanJournal(journal_bytes);
+  if (!scan.ok()) return payments;
+  for (const JournalRecord& record : scan->records) {
+    if (record.type == JournalRecordType::kPayment) {
+      payments.push_back(record.payload);
+    }
+  }
+  return payments;
+}
+
+std::map<uint64_t, JobTruth> ComputeReference() {
+  InMemoryFleetStorage provider;
+  FleetConfig config;
+  config.max_running = 8;
+  FleetSupervisor fleet(&provider, config);
+  EXPECT_TRUE(fleet.Open().ok());
+  EXPECT_TRUE(SubmitSoakFleet(fleet).ok());
+  const auto stats = fleet.RunAll();
+  EXPECT_TRUE(stats.ok());
+  std::map<uint64_t, JobTruth> truth;
+  for (const auto& [id, entry] : fleet.jobs()) {
+    EXPECT_EQ(entry.state, FleetJobState::kDone) << entry.detail;
+    truth[id] = {entry.detail,
+                 PaymentPayloads(provider.Find(FleetJobJournalPath(id))
+                                     ->bytes())};
+  }
+  return truth;
+}
+
+TEST(FleetSoakTest, KilledPoisonedFleetsRecoverBitwise) {
+  const std::map<uint64_t, JobTruth> truth = ComputeReference();
+  ASSERT_EQ(truth.size(), static_cast<size_t>(kFleetJobs));
+
+  int kills = 0;
+  int quarantines = 0;
+  int poisoned_schedules = 0;
+  int restarts_seen = 0;
+
+  for (int schedule = 0; schedule < kSchedules; ++schedule) {
+    SplitMix64 rng(0x736f616bULL + static_cast<uint64_t>(schedule));
+    InMemoryFleetStorage provider;
+
+    // Per-job chaos surfaces, pre-built so the unlocked market-gate lookup
+    // in the supervisor's run path never races the storage decorator.
+    // Index 0 is the manifest (kill only, no transient faults).
+    std::vector<std::unique_ptr<FaultInjector>> injectors(kFleetJobs + 1);
+    const int fault_cap = 1 + static_cast<int>(rng.Next() % 3);  // 1..3
+    for (int id = 1; id <= kFleetJobs; ++id) {
+      FaultInjectorConfig fcfg;
+      fcfg.seed = rng.Next();
+      fcfg.append_fault_prob = 0.04;
+      fcfg.short_write_prob = 0.03;
+      fcfg.flush_fault_prob = 0.03;
+      fcfg.market_fault_prob = 0.05;
+      fcfg.max_consecutive_faults = fault_cap;
+      injectors[id] = std::make_unique<FaultInjector>(fcfg);
+    }
+    const uint64_t kill_budget = 15000 + rng.Next() % 60000;
+    FleetKillSwitch kill(kill_budget);
+    std::vector<std::unique_ptr<JournalStorage>> wrappers;
+
+    FleetConfig chaos;
+    chaos.max_running = 8;
+    chaos.journal_retry.max_attempts = 5;  // > fault_cap: faults heal
+    chaos.market_retry.max_attempts = 5;
+    chaos.decorate_storage = [&](uint64_t job_id, JournalStorage* inner) {
+      JournalStorage* wrapped = inner;
+      if (job_id != 0) {
+        wrappers.push_back(injectors[job_id]->WrapStorage(wrapped));
+        wrapped = wrappers.back().get();
+      }
+      wrappers.push_back(kill.WrapStorage(wrapped));
+      return wrappers.back().get();
+    };
+    chaos.market_gate = [&](uint64_t job_id) -> FaultGate {
+      return injectors[job_id]->MarketGate();
+    };
+
+    bool killed = false;
+    {
+      FleetSupervisor fleet(&provider, chaos);
+      ASSERT_TRUE(fleet.Open().ok());
+      ASSERT_TRUE(SubmitSoakFleet(fleet).ok());
+      const auto stats = fleet.RunAll();
+      if (!stats.ok()) {
+        ASSERT_EQ(stats.status().code(), StatusCode::kResourceExhausted)
+            << stats.status().ToString();
+        killed = true;
+        ++kills;
+      } else {
+        restarts_seen += stats->restarts;
+      }
+    }
+
+    // Poison one interrupted job on a quarter of the killed schedules:
+    // header corruption, or — when the manifest already proved durable
+    // bytes — a bit flip below that mark.
+    uint64_t poisoned_id = 0;
+    if (killed && schedule % 4 == 0) {
+      const auto manifest_scan =
+          ScanManifest(provider.Find(FleetManifestFileName())->bytes());
+      ASSERT_TRUE(manifest_scan.ok());
+      for (const auto& [id, entry] : manifest_scan->jobs) {
+        if (entry.state == FleetJobState::kDone) continue;
+        InMemoryJournalStorage* journal =
+            provider.Find(FleetJobJournalPath(id));
+        if (journal == nullptr || journal->bytes().empty()) continue;
+        if (entry.journal_bytes >= 16 &&
+            journal->bytes().size() >= entry.journal_bytes) {
+          const uint64_t offset =
+              8 + rng.Next() % (entry.journal_bytes - 8);
+          journal->bytes()[offset] ^= static_cast<char>(
+              1u << (rng.Next() % 8));
+        } else {
+          journal->bytes()[0] ^= 0x55;  // journal magic
+        }
+        poisoned_id = id;
+        ++poisoned_schedules;
+        break;
+      }
+    }
+
+    // Clean recovery: no injected faults, no kill. Everything the poison
+    // did not touch must finish.
+    FleetConfig clean;
+    clean.max_running = 8;
+    FleetSupervisor recovered(&provider, clean);
+    ASSERT_TRUE(recovered.Recover().ok()) << "schedule " << schedule;
+    EXPECT_TRUE(recovered.orphans().empty()) << "schedule " << schedule;
+    const auto stats = recovered.RunAll();
+    ASSERT_TRUE(stats.ok()) << "schedule " << schedule << ": "
+                            << stats.status().ToString();
+    quarantines += stats->quarantined;
+    restarts_seen += stats->restarts;
+
+    for (const auto& [id, entry] : recovered.jobs()) {
+      if (id == poisoned_id) {
+        EXPECT_EQ(entry.state, FleetJobState::kQuarantined)
+            << "schedule " << schedule << " job " << id << ": "
+            << entry.detail;
+        continue;
+      }
+      ASSERT_EQ(entry.state, FleetJobState::kDone)
+          << "schedule " << schedule << " job " << id << ": "
+          << entry.detail;
+      // Bitwise identity with the fault-free reference: same completion
+      // digest (report + trace CRC)...
+      EXPECT_EQ(entry.detail, truth.at(id).digest)
+          << "schedule " << schedule << " job " << id;
+      // ...and the exactly-once payment ledger: the same payments, in the
+      // same order, no duplicates across any number of crash/recover
+      // cycles.
+      EXPECT_EQ(PaymentPayloads(provider.Find(FleetJobJournalPath(id))
+                                    ->bytes()),
+                truth.at(id).payments)
+          << "schedule " << schedule << " job " << id;
+    }
+    if (poisoned_id != 0) {
+      EXPECT_EQ(stats->quarantined, 1) << "schedule " << schedule;
+    } else {
+      EXPECT_EQ(stats->quarantined, 0) << "schedule " << schedule;
+    }
+  }
+
+  // The soak must actually have exercised the machinery it gates.
+  EXPECT_GT(kills, 50);
+  EXPECT_GT(quarantines, 10);
+  EXPECT_EQ(quarantines, poisoned_schedules);
+  std::printf("fleet soak: %d schedules, %d kills, %d quarantines, "
+              "%d restarts\n",
+              kSchedules, kills, quarantines, restarts_seen);
+}
+
+}  // namespace
+}  // namespace htune

@@ -1,0 +1,11 @@
+// Fixture: lifecycle reads are fine anywhere; mutations go through the
+// supervisor's transition helpers.
+bool IsTerminal(const ManifestJobEntry& entry) {
+  return entry.state == FleetJobState::kDone ||
+         entry.state == FleetJobState::kQuarantined ||
+         entry.state != FleetJobState::kRunning;
+}
+
+Status Finish(FleetSupervisor* fleet, uint64_t job_id) {
+  return fleet->CompleteJob(job_id);
+}

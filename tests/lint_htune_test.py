@@ -34,6 +34,7 @@ class RuleFixtureTest(unittest.TestCase):
         ("market_node_map", "src/market/fixture.cc", "market-node-map", 3),
         ("raw_mutex", "src/tuning/fixture.cc", "raw-mutex", 2),
         ("raw_retry", "src/control/fixture.cc", "raw-retry", 3),
+        ("fleet_lifecycle", "src/control/fixture.cc", "fleet-lifecycle", 2),
     ]
 
     def test_positive_fixtures_fire(self):
@@ -85,6 +86,18 @@ class RuleScopingTest(unittest.TestCase):
             lint_htune.lint_text(text, "src/resilience/policy.h"), [])
         self.assertEqual(
             len(lint_htune.lint_text(text, "src/durability/journal.cc")), 1)
+
+    def test_fleet_lifecycle_scoped(self):
+        text = "entry.state = FleetJobState::kDone;\n"
+        self.assertEqual(
+            lint_htune.lint_text(text, "src/fleet/supervisor.cc"), [])
+        self.assertEqual(
+            lint_htune.lint_text(text, "src/durability/manifest.cc"), [])
+        findings = lint_htune.lint_text(text, "src/control/foo.cc")
+        self.assertEqual([f.rule for f in findings], ["fleet-lifecycle"])
+        comparison = "if (entry.state == FleetJobState::kDone) return;\n"
+        self.assertEqual(
+            lint_htune.lint_text(comparison, "src/control/foo.cc"), [])
 
     def test_non_cxx_files_skipped(self):
         self.assertEqual(

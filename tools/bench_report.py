@@ -32,6 +32,12 @@ field's shape, re-derives events_per_sec and speedup from their inputs
 well-formed), re-checks the ≥10x gate on at least one 1M+-event workload
 when a baseline was supplied, prints a canonical digest, and exits
 nonzero on any violation — CI's perf-smoke job drives this mode.
+
+--fleet parses a bench/fleet_soak --out=PATH export, re-checks the gates
+it encodes (supervision overhead within the gated ratio; quarantined ==
+deliberately poisoned; latency stats ordered), prints a canonical digest,
+and exits nonzero on any violation — CI's fleet job drives this mode
+after the bench smoke run and against the committed BENCH_fleet.json.
 """
 
 import argparse
@@ -330,6 +336,91 @@ def market_digest(data):
     return "\n".join(lines)
 
 
+FLEET_SCHEMA_VERSION = 1
+
+
+def load_fleet(path):
+    """Parses and validates a bench/fleet_soak --out export."""
+    with open(path) as f:
+        data = json.load(f)
+    if data.get("schema_version") != FLEET_SCHEMA_VERSION:
+        raise SystemExit(
+            f"{path}: unsupported fleet schema_version "
+            f"{data.get('schema_version')!r} (expected "
+            f"{FLEET_SCHEMA_VERSION})")
+    if not isinstance(data.get("smoke"), bool):
+        raise SystemExit(f"{path}: 'smoke' is not a bool: "
+                         f"{data.get('smoke')!r}")
+    for key in ("fleet_jobs", "schedules", "kills", "poisoned",
+                "quarantines", "recovered_jobs"):
+        if not isinstance(data.get(key), int) or data[key] < 0:
+            raise SystemExit(f"{path}: '{key}' is not a non-negative "
+                             f"integer: {data.get(key)!r}")
+    if data["fleet_jobs"] == 0 or data["schedules"] == 0:
+        raise SystemExit(f"{path}: ran no work (fleet_jobs="
+                         f"{data['fleet_jobs']}, schedules="
+                         f"{data['schedules']})")
+    # The quarantine gate: exactly the deliberately poisoned journals were
+    # quarantined, nothing else.
+    if data["quarantines"] != data["poisoned"]:
+        raise SystemExit(
+            f"{path}: quarantined {data['quarantines']} jobs but poisoned "
+            f"{data['poisoned']}")
+    overhead = data.get("supervision_overhead")
+    if not isinstance(overhead, dict):
+        raise SystemExit(f"{path}: missing 'supervision_overhead' section")
+    for key in ("supervised_ms", "direct_ms", "ratio", "max_ratio"):
+        value = overhead.get(key)
+        if not isinstance(value, (int, float)) or not math.isfinite(value) \
+                or value <= 0:
+            raise SystemExit(f"{path}: supervision_overhead.{key} is not a "
+                             f"positive finite number: {value!r}")
+    if overhead["ratio"] > overhead["max_ratio"]:
+        raise SystemExit(
+            f"{path}: supervision overhead ratio {overhead['ratio']:.4f} "
+            f"exceeds the gated maximum {overhead['max_ratio']:.4f}")
+    latency = data.get("recovery_latency_ms")
+    if not isinstance(latency, dict):
+        raise SystemExit(f"{path}: missing 'recovery_latency_ms' section")
+    if not isinstance(latency.get("count"), int) or latency["count"] < 0:
+        raise SystemExit(f"{path}: recovery_latency_ms.count is not a "
+                         f"non-negative integer: {latency.get('count')!r}")
+    for key in ("min", "mean", "max"):
+        value = latency.get(key)
+        if not isinstance(value, (int, float)) or not math.isfinite(value) \
+                or value < 0:
+            raise SystemExit(f"{path}: recovery_latency_ms.{key} is not a "
+                             f"non-negative finite number: {value!r}")
+    if latency["count"] > 0 and not (
+            latency["min"] <= latency["mean"] <= latency["max"]):
+        raise SystemExit(
+            f"{path}: recovery latency min/mean/max are not ordered: "
+            f"{latency['min']!r}/{latency['mean']!r}/{latency['max']!r}")
+    return data
+
+
+def fleet_digest(data):
+    """Canonical one-line-per-fact text form of a fleet export."""
+    overhead = data["supervision_overhead"]
+    latency = data["recovery_latency_ms"]
+    lines = [
+        f"schema_version={data['schema_version']} "
+        f"smoke={str(data['smoke']).lower()}",
+        f"fleet_jobs={data['fleet_jobs']} schedules={data['schedules']} "
+        f"kills={data['kills']} poisoned={data['poisoned']} "
+        f"quarantines={data['quarantines']} "
+        f"recovered_jobs={data['recovered_jobs']}",
+        "overhead supervised_ms=%.17g direct_ms=%.17g ratio=%.17g "
+        "max_ratio=%.17g"
+        % (overhead["supervised_ms"], overhead["direct_ms"],
+           overhead["ratio"], overhead["max_ratio"]),
+        "recovery count=%d min_ms=%.17g mean_ms=%.17g max_ms=%.17g"
+        % (latency["count"], latency["min"], latency["mean"],
+           latency["max"]),
+    ]
+    return "\n".join(lines)
+
+
 def aggregate_spans(spans):
     """Per-name span aggregates, name-sorted."""
     by_name = {}
@@ -410,6 +501,11 @@ def main():
                         help="validate a bench/market_throughput JSON "
                              "export (shape + ratio consistency + speedup "
                              "gate), print its canonical digest, and exit")
+    parser.add_argument("--fleet", default="",
+                        help="validate a bench/fleet_soak JSON export "
+                             "(supervision-overhead gate + quarantine "
+                             "exactness), print its canonical digest, and "
+                             "exit")
     args = parser.parse_args()
 
     if args.validate_metrics:
@@ -420,6 +516,9 @@ def main():
         return
     if args.market:
         print(market_digest(load_market(args.market)))
+        return
+    if args.fleet:
+        print(fleet_digest(load_fleet(args.fleet)))
         return
 
     raw = run_benchmarks(args.bin, args.min_time, args.extra_filter)

@@ -6,6 +6,8 @@
 //   htune_cli simulate <spec> [--allocator=...] [--runs=N]
 //   htune_cli run-durable <spec> --journal=PATH [--budget=N]
 //                                [--snapshot-interval=N]
+//   htune_cli run-fleet <fleet-spec> --dir=PATH [--max-running=N]
+//   htune_cli resume-fleet --dir=PATH [--max-running=N] [--resume-parked]
 //
 // Every command accepts --metrics=PATH: after the command finishes, the
 // observability registry (counters/gauges/histograms) and the span ring are
@@ -29,6 +31,8 @@
 #include "durability/journal.h"
 #include "market/simulator.h"
 #include "market/trace_io.h"
+#include "fleet/supervisor.h"
+#include "spec/fleet_spec.h"
 #include "spec/job_spec.h"
 #include "stats/descriptive.h"
 #include "tuning/baselines.h"
@@ -55,9 +59,18 @@ void Usage(const char* argv0) {
       "                               tolerant run journaled to PATH; re-run\n"
       "                               the same command after a crash to\n"
       "                               resume from the last snapshot)\n"
+      "  %s run-fleet <fleet-spec> --dir=PATH [--max-running=N]\n"
+      "                               (submit every job of the fleet spec\n"
+      "                               and run them to completion; the fleet\n"
+      "                               manifest and per-job journals live\n"
+      "                               under PATH)\n"
+      "  %s resume-fleet --dir=PATH [--max-running=N] [--resume-parked]\n"
+      "                               (recover a killed fleet: finished jobs\n"
+      "                               are not re-run, interrupted jobs\n"
+      "                               resume from their journals)\n"
       "allocators: ra (default), ra-exact, ha, ea, rep-even, task-even\n"
       "every command accepts --metrics=PATH (JSON; '-' prints a table)\n",
-      argv0, argv0, argv0, argv0);
+      argv0, argv0, argv0, argv0, argv0, argv0);
 }
 
 std::unique_ptr<htune::BudgetAllocator> MakeAllocator(
@@ -273,14 +286,153 @@ int RunDurable(const htune::JobSpec& spec, const std::string& journal_path,
   return 0;
 }
 
+void PrintFleetOutcome(const htune::FleetSupervisor& fleet,
+                       const htune::FleetRunStats& stats) {
+  std::printf(
+      "fleet: %d dispatched, %d completed, %d restarts, %d quarantined, "
+      "%d watchdog parks, %d exhausted parks, %d breaker parks\n",
+      stats.dispatched, stats.completed, stats.restarts, stats.quarantined,
+      stats.watchdog_parks, stats.exhausted_parks, stats.breaker_parks);
+  for (const auto& [job_id, entry] : fleet.jobs()) {
+    std::printf("  job %-6llu %-24s %-11s restarts %d  journal %llu B%s%s\n",
+                static_cast<unsigned long long>(job_id),
+                entry.spec.name.c_str(),
+                std::string(htune::FleetJobStateToString(entry.state)).c_str(),
+                entry.restarts,
+                static_cast<unsigned long long>(entry.journal_bytes),
+                entry.detail.empty() ? "" : "  ", entry.detail.c_str());
+  }
+}
+
+int RunFleet(const std::string& fleet_spec_path, const std::string& dir,
+             int max_running_override) {
+  if (dir.empty()) {
+    std::fprintf(stderr, "run-fleet requires --dir=PATH\n");
+    return 2;
+  }
+  const auto fleet_spec = htune::LoadFleetSpec(fleet_spec_path);
+  if (!fleet_spec.ok()) {
+    std::fprintf(stderr, "%s\n", fleet_spec.status().ToString().c_str());
+    return 1;
+  }
+  htune::FileFleetStorage provider(dir);
+  htune::FleetConfig config;
+  config.max_running = max_running_override > 0 ? max_running_override
+                                                : fleet_spec->max_running;
+  config.max_admitted = fleet_spec->max_admitted;
+  const htune::Status valid = htune::ValidateFleetConfig(config);
+  if (!valid.ok()) {
+    std::fprintf(stderr, "%s\n", valid.ToString().c_str());
+    return 2;
+  }
+  htune::FleetSupervisor fleet(&provider, config);
+  const htune::Status opened = fleet.Open();
+  if (!opened.ok()) {
+    std::fprintf(stderr, "%s\n", opened.ToString().c_str());
+    return 1;
+  }
+  for (const htune::FleetJobSpec& job : fleet_spec->jobs) {
+    const auto id = fleet.Submit(job);
+    if (!id.ok()) {
+      std::fprintf(stderr, "submit %s: %s\n", job.name.c_str(),
+                   id.status().ToString().c_str());
+      if (id.status().code() != htune::StatusCode::kResourceExhausted) {
+        return 1;  // admission shedding is expected; anything else is not
+      }
+    }
+  }
+  std::printf("fleet %s: %zu jobs submitted, %d lanes\n", dir.c_str(),
+              fleet_spec->jobs.size(), config.max_running);
+  const auto stats = fleet.RunAll();
+  if (!stats.ok()) {
+    std::fprintf(stderr, "fleet died: %s\n",
+                 stats.status().ToString().c_str());
+    std::fprintf(stderr, "resume with: htune_cli resume-fleet --dir=%s\n",
+                 dir.c_str());
+    return 1;
+  }
+  PrintFleetOutcome(fleet, *stats);
+  return 0;
+}
+
+int ResumeFleet(const std::string& dir, int max_running_override,
+                bool resume_parked) {
+  if (dir.empty()) {
+    std::fprintf(stderr, "resume-fleet requires --dir=PATH\n");
+    return 2;
+  }
+  htune::FileFleetStorage provider(dir);
+  htune::FleetConfig config;
+  if (max_running_override > 0) {
+    config.max_running = max_running_override;
+  }
+  config.resume_parked = resume_parked;
+  htune::FleetSupervisor fleet(&provider, config);
+  const htune::Status recovered = fleet.Recover();
+  if (!recovered.ok()) {
+    std::fprintf(stderr, "%s\n", recovered.ToString().c_str());
+    return 1;
+  }
+  if (!fleet.orphans().empty()) {
+    std::printf("quarantined %zu orphan journal(s) with no manifest entry\n",
+                fleet.orphans().size());
+  }
+  const auto stats = fleet.RunAll();
+  if (!stats.ok()) {
+    std::fprintf(stderr, "fleet died again: %s\n",
+                 stats.status().ToString().c_str());
+    return 1;
+  }
+  PrintFleetOutcome(fleet, *stats);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 3) {
+  if (argc < 2) {
     Usage(argv[0]);
     return 2;
   }
   const std::string command = argv[1];
+  const std::string metrics_path = FlagValue(argc, argv, "--metrics", "");
+  int exit_code = 2;
+  bool known_command = true;
+  if (command == "run-fleet" || command == "resume-fleet") {
+    // Fleet commands take a fleet directory, not a job spec.
+    const std::string dir = FlagValue(argc, argv, "--dir", "");
+    const int max_running =
+        std::atoi(FlagValue(argc, argv, "--max-running", "0").c_str());
+    if (command == "run-fleet") {
+      if (argc < 3 || argv[2][0] == '-') {
+        std::fprintf(stderr, "run-fleet requires a fleet spec path\n");
+        Usage(argv[0]);
+        return 2;
+      }
+      exit_code = RunFleet(argv[2], dir, max_running);
+    } else {
+      bool resume_parked = false;
+      for (int i = 2; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--resume-parked") == 0) {
+          resume_parked = true;
+        }
+      }
+      exit_code = ResumeFleet(dir, max_running, resume_parked);
+    }
+    if (!metrics_path.empty()) {
+      const htune::Status status =
+          htune::obs::WriteGlobalMetrics(metrics_path);
+      if (!status.ok()) {
+        std::fprintf(stderr, "--metrics: %s\n", status.ToString().c_str());
+        if (exit_code == 0) exit_code = 1;
+      }
+    }
+    return exit_code;
+  }
+  if (argc < 3) {
+    Usage(argv[0]);
+    return 2;
+  }
   const auto spec = htune::LoadJobSpec(argv[2]);
   if (!spec.ok()) {
     std::fprintf(stderr, "%s\n", spec.status().ToString().c_str());
@@ -288,9 +440,6 @@ int main(int argc, char** argv) {
   }
   const std::string allocator_name =
       FlagValue(argc, argv, "--allocator", "ra");
-  const std::string metrics_path = FlagValue(argc, argv, "--metrics", "");
-  int exit_code = 2;
-  bool known_command = true;
   if (command == "plan") {
     exit_code = Plan(*spec, allocator_name);
   } else if (command == "deadline") {

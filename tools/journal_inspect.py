@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Inspect an htune write-ahead journal.
+"""Inspect an htune write-ahead journal or fleet manifest.
 
 Usage:
   journal_inspect.py dump <journal>     # print every record, decoded
@@ -7,21 +7,35 @@ Usage:
                                         # complete, uncorrupted run whose
                                         # payment ledger balances
   journal_inspect.py ledger <journal>   # print the per-task payment ledger
+  journal_inspect.py manifest <file>    # dump a fleet manifest: every
+                                        # record CRC-rechecked, then the
+                                        # folded per-job fleet state
 
 The binary format mirrors src/durability/journal.h:
   header:  b"HTWJ" magic + u32 LE format version
   record:  u32 LE payload length | u8 type | payload | u32 LE CRC-32C
 The CRC covers length, type, and payload. Integers are little-endian;
-doubles are IEEE-754 bit patterns. Pure stdlib — no third-party deps.
+doubles are IEEE-754 bit patterns. A fleet manifest (b"HTFM" magic, see
+src/durability/manifest.h) shares the frame codec with job/state record
+payloads. Snapshot records are decoded for both market-state codec
+versions: v2 (8-byte NaN magic + u32 version, src/durability/snapshot.cc)
+and the headerless v1. Pure stdlib — no third-party deps.
 """
 
 import struct
 import sys
 
 MAGIC = b"HTWJ"
+MANIFEST_MAGIC = b"HTFM"
 VERSION = 1
 HEADER_SIZE = 8
 FRAME_OVERHEAD = 9  # u32 len + u8 type + u32 crc
+
+# Market-state snapshot codec (src/durability/snapshot.cc): v2 blobs open
+# with this quiet-NaN magic + a u32 version; v1 blobs start directly with
+# the `now` double.
+SNAPSHOT_MAGIC = 0xFFF7485453563200
+SNAPSHOT_VERSION = 2
 
 RECORD_TYPES = {
     1: "run-start",
@@ -82,6 +96,31 @@ class Cursor:
         return [self.i32() for _ in range(self.u64())]
 
 
+def describe_snapshot(market: bytes) -> str:
+    """Version-sniffing summary of a market-state snapshot blob: the v2
+    header when present (src/durability/snapshot.cc), else the headerless
+    v1 layout. Both share the same leading body fields."""
+    c = Cursor(market)
+    try:
+        version = 1
+        if len(market) >= 8 and struct.unpack_from(
+                "<Q", market)[0] == SNAPSHOT_MAGIC:
+            c.u64()
+            version = struct.unpack("<I", c.take(4))[0]
+            if version != SNAPSHOT_VERSION:
+                return f"v{version}: unsupported snapshot version"
+        now = c.f64()
+        c.f64()  # next_arrival_time
+        c.u64()  # next_worker
+        next_task = c.u64()
+        event_sequence = c.u64()
+        total_spent = c.i64()
+        return (f"v{version} now={now:.6f} tasks_created={next_task} "
+                f"events_seen={event_sequence} spent={total_spent}")
+    except ValueError:
+        return f"<malformed snapshot, {len(market)} bytes>"
+
+
 def describe(rtype: int, payload: bytes) -> str:
     """Human rendering of one record payload; never raises on garbage."""
     c = Cursor(payload)
@@ -105,6 +144,7 @@ def describe(rtype: int, payload: bytes) -> str:
             market = c.string()
             executor = c.string()
             return (f"market_blob={len(market)}B "
+                    f"({describe_snapshot(market)}) "
                     f"executor_blob={len(executor)}B")
         if rtype == 8:
             return f"spent={c.i64()} latency={c.f64():.6f}"
@@ -229,8 +269,141 @@ def cmd_verify(data: bytes) -> int:
     return 0
 
 
+MANIFEST_RECORD_TYPES = {1: "job", 2: "state"}
+
+FLEET_JOB_STATES = {
+    0: "PENDING",
+    1: "RUNNING",
+    2: "PARKED",
+    3: "QUARANTINED",
+    4: "DONE",
+    5: "SHED",
+}
+
+FLEET_CONTROLLERS = {0: "ft", 1: "retune"}
+
+
+def scan_manifest(data: bytes):
+    """Like scan() but for the b"HTFM" fleet-manifest framing. Returns
+    (records, valid_bytes, torn_reason); every record's CRC is rechecked."""
+    if len(data) == 0:
+        return [], 0, None
+    if data[:min(len(data), 4)] != MANIFEST_MAGIC[:min(len(data), 4)]:
+        raise ValueError("bad magic: not an htune fleet manifest")
+    if len(data) < HEADER_SIZE:
+        return [], 0, "torn header"
+    version = struct.unpack("<I", data[4:8])[0]
+    if version != VERSION:
+        raise ValueError(f"unsupported manifest version {version}")
+    records = []
+    pos = HEADER_SIZE
+    while pos < len(data):
+        if pos + 5 > len(data):
+            return records, pos, "torn frame header"
+        length, rtype = struct.unpack_from("<IB", data, pos)
+        end = pos + FRAME_OVERHEAD + length
+        if end > len(data):
+            return records, pos, "torn frame body"
+        framed = data[pos:pos + 5 + length]
+        (crc,) = struct.unpack_from("<I", data, pos + 5 + length)
+        if crc32c(framed) != crc:
+            return records, pos, "CRC mismatch"
+        records.append((pos, rtype, data[pos + 5:pos + 5 + length]))
+        pos = end
+    return records, pos, None
+
+
+def describe_manifest(rtype: int, payload: bytes) -> str:
+    """Human rendering of one manifest record (src/durability/manifest.cc
+    payload layout); never raises on garbage."""
+    c = Cursor(payload)
+    try:
+        if rtype == 1:
+            job_id = c.u64()
+            name = c.string().decode("utf-8", "replace")
+            priority = c.i32()
+            spec_text = c.string()
+            ceiling = c.i64()
+            seed_override = c.i64()
+            snapshot_interval = c.i32()
+            controller = FLEET_CONTROLLERS.get(
+                c.take(1)[0], "controller-?")
+            return (f"job {job_id} '{name}' priority={priority} "
+                    f"spec={len(spec_text)}B ceiling={ceiling} "
+                    f"seed_override={seed_override} "
+                    f"snapshot_interval={snapshot_interval} "
+                    f"controller={controller}")
+        if rtype == 2:
+            job_id = c.u64()
+            state = FLEET_JOB_STATES.get(c.take(1)[0], "state-?")
+            restarts = c.i32()
+            journal_bytes = c.u64()
+            detail = c.string().decode("utf-8", "replace")
+            text = (f"job {job_id} -> {state} restarts={restarts} "
+                    f"journal_bytes={journal_bytes}")
+            return text + (f" detail='{detail}'" if detail else "")
+        return f"{len(payload)} payload bytes"
+    except ValueError:
+        return f"<malformed payload, {len(payload)} bytes>"
+
+
+def cmd_manifest(data: bytes) -> int:
+    records, valid, torn = scan_manifest(data)
+    print(f"{len(records)} records, {valid} valid bytes of {len(data)}")
+    for offset, rtype, payload in records:
+        name = MANIFEST_RECORD_TYPES.get(rtype, f"type-{rtype}")
+        print(f"  {offset:8d}  {name:<6} {describe_manifest(rtype, payload)}")
+    if torn:
+        print(f"  TORN TAIL at offset {valid}: {torn} "
+              f"({len(data) - valid} bytes dropped on recovery)")
+    # Fold the record sequence into the fleet state a recovering supervisor
+    # would see: last state record per job wins.
+    jobs = {}
+    unknown = []
+    for _, rtype, payload in records:
+        c = Cursor(payload)
+        try:
+            if rtype == 1:
+                job_id = c.u64()
+                name = c.string().decode("utf-8", "replace")
+                jobs[job_id] = {"name": name, "state": "PENDING",
+                                "restarts": 0, "journal_bytes": 0,
+                                "detail": ""}
+            elif rtype == 2:
+                job_id = c.u64()
+                state = FLEET_JOB_STATES.get(c.take(1)[0], "state-?")
+                restarts = c.i32()
+                journal_bytes = c.u64()
+                detail = c.string().decode("utf-8", "replace")
+                if job_id not in jobs:
+                    unknown.append(job_id)
+                    continue
+                jobs[job_id].update(state=state, restarts=restarts,
+                                    journal_bytes=journal_bytes,
+                                    detail=detail)
+        except ValueError:
+            pass
+    print(f"\nfleet state ({len(jobs)} jobs):")
+    counts = {}
+    for job_id, job in sorted(jobs.items()):
+        counts[job["state"]] = counts.get(job["state"], 0) + 1
+        line = (f"  job {job_id:6d}  {job['state']:<12} "
+                f"restarts={job['restarts']:<3d} "
+                f"journal_bytes={job['journal_bytes']:<10d} {job['name']}")
+        if job["detail"]:
+            line += f"  [{job['detail']}]"
+        print(line)
+    summary = " ".join(f"{state}={n}" for state, n in sorted(counts.items()))
+    print(f"totals: {summary if summary else 'empty'}")
+    for job_id in unknown:
+        print(f"WARNING: state record for unknown job {job_id} "
+              f"(lost kJob record — quarantined orphan?)")
+    return 1 if torn or unknown else 0
+
+
 def main(argv) -> int:
-    if len(argv) != 3 or argv[1] not in ("dump", "verify", "ledger"):
+    if len(argv) != 3 or argv[1] not in ("dump", "verify", "ledger",
+                                         "manifest"):
         print(__doc__, file=sys.stderr)
         return 2
     try:
@@ -241,7 +414,7 @@ def main(argv) -> int:
         return 1
     try:
         return {"dump": cmd_dump, "verify": cmd_verify,
-                "ledger": cmd_ledger}[argv[1]](data)
+                "ledger": cmd_ledger, "manifest": cmd_manifest}[argv[1]](data)
     except ValueError as e:
         print(f"FAIL: {e}", file=sys.stderr)
         return 1

@@ -45,6 +45,15 @@ dedicated (pure-stdlib) linter. Rules:
                    simulated clock. Wrap the operation in
                    htune::RetryTransient (resilience/policy.h) instead;
                    backoff is charged in simulated seconds.
+  fleet-lifecycle  No direct fleet-lifecycle mutations in src/ outside
+                   src/fleet/ and the manifest codec itself
+                   (src/durability/manifest.{h,cc}): a FleetJobState
+                   assignment or a raw FleetManifest::AppendState call
+                   anywhere else bypasses FleetSupervisor's transition
+                   helpers — the single durable mutation path that keeps
+                   the in-memory job table, the manifest, and the
+                   fleet.jobs_* gauges consistent. Comparisons against
+                   FleetJobState values are fine.
 
 Suppressions: append `// htune-lint: allow(<rule>) <reason>` on the
 offending line or the line above it. A file-level
@@ -103,6 +112,11 @@ RETRY_LOOP_RE = re.compile(
     r"backoff)\b"
 )
 
+# An `=` directly followed by a FleetJobState value, excluding `==`/`!=`
+# (and `<=`/`>=`) comparisons: only assignments mutate lifecycle state.
+FLEET_STATE_ASSIGN_RE = re.compile(r"(?<![=!<>])=\s*FleetJobState::")
+APPEND_STATE_RE = re.compile(r"\bAppendState\s*\(")
+
 RULES = {
     "nondeterminism": "no wall-clock/ambient-random sources in src/",
     "unordered-iter": "no iteration over unordered containers "
@@ -116,6 +130,9 @@ RULES = {
                  "(invisible to -Wthread-safety)",
     "raw-retry": "no hand-rolled retry loops or sleeps outside "
                  "src/resilience/ (use htune::RetryTransient)",
+    "fleet-lifecycle": "no FleetJobState assignments or raw AppendState "
+                       "calls outside src/fleet/ and the manifest codec "
+                       "(go through FleetSupervisor's transition helpers)",
 }
 
 
@@ -236,6 +253,22 @@ def lint_text(text, virtual_path):
                     "hand-rolled retry loop skips the bounded-attempt/"
                     "backoff/jitter contract; wrap the operation in "
                     "htune::RetryTransient (resilience/policy.h)")
+
+    if in_src and not path.startswith("src/fleet/") and path not in (
+            "src/durability/manifest.h", "src/durability/manifest.cc"):
+        for idx, line in enumerate(code):
+            if APPEND_STATE_RE.search(line):
+                add(idx, "fleet-lifecycle",
+                    "raw FleetManifest::AppendState bypasses "
+                    "FleetSupervisor's transition helpers (the single "
+                    "durable lifecycle mutation path); route the state "
+                    "change through the supervisor")
+            elif FLEET_STATE_ASSIGN_RE.search(line):
+                add(idx, "fleet-lifecycle",
+                    "direct FleetJobState assignment bypasses "
+                    "FleetSupervisor's transition helpers; lifecycle "
+                    "state must change through the supervisor so the "
+                    "manifest and gauges stay consistent")
 
     if path.startswith("src/market/"):
         for idx, line in enumerate(code):
