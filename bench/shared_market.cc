@@ -1,0 +1,260 @@
+// Shared-market platform bench: one SharedMarket carrying a whole fleet of
+// concurrent jobs, plus the paper's competition sanity check.
+//
+// Two sections, both exported through tools/bench_report.py --shared:
+//
+//  1. Throughput gate: >= 1000 jobs compete on ONE market (the platform
+//     service's design target is many small jobs, so the gate is job count,
+//     not tasks-per-job). Every posted task must complete, and the event
+//     rate is reported for trend tracking.
+//  2. Competition invariant: two identical saturating jobs each see ~half
+//     the isolated acceptance rate (acceptance thinning conserves the
+//     worker stream). observed_ratio is re-derived by the validator from
+//     the exported rates, so it is computed here from the same doubles.
+//
+// Usage: shared_market [--smoke] [--out=PATH]
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "model/price_rate_curve.h"
+#include "platform/shared_market.h"
+
+namespace {
+
+using htune::LinearCurve;
+using htune::PriceRateCurve;
+using htune::SharedMarket;
+using htune::SharedMarketConfig;
+using htune::TraceEvent;
+using htune::TraceEventKind;
+
+std::shared_ptr<const PriceRateCurve> UnitCurve() {
+  return std::make_shared<LinearCurve>(1.0, 0.0);
+}
+
+size_t CountAcceptances(const std::vector<TraceEvent>& trace) {
+  size_t n = 0;
+  for (const TraceEvent& event : trace) {
+    if (event.kind == TraceEventKind::kTaskAccepted) ++n;
+  }
+  return n;
+}
+
+struct ThroughputResult {
+  int jobs = 0;
+  uint64_t tasks = 0;
+  uint64_t tasks_completed = 0;
+  uint64_t total_events = 0;
+  double wall_seconds = 0.0;
+  double events_per_sec = 0.0;
+  bool ok = false;
+};
+
+// N jobs x kTasksPerJob tasks x kRepsPerTask repetitions on one market.
+// Total posted weight (price 5 per on-hold task) dwarfs the arrival rate,
+// so every arrival is productive and the run length is repetitions/rate.
+ThroughputResult RunThroughput(int jobs) {
+  constexpr int kTasksPerJob = 4;
+  constexpr int kRepsPerTask = 3;
+  constexpr int kPrice = 5;
+  constexpr double kProcessingRate = 2.0;
+
+  SharedMarketConfig config;
+  config.worker_arrival_rate = 500.0;
+  config.worker_error_prob = 0.05;
+  config.curve = UnitCurve();
+  config.seed = 11;
+  config.record_trace = false;  // throughput section: no trace overhead
+
+  ThroughputResult result;
+  result.jobs = jobs;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  SharedMarket market(config);
+  const std::vector<int> reps(kRepsPerTask, kPrice);
+  for (int j = 0; j < jobs; ++j) {
+    const uint64_t id = static_cast<uint64_t>(j) + 1;
+    if (!market.AddJob(id, 1000 + id).ok()) return result;
+    for (int t = 0; t < kTasksPerJob; ++t) {
+      if (!market.PostTask(id, reps, kProcessingRate).ok()) return result;
+    }
+  }
+  if (!market.RunToCompletion().ok()) return result;
+  const auto t1 = std::chrono::steady_clock::now();
+
+  for (int j = 0; j < jobs; ++j) {
+    const uint64_t id = static_cast<uint64_t>(j) + 1;
+    result.tasks_completed += market.CompletedOutcomes(id).size();
+  }
+  result.tasks = static_cast<uint64_t>(jobs) * kTasksPerJob;
+  const htune::SharedMarketCounts& counts = market.Counts();
+  result.total_events =
+      counts.tasks_posted + counts.worker_arrivals + counts.completions;
+  result.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  if (result.wall_seconds <= 0.0) result.wall_seconds = 1e-9;
+  result.events_per_sec =
+      static_cast<double>(result.total_events) / result.wall_seconds;
+  result.ok = result.tasks_completed == result.tasks;
+  return result;
+}
+
+struct CompetitionResult {
+  double isolated_rate = 0.0;
+  double shared_rate = 0.0;
+  double expected_ratio = 0.5;
+  double observed_ratio = 0.0;
+  double tolerance = 0.05;
+  bool ok = false;
+};
+
+// Mirrors SharedMarketTest.TwoIdenticalJobsEachSeeHalfTheIsolatedRate: a
+// single saturating job (weight 200 > arrival rate 50) accepts nearly every
+// arrival; adding an identical rival must halve its effective rate.
+CompetitionResult RunCompetition(double window) {
+  constexpr double kProcessingRate = 1e6;  // turnaround is negligible
+  constexpr int kSaturatingPrice = 200;
+
+  SharedMarketConfig config;
+  config.worker_arrival_rate = 50.0;
+  config.worker_error_prob = 0.0;
+  config.curve = UnitCurve();
+  config.seed = 7;
+
+  // Enough repetitions that neither task completes inside the window.
+  const std::vector<int> reps(
+      static_cast<size_t>(window * config.worker_arrival_rate * 2.0) + 64,
+      kSaturatingPrice);
+
+  CompetitionResult result;
+
+  SharedMarket isolated(config);
+  if (!isolated.AddJob(1, 21).ok()) return result;
+  if (!isolated.PostTask(1, reps, kProcessingRate).ok()) return result;
+  isolated.RunUntil(window);
+  result.isolated_rate =
+      static_cast<double>(CountAcceptances(isolated.Trace(1))) / window;
+
+  SharedMarket shared(config);
+  if (!shared.AddJob(1, 21).ok()) return result;
+  if (!shared.AddJob(2, 22).ok()) return result;
+  if (!shared.PostTask(1, reps, kProcessingRate).ok()) return result;
+  if (!shared.PostTask(2, reps, kProcessingRate).ok()) return result;
+  shared.RunUntil(window);
+  result.shared_rate =
+      static_cast<double>(CountAcceptances(shared.Trace(1))) / window;
+
+  if (result.isolated_rate <= 0.0) return result;
+  result.observed_ratio = result.shared_rate / result.isolated_rate;
+  const double error = result.observed_ratio - result.expected_ratio;
+  result.ok = (error < 0 ? -error : error) <= result.tolerance;
+  return result;
+}
+
+int WriteReport(const std::string& path, bool smoke, int min_jobs_for_gate,
+                const ThroughputResult& t, const CompetitionResult& c) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 2;
+  }
+  std::fprintf(
+      f,
+      "{\n"
+      "  \"schema_version\": 1,\n"
+      "  \"smoke\": %s,\n"
+      "  \"jobs\": %d,\n"
+      "  \"min_jobs_for_gate\": %d,\n"
+      "  \"tasks\": %llu,\n"
+      "  \"tasks_completed\": %llu,\n"
+      "  \"total_events\": %llu,\n"
+      "  \"wall_seconds\": %.17g,\n"
+      "  \"events_per_sec\": %.17g,\n"
+      "  \"competition\": {\n"
+      "    \"isolated_rate\": %.17g,\n"
+      "    \"shared_rate\": %.17g,\n"
+      "    \"expected_ratio\": %.17g,\n"
+      "    \"observed_ratio\": %.17g,\n"
+      "    \"tolerance\": %.17g\n"
+      "  }\n"
+      "}\n",
+      smoke ? "true" : "false", t.jobs, min_jobs_for_gate,
+      static_cast<unsigned long long>(t.tasks),
+      static_cast<unsigned long long>(t.tasks_completed),
+      static_cast<unsigned long long>(t.total_events), t.wall_seconds,
+      t.events_per_sec, c.isolated_rate, c.shared_rate, c.expected_ratio,
+      c.observed_ratio, c.tolerance);
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out_path = argv[i] + 6;
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--out=PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  constexpr int kMinJobsForGate = 1000;
+  const int jobs = smoke ? 64 : 1200;
+  const double window = smoke ? 50.0 : 400.0;
+
+  std::printf("shared-market bench (%s): %d concurrent jobs on one market\n",
+              smoke ? "smoke" : "full", jobs);
+
+  const ThroughputResult t = RunThroughput(jobs);
+  std::printf("throughput: %llu/%llu tasks completed, %llu events in "
+              "%.3f s (%.0f events/s)\n",
+              static_cast<unsigned long long>(t.tasks_completed),
+              static_cast<unsigned long long>(t.tasks),
+              static_cast<unsigned long long>(t.total_events), t.wall_seconds,
+              t.events_per_sec);
+
+  const CompetitionResult c = RunCompetition(window);
+  std::printf("competition: isolated %.3f/s, shared %.3f/s, ratio %.4f "
+              "(expected %.2f +/- %.2f)\n",
+              c.isolated_rate, c.shared_rate, c.observed_ratio,
+              c.expected_ratio, c.tolerance);
+
+  int status = 0;
+  if (!out_path.empty()) {
+    status = WriteReport(out_path, smoke, kMinJobsForGate, t, c);
+    if (status != 0) return status;
+  }
+
+  if (!t.ok) {
+    std::printf("FAIL: %llu of %llu tasks never completed\n",
+                static_cast<unsigned long long>(t.tasks - t.tasks_completed),
+                static_cast<unsigned long long>(t.tasks));
+    return 1;
+  }
+  if (!smoke && t.jobs < kMinJobsForGate) {
+    std::printf("FAIL: %d jobs is below the %d-job gate\n", t.jobs,
+                kMinJobsForGate);
+    return 1;
+  }
+  if (!c.ok) {
+    std::printf("FAIL: competition ratio %.4f outside %.2f +/- %.2f\n",
+                c.observed_ratio, c.expected_ratio, c.tolerance);
+    return 1;
+  }
+  std::printf("PASS: %d jobs shared one market; competition halves the "
+              "isolated rate\n",
+              t.jobs);
+  return 0;
+}

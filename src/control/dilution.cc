@@ -1,0 +1,48 @@
+#include "control/dilution.h"
+
+#include <cmath>
+#include <utility>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace htune {
+
+DilutedCurve::DilutedCurve(std::shared_ptr<const PriceRateCurve> base,
+                           double arrival_rate, double total_weight)
+    : base_(std::move(base)),
+      arrival_rate_(arrival_rate),
+      total_weight_(total_weight) {
+  HTUNE_CHECK(base_ != nullptr);
+  HTUNE_CHECK_GT(arrival_rate_, 0.0);
+  HTUNE_CHECK(std::isfinite(arrival_rate_));
+  HTUNE_CHECK_GE(total_weight_, 0.0);
+  HTUNE_CHECK(std::isfinite(total_weight_));
+  factor_ = total_weight_ > arrival_rate_ ? arrival_rate_ / total_weight_
+                                          : 1.0;
+}
+
+double DilutedCurve::Rate(double price) const {
+  return base_->Rate(price) * factor_;
+}
+
+std::string DilutedCurve::Name() const {
+  return base_->Name() + " | diluted(" + FormatDouble(factor_, 3) + ")";
+}
+
+std::unique_ptr<PriceRateCurve> DilutedCurve::Clone() const {
+  return std::make_unique<DilutedCurve>(base_, arrival_rate_, total_weight_);
+}
+
+std::shared_ptr<const PriceRateCurve> DiluteCurveForSharedMarket(
+    std::shared_ptr<const PriceRateCurve> base, double arrival_rate,
+    double total_weight) {
+  HTUNE_CHECK(base != nullptr);
+  if (total_weight <= arrival_rate) {
+    return base;
+  }
+  return std::make_shared<DilutedCurve>(std::move(base), arrival_rate,
+                                        total_weight);
+}
+
+}  // namespace htune

@@ -1,0 +1,58 @@
+#ifndef HTUNE_CONTROL_DILUTION_H_
+#define HTUNE_CONTROL_DILUTION_H_
+
+#include <memory>
+
+#include "model/price_rate_curve.h"
+
+namespace htune {
+
+/// A price-rate curve as seen from inside a contended shared market: the
+/// base curve's rate, scaled by the common dilution factor
+///   arrival_rate / max(arrival_rate, total_weight)
+/// that SharedArrivalStream applies once the sum of all competitors'
+/// posted weights exceeds the worker arrival rate. Executors tuned against
+/// a DilutedCurve observe cross-job rate dilution through the existing
+/// curve interface — no allocator or evaluator learns anything about the
+/// other jobs beyond the single scalar `total_weight`.
+///
+/// The dilution factor is frozen at construction (a review-epoch
+/// observation), so within one tuning pass the curve is an ordinary
+/// deterministic PriceRateCurve: positive, finite, and monotone wherever
+/// the base curve is. Controllers rebuild it each review with the current
+/// total weight, mirroring how a real requester re-estimates market
+/// responsiveness between posting rounds.
+class DilutedCurve : public PriceRateCurve {
+ public:
+  /// `base` must be non-null; `arrival_rate` positive and finite;
+  /// `total_weight` non-negative and finite (the left-to-right sum from
+  /// SharedArrivalStream::TotalWeight over every competing candidate,
+  /// including this job's own postings).
+  DilutedCurve(std::shared_ptr<const PriceRateCurve> base,
+               double arrival_rate, double total_weight);
+
+  double Rate(double price) const override;
+  std::string Name() const override;
+  std::unique_ptr<PriceRateCurve> Clone() const override;
+
+  /// The frozen factor arrival_rate / max(arrival_rate, total_weight),
+  /// in (0, 1].
+  double factor() const { return factor_; }
+
+ private:
+  std::shared_ptr<const PriceRateCurve> base_;
+  double arrival_rate_;
+  double total_weight_;
+  double factor_;
+};
+
+/// Convenience wrapper: returns `base` unchanged while the market is
+/// unsaturated (total_weight <= arrival_rate, factor 1), otherwise a
+/// DilutedCurve — so the common uncontended path adds no indirection.
+std::shared_ptr<const PriceRateCurve> DiluteCurveForSharedMarket(
+    std::shared_ptr<const PriceRateCurve> base, double arrival_rate,
+    double total_weight);
+
+}  // namespace htune
+
+#endif  // HTUNE_CONTROL_DILUTION_H_

@@ -77,6 +77,22 @@ Status ValidateFaultTolerantConfig(const FaultTolerantConfig& config) {
         "got " +
         std::to_string(config.acceptance_timeout));
   }
+  if (std::isnan(config.abandonment.prob) || config.abandonment.prob < 0.0 ||
+      config.abandonment.prob >= 1.0) {
+    return InvalidArgumentError(
+        "FaultTolerantConfig: abandonment.prob must lie in [0, 1) — at "
+        "prob == 1 every acceptance is abandoned, so the expected hold "
+        "chain never ends and no finite effective rate exists; got " +
+        std::to_string(config.abandonment.prob));
+  }
+  if (config.abandonment.prob > 0.0 &&
+      !(config.abandonment.hold_rate > 0.0 &&
+        std::isfinite(config.abandonment.hold_rate))) {
+    return InvalidArgumentError(
+        "FaultTolerantConfig: abandonment.hold_rate must be positive and "
+        "finite when abandonment.prob > 0, got " +
+        std::to_string(config.abandonment.hold_rate));
+  }
   HTUNE_RETURN_IF_ERROR(ValidateRetryPolicy(config.market_retry));
   HTUNE_RETURN_IF_ERROR(ValidateCircuitBreakerConfig(config.breaker));
   if (std::isnan(config.time_deadline) ||

@@ -295,39 +295,54 @@ StatusOr<uint64_t> FleetSupervisor::Submit(const FleetJobSpec& spec) {
     // Admission control: count the backlog (jobs admitted but not yet
     // terminal). Running jobs are not shed — shedding only ever cancels
     // work that has not started.
-    int backlog = 0;
-    uint64_t victim_id = 0;
-    int victim_priority = 0;
-    bool have_victim = false;
+    std::vector<std::pair<int, uint64_t>> pending;  // (priority, id)
     for (const auto& [id, entry] : manifest_->jobs()) {
-      if (entry.state != FleetJobState::kPending) {
-        continue;
-      }
-      ++backlog;
-      // Shed candidate: lowest priority, youngest (highest id) among ties —
-      // fairness keeps older equal-priority work ahead of newer.
-      if (!have_victim || entry.spec.priority < victim_priority ||
-          (entry.spec.priority == victim_priority && id > victim_id)) {
-        have_victim = true;
-        victim_id = id;
-        victim_priority = entry.spec.priority;
+      if (entry.state == FleetJobState::kPending) {
+        pending.emplace_back(entry.spec.priority, id);
       }
     }
+    const int backlog = static_cast<int>(pending.size());
     if (backlog >= config_.max_admitted) {
-      if (!have_victim || spec.priority <= victim_priority) {
+      // Admitting the newcomer must leave the backlog at or under the cap,
+      // so backlog - max_admitted + 1 victims have to go. The backlog can
+      // already sit past the cap (a fleet reopened with a smaller
+      // max_admitted), so the need is not always exactly one — shedding a
+      // single victim there would admit past the cap. Shedding is
+      // all-or-nothing: every victim must be strictly outranked by the
+      // newcomer, or the newcomer is rejected and the backlog keeps every
+      // job it had (a rejection never costs a pending job).
+      const size_t need =
+          static_cast<size_t>(backlog - config_.max_admitted) + 1;
+      // Shed order: lowest priority first, youngest (highest id) among
+      // ties — fairness keeps older equal-priority work ahead of newer.
+      std::sort(pending.begin(), pending.end(),
+                [](const std::pair<int, uint64_t>& a,
+                   const std::pair<int, uint64_t>& b) {
+                  if (a.first != b.first) return a.first < b.first;
+                  return a.second > b.second;
+                });
+      bool outranks_enough = pending.size() >= need;
+      for (size_t i = 0; outranks_enough && i < need; ++i) {
+        outranks_enough = pending[i].first < spec.priority;
+      }
+      if (!outranks_enough) {
         HTUNE_OBS_COUNTER_ADD("fleet.admission_rejects", 1);
         return ResourceExhaustedError(
             "fleet admission: backlog full (" + std::to_string(backlog) +
             " pending >= max_admitted " +
             std::to_string(config_.max_admitted) + ") and priority " +
-            std::to_string(spec.priority) + " outranks no pending job");
+            std::to_string(spec.priority) + " does not outrank the " +
+            std::to_string(need) + " lowest-priority pending job(s)");
       }
-      HTUNE_RETURN_IF_ERROR(Transition(
-          victim_id, FleetJobState::kShed, 0, 0,
-          "shed: admission control preferred job " + std::to_string(job_id) +
-              " (priority " + std::to_string(spec.priority) + " > " +
-              std::to_string(victim_priority) + ")"));
-      HTUNE_OBS_COUNTER_ADD("fleet.shed", 1);
+      for (size_t i = 0; i < need; ++i) {
+        HTUNE_RETURN_IF_ERROR(Transition(
+            pending[i].second, FleetJobState::kShed, 0, 0,
+            "shed: admission control preferred job " +
+                std::to_string(job_id) + " (priority " +
+                std::to_string(spec.priority) + " > " +
+                std::to_string(pending[i].first) + ")"));
+        HTUNE_OBS_COUNTER_ADD("fleet.shed", 1);
+      }
     }
   }
   HTUNE_RETURN_IF_ERROR(manifest_->AppendJob(job_id, spec));
@@ -444,6 +459,223 @@ StatusOr<FleetRunStats> FleetSupervisor::RunAll() {
   const int lanes = config_.max_running;
   ParallelFor(static_cast<size_t>(lanes),
               [this, &stats](size_t) { WorkerLane(&stats); });
+  MutexLock lock(mu_);
+  if (fleet_dead_ && !death_status_.ok()) {
+    return death_status_;
+  }
+  return stats;
+}
+
+StatusOr<FleetRunStats> FleetSupervisor::RunAllShared(SharedJobDriver* driver) {
+  if (driver == nullptr) {
+    return InvalidArgumentError("fleet: RunAllShared needs a driver");
+  }
+  FleetRunStats stats;
+  {
+    MutexLock lock(mu_);
+    if (manifest_ == nullptr) {
+      return FailedPreconditionError("fleet: RunAllShared before Open");
+    }
+    fleet_dead_ = false;
+    death_status_ = OkStatus();
+    ready_.clear();
+    for (const auto& [job_id, entry] : manifest_->jobs()) {
+      const bool runnable =
+          entry.state == FleetJobState::kPending ||
+          entry.state == FleetJobState::kRunning ||
+          (config_.resume_parked && entry.state == FleetJobState::kParked);
+      if (runnable) {
+        ready_.push_back(job_id);
+      }
+    }
+    const auto& jobs = manifest_->jobs();
+    std::stable_sort(ready_.begin(), ready_.end(),
+                     [&jobs](uint64_t a, uint64_t b) {
+                       const int pa = jobs.at(a).spec.priority;
+                       const int pb = jobs.at(b).spec.priority;
+                       if (pa != pb) {
+                         return pa > pb;
+                       }
+                       return a < b;
+                     });
+  }
+
+  // Rounds: each consumes the whole ready queue into one gang, drives the
+  // shared simulation unlocked, folds the outcomes, and repeats while
+  // restarts re-entered the queue.
+  for (;;) {
+    std::vector<SharedJobDriver::JobRun> runs;
+    std::map<uint64_t, ManifestJobEntry> entries;
+    std::map<uint64_t, uint64_t> start_valid;
+    bool drained = false;
+    {
+      MutexLock lock(mu_);
+      if (fleet_dead_ || ready_.empty()) {
+        drained = true;
+      } else {
+        std::vector<uint64_t> round;
+        round.swap(ready_);
+        for (const uint64_t job_id : round) {
+          const ManifestJobEntry entry = manifest_->jobs().at(job_id);
+
+          breaker_clock_ += 1.0;
+          if (!breaker_.AllowRequest(breaker_clock_)) {
+            const Status parked = Transition(
+                job_id, FleetJobState::kParked, entry.restarts,
+                entry.journal_bytes, "parked: fleet breaker open");
+            if (!parked.ok()) {
+              MarkDead(parked);
+              break;
+            }
+            ++stats.breaker_parks;
+            HTUNE_OBS_COUNTER_ADD("fleet.breaker_parks", 1);
+            continue;
+          }
+
+          // Pre-flight validation, identical to the lane path: a job whose
+          // journal cannot be trusted never reaches the shared simulation.
+          const auto storage_or = JobStorage(job_id);
+          if (!storage_or.ok()) {
+            MarkDead(storage_or.status());
+            break;
+          }
+          JournalStorage* storage = *storage_or;
+          const auto loaded = storage->Load();
+          if (!loaded.ok()) {
+            if (loaded.status().code() == StatusCode::kResourceExhausted) {
+              MarkDead(loaded.status());
+              break;
+            }
+            Outcome out;
+            out.kind = Outcome::Kind::kTransient;
+            out.status = loaded.status();
+            out.journal_bytes = entry.journal_bytes;
+            ++stats.dispatched;
+            FoldOutcome(job_id, entry, out, &stats);
+            if (fleet_dead_) {
+              break;
+            }
+            continue;
+          }
+          const auto scan = ScanJournal(*loaded);
+          std::string quarantine_reason;
+          if (!scan.ok()) {
+            quarantine_reason =
+                "journal failed validation: " + scan.status().ToString();
+          } else if (scan->valid_bytes < entry.journal_bytes) {
+            quarantine_reason =
+                "journal regressed below durable mark (" +
+                std::to_string(scan->valid_bytes) + " < " +
+                std::to_string(entry.journal_bytes) +
+                " bytes intact): corrupted inside the recorded prefix";
+          }
+          if (!quarantine_reason.empty()) {
+            breaker_.RecordFailure(breaker_clock_);
+            const Status q = Transition(
+                job_id, FleetJobState::kQuarantined, entry.restarts,
+                scan.ok() ? scan->valid_bytes : 0, quarantine_reason);
+            if (!q.ok()) {
+              MarkDead(q);
+              break;
+            }
+            ++stats.quarantined;
+            HTUNE_OBS_COUNTER_ADD("fleet.quarantines", 1);
+            continue;
+          }
+
+          const Status running =
+              Transition(job_id, FleetJobState::kRunning, entry.restarts,
+                         scan->valid_bytes, "");
+          if (!running.ok()) {
+            MarkDead(running);
+            break;
+          }
+          ++stats.dispatched;
+          HTUNE_OBS_COUNTER_ADD("fleet.dispatches", 1);
+
+          SharedJobDriver::JobRun run;
+          run.job_id = job_id;
+          run.spec = entry.spec;
+          run.storage = storage;
+          run.start_valid_bytes = scan->valid_bytes;
+          runs.push_back(std::move(run));
+          entries.emplace(job_id, entry);
+          start_valid.emplace(job_id, scan->valid_bytes);
+        }
+        if (fleet_dead_) {
+          drained = true;
+        }
+      }
+    }
+    if (drained) {
+      break;
+    }
+    if (runs.empty()) {
+      continue;  // everything parked/quarantined; re-check the queue
+    }
+
+    auto outcomes_or = driver->RunJobs(std::move(runs));
+
+    MutexLock lock(mu_);
+    if (!outcomes_or.ok()) {
+      MarkDead(outcomes_or.status());
+      break;
+    }
+    for (const auto& [job_id, entry] : entries) {
+      const SharedJobDriver::JobOutcome* reported = nullptr;
+      for (const SharedJobDriver::JobOutcome& candidate : *outcomes_or) {
+        if (candidate.job_id == job_id) {
+          reported = &candidate;
+          break;
+        }
+      }
+      Outcome out;
+      if (reported == nullptr) {
+        out.kind = Outcome::Kind::kQuarantine;
+        out.status = InternalError("shared driver dropped the job");
+        out.detail = "poison job: shared driver returned no outcome for job " +
+                     std::to_string(job_id);
+        out.journal_bytes = start_valid.at(job_id);
+      } else {
+        out.journal_bytes = reported->journal_bytes;
+        out.progressed = reported->journal_bytes > start_valid.at(job_id);
+        if (reported->status.ok()) {
+          out.kind = Outcome::Kind::kDone;
+          out.result = reported->result;
+        } else {
+          out.status = reported->status;
+          const std::string context =
+              reported->detail.empty() ? "" : reported->detail + ": ";
+          switch (reported->status.code()) {
+            case StatusCode::kUnavailable:
+              out.kind = Outcome::Kind::kTransient;
+              break;
+            case StatusCode::kResourceExhausted:
+              out.kind = Outcome::Kind::kFleetDead;
+              break;
+            case StatusCode::kInternal:
+              out.kind = Outcome::Kind::kQuarantine;
+              out.detail = "divergent replay: " + context +
+                           reported->status.ToString();
+              break;
+            default:
+              out.kind = Outcome::Kind::kQuarantine;
+              out.detail =
+                  "poison job: " + context + reported->status.ToString();
+              break;
+          }
+        }
+      }
+      FoldOutcome(job_id, entry, out, &stats);
+      if (fleet_dead_) {
+        break;
+      }
+    }
+    if (fleet_dead_) {
+      break;
+    }
+  }
+
   MutexLock lock(mu_);
   if (fleet_dead_ && !death_status_.ok()) {
     return death_status_;

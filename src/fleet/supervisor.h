@@ -160,6 +160,50 @@ struct FleetRunStats {
   int quarantined = 0;
 };
 
+/// Gang-execution seam for shared-market serving: where RunAll gives every
+/// job its own isolated marketplace on its own lane, RunAllShared hands the
+/// whole runnable set to ONE driver that advances every job inside a single
+/// coupled simulation (competing for one worker stream). The supervisor
+/// still owns everything durable — admission, preflight journal validation,
+/// lifecycle transitions, restarts, quarantine — and the driver owns only
+/// the in-simulation execution between kRunning and the returned outcomes.
+class SharedJobDriver {
+ public:
+  /// One job the supervisor validated and marked kRunning, ready for the
+  /// shared simulation. `storage` is the job's (decorated) journal,
+  /// borrowed for the call; `start_valid_bytes` is the scanned durable
+  /// mark, against which the supervisor measures progress.
+  struct JobRun {
+    uint64_t job_id = 0;
+    FleetJobSpec spec;
+    JournalStorage* storage = nullptr;
+    uint64_t start_valid_bytes = 0;
+  };
+
+  /// What the shared run did to one job. `status` maps exactly like a
+  /// lane-run controller status: OK completes the job with `result`;
+  /// kUnavailable is transient (restart budget applies); kResourceExhausted
+  /// is the whole-fleet kill; anything else quarantines with `detail`
+  /// prepended to the diagnostic.
+  struct JobOutcome {
+    uint64_t job_id = 0;
+    Status status;
+    std::string detail;
+    uint64_t journal_bytes = 0;
+    FleetJobResult result;
+  };
+
+  virtual ~SharedJobDriver() = default;
+
+  /// Runs every job of `runs` inside one shared simulation and reports one
+  /// outcome per run (any order; a missing outcome is treated as the
+  /// driver's bug and quarantines the job). A non-OK return is a
+  /// driver-level catastrophe: the fleet dies as a unit, exactly like the
+  /// injected whole-process kill.
+  virtual StatusOr<std::vector<JobOutcome>> RunJobs(
+      std::vector<JobRun> runs) = 0;
+};
+
 /// Supervises a fleet of durable tuning jobs: admission, scheduling on the
 /// process thread pool, bounded restarts, hang detection, poison-job
 /// quarantine, and whole-fleet crash recovery through the manifest.
@@ -211,6 +255,13 @@ class FleetSupervisor {
   /// lanes. Returns the injected-kill status if the fleet died mid-run —
   /// the manifest then holds the interrupted states for the next Recover.
   StatusOr<FleetRunStats> RunAll();
+
+  /// Gang-schedules every runnable job onto `driver`'s shared simulation
+  /// instead of isolated lanes. Rounds repeat while restarts re-enter the
+  /// ready queue; preflight validation, lifecycle edges, restart budgets,
+  /// the watchdog, and the fleet breaker behave exactly as under RunAll.
+  /// Returns the death status if the fleet died mid-round.
+  StatusOr<FleetRunStats> RunAllShared(SharedJobDriver* driver);
 
   /// Snapshot of the folded manifest view. Valid after Open/Recover.
   std::map<uint64_t, ManifestJobEntry> jobs() const;

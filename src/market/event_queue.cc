@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <functional>
+#include <limits>
 
 #include "common/check.h"
 
@@ -47,6 +48,11 @@ void BinaryHeapEventQueue::Assign(std::vector<MarketEvent> events) {
 CalendarEventQueue::CalendarEventQueue() : buckets_(kMinBuckets) {}
 
 uint64_t CalendarEventQueue::VirtualBucket(double time) const {
+  // A zero or subnormal width makes the division meaningless (time / width_
+  // jumps straight to inf, or to a bucket index so large every event lands
+  // in a different year): treat it as overflow so the caller degrades to
+  // the single sorted bucket instead of dividing.
+  if (!(width_ >= std::numeric_limits<double>::min())) return kOverflowBucket;
   const double q = time / width_;
   // 2^62: far below the uint64 cast limit, far above any simulated horizon.
   if (!(q >= 0.0) || q >= 4.611686018427388e18) return kOverflowBucket;
@@ -167,7 +173,17 @@ void CalendarEventQueue::Resize(size_t target_buckets) {
     const double span = hi - lo;
     double width = span > 0.0 ? 3.0 * span / static_cast<double>(all.size())
                               : 1.0;
-    if (!(width > 0.0) || !std::isfinite(width)) width = 1.0;
+    // Every sampled inter-event gap being zero (a same-timestamp flood)
+    // yields span == 0; a span of a few ulps divided by a large population
+    // can underflow to a subnormal. Either way the fitted width would send
+    // time / width_ to inf in VirtualBucket, so require a normal positive
+    // width and otherwise fall back to unit-width buckets (same-timestamp
+    // events then share one bucket, which is exactly the degenerate
+    // population's optimal layout).
+    if (!(width >= std::numeric_limits<double>::min()) ||
+        !std::isfinite(width)) {
+      width = 1.0;
+    }
     width_ = width;
   } else {
     width_ = 1.0;

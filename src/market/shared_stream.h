@@ -1,0 +1,126 @@
+#ifndef HTUNE_MARKET_SHARED_STREAM_H_
+#define HTUNE_MARKET_SHARED_STREAM_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "rng/random.h"
+
+namespace htune {
+
+/// One worker arrival as the shared stream reports it.
+struct SharedArrival {
+  /// Simulated epoch of the arrival.
+  double time = 0.0;
+  /// Sequential worker id (0-based since construction/restore lineage).
+  uint64_t worker = 0;
+  /// True when the worker accepted a candidate.
+  bool accepted = false;
+  /// Index into the caller's candidate weights when `accepted`.
+  size_t candidate = 0;
+};
+
+/// Serializable dynamic state of a SharedArrivalStream (see
+/// MarketState for the pattern: configuration is NOT captured; restore
+/// reconstructs the stream from the same arrival rate and feeds this back).
+struct SharedStreamState {
+  double now = 0.0;
+  double next_arrival_time = 0.0;
+  uint64_t arrivals = 0;
+  Random::State rng;
+};
+
+/// ONE Poisson worker-arrival process split across competing consumers by
+/// proportional thinning — the multiplexing seam under the multi-job
+/// platform engine. Where MarketSimulator models each open repetition's
+/// acceptance as an *independent* thinning of its own arrival stream (a
+/// worker may accept several tasks; §3.1.2), the shared stream models the
+/// contended marketplace: each arriving worker accepts at most one of the
+/// candidate repetitions, chosen proportionally to its posted weight
+/// w_i = curve(price_i).
+///
+/// Per arrival the stream computes W = sum of the candidate weights
+/// (strictly left to right — callers must present candidates in a
+/// deterministic order, and the same order after a restore, because float
+/// accumulation order is part of the bitwise-resume contract), sets
+/// T = max(arrival_rate, W), draws ONE uniform u, and accepts the candidate
+/// whose cumulative-weight interval contains u * T; u * T >= W means the
+/// worker walks away. Exactly two uniforms are consumed per arrival (the
+/// next interarrival Exponential and the selection draw) regardless of the
+/// candidate count, so the draw stream depends only on the number of
+/// arrivals — never on who is competing.
+///
+/// The law this yields per candidate: while W <= arrival_rate (the market
+/// is unsaturated) the acceptance process of candidate i is Poisson with
+/// rate exactly w_i — the same marginal law the isolated simulator gives a
+/// task posted at that price. Once W exceeds the arrival rate, every
+/// candidate's rate is diluted by the common factor arrival_rate / W: one
+/// job raising its price (weight) drains every rival's effective rate
+/// through the shared denominator. Two identical saturating jobs therefore
+/// each see half the acceptance rate either would see alone.
+class SharedArrivalStream {
+ public:
+  /// `arrival_rate` is the Poisson intensity of worker arrivals (must be
+  /// positive and finite); `seed` fully determines the stream.
+  SharedArrivalStream(double arrival_rate, uint64_t seed);
+
+  SharedArrivalStream(const SharedArrivalStream&) = delete;
+  SharedArrivalStream& operator=(const SharedArrivalStream&) = delete;
+
+  /// Epoch of the next arrival (peek; Step advances to it).
+  double NextArrivalTime() const { return next_arrival_time_; }
+
+  /// Current simulated time (epoch of the last arrival stepped to).
+  double now() const { return now_; }
+
+  /// Workers that have arrived so far.
+  uint64_t arrivals() const { return arrivals_; }
+
+  /// The configured Poisson intensity.
+  double arrival_rate() const { return arrival_rate_; }
+
+  /// Advances to the next arrival and lets that worker pick among
+  /// `weights[0..n)` proportionally, as described above. Weights must be
+  /// non-negative and finite; a zero-weight candidate is never selected.
+  /// Always consumes exactly two uniforms, even when n == 0.
+  SharedArrival Step(const double* weights, size_t n);
+
+  /// The raw material of one Step: the arrival epoch, worker id, and the
+  /// selection uniform, before any weight layout is applied.
+  struct Draw {
+    double time = 0.0;
+    uint64_t worker = 0;
+    /// The selection uniform in [0, 1). The worker accepts the candidate
+    /// whose cumulative-weight interval contains selector * max(rate, W).
+    double selector = 0.0;
+  };
+
+  /// Low-level variant of Step for hierarchical selectors (the multi-job
+  /// platform engine walks cached per-job totals instead of a flat weight
+  /// array). Consumes the same two uniforms Step would, so flat and
+  /// hierarchical callers share one draw discipline; the caller applies
+  /// the documented threshold rule selector * max(arrival_rate, W) < W
+  /// against its own left-to-right accumulation.
+  Draw StepDraw();
+
+  /// Left-to-right sum of `weights[0..n)` — the exact W the selection in
+  /// Step uses. Exposed so rate-dilution observers (DilutedCurve) compute
+  /// bitwise the same total from the same candidate order.
+  static double TotalWeight(const double* weights, size_t n);
+
+  /// Complete dynamic state for a checkpoint; restoring it into a stream
+  /// constructed with the same arrival rate continues bitwise-identically.
+  SharedStreamState CaptureState() const;
+  void RestoreState(const SharedStreamState& state);
+
+ private:
+  double arrival_rate_;
+  Random rng_;
+  double now_ = 0.0;
+  double next_arrival_time_;
+  uint64_t arrivals_ = 0;
+};
+
+}  // namespace htune
+
+#endif  // HTUNE_MARKET_SHARED_STREAM_H_

@@ -1,5 +1,6 @@
 #include "model/latency_model.h"
 
+#include <algorithm>
 #include <cmath>
 #include <string>
 #include <utility>
@@ -15,27 +16,37 @@ namespace {
 
 void CheckAbandonmentModel(const AbandonmentModel& model) {
   HTUNE_CHECK_GE(model.prob, 0.0);
-  HTUNE_CHECK_LT(model.prob, 1.0);
+  HTUNE_CHECK_LE(model.prob, 1.0);
   if (model.prob > 0.0) {
     HTUNE_CHECK_GT(model.hold_rate, 0.0);
   }
+}
+
+/// The probability the model math runs on. prob == 1 is a degenerate input
+/// (every acceptance is abandoned, so the expected hold chain never ends
+/// and 1 / (1 - prob) is infinite); configuration validation rejects it
+/// with a Status, and any caller that reaches the math anyway gets the
+/// finite ceiling instead of inf/NaN propagating into the DP tables.
+double ClampedAbandonProb(const AbandonmentModel& model) {
+  return std::min(model.prob, kAbandonProbCeiling);
 }
 
 }  // namespace
 
 double ExpectedAttemptsPerRepetition(const AbandonmentModel& model) {
   CheckAbandonmentModel(model);
-  return 1.0 / (1.0 - model.prob);
+  return 1.0 / (1.0 - ClampedAbandonProb(model));
 }
 
 double EffectiveOnHoldMean(double on_hold_rate,
                            const AbandonmentModel& model) {
   CheckAbandonmentModel(model);
   HTUNE_CHECK_GT(on_hold_rate, 0.0);
-  if (model.prob == 0.0) {
+  const double prob = ClampedAbandonProb(model);
+  if (prob == 0.0) {
     return 1.0 / on_hold_rate;
   }
-  const double attempts = 1.0 / (1.0 - model.prob);
+  const double attempts = 1.0 / (1.0 - prob);
   return attempts / on_hold_rate +
          (attempts - 1.0) / model.hold_rate;
 }

@@ -55,9 +55,19 @@ struct AbandonmentModel {
   double hold_rate = 1.0;
 };
 
+/// Largest abandonment probability the model math evaluates at. prob == 1
+/// means every acceptance is abandoned: the expected hold chain is
+/// infinite, so 1 / (1 - prob) and everything built on it would turn into
+/// inf/NaN inside the allocators' DP tables. Configuration validation
+/// rejects prob >= 1 with a clear Status; the functions below additionally
+/// clamp to this ceiling so a degenerate model that slips through still
+/// yields finite (if astronomically pessimistic) rates instead of
+/// poisoning the DP.
+inline constexpr double kAbandonProbCeiling = 1.0 - 0x1p-30;
+
 /// Expected acceptances needed to get one answered repetition: the attempt
-/// count is Geometric(1 - prob), so this is 1 / (1 - prob). Requires
-/// prob in [0, 1).
+/// count is Geometric(1 - prob), so this is 1 / (1 - prob). Accepts
+/// prob in [0, 1]; prob is clamped to kAbandonProbCeiling.
 double ExpectedAttemptsPerRepetition(const AbandonmentModel& model);
 
 /// Mean of the renewal pre-processing cycle of one repetition under

@@ -1,0 +1,166 @@
+#include "platform/server.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace htune {
+
+namespace {
+
+Status ErrnoStatus(const std::string& what) {
+  return UnavailableError(what + ": " + std::strerror(errno));
+}
+
+/// Fills a sockaddr_un, rejecting paths longer than sun_path.
+Status FillAddress(const std::string& path, sockaddr_un* addr) {
+  if (path.empty()) {
+    return InvalidArgumentError("socket path must not be empty");
+  }
+  if (path.size() >= sizeof(addr->sun_path)) {
+    return InvalidArgumentError("socket path too long: " + path);
+  }
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sun_family = AF_UNIX;
+  std::memcpy(addr->sun_path, path.c_str(), path.size() + 1);
+  return OkStatus();
+}
+
+Status WriteAll(int fd, const std::string& bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + sent, bytes.size() - sent);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("write");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+UnixLineServer::UnixLineServer(std::string socket_path)
+    : path_(std::move(socket_path)) {}
+
+UnixLineServer::~UnixLineServer() {
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    ::unlink(path_.c_str());
+  }
+}
+
+Status UnixLineServer::Listen() {
+  if (listen_fd_ >= 0) {
+    return FailedPreconditionError("server already listening");
+  }
+  sockaddr_un addr;
+  HTUNE_RETURN_IF_ERROR(FillAddress(path_, &addr));
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return ErrnoStatus("socket");
+  }
+  ::unlink(path_.c_str());  // the server owns its path; drop stale files
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const Status status = ErrnoStatus("bind " + path_);
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, /*backlog=*/16) < 0) {
+    const Status status = ErrnoStatus("listen " + path_);
+    ::close(fd);
+    ::unlink(path_.c_str());
+    return status;
+  }
+  listen_fd_ = fd;
+  return OkStatus();
+}
+
+Status UnixLineServer::Serve(const Handler& handler) {
+  if (listen_fd_ < 0) {
+    return FailedPreconditionError("call Listen() before Serve()");
+  }
+  bool shutdown = false;
+  while (!shutdown) {
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("accept");
+    }
+    std::string buffer;
+    char chunk[4096];
+    while (!shutdown) {
+      const ssize_t n = ::read(conn, chunk, sizeof(chunk));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        break;  // connection-level error: drop the client, keep serving
+      }
+      if (n == 0) {
+        break;  // client closed
+      }
+      buffer.append(chunk, static_cast<size_t>(n));
+      size_t newline = buffer.find('\n');
+      while (newline != std::string::npos) {
+        const std::string line = buffer.substr(0, newline);
+        buffer.erase(0, newline + 1);
+        std::string reply = handler(line, &shutdown);
+        reply.push_back('\n');
+        if (!WriteAll(conn, reply).ok()) {
+          shutdown = shutdown || false;
+          break;  // client went away mid-reply
+        }
+        if (shutdown) break;
+        newline = buffer.find('\n');
+      }
+    }
+    ::close(conn);
+  }
+  return OkStatus();
+}
+
+StatusOr<std::string> SendUnixRequest(const std::string& socket_path,
+                                      const std::string& line) {
+  sockaddr_un addr;
+  HTUNE_RETURN_IF_ERROR(FillAddress(socket_path, &addr));
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return ErrnoStatus("socket");
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const Status status = ErrnoStatus("connect " + socket_path);
+    ::close(fd);
+    return status;
+  }
+  const Status wrote = WriteAll(fd, line + "\n");
+  if (!wrote.ok()) {
+    ::close(fd);
+    return wrote;
+  }
+  std::string reply;
+  char chunk[4096];
+  while (reply.find('\n') == std::string::npos) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const Status status = ErrnoStatus("read");
+      ::close(fd);
+      return status;
+    }
+    if (n == 0) {
+      ::close(fd);
+      return UnavailableError("server closed the connection mid-reply");
+    }
+    reply.append(chunk, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return reply.substr(0, reply.find('\n'));
+}
+
+}  // namespace htune

@@ -1,0 +1,52 @@
+#ifndef HTUNE_PLATFORM_SERVER_H_
+#define HTUNE_PLATFORM_SERVER_H_
+
+#include <functional>
+#include <string>
+
+#include "common/status.h"
+#include "common/statusor.h"
+
+namespace htune {
+
+/// A blocking, single-threaded, newline-delimited request/reply server on a
+/// Unix-domain stream socket. One connection is served at a time; each
+/// request line gets exactly one reply line. Single-threaded on purpose:
+/// the serving loop drives the deterministic shared-market simulation, and
+/// one writer means no locking anywhere near the engine.
+class UnixLineServer {
+ public:
+  /// Handles one request line (without the trailing newline) and returns
+  /// the reply line. Set *shutdown to make the server return from Serve
+  /// after replying.
+  using Handler =
+      std::function<std::string(const std::string& line, bool* shutdown)>;
+
+  explicit UnixLineServer(std::string socket_path);
+  ~UnixLineServer();
+
+  UnixLineServer(const UnixLineServer&) = delete;
+  UnixLineServer& operator=(const UnixLineServer&) = delete;
+
+  /// Binds and listens. A stale socket file at the path is unlinked first
+  /// (the server owns its path). Call once.
+  Status Listen();
+
+  /// Accepts connections and serves request lines until a handler sets
+  /// *shutdown. Returns OK on clean shutdown.
+  Status Serve(const Handler& handler);
+
+  const std::string& socket_path() const { return path_; }
+
+ private:
+  std::string path_;
+  int listen_fd_ = -1;
+};
+
+/// Client side: connect, send one request line, read one reply line.
+StatusOr<std::string> SendUnixRequest(const std::string& socket_path,
+                                      const std::string& line);
+
+}  // namespace htune
+
+#endif  // HTUNE_PLATFORM_SERVER_H_

@@ -1,0 +1,115 @@
+#ifndef HTUNE_PLATFORM_SESSION_H_
+#define HTUNE_PLATFORM_SESSION_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/statusor.h"
+#include "durability/manifest.h"
+#include "model/price_rate_curve.h"
+#include "platform/shared_market.h"
+#include "spec/job_spec.h"
+
+namespace htune {
+
+/// Final per-job accounting of one shared-market tuning session. The
+/// canonical encoding (EncodeSessionReport) is the job's durable artifact
+/// and the fleet's FleetJobResult::report_bytes.
+struct SessionReport {
+  uint64_t job_id = 0;
+  uint64_t tasks = 0;
+  uint64_t repetitions = 0;
+  int64_t spent = 0;
+  uint64_t reviews = 0;
+  uint64_t stragglers = 0;
+  uint64_t escalations = 0;
+  uint64_t correct_answers = 0;
+  double mean_on_hold_latency = 0.0;
+  double mean_processing_latency = 0.0;
+};
+
+std::string EncodeSessionReport(const SessionReport& report);
+Status DecodeSessionReport(std::string_view bytes, SessionReport* report);
+
+/// Tuning knobs of one job session on the shared market.
+struct JobSessionConfig {
+  /// The job's id on the shared market (and in the fleet manifest).
+  uint64_t job_id = 0;
+  /// Seed of the job's private answer/processing RNG stream. Create
+  /// overwrites it with the fleet seed-override resolution (seed_override
+  /// when set, else the job spec's own seed).
+  uint64_t seed = 1;
+  /// A repetition on hold longer than this factor times its expected
+  /// (dilution-adjusted) on-hold latency is a straggler and gets escalated.
+  double straggler_factor = 4.0;
+  /// Ceiling on price escalation above the planned group price.
+  int max_escalation = 8;
+};
+
+/// One tuning job living on a SharedMarket: plans per-group prices with the
+/// Repetition Algorithm against the job's own problem, posts every task,
+/// and periodically reviews stragglers — escalating their price through the
+/// market's Reprice, with expected latencies read through the dilution-
+/// adjusted shared curve (DilutedCurve), so cross-job competition feeds
+/// back into each job's control decisions via the standard curve interface.
+///
+/// Everything a session decides is a deterministic function of (spec,
+/// config, market state), so resume only needs the market snapshot plus the
+/// three session counters (CaptureCounters/RestoreCounters).
+class JobSession {
+ public:
+  /// Parses and plans. The spec's embedded job text must parse and its
+  /// problem must admit a price plan; config.seed should already resolve
+  /// the fleet seed-override rule.
+  static StatusOr<JobSession> Create(const FleetJobSpec& spec,
+                                     const JobSessionConfig& config);
+
+  /// Registers the job and posts every planned task. Call once, in
+  /// ascending job-id order across the gang.
+  Status Post(SharedMarket& market);
+
+  /// One review pass: escalate stragglers through `diluted` (the shared
+  /// curve adjusted for the current cross-job dilution factor). Spend is
+  /// capped at the job's budget.
+  Status Review(SharedMarket& market, const PriceRateCurve& diluted);
+
+  bool Done(const SharedMarket& market) const {
+    return market.OpenTaskCount(config_.job_id) == 0;
+  }
+
+  /// Final accounting, valid once Done.
+  SessionReport Report(const SharedMarket& market) const;
+
+  uint64_t job_id() const { return config_.job_id; }
+  uint64_t seed() const { return config_.seed; }
+  const std::vector<int>& group_prices() const { return group_prices_; }
+
+  /// The session's dynamic state beyond the market snapshot: the three
+  /// review counters (everything else is re-derived from spec + market).
+  std::string CaptureCounters() const;
+  Status RestoreCounters(std::string_view bytes);
+
+ private:
+  JobSession(JobSessionConfig config, JobSpec spec,
+             std::vector<int> group_prices, long budget);
+
+  JobSessionConfig config_;
+  JobSpec spec_;
+  /// Uniform per-group prices from RepetitionAllocator::SolvePrices.
+  std::vector<int> group_prices_;
+  /// Spend ceiling: the fleet ceiling when set, else the problem budget.
+  long budget_ = 0;
+  /// Planned base price per task, indexed by task id - 1 (filled at
+  /// construction: the plan is spec-derived, not market-derived).
+  std::vector<int> task_base_price_;
+  bool posted_ = false;
+  uint64_t reviews_ = 0;
+  uint64_t stragglers_ = 0;
+  uint64_t escalations_ = 0;
+};
+
+}  // namespace htune
+
+#endif  // HTUNE_PLATFORM_SESSION_H_

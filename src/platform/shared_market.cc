@@ -1,0 +1,681 @@
+#include "platform/shared_market.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/check.h"
+#include "durability/serialize.h"
+#include "durability/snapshot.h"
+
+namespace htune {
+
+namespace {
+
+/// Snapshot header: version bumps on any layout change (no cross-version
+/// decoding — platform snapshots live inside one service journal whose
+/// writer and reader always ship together).
+constexpr uint32_t kSharedMarketStateVersion = 1;
+
+/// Safety horizon for RunToCompletion, in worker arrivals. Far above any
+/// legitimate run (the 1k-job bench stays under ten million); only an
+/// impossible configuration (all weights zero forever) can reach it.
+constexpr uint64_t kMaxArrivalsPerRun = 500'000'000;
+
+void EncodeRngState(const Random::State& state, Encoder& e) {
+  for (const uint64_t word : state.engine) {
+    e.PutU64(word);
+  }
+  e.PutBool(state.has_cached_normal);
+  e.PutDouble(state.cached_normal);
+}
+
+Status DecodeRngState(Decoder& d, Random::State* state) {
+  for (uint64_t& word : state->engine) {
+    HTUNE_RETURN_IF_ERROR(d.GetU64(&word));
+  }
+  HTUNE_RETURN_IF_ERROR(d.GetBool(&state->has_cached_normal));
+  return d.GetDouble(&state->cached_normal);
+}
+
+}  // namespace
+
+/// One open task: sequential repetitions at rep_prices, answers decided at
+/// acceptance and revealed at completion (mirroring MarketSimulator's
+/// bookkeeping so outcome shapes are interchangeable).
+struct SharedMarket::SharedTask {
+  TaskId id = 0;
+  std::vector<int> rep_prices;
+  double processing_rate = 1.0;
+  int true_answer = 0;
+  int num_options = 2;
+  TaskOutcome outcome;
+  /// True while the current repetition awaits a worker.
+  bool on_hold = true;
+  double current_posted_time = 0.0;
+  /// curve->Rate(current price); valid while on_hold. Cached so the
+  /// per-arrival walk reads a plain double, recomputed (never adjusted)
+  /// on every price change.
+  double weight = 0.0;
+
+  /// Completed repetitions (the current one is exposed or processing).
+  size_t RepsDone() const {
+    const size_t accepted = outcome.repetitions.size();
+    return on_hold || accepted == 0 ||
+                   outcome.repetitions.back().completed_time > 0.0 ||
+                   outcome.completed_time > 0.0
+               ? accepted
+               : accepted - 1;
+  }
+};
+
+struct SharedMarket::SharedJob {
+  uint64_t id = 0;
+  Random rng;
+  std::vector<SharedTask> open;  // posting order — the candidate walk
+  std::vector<TaskOutcome> completed;
+  long spent = 0;
+  TaskId next_task = 1;
+  /// Cached left-to-right sum of on-hold task weights (RecomputeJobWeight).
+  double total_weight = 0.0;
+  std::vector<TraceEvent> trace;
+
+  explicit SharedJob(uint64_t job_id, uint64_t seed)
+      : id(job_id), rng(seed) {}
+};
+
+Status ValidateSharedMarketConfig(const SharedMarketConfig& config) {
+  if (!(config.worker_arrival_rate > 0.0) ||
+      !std::isfinite(config.worker_arrival_rate)) {
+    return InvalidArgumentError(
+        "SharedMarketConfig: worker_arrival_rate must be positive and "
+        "finite");
+  }
+  if (std::isnan(config.worker_error_prob) || config.worker_error_prob < 0.0 ||
+      config.worker_error_prob > 1.0) {
+    return InvalidArgumentError(
+        "SharedMarketConfig: worker_error_prob must lie in [0, 1]");
+  }
+  if (config.curve == nullptr) {
+    return InvalidArgumentError(
+        "SharedMarketConfig: a shared price-rate curve is required");
+  }
+  return OkStatus();
+}
+
+SharedMarket::SharedMarket(const SharedMarketConfig& config)
+    : config_(config),
+      stream_(config.worker_arrival_rate, config.seed),
+      queue_(MakeEventQueue(config.event_queue)) {
+  HTUNE_CHECK(ValidateSharedMarketConfig(config).ok());
+}
+
+SharedMarket::~SharedMarket() = default;
+
+SharedMarket::SharedJob* SharedMarket::FindJob(uint64_t job_id) {
+  for (SharedJob& job : jobs_) {
+    if (job.id == job_id) {
+      return &job;
+    }
+  }
+  return nullptr;
+}
+
+const SharedMarket::SharedJob* SharedMarket::FindJob(uint64_t job_id) const {
+  for (const SharedJob& job : jobs_) {
+    if (job.id == job_id) {
+      return &job;
+    }
+  }
+  return nullptr;
+}
+
+SharedMarket::SharedTask* SharedMarket::FindOpenTask(SharedJob& job,
+                                                     TaskId task) {
+  for (SharedTask& t : job.open) {
+    if (t.id == task) {
+      return &t;
+    }
+  }
+  return nullptr;
+}
+
+const SharedMarket::SharedTask* SharedMarket::FindOpenTask(
+    const SharedJob& job, TaskId task) const {
+  for (const SharedTask& t : job.open) {
+    if (t.id == task) {
+      return &t;
+    }
+  }
+  return nullptr;
+}
+
+Status SharedMarket::AddJob(uint64_t job_id, uint64_t seed) {
+  if (!jobs_.empty() && jobs_.back().id >= job_id) {
+    return InvalidArgumentError(
+        "SharedMarket: job ids must be added in strictly ascending order "
+        "(got " + std::to_string(job_id) + " after " +
+        std::to_string(jobs_.back().id) + ")");
+  }
+  jobs_.emplace_back(SharedJob(job_id, seed));
+  return OkStatus();
+}
+
+void SharedMarket::RecomputeJobWeight(SharedJob& job) {
+  // The canonical left-to-right loop: the job's total is a pure function
+  // of its current on-hold membership and cached task weights, so a
+  // restored engine recomputing it lands on the identical bits.
+  double total = 0.0;
+  for (const SharedTask& task : job.open) {
+    if (task.on_hold) {
+      total += task.weight;
+    }
+  }
+  job.total_weight = total;
+}
+
+void SharedMarket::Record(SharedJob& job, const TraceEvent& event) {
+  if (config_.record_trace) {
+    job.trace.push_back(event);
+  }
+}
+
+StatusOr<TaskId> SharedMarket::PostTask(uint64_t job_id,
+                                        const std::vector<int>& rep_prices,
+                                        double processing_rate,
+                                        int true_answer, int num_options) {
+  SharedJob* job = FindJob(job_id);
+  if (job == nullptr) {
+    return NotFoundError("SharedMarket: unknown job " +
+                         std::to_string(job_id));
+  }
+  if (rep_prices.empty()) {
+    return InvalidArgumentError("SharedMarket: a task needs >= 1 repetition");
+  }
+  for (const int price : rep_prices) {
+    if (price < 1) {
+      return InvalidArgumentError(
+          "SharedMarket: repetition prices must be >= 1, got " +
+          std::to_string(price));
+    }
+  }
+  if (!(processing_rate > 0.0) || !std::isfinite(processing_rate)) {
+    return InvalidArgumentError(
+        "SharedMarket: processing_rate must be positive and finite");
+  }
+  if (num_options < 2 || true_answer < 0 || true_answer >= num_options) {
+    return InvalidArgumentError(
+        "SharedMarket: true_answer must name one of >= 2 options");
+  }
+  SharedTask task;
+  task.id = job->next_task++;
+  task.rep_prices = rep_prices;
+  task.processing_rate = processing_rate;
+  task.true_answer = true_answer;
+  task.num_options = num_options;
+  task.outcome.id = task.id;
+  task.outcome.posted_time = now_;
+  task.on_hold = true;
+  task.current_posted_time = now_;
+  task.weight = config_.curve->Rate(static_cast<double>(rep_prices.front()));
+  job->open.push_back(std::move(task));
+  ++open_tasks_;
+  ++counts_.tasks_posted;
+  RecomputeJobWeight(*job);
+  return job->open.back().id;
+}
+
+Status SharedMarket::Reprice(uint64_t job_id, TaskId task_id, int new_price) {
+  SharedJob* job = FindJob(job_id);
+  if (job == nullptr) {
+    return NotFoundError("SharedMarket: unknown job " +
+                         std::to_string(job_id));
+  }
+  if (new_price < 1) {
+    return InvalidArgumentError("SharedMarket: reprice below 1 unit");
+  }
+  SharedTask* task = FindOpenTask(*job, task_id);
+  if (task == nullptr) {
+    for (const TaskOutcome& done : job->completed) {
+      if (done.id == task_id) {
+        return FailedPreconditionError("SharedMarket: task " +
+                                       std::to_string(task_id) +
+                                       " already completed");
+      }
+    }
+    return NotFoundError("SharedMarket: unknown task " +
+                         std::to_string(task_id));
+  }
+  // The accepted (in-flight) repetition keeps its original terms; the
+  // current exposure and everything after it re-post at the new price.
+  for (size_t i = task->RepsDone(); i < task->rep_prices.size(); ++i) {
+    task->rep_prices[i] = new_price;
+  }
+  if (task->on_hold) {
+    task->weight = config_.curve->Rate(static_cast<double>(new_price));
+    RecomputeJobWeight(*job);
+  }
+  ++counts_.reprices;
+  return OkStatus();
+}
+
+double SharedMarket::TotalPostedWeight() const {
+  double total = 0.0;
+  for (const SharedJob& job : jobs_) {
+    total += job.total_weight;
+  }
+  return total;
+}
+
+void SharedMarket::StepArrival() {
+  const SharedArrivalStream::Draw draw = stream_.StepDraw();
+  now_ = draw.time;
+  ++counts_.worker_arrivals;
+
+  // W over per-job cached totals, left to right in job order — the outer
+  // level of the hierarchical candidate walk.
+  double total = 0.0;
+  for (const SharedJob& job : jobs_) {
+    total += job.total_weight;
+  }
+  const double threshold =
+      draw.selector *
+      (total > config_.worker_arrival_rate ? total
+                                           : config_.worker_arrival_rate);
+  if (threshold >= total || total <= 0.0) {
+    return;  // the worker walks away (unsaturated headroom)
+  }
+
+  // Select the job by cumulative total, then the task inside it by
+  // cumulative weight. Float rounding in threshold - cumulative can push
+  // the local coordinate onto (not inside) the job's total, so both walks
+  // fall back to the last live candidate — a deterministic tie-break.
+  SharedJob* selected_job = nullptr;
+  double local = 0.0;
+  double cumulative = 0.0;
+  SharedJob* last_live = nullptr;
+  for (SharedJob& job : jobs_) {
+    if (job.total_weight <= 0.0) {
+      continue;
+    }
+    last_live = &job;
+    if (threshold < cumulative + job.total_weight) {
+      selected_job = &job;
+      local = threshold - cumulative;
+      break;
+    }
+    cumulative += job.total_weight;
+  }
+  if (selected_job == nullptr) {
+    selected_job = last_live;
+    local = selected_job->total_weight;
+  }
+
+  SharedTask* selected = nullptr;
+  SharedTask* last_on_hold = nullptr;
+  double task_cumulative = 0.0;
+  for (SharedTask& task : selected_job->open) {
+    if (!task.on_hold || task.weight <= 0.0) {
+      continue;
+    }
+    last_on_hold = &task;
+    task_cumulative += task.weight;
+    if (local < task_cumulative) {
+      selected = &task;
+      break;
+    }
+  }
+  if (selected == nullptr) {
+    selected = last_on_hold;
+  }
+  HTUNE_CHECK(selected != nullptr);
+
+  // Acceptance: the worker takes this repetition. Answer decided now from
+  // the job's private stream (error Bernoulli, then the wrong-option pick
+  // when it errs, then the processing Exponential — a fixed draw order).
+  SharedJob& job = *selected_job;
+  SharedTask& task = *selected;
+  const size_t slot = task.RepsDone();
+  RepetitionOutcome rep;
+  rep.posted_time = task.current_posted_time;
+  rep.accepted_time = now_;
+  rep.worker = draw.worker;
+  rep.price = task.rep_prices[slot];
+  if (job.rng.Bernoulli(config_.worker_error_prob)) {
+    const int wrong = static_cast<int>(
+        job.rng.UniformInt(static_cast<uint64_t>(task.num_options - 1)));
+    rep.answer = wrong >= task.true_answer ? wrong + 1 : wrong;
+    rep.correct = false;
+  } else {
+    rep.answer = task.true_answer;
+    rep.correct = true;
+  }
+  task.outcome.repetitions.push_back(rep);
+  task.on_hold = false;
+  ++counts_.acceptances;
+  Record(job, {now_, TraceEventKind::kTaskAccepted, draw.worker, task.id,
+               static_cast<int>(slot) + 1});
+
+  const double processing = job.rng.Exponential(task.processing_rate);
+  queue_->Push({now_ + processing, event_sequence_++, task.id,
+                MarketEvent::Kind::kCompletion, job.id});
+  RecomputeJobWeight(job);
+}
+
+void SharedMarket::ApplyCompletion(const MarketEvent& event) {
+  now_ = event.time;
+  ++counts_.completions;
+  SharedJob* job = FindJob(event.generation);
+  HTUNE_CHECK(job != nullptr);
+  SharedTask* task = FindOpenTask(*job, event.task);
+  HTUNE_CHECK(task != nullptr);
+
+  RepetitionOutcome& rep = task->outcome.repetitions.back();
+  rep.completed_time = now_;
+  job->spent += rep.price;
+  const int rep_index = static_cast<int>(task->outcome.repetitions.size());
+  Record(*job, {now_, TraceEventKind::kRepetitionCompleted, rep.worker,
+                task->id, rep_index});
+
+  if (task->outcome.repetitions.size() == task->rep_prices.size()) {
+    task->outcome.completed_time = now_;
+    Record(*job, {now_, TraceEventKind::kTaskCompleted, 0, task->id,
+                  rep_index});
+    job->completed.push_back(std::move(task->outcome));
+    for (auto it = job->open.begin(); it != job->open.end(); ++it) {
+      if (it->id == event.task) {
+        job->open.erase(it);
+        break;
+      }
+    }
+    --open_tasks_;
+  } else {
+    task->on_hold = true;
+    task->current_posted_time = now_;
+    task->weight = config_.curve->Rate(
+        static_cast<double>(task->rep_prices[task->RepsDone()]));
+  }
+  RecomputeJobWeight(*job);
+}
+
+size_t SharedMarket::RunUntil(double deadline) {
+  while (open_tasks_ > 0) {
+    const double arrival = stream_.NextArrivalTime();
+    if (!queue_->empty() && queue_->Min().time <= arrival) {
+      if (queue_->Min().time > deadline) {
+        break;
+      }
+      const MarketEvent event = queue_->Pop();
+      ApplyCompletion(event);
+    } else {
+      if (arrival > deadline) {
+        break;
+      }
+      StepArrival();
+    }
+  }
+  return open_tasks_;
+}
+
+Status SharedMarket::RunToCompletion() {
+  if (open_tasks_ == 0) {
+    return FailedPreconditionError("SharedMarket: no open tasks to run");
+  }
+  const uint64_t start_arrivals = counts_.worker_arrivals;
+  while (open_tasks_ > 0) {
+    if (counts_.worker_arrivals - start_arrivals > kMaxArrivalsPerRun) {
+      return InternalError(
+          "SharedMarket: safety horizon exceeded (" +
+          std::to_string(kMaxArrivalsPerRun) +
+          " arrivals without completing the open tasks)");
+    }
+    const double arrival = stream_.NextArrivalTime();
+    if (!queue_->empty() && queue_->Min().time <= arrival) {
+      const MarketEvent event = queue_->Pop();
+      ApplyCompletion(event);
+    } else {
+      StepArrival();
+    }
+  }
+  return OkStatus();
+}
+
+const std::vector<TaskOutcome>& SharedMarket::CompletedOutcomes(
+    uint64_t job_id) const {
+  const SharedJob* job = FindJob(job_id);
+  HTUNE_CHECK(job != nullptr);
+  return job->completed;
+}
+
+long SharedMarket::TotalSpent(uint64_t job_id) const {
+  const SharedJob* job = FindJob(job_id);
+  HTUNE_CHECK(job != nullptr);
+  return job->spent;
+}
+
+const std::vector<TraceEvent>& SharedMarket::Trace(uint64_t job_id) const {
+  const SharedJob* job = FindJob(job_id);
+  HTUNE_CHECK(job != nullptr);
+  return job->trace;
+}
+
+size_t SharedMarket::OpenTaskCount(uint64_t job_id) const {
+  const SharedJob* job = FindJob(job_id);
+  HTUNE_CHECK(job != nullptr);
+  return job->open.size();
+}
+
+std::vector<TaskId> SharedMarket::OpenTaskIds(uint64_t job_id) const {
+  const SharedJob* job = FindJob(job_id);
+  HTUNE_CHECK(job != nullptr);
+  std::vector<TaskId> ids;
+  ids.reserve(job->open.size());
+  for (const SharedTask& task : job->open) {
+    ids.push_back(task.id);
+  }
+  return ids;
+}
+
+StatusOr<double> SharedMarket::OnHoldSince(uint64_t job_id,
+                                           TaskId task_id) const {
+  const SharedJob* job = FindJob(job_id);
+  if (job == nullptr) {
+    return NotFoundError("SharedMarket: unknown job " +
+                         std::to_string(job_id));
+  }
+  const SharedTask* task = FindOpenTask(*job, task_id);
+  if (task == nullptr) {
+    return NotFoundError("SharedMarket: unknown or completed task " +
+                         std::to_string(task_id));
+  }
+  if (!task->on_hold) {
+    return FailedPreconditionError(
+        "SharedMarket: task " + std::to_string(task_id) +
+        " is being processed, not on hold");
+  }
+  return task->current_posted_time;
+}
+
+StatusOr<int> SharedMarket::CurrentPrice(uint64_t job_id,
+                                         TaskId task_id) const {
+  const SharedJob* job = FindJob(job_id);
+  if (job == nullptr) {
+    return NotFoundError("SharedMarket: unknown job " +
+                         std::to_string(job_id));
+  }
+  const SharedTask* task = FindOpenTask(*job, task_id);
+  if (task == nullptr) {
+    return FailedPreconditionError("SharedMarket: task " +
+                                   std::to_string(task_id) +
+                                   " completed or unknown");
+  }
+  return task->rep_prices[task->RepsDone()];
+}
+
+std::string SharedMarket::CaptureState() const {
+  Encoder e;
+  e.PutU32(kSharedMarketStateVersion);
+  const SharedStreamState stream = stream_.CaptureState();
+  e.PutDouble(stream.now);
+  e.PutDouble(stream.next_arrival_time);
+  e.PutU64(stream.arrivals);
+  EncodeRngState(stream.rng, e);
+  e.PutDouble(now_);
+  e.PutU64(event_sequence_);
+
+  const std::vector<MarketEvent> events = queue_->SortedSnapshot();
+  e.PutU64(events.size());
+  for (const MarketEvent& event : events) {
+    e.PutDouble(event.time);
+    e.PutU64(event.sequence);
+    e.PutU64(event.task);
+    e.PutU8(static_cast<uint8_t>(event.kind));
+    e.PutU64(event.generation);
+  }
+
+  e.PutU64(jobs_.size());
+  for (const SharedJob& job : jobs_) {
+    e.PutU64(job.id);
+    EncodeRngState(job.rng.SaveState(), e);
+    e.PutU64(job.next_task);
+    e.PutI64(job.spent);
+    e.PutU64(job.open.size());
+    for (const SharedTask& task : job.open) {
+      e.PutU64(task.id);
+      e.PutI32Vector(task.rep_prices);
+      e.PutDouble(task.processing_rate);
+      e.PutI32(task.true_answer);
+      e.PutI32(task.num_options);
+      e.PutBool(task.on_hold);
+      e.PutDouble(task.current_posted_time);
+      EncodeTaskOutcome(task.outcome, e);
+    }
+    e.PutU64(job.completed.size());
+    for (const TaskOutcome& outcome : job.completed) {
+      EncodeTaskOutcome(outcome, e);
+    }
+    EncodeTraceEvents(job.trace, e);
+  }
+  return e.Release();
+}
+
+Status SharedMarket::RestoreState(std::string_view bytes) {
+  Decoder d(bytes);
+  uint32_t version = 0;
+  HTUNE_RETURN_IF_ERROR(d.GetU32(&version));
+  if (version != kSharedMarketStateVersion) {
+    return InvalidArgumentError(
+        "SharedMarket: unsupported snapshot version " +
+        std::to_string(version));
+  }
+  SharedStreamState stream;
+  HTUNE_RETURN_IF_ERROR(d.GetDouble(&stream.now));
+  HTUNE_RETURN_IF_ERROR(d.GetDouble(&stream.next_arrival_time));
+  HTUNE_RETURN_IF_ERROR(d.GetU64(&stream.arrivals));
+  HTUNE_RETURN_IF_ERROR(DecodeRngState(d, &stream.rng));
+  double restored_now = 0.0;
+  uint64_t event_sequence = 0;
+  HTUNE_RETURN_IF_ERROR(d.GetDouble(&restored_now));
+  HTUNE_RETURN_IF_ERROR(d.GetU64(&event_sequence));
+
+  uint64_t event_count = 0;
+  HTUNE_RETURN_IF_ERROR(d.GetU64(&event_count));
+  if (event_count > d.remaining()) {
+    return InvalidArgumentError("SharedMarket: corrupt event count");
+  }
+  std::vector<MarketEvent> events;
+  events.reserve(static_cast<size_t>(event_count));
+  for (uint64_t i = 0; i < event_count; ++i) {
+    MarketEvent event;
+    uint8_t kind = 0;
+    HTUNE_RETURN_IF_ERROR(d.GetDouble(&event.time));
+    HTUNE_RETURN_IF_ERROR(d.GetU64(&event.sequence));
+    HTUNE_RETURN_IF_ERROR(d.GetU64(&event.task));
+    HTUNE_RETURN_IF_ERROR(d.GetU8(&kind));
+    HTUNE_RETURN_IF_ERROR(d.GetU64(&event.generation));
+    event.kind = static_cast<MarketEvent::Kind>(kind);
+    events.push_back(event);
+  }
+
+  uint64_t job_count = 0;
+  HTUNE_RETURN_IF_ERROR(d.GetU64(&job_count));
+  if (job_count > d.remaining()) {
+    return InvalidArgumentError("SharedMarket: corrupt job count");
+  }
+  std::vector<SharedJob> jobs;
+  jobs.reserve(static_cast<size_t>(job_count));
+  size_t open_tasks = 0;
+  for (uint64_t i = 0; i < job_count; ++i) {
+    uint64_t job_id = 0;
+    HTUNE_RETURN_IF_ERROR(d.GetU64(&job_id));
+    if (!jobs.empty() && jobs.back().id >= job_id) {
+      return InvalidArgumentError(
+          "SharedMarket: snapshot jobs out of order");
+    }
+    SharedJob job(job_id, /*seed=*/0);
+    Random::State rng;
+    HTUNE_RETURN_IF_ERROR(DecodeRngState(d, &rng));
+    job.rng.RestoreState(rng);
+    HTUNE_RETURN_IF_ERROR(d.GetU64(&job.next_task));
+    int64_t spent = 0;
+    HTUNE_RETURN_IF_ERROR(d.GetI64(&spent));
+    job.spent = static_cast<long>(spent);
+
+    uint64_t task_count = 0;
+    HTUNE_RETURN_IF_ERROR(d.GetU64(&task_count));
+    if (task_count > d.remaining()) {
+      return InvalidArgumentError("SharedMarket: corrupt open-task count");
+    }
+    job.open.reserve(static_cast<size_t>(task_count));
+    for (uint64_t j = 0; j < task_count; ++j) {
+      SharedTask task;
+      HTUNE_RETURN_IF_ERROR(d.GetU64(&task.id));
+      HTUNE_RETURN_IF_ERROR(d.GetI32Vector(&task.rep_prices));
+      HTUNE_RETURN_IF_ERROR(d.GetDouble(&task.processing_rate));
+      HTUNE_RETURN_IF_ERROR(d.GetI32(&task.true_answer));
+      HTUNE_RETURN_IF_ERROR(d.GetI32(&task.num_options));
+      HTUNE_RETURN_IF_ERROR(d.GetBool(&task.on_hold));
+      HTUNE_RETURN_IF_ERROR(d.GetDouble(&task.current_posted_time));
+      HTUNE_RETURN_IF_ERROR(DecodeTaskOutcome(d, task.outcome));
+      if (task.rep_prices.empty() ||
+          task.outcome.repetitions.size() > task.rep_prices.size()) {
+        return InvalidArgumentError(
+            "SharedMarket: snapshot task shape invalid");
+      }
+      // The cached weight is derived state: recompute from the curve, the
+      // same call a continuously-running engine made at the last change.
+      if (task.on_hold) {
+        task.weight = config_.curve->Rate(
+            static_cast<double>(task.rep_prices[task.RepsDone()]));
+      }
+      job.open.push_back(std::move(task));
+    }
+    open_tasks += job.open.size();
+
+    uint64_t completed_count = 0;
+    HTUNE_RETURN_IF_ERROR(d.GetU64(&completed_count));
+    if (completed_count > d.remaining()) {
+      return InvalidArgumentError("SharedMarket: corrupt completed count");
+    }
+    job.completed.reserve(static_cast<size_t>(completed_count));
+    for (uint64_t j = 0; j < completed_count; ++j) {
+      TaskOutcome outcome;
+      HTUNE_RETURN_IF_ERROR(DecodeTaskOutcome(d, outcome));
+      job.completed.push_back(std::move(outcome));
+    }
+    HTUNE_RETURN_IF_ERROR(DecodeTraceEvents(d, job.trace));
+    RecomputeJobWeight(job);
+    jobs.push_back(std::move(job));
+  }
+  HTUNE_RETURN_IF_ERROR(d.ExpectDone());
+
+  stream_.RestoreState(stream);
+  now_ = restored_now;
+  event_sequence_ = event_sequence;
+  queue_->Assign(std::move(events));
+  jobs_ = std::move(jobs);
+  open_tasks_ = open_tasks;
+  return OkStatus();
+}
+
+}  // namespace htune

@@ -1,0 +1,173 @@
+#ifndef HTUNE_PLATFORM_SHARED_MARKET_H_
+#define HTUNE_PLATFORM_SHARED_MARKET_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/statusor.h"
+#include "market/event_queue.h"
+#include "market/events.h"
+#include "market/shared_stream.h"
+#include "model/price_rate_curve.h"
+#include "rng/random.h"
+
+namespace htune {
+
+/// Global parameters of the shared marketplace every job competes on.
+struct SharedMarketConfig {
+  /// Poisson intensity of the ONE worker-arrival stream all jobs share.
+  double worker_arrival_rate = 100.0;
+  /// Probability a worker's answer is wrong, applied per repetition.
+  double worker_error_prob = 0.0;
+  /// The shared price-to-rate curve: a posted repetition's selection
+  /// weight is curve->Rate(price). Required (the whole point of the
+  /// shared market is that every job's price routes through one curve).
+  std::shared_ptr<const PriceRateCurve> curve;
+  /// Seed of the shared arrival/selection stream. Per-job streams are
+  /// seeded independently at AddJob.
+  uint64_t seed = 1;
+  /// Record per-job trace events (kTaskAccepted / kRepetitionCompleted /
+  /// kTaskCompleted).
+  bool record_trace = true;
+  /// Pending-completion scheduler (see MarketConfig::event_queue).
+  EventQueueImpl event_queue = EventQueueImpl::kCalendar;
+};
+
+Status ValidateSharedMarketConfig(const SharedMarketConfig& config);
+
+/// Cumulative dispatch counts since construction. Like MarketEventCounts,
+/// deliberately NOT part of the captured state: counters are diagnostics
+/// and excluding them keeps capture/restore about simulation state only.
+struct SharedMarketCounts {
+  uint64_t worker_arrivals = 0;
+  uint64_t acceptances = 0;
+  uint64_t completions = 0;
+  uint64_t tasks_posted = 0;
+  uint64_t reprices = 0;
+};
+
+/// Multi-job discrete-event engine: competing tuning jobs post repetitions
+/// onto ONE marketplace whose single Poisson worker stream is split across
+/// them by acceptance thinning (SharedArrivalStream). Each arriving worker
+/// accepts at most one on-hold repetition, chosen proportionally to its
+/// weight curve->Rate(price) — so one job raising its price drains every
+/// rival's effective acceptance rate through the shared denominator, with
+/// no explicit coupling between jobs.
+///
+/// Determinism contract (the platform service's bitwise-resume guarantee
+/// is built on it):
+///  - Candidate order is jobs in ascending id, then each job's open tasks
+///    in posting order. Selection walks cached per-job weight totals, each
+///    recomputed by an identical left-to-right loop whenever that job's
+///    on-hold membership or prices change — never maintained incrementally
+///    — so every float accumulation is a function of current state alone
+///    and restores bitwise.
+///  - RNG streams: the shared stream owns the arrival clock and selection
+///    uniforms (two draws per arrival, independent of who competes); each
+///    job owns a private stream for its answer-error and processing-time
+///    draws, so one job's acceptance pattern never perturbs another job's
+///    draw sequence.
+///  - CaptureState/RestoreState round-trips the complete dynamic state;
+///    a restored engine continues bitwise-identically to the captured one
+///    (same completions, same times, same traces).
+class SharedMarket {
+ public:
+  explicit SharedMarket(const SharedMarketConfig& config);
+  ~SharedMarket();
+
+  SharedMarket(const SharedMarket&) = delete;
+  SharedMarket& operator=(const SharedMarket&) = delete;
+
+  /// Registers a competing job. Ids must be added in strictly ascending
+  /// order (they define the candidate walk); `seed` starts the job's
+  /// private RNG stream.
+  Status AddJob(uint64_t job_id, uint64_t seed);
+
+  /// Posts one task for `job_id`: one sequential repetition per entry of
+  /// `rep_prices` (each >= 1), processed at `processing_rate` once
+  /// accepted. Returns the job-local task id (1-based, dense).
+  StatusOr<TaskId> PostTask(uint64_t job_id, const std::vector<int>& rep_prices,
+                            double processing_rate, int true_answer = 0,
+                            int num_options = 2);
+
+  /// Changes the payment of the current and all future repetitions of an
+  /// open task. NotFound for unknown ids, FailedPrecondition once the task
+  /// completed.
+  Status Reprice(uint64_t job_id, TaskId task, int new_price);
+
+  /// Runs until every posted task of every job completed or the next
+  /// event would land past `deadline`. Returns open tasks remaining.
+  size_t RunUntil(double deadline);
+
+  /// Runs until all posted tasks complete; Internal if the simulation
+  /// exceeds a safety horizon (impossible acceptance configuration).
+  Status RunToCompletion();
+
+  double now() const { return now_; }
+  size_t OpenTaskCount() const { return open_tasks_; }
+  const SharedMarketCounts& Counts() const { return counts_; }
+
+  /// Total posted weight W (left-to-right over per-job totals) — the
+  /// saturation signal controllers feed into DilutedCurve.
+  double TotalPostedWeight() const;
+
+  /// Per-job views. All return NotFound/CHECK-fail free lookups: the job
+  /// must exist (CHECK) since sessions address only jobs they created.
+  const std::vector<TaskOutcome>& CompletedOutcomes(uint64_t job_id) const;
+  long TotalSpent(uint64_t job_id) const;
+  const std::vector<TraceEvent>& Trace(uint64_t job_id) const;
+  size_t OpenTaskCount(uint64_t job_id) const;
+  /// Ids of the job's open tasks, in posting order (the review-walk order).
+  std::vector<TaskId> OpenTaskIds(uint64_t job_id) const;
+
+  /// Time the current repetition of the task was (re)posted;
+  /// FailedPrecondition while it is being processed or after completion,
+  /// NotFound for unknown ids.
+  StatusOr<double> OnHoldSince(uint64_t job_id, TaskId task) const;
+  /// Payment the current repetition promises; FailedPrecondition for
+  /// completed tasks.
+  StatusOr<int> CurrentPrice(uint64_t job_id, TaskId task) const;
+
+  /// Serializes the complete dynamic state (shared stream, pending
+  /// events, every job's tasks/outcomes/trace/RNG) into a deterministic
+  /// byte string: equal states encode to equal bytes.
+  std::string CaptureState() const;
+
+  /// Restores a captured state, replacing all dynamic state. The engine
+  /// must have been constructed with the same SharedMarketConfig and have
+  /// no jobs added (restore recreates them). InvalidArgument on bytes the
+  /// shape cannot satisfy.
+  Status RestoreState(std::string_view bytes);
+
+ private:
+  struct SharedTask;
+  struct SharedJob;
+
+  SharedJob* FindJob(uint64_t job_id);
+  const SharedJob* FindJob(uint64_t job_id) const;
+  SharedTask* FindOpenTask(SharedJob& job, TaskId task);
+  const SharedTask* FindOpenTask(const SharedJob& job, TaskId task) const;
+
+  /// Recomputes the job's cached on-hold weight total with the canonical
+  /// left-to-right loop. Called on every membership or price change.
+  void RecomputeJobWeight(SharedJob& job);
+  void Record(SharedJob& job, const TraceEvent& event);
+  void StepArrival();
+  void ApplyCompletion(const MarketEvent& event);
+
+  SharedMarketConfig config_;
+  SharedArrivalStream stream_;
+  std::unique_ptr<EventQueue> queue_;
+  uint64_t event_sequence_ = 0;
+  double now_ = 0.0;
+  size_t open_tasks_ = 0;
+  std::vector<SharedJob> jobs_;  // ascending id — the candidate walk order
+  SharedMarketCounts counts_;
+};
+
+}  // namespace htune
+
+#endif  // HTUNE_PLATFORM_SHARED_MARKET_H_

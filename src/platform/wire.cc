@@ -1,0 +1,229 @@
+#include "platform/wire.h"
+
+#include <cstdint>
+#include <cstdio>
+
+namespace htune {
+
+namespace {
+
+void SkipSpace(std::string_view line, size_t* i) {
+  while (*i < line.size() &&
+         (line[*i] == ' ' || line[*i] == '\t' || line[*i] == '\r')) {
+    ++*i;
+  }
+}
+
+/// Parses the JSON string starting at the opening quote; leaves *i one past
+/// the closing quote.
+Status ParseString(std::string_view line, size_t* i, std::string* out) {
+  if (*i >= line.size() || line[*i] != '"') {
+    return InvalidArgumentError("wire: expected '\"' at offset " +
+                                std::to_string(*i));
+  }
+  ++*i;
+  out->clear();
+  while (*i < line.size()) {
+    const char ch = line[*i];
+    if (ch == '"') {
+      ++*i;
+      return OkStatus();
+    }
+    if (ch == '\\') {
+      ++*i;
+      if (*i >= line.size()) break;
+      const char esc = line[*i];
+      ++*i;
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          if (*i + 4 > line.size()) {
+            return InvalidArgumentError("wire: truncated \\u escape");
+          }
+          uint32_t code = 0;
+          for (int k = 0; k < 4; ++k) {
+            const char hex = line[*i + static_cast<size_t>(k)];
+            code <<= 4;
+            if (hex >= '0' && hex <= '9') {
+              code |= static_cast<uint32_t>(hex - '0');
+            } else if (hex >= 'a' && hex <= 'f') {
+              code |= static_cast<uint32_t>(hex - 'a' + 10);
+            } else if (hex >= 'A' && hex <= 'F') {
+              code |= static_cast<uint32_t>(hex - 'A' + 10);
+            } else {
+              return InvalidArgumentError("wire: bad \\u escape");
+            }
+          }
+          *i += 4;
+          if (code >= 0xD800 && code <= 0xDFFF) {
+            return InvalidArgumentError(
+                "wire: surrogate \\u escapes are unsupported");
+          }
+          if (code < 0x80) {
+            out->push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return InvalidArgumentError("wire: unknown escape '\\" +
+                                      std::string(1, esc) + "'");
+      }
+      continue;
+    }
+    out->push_back(ch);
+    ++*i;
+  }
+  return InvalidArgumentError("wire: unterminated string");
+}
+
+/// Parses a bare scalar (number / true / false / null) as its literal text.
+Status ParseScalar(std::string_view line, size_t* i, std::string* out) {
+  const size_t start = *i;
+  while (*i < line.size()) {
+    const char ch = line[*i];
+    if (ch == ',' || ch == '}' || ch == ' ' || ch == '\t' || ch == '\r') {
+      break;
+    }
+    if (ch == '{' || ch == '[') {
+      return InvalidArgumentError("wire: nested values are unsupported");
+    }
+    ++*i;
+  }
+  if (*i == start) {
+    return InvalidArgumentError("wire: empty value at offset " +
+                                std::to_string(start));
+  }
+  *out = std::string(line.substr(start, *i - start));
+  if (*out != "true" && *out != "false" && *out != "null") {
+    // Must look like a JSON number.
+    for (const char ch : *out) {
+      if ((ch < '0' || ch > '9') && ch != '-' && ch != '+' && ch != '.' &&
+          ch != 'e' && ch != 'E') {
+        return InvalidArgumentError("wire: bad literal '" + *out + "'");
+      }
+    }
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+StatusOr<WireFields> ParseWireObject(std::string_view line) {
+  WireFields fields;
+  size_t i = 0;
+  SkipSpace(line, &i);
+  if (i >= line.size() || line[i] != '{') {
+    return InvalidArgumentError("wire: message must be a JSON object");
+  }
+  ++i;
+  SkipSpace(line, &i);
+  if (i < line.size() && line[i] == '}') {
+    ++i;
+  } else {
+    while (true) {
+      SkipSpace(line, &i);
+      std::string key;
+      HTUNE_RETURN_IF_ERROR(ParseString(line, &i, &key));
+      for (const auto& [existing, value] : fields) {
+        (void)value;
+        if (existing == key) {
+          return InvalidArgumentError("wire: duplicate key '" + key + "'");
+        }
+      }
+      SkipSpace(line, &i);
+      if (i >= line.size() || line[i] != ':') {
+        return InvalidArgumentError("wire: expected ':' after key '" + key +
+                                    "'");
+      }
+      ++i;
+      SkipSpace(line, &i);
+      std::string value;
+      if (i < line.size() && line[i] == '"') {
+        HTUNE_RETURN_IF_ERROR(ParseString(line, &i, &value));
+      } else if (i < line.size() && (line[i] == '{' || line[i] == '[')) {
+        return InvalidArgumentError("wire: nested values are unsupported");
+      } else {
+        HTUNE_RETURN_IF_ERROR(ParseScalar(line, &i, &value));
+      }
+      fields.emplace_back(std::move(key), std::move(value));
+      SkipSpace(line, &i);
+      if (i < line.size() && line[i] == ',') {
+        ++i;
+        continue;
+      }
+      if (i < line.size() && line[i] == '}') {
+        ++i;
+        break;
+      }
+      return InvalidArgumentError("wire: expected ',' or '}' at offset " +
+                                  std::to_string(i));
+    }
+  }
+  SkipSpace(line, &i);
+  if (i != line.size()) {
+    return InvalidArgumentError("wire: trailing bytes after object");
+  }
+  return fields;
+}
+
+std::string SerializeWireObject(const WireFields& fields) {
+  std::string out = "{";
+  bool first = true;
+  const auto append_string = [&out](const std::string& text) {
+    out.push_back('"');
+    for (const char ch : text) {
+      switch (ch) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        case '\b': out += "\\b"; break;
+        case '\f': out += "\\f"; break;
+        default:
+          if (static_cast<unsigned char>(ch) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x",
+                          static_cast<unsigned>(ch) & 0xFF);
+            out += buf;
+          } else {
+            out.push_back(ch);
+          }
+      }
+    }
+    out.push_back('"');
+  };
+  for (const auto& [key, value] : fields) {
+    if (!first) out.push_back(',');
+    first = false;
+    append_string(key);
+    out.push_back(':');
+    append_string(value);
+  }
+  out.push_back('}');
+  return out;
+}
+
+const std::string* FindWireField(const WireFields& fields,
+                                 std::string_view key) {
+  for (const auto& [name, value] : fields) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+}  // namespace htune

@@ -1,0 +1,39 @@
+#ifndef HTUNE_PLATFORM_WIRE_H_
+#define HTUNE_PLATFORM_WIRE_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/statusor.h"
+
+namespace htune {
+
+/// One flat key/value message of the serving protocol: a single-line JSON
+/// object whose values are strings, numbers, booleans, or null. Nested
+/// objects and arrays are deliberately rejected — the protocol is
+/// newline-delimited and every request/reply fits a flat map, which keeps
+/// the hand-rolled codec small enough to audit. Field order is preserved
+/// (serialization is canonical: the order fields were added).
+using WireFields = std::vector<std::pair<std::string, std::string>>;
+
+/// Parses one line as a flat JSON object. String values are unescaped;
+/// numbers, true/false, and null are kept as their literal text. Rejects
+/// nested containers, duplicate keys, trailing garbage, and malformed
+/// escapes.
+StatusOr<WireFields> ParseWireObject(std::string_view line);
+
+/// Serializes fields as a single-line JSON object. Every value is emitted
+/// as a JSON string (the parser on the other side reads it back verbatim),
+/// so arbitrary bytes — embedded newlines, quotes, spec files, metrics
+/// JSON — survive the line-oriented transport.
+std::string SerializeWireObject(const WireFields& fields);
+
+/// The value of `key`, or null when absent.
+const std::string* FindWireField(const WireFields& fields,
+                                 std::string_view key);
+
+}  // namespace htune
+
+#endif  // HTUNE_PLATFORM_WIRE_H_

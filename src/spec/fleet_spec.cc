@@ -1,6 +1,7 @@
 #include "spec/fleet_spec.h"
 
 #include <cctype>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <utility>
@@ -33,6 +34,18 @@ StatusOr<long> ParseLong(const std::string& text, const std::string& what,
   if (end == text.c_str() || *end != '\0') {
     return InvalidArgumentError("fleet spec line " + std::to_string(line_no) +
                                 ": bad integer for " + what + ": '" + text +
+                                "'");
+  }
+  return value;
+}
+
+StatusOr<double> ParseDouble(const std::string& text, const std::string& what,
+                             int line_no) {
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0' || std::isnan(value)) {
+    return InvalidArgumentError("fleet spec line " + std::to_string(line_no) +
+                                ": bad number for " + what + ": '" + text +
                                 "'");
   }
   return value;
@@ -117,6 +130,7 @@ StatusOr<FleetSpec> ParseFleetSpec(std::string_view text,
   FleetSpec fleet;
   JobSection section;
   bool in_job = false;
+  bool in_shared = false;
   int line_no = 0;
   size_t pos = 0;
   while (pos <= text.size()) {
@@ -135,6 +149,21 @@ StatusOr<FleetSpec> ParseFleetSpec(std::string_view text,
       section = JobSection{};
       section.line_no = line_no;
       in_job = true;
+      in_shared = false;
+      continue;
+    }
+    if (line == "[shared_market]") {
+      if (fleet.shared_market.present) {
+        return InvalidArgumentError(
+            "fleet spec line " + std::to_string(line_no) +
+            ": duplicate [shared_market] section");
+      }
+      if (in_job) {
+        HTUNE_RETURN_IF_ERROR(ExpandSection(section, base_dir, &fleet));
+        in_job = false;
+      }
+      fleet.shared_market.present = true;
+      in_shared = true;
       continue;
     }
     if (line.front() == '[') {
@@ -151,6 +180,68 @@ StatusOr<FleetSpec> ParseFleetSpec(std::string_view text,
     }
     const std::string key = Clean(line.substr(0, eq));
     const std::string value = Clean(line.substr(eq + 1));
+    if (in_shared) {
+      SharedMarketSpec& shared = fleet.shared_market;
+      if (key == "arrival_rate") {
+        HTUNE_ASSIGN_OR_RETURN(shared.arrival_rate,
+                               ParseDouble(value, key, line_no));
+        if (!(shared.arrival_rate > 0.0) ||
+            !std::isfinite(shared.arrival_rate)) {
+          return InvalidArgumentError(
+              "fleet spec line " + std::to_string(line_no) +
+              ": arrival_rate must be positive and finite");
+        }
+      } else if (key == "worker_error_prob") {
+        HTUNE_ASSIGN_OR_RETURN(shared.worker_error_prob,
+                               ParseDouble(value, key, line_no));
+        if (shared.worker_error_prob < 0.0 ||
+            shared.worker_error_prob > 1.0) {
+          return InvalidArgumentError(
+              "fleet spec line " + std::to_string(line_no) +
+              ": worker_error_prob must lie in [0, 1]");
+        }
+      } else if (key == "curve") {
+        // Validate the grammar now so a bad curve fails the load, not the
+        // service startup.
+        const auto curve = ParseCurveSpec(value);
+        if (!curve.ok()) {
+          return InvalidArgumentError("fleet spec line " +
+                                      std::to_string(line_no) + ": " +
+                                      curve.status().ToString());
+        }
+        shared.curve = value;
+      } else if (key == "seed") {
+        HTUNE_ASSIGN_OR_RETURN(shared.seed, ParseLong(value, key, line_no));
+        if (shared.seed < 0) {
+          return InvalidArgumentError("fleet spec line " +
+                                      std::to_string(line_no) +
+                                      ": seed must be >= 0");
+        }
+      } else if (key == "review_interval") {
+        HTUNE_ASSIGN_OR_RETURN(shared.review_interval,
+                               ParseDouble(value, key, line_no));
+        if (!(shared.review_interval > 0.0) ||
+            !std::isfinite(shared.review_interval)) {
+          return InvalidArgumentError(
+              "fleet spec line " + std::to_string(line_no) +
+              ": review_interval must be positive and finite");
+        }
+      } else if (key == "snapshot_interval") {
+        HTUNE_ASSIGN_OR_RETURN(const long v, ParseLong(value, key, line_no));
+        if (v < 1) {
+          return InvalidArgumentError("fleet spec line " +
+                                      std::to_string(line_no) +
+                                      ": snapshot_interval must be >= 1");
+        }
+        shared.snapshot_interval = static_cast<int>(v);
+      } else {
+        return InvalidArgumentError("fleet spec line " +
+                                    std::to_string(line_no) +
+                                    ": unknown shared_market key '" + key +
+                                    "'");
+      }
+      continue;
+    }
     if (!in_job) {
       if (key == "max_running") {
         HTUNE_ASSIGN_OR_RETURN(const long v,
@@ -209,7 +300,9 @@ StatusOr<FleetSpec> ParseFleetSpec(std::string_view text,
   if (in_job) {
     HTUNE_RETURN_IF_ERROR(ExpandSection(section, base_dir, &fleet));
   }
-  if (fleet.jobs.empty()) {
+  // A jobless spec is only meaningful as a shared-market service config
+  // (htune_cli serve), where jobs arrive over the socket instead.
+  if (fleet.jobs.empty() && !fleet.shared_market.present) {
     return InvalidArgumentError("fleet spec: no [job] sections");
   }
   if (fleet.max_running < 1) {

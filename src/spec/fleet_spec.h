@@ -15,12 +15,34 @@ namespace htune {
 /// time and embedded verbatim (FleetJobSpec::spec_text), so the manifest is
 /// self-contained — recovery never depends on the original spec files still
 /// existing or being unchanged.
+/// The optional [shared_market] section: parameters of the ONE marketplace
+/// every job competes on when the fleet runs in shared mode (htune_serve /
+/// RunAllShared). Absent (`present` false) the fleet runs each job on its
+/// own isolated market, the classic RunAll path.
+struct SharedMarketSpec {
+  bool present = false;
+  /// Poisson intensity of the shared worker-arrival stream.
+  double arrival_rate = 100.0;
+  /// Per-repetition probability a worker answers wrong.
+  double worker_error_prob = 0.0;
+  /// Shared price-to-rate curve, in the ParseCurveSpec grammar.
+  std::string curve = "linear 1.0 1.0";
+  /// Seed of the shared arrival/selection stream.
+  long seed = 1;
+  /// Session review cadence in simulated seconds (straggler escalation).
+  double review_interval = 5.0;
+  /// Service snapshot cadence, in reviews.
+  int snapshot_interval = 4;
+};
+
 struct FleetSpec {
   /// Worker lanes (FleetConfig::max_running).
   int max_running = 4;
   /// Admission cap on pending jobs (FleetConfig::max_admitted, 0 =
   /// unbounded).
   int max_admitted = 0;
+  /// Shared-market parameters when the spec opted into shared mode.
+  SharedMarketSpec shared_market;
   /// Jobs in submission order (replicated entries already expanded).
   std::vector<FleetJobSpec> jobs;
 };
@@ -31,6 +53,14 @@ struct FleetSpec {
 ///   # fleet of durable jobs
 ///   max_running = 8         # optional worker lanes
 ///   max_admitted = 0        # optional admission cap (0 = unbounded)
+///
+///   [shared_market]         # optional: serve every job on ONE market
+///   arrival_rate = 100.0    # shared Poisson worker stream intensity
+///   worker_error_prob = 0.0 # per-repetition wrong-answer probability
+///   curve = linear 1.0 1.0  # shared price->rate curve (ParseCurveSpec)
+///   seed = 1                # shared stream seed
+///   review_interval = 5.0   # session review cadence, simulated seconds
+///   snapshot_interval = 4   # service snapshot cadence, in reviews
 ///
 ///   [job]
 ///   spec = jobs/basic.spec  # required; relative to the fleet spec file

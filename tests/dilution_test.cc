@@ -1,0 +1,82 @@
+#include "control/dilution.h"
+
+#include <memory>
+
+#include "gtest/gtest.h"
+#include "model/latency_model.h"
+#include "model/price_rate_curve.h"
+
+namespace htune {
+namespace {
+
+TEST(DilutionTest, UnsaturatedMarketReturnsBaseCurveUnchanged) {
+  auto base = std::make_shared<LinearCurve>(1.0, 1.0);
+  // total weight below the arrival rate: factor 1, and the convenience
+  // wrapper hands back the very same object (no indirection on the
+  // uncontended path).
+  auto curve = DiluteCurveForSharedMarket(base, 100.0, 40.0);
+  EXPECT_EQ(curve.get(), base.get());
+  // Boundary: exactly at saturation the factor is still 1.
+  EXPECT_EQ(DiluteCurveForSharedMarket(base, 100.0, 100.0).get(), base.get());
+}
+
+TEST(DilutionTest, SaturatedMarketScalesRatesByArrivalOverTotalWeight) {
+  auto base = std::make_shared<LinearCurve>(1.0, 1.0);
+  const DilutedCurve diluted(base, 100.0, 250.0);
+  EXPECT_DOUBLE_EQ(diluted.factor(), 0.4);
+  for (double price : {1.0, 5.0, 42.0}) {
+    EXPECT_DOUBLE_EQ(diluted.Rate(price), base->Rate(price) * 0.4);
+  }
+  EXPECT_NE(diluted.Name().find("diluted"), std::string::npos);
+}
+
+TEST(DilutionTest, DilutionPreservesMonotonicityAndPositivity) {
+  auto base = std::make_shared<QuadraticCurve>(1.0, 1.0);
+  const DilutedCurve diluted(base, 50.0, 400.0);
+  double prev = 0.0;
+  for (double price = 1.0; price <= 30.0; price += 1.0) {
+    const double rate = diluted.Rate(price);
+    EXPECT_GT(rate, 0.0);
+    EXPECT_GE(rate, prev);
+    prev = rate;
+  }
+}
+
+TEST(DilutionTest, CloneIsIndependentAndIdentical) {
+  auto base = std::make_shared<LinearCurve>(2.0, 3.0);
+  const DilutedCurve diluted(base, 10.0, 25.0);
+  const auto clone = diluted.Clone();
+  EXPECT_DOUBLE_EQ(clone->Rate(7.0), diluted.Rate(7.0));
+  EXPECT_EQ(clone->Name(), diluted.Name());
+}
+
+TEST(DilutionTest, ExecutorsSeeLongerLatenciesThroughTheCurveInterface) {
+  // The point of the seam: a latency evaluator handed the diluted curve
+  // predicts the slowdown contention causes, with no shared-market
+  // plumbing of its own.
+  auto base = std::make_shared<LinearCurve>(1.0, 1.0);
+  const auto diluted =
+      DiluteCurveForSharedMarket(base, 100.0, 300.0);  // factor 1/3
+  GroupShape shape;
+  shape.num_tasks = 8;
+  shape.repetitions = 3;
+  const double isolated = ExpectedGroupOnHoldLatency(shape, *base, 4.0);
+  const double contended = ExpectedGroupOnHoldLatency(shape, *diluted, 4.0);
+  EXPECT_GT(contended, isolated);
+  // Erlang expectation is 1/rate-homogeneous, so a third of the rate means
+  // exactly three times the expected on-hold latency.
+  EXPECT_NEAR(contended, 3.0 * isolated, 1e-9 * contended);
+}
+
+TEST(DilutionTest, StackedDilutionComposesWithAbandonmentAdjustment) {
+  // The two decorators meet in the platform sessions: abandonment first
+  // (it models the worker), dilution second (it models the market).
+  auto base = std::make_shared<LinearCurve>(1.0, 1.0);
+  AbandonmentModel model{0.25, 2.0};
+  auto adjusted = AdjustCurveForAbandonment(base, model);
+  const auto stacked = DiluteCurveForSharedMarket(adjusted, 100.0, 200.0);
+  EXPECT_DOUBLE_EQ(stacked->Rate(5.0), adjusted->Rate(5.0) * 0.5);
+}
+
+}  // namespace
+}  // namespace htune

@@ -10,7 +10,9 @@
 // require the pop streams to match field-for-field.
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <vector>
 
@@ -244,6 +246,88 @@ TEST(EventQueueTest, DrainToEmptyAndRefill) {
     }
     ExpectSameDrain(calendar, oracle);
   }
+}
+
+TEST(EventQueueTest, SameTimestampFloodMatchesOracle) {
+  // Degenerate width fitting: every sampled inter-event gap is zero, so the
+  // span-fitted width has no information. A resize mid-flood must fall back
+  // to a sane width (never 0 or subnormal), keep bucket arithmetic finite,
+  // and still pop in exact (time, sequence) order. Interleaved pops force
+  // both grow and shrink resizes while the population is all-one-timestamp.
+  for (const double time : {0.0, 1.0, 1e9, 4.0e18}) {
+    CalendarEventQueue calendar;
+    BinaryHeapEventQueue oracle;
+    Random rng(0x5EED0011);
+    uint64_t sequence = 0;
+    for (int round = 0; round < 8; ++round) {
+      const int pushes = 1 + static_cast<int>(rng.UniformInt(400));
+      for (int i = 0; i < pushes; ++i) {
+        const MarketEvent event = MakeEvent(time, sequence++);
+        calendar.Push(event);
+        oracle.Push(event);
+      }
+      const size_t pops = oracle.size() / 2;
+      for (size_t i = 0; i < pops; ++i) {
+        ASSERT_TRUE(SameEvent(calendar.Min(), oracle.Min()))
+            << "time " << time << " round " << round << " pop " << i;
+        ASSERT_TRUE(SameEvent(calendar.Pop(), oracle.Pop()))
+            << "time " << time << " round " << round << " pop " << i;
+      }
+    }
+    ExpectSameDrain(calendar, oracle);
+  }
+}
+
+TEST(EventQueueTest, NearIdenticalTimesUnderflowWidthFallsBack) {
+  // A span of a few ulps divided by the population underflows to a
+  // subnormal fitted width; the guard must reject it before the
+  // VirtualBucket division instead of hashing with an inf quotient.
+  CalendarEventQueue calendar;
+  BinaryHeapEventQueue oracle;
+  const double base = 1.0;
+  const double ulp = std::nextafter(base, 2.0) - base;
+  uint64_t sequence = 0;
+  for (int i = 0; i < 300; ++i) {
+    // Two clusters one ulp apart: span == ulp ~ 2e-16, width ~ 2e-18 —
+    // normal but extreme; and with base 0 below, fully subnormal.
+    const MarketEvent event =
+        MakeEvent(base + (i % 2 == 0 ? 0.0 : ulp), sequence++);
+    calendar.Push(event);
+    oracle.Push(event);
+  }
+  ExpectSameDrain(calendar, oracle);
+
+  // Subnormal span around zero: times 0 and DBL_TRUE_MIN * k.
+  CalendarEventQueue tiny;
+  BinaryHeapEventQueue tiny_oracle;
+  const double denorm = std::numeric_limits<double>::denorm_min();
+  for (int i = 0; i < 300; ++i) {
+    const MarketEvent event =
+        MakeEvent(denorm * static_cast<double>(i % 4), sequence++);
+    tiny.Push(event);
+    tiny_oracle.Push(event);
+  }
+  ExpectSameDrain(tiny, tiny_oracle);
+}
+
+TEST(EventQueueTest, AssignSameTimestampFloodThenMixedPushes) {
+  // Assign() routes through Resize with the flood as the whole population;
+  // follow-up pushes at other times must keep matching the oracle.
+  CalendarEventQueue calendar;
+  BinaryHeapEventQueue oracle;
+  std::vector<MarketEvent> flood;
+  for (uint64_t s = 0; s < 700; ++s) flood.push_back(MakeEvent(42.0, s));
+  calendar.Assign(flood);
+  oracle.Assign(flood);
+  Random rng(0x5EED0012);
+  uint64_t sequence = 700;
+  for (int i = 0; i < 300; ++i) {
+    const MarketEvent event =
+        MakeEvent(40.0 + rng.Uniform() * 4.0, sequence++);
+    calendar.Push(event);
+    oracle.Push(event);
+  }
+  ExpectSameDrain(calendar, oracle);
 }
 
 }  // namespace

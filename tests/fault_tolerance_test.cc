@@ -76,6 +76,72 @@ TEST(AbandonmentModelTest, RenewalFormulas) {
               1e-12);
 }
 
+TEST(AbandonmentModelTest, CertainAbandonmentClampsToFiniteCeiling) {
+  // prob == 1 is an infinite expected hold chain. The model math must not
+  // abort or emit inf/NaN — it clamps to kAbandonProbCeiling so anything
+  // that slips past validation still produces finite, positive rates.
+  const double eps = 1e-12;
+  const AbandonmentModel none{0.0, 2.0};
+  const AbandonmentModel near_one{1.0 - eps, 2.0};
+  const AbandonmentModel certain{1.0, 2.0};
+
+  // prob == 0: exact identity, untouched by the clamp.
+  EXPECT_DOUBLE_EQ(ExpectedAttemptsPerRepetition(none), 1.0);
+  EXPECT_DOUBLE_EQ(EffectiveOnHoldRate(4.0, none), 4.0);
+
+  // prob == 1 - eps (inside the ceiling): astronomically slow but finite.
+  EXPECT_TRUE(std::isfinite(ExpectedAttemptsPerRepetition(near_one)));
+  EXPECT_TRUE(std::isfinite(EffectiveOnHoldMean(4.0, near_one)));
+  EXPECT_GT(EffectiveOnHoldRate(4.0, near_one), 0.0);
+
+  // prob == 1: clamped to the ceiling, never inf/NaN/zero.
+  const double attempts = ExpectedAttemptsPerRepetition(certain);
+  EXPECT_TRUE(std::isfinite(attempts));
+  EXPECT_DOUBLE_EQ(attempts, 1.0 / (1.0 - kAbandonProbCeiling));
+  const double mean = EffectiveOnHoldMean(4.0, certain);
+  EXPECT_TRUE(std::isfinite(mean));
+  EXPECT_GT(mean, 0.0);
+  const double rate = EffectiveOnHoldRate(4.0, certain);
+  EXPECT_TRUE(std::isfinite(rate));
+  EXPECT_GT(rate, 0.0);
+  EXPECT_TRUE(std::isfinite(EffectiveRepetitionLatency(4.0, 2.0, certain)));
+
+  // The adjusted curve keeps the PriceRateCurve contract (positive,
+  // finite, monotone) even at the degenerate probability.
+  const auto base = std::make_shared<LinearCurve>(1.0, 1.0);
+  const auto adjusted = AdjustCurveForAbandonment(base, certain);
+  ASSERT_NE(adjusted, nullptr);
+  double prev = 0.0;
+  for (const double price : {1.0, 4.0, 9.0}) {
+    const double r = adjusted->Rate(price);
+    EXPECT_TRUE(std::isfinite(r));
+    EXPECT_GT(r, prev);
+    prev = r;
+  }
+}
+
+TEST(AbandonmentModelTest, ValidationRejectsCertainAbandonment) {
+  // The executor-facing validation rejects prob >= 1 with a clear Status
+  // instead of letting the degenerate model reach the DP.
+  FaultTolerantConfig config;
+  config.abandonment = {1.0, 2.0};
+  const Status status = ValidateFaultTolerantConfig(config);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.ToString().find("abandonment.prob"), std::string::npos);
+
+  config.abandonment = {1.5, 2.0};
+  EXPECT_FALSE(ValidateFaultTolerantConfig(config).ok());
+  config.abandonment = {-0.1, 2.0};
+  EXPECT_FALSE(ValidateFaultTolerantConfig(config).ok());
+  config.abandonment = {0.5, 0.0};
+  EXPECT_FALSE(ValidateFaultTolerantConfig(config).ok());
+  config.abandonment = {1.0 - 1e-9, 2.0};
+  EXPECT_TRUE(ValidateFaultTolerantConfig(config).ok());
+  config.abandonment = {0.0, 0.0};  // hold_rate irrelevant at prob 0
+  EXPECT_TRUE(ValidateFaultTolerantConfig(config).ok());
+}
+
 TEST(AbandonmentModelTest, AdjustCurveDecorates) {
   const auto base = std::make_shared<LinearCurve>(1.0, 1.0);
   // prob == 0 must return the identical curve (no wrapper, no RNG cost).

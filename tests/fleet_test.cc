@@ -134,6 +134,112 @@ TEST(FleetSupervisorTest, AdmissionControlRejectsAndSheds) {
   EXPECT_EQ(fleet.jobs().at(2).state, FleetJobState::kShed);
 }
 
+TEST(FleetSupervisorTest, AdmissionCapExactTieNeverShedsAndNeverAdmits) {
+  // Backlog exactly at max_admitted, all priorities equal: the newcomer
+  // outranks nobody, so it must be rejected WITHOUT shedding anything —
+  // the boundary where a bad tie-break can lose both the newcomer and a
+  // victim, or admit past the cap.
+  InMemoryFleetStorage provider;
+  FleetConfig config;
+  config.max_admitted = 3;
+  FleetSupervisor fleet(&provider, config);
+  ASSERT_TRUE(fleet.Open().ok());
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(fleet.Submit(TinyJob("tie" + std::to_string(i), i)).ok());
+  }
+  const auto rejected = fleet.Submit(TinyJob("newcomer", 9));
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kResourceExhausted);
+  int pending = 0, shed = 0;
+  for (const auto& [id, entry] : fleet.jobs()) {
+    if (entry.state == FleetJobState::kPending) ++pending;
+    if (entry.state == FleetJobState::kShed) ++shed;
+  }
+  EXPECT_EQ(pending, 3) << "a rejected submit must not cost a pending job";
+  EXPECT_EQ(shed, 0);
+}
+
+TEST(FleetSupervisorTest, AdmissionCapExactShedKeepsBacklogAtCap) {
+  // Backlog exactly at max_admitted and the newcomer outranks the victim:
+  // exactly one job is shed and the pending count stays at the cap.
+  InMemoryFleetStorage provider;
+  FleetConfig config;
+  config.max_admitted = 2;
+  FleetSupervisor fleet(&provider, config);
+  ASSERT_TRUE(fleet.Open().ok());
+  FleetJobSpec low = TinyJob("low", 1);
+  low.priority = 0;
+  ASSERT_TRUE(fleet.Submit(low).ok());
+  ASSERT_TRUE(fleet.Submit(low).ok());
+  FleetJobSpec high = TinyJob("high", 2);
+  high.priority = 3;
+  ASSERT_TRUE(fleet.Submit(high).ok());
+  int pending = 0, shed = 0;
+  for (const auto& [id, entry] : fleet.jobs()) {
+    if (entry.state == FleetJobState::kPending) ++pending;
+    if (entry.state == FleetJobState::kShed) ++shed;
+  }
+  EXPECT_EQ(pending, config.max_admitted);
+  EXPECT_EQ(shed, 1);
+  // The youngest of the equal-priority victims went (id 2, not id 1).
+  EXPECT_EQ(fleet.jobs().at(1).state, FleetJobState::kPending);
+  EXPECT_EQ(fleet.jobs().at(2).state, FleetJobState::kShed);
+}
+
+TEST(FleetSupervisorTest, AdmissionCapPlusOneShedsEnoughVictims) {
+  // A backlog already past the cap (the fleet was reopened with a smaller
+  // max_admitted): admitting one newcomer must shed backlog - cap + 1
+  // victims, not just one — shedding one would admit past the cap.
+  InMemoryFleetStorage provider;
+  {
+    FleetSupervisor unbounded(&provider, FleetConfig{});
+    ASSERT_TRUE(unbounded.Open().ok());
+    for (int i = 0; i < 3; ++i) {
+      FleetJobSpec job = TinyJob("old" + std::to_string(i), i);
+      job.priority = 0;
+      ASSERT_TRUE(unbounded.Submit(job).ok());
+    }
+  }
+  FleetConfig config;
+  config.max_admitted = 2;
+  FleetSupervisor fleet(&provider, config);
+  ASSERT_TRUE(fleet.Open().ok());
+
+  // Equal priority: rejected outright, nothing shed even though the
+  // backlog exceeds the cap.
+  FleetJobSpec equal = TinyJob("equal", 7);
+  equal.priority = 0;
+  const auto rejected = fleet.Submit(equal);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kResourceExhausted);
+  {
+    int pending = 0;
+    for (const auto& [id, entry] : fleet.jobs()) {
+      if (entry.state == FleetJobState::kPending) ++pending;
+    }
+    EXPECT_EQ(pending, 3);
+  }
+
+  // Higher priority: admits by shedding backlog - cap + 1 = 2 victims,
+  // youngest first, leaving pending exactly at the cap.
+  FleetJobSpec high = TinyJob("high", 8);
+  high.priority = 5;
+  const auto admitted = fleet.Submit(high);
+  ASSERT_TRUE(admitted.ok());
+  const auto jobs = fleet.jobs();
+  int pending = 0, shed = 0;
+  for (const auto& [id, entry] : jobs) {
+    if (entry.state == FleetJobState::kPending) ++pending;
+    if (entry.state == FleetJobState::kShed) ++shed;
+  }
+  EXPECT_EQ(pending, config.max_admitted);
+  EXPECT_EQ(shed, 2);
+  EXPECT_EQ(jobs.at(1).state, FleetJobState::kPending);  // oldest survives
+  EXPECT_EQ(jobs.at(2).state, FleetJobState::kShed);
+  EXPECT_EQ(jobs.at(3).state, FleetJobState::kShed);
+  EXPECT_EQ(jobs.at(*admitted).state, FleetJobState::kPending);
+}
+
 TEST(FleetSupervisorTest, TransientFaultRestartsThenMatchesReference) {
   const Reference ref = RunReference(TinyJob("job", 7));
 
@@ -567,6 +673,80 @@ TEST(FleetSpecTest, RejectsMalformedInput) {
   EXPECT_FALSE(
       ParseFleetSpec("[job]\nspec = /nonexistent/path.spec\n", "").ok());
   EXPECT_FALSE(ParseFleetSpec("[job]\ncontroller = bogus\n", "").ok());
+}
+
+TEST(FleetSpecTest, ParsesSharedMarketSection) {
+  const std::string dir = testing::TempDir();
+  const std::string job_path = dir + "/fleet_spec_shared_job.spec";
+  {
+    std::FILE* f = std::fopen(job_path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs(kTinySpec, f);
+    std::fclose(f);
+  }
+  const std::string text =
+      "max_running = 2\n"
+      "\n"
+      "[shared_market]\n"
+      "arrival_rate = 80.5\n"
+      "worker_error_prob = 0.25\n"
+      "curve = quadratic 0.5 1.0\n"
+      "seed = 77\n"
+      "review_interval = 2.5\n"
+      "snapshot_interval = 3\n"
+      "\n"
+      "[job]\n"
+      "spec = fleet_spec_shared_job.spec\n";
+  const auto fleet = ParseFleetSpec(text, dir);
+  ASSERT_TRUE(fleet.ok()) << fleet.status().ToString();
+  EXPECT_TRUE(fleet->shared_market.present);
+  EXPECT_EQ(fleet->shared_market.arrival_rate, 80.5);
+  EXPECT_EQ(fleet->shared_market.worker_error_prob, 0.25);
+  EXPECT_EQ(fleet->shared_market.curve, "quadratic 0.5 1.0");
+  EXPECT_EQ(fleet->shared_market.seed, 77);
+  EXPECT_EQ(fleet->shared_market.review_interval, 2.5);
+  EXPECT_EQ(fleet->shared_market.snapshot_interval, 3);
+
+  // Absent section: defaults, present == false.
+  const auto isolated =
+      ParseFleetSpec("[job]\nspec = fleet_spec_shared_job.spec\n", dir);
+  ASSERT_TRUE(isolated.ok()) << isolated.status().ToString();
+  EXPECT_FALSE(isolated->shared_market.present);
+}
+
+TEST(FleetSpecTest, RejectsBadSharedMarketKnobs) {
+  const std::string dir = testing::TempDir();
+  const std::string job_path = dir + "/fleet_spec_shared_job.spec";
+  {
+    std::FILE* f = std::fopen(job_path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs(kTinySpec, f);
+    std::fclose(f);
+  }
+  const std::string tail = "[job]\nspec = fleet_spec_shared_job.spec\n";
+  EXPECT_FALSE(
+      ParseFleetSpec("[shared_market]\narrival_rate = 0\n" + tail, dir).ok());
+  EXPECT_FALSE(
+      ParseFleetSpec("[shared_market]\narrival_rate = nope\n" + tail, dir)
+          .ok());
+  EXPECT_FALSE(
+      ParseFleetSpec("[shared_market]\nworker_error_prob = 1.5\n" + tail, dir)
+          .ok());
+  EXPECT_FALSE(
+      ParseFleetSpec("[shared_market]\ncurve = bogus 1 2\n" + tail, dir).ok());
+  EXPECT_FALSE(
+      ParseFleetSpec("[shared_market]\nseed = -3\n" + tail, dir).ok());
+  EXPECT_FALSE(
+      ParseFleetSpec("[shared_market]\nreview_interval = 0\n" + tail, dir)
+          .ok());
+  EXPECT_FALSE(
+      ParseFleetSpec("[shared_market]\nsnapshot_interval = 0\n" + tail, dir)
+          .ok());
+  EXPECT_FALSE(
+      ParseFleetSpec("[shared_market]\nbogus = 1\n" + tail, dir).ok());
+  EXPECT_FALSE(ParseFleetSpec(
+                   "[shared_market]\n[shared_market]\n" + tail, dir)
+                   .ok());  // duplicate section
 }
 
 }  // namespace

@@ -1,0 +1,338 @@
+#include "platform/shared_market.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "model/price_rate_curve.h"
+
+namespace htune {
+namespace {
+
+std::shared_ptr<const PriceRateCurve> UnitCurve() {
+  // Rate(p) = p: weights read directly as payment units.
+  return std::make_shared<LinearCurve>(1.0, 0.0);
+}
+
+SharedMarketConfig BaseConfig() {
+  SharedMarketConfig config;
+  config.worker_arrival_rate = 50.0;
+  config.worker_error_prob = 0.0;
+  config.curve = UnitCurve();
+  config.seed = 7;
+  return config;
+}
+
+size_t CountAcceptances(const std::vector<TraceEvent>& trace) {
+  size_t n = 0;
+  for (const TraceEvent& event : trace) {
+    if (event.kind == TraceEventKind::kTaskAccepted) ++n;
+  }
+  return n;
+}
+
+TEST(SharedMarketTest, ValidatesConfig) {
+  SharedMarketConfig config = BaseConfig();
+  EXPECT_TRUE(ValidateSharedMarketConfig(config).ok());
+  config.worker_arrival_rate = 0.0;
+  EXPECT_FALSE(ValidateSharedMarketConfig(config).ok());
+  config = BaseConfig();
+  config.worker_error_prob = 1.5;
+  EXPECT_FALSE(ValidateSharedMarketConfig(config).ok());
+  config = BaseConfig();
+  config.curve = nullptr;
+  EXPECT_FALSE(ValidateSharedMarketConfig(config).ok());
+}
+
+TEST(SharedMarketTest, RejectsMalformedSubmissions) {
+  SharedMarket market(BaseConfig());
+  ASSERT_TRUE(market.AddJob(3, 11).ok());
+  EXPECT_FALSE(market.AddJob(3, 12).ok());  // not strictly ascending
+  EXPECT_FALSE(market.AddJob(1, 13).ok());
+  EXPECT_FALSE(market.PostTask(99, {5}, 1.0).ok());        // unknown job
+  EXPECT_FALSE(market.PostTask(3, {}, 1.0).ok());          // no repetitions
+  EXPECT_FALSE(market.PostTask(3, {5, 0}, 1.0).ok());      // price < 1
+  EXPECT_FALSE(market.PostTask(3, {5}, 0.0).ok());         // bad rate
+  EXPECT_FALSE(market.PostTask(3, {5}, 1.0, 2, 2).ok());   // answer range
+  EXPECT_FALSE(market.Reprice(3, 1, 5).ok());              // unknown task
+}
+
+TEST(SharedMarketTest, SingleJobRunsToCompleteOutcomes) {
+  SharedMarket market(BaseConfig());
+  ASSERT_TRUE(market.AddJob(1, 42).ok());
+  for (int t = 0; t < 20; ++t) {
+    auto id = market.PostTask(1, {3, 3, 3}, 4.0, /*true_answer=*/1,
+                              /*num_options=*/4);
+    ASSERT_TRUE(id.ok());
+    EXPECT_EQ(*id, static_cast<TaskId>(t + 1));
+  }
+  EXPECT_EQ(market.OpenTaskCount(), 20u);
+  ASSERT_TRUE(market.RunToCompletion().ok());
+  EXPECT_EQ(market.OpenTaskCount(), 0u);
+
+  const std::vector<TaskOutcome>& done = market.CompletedOutcomes(1);
+  ASSERT_EQ(done.size(), 20u);
+  long expected_spent = 0;
+  for (const TaskOutcome& outcome : done) {
+    ASSERT_EQ(outcome.repetitions.size(), 3u);
+    EXPECT_GT(outcome.completed_time, outcome.posted_time);
+    double prev_completed = 0.0;
+    for (const RepetitionOutcome& rep : outcome.repetitions) {
+      EXPECT_GE(rep.accepted_time, rep.posted_time);
+      EXPECT_GT(rep.completed_time, rep.accepted_time);
+      EXPECT_GE(rep.posted_time, prev_completed);
+      prev_completed = rep.completed_time;
+      EXPECT_EQ(rep.price, 3);
+      EXPECT_TRUE(rep.correct);
+      EXPECT_EQ(rep.answer, 1);
+      expected_spent += rep.price;
+    }
+  }
+  EXPECT_EQ(market.TotalSpent(1), expected_spent);
+  EXPECT_EQ(CountAcceptances(market.Trace(1)), 60u);
+  EXPECT_EQ(market.Counts().completions, 60u);
+  EXPECT_EQ(market.Counts().tasks_posted, 20u);
+}
+
+TEST(SharedMarketTest, WorkerErrorsDrawFromTheJobLocalStream) {
+  SharedMarketConfig config = BaseConfig();
+  config.worker_error_prob = 1.0;  // every answer wrong
+  SharedMarket market(config);
+  ASSERT_TRUE(market.AddJob(1, 42).ok());
+  for (int t = 0; t < 10; ++t) {
+    ASSERT_TRUE(
+        market.PostTask(1, {2, 2}, 4.0, /*true_answer=*/2, /*num_options=*/5)
+            .ok());
+  }
+  ASSERT_TRUE(market.RunToCompletion().ok());
+  for (const TaskOutcome& outcome : market.CompletedOutcomes(1)) {
+    for (const RepetitionOutcome& rep : outcome.repetitions) {
+      EXPECT_FALSE(rep.correct);
+      EXPECT_NE(rep.answer, 2);
+      EXPECT_GE(rep.answer, 0);
+      EXPECT_LT(rep.answer, 5);
+    }
+  }
+}
+
+// The capstone law at engine level: two identical jobs competing on one
+// market each see about half the acceptance rate either sees alone. Each
+// job keeps one saturating many-repetition task permanently on hold (fast
+// processing), so acceptances per unit time read the effective rate.
+TEST(SharedMarketTest, TwoIdenticalJobsEachSeeHalfTheIsolatedRate) {
+  constexpr double kWindow = 400.0;
+  constexpr double kProcessingRate = 1e6;  // turnaround is negligible
+  constexpr int kSaturatingPrice = 200;    // weight 200 > arrival rate 50
+
+  const std::vector<int> reps(200000, kSaturatingPrice);
+
+  SharedMarket isolated(BaseConfig());
+  ASSERT_TRUE(isolated.AddJob(1, 21).ok());
+  ASSERT_TRUE(isolated.PostTask(1, reps, kProcessingRate).ok());
+  isolated.RunUntil(kWindow);
+  const double isolated_rate =
+      static_cast<double>(CountAcceptances(isolated.Trace(1))) / kWindow;
+  // Saturated single job accepts (nearly) every arrival.
+  EXPECT_NEAR(isolated_rate, 50.0, 2.5);
+
+  SharedMarket shared(BaseConfig());
+  ASSERT_TRUE(shared.AddJob(1, 21).ok());
+  ASSERT_TRUE(shared.AddJob(2, 22).ok());
+  ASSERT_TRUE(shared.PostTask(1, reps, kProcessingRate).ok());
+  ASSERT_TRUE(shared.PostTask(2, reps, kProcessingRate).ok());
+  shared.RunUntil(kWindow);
+  const double rate_1 =
+      static_cast<double>(CountAcceptances(shared.Trace(1))) / kWindow;
+  const double rate_2 =
+      static_cast<double>(CountAcceptances(shared.Trace(2))) / kWindow;
+  EXPECT_NEAR(rate_1 / isolated_rate, 0.5, 0.05);
+  EXPECT_NEAR(rate_2 / isolated_rate, 0.5, 0.05);
+  // Nothing is lost to the split: together they still drain the stream.
+  EXPECT_NEAR((rate_1 + rate_2) / isolated_rate, 1.0, 0.05);
+}
+
+// One job raising its price mid-run drains the rival's effective rate
+// through the shared denominator — no explicit coupling anywhere.
+TEST(SharedMarketTest, RepriceDrainsTheRivalsEffectiveRate) {
+  constexpr double kPhase = 300.0;
+  const std::vector<int> reps(200000, 100);
+
+  SharedMarket market(BaseConfig());
+  ASSERT_TRUE(market.AddJob(1, 5).ok());
+  ASSERT_TRUE(market.AddJob(2, 6).ok());
+  auto task_1 = market.PostTask(1, reps, 1e6);
+  ASSERT_TRUE(task_1.ok());
+  ASSERT_TRUE(market.PostTask(2, reps, 1e6).ok());
+
+  market.RunUntil(kPhase);
+  const size_t rival_before = CountAcceptances(market.Trace(2));
+
+  // Job 1 triples its price: weights 300 vs 100 → shares 3/4 vs 1/4.
+  ASSERT_TRUE(market.Reprice(1, *task_1, 300).ok());
+  market.RunUntil(2.0 * kPhase);
+  const size_t rival_after = CountAcceptances(market.Trace(2)) - rival_before;
+
+  // Equal-length windows: the rival's acceptance rate halves (Λ/4 vs Λ/2).
+  const double ratio = static_cast<double>(rival_after) /
+                       static_cast<double>(rival_before);
+  EXPECT_NEAR(ratio, 0.5, 0.08);
+}
+
+TEST(SharedMarketTest, RepriceLeavesCompletedRepetitionsAlone) {
+  SharedMarket market(BaseConfig());
+  ASSERT_TRUE(market.AddJob(1, 9).ok());
+  auto task = market.PostTask(1, {2, 2, 2, 2}, 5.0);
+  ASSERT_TRUE(task.ok());
+
+  // Let some repetitions complete, then reprice the remainder.
+  while (true) {
+    market.RunUntil(market.now() + 0.5);
+    const auto& trace = market.Trace(1);
+    size_t completed = 0;
+    for (const TraceEvent& event : trace) {
+      if (event.kind == TraceEventKind::kRepetitionCompleted) ++completed;
+    }
+    if (completed >= 2) break;
+    ASSERT_LT(market.now(), 1e4) << "market stalled";
+  }
+  ASSERT_TRUE(market.Reprice(1, *task, 7).ok());
+  ASSERT_TRUE(market.RunToCompletion().ok());
+
+  const std::vector<TaskOutcome>& done = market.CompletedOutcomes(1);
+  ASSERT_EQ(done.size(), 1u);
+  ASSERT_EQ(done[0].repetitions.size(), 4u);
+  EXPECT_EQ(done[0].repetitions.front().price, 2);
+  EXPECT_EQ(done[0].repetitions.back().price, 7);
+  long spent = 0;
+  for (const RepetitionOutcome& rep : done[0].repetitions) spent += rep.price;
+  EXPECT_EQ(market.TotalSpent(1), spent);
+
+  EXPECT_FALSE(market.Reprice(1, *task, 9).ok());  // completed now
+}
+
+TEST(SharedMarketTest, OnHoldSinceAndCurrentPriceTrackTheOpenRepetition) {
+  SharedMarket market(BaseConfig());
+  ASSERT_TRUE(market.AddJob(1, 9).ok());
+  auto task = market.PostTask(1, {4, 6}, 5.0);
+  ASSERT_TRUE(task.ok());
+  auto since = market.OnHoldSince(1, *task);
+  ASSERT_TRUE(since.ok());
+  EXPECT_EQ(*since, 0.0);
+  auto price = market.CurrentPrice(1, *task);
+  ASSERT_TRUE(price.ok());
+  EXPECT_EQ(*price, 4);
+  EXPECT_FALSE(market.OnHoldSince(1, 99).ok());
+  ASSERT_TRUE(market.RunToCompletion().ok());
+  EXPECT_FALSE(market.OnHoldSince(1, *task).ok());
+  EXPECT_FALSE(market.CurrentPrice(1, *task).ok());
+}
+
+// The bitwise-resume contract: capture mid-competition, restore into a
+// fresh engine, and both finish with byte-identical state.
+TEST(SharedMarketTest, CaptureRestoreContinuesBitwise) {
+  const std::vector<int> reps(40, 3);
+  auto build = [&]() {
+    auto market = std::make_unique<SharedMarket>(BaseConfig());
+    EXPECT_TRUE(market->AddJob(1, 31).ok());
+    EXPECT_TRUE(market->AddJob(2, 32).ok());
+    EXPECT_TRUE(market->AddJob(5, 33).ok());
+    return market;
+  };
+
+  auto original = build();
+  for (uint64_t job : {1u, 2u, 5u}) {
+    for (int t = 0; t < 6; ++t) {
+      ASSERT_TRUE(original->PostTask(job, reps, 8.0).ok());
+    }
+  }
+  original->RunUntil(2.0);
+  ASSERT_GT(original->OpenTaskCount(), 0u);
+  const std::string snapshot = original->CaptureState();
+
+  // Equal states encode to equal bytes.
+  EXPECT_EQ(original->CaptureState(), snapshot);
+
+  SharedMarket resumed(BaseConfig());
+  ASSERT_TRUE(resumed.RestoreState(snapshot).ok());
+  EXPECT_EQ(resumed.CaptureState(), snapshot);
+  EXPECT_EQ(resumed.OpenTaskCount(), original->OpenTaskCount());
+  EXPECT_EQ(resumed.now(), original->now());
+
+  ASSERT_TRUE(original->RunToCompletion().ok());
+  ASSERT_TRUE(resumed.RunToCompletion().ok());
+  EXPECT_EQ(resumed.CaptureState(), original->CaptureState());
+  EXPECT_EQ(resumed.now(), original->now());
+  for (uint64_t job : {1u, 2u, 5u}) {
+    EXPECT_EQ(resumed.TotalSpent(job), original->TotalSpent(job));
+    ASSERT_EQ(resumed.Trace(job).size(), original->Trace(job).size());
+  }
+}
+
+// Interrupting at an arbitrary point must not perturb anything: resumed
+// and uninterrupted runs produce identical bytes.
+TEST(SharedMarketTest, ResumeMatchesUninterruptedRun) {
+  auto run = [](double interrupt_at) {
+    SharedMarketConfig config = BaseConfig();
+    config.worker_error_prob = 0.2;
+    SharedMarket market(config);
+    EXPECT_TRUE(market.AddJob(1, 51).ok());
+    EXPECT_TRUE(market.AddJob(2, 52).ok());
+    for (int t = 0; t < 8; ++t) {
+      EXPECT_TRUE(market.PostTask(1, {2, 5}, 6.0, 0, 3).ok());
+      EXPECT_TRUE(market.PostTask(2, {4}, 6.0, 1, 3).ok());
+    }
+    if (interrupt_at > 0.0) {
+      market.RunUntil(interrupt_at);
+      const std::string snapshot = market.CaptureState();
+      SharedMarket resumed(config);
+      EXPECT_TRUE(resumed.RestoreState(snapshot).ok());
+      if (resumed.OpenTaskCount() > 0) {
+        EXPECT_TRUE(resumed.RunToCompletion().ok());
+      }
+      return resumed.CaptureState();
+    }
+    EXPECT_TRUE(market.RunToCompletion().ok());
+    return market.CaptureState();
+  };
+
+  const std::string uninterrupted = run(0.0);
+  EXPECT_EQ(run(0.3), uninterrupted);
+  EXPECT_EQ(run(1.1), uninterrupted);
+  EXPECT_EQ(run(2.7), uninterrupted);
+}
+
+// Both event-queue implementations drive the identical simulation.
+TEST(SharedMarketTest, EventQueueImplementationsAgreeBitwise) {
+  auto run = [](EventQueueImpl impl) {
+    SharedMarketConfig config = BaseConfig();
+    config.event_queue = impl;
+    SharedMarket market(config);
+    EXPECT_TRUE(market.AddJob(1, 61).ok());
+    EXPECT_TRUE(market.AddJob(2, 62).ok());
+    for (int t = 0; t < 12; ++t) {
+      EXPECT_TRUE(market.PostTask(1, {3, 3}, 5.0).ok());
+      EXPECT_TRUE(market.PostTask(2, {6}, 5.0).ok());
+    }
+    EXPECT_TRUE(market.RunToCompletion().ok());
+    return market.CaptureState();
+  };
+  EXPECT_EQ(run(EventQueueImpl::kCalendar), run(EventQueueImpl::kBinaryHeap));
+}
+
+TEST(SharedMarketTest, RestoreRejectsCorruptBytes) {
+  SharedMarket market(BaseConfig());
+  EXPECT_FALSE(market.RestoreState("").ok());
+  EXPECT_FALSE(market.RestoreState("garbage").ok());
+
+  SharedMarket donor(BaseConfig());
+  ASSERT_TRUE(donor.AddJob(1, 1).ok());
+  ASSERT_TRUE(donor.PostTask(1, {2}, 1.0).ok());
+  std::string snapshot = donor.CaptureState();
+  snapshot.resize(snapshot.size() - 3);  // truncated tail
+  EXPECT_FALSE(market.RestoreState(snapshot).ok());
+}
+
+}  // namespace
+}  // namespace htune

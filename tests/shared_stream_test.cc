@@ -1,0 +1,186 @@
+#include "market/shared_stream.h"
+
+#include <cstdint>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "rng/random.h"
+
+namespace htune {
+namespace {
+
+TEST(SharedStreamTest, DrawStreamMatchesManualReplay) {
+  // The documented draw discipline: one Exponential at construction, then
+  // per Step one Exponential (next interarrival) and one Uniform
+  // (selection) — bitwise, regardless of candidate count.
+  constexpr uint64_t kSeed = 0x5EED0100;
+  constexpr double kRate = 40.0;
+  SharedArrivalStream stream(kRate, kSeed);
+  Random replay(kSeed);
+
+  double expected_next = replay.Exponential(kRate);
+  EXPECT_EQ(stream.NextArrivalTime(), expected_next);
+
+  const std::vector<double> weights = {3.0, 7.0};
+  for (int i = 0; i < 50; ++i) {
+    const size_t n = static_cast<size_t>(i % 3);  // 0, 1, or 2 candidates
+    const SharedArrival arrival = stream.Step(weights.data(), n);
+    EXPECT_EQ(arrival.time, expected_next);
+    EXPECT_EQ(arrival.worker, static_cast<uint64_t>(i));
+    expected_next = arrival.time + replay.Exponential(kRate);
+    const double u = replay.Uniform();
+    EXPECT_EQ(stream.NextArrivalTime(), expected_next);
+    double total = 0.0;
+    for (size_t j = 0; j < n; ++j) total += weights[j];
+    const double threshold = u * (total > kRate ? total : kRate);
+    EXPECT_EQ(arrival.accepted, threshold < total);
+  }
+  EXPECT_EQ(stream.arrivals(), 50u);
+}
+
+TEST(SharedStreamTest, UnsaturatedCandidateKeepsItsMarginalRate) {
+  // Below saturation (W <= arrival rate) the acceptance process of a
+  // candidate with weight w is Poisson(w) — identical in law to an
+  // isolated task posted at that price.
+  constexpr double kRate = 100.0;
+  SharedArrivalStream stream(kRate, 0x5EED0101);
+  const double weight = 5.0;
+  uint64_t accepts = 0;
+  constexpr int kArrivals = 200000;
+  for (int i = 0; i < kArrivals; ++i) {
+    if (stream.Step(&weight, 1).accepted) ++accepts;
+  }
+  const double observed = static_cast<double>(accepts) / stream.now();
+  EXPECT_NEAR(observed, weight, 0.2);
+}
+
+TEST(SharedStreamTest, TwoIdenticalSaturatingJobsEachSeeHalfIsolatedRate) {
+  // Isolated, a weight-150 candidate saturates a rate-100 market and
+  // accepts every arrival (rate 100). Sharing the market with an identical
+  // rival, each gets half of that.
+  constexpr double kRate = 100.0;
+  constexpr double kWeight = 150.0;
+
+  SharedArrivalStream isolated(kRate, 0x5EED0102);
+  uint64_t isolated_accepts = 0;
+  constexpr int kArrivals = 100000;
+  for (int i = 0; i < kArrivals; ++i) {
+    if (isolated.Step(&kWeight, 1).accepted) ++isolated_accepts;
+  }
+  EXPECT_EQ(isolated_accepts, static_cast<uint64_t>(kArrivals));
+  const double isolated_rate =
+      static_cast<double>(isolated_accepts) / isolated.now();
+
+  SharedArrivalStream shared(kRate, 0x5EED0103);
+  const std::vector<double> weights = {kWeight, kWeight};
+  uint64_t accepts[2] = {0, 0};
+  for (int i = 0; i < kArrivals; ++i) {
+    const SharedArrival arrival = shared.Step(weights.data(), weights.size());
+    if (arrival.accepted) ++accepts[arrival.candidate];
+  }
+  const double elapsed = shared.now();
+  for (uint64_t count : accepts) {
+    const double rate = static_cast<double>(count) / elapsed;
+    EXPECT_NEAR(rate / isolated_rate, 0.5, 0.02);
+  }
+}
+
+TEST(SharedStreamTest, RaisingOnePriceDrainsTheRivalsRate) {
+  // At weights {100, 100} on a rate-100 market each candidate accepts half
+  // the arrivals. Raising the first to 300 pushes its share to 3/4 and
+  // halves the rival's — contention propagates through the shared
+  // denominator, not through any explicit coupling.
+  constexpr double kRate = 100.0;
+  constexpr int kArrivals = 100000;
+
+  const auto shares = [&](const std::vector<double>& weights) {
+    SharedArrivalStream stream(kRate, 0x5EED0104);
+    std::vector<uint64_t> accepts(weights.size(), 0);
+    for (int i = 0; i < kArrivals; ++i) {
+      const SharedArrival arrival =
+          stream.Step(weights.data(), weights.size());
+      if (arrival.accepted) ++accepts[arrival.candidate];
+    }
+    std::vector<double> rates(weights.size());
+    for (size_t j = 0; j < weights.size(); ++j) {
+      rates[j] = static_cast<double>(accepts[j]) / stream.now();
+    }
+    return rates;
+  };
+
+  const std::vector<double> before = shares({100.0, 100.0});
+  const std::vector<double> after = shares({300.0, 100.0});
+  EXPECT_NEAR(before[1], 50.0, 2.0);
+  EXPECT_NEAR(after[1], 25.0, 2.0);
+  EXPECT_NEAR(after[0], 75.0, 2.0);
+}
+
+TEST(SharedStreamTest, ZeroWeightCandidateIsNeverSelected) {
+  SharedArrivalStream stream(50.0, 0x5EED0105);
+  const std::vector<double> weights = {0.0, 5.0, 0.0};
+  for (int i = 0; i < 20000; ++i) {
+    const SharedArrival arrival = stream.Step(weights.data(), weights.size());
+    if (arrival.accepted) {
+      ASSERT_EQ(arrival.candidate, 1u);
+    }
+  }
+}
+
+TEST(SharedStreamTest, DrawCountIsIndependentOfCandidateMembership) {
+  // Two same-seeded streams fed different candidate sets produce identical
+  // arrival epochs: the uniform stream never depends on who competes.
+  SharedArrivalStream a(25.0, 0x5EED0106);
+  SharedArrivalStream b(25.0, 0x5EED0106);
+  const std::vector<double> many = {1.0, 2.0, 3.0, 4.0};
+  for (int i = 0; i < 200; ++i) {
+    const SharedArrival from_a = a.Step(nullptr, 0);
+    const SharedArrival from_b =
+        b.Step(many.data(), static_cast<size_t>(i % 5));
+    ASSERT_EQ(from_a.time, from_b.time);
+    ASSERT_EQ(a.NextArrivalTime(), b.NextArrivalTime());
+  }
+}
+
+TEST(SharedStreamTest, CaptureRestoreContinuesBitwise) {
+  constexpr double kRate = 60.0;
+  const std::vector<double> weights = {10.0, 45.0, 20.0};
+  SharedArrivalStream original(kRate, 0x5EED0107);
+  for (int i = 0; i < 500; ++i) {
+    original.Step(weights.data(), weights.size());
+  }
+  const SharedStreamState snapshot = original.CaptureState();
+
+  // Restore into a stream built from a different seed: everything dynamic
+  // must come from the snapshot.
+  SharedArrivalStream resumed(kRate, 0xDEADBEEF);
+  resumed.RestoreState(snapshot);
+  EXPECT_EQ(resumed.now(), original.now());
+  EXPECT_EQ(resumed.NextArrivalTime(), original.NextArrivalTime());
+  EXPECT_EQ(resumed.arrivals(), original.arrivals());
+
+  for (int i = 0; i < 500; ++i) {
+    const size_t n = static_cast<size_t>(i % (weights.size() + 1));
+    const SharedArrival expected = original.Step(weights.data(), n);
+    const SharedArrival actual = resumed.Step(weights.data(), n);
+    ASSERT_EQ(actual.time, expected.time);
+    ASSERT_EQ(actual.worker, expected.worker);
+    ASSERT_EQ(actual.accepted, expected.accepted);
+    if (expected.accepted) {
+      ASSERT_EQ(actual.candidate, expected.candidate);
+    }
+  }
+}
+
+TEST(SharedStreamTest, TotalWeightSumsLeftToRight) {
+  // The helper must reproduce the exact accumulation Step performs; spot
+  // check with values whose sum depends on order.
+  const std::vector<double> weights = {1e16, 1.0, -0.0, 3.0};
+  double manual = 0.0;
+  for (double w : weights) manual += w;
+  EXPECT_EQ(SharedArrivalStream::TotalWeight(weights.data(), weights.size()),
+            manual);
+  EXPECT_EQ(SharedArrivalStream::TotalWeight(nullptr, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace htune

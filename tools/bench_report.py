@@ -38,6 +38,18 @@ it encodes (supervision overhead within the gated ratio; quarantined ==
 deliberately poisoned; latency stats ordered), prints a canonical digest,
 and exits nonzero on any violation — CI's fleet job drives this mode
 after the bench smoke run and against the committed BENCH_fleet.json.
+
+--shared parses a bench/shared_market --out=PATH export, re-checks the
+gates it encodes (>= min_jobs_for_gate concurrent jobs on one market when
+not a smoke run; every posted task completed; the observed competition
+ratio matches the thinning model's prediction), prints a canonical
+digest, and exits nonzero on any violation — CI's server job drives this
+mode and against the committed BENCH_shared.json.
+
+Overhead and competition gates whose denominator recorded as 0 (a smoke
+run finishing inside the timer's resolution) are reported as skipped on
+stderr instead of tripping a ZeroDivisionError; the remaining shape
+checks still run.
 """
 
 import argparse
@@ -148,6 +160,54 @@ def load_metrics(path):
 
 CHAOS_SCHEMA_VERSION = 1
 
+# Overhead ratios are exported with ~6 significant digits while the ms
+# inputs carry 4 decimals, so the re-derived ratio only matches
+# approximately; 2% is far tighter than any real regression and far looser
+# than the rounding error of any timeable run.
+OVERHEAD_RATIO_TOLERANCE = 0.02
+# Below this many ms the 4-decimal export rounding dominates the quotient
+# and re-derivation is meaningless.
+OVERHEAD_REDERIVE_FLOOR_MS = 0.1
+
+
+def check_overhead_gate(path, overhead, section, num_key, den_key):
+    """Validates one {num, den, ratio, max_ratio} overhead section.
+
+    Returns True when the gate was checked, False when it was *skipped*
+    because the run recorded a 0 ms denominator (a --smoke run can finish
+    inside the timer's resolution; the ratio is then 0/0 noise, and
+    re-deriving it would divide by zero). A skip is reported, never a
+    traceback, and the rest of the export is still validated.
+    """
+    for key in (num_key, den_key, "ratio", "max_ratio"):
+        value = overhead.get(key)
+        if not isinstance(value, (int, float)) or not math.isfinite(value) \
+                or value < 0:
+            raise SystemExit(f"{path}: {section}.{key} is not a "
+                             f"non-negative finite number: {value!r}")
+    if overhead["max_ratio"] <= 0:
+        raise SystemExit(f"{path}: {section}.max_ratio is not positive: "
+                         f"{overhead['max_ratio']!r}")
+    if overhead[den_key] <= 0 or overhead[num_key] <= 0:
+        print(f"{path}: {section} gate SKIPPED: {num_key}="
+              f"{overhead[num_key]!r} {den_key}={overhead[den_key]!r} "
+              "(run too fast to time; ratio not derivable)",
+              file=sys.stderr)
+        return False
+    derived = overhead[num_key] / overhead[den_key]
+    if min(overhead[num_key], overhead[den_key]) >= \
+            OVERHEAD_REDERIVE_FLOOR_MS and \
+            abs(derived - overhead["ratio"]) > \
+            OVERHEAD_RATIO_TOLERANCE * max(derived, 1.0):
+        raise SystemExit(
+            f"{path}: {section}.ratio {overhead['ratio']!r} does not equal "
+            f"{num_key}/{den_key} ({derived!r})")
+    if overhead["ratio"] > overhead["max_ratio"]:
+        raise SystemExit(
+            f"{path}: {section} ratio {overhead['ratio']:.4f} exceeds the "
+            f"gated maximum {overhead['max_ratio']:.4f}")
+    return True
+
 
 def load_chaos(path):
     """Parses and validates a bench/chaos_soak --out export."""
@@ -169,16 +229,8 @@ def load_chaos(path):
     overhead = data.get("fault_free_overhead")
     if not isinstance(overhead, dict):
         raise SystemExit(f"{path}: missing 'fault_free_overhead' section")
-    for key in ("on_ms", "off_ms", "ratio", "max_ratio"):
-        value = overhead.get(key)
-        if not isinstance(value, (int, float)) or not math.isfinite(value) \
-                or value <= 0:
-            raise SystemExit(f"{path}: fault_free_overhead.{key} is not a "
-                             f"positive finite number: {value!r}")
-    if overhead["ratio"] > overhead["max_ratio"]:
-        raise SystemExit(
-            f"{path}: fault-free overhead ratio {overhead['ratio']:.4f} "
-            f"exceeds the gated maximum {overhead['max_ratio']:.4f}")
+    check_overhead_gate(path, overhead, "fault_free_overhead",
+                        "on_ms", "off_ms")
     latency = data.get("recovery_latency_ms")
     if not isinstance(latency, dict):
         raise SystemExit(f"{path}: missing 'recovery_latency_ms' section")
@@ -369,16 +421,8 @@ def load_fleet(path):
     overhead = data.get("supervision_overhead")
     if not isinstance(overhead, dict):
         raise SystemExit(f"{path}: missing 'supervision_overhead' section")
-    for key in ("supervised_ms", "direct_ms", "ratio", "max_ratio"):
-        value = overhead.get(key)
-        if not isinstance(value, (int, float)) or not math.isfinite(value) \
-                or value <= 0:
-            raise SystemExit(f"{path}: supervision_overhead.{key} is not a "
-                             f"positive finite number: {value!r}")
-    if overhead["ratio"] > overhead["max_ratio"]:
-        raise SystemExit(
-            f"{path}: supervision overhead ratio {overhead['ratio']:.4f} "
-            f"exceeds the gated maximum {overhead['max_ratio']:.4f}")
+    check_overhead_gate(path, overhead, "supervision_overhead",
+                        "supervised_ms", "direct_ms")
     latency = data.get("recovery_latency_ms")
     if not isinstance(latency, dict):
         raise SystemExit(f"{path}: missing 'recovery_latency_ms' section")
@@ -417,6 +461,117 @@ def fleet_digest(data):
         "recovery count=%d min_ms=%.17g mean_ms=%.17g max_ms=%.17g"
         % (latency["count"], latency["min"], latency["mean"],
            latency["max"]),
+    ]
+    return "\n".join(lines)
+
+
+SHARED_SCHEMA_VERSION = 1
+
+# bench/shared_market exports its doubles at %.17g, so re-derivation is
+# exact up to one ulp of quotient rounding.
+SHARED_RATIO_TOLERANCE = 1e-9
+
+
+def load_shared(path):
+    """Parses and validates a bench/shared_market --out export."""
+    with open(path) as f:
+        data = json.load(f)
+    if data.get("schema_version") != SHARED_SCHEMA_VERSION:
+        raise SystemExit(
+            f"{path}: unsupported shared schema_version "
+            f"{data.get('schema_version')!r} (expected "
+            f"{SHARED_SCHEMA_VERSION})")
+    if not isinstance(data.get("smoke"), bool):
+        raise SystemExit(f"{path}: 'smoke' is not a bool: "
+                         f"{data.get('smoke')!r}")
+    for key in ("jobs", "min_jobs_for_gate", "tasks", "tasks_completed",
+                "total_events"):
+        if not isinstance(data.get(key), int) or data[key] < 0:
+            raise SystemExit(f"{path}: '{key}' is not a non-negative "
+                             f"integer: {data.get(key)!r}")
+    if data["jobs"] == 0 or data["tasks"] == 0 or data["total_events"] == 0:
+        raise SystemExit(f"{path}: ran no work (jobs={data['jobs']}, "
+                         f"tasks={data['tasks']}, total_events="
+                         f"{data['total_events']})")
+    # The concurrency gate: a full (non-smoke) run must actually host the
+    # advertised job count on one shared market.
+    if not data["smoke"] and data["jobs"] < data["min_jobs_for_gate"]:
+        raise SystemExit(
+            f"{path}: only {data['jobs']} concurrent jobs; the gate "
+            f"requires >= {data['min_jobs_for_gate']}")
+    # The completion gate: every posted task finished inside the run.
+    if data["tasks_completed"] != data["tasks"]:
+        raise SystemExit(
+            f"{path}: completed {data['tasks_completed']} of "
+            f"{data['tasks']} tasks")
+    for key in ("wall_seconds", "events_per_sec"):
+        value = data.get(key)
+        if not isinstance(value, (int, float)) or not math.isfinite(value) \
+                or value <= 0:
+            raise SystemExit(f"{path}: '{key}' is not a positive finite "
+                             f"number: {value!r}")
+    derived = data["total_events"] / data["wall_seconds"]
+    if abs(derived - data["events_per_sec"]) > \
+            SHARED_RATIO_TOLERANCE * derived:
+        raise SystemExit(
+            f"{path}: events_per_sec {data['events_per_sec']!r} does not "
+            f"equal total_events/wall_seconds ({derived!r})")
+    comp = data.get("competition")
+    if not isinstance(comp, dict):
+        raise SystemExit(f"{path}: missing 'competition' section")
+    for key in ("isolated_rate", "shared_rate", "expected_ratio",
+                "observed_ratio", "tolerance"):
+        value = comp.get(key)
+        if not isinstance(value, (int, float)) or not math.isfinite(value) \
+                or value < 0:
+            raise SystemExit(f"{path}: competition.{key} is not a "
+                             f"non-negative finite number: {value!r}")
+    if comp["tolerance"] <= 0:
+        raise SystemExit(f"{path}: competition.tolerance is not positive: "
+                         f"{comp['tolerance']!r}")
+    if comp["isolated_rate"] <= 0:
+        # A smoke run can end before the isolated reference accepts
+        # anything; the ratio is then 0/0 and the fairness gate has no
+        # denominator to check against.
+        print(f"{path}: competition gate SKIPPED: isolated_rate="
+              f"{comp['isolated_rate']!r} (no isolated acceptances; "
+              "ratio not derivable)", file=sys.stderr)
+        return data
+    derived = comp["shared_rate"] / comp["isolated_rate"]
+    if abs(derived - comp["observed_ratio"]) > \
+            SHARED_RATIO_TOLERANCE * max(derived, 1.0):
+        raise SystemExit(
+            f"{path}: competition.observed_ratio "
+            f"{comp['observed_ratio']!r} does not equal "
+            f"shared_rate/isolated_rate ({derived!r})")
+    # The fairness gate: under symmetric competition each job's acceptance
+    # rate must land where the thinning model predicts (about half the
+    # isolated rate for two identical saturating jobs).
+    if abs(comp["observed_ratio"] - comp["expected_ratio"]) > \
+            comp["tolerance"]:
+        raise SystemExit(
+            f"{path}: competition ratio {comp['observed_ratio']:.6f} "
+            f"outside {comp['expected_ratio']:.6f} +/- "
+            f"{comp['tolerance']:.6f}")
+    return data
+
+
+def shared_digest(data):
+    """Canonical one-line-per-fact text form of a shared-market export."""
+    comp = data["competition"]
+    lines = [
+        f"schema_version={data['schema_version']} "
+        f"smoke={str(data['smoke']).lower()}",
+        f"jobs={data['jobs']} min_jobs_for_gate={data['min_jobs_for_gate']} "
+        f"tasks={data['tasks']} tasks_completed={data['tasks_completed']}",
+        "throughput total_events=%d wall_seconds=%.17g events_per_sec=%.17g"
+        % (data["total_events"], data["wall_seconds"],
+           data["events_per_sec"]),
+        "competition isolated_rate=%.17g shared_rate=%.17g "
+        "expected_ratio=%.17g observed_ratio=%.17g tolerance=%.17g"
+        % (comp["isolated_rate"], comp["shared_rate"],
+           comp["expected_ratio"], comp["observed_ratio"],
+           comp["tolerance"]),
     ]
     return "\n".join(lines)
 
@@ -506,6 +661,10 @@ def main():
                              "(supervision-overhead gate + quarantine "
                              "exactness), print its canonical digest, and "
                              "exit")
+    parser.add_argument("--shared", default="",
+                        help="validate a bench/shared_market JSON export "
+                             "(concurrency + completion + competition-ratio "
+                             "gates), print its canonical digest, and exit")
     args = parser.parse_args()
 
     if args.validate_metrics:
@@ -519,6 +678,9 @@ def main():
         return
     if args.fleet:
         print(fleet_digest(load_fleet(args.fleet)))
+        return
+    if args.shared:
+        print(shared_digest(load_shared(args.shared)))
         return
 
     raw = run_benchmarks(args.bin, args.min_time, args.extra_filter)

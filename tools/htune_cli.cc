@@ -8,6 +8,9 @@
 //                                [--snapshot-interval=N]
 //   htune_cli run-fleet <fleet-spec> --dir=PATH [--max-running=N]
 //   htune_cli resume-fleet --dir=PATH [--max-running=N] [--resume-parked]
+//   htune_cli serve <fleet-spec> --dir=PATH --socket=PATH [--max-running=N]
+//   htune_cli submit-jobs <fleet-spec> --socket=PATH [--run] [--shutdown]
+//   htune_cli scrape --socket=PATH [--out=PATH]
 //
 // Every command accepts --metrics=PATH: after the command finishes, the
 // observability registry (counters/gauges/histograms) and the span ring are
@@ -28,10 +31,14 @@
 #include "crowddb/executor.h"
 #include "model/latency_cache.h"
 #include "obs/export.h"
+#include "obs/metrics.h"
 #include "durability/journal.h"
 #include "market/simulator.h"
 #include "market/trace_io.h"
 #include "fleet/supervisor.h"
+#include "platform/server.h"
+#include "platform/service.h"
+#include "platform/wire.h"
 #include "spec/fleet_spec.h"
 #include "spec/job_spec.h"
 #include "stats/descriptive.h"
@@ -68,9 +75,16 @@ void Usage(const char* argv0) {
       "                               (recover a killed fleet: finished jobs\n"
       "                               are not re-run, interrupted jobs\n"
       "                               resume from their journals)\n"
+      "  %s serve <fleet-spec> --dir=PATH --socket=PATH [--max-running=N]\n"
+      "                               (shared-market tuning service: jobs\n"
+      "                               submitted over the socket compete for\n"
+      "                               one worker stream; interrupted work\n"
+      "                               resumes on startup)\n"
+      "  %s submit-jobs <fleet-spec> --socket=PATH [--run] [--shutdown]\n"
+      "  %s scrape --socket=PATH [--out=PATH]\n"
       "allocators: ra (default), ra-exact, ha, ea, rep-even, task-even\n"
       "every command accepts --metrics=PATH (JSON; '-' prints a table)\n",
-      argv0, argv0, argv0, argv0, argv0, argv0);
+      argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0);
 }
 
 std::unique_ptr<htune::BudgetAllocator> MakeAllocator(
@@ -387,6 +401,292 @@ int ResumeFleet(const std::string& dir, int max_running_override,
   return 0;
 }
 
+std::string WireError(const std::string& message) {
+  return htune::SerializeWireObject({{"ok", "false"}, {"error", message}});
+}
+
+/// htune_serve: a long-running shared-market tuning service. The fleet
+/// spec provides the [shared_market] knobs and admission caps; jobs arrive
+/// as submit requests over the Unix-domain socket (one flat JSON object
+/// per line, see src/platform/wire.h). If the fleet directory already
+/// holds interrupted work (a previous serve was killed mid-run), it is
+/// resumed to completion before the socket opens, so a restart alone is
+/// the whole recovery story.
+int Serve(const std::string& fleet_spec_path, const std::string& dir,
+          const std::string& socket_path, int max_running_override) {
+  if (dir.empty() || socket_path.empty()) {
+    std::fprintf(stderr, "serve requires --dir=PATH and --socket=PATH\n");
+    return 2;
+  }
+  const auto fleet_spec = htune::LoadFleetSpec(fleet_spec_path);
+  if (!fleet_spec.ok()) {
+    std::fprintf(stderr, "%s\n", fleet_spec.status().ToString().c_str());
+    return 1;
+  }
+  htune::FileFleetStorage provider(dir);
+  htune::FleetConfig config;
+  config.max_running = max_running_override > 0 ? max_running_override
+                                                : fleet_spec->max_running;
+  config.max_admitted = fleet_spec->max_admitted;
+  const htune::Status valid = htune::ValidateFleetConfig(config);
+  if (!valid.ok()) {
+    std::fprintf(stderr, "%s\n", valid.ToString().c_str());
+    return 2;
+  }
+  htune::FleetSupervisor fleet(&provider, config);
+  const htune::Status recovered = fleet.Recover();
+  if (!recovered.ok()) {
+    std::fprintf(stderr, "%s\n", recovered.ToString().c_str());
+    return 1;
+  }
+  htune::SharedServiceConfig service_config;
+  service_config.market = fleet_spec->shared_market;
+  htune::SharedMarketService service(&provider, service_config);
+  // Convenience: a serve spec may carry [job] sections; they seed a fresh
+  // directory exactly once (a recovered fleet already knows its jobs).
+  if (fleet.jobs().empty()) {
+    for (const htune::FleetJobSpec& job : fleet_spec->jobs) {
+      const auto id = fleet.Submit(job);
+      if (!id.ok() &&
+          id.status().code() != htune::StatusCode::kResourceExhausted) {
+        std::fprintf(stderr, "submit %s: %s\n", job.name.c_str(),
+                     id.status().ToString().c_str());
+        return 1;
+      }
+    }
+  }
+  bool runnable = false;
+  for (const auto& [job_id, entry] : fleet.jobs()) {
+    (void)job_id;
+    if (entry.state == htune::FleetJobState::kPending ||
+        entry.state == htune::FleetJobState::kRunning) {
+      runnable = true;
+    }
+  }
+  if (runnable) {
+    std::printf("serve: running %s's pending/interrupted jobs before "
+                "accepting requests\n", dir.c_str());
+    const auto stats = fleet.RunAllShared(&service);
+    if (!stats.ok()) {
+      std::fprintf(stderr, "fleet died during startup run: %s\n",
+                   stats.status().ToString().c_str());
+      return 1;
+    }
+    PrintFleetOutcome(fleet, *stats);
+  }
+  htune::UnixLineServer server(socket_path);
+  const htune::Status listening = server.Listen();
+  if (!listening.ok()) {
+    std::fprintf(stderr, "%s\n", listening.ToString().c_str());
+    return 1;
+  }
+  std::printf("serving fleet %s on %s\n", dir.c_str(), socket_path.c_str());
+  std::fflush(stdout);
+  bool fleet_died = false;
+  const auto handler = [&](const std::string& line,
+                           bool* shutdown) -> std::string {
+    const auto request = htune::ParseWireObject(line);
+    if (!request.ok()) {
+      return WireError(request.status().ToString());
+    }
+    const std::string* cmd = htune::FindWireField(*request, "cmd");
+    if (cmd == nullptr) {
+      return WireError("missing 'cmd' field");
+    }
+    if (*cmd == "submit") {
+      const std::string* spec_text =
+          htune::FindWireField(*request, "spec_text");
+      if (spec_text == nullptr) {
+        return WireError("submit needs a 'spec_text' field");
+      }
+      const auto parsed_job = htune::ParseJobSpec(*spec_text);
+      if (!parsed_job.ok()) {
+        return WireError(parsed_job.status().ToString());
+      }
+      htune::FleetJobSpec job;
+      job.spec_text = *spec_text;
+      const auto field = [&](const char* key, const std::string& fallback) {
+        const std::string* value = htune::FindWireField(*request, key);
+        return value == nullptr ? fallback : *value;
+      };
+      job.name = field("name", "wire-job");
+      job.priority = std::atoi(field("priority", "0").c_str());
+      job.ceiling = std::atol(field("ceiling", "-1").c_str());
+      job.seed_override = std::atol(field("seed_override", "-1").c_str());
+      job.snapshot_interval =
+          std::atoi(field("snapshot_interval", "8").c_str());
+      const auto id = fleet.Submit(job);
+      if (!id.ok()) {
+        return WireError(id.status().ToString());
+      }
+      return htune::SerializeWireObject(
+          {{"ok", "true"}, {"job_id", std::to_string(*id)}});
+    }
+    if (*cmd == "run") {
+      if (fleet_died) {
+        return WireError("fleet is dead; restart the server to recover");
+      }
+      const auto stats = fleet.RunAllShared(&service);
+      if (!stats.ok()) {
+        fleet_died = true;
+        return WireError(stats.status().ToString());
+      }
+      return htune::SerializeWireObject(
+          {{"ok", "true"},
+           {"dispatched", std::to_string(stats->dispatched)},
+           {"completed", std::to_string(stats->completed)},
+           {"restarts", std::to_string(stats->restarts)},
+           {"quarantined", std::to_string(stats->quarantined)}});
+    }
+    if (*cmd == "status") {
+      htune::WireFields fields{{"ok", "true"}};
+      for (const auto& [job_id, entry] : fleet.jobs()) {
+        fields.emplace_back(
+            "job_" + std::to_string(job_id),
+            std::string(htune::FleetJobStateToString(entry.state)) +
+                (entry.detail.empty() ? "" : " " + entry.detail));
+      }
+      return htune::SerializeWireObject(fields);
+    }
+    if (*cmd == "scrape") {
+      const htune::obs::MetricsSnapshot snapshot =
+          htune::obs::GlobalMetrics().Snapshot();
+      // Spans are not drained: a scrape must not consume state another
+      // scrape (or the exit-time --metrics export) still wants.
+      const auto json = htune::obs::MetricsToJson(snapshot, {});
+      if (!json.ok()) {
+        return WireError(json.status().ToString());
+      }
+      const auto& counts = service.Counts();
+      return htune::SerializeWireObject(
+          {{"ok", "true"},
+           {"gangs", std::to_string(counts.gangs)},
+           {"jobs_completed", std::to_string(counts.jobs_completed)},
+           {"reviews", std::to_string(counts.reviews)},
+           {"snapshots", std::to_string(counts.snapshots)},
+           {"resumes", std::to_string(counts.resumes)},
+           {"metrics", *json}});
+    }
+    if (*cmd == "shutdown") {
+      *shutdown = true;
+      return htune::SerializeWireObject({{"ok", "true"}});
+    }
+    return WireError("unknown cmd '" + *cmd + "'");
+  };
+  const htune::Status served = server.Serve(handler);
+  if (!served.ok()) {
+    std::fprintf(stderr, "%s\n", served.ToString().c_str());
+    return 1;
+  }
+  std::printf("serve: clean shutdown\n");
+  return 0;
+}
+
+/// Client side of serve: submit every job of a fleet spec over the socket,
+/// optionally asking the server to run the fleet and/or shut down after.
+int SubmitJobs(const std::string& fleet_spec_path,
+               const std::string& socket_path, bool run_after,
+               bool shutdown_after) {
+  if (socket_path.empty()) {
+    std::fprintf(stderr, "submit-jobs requires --socket=PATH\n");
+    return 2;
+  }
+  const auto fleet_spec = htune::LoadFleetSpec(fleet_spec_path);
+  if (!fleet_spec.ok()) {
+    std::fprintf(stderr, "%s\n", fleet_spec.status().ToString().c_str());
+    return 1;
+  }
+  const auto request = [&](const htune::WireFields& fields) -> int {
+    const auto reply =
+        htune::SendUnixRequest(socket_path,
+                               htune::SerializeWireObject(fields));
+    if (!reply.ok()) {
+      std::fprintf(stderr, "%s\n", reply.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s\n", reply->c_str());
+    const auto parsed = htune::ParseWireObject(*reply);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "bad reply: %s\n",
+                   parsed.status().ToString().c_str());
+      return 1;
+    }
+    const std::string* ok = htune::FindWireField(*parsed, "ok");
+    return ok != nullptr && *ok == "true" ? 0 : 1;
+  };
+  for (const htune::FleetJobSpec& job : fleet_spec->jobs) {
+    const int rc = request(
+        {{"cmd", "submit"},
+         {"name", job.name},
+         {"priority", std::to_string(job.priority)},
+         {"ceiling", std::to_string(job.ceiling)},
+         {"seed_override", std::to_string(job.seed_override)},
+         {"snapshot_interval", std::to_string(job.snapshot_interval)},
+         {"spec_text", job.spec_text}});
+    if (rc != 0) {
+      return rc;
+    }
+  }
+  if (run_after) {
+    const int rc = request({{"cmd", "run"}});
+    if (rc != 0) {
+      return rc;
+    }
+  }
+  if (shutdown_after) {
+    return request({{"cmd", "shutdown"}});
+  }
+  return 0;
+}
+
+/// One scrape round-trip: prints the server's metrics JSON to stdout (or
+/// PATH) and the service counters to stderr.
+int Scrape(const std::string& socket_path, const std::string& out_path) {
+  if (socket_path.empty()) {
+    std::fprintf(stderr, "scrape requires --socket=PATH\n");
+    return 2;
+  }
+  const auto reply = htune::SendUnixRequest(
+      socket_path, htune::SerializeWireObject({{"cmd", "scrape"}}));
+  if (!reply.ok()) {
+    std::fprintf(stderr, "%s\n", reply.status().ToString().c_str());
+    return 1;
+  }
+  const auto parsed = htune::ParseWireObject(*reply);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "bad reply: %s\n",
+                 parsed.status().ToString().c_str());
+    return 1;
+  }
+  const std::string* ok = htune::FindWireField(*parsed, "ok");
+  const std::string* metrics = htune::FindWireField(*parsed, "metrics");
+  if (ok == nullptr || *ok != "true" || metrics == nullptr) {
+    const std::string* error = htune::FindWireField(*parsed, "error");
+    std::fprintf(stderr, "scrape failed: %s\n",
+                 error != nullptr ? error->c_str() : reply->c_str());
+    return 1;
+  }
+  for (const char* key :
+       {"gangs", "jobs_completed", "reviews", "snapshots", "resumes"}) {
+    const std::string* value = htune::FindWireField(*parsed, key);
+    if (value != nullptr) {
+      std::fprintf(stderr, "%s %s\n", key, value->c_str());
+    }
+  }
+  if (out_path.empty() || out_path == "-") {
+    std::printf("%s\n", metrics->c_str());
+    return 0;
+  }
+  std::FILE* file = std::fopen(out_path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(file, "%s\n", metrics->c_str());
+  std::fclose(file);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -398,6 +698,44 @@ int main(int argc, char** argv) {
   const std::string metrics_path = FlagValue(argc, argv, "--metrics", "");
   int exit_code = 2;
   bool known_command = true;
+  if (command == "serve" || command == "submit-jobs" ||
+      command == "scrape") {
+    const std::string socket_path = FlagValue(argc, argv, "--socket", "");
+    if (command == "scrape") {
+      exit_code = Scrape(socket_path, FlagValue(argc, argv, "--out", ""));
+    } else {
+      if (argc < 3 || argv[2][0] == '-') {
+        std::fprintf(stderr, "%s requires a fleet spec path\n",
+                     command.c_str());
+        Usage(argv[0]);
+        return 2;
+      }
+      if (command == "serve") {
+        const int max_running =
+            std::atoi(FlagValue(argc, argv, "--max-running", "0").c_str());
+        exit_code = Serve(argv[2], FlagValue(argc, argv, "--dir", ""),
+                          socket_path, max_running);
+      } else {
+        bool run_after = false;
+        bool shutdown_after = false;
+        for (int i = 2; i < argc; ++i) {
+          if (std::strcmp(argv[i], "--run") == 0) run_after = true;
+          if (std::strcmp(argv[i], "--shutdown") == 0) shutdown_after = true;
+        }
+        exit_code =
+            SubmitJobs(argv[2], socket_path, run_after, shutdown_after);
+      }
+    }
+    if (!metrics_path.empty()) {
+      const htune::Status status =
+          htune::obs::WriteGlobalMetrics(metrics_path);
+      if (!status.ok()) {
+        std::fprintf(stderr, "--metrics: %s\n", status.ToString().c_str());
+        if (exit_code == 0) exit_code = 1;
+      }
+    }
+    return exit_code;
+  }
   if (command == "run-fleet" || command == "resume-fleet") {
     // Fleet commands take a fleet directory, not a job spec.
     const std::string dir = FlagValue(argc, argv, "--dir", "");
