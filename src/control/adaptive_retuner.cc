@@ -49,7 +49,7 @@ struct RetunerState {
   int next_review = 0;
   int reviews = 0;
   int retunes = 0;
-  bool initialized = false;
+  bool initialized = false;  // HTUNE_TRANSIENT: implied true by decode
 };
 
 std::string EncodeRetunerState(const RetunerState& state,

@@ -147,7 +147,7 @@ struct ExecState {
   bool degraded = false;
   /// False until the initial allocation has been posted (not serialized:
   /// restoring a snapshot implies it).
-  bool initialized = false;
+  bool initialized = false;  // HTUNE_TRANSIENT: implied true by decode
 };
 
 std::string EncodeExecutorState(const ExecState& state,

@@ -114,6 +114,7 @@ class SharedArrivalStream {
   void RestoreState(const SharedStreamState& state);
 
  private:
+  // HTUNE_TRANSIENT: construction-time config, identical across resume
   double arrival_rate_;
   Random rng_;
   double now_ = 0.0;

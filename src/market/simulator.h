@@ -341,12 +341,13 @@ class MarketSimulator {
   TaskStore tasks_;
   std::unique_ptr<EventQueue> queue_;
   std::vector<TraceEvent> trace_;
+  // HTUNE_TRANSIENT: report-only event tallies, reset on resume
   MarketEventCounts event_counts_;
   /// Reusable scratch: PostTask validates per-repetition rates into this
   /// before committing a slot; the arrival scan collects accepted on-hold
   /// positions. Both keep their capacity across calls.
-  std::vector<double> rate_buf_;
-  std::vector<uint32_t> accepted_positions_;
+  std::vector<double> rate_buf_;  // HTUNE_TRANSIENT: scratch, capacity only
+  std::vector<uint32_t> accepted_positions_;  // HTUNE_TRANSIENT: scratch
 };
 
 }  // namespace htune

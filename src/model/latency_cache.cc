@@ -66,7 +66,8 @@ size_t LatencyKernelCache::UnpinnedEntryCountForTest() const {
   size_t unpinned = 0;
   for (Shard& shard : shards_) {
     MutexLock lock(shard.mu);
-    // htune-lint: allow(unordered-iter) order-independent count, no output
+    // Order-independent count over the unordered shard map: the result
+    // is a scalar, so iteration order never reaches any output.
     for (const auto& [key, value] : shard.map) {
       if (pins_.find(key.curve) == pins_.end()) ++unpinned;
     }

@@ -56,7 +56,7 @@ struct SharedMarket::SharedTask {
   /// curve->Rate(current price); valid while on_hold. Cached so the
   /// per-arrival walk reads a plain double, recomputed (never adjusted)
   /// on every price change.
-  double weight = 0.0;
+  double weight = 0.0;  // HTUNE_TRANSIENT: recomputed from the curve on restore
 
   /// Completed repetitions (the current one is exposed or processing).
   size_t RepsDone() const {
@@ -77,7 +77,7 @@ struct SharedMarket::SharedJob {
   long spent = 0;
   TaskId next_task = 1;
   /// Cached left-to-right sum of on-hold task weights (RecomputeJobWeight).
-  double total_weight = 0.0;
+  double total_weight = 0.0;  // HTUNE_TRANSIENT: RecomputeJobWeight on restore
   std::vector<TraceEvent> trace;
 
   explicit SharedJob(uint64_t job_id, uint64_t seed)

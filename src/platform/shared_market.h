@@ -158,14 +158,14 @@ class SharedMarket {
   void StepArrival();
   void ApplyCompletion(const MarketEvent& event);
 
-  SharedMarketConfig config_;
+  SharedMarketConfig config_;  // HTUNE_TRANSIENT: construction-time config
   SharedArrivalStream stream_;
   std::unique_ptr<EventQueue> queue_;
   uint64_t event_sequence_ = 0;
   double now_ = 0.0;
-  size_t open_tasks_ = 0;
+  size_t open_tasks_ = 0;  // HTUNE_TRANSIENT: recounted during RestoreState
   std::vector<SharedJob> jobs_;  // ascending id — the candidate walk order
-  SharedMarketCounts counts_;
+  SharedMarketCounts counts_;  // HTUNE_TRANSIENT: report-only tallies
 };
 
 }  // namespace htune

@@ -1,0 +1,12 @@
+// Fixture: sibling scopes -- the second guard is taken after the first
+// is released, so there is no nesting and no edge.
+namespace htune {
+void Pool::Drain() {
+  {
+    MutexLock hold(mu_);
+  }
+  {
+    MutexLock flush(flush_mu_);
+  }
+}
+}  // namespace htune

@@ -1,0 +1,8 @@
+// Fixture: the same nested acquisition, declared (= reviewed) in
+// lock_order.toml.
+namespace htune {
+void Pool::Drain() {
+  MutexLock hold(mu_);
+  MutexLock flush(flush_mu_);
+}
+}  // namespace htune

@@ -1,0 +1,7 @@
+// Fixture: a nested acquisition nobody declared in lock_order.toml.
+namespace htune {
+void Pool::Drain() {
+  MutexLock hold(mu_);
+  MutexLock flush(flush_mu_);
+}
+}  // namespace htune

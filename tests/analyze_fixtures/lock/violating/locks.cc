@@ -1,0 +1,13 @@
+// Fixture: two paths acquire the same pair of mutexes in opposite
+// order. Both edges are declared in lock_order.toml, so the failure is
+// the cycle itself, exactly as a reviewed-but-wrong declaration would be.
+namespace htune {
+void Pool::Drain() {
+  MutexLock hold(mu_);
+  MutexLock flush(flush_mu_);
+}
+void Pool::Flush() {
+  MutexLock flush(flush_mu_);
+  MutexLock hold(mu_);
+}
+}  // namespace htune

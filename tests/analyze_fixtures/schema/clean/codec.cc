@@ -1,0 +1,10 @@
+namespace htune {
+const char* RecordKindToString(RecordKind kind) {
+  switch (kind) {
+    case RecordKind::kAlpha: return "alpha";
+    case RecordKind::kBeta: return "beta";
+    case RecordKind::kGamma: return "gamma";
+  }
+  return "?";
+}
+}  // namespace htune

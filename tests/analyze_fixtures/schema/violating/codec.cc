@@ -1,0 +1,9 @@
+namespace htune {
+const char* RecordKindToString(RecordKind kind) {
+  switch (kind) {
+    case RecordKind::kAlpha: return "alpha";
+    case RecordKind::kBeta: return "beta";
+  }
+  return "?";
+}
+}  // namespace htune

@@ -1,0 +1,5 @@
+// Fixture: a serialized enum with a dispatch surface missing a kind.
+#pragma once
+namespace htune {
+enum class RecordKind { kAlpha, kBeta, kGamma };
+}  // namespace htune

@@ -1,0 +1,14 @@
+// Fixture: every member is referenced by both codec paths.
+#pragma once
+namespace htune {
+class Widget {
+ public:
+  void CaptureState() { capture(version_, count_, skew_); }
+  void RestoreState() { restore(version_, count_, skew_); }
+
+ private:
+  int version_ = 0;
+  int count_ = 0;
+  double skew_ = 0.0;
+};
+}  // namespace htune

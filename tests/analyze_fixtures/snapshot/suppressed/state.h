@@ -1,0 +1,14 @@
+// Fixture: the forgotten member carries a reviewed transient annotation.
+#pragma once
+namespace htune {
+class Widget {
+ public:
+  void CaptureState() { capture(version_, count_); }
+  void RestoreState() { restore(version_, count_); }
+
+ private:
+  int version_ = 0;
+  int count_ = 0;
+  double skew_ = 0.0;  // HTUNE_TRANSIENT: derived from count_ on first use
+};
+}  // namespace htune

@@ -1,0 +1,14 @@
+// Fixture: a state-bearing class whose codec forgot a member.
+#pragma once
+namespace htune {
+class Widget {
+ public:
+  void CaptureState() { capture(version_, count_); }
+  void RestoreState() { restore(version_, count_); }
+
+ private:
+  int version_ = 0;
+  int count_ = 0;
+  double skew_ = 0.0;  // neither serialized nor annotated -> finding
+};
+}  // namespace htune

@@ -1,0 +1,167 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/journal_inspect.py's snapshot-body decoding.
+
+Fabricates market-state snapshot blobs byte-for-byte in the
+src/durability/snapshot.cc layout (v2 header and headerless v1) and a
+framed journal around them, then checks the inspector fully decodes the
+body: per-kind tallies for both pending calendar events
+(MarketEvent::Kind) and trace events (TraceEventKind), open/completed
+task counts, and graceful handling of unknown kinds and truncation.
+"""
+
+import os
+import struct
+import sys
+import unittest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "tools"))
+
+import journal_inspect  # noqa: E402
+
+
+def u8(v):
+    return struct.pack("<B", v)
+
+
+def u32(v):
+    return struct.pack("<I", v)
+
+
+def u64(v):
+    return struct.pack("<Q", v)
+
+
+def i32(v):
+    return struct.pack("<i", v)
+
+
+def i64(v):
+    return struct.pack("<q", v)
+
+
+def f64(v):
+    return struct.pack("<d", v)
+
+
+def boolean(v):
+    return u8(1 if v else 0)
+
+
+def rng_state():
+    return u64(1) + u64(2) + u64(3) + u64(4) + boolean(False) + f64(0.0)
+
+
+def event(kind):
+    return f64(1.5) + u64(7) + u64(11) + u8(kind) + u64(0)
+
+
+def repetition():
+    return (f64(0.1) + f64(0.2) + f64(0.3) + u64(5) + i32(30) + i32(1)
+            + boolean(True))
+
+
+def task_outcome(reps=1):
+    return (u64(11) + f64(0.0) + f64(2.0) + u64(reps)
+            + repetition() * reps + i32(0) + i32(0) + i32(0))
+
+
+def task():
+    empty_i32s = u64(0)
+    empty_f64s = u64(0)
+    return (u64(11) + i32(30) + i32(3) + f64(0.25)
+            + empty_i32s + empty_f64s + i32(-1) + f64(1.0) + f64(60.0)
+            + i32(2) + i32(4) + empty_i32s + empty_f64s + i32(-1)
+            + task_outcome() + i32(1) + boolean(False) + f64(0.5)
+            + u64(1) + i32(30) + f64(0.25))
+
+
+def market_blob(v2=True, event_kinds=(0, 2), trace_kinds=(0, 1, 6)):
+    body = (f64(12.5) + f64(13.0) + u64(100) + u64(42) + u64(900)
+            + i64(1234) + rng_state()
+            + u64(len(event_kinds)) + b"".join(event(k)
+                                               for k in event_kinds)
+            + u64(1) + task()
+            + u64(1) + task_outcome()
+            + u64(1) + u64(11)
+            + u64(len(trace_kinds)))
+    for kind in trace_kinds:
+        body += f64(3.0) + u8(kind) + u64(5) + u64(11) + i32(0)
+    if not v2:
+        return body
+    return (u64(journal_inspect.SNAPSHOT_MAGIC)
+            + u32(journal_inspect.SNAPSHOT_VERSION) + body)
+
+
+def frame(rtype, payload):
+    framed = u32(len(payload)) + u8(rtype) + payload
+    return framed + u32(journal_inspect.crc32c(framed))
+
+
+def journal(records):
+    data = journal_inspect.MAGIC + u32(journal_inspect.VERSION)
+    return data + b"".join(frame(t, p) for t, p in records)
+
+
+class DescribeSnapshotTest(unittest.TestCase):
+    def test_v2_full_decode(self):
+        text = journal_inspect.describe_snapshot(market_blob())
+        self.assertIn("v2 now=12.500000", text)
+        self.assertIn("tasks_created=42", text)
+        self.assertIn("events_seen=900", text)
+        self.assertIn("spent=1234", text)
+        self.assertIn("open=1", text)
+        self.assertIn("completed=1", text)
+        self.assertIn("queue=[completion=1 expiry=1]", text)
+        self.assertIn(
+            "trace=[worker-arrival=1 task-accepted=1 reposted=1]", text)
+        self.assertNotIn("trailing", text)
+
+    def test_v1_full_decode(self):
+        text = journal_inspect.describe_snapshot(market_blob(v2=False))
+        self.assertIn("v1 now=12.500000", text)
+        self.assertIn("queue=[completion=1 expiry=1]", text)
+
+    def test_unknown_kind_is_labelled_not_fatal(self):
+        text = journal_inspect.describe_snapshot(
+            market_blob(event_kinds=(0, 9), trace_kinds=(250,)))
+        self.assertIn("kind-9=1", text)
+        self.assertIn("kind-250=1", text)
+
+    def test_truncated_blob_is_malformed(self):
+        text = journal_inspect.describe_snapshot(market_blob()[:-10])
+        self.assertIn("malformed snapshot", text)
+
+    def test_trailing_bytes_are_reported(self):
+        text = journal_inspect.describe_snapshot(market_blob() + b"\x00")
+        self.assertIn("<1 trailing bytes>", text)
+
+    def test_kind_tables_cover_all_cpp_enumerators(self):
+        # Mirrors the analyzer's schema check: the dicts must stay dense
+        # from zero (both enums serialize as consecutive u8 values).
+        self.assertEqual(sorted(journal_inspect.EVENT_KINDS), [0, 1, 2])
+        self.assertEqual(sorted(journal_inspect.TRACE_EVENT_KINDS),
+                         list(range(7)))
+
+
+class DumpIntegrationTest(unittest.TestCase):
+    def test_dump_renders_snapshot_record(self):
+        market = market_blob()
+        executor = b"\x01\x02\x03"
+        snapshot_payload = (u64(len(market)) + market
+                            + u64(len(executor)) + executor)
+        data = journal([
+            (1, i64(100000) + u64(4)),
+            (7, snapshot_payload),
+            (8, i64(0) + f64(2.25)),
+        ])
+        records, valid, torn = journal_inspect.scan(data)
+        self.assertIsNone(torn)
+        self.assertEqual([r[1] for r in records], [1, 7, 8])
+        rendered = journal_inspect.describe(7, records[1][2])
+        self.assertIn("queue=[completion=1 expiry=1]", rendered)
+        self.assertIn("executor_blob=3B", rendered)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,7 +1,6 @@
-// Fixture: justified raw use (e.g. interop with a std API).
+// Fixture: justified raw use at a std-API interop boundary.
 #include <mutex>
 
-// htune-lint: allow(raw-mutex) std::call_once requires std::once_flag
-std::once_flag init_flag_;
-void Init() {}
-void EnsureInit() { std::call_once(init_flag_, Init); }
+// htune-lint: allow(raw-mutex) interop: external API hands us a std::mutex
+extern std::mutex& ExternalLock();
+void WithExternal() { ExternalLock().lock(); ExternalLock().unlock(); }

@@ -113,12 +113,57 @@ class SuppressionMechanicsTest(unittest.TestCase):
     def test_wrong_rule_suppression_does_not_silence(self):
         text = ("// htune-lint: allow(nondeterminism) wrong rule\n"
                 "std::mutex mu;\n")
-        self.assertEqual(len(lint_htune.lint_text(text, "src/foo.cc")), 1)
+        findings = lint_htune.lint_text(text, "src/foo.cc")
+        # The raw-mutex hit still fires, and the misdirected allow is
+        # itself reported as stale.
+        self.assertEqual(sorted(f.rule for f in findings),
+                         ["raw-mutex", "stale-suppression"])
 
     def test_file_level_suppression(self):
         text = ("// htune-lint: allow-file(raw-mutex) whole-file interop\n"
                 "std::mutex a;\nstd::mutex b;\n")
         self.assertEqual(lint_htune.lint_text(text, "src/foo.cc"), [])
+
+
+class StaleSuppressionTest(unittest.TestCase):
+    def test_unused_allow_is_stale(self):
+        text = "int x;  // htune-lint: allow(raw-mutex) nothing here\n"
+        findings = lint_htune.lint_text(text, "src/foo.cc")
+        self.assertEqual([f.rule for f in findings], ["stale-suppression"])
+        self.assertEqual(findings[0].line, 1)
+        self.assertIn("no longer suppresses", findings[0].message)
+
+    def test_unknown_rule_allow_is_stale(self):
+        text = "int x;  // htune-lint: allow(no-such-rule) typo\n"
+        findings = lint_htune.lint_text(text, "src/foo.cc")
+        self.assertEqual([f.rule for f in findings], ["stale-suppression"])
+        self.assertIn("unknown rule", findings[0].message)
+
+    def test_unused_allow_file_is_stale(self):
+        text = "// htune-lint: allow-file(nondeterminism) nothing left\n"
+        findings = lint_htune.lint_text(text, "src/foo.cc")
+        self.assertEqual([f.rule for f in findings], ["stale-suppression"])
+        self.assertIn("allow-file(nondeterminism)", findings[0].message)
+
+    def test_unknown_rule_allow_file_is_stale(self):
+        text = "// htune-lint: allow-file(bogus) typo\n"
+        findings = lint_htune.lint_text(text, "src/foo.cc")
+        self.assertEqual([f.rule for f in findings], ["stale-suppression"])
+        self.assertIn("unknown rule", findings[0].message)
+
+    def test_used_suppressions_are_not_stale(self):
+        text = ("// htune-lint: allow(raw-mutex) interop fixture\n"
+                "std::mutex mu;\n"
+                "// htune-lint: allow-file(nondeterminism) sim clock shim\n"
+                "long t = time(0);\n")
+        self.assertEqual(lint_htune.lint_text(text, "src/foo.cc"), [])
+
+    def test_stale_suppression_is_not_itself_suppressible(self):
+        text = ("// htune-lint: allow-file(stale-suppression) nice try\n"
+                "int x;  // htune-lint: allow(raw-mutex) unused\n")
+        findings = lint_htune.lint_text(text, "src/foo.cc")
+        self.assertEqual(sorted(f.rule for f in findings),
+                         ["stale-suppression", "stale-suppression"])
 
 
 class LexerTest(unittest.TestCase):

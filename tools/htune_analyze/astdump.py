@@ -1,0 +1,356 @@
+"""Clang AST-dump frontend: refines the declaration model per TU.
+
+When a compile database and clang are available (CI; any dev box with
+clang installed), each translation unit is dumped with
+`clang ... -fsyntax-only -Xclang -ast-dump=json` and its record/enum
+declarations are extracted and merged (union) into the declparse
+baseline. Clang sees through macros and template idioms the tolerant
+parser cannot, so a member hidden behind an HTUNE_ attribute macro or a
+macro-generated field still reaches the snapshot check. Function
+*bodies* intentionally stay with declparse: the checks word-search
+source as written, and clang's macro-expanded view would both lose
+HTUNE_TRANSIENT comments and rewrite the text under test.
+
+Dumps are cached under `--cache-dir`, keyed by a hash of the dumper
+identity (compiler path + version), the TU source, and the transitive
+closure of its in-repo `#include "..."` headers — so an unchanged TU
+never re-dumps, and editing any header it includes invalidates exactly
+the TUs that see it. What is cached is the *extracted* model (a few KB),
+not the raw AST JSON (hundreds of MB per TU).
+
+Every step is defensive: any failure (no clang, crash, JSON the
+extractor does not understand) falls back to the declparse-only model
+for that TU instead of failing the analysis run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+import shutil
+import subprocess
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+import declparse
+from model import ClassDecl, EnumDecl, Member, Model
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"', re.M)
+
+
+# ---------------------------------------------------------------------------
+# Cache keying
+
+
+def _read_bytes(path: str) -> Optional[bytes]:
+    try:
+        with open(path, "rb") as handle:
+            return handle.read()
+    except OSError:
+        return None
+
+
+def include_closure(source_path: str, root: str) -> List[str]:
+    """Transitive in-repo `#include "..."` closure of one TU, resolved
+    against the including file's directory and the repo root (the tree
+    compiles with `-I <root>`). Sorted for stable hashing."""
+    seen: Set[str] = set()
+    queue = [source_path]
+    while queue:
+        path = queue.pop()
+        data = _read_bytes(path)
+        if data is None:
+            continue
+        for rel in INCLUDE_RE.findall(data.decode("utf-8", "replace")):
+            for base in (os.path.dirname(path), root,
+                         os.path.join(root, "src")):
+                candidate = os.path.normpath(os.path.join(base, rel))
+                if candidate.startswith(os.path.normpath(root) + os.sep) \
+                        and os.path.isfile(candidate):
+                    if candidate not in seen:
+                        seen.add(candidate)
+                        queue.append(candidate)
+                    break
+    return sorted(seen)
+
+
+def cache_key(source_path: str, root: str, dumper_id: str) -> str:
+    digest = hashlib.sha256()
+    digest.update(dumper_id.encode())
+    for path in [source_path] + include_closure(source_path, root):
+        digest.update(b"\0" + os.path.relpath(path, root).encode())
+        digest.update(b"\0" + (_read_bytes(path) or b""))
+    return digest.hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Model (de)serialization for the cache
+
+
+def model_to_json(model: Model) -> dict:
+    return {
+        "classes": [{
+            "name": c.name, "kind": c.kind, "file": c.file, "line": c.line,
+            "members": [[m.name, m.line, m.access] for m in c.members],
+            "methods": c.method_names,
+        } for c in model.classes.values()],
+        "enums": [{
+            "name": e.name, "file": e.file, "line": e.line,
+            "enumerators": [[n, v] for n, v in e.enumerators],
+        } for e in model.enums.values()],
+    }
+
+
+def model_from_json(data: dict) -> Model:
+    model = Model()
+    for entry in data.get("classes", []):
+        model.add_class(ClassDecl(
+            name=entry["name"], kind=entry["kind"], file=entry["file"],
+            line=entry["line"],
+            members=[Member(name=n, line=l, access=a)
+                     for n, l, a in entry["members"]],
+            method_names=list(entry["methods"])))
+    for entry in data.get("enums", []):
+        model.add_enum(EnumDecl(
+            name=entry["name"], file=entry["file"], line=entry["line"],
+            enumerators=[(n, v) for n, v in entry["enumerators"]]))
+    return model
+
+
+# ---------------------------------------------------------------------------
+# Clang JSON extraction
+
+
+class _Loc:
+    """Clang's JSON elides unchanged file/line fields; carry them."""
+
+    def __init__(self) -> None:
+        self.file = ""
+        self.line = 0
+
+    def update(self, loc: Optional[dict]) -> None:
+        if not isinstance(loc, dict):
+            return
+        spelling = loc.get("spellingLoc", loc)
+        if "file" in spelling:
+            self.file = spelling["file"]
+        if "line" in spelling:
+            self.line = spelling.get("line", self.line)
+
+
+def _enum_value(node: dict, fallback: Optional[int]) -> Optional[int]:
+    for child in node.get("inner", []) or []:
+        value = child.get("value")
+        if value is not None:
+            try:
+                return int(value)
+            except (TypeError, ValueError):
+                return fallback
+    return fallback
+
+
+def extract_model(tu: dict, root: str) -> Model:
+    """Record and enum declarations from one TU's AST JSON, restricted
+    to files under `root` (system headers are dropped)."""
+    model = Model()
+    loc = _Loc()
+    norm_root = os.path.normpath(os.path.abspath(root))
+
+    def rel_file() -> Optional[str]:
+        path = os.path.normpath(os.path.abspath(loc.file))
+        if path.startswith(norm_root + os.sep):
+            return os.path.relpath(path, norm_root).replace(os.sep, "/")
+        return None
+
+    def visit(node: dict, class_prefix: str) -> None:
+        if not isinstance(node, dict):
+            return
+        loc.update(node.get("loc"))
+        kind = node.get("kind")
+        if kind == "CXXRecordDecl" and node.get("completeDefinition") \
+                and node.get("name"):
+            file = rel_file()
+            if file is not None:
+                _extract_record(node, class_prefix, file, loc.line)
+            return
+        if kind == "EnumDecl" and node.get("name"):
+            file = rel_file()
+            if file is not None:
+                _extract_enum(node, class_prefix, file, loc.line)
+            return
+        for child in node.get("inner", []) or []:
+            visit(child, class_prefix)
+
+    def _extract_record(node: dict, prefix: str, file: str,
+                        line: int) -> None:
+        tag = node.get("tagUsed", "struct")
+        name = prefix + node["name"]
+        decl = ClassDecl(name=name, kind=tag, file=file, line=line)
+        access = "public" if tag == "struct" else "private"
+        for child in node.get("inner", []) or []:
+            loc.update(child.get("loc"))
+            ckind = child.get("kind")
+            if ckind == "AccessSpecDecl":
+                access = child.get("access", access)
+            elif ckind == "FieldDecl" and child.get("name"):
+                decl.members.append(Member(
+                    name=child["name"], line=loc.line, access=access))
+            elif ckind in ("CXXMethodDecl", "CXXConstructorDecl",
+                           "CXXDestructorDecl") and child.get("name"):
+                decl.method_names.append(child["name"])
+            elif ckind in ("CXXRecordDecl", "EnumDecl"):
+                visit(child, node["name"] + "::")
+        model.add_class(decl)
+
+    def _extract_enum(node: dict, prefix: str, file: str,
+                      line: int) -> None:
+        enumerators: List[Tuple[str, Optional[int]]] = []
+        next_value: Optional[int] = 0
+        for child in node.get("inner", []) or []:
+            if child.get("kind") == "EnumConstantDecl" and child.get("name"):
+                value = _enum_value(child, next_value)
+                enumerators.append((child["name"], value))
+                next_value = value + 1 if value is not None else None
+        model.add_enum(EnumDecl(
+            name=prefix + node["name"], file=file, line=line,
+            enumerators=enumerators))
+
+    visit(tu, "")
+    return model
+
+
+def _annotate_transients(model: Model, root: str) -> None:
+    """The AST knows nothing of comments: re-harvest HTUNE_TRANSIENT
+    annotations from source for every AST-discovered member."""
+    lines_cache: Dict[str, List[str]] = {}
+    for cls in model.classes.values():
+        for member in cls.members:
+            if cls.file not in lines_cache:
+                data = _read_bytes(os.path.join(root, cls.file))
+                lines_cache[cls.file] = (
+                    data.decode("utf-8", "replace").split("\n")
+                    if data is not None else [])
+            member.transient_reason = declparse._transient_annotation(
+                lines_cache[cls.file], member.line)
+
+
+# ---------------------------------------------------------------------------
+# Driver
+
+
+def _clang_dumper(clang: str) -> Callable[[dict], Optional[dict]]:
+    def dump(entry: dict) -> Optional[dict]:
+        args = [clang]
+        raw = entry.get("arguments")
+        if raw:
+            raw = raw[1:]
+        else:
+            raw = entry.get("command", "").split()[1:]
+        skip_next = False
+        for arg in raw:
+            if skip_next:
+                skip_next = False
+                continue
+            if arg in ("-o", "-c"):
+                skip_next = arg == "-o"
+                continue
+            args.append(arg)
+        args += ["-fsyntax-only", "-Xclang", "-ast-dump=json", "-w"]
+        try:
+            proc = subprocess.run(
+                args, cwd=entry.get("directory"), capture_output=True,
+                text=True, timeout=300)
+            if proc.returncode != 0 or not proc.stdout:
+                return None
+            return json.loads(proc.stdout)
+        except (OSError, subprocess.SubprocessError, json.JSONDecodeError,
+                ValueError):
+            return None
+    return dump
+
+
+def dumper_identity(clang: str) -> str:
+    try:
+        proc = subprocess.run([clang, "--version"], capture_output=True,
+                              text=True, timeout=30)
+        return clang + "\n" + proc.stdout.splitlines()[0]
+    except (OSError, subprocess.SubprocessError, IndexError):
+        return clang
+
+
+def find_clang() -> Optional[str]:
+    for name in ("clang++", "clang"):
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+def load_compile_db(path: str) -> List[dict]:
+    try:
+        with open(path, encoding="utf-8") as handle:
+            db = json.load(handle)
+        return db if isinstance(db, list) else []
+    except (OSError, json.JSONDecodeError):
+        return []
+
+
+def refine(model: Model, root: str, compile_db: str, cache_dir: str,
+           dumper: Optional[Callable[[dict], Optional[dict]]] = None,
+           dumper_id: Optional[str] = None) -> Dict[str, int]:
+    """Merges AST-extracted declarations for every in-repo TU in the
+    compile database into `model`. Returns counters for reporting and
+    the cache unit test: {"tus", "cached", "dumped", "failed"}."""
+    stats = {"tus": 0, "cached": 0, "dumped": 0, "failed": 0}
+    entries = load_compile_db(compile_db)
+    if not entries:
+        return stats
+    if dumper is None:
+        clang = find_clang()
+        if clang is None:
+            return stats
+        dumper = _clang_dumper(clang)
+        dumper_id = dumper_identity(clang)
+    dumper_id = dumper_id or "injected"
+    norm_root = os.path.normpath(os.path.abspath(root))
+    os.makedirs(cache_dir, exist_ok=True)
+
+    for entry in entries:
+        source = os.path.normpath(os.path.join(
+            entry.get("directory", ""), entry.get("file", "")))
+        if not source.startswith(norm_root + os.sep):
+            continue
+        rel = os.path.relpath(source, norm_root)
+        if not rel.startswith(("src" + os.sep, "tools" + os.sep)):
+            continue
+        stats["tus"] += 1
+        key = cache_key(source, norm_root, dumper_id)
+        stem = os.path.splitext(os.path.basename(source))[0]
+        cache_path = os.path.join(cache_dir, f"{stem}-{key[:16]}.json")
+        cached = _read_bytes(cache_path)
+        if cached is not None:
+            try:
+                model.merge(model_from_json(json.loads(cached)))
+                stats["cached"] += 1
+                continue
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+                pass
+        tu = dumper(entry)
+        if tu is None:
+            stats["failed"] += 1
+            continue
+        try:
+            extracted = extract_model(tu, norm_root)
+            _annotate_transients(extracted, norm_root)
+        except Exception:  # noqa: BLE001 — fall back, never fail the run
+            stats["failed"] += 1
+            continue
+        stats["dumped"] += 1
+        try:
+            with open(cache_path, "w", encoding="utf-8") as handle:
+                json.dump(model_to_json(extracted), handle)
+        except OSError:
+            pass
+        model.merge(extracted)
+    return stats

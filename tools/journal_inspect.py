@@ -48,6 +48,26 @@ RECORD_TYPES = {
     8: "run-end",
 }
 
+# TraceEventKind (src/market/events.h): the worker-visible trace events
+# serialized inside market-state snapshots.
+TRACE_EVENT_KINDS = {
+    0: "worker-arrival",
+    1: "task-accepted",
+    2: "repetition-completed",
+    3: "task-completed",
+    4: "abandoned",
+    5: "expired",
+    6: "reposted",
+}
+
+# MarketEvent::Kind (src/market/event_queue.h): the pending calendar
+# events serialized inside market-state snapshots.
+EVENT_KINDS = {
+    0: "completion",
+    1: "abandon",
+    2: "expiry",
+}
+
 # CRC-32C (Castagnoli), reflected, poly 0x82F63B78 — matches
 # src/durability/crc32c.cc.
 _CRC_TABLE = []
@@ -92,14 +112,77 @@ class Cursor:
     def string(self) -> bytes:
         return self.take(self.u64())
 
+    def u8(self) -> int:
+        return self.take(1)[0]
+
+    def boolean(self) -> bool:
+        return self.take(1)[0] != 0
+
     def i32_vector(self):
         return [self.i32() for _ in range(self.u64())]
+
+    def f64_vector(self):
+        return [self.f64() for _ in range(self.u64())]
+
+
+def _decode_rep(c: Cursor) -> None:
+    c.f64()  # posted_time
+    c.f64()  # accepted_time
+    c.f64()  # completed_time
+    c.u64()  # worker
+    c.i32()  # price
+    c.i32()  # answer
+    c.boolean()  # correct
+
+
+def _decode_task_outcome(c: Cursor) -> None:
+    c.u64()  # id
+    c.f64()  # posted_time
+    c.f64()  # completed_time
+    for _ in range(c.u64()):
+        _decode_rep(c)
+    c.i32()  # abandoned_attempts
+    c.i32()  # expired_posts
+    c.i32()  # reposted_posts
+
+
+def _decode_task(c: Cursor) -> None:
+    c.u64()  # id
+    c.i32()  # price_per_repetition
+    c.i32()  # repetitions
+    c.f64()  # on_hold_rate
+    c.i32_vector()  # spec_prices
+    c.f64_vector()  # spec_rates
+    c.i32()  # spec_curve
+    c.f64()  # processing_rate
+    c.f64()  # acceptance_timeout
+    c.i32()  # true_answer
+    c.i32()  # num_options
+    c.i32_vector()  # rep_prices
+    c.f64_vector()  # rep_rates
+    c.i32()  # effective_curve
+    _decode_task_outcome(c)
+    c.i32()  # next_repetition
+    c.boolean()  # awaiting_acceptance
+    c.f64()  # current_posted_time
+    c.u64()  # exposure_generation
+    c.i32()  # reprice_price
+    c.f64()  # reprice_rate
+
+
+def _kind_summary(kinds, table) -> str:
+    counts = {}
+    for kind in kinds:
+        counts[kind] = counts.get(kind, 0) + 1
+    return " ".join(f"{table.get(kind, f'kind-{kind}')}={counts[kind]}"
+                    for kind in sorted(counts))
 
 
 def describe_snapshot(market: bytes) -> str:
     """Version-sniffing summary of a market-state snapshot blob: the v2
     header when present (src/durability/snapshot.cc), else the headerless
-    v1 layout. Both share the same leading body fields."""
+    v1 layout. Both share the same body, which is decoded in full —
+    pending calendar events and trace events are tallied per kind."""
     c = Cursor(market)
     try:
         version = 1
@@ -115,8 +198,39 @@ def describe_snapshot(market: bytes) -> str:
         next_task = c.u64()
         event_sequence = c.u64()
         total_spent = c.i64()
-        return (f"v{version} now={now:.6f} tasks_created={next_task} "
-                f"events_seen={event_sequence} spent={total_spent}")
+        c.take(32)  # rng engine (4 xoshiro words)
+        c.boolean()  # has_cached_normal
+        c.f64()  # cached_normal
+        event_kinds = []
+        for _ in range(c.u64()):
+            c.f64()  # time
+            c.u64()  # sequence
+            c.u64()  # task
+            event_kinds.append(c.u8())
+            c.u64()  # generation
+        open_tasks = c.u64()
+        for _ in range(open_tasks):
+            _decode_task(c)
+        completed = c.u64()
+        for _ in range(completed):
+            _decode_task_outcome(c)
+        for _ in range(c.u64()):
+            c.u64()  # completion_order entry
+        trace_kinds = []
+        for _ in range(c.u64()):
+            c.f64()  # time
+            trace_kinds.append(c.u8())
+            c.u64()  # worker
+            c.u64()  # task
+            c.i32()  # repetition
+        text = (f"v{version} now={now:.6f} tasks_created={next_task} "
+                f"events_seen={event_sequence} spent={total_spent} "
+                f"open={open_tasks} completed={completed} "
+                f"queue=[{_kind_summary(event_kinds, EVENT_KINDS)}] "
+                f"trace=[{_kind_summary(trace_kinds, TRACE_EVENT_KINDS)}]")
+        if c.pos != len(market):
+            text += f" <{len(market) - c.pos} trailing bytes>"
+        return text
     except ValueError:
         return f"<malformed snapshot, {len(market)} bytes>"
 

@@ -133,6 +133,10 @@ RULES = {
     "fleet-lifecycle": "no FleetJobState assignments or raw AppendState "
                        "calls outside src/fleet/ and the manifest codec "
                        "(go through FleetSupervisor's transition helpers)",
+    "stale-suppression": "every allow()/allow-file() must name a known "
+                         "rule and suppress at least one finding; stale "
+                         "entries would silently hide future violations "
+                         "(not itself suppressible)",
 }
 
 
@@ -193,15 +197,17 @@ def strip_code(lines):
     return stripped
 
 
-def _suppressed(lines, idx, rule, file_allows):
-    if rule in file_allows:
-        return True
-    for probe in (idx, idx - 1):
-        if 0 <= probe < len(lines):
-            m = ALLOW_RE.search(lines[probe])
-            if m and m.group(1) == rule:
-                return True
-    return False
+def _collect_suppressions(lines):
+    """All suppression annotations in a file: ({(line_idx, rule), ...}
+    for `allow`, {rule: line_idx} for `allow-file`)."""
+    line_allows = set()
+    file_allows = {}
+    for idx, line in enumerate(lines):
+        for m in ALLOW_RE.finditer(line):
+            line_allows.add((idx, m.group(1)))
+        for m in ALLOW_FILE_RE.finditer(line):
+            file_allows.setdefault(m.group(1), idx)
+    return line_allows, file_allows
 
 
 def lint_text(text, virtual_path):
@@ -214,16 +220,21 @@ def lint_text(text, virtual_path):
     in_src = path.startswith("src/")
     lines = text.splitlines()
     code = strip_code(lines)
-    file_allows = set()
-    for line in lines:
-        for m in ALLOW_FILE_RE.finditer(line):
-            file_allows.add(m.group(1))
+    line_allows, file_allows = _collect_suppressions(lines)
+    used_line = set()
+    used_file = set()
 
     findings = []
 
     def add(idx, rule, message):
-        if not _suppressed(lines, idx, rule, file_allows):
-            findings.append(Finding(path, idx + 1, rule, message))
+        if rule in file_allows:
+            used_file.add(rule)
+            return
+        for probe in (idx, idx - 1):
+            if (probe, rule) in line_allows:
+                used_line.add((probe, rule))
+                return
+        findings.append(Finding(path, idx + 1, rule, message))
 
     if in_src:
         for idx, line in enumerate(code):
@@ -301,6 +312,31 @@ def lint_text(text, virtual_path):
                         "implementation-defined order; sort first or "
                         "suppress with a justification if order cannot "
                         "reach serialized/exported output")
+
+    # Suppression hygiene: an annotation that names an unknown rule, or
+    # that no finding above consumed, is stale — it would silently hide
+    # the next real violation at that site. Not itself suppressible.
+    for idx, rule in sorted(line_allows):
+        if rule not in RULES or rule == "stale-suppression":
+            findings.append(Finding(
+                path, idx + 1, "stale-suppression",
+                f"allow({rule}) names an unknown rule; see --list-rules"))
+        elif (idx, rule) not in used_line:
+            findings.append(Finding(
+                path, idx + 1, "stale-suppression",
+                f"allow({rule}) no longer suppresses any finding; remove "
+                f"the stale annotation"))
+    for rule, idx in sorted(file_allows.items(), key=lambda kv: kv[1]):
+        if rule not in RULES or rule == "stale-suppression":
+            findings.append(Finding(
+                path, idx + 1, "stale-suppression",
+                f"allow-file({rule}) names an unknown rule; see "
+                f"--list-rules"))
+        elif rule not in used_file:
+            findings.append(Finding(
+                path, idx + 1, "stale-suppression",
+                f"allow-file({rule}) no longer suppresses any finding; "
+                f"remove the stale annotation"))
 
     return findings
 

@@ -6,7 +6,9 @@ Builds (or reuses) a compile database, then runs the checked-in
 whole of src/ and tools/ is linted; --changed restricts the run to files
 the current branch touches (plus, for a changed header, the .cc files in
 the same directory, which are the likeliest translation units to inhale
-it) so CI lints only the PR diff.
+it) so CI lints only the PR diff. --dir RELDIR (repeatable) forces every
+source under a directory into the run regardless of mode; CI uses it to
+tidy src/platform and src/fleet unconditionally.
 
 Exit codes: 0 clean, 1 findings, 2 environment error (no clang-tidy,
 cmake failure). Pure stdlib.
@@ -54,15 +56,20 @@ def ensure_compile_db(build_dir):
     return db if os.path.exists(db) else None
 
 
+def dir_sources(rel):
+    files = []
+    for dirpath, dirnames, filenames in os.walk(os.path.join(REPO_ROOT, rel)):
+        dirnames.sort()
+        for name in sorted(filenames):
+            if name.endswith(CXX_SOURCES):
+                files.append(os.path.join(dirpath, name))
+    return files
+
+
 def all_sources():
     files = []
     for rel in SOURCE_DIRS:
-        for dirpath, dirnames, filenames in os.walk(
-                os.path.join(REPO_ROOT, rel)):
-            dirnames.sort()
-            for name in sorted(filenames):
-                if name.endswith(CXX_SOURCES):
-                    files.append(os.path.join(dirpath, name))
+        files.extend(dir_sources(rel))
     return files
 
 
@@ -114,6 +121,11 @@ def main(argv=None):
                         help="explicit files (default: all of src/ + tools/)")
     parser.add_argument("--changed", action="store_true",
                         help="lint only files changed relative to --base")
+    parser.add_argument("--dir", action="append", default=[],
+                        metavar="RELDIR", dest="dirs",
+                        help="always lint every source under this repo-"
+                        "relative directory, even with --changed "
+                        "(repeatable)")
     parser.add_argument("--base", default="origin/main",
                         help="git base for --changed (default: origin/main)")
     parser.add_argument("--build-dir",
@@ -139,11 +151,23 @@ def main(argv=None):
         files = [os.path.abspath(f) for f in args.files]
     elif args.changed:
         files = changed_sources(args.base)
-        if not files:
-            print("run_tidy: no changed C++ sources; nothing to lint")
-            return 0
     else:
         files = all_sources()
+
+    # --dir directories are tidied in full regardless of mode: they hold
+    # the concurrency-critical code (lock discipline, recovery paths)
+    # where a diff-scoped run can miss findings introduced by a header
+    # change in another directory.
+    for rel in args.dirs:
+        if not os.path.isdir(os.path.join(REPO_ROOT, rel)):
+            print(f"run_tidy: --dir {rel} is not a directory under the repo",
+                  file=sys.stderr)
+            return 2
+        files = sorted(set(files) | set(dir_sources(rel)))
+
+    if not files:
+        print("run_tidy: no changed C++ sources; nothing to lint")
+        return 0
 
     failures = 0
     with concurrent.futures.ThreadPoolExecutor(max_workers=args.jobs) as pool:
